@@ -1,0 +1,122 @@
+// Ablation study over the optimizer's design choices (DESIGN.md §3):
+//  1. factor windows on/off (Algorithm 3 vs Algorithm 1);
+//  2. benefit check (Eq. 2 / Algorithm 4) vs always-insert;
+//  3. unused-factor pruning on/off;
+//  4. slicing-baseline combine strategy: eager recombination vs the lazy
+//     FlatFAT tree.
+// Reported on model cost and engine op counts for the sequential |W| = 5
+// panels (the paper's motivating shape).
+
+#include <chrono>
+
+#include "bench/bench_util.h"
+#include "plan/plan.h"
+#include "slicing/slicer.h"
+
+namespace {
+
+using namespace fw;
+
+struct Variant {
+  const char* name;
+  OptimizerOptions options;
+};
+
+}  // namespace
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::Synthetic1MDefault();
+  std::printf("=== Ablation: optimizer design choices (%zu events) ===\n\n",
+              events.size());
+
+  std::vector<Variant> variants;
+  {
+    Variant v{"no-factor-windows", {}};
+    v.options.enable_factor_windows = false;
+    variants.push_back(v);
+  }
+  variants.push_back(Variant{"full-optimizer", {}});
+  {
+    Variant v{"no-benefit-check", {}};
+    v.options.skip_benefit_check = true;
+    variants.push_back(v);
+  }
+  {
+    Variant v{"no-benefit-no-prune", {}};
+    v.options.skip_benefit_check = true;
+    v.options.prune_unused_factors = false;
+    variants.push_back(v);
+  }
+
+  for (bool tumbling : {true, false}) {
+    PanelConfig config;
+    config.sequential = true;
+    config.tumbling = tumbling;
+    config.set_size = 5;
+    CoverageSemantics semantics = SemanticsForWindowKind(tumbling);
+    std::printf("--- %s (%s) ---\n", PanelLabel(config).c_str(),
+                bench::SemanticsName(tumbling));
+    std::printf("%-20s %14s %14s %12s %10s\n", "variant", "mean model cost",
+                "mean ops", "mean tput(K/s)", "factors");
+    for (const Variant& variant : variants) {
+      double total_cost = 0.0;
+      double total_ops = 0.0;
+      double total_tput = 0.0;
+      int total_factors = 0;
+      std::vector<WindowSet> sets = GeneratePanelWindowSets(config);
+      for (const WindowSet& set : sets) {
+        MinCostWcg wcg =
+            OptimizeWithFactorWindows(set, semantics, variant.options);
+        total_cost += wcg.total_cost;
+        for (const Wcg::Node& node : wcg.graph.nodes()) {
+          total_factors += node.is_factor ? 1 : 0;
+        }
+        QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+        RunStats stats = RunPlan(plan, events, 1);
+        total_ops += static_cast<double>(stats.ops);
+        total_tput += stats.throughput;
+      }
+      double n = static_cast<double>(sets.size());
+      std::printf("%-20s %14.1f %14.0f %12.1f %10.1f\n", variant.name,
+                  total_cost / n, total_ops / n, total_tput / n / 1000.0,
+                  static_cast<double>(total_factors) / n);
+    }
+    std::printf("\n");
+  }
+
+  // Slicing-baseline ablation: eager per-firing recombination vs the lazy
+  // FlatFAT range queries, on the same panels.
+  std::printf("--- slicing combine strategy (S-5 panels) ---\n");
+  std::printf("%-14s %-10s %14s %14s\n", "panel", "mode", "mean ops",
+              "mean tput(K/s)");
+  for (bool tumbling : {true, false}) {
+    PanelConfig config;
+    config.sequential = true;
+    config.tumbling = tumbling;
+    config.set_size = 5;
+    for (auto mode : {SlicingEvaluator::CombineMode::kEager,
+                      SlicingEvaluator::CombineMode::kLazyTree}) {
+      double total_ops = 0.0;
+      double total_tput = 0.0;
+      std::vector<WindowSet> sets = GeneratePanelWindowSets(config);
+      for (const WindowSet& set : sets) {
+        CountingSink sink;
+        SlicingEvaluator evaluator(set, AggKind::kMin,
+                                   {.num_keys = 1, .mode = mode}, &sink);
+        auto start = std::chrono::steady_clock::now();
+        evaluator.Run(events);
+        auto end = std::chrono::steady_clock::now();
+        double seconds = std::chrono::duration<double>(end - start).count();
+        total_ops += static_cast<double>(evaluator.TotalOps());
+        total_tput += static_cast<double>(events.size()) / seconds;
+      }
+      double n = static_cast<double>(sets.size());
+      std::printf("%-14s %-10s %14.0f %14.1f\n", PanelLabel(config).c_str(),
+                  mode == SlicingEvaluator::CombineMode::kEager ? "eager"
+                                                                : "lazy-tree",
+                  total_ops / n, total_tput / n / 1000.0);
+    }
+  }
+  return 0;
+}

@@ -1,0 +1,136 @@
+// Micro-benchmarks for the execution engine's hot paths (google-benchmark):
+// raw pushes through tumbling/hopping operators, sub-aggregate merging,
+// multi-key grouping, and full small plans.
+
+#include <benchmark/benchmark.h>
+
+#include "cost/min_cost.h"
+#include "exec/engine.h"
+#include "factor/optimizer.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+std::vector<Event> MakeStream(size_t n, uint32_t keys) {
+  return GenerateSyntheticStream(n, keys, kSyntheticSeed);
+}
+
+void BM_RawPushTumbling(benchmark::State& state) {
+  std::vector<Event> events = MakeStream(1 << 16, 1);
+  CountingSink sink;
+  WindowAggregateOperator::Config config;
+  config.window = Window::Tumbling(64);
+  config.agg = AggKind::kMin;
+  WindowAggregateOperator op(config, &sink);
+  for (auto _ : state) {
+    op.Reset();
+    for (const Event& e : events) op.OnEvent(e);
+    op.Flush();
+    benchmark::DoNotOptimize(op.accumulate_ops());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_RawPushTumbling);
+
+void BM_RawPushHopping(benchmark::State& state) {
+  const TimeT ratio = state.range(0);  // r/s: open instances per event.
+  std::vector<Event> events = MakeStream(1 << 16, 1);
+  CountingSink sink;
+  WindowAggregateOperator::Config config;
+  config.window = Window(8 * ratio, 8);
+  config.agg = AggKind::kMin;
+  WindowAggregateOperator op(config, &sink);
+  for (auto _ : state) {
+    op.Reset();
+    for (const Event& e : events) op.OnEvent(e);
+    op.Flush();
+    benchmark::DoNotOptimize(op.accumulate_ops());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_RawPushHopping)->Arg(2)->Arg(8)->Arg(32);
+
+void BM_SubAggregateChain(benchmark::State& state) {
+  // T(16) -> T(64) -> T(256): merge-path throughput.
+  std::vector<Event> events = MakeStream(1 << 16, 1);
+  CountingSink sink;
+  WindowAggregateOperator::Config c1;
+  c1.window = Window::Tumbling(16);
+  c1.agg = AggKind::kSum;
+  c1.exposed = true;
+  WindowAggregateOperator::Config c2 = c1;
+  c2.window = Window::Tumbling(64);
+  c2.operator_id = 1;
+  WindowAggregateOperator::Config c3 = c1;
+  c3.window = Window::Tumbling(256);
+  c3.operator_id = 2;
+  WindowAggregateOperator op1(c1, &sink);
+  WindowAggregateOperator op2(c2, &sink);
+  WindowAggregateOperator op3(c3, &sink);
+  op1.AddChild(&op2);
+  op2.AddChild(&op3);
+  for (auto _ : state) {
+    op1.Reset();
+    op2.Reset();
+    op3.Reset();
+    for (const Event& e : events) op1.OnEvent(e);
+    op1.Flush();
+    op2.Flush();
+    op3.Flush();
+    benchmark::DoNotOptimize(op3.accumulate_ops());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_SubAggregateChain);
+
+void BM_KeyedAggregation(benchmark::State& state) {
+  const uint32_t keys = static_cast<uint32_t>(state.range(0));
+  std::vector<Event> events = MakeStream(1 << 15, keys);
+  CountingSink sink;
+  WindowAggregateOperator::Config config;
+  config.window = Window::Tumbling(128);
+  config.agg = AggKind::kAvg;
+  config.num_keys = keys;
+  WindowAggregateOperator op(config, &sink);
+  for (auto _ : state) {
+    op.Reset();
+    for (const Event& e : events) op.OnEvent(e);
+    op.Flush();
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_KeyedAggregation)->Arg(1)->Arg(16)->Arg(256);
+
+void BM_FullPlanOriginalVsRewritten(benchmark::State& state) {
+  const bool rewritten = state.range(0) == 1;
+  WindowSet set = WindowSet::Parse("{T(20), T(30), T(40), T(50), T(60)}")
+                      .value();
+  QueryPlan plan =
+      rewritten
+          ? QueryPlan::FromMinCostWcg(
+                OptimizeWithFactorWindows(
+                    set, CoverageSemantics::kPartitionedBy),
+                AggKind::kMin)
+          : QueryPlan::Original(set, AggKind::kMin);
+  std::vector<Event> events = MakeStream(1 << 16, 1);
+  CountingSink sink;
+  for (auto _ : state) {
+    PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+    executor.Run(events);
+    benchmark::DoNotOptimize(executor.TotalAccumulateOps());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+  state.SetLabel(rewritten ? "rewritten+FW" : "original");
+}
+BENCHMARK(BM_FullPlanOriginalVsRewritten)->Arg(0)->Arg(1);
+
+}  // namespace
+}  // namespace fw
+
+BENCHMARK_MAIN();

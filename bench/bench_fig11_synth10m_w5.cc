@@ -1,0 +1,37 @@
+// Figure 11: throughput of the original plan, the rewritten plan without
+// factor windows, and the rewritten plan with factor windows, over 10
+// randomly generated window sets of size 5 (RandomGen and SequentialGen,
+// tumbling/"partitioned by" and hopping/"covered by") on the synthetic
+// constant-pace stream.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::SyntheticDefault();
+  std::printf(
+      "=== Figure 11: throughput on Synthetic (%zu events), |W| = 5 ===\n\n",
+      events.size());
+  PanelConfig config;
+  config.set_size = 5;
+  struct Panel {
+    const char* caption;
+    bool sequential;
+    bool tumbling;
+  };
+  for (const Panel& p :
+       {Panel{"Fig 11(a) RandomGen", false, true},
+        Panel{"Fig 11(b) RandomGen", false, false},
+        Panel{"Fig 11(c) SequentialGen", true, true},
+        Panel{"Fig 11(d) SequentialGen", true, false}}) {
+    config.sequential = p.sequential;
+    config.tumbling = p.tumbling;
+    std::vector<ComparisonResult> rows =
+        bench::RunAndPrintPanel(config, events, p.caption);
+    BoostSummary summary = Summarize(rows);
+    std::printf("summary: ");
+    PrintBoostRow(PanelLabel(config), summary);
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,33 @@
+// Figure 14: throughput detail on the synthetic stream with |W| = 10,
+// same four panels as Figure 11.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::SyntheticDefault();
+  std::printf(
+      "=== Figure 14: throughput on Synthetic (%zu events), |W| = 10 ===\n\n",
+      events.size());
+  PanelConfig config;
+  config.set_size = 10;
+  struct Panel {
+    const char* caption;
+    bool sequential;
+    bool tumbling;
+  };
+  for (const Panel& p :
+       {Panel{"Fig 14(a) RandomGen", false, true},
+        Panel{"Fig 14(b) RandomGen", false, false},
+        Panel{"Fig 14(c) SequentialGen", true, true},
+        Panel{"Fig 14(d) SequentialGen", true, false}}) {
+    config.sequential = p.sequential;
+    config.tumbling = p.tumbling;
+    std::vector<ComparisonResult> rows =
+        bench::RunAndPrintPanel(config, events, p.caption);
+    std::printf("summary: ");
+    PrintBoostRow(PanelLabel(config), Summarize(rows));
+    std::printf("\n");
+  }
+  return 0;
+}

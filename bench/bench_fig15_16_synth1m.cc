@@ -1,0 +1,45 @@
+// Figures 15 & 16 and Table IV: throughput on the smaller synthetic
+// stream (Synthetic-1M in the paper) with |W| = 5 (Fig 15) and |W| = 10
+// (Fig 16), plus the Table IV mean/max boost summary.
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::Synthetic1MDefault();
+  std::printf(
+      "=== Figures 15/16 + Table IV: Synthetic-1M (%zu events) ===\n\n",
+      events.size());
+  struct Row {
+    std::string label;
+    BoostSummary summary;
+  };
+  std::vector<Row> table;
+  for (int size : {5, 10}) {
+    const char* fig = size == 5 ? "Fig 15" : "Fig 16";
+    struct Panel {
+      const char* sub;
+      bool sequential;
+      bool tumbling;
+    };
+    for (const Panel& p : {Panel{"(a) RandomGen", false, true},
+                           Panel{"(b) RandomGen", false, false},
+                           Panel{"(c) SequentialGen", true, true},
+                           Panel{"(d) SequentialGen", true, false}}) {
+      PanelConfig config;
+      config.set_size = size;
+      config.sequential = p.sequential;
+      config.tumbling = p.tumbling;
+      std::vector<ComparisonResult> rows = bench::RunAndPrintPanel(
+          config, events, std::string(fig) + p.sub);
+      table.push_back(Row{PanelLabel(config), Summarize(rows)});
+    }
+  }
+  std::printf("=== Table IV: summary of throughput boosts ===\n");
+  bench::PrintBoostHeader();
+  for (const Row& row : table) PrintBoostRow(row.label, row.summary);
+  std::printf(
+      "\npaper reference (Table IV): w/ FW mean 1.85x-6.27x, max up to "
+      "7.27x (S-10-tumbling)\n");
+  return 0;
+}

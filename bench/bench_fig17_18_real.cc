@@ -1,0 +1,38 @@
+// Figures 17 & 18: throughput on the DEBS-2012-like real-data stand-in
+// (Real-32M in the paper) with |W| = 5 (Fig 17) and |W| = 10 (Fig 18).
+
+#include "bench/bench_util.h"
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::RealDefault();
+  std::printf(
+      "=== Figures 17/18: DEBS-like real-data stand-in (%zu events) ===\n",
+      events.size());
+  std::printf(
+      "(The DEBS 2012 trace is not redistributable; see DESIGN.md for the "
+      "substitution.)\n\n");
+  for (int size : {5, 10}) {
+    const char* fig = size == 5 ? "Fig 17" : "Fig 18";
+    struct Panel {
+      const char* sub;
+      bool sequential;
+      bool tumbling;
+    };
+    for (const Panel& p : {Panel{"(a) RandomGen", false, true},
+                           Panel{"(b) RandomGen", false, false},
+                           Panel{"(c) SequentialGen", true, true},
+                           Panel{"(d) SequentialGen", true, false}}) {
+      PanelConfig config;
+      config.set_size = size;
+      config.sequential = p.sequential;
+      config.tumbling = p.tumbling;
+      std::vector<ComparisonResult> rows = bench::RunAndPrintPanel(
+          config, events, std::string(fig) + p.sub);
+      std::printf("summary: ");
+      PrintBoostRow(PanelLabel(config), Summarize(rows));
+      std::printf("\n");
+    }
+  }
+  return 0;
+}

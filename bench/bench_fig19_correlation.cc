@@ -1,0 +1,59 @@
+// Figure 19: correlation between the cost model's predicted speedup
+// γ_C = C(w/o FW) / C(w/ FW) and the observed throughput speedup
+// γ_T = T(w/ FW) / T(w/o FW), merging window sets of sizes 5 and 10.
+// The paper reports Pearson r >= 0.94 in all four setups.
+
+#include "bench/bench_util.h"
+#include "common/stats.h"
+
+int main() {
+  using namespace fw;
+  std::vector<Event> events = bench::SyntheticDefault();
+  std::printf(
+      "=== Figure 19: cost-model effectiveness on Synthetic (%zu events) "
+      "===\n\n",
+      events.size());
+  struct Setup {
+    const char* caption;
+    bool sequential;
+    bool tumbling;
+  };
+  for (const Setup& s :
+       {Setup{"Fig 19(a) RandomGen, partitioned-by", false, true},
+        Setup{"Fig 19(b) RandomGen, covered-by", false, false},
+        Setup{"Fig 19(c) SequentialGen, partitioned-by", true, true},
+        Setup{"Fig 19(d) SequentialGen, covered-by", true, false}}) {
+    std::vector<double> predicted;
+    std::vector<double> measured_tput;
+    std::vector<double> measured_ops;
+    for (int size : {5, 10}) {
+      PanelConfig config;
+      config.sequential = s.sequential;
+      config.tumbling = s.tumbling;
+      config.set_size = size;
+      for (const ComparisonResult& row :
+           RunThroughputPanel(config, events, 1)) {
+        predicted.push_back(row.PredictedFwSpeedup());
+        measured_tput.push_back(row.MeasuredFwSpeedup());
+        measured_ops.push_back(static_cast<double>(row.without_fw.ops) /
+                               static_cast<double>(row.with_fw.ops));
+      }
+    }
+    double r_tput = PearsonCorrelation(predicted, measured_tput);
+    double r_ops = PearsonCorrelation(predicted, measured_ops);
+    LinearFit fit = FitLine(predicted, measured_tput);
+    std::printf("%s\n", s.caption);
+    std::printf("  %-10s %-12s %-12s\n", "predicted", "tput-speedup",
+                "ops-speedup");
+    for (size_t i = 0; i < predicted.size(); ++i) {
+      std::printf("  %-10.3f %-12.3f %-12.3f\n", predicted[i],
+                  measured_tput[i], measured_ops[i]);
+    }
+    std::printf(
+        "  Pearson r (throughput) = %.3f, Pearson r (op count) = %.3f, "
+        "best fit y = %.3fx + %.3f\n\n",
+        r_tput, r_ops, fit.slope, fit.intercept);
+  }
+  std::printf("paper reference (Fig 19): r >= 0.94 in all four setups\n");
+  return 0;
+}

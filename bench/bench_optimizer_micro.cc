@@ -1,0 +1,108 @@
+// Micro-benchmarks for the optimizer pipeline (google-benchmark): WCG
+// construction, Algorithm 1, Algorithm 3, and the candidate searches, at
+// increasing window-set sizes; plus the paper's worked examples.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "factor/candidates.h"
+#include "factor/optimizer.h"
+#include "workload/generator.h"
+
+namespace fw {
+namespace {
+
+WindowSet MakeSet(int size, bool tumbling, bool sequential) {
+  Rng rng(1234);
+  return sequential ? SequentialGenWindowSet(size, tumbling, &rng)
+                    : RandomGenWindowSet(size, tumbling, &rng);
+}
+
+void BM_WcgBuild(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), true, false);
+  for (auto _ : state) {
+    Wcg graph = Wcg::Build(set, CoverageSemantics::kPartitionedBy);
+    benchmark::DoNotOptimize(graph.num_nodes());
+  }
+}
+BENCHMARK(BM_WcgBuild)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Algorithm1(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), true, false);
+  for (auto _ : state) {
+    MinCostWcg result =
+        FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_Algorithm1)->Arg(5)->Arg(10)->Arg(20)->Arg(40);
+
+void BM_Algorithm3Tumbling(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), true, true);
+  for (auto _ : state) {
+    MinCostWcg result =
+        OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_Algorithm3Tumbling)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Algorithm3Hopping(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), false, true);
+  for (auto _ : state) {
+    MinCostWcg result =
+        OptimizeWithFactorWindows(set, CoverageSemantics::kCoveredBy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_Algorithm3Hopping)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Algorithm2CandidateSearch(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), false, true);
+  CostModel model(set);
+  std::vector<Window> downstream = set.windows();
+  for (auto _ : state) {
+    auto best =
+        FindBestFactorWindowCoveredBy(Window(1, 1), downstream, model);
+    benchmark::DoNotOptimize(best.has_value());
+  }
+}
+BENCHMARK(BM_Algorithm2CandidateSearch)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_Algorithm5CandidateSearch(benchmark::State& state) {
+  WindowSet set = MakeSet(static_cast<int>(state.range(0)), true, true);
+  CostModel model(set);
+  std::vector<Window> downstream = set.windows();
+  for (auto _ : state) {
+    auto best =
+        FindBestFactorWindowPartitionedBy(Window(1, 1), downstream, model);
+    benchmark::DoNotOptimize(best.has_value());
+  }
+}
+BENCHMARK(BM_Algorithm5CandidateSearch)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_PaperExample6(benchmark::State& state) {
+  WindowSet set =
+      WindowSet::Parse("{T(10), T(20), T(30), T(40)}").value();
+  for (auto _ : state) {
+    MinCostWcg result =
+        FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_PaperExample6);
+
+void BM_PaperExample7(benchmark::State& state) {
+  WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
+  for (auto _ : state) {
+    MinCostWcg result =
+        OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+    benchmark::DoNotOptimize(result.total_cost);
+  }
+}
+BENCHMARK(BM_PaperExample7);
+
+}  // namespace
+}  // namespace fw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,69 @@
+// Micro-benchmarks for the stream-slicing baseline (google-benchmark):
+// push/firing throughput against window count and slide diversity.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "slicing/slicer.h"
+#include "workload/datagen.h"
+#include "workload/generator.h"
+
+namespace fw {
+namespace {
+
+void BM_SlicingSequentialTumbling(benchmark::State& state) {
+  Rng rng(7);
+  WindowSet set =
+      SequentialGenWindowSet(static_cast<int>(state.range(0)), true, &rng);
+  std::vector<Event> events =
+      GenerateSyntheticStream(1 << 16, 1, kSyntheticSeed);
+  CountingSink sink;
+  SlicingEvaluator evaluator(set, AggKind::kMin, {.num_keys = 1}, &sink);
+  for (auto _ : state) {
+    evaluator.Reset();
+    evaluator.Run(events);
+    benchmark::DoNotOptimize(evaluator.TotalOps());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_SlicingSequentialTumbling)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SlicingSequentialHopping(benchmark::State& state) {
+  Rng rng(8);
+  WindowSet set = SequentialGenWindowSet(static_cast<int>(state.range(0)),
+                                         false, &rng);
+  std::vector<Event> events =
+      GenerateSyntheticStream(1 << 16, 1, kSyntheticSeed);
+  CountingSink sink;
+  SlicingEvaluator evaluator(set, AggKind::kMin, {.num_keys = 1}, &sink);
+  for (auto _ : state) {
+    evaluator.Reset();
+    evaluator.Run(events);
+    benchmark::DoNotOptimize(evaluator.TotalOps());
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_SlicingSequentialHopping)->Arg(5)->Arg(10)->Arg(20);
+
+void BM_SlicingKeyed(benchmark::State& state) {
+  const uint32_t keys = static_cast<uint32_t>(state.range(0));
+  WindowSet set = WindowSet::Parse("{T(16), T(32), T(64)}").value();
+  std::vector<Event> events =
+      GenerateSyntheticStream(1 << 15, keys, kSyntheticSeed);
+  CountingSink sink;
+  SlicingEvaluator evaluator(set, AggKind::kSum, {.num_keys = keys}, &sink);
+  for (auto _ : state) {
+    evaluator.Reset();
+    evaluator.Run(events);
+  }
+  state.SetItemsProcessed(static_cast<int64_t>(state.iterations()) *
+                          static_cast<int64_t>(events.size()));
+}
+BENCHMARK(BM_SlicingKeyed)->Arg(1)->Arg(16)->Arg(64);
+
+}  // namespace
+}  // namespace fw
+
+BENCHMARK_MAIN();

@@ -1,0 +1,59 @@
+#ifndef FW_BENCH_BENCH_UTIL_H_
+#define FW_BENCH_BENCH_UTIL_H_
+
+// Shared plumbing for the paper-reproduction bench binaries. Each binary
+// regenerates one table or figure of the paper; event counts default to
+// CI-friendly sizes and scale to paper size via environment variables:
+//   FW_EVENTS       synthetic stream length   (paper: 10'000'000)
+//   FW_EVENTS_1M    small synthetic stream    (paper:  1'000'000)
+//   FW_REAL_EVENTS  DEBS-like stream length   (paper: 32'000'000)
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "harness/experiments.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace bench {
+
+inline std::vector<Event> SyntheticDefault() {
+  return GenerateSyntheticStream(
+      EventCountFromEnv("FW_EVENTS", 1'000'000), 1, kSyntheticSeed);
+}
+
+inline std::vector<Event> Synthetic1MDefault() {
+  return GenerateSyntheticStream(
+      EventCountFromEnv("FW_EVENTS_1M", 300'000), 1, kSyntheticSeed);
+}
+
+inline std::vector<Event> RealDefault() {
+  return GenerateDebsLikeStream(
+      EventCountFromEnv("FW_REAL_EVENTS", 1'000'000), 1, kDebsSeed);
+}
+
+inline const char* SemanticsName(bool tumbling) {
+  return tumbling ? "partitioned-by" : "covered-by";
+}
+
+/// Runs and prints one figure panel (10 window sets x 3 plans).
+inline std::vector<ComparisonResult> RunAndPrintPanel(
+    const PanelConfig& config, const std::vector<Event>& events,
+    const std::string& caption) {
+  std::vector<ComparisonResult> rows = RunThroughputPanel(config, events, 1);
+  PrintThroughputPanel(caption + "  [" + PanelLabel(config) + ", " +
+                           SemanticsName(config.tumbling) + "]",
+                       rows);
+  return rows;
+}
+
+inline void PrintBoostHeader() {
+  std::printf("%-16s %11s %11s %11s %11s\n", "Setup", "w/oFW-mean",
+              "w/oFW-max", "w/FW-mean", "w/FW-max");
+}
+
+}  // namespace bench
+}  // namespace fw
+
+#endif  // FW_BENCH_BENCH_UTIL_H_

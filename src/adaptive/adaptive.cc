@@ -1,0 +1,93 @@
+#include "adaptive/adaptive.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+RateEstimator::RateEstimator(double alpha) : alpha_(alpha) {
+  FW_CHECK_GT(alpha, 0.0);
+  FW_CHECK_LE(alpha, 1.0);
+}
+
+void RateEstimator::ObserveBatch(uint64_t events, TimeT duration) {
+  if (duration <= 0) {
+    pending_events_ += events;  // Instantaneous burst; fold in later.
+    return;
+  }
+  double observed = static_cast<double>(events + pending_events_) /
+                    static_cast<double>(duration);
+  pending_events_ = 0;
+  if (!has_observations_) {
+    rate_ = observed;
+    has_observations_ = true;
+  } else {
+    rate_ = alpha_ * observed + (1.0 - alpha_) * rate_;
+  }
+}
+
+double RateEstimator::rate() const { return rate_; }
+
+bool PlansStructurallyEqual(const QueryPlan& a, const QueryPlan& b) {
+  if (a.num_operators() != b.num_operators()) return false;
+  if (a.agg() != b.agg()) return false;
+  for (size_t i = 0; i < a.num_operators(); ++i) {
+    const PlanOperator& x = a.op(static_cast<int>(i));
+    const PlanOperator& y = b.op(static_cast<int>(i));
+    if (!(x.window == y.window) || x.parent != y.parent ||
+        x.exposed != y.exposed || x.is_factor != y.is_factor) {
+      return false;
+    }
+  }
+  return true;
+}
+
+Result<AdaptiveOptimizer> AdaptiveOptimizer::Make(const WindowSet& windows,
+                                                  AggKind agg,
+                                                  const Options& options) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("empty window set");
+  }
+  if (options.reoptimize_ratio <= 1.0) {
+    return Status::InvalidArgument("reoptimize_ratio must exceed 1");
+  }
+  Result<CoverageSemantics> semantics = SemanticsFor(agg);
+  if (!semantics.ok()) return semantics.status();
+  return AdaptiveOptimizer(windows, agg, *semantics, options);
+}
+
+AdaptiveOptimizer::AdaptiveOptimizer(const WindowSet& windows, AggKind agg,
+                                     CoverageSemantics semantics,
+                                     const Options& options)
+    : windows_(windows),
+      agg_(agg),
+      semantics_(semantics),
+      options_(options),
+      estimator_(options.rate_alpha),
+      plan_(QueryPlan::Original(windows, agg)) {
+  // Initial compile at the paper's default rate η = 1.
+  Recompile(1.0);
+  reoptimize_count_ = 0;  // The initial compile is not a re-optimization.
+}
+
+void AdaptiveOptimizer::Recompile(double eta) {
+  OptimizerOptions opts = options_.optimizer;
+  opts.eta = eta;
+  MinCostWcg wcg = OptimizeWithFactorWindows(windows_, semantics_, opts);
+  plan_ = QueryPlan::FromMinCostWcg(wcg, agg_);
+  plan_cost_ = wcg.total_cost;
+  planned_eta_ = eta;
+  ++reoptimize_count_;
+}
+
+bool AdaptiveOptimizer::MaybeReoptimize() {
+  if (!estimator_.has_observations()) return false;
+  double eta = estimator_.rate();
+  if (eta <= 0.0) return false;
+  double ratio = eta > planned_eta_ ? eta / planned_eta_ : planned_eta_ / eta;
+  if (ratio < options_.reoptimize_ratio) return false;
+  QueryPlan previous = plan_;
+  Recompile(eta);
+  return !PlansStructurallyEqual(previous, plan_);
+}
+
+}  // namespace fw

@@ -1,0 +1,139 @@
+#include "agg/aggregate.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fw {
+
+const char* AggKindToString(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+      return "MIN";
+    case AggKind::kMax:
+      return "MAX";
+    case AggKind::kSum:
+      return "SUM";
+    case AggKind::kCount:
+      return "COUNT";
+    case AggKind::kAvg:
+      return "AVG";
+    case AggKind::kStdev:
+      return "STDEV";
+    case AggKind::kVariance:
+      return "VARIANCE";
+    case AggKind::kRange:
+      return "RANGE";
+    case AggKind::kMedian:
+      return "MEDIAN";
+  }
+  return "UNKNOWN";
+}
+
+const char* AggClassToString(AggClass cls) {
+  switch (cls) {
+    case AggClass::kDistributive:
+      return "distributive";
+    case AggClass::kAlgebraic:
+      return "algebraic";
+    case AggClass::kHolistic:
+      return "holistic";
+  }
+  return "unknown";
+}
+
+AggClass ClassOf(AggKind kind) {
+  switch (kind) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kSum:
+    case AggKind::kCount:
+      return AggClass::kDistributive;
+    case AggKind::kAvg:
+    case AggKind::kStdev:
+    case AggKind::kVariance:
+    case AggKind::kRange:
+      return AggClass::kAlgebraic;
+    case AggKind::kMedian:
+      return AggClass::kHolistic;
+  }
+  return AggClass::kHolistic;
+}
+
+bool SupportsOverlappingMerge(AggKind kind) {
+  // MIN and MAX per Theorem 6; RANGE is our footnote-2 extension — its
+  // (min, max) state is a pair of overlap-safe components, so merging
+  // overlapping partitions cannot change either bound.
+  return kind == AggKind::kMin || kind == AggKind::kMax ||
+         kind == AggKind::kRange;
+}
+
+bool SupportsSharing(AggKind kind) {
+  return ClassOf(kind) != AggClass::kHolistic;
+}
+
+Result<CoverageSemantics> SemanticsFor(AggKind kind) {
+  if (!SupportsSharing(kind)) {
+    return Status::Unimplemented(
+        std::string(AggKindToString(kind)) +
+        " is holistic; shared evaluation is not supported");
+  }
+  return SupportsOverlappingMerge(kind) ? CoverageSemantics::kCoveredBy
+                                        : CoverageSemantics::kPartitionedBy;
+}
+
+double AggFinalize(AggKind kind, const AggState& state) {
+  FW_CHECK(!state.empty()) << "finalize of empty aggregate state";
+  switch (kind) {
+    case AggKind::kMin:
+    case AggKind::kMax:
+    case AggKind::kSum:
+      return state.v1;
+    case AggKind::kCount:
+      return static_cast<double>(state.n);
+    case AggKind::kAvg:
+      return state.v1 / static_cast<double>(state.n);
+    case AggKind::kStdev: {
+      double n = static_cast<double>(state.n);
+      double mean = state.v1 / n;
+      double variance = state.v2 / n - mean * mean;
+      return std::sqrt(std::max(variance, 0.0));
+    }
+    case AggKind::kVariance: {
+      double n = static_cast<double>(state.n);
+      double mean = state.v1 / n;
+      return std::max(state.v2 / n - mean * mean, 0.0);
+    }
+    case AggKind::kRange:
+      return state.v2 - state.v1;
+    case AggKind::kMedian:
+      FW_CHECK(false) << "MEDIAN uses HolisticState";
+  }
+  return 0.0;
+}
+
+double HolisticFinalize(AggKind kind, HolisticState* state) {
+  FW_CHECK(!state->empty()) << "finalize of empty holistic state";
+  FW_CHECK(kind == AggKind::kMedian) << "unsupported holistic kind";
+  size_t mid = (state->values.size() - 1) / 2;
+  std::nth_element(state->values.begin(), state->values.begin() + mid,
+                   state->values.end());
+  return state->values[mid];
+}
+
+Result<double> AggReference(AggKind kind, const std::vector<double>& values) {
+  if (values.empty()) {
+    return Status::InvalidArgument("aggregate of empty input");
+  }
+  if (kind == AggKind::kMedian) {
+    HolisticState h;
+    h.values = values;
+    return HolisticFinalize(kind, &h);
+  }
+  AggState s = AggIdentity(kind);
+  for (double v : values) AggAccumulate(kind, &s, v);
+  return AggFinalize(kind, s);
+}
+
+}  // namespace fw

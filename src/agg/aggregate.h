@@ -1,0 +1,184 @@
+#ifndef FW_AGG_AGGREGATE_H_
+#define FW_AGG_AGGREGATE_H_
+
+#include <cstdint>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "window/coverage.h"
+
+namespace fw {
+
+/// Built-in aggregate functions. The set mirrors the paper's §III-A
+/// discussion — MIN/MAX/SUM/COUNT are distributive, AVG/STDEV algebraic,
+/// MEDIAN holistic (no constant-size sub-aggregate exists) — plus two
+/// extensions in the spirit of footnote 2 ("future work could expand
+/// these two lists"): VARIANCE (algebraic, partitioned-by) and RANGE
+/// (max - min; algebraic, and overlap-safe like MIN/MAX because its state
+/// is a (min, max) pair, so it qualifies for "covered by" sharing).
+enum class AggKind {
+  kMin,
+  kMax,
+  kSum,
+  kCount,
+  kAvg,
+  kStdev,
+  kVariance,
+  kRange,
+  kMedian,
+};
+
+/// Gray et al.'s aggregate taxonomy (§III-A).
+enum class AggClass {
+  kDistributive,
+  kAlgebraic,
+  kHolistic,
+};
+
+const char* AggKindToString(AggKind kind);
+const char* AggClassToString(AggClass cls);
+
+/// Classifies `kind` per Gray et al.
+AggClass ClassOf(AggKind kind);
+
+/// Theorem 6: true when the function stays correct even if the merged
+/// sub-aggregates cover overlapping input partitions (MIN and MAX only).
+bool SupportsOverlappingMerge(AggKind kind);
+
+/// True when the function can be computed from constant-size sub-aggregates
+/// at all (i.e., is distributive or algebraic, Theorem 5).
+bool SupportsSharing(AggKind kind);
+
+/// The coverage semantics the optimizer must use for `kind` (paper
+/// footnote 2): "covered by" for MIN/MAX, "partitioned by" for the other
+/// shareable functions. Error for holistic functions, which fall back to
+/// the unshared original plan.
+Result<CoverageSemantics> SemanticsFor(AggKind kind);
+
+/// Constant-size partial-aggregate state shared by all non-holistic
+/// functions. Field meaning depends on the kind:
+///   MIN/MAX        : v1 = current extremum
+///   SUM            : v1 = running sum
+///   COUNT          : n  = running count
+///   AVG            : v1 = sum, n = count
+///   STDEV/VARIANCE : v1 = sum, v2 = sum of squares, n = count
+///   RANGE          : v1 = min, v2 = max
+/// `n` is also the emptiness indicator for every kind.
+struct AggState {
+  double v1 = 0.0;
+  double v2 = 0.0;
+  uint64_t n = 0;
+
+  bool empty() const { return n == 0; }
+};
+
+/// The identity (empty) state for `kind`.
+inline AggState AggIdentity(AggKind kind) {
+  AggState s;
+  switch (kind) {
+    case AggKind::kMin:
+      s.v1 = std::numeric_limits<double>::infinity();
+      break;
+    case AggKind::kMax:
+      s.v1 = -std::numeric_limits<double>::infinity();
+      break;
+    case AggKind::kRange:
+      s.v1 = std::numeric_limits<double>::infinity();
+      s.v2 = -std::numeric_limits<double>::infinity();
+      break;
+    default:
+      break;
+  }
+  return s;
+}
+
+/// Folds one raw value into `state`.
+inline void AggAccumulate(AggKind kind, AggState* state, double value) {
+  switch (kind) {
+    case AggKind::kMin:
+      if (value < state->v1) state->v1 = value;
+      break;
+    case AggKind::kMax:
+      if (value > state->v1) state->v1 = value;
+      break;
+    case AggKind::kSum:
+      state->v1 += value;
+      break;
+    case AggKind::kCount:
+      break;  // Only n advances.
+    case AggKind::kAvg:
+      state->v1 += value;
+      break;
+    case AggKind::kStdev:
+    case AggKind::kVariance:
+      state->v1 += value;
+      state->v2 += value * value;
+      break;
+    case AggKind::kRange:
+      if (value < state->v1) state->v1 = value;
+      if (value > state->v2) state->v2 = value;
+      break;
+    case AggKind::kMedian:
+      // Holistic functions never take this path; see HolisticState.
+      break;
+  }
+  ++state->n;
+}
+
+/// Merges sub-aggregate `other` into `state`. For MIN/MAX this is valid
+/// even when the underlying partitions overlap (Theorem 6); for the other
+/// kinds the caller must guarantee disjointness (Theorem 5).
+inline void AggMerge(AggKind kind, AggState* state, const AggState& other) {
+  switch (kind) {
+    case AggKind::kMin:
+      if (other.v1 < state->v1) state->v1 = other.v1;
+      break;
+    case AggKind::kMax:
+      if (other.v1 > state->v1) state->v1 = other.v1;
+      break;
+    case AggKind::kSum:
+    case AggKind::kAvg:
+      state->v1 += other.v1;
+      break;
+    case AggKind::kCount:
+      break;
+    case AggKind::kStdev:
+    case AggKind::kVariance:
+      state->v1 += other.v1;
+      state->v2 += other.v2;
+      break;
+    case AggKind::kRange:
+      if (other.v1 < state->v1) state->v1 = other.v1;
+      if (other.v2 > state->v2) state->v2 = other.v2;
+      break;
+    case AggKind::kMedian:
+      break;
+  }
+  state->n += other.n;
+}
+
+/// Produces the final scalar from a non-empty state.
+double AggFinalize(AggKind kind, const AggState& state);
+
+/// Unbounded state for holistic aggregates (the slices would have to carry
+/// all input events — paper §III-A). Used only on the unshared path.
+struct HolisticState {
+  std::vector<double> values;
+
+  bool empty() const { return values.empty(); }
+  void Add(double v) { values.push_back(v); }
+};
+
+/// Final scalar for a non-empty holistic state (currently MEDIAN; lower
+/// median for even sizes).
+double HolisticFinalize(AggKind kind, HolisticState* state);
+
+/// Reference (batch) evaluation of any aggregate over raw values. Used by
+/// tests and the result verifier as ground truth. Empty input is an error.
+Result<double> AggReference(AggKind kind, const std::vector<double>& values);
+
+}  // namespace fw
+
+#endif  // FW_AGG_AGGREGATE_H_

@@ -1,0 +1,77 @@
+#ifndef FW_COMMON_LOGGING_H_
+#define FW_COMMON_LOGGING_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <sstream>
+#include <string>
+
+namespace fw {
+namespace internal_logging {
+
+/// Collects a fatal message via stream syntax and aborts on destruction.
+/// Used only by the FW_CHECK family below; never instantiate directly.
+class FatalMessage {
+ public:
+  FatalMessage(const char* file, int line, const char* condition) {
+    stream_ << file << ":" << line << " Check failed: " << condition << " ";
+  }
+
+  FatalMessage(const FatalMessage&) = delete;
+  FatalMessage& operator=(const FatalMessage&) = delete;
+
+  [[noreturn]] ~FatalMessage() {
+    const std::string message = stream_.str();
+    std::fprintf(stderr, "%s\n", message.c_str());
+    std::fflush(stderr);
+    std::abort();
+  }
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  std::ostringstream stream_;
+};
+
+// Swallows the streamed message when a check passes. The `(void)0` idiom
+// keeps `FW_CHECK(x) << "msg";` a single statement in all contexts.
+class NullStream {
+ public:
+  template <typename T>
+  NullStream& operator<<(const T&) {
+    return *this;
+  }
+};
+
+}  // namespace internal_logging
+}  // namespace fw
+
+/// FW_CHECK(cond) aborts with a diagnostic when `cond` is false. Additional
+/// context can be streamed: FW_CHECK(a < b) << "a=" << a;
+#define FW_CHECK(condition)                                                  \
+  (condition) ? (void)0                                                      \
+              : ::fw::internal_logging::Voidify() &                          \
+                    ::fw::internal_logging::FatalMessage(__FILE__, __LINE__, \
+                                                         #condition)         \
+                        .stream()
+
+#define FW_CHECK_EQ(a, b) FW_CHECK((a) == (b))
+#define FW_CHECK_NE(a, b) FW_CHECK((a) != (b))
+#define FW_CHECK_LT(a, b) FW_CHECK((a) < (b))
+#define FW_CHECK_LE(a, b) FW_CHECK((a) <= (b))
+#define FW_CHECK_GT(a, b) FW_CHECK((a) > (b))
+#define FW_CHECK_GE(a, b) FW_CHECK((a) >= (b))
+
+namespace fw {
+namespace internal_logging {
+
+// Binds looser than << so the whole streamed expression is evaluated first,
+// then discarded into void; makes FW_CHECK usable in expression position.
+struct Voidify {
+  void operator&(std::ostream&) {}
+};
+
+}  // namespace internal_logging
+}  // namespace fw
+
+#endif  // FW_COMMON_LOGGING_H_

@@ -1,0 +1,82 @@
+#include "common/math_util.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+uint64_t Gcd(uint64_t a, uint64_t b) {
+  while (b != 0) {
+    uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+uint64_t Gcd(const std::vector<uint64_t>& values) {
+  FW_CHECK(!values.empty());
+  uint64_t g = values[0];
+  for (size_t i = 1; i < values.size(); ++i) g = Gcd(g, values[i]);
+  return g;
+}
+
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  uint64_t product = a * b;
+  if (product / a != b) return std::nullopt;
+  return product;
+}
+
+std::optional<uint64_t> CheckedLcm(uint64_t a, uint64_t b) {
+  if (a == 0 || b == 0) return 0;
+  uint64_t g = Gcd(a, b);
+  return CheckedMul(a / g, b);
+}
+
+std::optional<uint64_t> CheckedLcm(const std::vector<uint64_t>& values) {
+  FW_CHECK(!values.empty());
+  uint64_t l = values[0];
+  for (size_t i = 1; i < values.size(); ++i) {
+    std::optional<uint64_t> next = CheckedLcm(l, values[i]);
+    if (!next.has_value()) return std::nullopt;
+    l = *next;
+  }
+  return l;
+}
+
+bool IsMultiple(uint64_t a, uint64_t b) {
+  FW_CHECK_GT(b, 0u);
+  return a % b == 0;
+}
+
+std::vector<uint64_t> Divisors(uint64_t n) {
+  FW_CHECK_GT(n, 0u);
+  std::vector<uint64_t> small;
+  std::vector<uint64_t> large;
+  for (uint64_t d = 1; d * d <= n; ++d) {
+    if (n % d == 0) {
+      small.push_back(d);
+      if (d != n / d) large.push_back(n / d);
+    }
+  }
+  for (auto it = large.rbegin(); it != large.rend(); ++it) {
+    small.push_back(*it);
+  }
+  return small;
+}
+
+uint64_t CeilDiv(uint64_t a, uint64_t b) {
+  FW_CHECK_GT(b, 0u);
+  return a / b + (a % b != 0 ? 1 : 0);
+}
+
+int64_t FloorDiv(int64_t a, int64_t b) {
+  FW_CHECK_GT(b, 0);
+  int64_t q = a / b;
+  if (a % b != 0 && a < 0) --q;
+  return q;
+}
+
+int64_t CeilDiv64(int64_t a, int64_t b) { return -FloorDiv(-a, b); }
+
+}  // namespace fw

@@ -1,0 +1,43 @@
+#ifndef FW_COMMON_MATH_UTIL_H_
+#define FW_COMMON_MATH_UTIL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+namespace fw {
+
+/// Greatest common divisor of two non-negative integers (Euclid).
+/// Gcd(0, b) == b and Gcd(a, 0) == a.
+uint64_t Gcd(uint64_t a, uint64_t b);
+
+/// Gcd over a non-empty list.
+uint64_t Gcd(const std::vector<uint64_t>& values);
+
+/// Least common multiple, or nullopt on 64-bit overflow. Lcm(0, x) == 0.
+std::optional<uint64_t> CheckedLcm(uint64_t a, uint64_t b);
+
+/// Lcm over a non-empty list, or nullopt on 64-bit overflow.
+std::optional<uint64_t> CheckedLcm(const std::vector<uint64_t>& values);
+
+/// a * b, or nullopt on 64-bit overflow.
+std::optional<uint64_t> CheckedMul(uint64_t a, uint64_t b);
+
+/// True when `a` is a (positive-quotient) multiple of `b`. b must be > 0.
+bool IsMultiple(uint64_t a, uint64_t b);
+
+/// All positive divisors of n > 0, in increasing order.
+std::vector<uint64_t> Divisors(uint64_t n);
+
+/// Ceiling of a/b for b > 0.
+uint64_t CeilDiv(uint64_t a, uint64_t b);
+
+/// Floor division for possibly-negative numerators: FloorDiv(-1, 2) == -1.
+int64_t FloorDiv(int64_t a, int64_t b);
+
+/// Ceiling division for possibly-negative numerators: CeilDiv64(-1, 2) == 0.
+int64_t CeilDiv64(int64_t a, int64_t b);
+
+}  // namespace fw
+
+#endif  // FW_COMMON_MATH_UTIL_H_

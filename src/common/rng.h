@@ -1,0 +1,48 @@
+#ifndef FW_COMMON_RNG_H_
+#define FW_COMMON_RNG_H_
+
+#include <cstdint>
+#include <random>
+
+namespace fw {
+
+/// Deterministic random source used by every generator in the library so
+/// experiments are reproducible run-to-run. Thin wrapper over mt19937_64
+/// with convenience draws.
+class Rng {
+ public:
+  explicit Rng(uint64_t seed) : engine_(seed) {}
+
+  /// Uniform integer in [lo, hi] inclusive. Requires lo <= hi.
+  uint64_t Uniform(uint64_t lo, uint64_t hi) {
+    std::uniform_int_distribution<uint64_t> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Uniform double in [lo, hi).
+  double UniformReal(double lo, double hi) {
+    std::uniform_real_distribution<double> dist(lo, hi);
+    return dist(engine_);
+  }
+
+  /// Standard normal draw.
+  double Gaussian() {
+    std::normal_distribution<double> dist(0.0, 1.0);
+    return dist(engine_);
+  }
+
+  /// Picks a uniformly random element of a non-empty container.
+  template <typename Container>
+  const typename Container::value_type& Pick(const Container& c) {
+    return c[Uniform(0, c.size() - 1)];
+  }
+
+  std::mt19937_64& engine() { return engine_; }
+
+ private:
+  std::mt19937_64 engine_;
+};
+
+}  // namespace fw
+
+#endif  // FW_COMMON_RNG_H_

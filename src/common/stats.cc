@@ -1,0 +1,73 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/logging.h"
+
+namespace fw {
+
+double Mean(const std::vector<double>& xs) {
+  FW_CHECK(!xs.empty());
+  double sum = 0.0;
+  for (double x : xs) sum += x;
+  return sum / static_cast<double>(xs.size());
+}
+
+double StdDev(const std::vector<double>& xs) {
+  FW_CHECK(!xs.empty());
+  double m = Mean(xs);
+  double ss = 0.0;
+  for (double x : xs) ss += (x - m) * (x - m);
+  return std::sqrt(ss / static_cast<double>(xs.size()));
+}
+
+double Max(const std::vector<double>& xs) {
+  FW_CHECK(!xs.empty());
+  return *std::max_element(xs.begin(), xs.end());
+}
+
+double Min(const std::vector<double>& xs) {
+  FW_CHECK(!xs.empty());
+  return *std::min_element(xs.begin(), xs.end());
+}
+
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys) {
+  FW_CHECK_EQ(xs.size(), ys.size());
+  FW_CHECK_GE(xs.size(), 2u);
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  double syy = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    double dx = xs[i] - mx;
+    double dy = ys[i] - my;
+    sxy += dx * dy;
+    sxx += dx * dx;
+    syy += dy * dy;
+  }
+  if (sxx == 0.0 || syy == 0.0) return 0.0;
+  return sxy / std::sqrt(sxx * syy);
+}
+
+LinearFit FitLine(const std::vector<double>& xs,
+                  const std::vector<double>& ys) {
+  FW_CHECK_EQ(xs.size(), ys.size());
+  FW_CHECK_GE(xs.size(), 2u);
+  double mx = Mean(xs);
+  double my = Mean(ys);
+  double sxy = 0.0;
+  double sxx = 0.0;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    sxy += (xs[i] - mx) * (ys[i] - my);
+    sxx += (xs[i] - mx) * (xs[i] - mx);
+  }
+  LinearFit fit;
+  fit.slope = sxx == 0.0 ? 0.0 : sxy / sxx;
+  fit.intercept = my - fit.slope * mx;
+  return fit;
+}
+
+}  // namespace fw

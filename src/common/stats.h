@@ -1,0 +1,36 @@
+#ifndef FW_COMMON_STATS_H_
+#define FW_COMMON_STATS_H_
+
+#include <cstddef>
+#include <vector>
+
+namespace fw {
+
+/// Arithmetic mean of a non-empty sample.
+double Mean(const std::vector<double>& xs);
+
+/// Population standard deviation of a non-empty sample.
+double StdDev(const std::vector<double>& xs);
+
+/// Maximum of a non-empty sample.
+double Max(const std::vector<double>& xs);
+
+/// Minimum of a non-empty sample.
+double Min(const std::vector<double>& xs);
+
+/// Pearson correlation coefficient of two equal-length samples with at
+/// least two points. Returns 0 when either side has zero variance.
+double PearsonCorrelation(const std::vector<double>& xs,
+                          const std::vector<double>& ys);
+
+/// Least-squares slope/intercept fit of y on x (same preconditions as
+/// PearsonCorrelation). Used for the Fig. 19 best-fit line.
+struct LinearFit {
+  double slope = 0.0;
+  double intercept = 0.0;
+};
+LinearFit FitLine(const std::vector<double>& xs, const std::vector<double>& ys);
+
+}  // namespace fw
+
+#endif  // FW_COMMON_STATS_H_

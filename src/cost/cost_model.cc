@@ -1,0 +1,91 @@
+#include "cost/cost_model.h"
+
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "window/coverage.h"
+
+namespace fw {
+
+namespace {
+
+// Accumulates lcm(ranges) in 128 bits. Returns the value as a long double
+// plus, when it fits, the exact 64-bit value. 128-bit overflow (possible
+// only for pathological sets of ~40+ coprime ranges) falls back to the
+// plain product, an upper bound that keeps all downstream ratios finite.
+struct HyperPeriod {
+  long double value = 1.0L;
+  std::optional<uint64_t> exact;
+};
+
+HyperPeriod ComputeHyperPeriod(const std::vector<uint64_t>& ranges) {
+  FW_CHECK(!ranges.empty());
+  unsigned __int128 acc = ranges[0];
+  bool overflow = false;
+  for (size_t i = 1; i < ranges.size() && !overflow; ++i) {
+    // gcd of a 128-bit accumulator and a 64-bit value is 64-bit safe:
+    // gcd(acc, r) == gcd(acc mod r, r).
+    uint64_t g = Gcd(static_cast<uint64_t>(acc % ranges[i]), ranges[i]);
+    unsigned __int128 factor = ranges[i] / g;
+    unsigned __int128 next = acc * factor;
+    if (factor != 0 && next / factor != acc) {
+      overflow = true;
+      break;
+    }
+    acc = next;
+  }
+  HyperPeriod hp;
+  if (overflow) {
+    long double product = 1.0L;
+    for (uint64_t r : ranges) product *= static_cast<long double>(r);
+    hp.value = product;
+    return hp;
+  }
+  hp.value = static_cast<long double>(acc);
+  if (acc <= std::numeric_limits<uint64_t>::max()) {
+    hp.exact = static_cast<uint64_t>(acc);
+  }
+  return hp;
+}
+
+}  // namespace
+
+CostModel::CostModel(const WindowSet& windows, double eta) : eta_(eta) {
+  FW_CHECK_GT(eta, 0.0);
+  FW_CHECK(!windows.empty());
+  HyperPeriod hp = ComputeHyperPeriod(windows.Ranges());
+  hyper_period_ = static_cast<double>(hp.value);
+  exact_ = hp.exact;
+}
+
+double CostModel::Multiplicity(const Window& w) const {
+  return hyper_period_ / static_cast<double>(w.range());
+}
+
+double CostModel::RecurrenceCount(const Window& w) const {
+  return 1.0 + (hyper_period_ - static_cast<double>(w.range())) /
+                   static_cast<double>(w.slide());
+}
+
+double CostModel::UnsharedInstanceCost(const Window& w) const {
+  return eta_ * static_cast<double>(w.range());
+}
+
+double CostModel::UnsharedWindowCost(const Window& w) const {
+  return RecurrenceCount(w) * UnsharedInstanceCost(w);
+}
+
+double CostModel::SharedWindowCost(const Window& w,
+                                   const Window& provider) const {
+  return RecurrenceCount(w) *
+         static_cast<double>(CoveringMultiplier(w, provider));
+}
+
+double CostModel::NaiveTotalCost(const WindowSet& windows) const {
+  double total = 0.0;
+  for (const Window& w : windows) total += UnsharedWindowCost(w);
+  return total;
+}
+
+}  // namespace fw

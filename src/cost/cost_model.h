@@ -1,0 +1,72 @@
+#ifndef FW_COST_COST_MODEL_H_
+#define FW_COST_COST_MODEL_H_
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "window/window.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// The paper's cost model (§III-B.1). Costs are measured in "events
+/// processed per hyper-period", where the hyper-period R is the lcm of the
+/// window ranges and the input rate is a steady η events per time unit.
+///
+/// For a window W⟨r, s⟩ during one hyper-period:
+///   multiplicity      m = R / r
+///   recurrence count  n = 1 + (m - 1) * r/s = 1 + (R - r)/s        (Eq. 1)
+///   instance cost     µ = η·r unshared, or M(W, W') when reading
+///                         sub-aggregates from a coverer W' (Obs. 1)
+///   window cost       c = n · µ
+///
+/// All derived quantities are exposed as doubles: Algorithm 1's decisions
+/// are R-free (they compare η·r against covering multipliers for a fixed
+/// n), and the factor-window benefit tests only use ratios, so double
+/// precision is ample even when the exact lcm overflows 64 bits.
+class CostModel {
+ public:
+  /// Builds the model for `windows` with event rate `eta` (>= 1 in the
+  /// paper; we accept any positive rate). R is the lcm of the ranges; if
+  /// that overflows uint64, a real-valued fallback (product-based upper
+  /// bound) is used and exact_hyper_period() is nullopt.
+  explicit CostModel(const WindowSet& windows, double eta = 1.0);
+
+  /// Hyper-period as a real number.
+  double hyper_period() const { return hyper_period_; }
+
+  /// Exact hyper-period when it fits in 64 bits.
+  std::optional<uint64_t> exact_hyper_period() const { return exact_; }
+
+  double eta() const { return eta_; }
+
+  /// m = R / r.
+  double Multiplicity(const Window& w) const;
+
+  /// n = 1 + (R - r) / s  (Eq. 1).
+  double RecurrenceCount(const Window& w) const;
+
+  /// Unshared instance cost µ = η · r.
+  double UnsharedInstanceCost(const Window& w) const;
+
+  /// Unshared window cost c = n · η · r.
+  double UnsharedWindowCost(const Window& w) const;
+
+  /// Window cost when reading sub-aggregates from `provider`, which must
+  /// cover `w`: c = n · M(w, provider).
+  double SharedWindowCost(const Window& w, const Window& provider) const;
+
+  /// Total cost of evaluating every window independently (the original
+  /// plan): Σ n_i · η · r_i.
+  double NaiveTotalCost(const WindowSet& windows) const;
+
+ private:
+  double eta_;
+  double hyper_period_;
+  std::optional<uint64_t> exact_;
+};
+
+}  // namespace fw
+
+#endif  // FW_COST_COST_MODEL_H_

@@ -1,0 +1,91 @@
+#include "cost/min_cost.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+#include "window/coverage.h"
+
+namespace fw {
+
+std::vector<int> MinCostWcg::ChosenConsumers(int i) const {
+  std::vector<int> out;
+  for (size_t j = 0; j < costs.size(); ++j) {
+    if (costs[j].provider == i) out.push_back(static_cast<int>(j));
+  }
+  return out;
+}
+
+bool MinCostWcg::IsForest() const {
+  // Providers are unique by representation; check acyclicity by walking
+  // provider chains with a visit budget.
+  const int n = static_cast<int>(costs.size());
+  for (int start = 0; start < n; ++start) {
+    int cursor = start;
+    int steps = 0;
+    while (cursor >= 0 && costs[static_cast<size_t>(cursor)].provider >= 0) {
+      cursor = costs[static_cast<size_t>(cursor)].provider;
+      if (++steps > n) return false;
+    }
+  }
+  return true;
+}
+
+std::string MinCostWcg::ToString() const {
+  std::ostringstream os;
+  os << "min-cost WCG (total cost " << total_cost << "):\n";
+  for (size_t i = 0; i < graph.num_nodes(); ++i) {
+    const Wcg::Node& node = graph.node(static_cast<int>(i));
+    if (node.is_virtual_root) continue;
+    os << "  " << node.window.ToString();
+    if (node.is_factor) os << " [factor]";
+    os << ": n=" << costs[i].recurrence << ", mu=" << costs[i].instance_cost
+       << ", cost=" << costs[i].cost << ", reads from ";
+    if (costs[i].provider < 0) {
+      os << "<input stream>";
+    } else {
+      os << graph.node(costs[i].provider).window.ToString();
+    }
+    os << "\n";
+  }
+  return os.str();
+}
+
+MinCostWcg MinimizeCosts(Wcg graph, const CostModel& model) {
+  const int n = static_cast<int>(graph.num_nodes());
+  MinCostWcg result{std::move(graph), {}, 0.0};
+  result.costs.assign(static_cast<size_t>(n), NodeCost{});
+
+  for (int i = 0; i < n; ++i) {
+    if (result.graph.IsVirtualRoot(i)) continue;
+    const Window& w = result.graph.node(i).window;
+    NodeCost& nc = result.costs[static_cast<size_t>(i)];
+    nc.recurrence = model.RecurrenceCount(w);
+    // Line 3: initialize with the unshared cost c_i = n_i · (η · r_i).
+    nc.instance_cost = model.UnsharedInstanceCost(w);
+    nc.cost = nc.recurrence * nc.instance_cost;
+    nc.provider = -1;
+    // Lines 4-5: revise per Observation 1 over incoming edges.
+    for (int j : result.graph.providers(i)) {
+      if (result.graph.IsVirtualRoot(j)) continue;  // Raw stream: no change.
+      const Window& provider = result.graph.node(j).window;
+      double mu = static_cast<double>(CoveringMultiplier(w, provider));
+      double candidate = nc.recurrence * mu;
+      if (candidate < nc.cost) {
+        nc.instance_cost = mu;
+        nc.cost = candidate;
+        nc.provider = j;
+      }
+    }
+    result.total_cost += nc.cost;
+  }
+  return result;
+}
+
+MinCostWcg FindMinCostWcg(const WindowSet& windows,
+                          CoverageSemantics semantics, double eta) {
+  Wcg graph = Wcg::Build(windows, semantics);
+  CostModel model(windows, eta);
+  return MinimizeCosts(std::move(graph), model);
+}
+
+}  // namespace fw

@@ -1,0 +1,61 @@
+#ifndef FW_COST_MIN_COST_H_
+#define FW_COST_MIN_COST_H_
+
+#include <string>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "graph/wcg.h"
+
+namespace fw {
+
+/// Per-window outcome of Algorithm 1.
+struct NodeCost {
+  /// n_i, the recurrence count during one hyper-period.
+  double recurrence = 0.0;
+  /// µ_i, the chosen instance cost (η·r when unshared, M(W, W') when
+  /// reading sub-aggregates from provider W').
+  double instance_cost = 0.0;
+  /// c_i = n_i · µ_i.
+  double cost = 0.0;
+  /// Chosen provider node index in the WCG, or -1 when the window reads the
+  /// raw input stream (equivalently, hangs off the virtual root).
+  int provider = -1;
+};
+
+/// The min-cost WCG (Algorithm 1's output): the graph, the single surviving
+/// in-edge per node, per-node costs, and the total. Theorem 7: the chosen
+/// edges form a forest.
+struct MinCostWcg {
+  Wcg graph;
+  std::vector<NodeCost> costs;  // Indexed like graph nodes; root entry zero.
+  double total_cost = 0.0;
+
+  /// Consumers of node `i` in the *min-cost* edge set (those whose chosen
+  /// provider is `i`), not the full coverage relation.
+  std::vector<int> ChosenConsumers(int i) const;
+
+  /// True when every non-root node has at most one chosen provider and the
+  /// provider edges are acyclic (Theorem 7). Always true by construction;
+  /// exposed for tests.
+  bool IsForest() const;
+
+  /// Human-readable cost table, for EXPLAIN-style output.
+  std::string ToString() const;
+};
+
+/// Algorithm 1, lines 2-7: computes per-node min costs over an existing
+/// (possibly factor-window-expanded) WCG. Virtual-root providers are
+/// treated as "read the raw stream" (cost η·r); a *real* unit window acts
+/// as an ordinary provider.
+MinCostWcg MinimizeCosts(Wcg graph, const CostModel& model);
+
+/// Algorithm 1, complete: builds the WCG for `windows` under `semantics`
+/// and minimizes costs. No factor windows are considered (see
+/// factor/optimizer.h for Algorithm 3).
+MinCostWcg FindMinCostWcg(const WindowSet& windows,
+                          CoverageSemantics semantics, double eta = 1.0);
+
+}  // namespace fw
+
+#endif  // FW_COST_MIN_COST_H_

@@ -1,0 +1,85 @@
+#include "exec/checkpoint.h"
+
+#include <bit>
+#include <sstream>
+
+namespace fw {
+
+namespace {
+
+// Doubles are persisted as their IEEE-754 bit patterns so checkpoints
+// round-trip exactly (istream extraction cannot parse hexfloat).
+uint64_t DoubleBits(double d) { return std::bit_cast<uint64_t>(d); }
+double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
+
+}  // namespace
+
+std::string ExecutorCheckpoint::Serialize() const {
+  std::ostringstream os;
+  os << "FWCKPT 1 " << operators.size() << "\n";
+  for (const OperatorCheckpoint& op : operators) {
+    os << "op " << op.operator_id << " " << op.next_m << " "
+       << op.next_open_start << " " << op.accumulate_ops << " "
+       << op.open_instances.size() << "\n";
+    for (const InstanceCheckpoint& inst : op.open_instances) {
+      os << "inst " << inst.m << " " << inst.states.size();
+      for (const AggState& s : inst.states) {
+        os << " " << DoubleBits(s.v1) << " " << DoubleBits(s.v2) << " "
+           << s.n;
+      }
+      os << "\n";
+    }
+  }
+  return os.str();
+}
+
+Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
+    const std::string& text) {
+  std::istringstream is(text);
+  std::string magic;
+  int version = 0;
+  size_t num_operators = 0;
+  if (!(is >> magic >> version >> num_operators) || magic != "FWCKPT") {
+    return Status::InvalidArgument("bad checkpoint header");
+  }
+  if (version != 1) {
+    return Status::InvalidArgument("unsupported checkpoint version " +
+                                   std::to_string(version));
+  }
+  ExecutorCheckpoint checkpoint;
+  checkpoint.operators.reserve(num_operators);
+  for (size_t i = 0; i < num_operators; ++i) {
+    std::string tag;
+    OperatorCheckpoint op;
+    size_t num_instances = 0;
+    if (!(is >> tag >> op.operator_id >> op.next_m >> op.next_open_start >>
+          op.accumulate_ops >> num_instances) ||
+        tag != "op") {
+      return Status::InvalidArgument("bad operator record " +
+                                     std::to_string(i));
+    }
+    op.open_instances.reserve(num_instances);
+    for (size_t j = 0; j < num_instances; ++j) {
+      InstanceCheckpoint inst;
+      size_t num_keys = 0;
+      if (!(is >> tag >> inst.m >> num_keys) || tag != "inst") {
+        return Status::InvalidArgument("bad instance record");
+      }
+      inst.states.resize(num_keys);
+      for (AggState& s : inst.states) {
+        uint64_t v1 = 0;
+        uint64_t v2 = 0;
+        if (!(is >> v1 >> v2 >> s.n)) {
+          return Status::InvalidArgument("bad state record");
+        }
+        s.v1 = BitsDouble(v1);
+        s.v2 = BitsDouble(v2);
+      }
+      op.open_instances.push_back(std::move(inst));
+    }
+    checkpoint.operators.push_back(std::move(op));
+  }
+  return checkpoint;
+}
+
+}  // namespace fw

@@ -1,0 +1,45 @@
+#ifndef FW_EXEC_CHECKPOINT_H_
+#define FW_EXEC_CHECKPOINT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/event.h"
+
+namespace fw {
+
+/// A snapshot of one window instance's partial state inside an operator.
+struct InstanceCheckpoint {
+  int64_t m = 0;
+  std::vector<AggState> states;  // Per key.
+};
+
+/// A snapshot of one window-aggregate operator.
+struct OperatorCheckpoint {
+  int operator_id = 0;
+  int64_t next_m = 0;
+  TimeT next_open_start = 0;
+  uint64_t accumulate_ops = 0;
+  std::vector<InstanceCheckpoint> open_instances;
+};
+
+/// A consistent snapshot of a whole plan execution, taken between events.
+/// Restoring it into a fresh PlanExecutor over the same plan resumes the
+/// computation exactly where it stopped — the library-level analogue of
+/// the engine-state handling the paper notes Scotty must implement per
+/// engine (§I: "Scotty needs to handle checkpoints and state backends for
+/// Apache Flink"); here it falls out of the operator model.
+struct ExecutorCheckpoint {
+  std::vector<OperatorCheckpoint> operators;
+
+  /// Simple line-oriented text serialization (versioned), so checkpoints
+  /// can be persisted and restored across processes.
+  std::string Serialize() const;
+  static Result<ExecutorCheckpoint> Deserialize(const std::string& text);
+};
+
+}  // namespace fw
+
+#endif  // FW_EXEC_CHECKPOINT_H_

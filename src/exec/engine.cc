@@ -1,0 +1,178 @@
+#include "exec/engine.h"
+
+#include <chrono>
+
+#include "common/logging.h"
+
+namespace fw {
+
+PlanExecutor::PlanExecutor(const QueryPlan& plan, const Options& options,
+                           ResultSink* sink) {
+  FW_CHECK_GT(plan.num_operators(), 0u);
+  holistic_ = ClassOf(plan.agg()) == AggClass::kHolistic;
+
+  const int n = static_cast<int>(plan.num_operators());
+  if (holistic_) {
+    for (int i = 0; i < n; ++i) {
+      const PlanOperator& op = plan.op(i);
+      FW_CHECK_EQ(op.parent, -1)
+          << "holistic aggregates cannot share sub-aggregates";
+      WindowAggregateOperator::Config config;
+      config.window = op.window;
+      config.agg = plan.agg();
+      config.operator_id = i;
+      config.exposed = op.exposed;
+      config.num_keys = options.num_keys;
+      holistic_operators_.push_back(
+          std::make_unique<HolisticWindowOperator>(config, sink));
+      holistic_raw_readers_.push_back(holistic_operators_.back().get());
+    }
+    return;
+  }
+
+  operators_.resize(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) {
+    const PlanOperator& op = plan.op(i);
+    WindowAggregateOperator::Config config;
+    config.window = op.window;
+    config.agg = plan.agg();
+    config.operator_id = i;
+    config.exposed = op.exposed;
+    config.num_keys = options.num_keys;
+    operators_[static_cast<size_t>(i)] =
+        std::make_unique<WindowAggregateOperator>(config, sink);
+  }
+  for (int i = 0; i < n; ++i) {
+    const PlanOperator& op = plan.op(i);
+    if (op.parent < 0) {
+      raw_readers_.push_back(operators_[static_cast<size_t>(i)].get());
+    } else {
+      operators_[static_cast<size_t>(op.parent)]->AddChild(
+          operators_[static_cast<size_t>(i)].get());
+    }
+  }
+  // Topological order (parents first) for flushing: repeatedly admit
+  // operators whose parent is already placed.
+  std::vector<bool> placed(static_cast<size_t>(n), false);
+  while (static_cast<int>(topological_order_.size()) < n) {
+    bool progressed = false;
+    for (int i = 0; i < n; ++i) {
+      if (placed[static_cast<size_t>(i)]) continue;
+      int parent = plan.op(i).parent;
+      if (parent < 0 || placed[static_cast<size_t>(parent)]) {
+        placed[static_cast<size_t>(i)] = true;
+        topological_order_.push_back(i);
+        progressed = true;
+      }
+    }
+    FW_CHECK(progressed) << "cycle in plan parent links";
+  }
+}
+
+void PlanExecutor::Push(const Event& event) {
+  if (holistic_) {
+    for (HolisticWindowOperator* op : holistic_raw_readers_) {
+      op->OnEvent(event);
+    }
+    return;
+  }
+  for (WindowAggregateOperator* op : raw_readers_) {
+    op->OnEvent(event);
+  }
+}
+
+void PlanExecutor::Finish() {
+  if (holistic_) {
+    for (HolisticWindowOperator* op : holistic_raw_readers_) op->Flush();
+    return;
+  }
+  for (int i : topological_order_) {
+    operators_[static_cast<size_t>(i)]->Flush();
+  }
+}
+
+void PlanExecutor::Run(const std::vector<Event>& events) {
+  for (const Event& e : events) Push(e);
+  Finish();
+}
+
+void PlanExecutor::Reset() {
+  for (auto& op : operators_) op->Reset();
+  for (auto& op : holistic_operators_) op->Reset();
+}
+
+uint64_t PlanExecutor::TotalAccumulateOps() const {
+  uint64_t total = 0;
+  for (const auto& op : operators_) total += op->accumulate_ops();
+  for (const auto& op : holistic_operators_) total += op->accumulate_ops();
+  return total;
+}
+
+Result<ExecutorCheckpoint> PlanExecutor::Checkpoint() const {
+  if (holistic_) {
+    return Status::Unimplemented(
+        "checkpointing holistic plans is not supported");
+  }
+  ExecutorCheckpoint checkpoint;
+  checkpoint.operators.reserve(operators_.size());
+  for (const auto& op : operators_) {
+    checkpoint.operators.push_back(op->Checkpoint());
+  }
+  return checkpoint;
+}
+
+Status PlanExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
+  if (holistic_) {
+    return Status::Unimplemented(
+        "checkpointing holistic plans is not supported");
+  }
+  if (checkpoint.operators.size() != operators_.size()) {
+    return Status::InvalidArgument(
+        "checkpoint has " + std::to_string(checkpoint.operators.size()) +
+        " operators, plan has " + std::to_string(operators_.size()));
+  }
+  // Validate everything before mutating anything (restore is atomic).
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (checkpoint.operators[i].operator_id !=
+        operators_[i]->config().operator_id) {
+      return Status::InvalidArgument("checkpoint operator order mismatch");
+    }
+  }
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    FW_RETURN_IF_ERROR(operators_[i]->Restore(checkpoint.operators[i]));
+  }
+  return Status::OK();
+}
+
+std::vector<uint64_t> PlanExecutor::PerOperatorOps() const {
+  std::vector<uint64_t> ops;
+  if (holistic_) {
+    ops.reserve(holistic_operators_.size());
+    for (const auto& op : holistic_operators_) {
+      ops.push_back(op->accumulate_ops());
+    }
+    return ops;
+  }
+  ops.reserve(operators_.size());
+  for (const auto& op : operators_) ops.push_back(op->accumulate_ops());
+  return ops;
+}
+
+void ExecutePlan(const QueryPlan& plan, const std::vector<Event>& events,
+                 uint32_t num_keys, ResultSink* sink,
+                 double* throughput_out, uint64_t* ops_out) {
+  PlanExecutor::Options options;
+  options.num_keys = num_keys;
+  PlanExecutor executor(plan, options, sink);
+  auto start = std::chrono::steady_clock::now();
+  executor.Run(events);
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  if (throughput_out != nullptr) {
+    *throughput_out =
+        seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
+  }
+  if (ops_out != nullptr) *ops_out = executor.TotalAccumulateOps();
+}
+
+}  // namespace fw

@@ -1,0 +1,231 @@
+#include "exec/operator.h"
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fw {
+
+WindowAggregateOperator::WindowAggregateOperator(const Config& config,
+                                                 ResultSink* sink)
+    : config_(config), sink_(sink), identity_(AggIdentity(config.agg)) {
+  FW_CHECK(ClassOf(config.agg) != AggClass::kHolistic)
+      << "use HolisticWindowOperator for " << AggKindToString(config.agg);
+  FW_CHECK(sink != nullptr || !config.exposed)
+      << "exposed operator requires a sink";
+  FW_CHECK_GT(config.num_keys, 0u);
+}
+
+void WindowAggregateOperator::AddChild(WindowAggregateOperator* child) {
+  FW_CHECK(child != nullptr);
+  children_.push_back(child);
+}
+
+std::vector<AggState> WindowAggregateOperator::TakeStateBuffer() {
+  if (state_pool_.empty()) {
+    return std::vector<AggState>(config_.num_keys, AggState{});
+  }
+  std::vector<AggState> buffer = std::move(state_pool_.back());
+  state_pool_.pop_back();
+  return buffer;
+}
+
+void WindowAggregateOperator::OnEvent(const Event& event) {
+  const TimeT t = event.timestamp;
+  // Instances with end <= t can no longer contain t.
+  CloseBefore(t + 1);
+  // Open every instance whose span [m*s, m*s + r) contains t: start <= t
+  // and end > t, i.e. end_floor = t + 1.
+  OpenThrough(/*start_limit=*/t, /*end_floor=*/t + 1);
+  FW_CHECK_LT(event.key, config_.num_keys);
+  for (Instance& instance : open_) {
+    AggState& state = instance.states[event.key];
+    if (state.n == 0) state = identity_;
+    AggAccumulate(config_.agg, &state, event.value);
+    ++accumulate_ops_;
+  }
+}
+
+void WindowAggregateOperator::OnSubAgg(const SubAggRecord& record) {
+  // Instances with end < record.end cannot contain [start, end); ones with
+  // end == record.end still can.
+  CloseBefore(record.end);
+  // Open exactly the instances whose covering set contains this record:
+  // interval start <= record.start and end >= record.end.
+  OpenThrough(record.start, record.end);
+  if (record.state.n == 0) return;
+  FW_CHECK_LT(record.key, config_.num_keys);
+  for (Instance& instance : open_) {
+    AggState& state = instance.states[record.key];
+    if (state.n == 0) state = identity_;
+    AggMerge(config_.agg, &state, record.state);
+    ++accumulate_ops_;
+  }
+}
+
+void WindowAggregateOperator::Flush() { CloseBefore(/*watermark=*/INT64_MAX); }
+
+void WindowAggregateOperator::Reset() {
+  open_.clear();
+  next_m_ = 0;
+  next_open_start_ = 0;
+  state_pool_.clear();
+  accumulate_ops_ = 0;
+}
+
+OperatorCheckpoint WindowAggregateOperator::Checkpoint() const {
+  OperatorCheckpoint checkpoint;
+  checkpoint.operator_id = config_.operator_id;
+  checkpoint.next_m = next_m_;
+  checkpoint.next_open_start = next_open_start_;
+  checkpoint.accumulate_ops = accumulate_ops_;
+  checkpoint.open_instances.reserve(open_.size());
+  for (const Instance& instance : open_) {
+    checkpoint.open_instances.push_back(
+        InstanceCheckpoint{instance.m, instance.states});
+  }
+  return checkpoint;
+}
+
+Status WindowAggregateOperator::Restore(const OperatorCheckpoint& checkpoint) {
+  if (checkpoint.operator_id != config_.operator_id) {
+    return Status::InvalidArgument(
+        "checkpoint is for operator " +
+        std::to_string(checkpoint.operator_id) + ", not " +
+        std::to_string(config_.operator_id));
+  }
+  for (const InstanceCheckpoint& inst : checkpoint.open_instances) {
+    if (inst.states.size() != config_.num_keys) {
+      return Status::InvalidArgument(
+          "checkpoint key-space mismatch: " +
+          std::to_string(inst.states.size()) + " vs " +
+          std::to_string(config_.num_keys));
+    }
+    if (inst.m >= checkpoint.next_m) {
+      return Status::InvalidArgument("open instance beyond next_m cursor");
+    }
+  }
+  Reset();
+  next_m_ = checkpoint.next_m;
+  next_open_start_ = checkpoint.next_open_start;
+  accumulate_ops_ = checkpoint.accumulate_ops;
+  for (const InstanceCheckpoint& inst : checkpoint.open_instances) {
+    Instance instance;
+    instance.m = inst.m;
+    instance.states = inst.states;
+    open_.push_back(std::move(instance));
+  }
+  return Status::OK();
+}
+
+void WindowAggregateOperator::CloseBefore(TimeT watermark) {
+  while (!open_.empty() && InstanceEnd(open_.front().m) < watermark) {
+    EmitInstance(&open_.front());
+    open_.pop_front();
+  }
+}
+
+void WindowAggregateOperator::OpenThrough(TimeT start_limit,
+                                          TimeT end_floor) {
+  const TimeT s = config_.window.slide();
+  const TimeT r = config_.window.range();
+  // After a gap longer than the window range, every instance before the
+  // first one satisfying end >= end_floor is unfillable; jump there with
+  // one division instead of sliding across the gap.
+  if (next_open_start_ + r < end_floor &&
+      end_floor - (next_open_start_ + r) > r) {
+    int64_t m = CeilDiv64(end_floor - r, s);
+    if (m > next_m_) {
+      next_m_ = m;
+      next_open_start_ = m * s;
+    }
+  }
+  while (next_open_start_ <= start_limit) {
+    if (next_open_start_ + r >= end_floor) {
+      Instance instance;
+      instance.m = next_m_;
+      instance.states = TakeStateBuffer();
+      open_.push_back(std::move(instance));
+    }
+    // Instances with end < end_floor are skipped: the input is ordered, so
+    // nothing can arrive for them anymore.
+    ++next_m_;
+    next_open_start_ += s;
+  }
+}
+
+void WindowAggregateOperator::EmitInstance(Instance* instance) {
+  const TimeT start = InstanceStart(instance->m);
+  const TimeT end = InstanceEnd(instance->m);
+  for (uint32_t key = 0; key < config_.num_keys; ++key) {
+    AggState& state = instance->states[key];
+    if (state.n == 0) continue;
+    if (config_.exposed) {
+      sink_->OnResult(WindowResult{config_.operator_id, start, end, key,
+                                   AggFinalize(config_.agg, state)});
+    }
+    for (WindowAggregateOperator* child : children_) {
+      child->OnSubAgg(SubAggRecord{start, end, key, state});
+    }
+    state = AggState{};  // Zero for reuse.
+  }
+  state_pool_.push_back(std::move(instance->states));
+}
+
+HolisticWindowOperator::HolisticWindowOperator(const Config& config,
+                                               ResultSink* sink)
+    : config_(config), sink_(sink) {
+  FW_CHECK(ClassOf(config.agg) == AggClass::kHolistic);
+  FW_CHECK(sink != nullptr);
+  FW_CHECK(config.exposed) << "holistic operators cannot feed children";
+  FW_CHECK_GT(config.num_keys, 0u);
+}
+
+void HolisticWindowOperator::OnEvent(const Event& event) {
+  const TimeT t = event.timestamp;
+  CloseBefore(t + 1);
+  const TimeT s = config_.window.slide();
+  int64_t m_hi = FloorDiv(t, s);
+  int64_t m_lo = FloorDiv(t - config_.window.range(), s) + 1;
+  int64_t m = next_m_ < m_lo ? m_lo : next_m_;
+  if (m < 0) m = 0;
+  for (; m <= m_hi; ++m) {
+    Instance instance;
+    instance.m = m;
+    instance.states.assign(config_.num_keys, HolisticState{});
+    open_.push_back(std::move(instance));
+  }
+  if (m_hi + 1 > next_m_) next_m_ = m_hi + 1;
+  FW_CHECK_LT(event.key, config_.num_keys);
+  for (Instance& instance : open_) {
+    instance.states[event.key].Add(event.value);
+    ++accumulate_ops_;
+  }
+}
+
+void HolisticWindowOperator::Flush() { CloseBefore(INT64_MAX); }
+
+void HolisticWindowOperator::Reset() {
+  open_.clear();
+  next_m_ = 0;
+  accumulate_ops_ = 0;
+}
+
+void HolisticWindowOperator::CloseBefore(TimeT watermark) {
+  while (!open_.empty() && InstanceEnd(open_.front().m) < watermark) {
+    EmitInstance(&open_.front());
+    open_.pop_front();
+  }
+}
+
+void HolisticWindowOperator::EmitInstance(Instance* instance) {
+  const TimeT start = instance->m * config_.window.slide();
+  const TimeT end = InstanceEnd(instance->m);
+  for (uint32_t key = 0; key < config_.num_keys; ++key) {
+    HolisticState& state = instance->states[key];
+    if (state.empty()) continue;
+    sink_->OnResult(WindowResult{config_.operator_id, start, end, key,
+                                 HolisticFinalize(config_.agg, &state)});
+  }
+}
+
+}  // namespace fw

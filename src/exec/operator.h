@@ -1,0 +1,161 @@
+#ifndef FW_EXEC_OPERATOR_H_
+#define FW_EXEC_OPERATOR_H_
+
+#include <cstdint>
+#include <deque>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "exec/checkpoint.h"
+#include "exec/event.h"
+#include "exec/sink.h"
+#include "window/window.h"
+
+namespace fw {
+
+/// Event-time window-aggregate operator, the engine's workhorse. One
+/// instance handles one window of one plan operator and supports both
+/// input modes of a rewritten plan:
+///
+///  * raw mode — consumes ordered Events; every event is folded into each
+///    currently open window instance (at most ceil(r/s) of them);
+///  * sub-aggregate mode — consumes ordered SubAggRecords emitted by an
+///    upstream operator whose window covers/partitions this one; each
+///    record is merged into each open instance (M(W, W') of them per
+///    instance lifetime).
+///
+/// Instances are opened lazily, keyed by the instance number m (interval
+/// [m*s, m*s + r)), and closed as the input watermark passes their end.
+/// On close, each non-empty per-key state is finalized to the sink (when
+/// exposed) and forwarded as a SubAggRecord to every child operator.
+///
+/// The operator counts one "accumulate op" per (item × instance) fold —
+/// exactly the unit of the paper's cost model — which the harness uses for
+/// the Figure 19 cost-model validation.
+class WindowAggregateOperator {
+ public:
+  struct Config {
+    Window window{1, 1};
+    AggKind agg = AggKind::kMin;
+    /// Plan operator index, reported in results.
+    int operator_id = 0;
+    /// Whether finalized results go to the sink (factor windows do not).
+    bool exposed = true;
+    /// Key-space size; keys must lie in [0, num_keys).
+    uint32_t num_keys = 1;
+  };
+
+  /// `sink` may be null only when !config.exposed; it must outlive the
+  /// operator, as must all children.
+  WindowAggregateOperator(const Config& config, ResultSink* sink);
+
+  WindowAggregateOperator(const WindowAggregateOperator&) = delete;
+  WindowAggregateOperator& operator=(const WindowAggregateOperator&) = delete;
+
+  /// Registers a downstream consumer of this operator's sub-aggregates.
+  void AddChild(WindowAggregateOperator* child);
+
+  /// Raw-mode input; events must arrive in non-decreasing timestamp order.
+  void OnEvent(const Event& event);
+
+  /// Sub-aggregate input; records must arrive in non-decreasing `end`
+  /// order (upstream operators emit in close order, which guarantees it).
+  void OnSubAgg(const SubAggRecord& record);
+
+  /// Closes every open instance (end of stream). Children are NOT flushed;
+  /// the executor flushes in topological order so tail sub-aggregates
+  /// propagate before a child's own flush.
+  void Flush();
+
+  /// Resets all state and counters for a fresh run.
+  void Reset();
+
+  /// Snapshots the operator's open instances and cursors. Valid between
+  /// input items (i.e., not re-entrantly from a sink callback).
+  OperatorCheckpoint Checkpoint() const;
+
+  /// Restores a snapshot taken from an identically configured operator.
+  Status Restore(const OperatorCheckpoint& checkpoint);
+
+  uint64_t accumulate_ops() const { return accumulate_ops_; }
+  const Config& config() const { return config_; }
+  const std::vector<WindowAggregateOperator*>& children() const {
+    return children_;
+  }
+
+ private:
+  struct Instance {
+    int64_t m = 0;
+    /// Per-key partial aggregates; state.n == 0 marks "no data".
+    std::vector<AggState> states;
+  };
+
+  TimeT InstanceStart(int64_t m) const { return m * config_.window.slide(); }
+  TimeT InstanceEnd(int64_t m) const {
+    return m * config_.window.slide() + config_.window.range();
+  }
+
+  /// Closes (emits + pops) open instances whose end precedes `watermark`.
+  void CloseBefore(TimeT watermark);
+
+  /// Opens every instance whose interval starts at or before `start_limit`
+  /// and ends at or after `end_floor`; instances before that are skipped
+  /// (their span has passed — they can no longer receive data). Amortized
+  /// O(1): boundaries advance incrementally, with a division only after a
+  /// data gap longer than the window range.
+  void OpenThrough(TimeT start_limit, TimeT end_floor);
+
+  void EmitInstance(Instance* instance);
+
+  /// Takes a zeroed per-key state buffer from the pool (or allocates one).
+  std::vector<AggState> TakeStateBuffer();
+
+  Config config_;
+  ResultSink* sink_;
+  std::vector<WindowAggregateOperator*> children_;
+  std::deque<Instance> open_;  // Ordered by m (and thus by end).
+  int64_t next_m_ = 0;         // Next instance number not yet opened.
+  TimeT next_open_start_ = 0;  // == next_m_ * slide.
+  std::vector<std::vector<AggState>> state_pool_;  // Recycled buffers.
+  uint64_t accumulate_ops_ = 0;
+  AggState identity_;
+};
+
+/// Raw-only window aggregation for holistic functions (MEDIAN): the state
+/// is the full multiset of values, so sharing is impossible (§III-A) and
+/// the operator never has children.
+class HolisticWindowOperator {
+ public:
+  using Config = WindowAggregateOperator::Config;
+
+  HolisticWindowOperator(const Config& config, ResultSink* sink);
+
+  void OnEvent(const Event& event);
+  void Flush();
+  void Reset();
+
+  uint64_t accumulate_ops() const { return accumulate_ops_; }
+
+ private:
+  struct Instance {
+    int64_t m = 0;
+    std::vector<HolisticState> states;
+  };
+
+  TimeT InstanceEnd(int64_t m) const {
+    return m * config_.window.slide() + config_.window.range();
+  }
+
+  void CloseBefore(TimeT watermark);
+  void EmitInstance(Instance* instance);
+
+  Config config_;
+  ResultSink* sink_;
+  std::deque<Instance> open_;
+  int64_t next_m_ = 0;
+  uint64_t accumulate_ops_ = 0;
+};
+
+}  // namespace fw
+
+#endif  // FW_EXEC_OPERATOR_H_

@@ -1,0 +1,47 @@
+#include "exec/reorder.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+ReorderBuffer::ReorderBuffer(const Options& options, EventConsumer* out)
+    : options_(options), out_(out) {
+  FW_CHECK(out != nullptr);
+  FW_CHECK_GE(options.max_delay, 0);
+}
+
+Status ReorderBuffer::Push(const Event& event) {
+  if (any_seen_ && event.timestamp < watermark_) {
+    ++late_dropped_;
+    if (options_.late_policy == LatePolicy::kError) {
+      return Status::InvalidArgument(
+          "late event at t=" + std::to_string(event.timestamp) +
+          " behind watermark " + std::to_string(watermark_));
+    }
+    return Status::OK();
+  }
+  if (!any_seen_ || event.timestamp > max_seen_) {
+    max_seen_ = event.timestamp;
+    watermark_ = max_seen_ - options_.max_delay;
+  }
+  any_seen_ = true;
+  heap_.push(event);
+  Release();
+  return Status::OK();
+}
+
+void ReorderBuffer::Release() {
+  while (!heap_.empty() && heap_.top().timestamp <= watermark_) {
+    out_->Consume(heap_.top());
+    heap_.pop();
+  }
+}
+
+void ReorderBuffer::Flush() {
+  while (!heap_.empty()) {
+    out_->Consume(heap_.top());
+    heap_.pop();
+  }
+}
+
+}  // namespace fw

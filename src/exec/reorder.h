@@ -1,0 +1,100 @@
+#ifndef FW_EXEC_REORDER_H_
+#define FW_EXEC_REORDER_H_
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/event.h"
+
+namespace fw {
+
+/// Consumes ordered events. PlanExecutor and SlicingEvaluator require
+/// ordered input; ReorderBuffer adapts disordered sources to them.
+class EventConsumer {
+ public:
+  virtual ~EventConsumer() = default;
+  virtual void Consume(const Event& event) = 0;
+};
+
+/// Bounded-disorder ingestion (Trill-style reorder latency): buffers
+/// events in a min-heap and releases them in timestamp order once the
+/// watermark — the maximum timestamp seen minus `max_delay` — passes
+/// them. An event older than the watermark on arrival is *late*; the
+/// policy decides whether it is counted-and-dropped or reported as an
+/// error.
+///
+/// With max_delay = 0 the buffer degenerates to a pass-through that
+/// rejects any regression in timestamps.
+class ReorderBuffer {
+ public:
+  enum class LatePolicy {
+    kDrop,   // Count late events and discard them.
+    kError,  // Surface an InvalidArgument status to the producer.
+  };
+
+  struct Options {
+    /// Maximum tolerated disorder: an event may arrive at most this many
+    /// time units after a later-stamped event.
+    TimeT max_delay = 0;
+    LatePolicy late_policy = LatePolicy::kDrop;
+  };
+
+  /// `out` must outlive the buffer.
+  ReorderBuffer(const Options& options, EventConsumer* out);
+
+  ReorderBuffer(const ReorderBuffer&) = delete;
+  ReorderBuffer& operator=(const ReorderBuffer&) = delete;
+
+  /// Accepts one event. Under kError, returns InvalidArgument for late
+  /// events (the event is not delivered); under kDrop always OK.
+  Status Push(const Event& event);
+
+  /// Releases every buffered event (end of stream).
+  void Flush();
+
+  /// Current watermark: events with timestamps below this are late.
+  TimeT watermark() const { return watermark_; }
+
+  uint64_t late_dropped() const { return late_dropped_; }
+  size_t buffered() const { return heap_.size(); }
+
+ private:
+  struct LaterTimestamp {
+    bool operator()(const Event& a, const Event& b) const {
+      return a.timestamp > b.timestamp;
+    }
+  };
+
+  void Release();
+
+  Options options_;
+  EventConsumer* out_;
+  std::priority_queue<Event, std::vector<Event>, LaterTimestamp> heap_;
+  TimeT max_seen_ = 0;
+  TimeT watermark_ = 0;
+  bool any_seen_ = false;
+  uint64_t late_dropped_ = 0;
+};
+
+/// Adapts a PlanExecutor-shaped callable to EventConsumer. Header-only
+/// convenience for wiring ReorderBuffer in front of any engine entry
+/// point:
+///
+///   PlanExecutor executor(...);
+///   ConsumerFn feed([&](const Event& e) { executor.Push(e); });
+///   ReorderBuffer buffer({.max_delay = 16}, &feed);
+template <typename Fn>
+class ConsumerFn : public EventConsumer {
+ public:
+  explicit ConsumerFn(Fn fn) : fn_(std::move(fn)) {}
+  void Consume(const Event& event) override { fn_(event); }
+
+ private:
+  Fn fn_;
+};
+
+}  // namespace fw
+
+#endif  // FW_EXEC_REORDER_H_

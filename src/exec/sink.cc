@@ -1,0 +1,20 @@
+#include "exec/sink.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+std::map<CollectingSink::ResultKey, double> CollectingSink::ToMap() const {
+  std::map<ResultKey, double> out;
+  for (const WindowResult& r : results_) {
+    auto [it, inserted] = out.emplace(
+        ResultKey{r.operator_id, r.start, r.end, r.key}, r.value);
+    FW_CHECK(inserted) << "duplicate result for operator " << r.operator_id
+                       << " window [" << r.start << ", " << r.end << ") key "
+                       << r.key;
+    (void)it;
+  }
+  return out;
+}
+
+}  // namespace fw

@@ -1,0 +1,58 @@
+#ifndef FW_EXEC_SINK_H_
+#define FW_EXEC_SINK_H_
+
+#include <cstdint>
+#include <map>
+#include <tuple>
+#include <vector>
+
+#include "exec/event.h"
+
+namespace fw {
+
+/// Receives finalized results from exposed operators (the plan's Union).
+class ResultSink {
+ public:
+  virtual ~ResultSink() = default;
+  virtual void OnResult(const WindowResult& result) = 0;
+};
+
+/// Counts results and checksums values; the default sink for throughput
+/// runs (no per-result allocation, and the checksum keeps the compiler
+/// from discarding the aggregation work).
+class CountingSink : public ResultSink {
+ public:
+  void OnResult(const WindowResult& result) override {
+    ++count_;
+    checksum_ += result.value;
+  }
+
+  uint64_t count() const { return count_; }
+  double checksum() const { return checksum_; }
+
+ private:
+  uint64_t count_ = 0;
+  double checksum_ = 0.0;
+};
+
+/// Collects every result; used by tests, examples, and the verifier.
+class CollectingSink : public ResultSink {
+ public:
+  void OnResult(const WindowResult& result) override {
+    results_.push_back(result);
+  }
+
+  const std::vector<WindowResult>& results() const { return results_; }
+
+  /// Results keyed by (operator, window start, window end, group key) for
+  /// order-insensitive equivalence checks.
+  using ResultKey = std::tuple<int, TimeT, TimeT, uint32_t>;
+  std::map<ResultKey, double> ToMap() const;
+
+ private:
+  std::vector<WindowResult> results_;
+};
+
+}  // namespace fw
+
+#endif  // FW_EXEC_SINK_H_

@@ -1,0 +1,108 @@
+#include "factor/benefit.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+namespace {
+
+// Real-valued covering multiplier M(W1, W2) = 1 + (r1 - r2)/s2. Callers of
+// the benefit machinery guarantee the coverage relation holds, in which
+// case this is an exact integer; keeping it real avoids precondition
+// churn inside formula code.
+double MultiplierReal(const Window& w1, const Window& w2) {
+  return 1.0 + static_cast<double>(w1.range() - w2.range()) /
+                   static_cast<double>(w2.slide());
+}
+
+}  // namespace
+
+double FactorBenefit(const Window& target,
+                     const std::vector<Window>& downstream,
+                     const Window& factor, const CostModel& model,
+                     bool target_is_raw) {
+  // δ_f = Σ_j n_j (M(W_j, W) - M(W_j, W_f)) - n_f · M(W_f, W), with
+  // raw-stream targets costed at η·r instead of M(·, W).
+  double delta = 0.0;
+  for (const Window& wj : downstream) {
+    double nj = model.RecurrenceCount(wj);
+    double from_target = target_is_raw ? model.UnsharedInstanceCost(wj)
+                                       : MultiplierReal(wj, target);
+    delta += nj * (from_target - MultiplierReal(wj, factor));
+  }
+  double nf = model.RecurrenceCount(factor);
+  delta -= nf * (target_is_raw ? model.UnsharedInstanceCost(factor)
+                               : MultiplierReal(factor, target));
+  return delta;
+}
+
+double Lambda(const std::vector<Window>& downstream, const CostModel& model) {
+  double lambda = 0.0;
+  for (const Window& wj : downstream) {
+    lambda += model.RecurrenceCount(wj) / model.Multiplicity(wj);
+  }
+  return lambda;
+}
+
+bool IsBeneficialPartitionedBy(const Window& factor, const Window& target,
+                               const std::vector<Window>& downstream,
+                               const CostModel& model) {
+  FW_CHECK(factor.IsTumbling());
+  FW_CHECK(target.IsTumbling());
+  const size_t num_downstream = downstream.size();
+  FW_CHECK_GT(num_downstream, 0u);
+  // Case 1 (lines 1-2): two or more consumers always benefit.
+  if (num_downstream >= 2) return true;
+
+  const Window& w1 = downstream[0];
+  const double k1 = w1.RangeSlideRatio();
+  // Case 2 (lines 4-5): a single tumbling consumer cannot benefit.
+  if (k1 <= 1.0) return false;
+  const double m1 = model.Multiplicity(w1);
+  // Degenerate single-instance case (Theorem 8 proof): m_1 must exceed 1
+  // for λ > 1; with m_1 == 1 the factor only adds its own cost.
+  if (m1 <= 1.0) return false;
+  // Lines 8-9: the paper's sufficient condition.
+  if (k1 >= 3.0 && m1 >= 3.0) return true;
+  // Lines 11-12: exact threshold λ/(λ-1) = 1 + m_1/((m_1-1)(k_1-1)).
+  double threshold = 1.0 + m1 / ((m1 - 1.0) * (k1 - 1.0));
+  double ratio = static_cast<double>(factor.range()) /
+                 static_cast<double>(target.range());
+  return ratio >= threshold;
+}
+
+double FactorPlanCost(const Window& target,
+                      const std::vector<Window>& downstream,
+                      const Window& factor, const CostModel& model,
+                      bool target_is_raw) {
+  double cost = 0.0;
+  for (const Window& wj : downstream) {
+    cost += model.RecurrenceCount(wj) * MultiplierReal(wj, factor);
+  }
+  cost += model.RecurrenceCount(factor) *
+          (target_is_raw ? model.UnsharedInstanceCost(factor)
+                         : MultiplierReal(factor, target));
+  return cost;
+}
+
+bool Theorem9PrefersFirst(const Window& first, const Window& second,
+                          const Window& target,
+                          const std::vector<Window>& downstream,
+                          const CostModel& model) {
+  FW_CHECK(first.IsTumbling());
+  FW_CHECK(second.IsTumbling());
+  FW_CHECK(target.IsTumbling());
+  const double lambda = Lambda(downstream, model);
+  const double rw = static_cast<double>(target.range());
+  const double rf = static_cast<double>(first.range());
+  const double rf2 = static_cast<double>(second.range());
+  // r_f / r'_f >= (λ - r_f/r_W) / (λ - r'_f/r_W). Cross-multiplied to
+  // avoid dividing by a near-zero denominator; both denominators are
+  // positive for eligible candidates (λ >= K and r_f <= r_d < λ·r_W in
+  // the regimes where Algorithm 5 invokes this).
+  const double lhs = rf * (lambda - rf2 / rw);
+  const double rhs = rf2 * (lambda - rf / rw);
+  return lhs >= rhs;
+}
+
+}  // namespace fw

@@ -1,0 +1,64 @@
+#ifndef FW_FACTOR_BENEFIT_H_
+#define FW_FACTOR_BENEFIT_H_
+
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "window/window.h"
+
+namespace fw {
+
+/// Equation 2 (§IV-A): the benefit δ_f = c' - c of inserting factor window
+/// `factor` between `target` (the current provider, possibly the virtual
+/// root S⟨1,1⟩) and its downstream windows. Positive means the plan with
+/// the factor window is cheaper.
+///
+/// When `target_is_raw` is set, the target stands for the raw input
+/// stream: reading "from the target" costs η·r events rather than
+/// M(·, target) sub-aggregate records. At η = 1 the two coincide
+/// (M(W, S⟨1,1⟩) = r), which is the paper's setting; the general form is
+/// our extension for rate-adaptive optimization (§VI future work).
+///
+/// Preconditions (Figure 9): factor ≤ target and downstream_j ≤ factor for
+/// every j, under the semantics in force; the caller guarantees this.
+double FactorBenefit(const Window& target,
+                     const std::vector<Window>& downstream,
+                     const Window& factor, const CostModel& model,
+                     bool target_is_raw = false);
+
+/// Equation 4: λ = Σ_j n_j / m_j over the downstream windows.
+double Lambda(const std::vector<Window>& downstream, const CostModel& model);
+
+/// Algorithm 4: decides whether tumbling factor window `factor` improves
+/// the overall cost under "partitioned by" semantics, where `target` is
+/// also tumbling. Implements the paper's case analysis (K >= 2 always
+/// helps; K == 1 depends on k_1 = r_1/s_1, m_1 = R/r_1, and the
+/// λ/(λ-1) threshold), with the m_1 <= 1 degenerate case (single window
+/// instance per hyper-period) resolved to "not beneficial" per the
+/// Theorem 8 proof.
+bool IsBeneficialPartitionedBy(const Window& factor, const Window& target,
+                               const std::vector<Window>& downstream,
+                               const CostModel& model);
+
+/// The part of the plan cost that depends on the factor-window choice:
+///   Σ_j n_j · M(W_j, W_f) + n_f · M(W_f, W)
+/// (with the M(W_f, W) term replaced by η·r_f when `target_is_raw`).
+/// cost(W) itself is common to all candidates and omitted. Used to select
+/// the best candidate; Theorem9PrefersFirst must agree with this ordering
+/// (property-tested).
+double FactorPlanCost(const Window& target,
+                      const std::vector<Window>& downstream,
+                      const Window& factor, const CostModel& model,
+                      bool target_is_raw = false);
+
+/// Theorem 9: for two *independent* eligible tumbling factor windows under
+/// "partitioned by" semantics, returns true when c_f(first) <= c_f(second),
+/// i.e. r_f/r'_f >= (λ - r_f/r_W) / (λ - r'_f/r_W).
+bool Theorem9PrefersFirst(const Window& first, const Window& second,
+                          const Window& target,
+                          const std::vector<Window>& downstream,
+                          const CostModel& model);
+
+}  // namespace fw
+
+#endif  // FW_FACTOR_BENEFIT_H_

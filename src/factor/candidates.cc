@@ -1,0 +1,162 @@
+#include "factor/candidates.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+#include "factor/benefit.h"
+#include "window/coverage.h"
+
+namespace fw {
+
+namespace {
+
+bool IsExcluded(const Window& w, const FactorSearchOptions& options) {
+  return std::find(options.exclude.begin(), options.exclude.end(), w) !=
+         options.exclude.end();
+}
+
+}  // namespace
+
+std::optional<Window> FindBestFactorWindowCoveredBy(
+    const Window& target, const std::vector<Window>& downstream,
+    const CostModel& model, const FactorSearchOptions& options) {
+  if (downstream.empty()) return std::nullopt;
+
+  // Eligible slides: factors of sd = gcd{s_1..s_K} that are multiples of
+  // the target's slide (Algorithm 2, lines 3-4).
+  std::vector<uint64_t> slides;
+  slides.reserve(downstream.size());
+  for (const Window& wj : downstream) {
+    slides.push_back(static_cast<uint64_t>(wj.slide()));
+  }
+  const uint64_t sd = Gcd(slides);
+  const uint64_t sw = static_cast<uint64_t>(target.slide());
+
+  // Eligible ranges: multiples of s_f up to rmin = min{r_1..r_K} (line 5,7).
+  TimeT rmin = downstream[0].range();
+  for (const Window& wj : downstream) rmin = std::min(rmin, wj.range());
+
+  std::optional<Window> best;
+  double best_benefit = 0.0;
+  double best_plan_cost = 0.0;
+  for (uint64_t sf : Divisors(sd)) {
+    if (sf % sw != 0) continue;
+    for (TimeT rf = static_cast<TimeT>(sf); rf <= rmin;
+         rf += static_cast<TimeT>(sf)) {
+      Window candidate(rf, static_cast<TimeT>(sf));
+      if (candidate == target || IsExcluded(candidate, options)) continue;
+      // Coverage constraints of Figure 9 (line 10).
+      if (!IsStrictlyCoveredBy(candidate, target)) continue;
+      bool covers_all = true;
+      for (const Window& wj : downstream) {
+        if (!IsStrictlyCoveredBy(wj, candidate)) {
+          covers_all = false;
+          break;
+        }
+      }
+      if (!covers_all) continue;
+
+      if (options.skip_benefit_check) {
+        double plan_cost = FactorPlanCost(target, downstream, candidate,
+                                          model, options.target_is_raw);
+        if (!best.has_value() || plan_cost < best_plan_cost) {
+          best = candidate;
+          best_plan_cost = plan_cost;
+        }
+        continue;
+      }
+      // Candidate selection (lines 12-17): keep the maximum positive
+      // benefit per Equation 2.
+      double benefit = FactorBenefit(target, downstream, candidate, model,
+                                     options.target_is_raw);
+      if (benefit > best_benefit) {
+        best = candidate;
+        best_benefit = benefit;
+      }
+    }
+  }
+  return best;
+}
+
+std::optional<Window> FindBestFactorWindowPartitionedBy(
+    const Window& target, const std::vector<Window>& downstream,
+    const CostModel& model, const FactorSearchOptions& options) {
+  if (downstream.empty()) return std::nullopt;
+  // Algorithm 5 operates on tumbling targets (providers under
+  // "partitioned by" semantics are tumbling by Theorem 4).
+  if (!target.IsTumbling()) return std::nullopt;
+
+  std::vector<uint64_t> ranges;
+  ranges.reserve(downstream.size());
+  for (const Window& wj : downstream) {
+    ranges.push_back(static_cast<uint64_t>(wj.range()));
+  }
+  const uint64_t rd = Gcd(ranges);
+  const uint64_t rw = static_cast<uint64_t>(target.range());
+  if (rd == rw) return std::nullopt;  // Line 4-5: no room between W and W_j.
+
+  // Lines 6-12: tumbling candidates with r_f | r_d and r_W | r_f, screened
+  // by Algorithm 4 (or kept unconditionally in the ablation mode).
+  std::vector<Window> candidates;
+  for (uint64_t rf : Divisors(rd)) {
+    if (rf % rw != 0) continue;
+    Window candidate = Window::Tumbling(static_cast<TimeT>(rf));
+    if (candidate == target || IsExcluded(candidate, options)) continue;
+    if (!IsStrictlyPartitionedBy(candidate, target)) continue;
+    bool partitions_all = true;
+    for (const Window& wj : downstream) {
+      if (!IsStrictlyPartitionedBy(wj, candidate)) {
+        partitions_all = false;
+        break;
+      }
+    }
+    if (!partitions_all) continue;
+    if (!options.skip_benefit_check) {
+      // At η = 1 Algorithm 4 (the paper's closed-form test) applies; for
+      // other rates fall back to the sign of the generalized Eq. 2.
+      bool beneficial =
+          model.eta() == 1.0
+              ? IsBeneficialPartitionedBy(candidate, target, downstream,
+                                          model)
+              : FactorBenefit(target, downstream, candidate, model,
+                              options.target_is_raw) > 0.0;
+      if (!beneficial) continue;
+    }
+    candidates.push_back(candidate);
+  }
+  if (candidates.empty()) return std::nullopt;
+
+  // Lines 14-16: drop dependent candidates. W_f is dominated when some
+  // other candidate W'_f is covered by it (W'_f ≤ W_f), i.e. W_f is finer
+  // than another survivor; Example 8 keeps the coarsest window.
+  std::vector<Window> independent;
+  for (const Window& wf : candidates) {
+    bool dominated = false;
+    for (const Window& other : candidates) {
+      if (other == wf) continue;
+      if (IsStrictlyCoveredBy(other, wf)) {
+        dominated = true;
+        break;
+      }
+    }
+    if (!dominated) independent.push_back(wf);
+  }
+
+  // Line 17: pick the survivor with the lowest plan cost. This ordering is
+  // exactly Theorem 9's (property-tested against Theorem9PrefersFirst).
+  const Window* best = &independent[0];
+  double best_cost = FactorPlanCost(target, downstream, *best, model,
+                                    options.target_is_raw);
+  for (size_t i = 1; i < independent.size(); ++i) {
+    double cost = FactorPlanCost(target, downstream, independent[i], model,
+                                 options.target_is_raw);
+    if (cost < best_cost) {
+      best = &independent[i];
+      best_cost = cost;
+    }
+  }
+  return *best;
+}
+
+}  // namespace fw

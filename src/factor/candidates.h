@@ -1,0 +1,48 @@
+#ifndef FW_FACTOR_CANDIDATES_H_
+#define FW_FACTOR_CANDIDATES_H_
+
+#include <optional>
+#include <vector>
+
+#include "cost/cost_model.h"
+#include "window/window.h"
+
+namespace fw {
+
+/// Options shared by both candidate searches. `exclude` lists windows that
+/// may not be proposed (typically every window already in the WCG —
+/// Definition 6 requires a factor window to be outside the query set).
+struct FactorSearchOptions {
+  std::vector<Window> exclude;
+  /// Ablation knob: when true, skip the benefit check (Eq. 2 / Algorithm 4)
+  /// and return the structurally best candidate even if the model says it
+  /// does not pay off.
+  bool skip_benefit_check = false;
+  /// True when the target node stands for the raw input stream (the
+  /// augmented WCG's virtual root): reading from it costs η·r events
+  /// rather than sub-aggregate records, which matters whenever η != 1.
+  bool target_is_raw = false;
+};
+
+/// Algorithm 2: the best factor window W_f for `target` and its downstream
+/// windows under "covered by" semantics, or nullopt when no beneficial
+/// candidate exists. Search space: slides s_f dividing gcd of the
+/// downstream slides and multiples of the target slide; ranges r_f
+/// multiples of s_f up to the minimum downstream range; candidates must
+/// satisfy W_f ≤ target and W_j ≤ W_f for all j.
+std::optional<Window> FindBestFactorWindowCoveredBy(
+    const Window& target, const std::vector<Window>& downstream,
+    const CostModel& model, const FactorSearchOptions& options = {});
+
+/// Algorithm 5: the best *tumbling* factor window under "partitioned by"
+/// semantics, or nullopt. Search space: ranges r_f dividing gcd of the
+/// downstream ranges and multiples of the target range; candidates are
+/// screened with Algorithm 4, dominated (dependent) candidates are pruned,
+/// and the survivor is chosen per Theorem 9.
+std::optional<Window> FindBestFactorWindowPartitionedBy(
+    const Window& target, const std::vector<Window>& downstream,
+    const CostModel& model, const FactorSearchOptions& options = {});
+
+}  // namespace fw
+
+#endif  // FW_FACTOR_CANDIDATES_H_

@@ -1,0 +1,144 @@
+#include "factor/optimizer.h"
+
+#include <chrono>
+#include <utility>
+#include <vector>
+
+#include "common/logging.h"
+#include "factor/candidates.h"
+
+namespace fw {
+
+namespace {
+
+// Removes factor windows that no surviving window reads from. A factor
+// node is "used" when it lies on the chosen-provider chain of some query
+// window; everything else only adds its own cost. Rebuilds the graph from
+// the kept nodes and re-runs Algorithm 1 (chosen providers are unaffected
+// because only non-providers were removed).
+MinCostWcg PruneUnusedFactors(const MinCostWcg& result,
+                              const CostModel& model) {
+  const int n = static_cast<int>(result.graph.num_nodes());
+  std::vector<bool> used(static_cast<size_t>(n), false);
+  for (int i = 0; i < n; ++i) {
+    const Wcg::Node& node = result.graph.node(i);
+    if (node.is_virtual_root || node.is_factor) continue;
+    // Walk the provider chain rooted at this query window.
+    int cursor = i;
+    while (cursor >= 0 && !used[static_cast<size_t>(cursor)]) {
+      used[static_cast<size_t>(cursor)] = true;
+      cursor = result.costs[static_cast<size_t>(cursor)].provider;
+    }
+  }
+  bool any_unused_factor = false;
+  for (int i = 0; i < n; ++i) {
+    if (result.graph.node(i).is_factor && !used[static_cast<size_t>(i)]) {
+      any_unused_factor = true;
+      break;
+    }
+  }
+  if (!any_unused_factor) return result;
+
+  WindowSet query_windows;
+  std::vector<Window> kept_factors;
+  for (int i = 0; i < n; ++i) {
+    const Wcg::Node& node = result.graph.node(i);
+    if (node.is_virtual_root) continue;
+    if (node.is_factor) {
+      if (used[static_cast<size_t>(i)]) kept_factors.push_back(node.window);
+    } else {
+      FW_CHECK(query_windows.Add(node.window).ok());
+    }
+  }
+  Wcg graph = Wcg::Build(query_windows, result.graph.semantics());
+  for (const Window& w : kept_factors) {
+    FW_CHECK(graph.AddFactorWindow(w).ok());
+  }
+  graph.RebuildEdges();
+  return MinimizeCosts(std::move(graph), model);
+}
+
+}  // namespace
+
+MinCostWcg OptimizeWithFactorWindows(const WindowSet& windows,
+                                     CoverageSemantics semantics,
+                                     const OptimizerOptions& options) {
+  Wcg graph = Wcg::Build(windows, semantics);
+  CostModel model(windows, options.eta);
+
+  if (options.enable_factor_windows) {
+    // Snapshot the Figure-8(a) targets — nodes with downstream consumers —
+    // before mutating the graph (Algorithm 3, lines 2-4 operate on the
+    // original WCG's downstream sets).
+    struct Target {
+      Window window;
+      std::vector<Window> downstream;
+      bool is_raw = false;
+    };
+    std::vector<Target> targets;
+    FactorSearchOptions search;
+    search.skip_benefit_check = options.skip_benefit_check;
+    for (int i = 0; i < static_cast<int>(graph.num_nodes()); ++i) {
+      search.exclude.push_back(graph.node(i).window);
+      if (graph.consumers(i).empty()) continue;
+      Target t{graph.node(i).window, {}, graph.IsVirtualRoot(i)};
+      for (int j : graph.consumers(i)) {
+        t.downstream.push_back(graph.node(j).window);
+      }
+      targets.push_back(std::move(t));
+    }
+    for (const Target& t : targets) {
+      search.target_is_raw = t.is_raw;
+      std::optional<Window> factor =
+          semantics == CoverageSemantics::kCoveredBy
+              ? FindBestFactorWindowCoveredBy(t.window, t.downstream, model,
+                                              search)
+              : FindBestFactorWindowPartitionedBy(t.window, t.downstream,
+                                                  model, search);
+      if (!factor.has_value()) continue;
+      Result<int> added = graph.AddFactorWindow(*factor);
+      if (added.ok()) {
+        search.exclude.push_back(*factor);
+      }
+      // AlreadyExists: another target proposed the same factor window.
+    }
+    graph.RebuildEdges();
+  }
+
+  MinCostWcg result = MinimizeCosts(std::move(graph), model);
+  if (options.enable_factor_windows && options.prune_unused_factors) {
+    result = PruneUnusedFactors(result, model);
+  }
+  return result;
+}
+
+Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
+                                          AggKind agg,
+                                          const OptimizerOptions& options) {
+  if (windows.empty()) {
+    return Status::InvalidArgument("empty window set");
+  }
+  Result<CoverageSemantics> semantics = SemanticsFor(agg);
+  if (!semantics.ok()) return semantics.status();
+
+  OptimizationOutcome outcome;
+  outcome.semantics = *semantics;
+
+  auto start = std::chrono::steady_clock::now();
+  outcome.without_factors = FindMinCostWcg(windows, *semantics, options.eta);
+  if (options.enable_factor_windows) {
+    outcome.with_factors =
+        OptimizeWithFactorWindows(windows, *semantics, options);
+  } else {
+    outcome.with_factors = outcome.without_factors;
+  }
+  auto end = std::chrono::steady_clock::now();
+  outcome.optimize_seconds =
+      std::chrono::duration<double>(end - start).count();
+
+  CostModel model(windows, options.eta);
+  outcome.naive_cost = model.NaiveTotalCost(windows);
+  return outcome;
+}
+
+}  // namespace fw

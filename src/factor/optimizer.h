@@ -1,0 +1,59 @@
+#ifndef FW_FACTOR_OPTIMIZER_H_
+#define FW_FACTOR_OPTIMIZER_H_
+
+#include "agg/aggregate.h"
+#include "common/status.h"
+#include "cost/min_cost.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// Knobs for the cost-based optimizer. The ablation flags correspond to
+/// the design choices called out in DESIGN.md.
+struct OptimizerOptions {
+  /// Steady input event rate η (events per time unit), paper §III-B.1.
+  double eta = 1.0;
+  /// Master switch for factor-window exploration (Algorithm 3 vs 1).
+  bool enable_factor_windows = true;
+  /// Remove factor windows that end up unused after global cost
+  /// minimization (post-pass; see DESIGN.md §3).
+  bool prune_unused_factors = true;
+  /// Ablation: insert the structurally best candidate for every target
+  /// even when the benefit test (Eq. 2 / Algorithm 4) rejects it.
+  bool skip_benefit_check = false;
+};
+
+/// Algorithm 3: expands the WCG with the best factor window per target
+/// (Algorithm 2 under "covered by", Algorithm 5 under "partitioned by"),
+/// then re-runs Algorithm 1 on the expanded graph. Greedy — optimal factor
+/// selection is a Steiner-tree problem (NP-hard, §IV-C).
+MinCostWcg OptimizeWithFactorWindows(const WindowSet& windows,
+                                     CoverageSemantics semantics,
+                                     const OptimizerOptions& options = {});
+
+/// End-to-end optimizer outcome for one query (window set + aggregate).
+struct OptimizationOutcome {
+  /// Semantics selected for the aggregate function (§III-A footnote 2).
+  CoverageSemantics semantics = CoverageSemantics::kCoveredBy;
+  /// Algorithm 1 result (rewriting without factor windows).
+  MinCostWcg without_factors;
+  /// Algorithm 3 result (rewriting with factor windows). Equals
+  /// `without_factors` when factor windows are disabled.
+  MinCostWcg with_factors;
+  /// Cost of the original plan (every window evaluated independently).
+  double naive_cost = 0.0;
+  /// Wall-clock optimizer time, seconds (both phases).
+  double optimize_seconds = 0.0;
+};
+
+/// Optimizes a multi-window aggregate query end to end: picks the coverage
+/// semantics for `agg`, runs Algorithms 1 and 3, and reports model costs
+/// and optimizer latency. Returns Unimplemented for holistic aggregates
+/// (callers fall back to the original plan, as the paper does).
+Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
+                                          AggKind agg,
+                                          const OptimizerOptions& options = {});
+
+}  // namespace fw
+
+#endif  // FW_FACTOR_OPTIMIZER_H_

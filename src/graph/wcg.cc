@@ -1,0 +1,98 @@
+#include "graph/wcg.h"
+
+#include <sstream>
+
+#include "common/logging.h"
+
+namespace fw {
+
+Wcg Wcg::Build(const WindowSet& windows, CoverageSemantics semantics) {
+  Wcg g(semantics);
+  g.nodes_.reserve(windows.size() + 1);
+  for (const Window& w : windows) {
+    g.nodes_.push_back(Node{w, /*is_factor=*/false, /*is_virtual_root=*/false});
+  }
+  // Augmentation (§IV-A): S(1,1) represents the raw stream. Reuse a real
+  // W(1,1) if the query already contains one.
+  const Window unit(1, 1);
+  g.root_ = -1;
+  for (size_t i = 0; i < g.nodes_.size(); ++i) {
+    if (g.nodes_[i].window == unit) {
+      g.root_ = static_cast<int>(i);
+      break;
+    }
+  }
+  if (g.root_ < 0) {
+    g.nodes_.push_back(Node{unit, /*is_factor=*/false,
+                            /*is_virtual_root=*/true});
+    g.root_ = static_cast<int>(g.nodes_.size()) - 1;
+  }
+  g.RebuildEdges();
+  return g;
+}
+
+Result<int> Wcg::AddFactorWindow(const Window& window) {
+  for (const Node& n : nodes_) {
+    if (n.window == window) {
+      return Status::AlreadyExists("window " + window.ToString() +
+                                   " already in WCG");
+    }
+  }
+  nodes_.push_back(Node{window, /*is_factor=*/true, /*is_virtual_root=*/false});
+  return static_cast<int>(nodes_.size()) - 1;
+}
+
+void Wcg::RebuildEdges() {
+  const int n = static_cast<int>(nodes_.size());
+  providers_.assign(static_cast<size_t>(n), {});
+  consumers_.assign(static_cast<size_t>(n), {});
+  // All strict coverage/partition edges among non-root nodes.
+  for (int i = 0; i < n; ++i) {
+    if (i == root_) continue;
+    for (int j = 0; j < n; ++j) {
+      if (j == root_ || j == i) continue;
+      // Edge j -> i when node i is strictly related to (covered by) node j.
+      if (IsStrictlyRelated(nodes_[static_cast<size_t>(i)].window,
+                            nodes_[static_cast<size_t>(j)].window,
+                            semantics_)) {
+        providers_[static_cast<size_t>(i)].push_back(j);
+        consumers_[static_cast<size_t>(j)].push_back(i);
+      }
+    }
+  }
+  // Root edges: only to nodes with no other provider (§IV-A).
+  for (int i = 0; i < n; ++i) {
+    if (i == root_) continue;
+    if (providers_[static_cast<size_t>(i)].empty()) {
+      providers_[static_cast<size_t>(i)].push_back(root_);
+      consumers_[static_cast<size_t>(root_)].push_back(i);
+    }
+  }
+}
+
+Result<int> Wcg::IndexOf(const Window& window) const {
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    if (nodes_[i].window == window) return static_cast<int>(i);
+  }
+  return Status::NotFound("window " + window.ToString() + " not in WCG");
+}
+
+std::string Wcg::ToDot() const {
+  std::ostringstream os;
+  os << "digraph wcg {\n";
+  for (size_t i = 0; i < nodes_.size(); ++i) {
+    os << "  n" << i << " [label=\"" << nodes_[i].window.ToString() << "\"";
+    if (nodes_[i].is_virtual_root) os << ", shape=diamond";
+    if (nodes_[i].is_factor) os << ", style=dashed";
+    os << "];\n";
+  }
+  for (size_t j = 0; j < consumers_.size(); ++j) {
+    for (int i : consumers_[j]) {
+      os << "  n" << j << " -> n" << i << ";\n";
+    }
+  }
+  os << "}\n";
+  return os.str();
+}
+
+}  // namespace fw

@@ -1,0 +1,95 @@
+#ifndef FW_GRAPH_WCG_H_
+#define FW_GRAPH_WCG_H_
+
+#include <string>
+#include <vector>
+
+#include "common/status.h"
+#include "window/coverage.h"
+#include "window/window.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// The Window Coverage Graph (paper §II-C) plus its augmented form
+/// (§IV-A): a DAG whose vertices are windows and whose edge (W2 -> W1)
+/// means "W1 is strictly covered/partitioned by W2", i.e. W1 can consume
+/// sub-aggregates produced by W2.
+///
+/// Node roles:
+///  * query windows — members of the input window set; results exposed;
+///  * factor windows — auxiliary windows added by the optimizer (§IV);
+///    results are computed but never exposed;
+///  * the virtual root S⟨1,1⟩ — stands for the raw input stream. Edges
+///    from the root point at windows with no other provider. If the query
+///    itself contains W⟨1,1⟩, that node doubles as the root (the paper's
+///    "do not add another one" rule) and stays exposed.
+class Wcg {
+ public:
+  struct Node {
+    Window window{1, 1};
+    bool is_factor = false;
+    bool is_virtual_root = false;
+  };
+
+  /// Empty graph (default semantics); useful as a placeholder before
+  /// assignment from Build().
+  Wcg() : semantics_(CoverageSemantics::kCoveredBy) {}
+
+  /// Builds the augmented WCG for `windows` under `semantics`. Edge
+  /// construction is O(|W|^2) pairwise tests (Theorems 1/4 are O(1) each).
+  static Wcg Build(const WindowSet& windows, CoverageSemantics semantics);
+
+  CoverageSemantics semantics() const { return semantics_; }
+
+  size_t num_nodes() const { return nodes_.size(); }
+  const Node& node(int i) const { return nodes_[static_cast<size_t>(i)]; }
+  const std::vector<Node>& nodes() const { return nodes_; }
+
+  /// Index of the root node (virtual or the real W⟨1,1⟩).
+  int root_index() const { return root_; }
+
+  /// True when node `i` is the virtual root (not a query window).
+  bool IsVirtualRoot(int i) const {
+    return nodes_[static_cast<size_t>(i)].is_virtual_root;
+  }
+
+  /// Providers of node `i`: nodes that strictly cover/partition it
+  /// (in-neighbors), i.e. candidate upstream windows.
+  const std::vector<int>& providers(int i) const {
+    return providers_[static_cast<size_t>(i)];
+  }
+
+  /// Consumers of node `i`: nodes it strictly covers/partitions
+  /// (out-neighbors), a.k.a. the paper's "downstream windows".
+  const std::vector<int>& consumers(int i) const {
+    return consumers_[static_cast<size_t>(i)];
+  }
+
+  /// Adds a factor window node. The caller must RebuildEdges() before
+  /// reading adjacency again. Error if the window already exists.
+  Result<int> AddFactorWindow(const Window& window);
+
+  /// Recomputes the full edge set over the current node list, including the
+  /// root-edge rule (root connects to nodes with no other provider).
+  void RebuildEdges();
+
+  /// Index of `window`, or NotFound.
+  Result<int> IndexOf(const Window& window) const;
+
+  /// Graphviz rendering, for docs and debugging.
+  std::string ToDot() const;
+
+ private:
+  explicit Wcg(CoverageSemantics semantics) : semantics_(semantics) {}
+
+  CoverageSemantics semantics_;
+  std::vector<Node> nodes_;
+  std::vector<std::vector<int>> providers_;
+  std::vector<std::vector<int>> consumers_;
+  int root_ = -1;
+};
+
+}  // namespace fw
+
+#endif  // FW_GRAPH_WCG_H_

@@ -1,0 +1,162 @@
+#include "harness/experiments.h"
+
+#include <chrono>
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/logging.h"
+#include "plan/printer.h"
+
+namespace fw {
+
+CoverageSemantics SemanticsForWindowKind(bool tumbling) {
+  return tumbling ? CoverageSemantics::kPartitionedBy
+                  : CoverageSemantics::kCoveredBy;
+}
+
+ComparisonResult CompareSetups(const QuerySetup& setup,
+                               const std::vector<Event>& events,
+                               uint32_t num_keys,
+                               const OptimizerOptions& options) {
+  ComparisonResult result;
+
+  auto opt_start = std::chrono::steady_clock::now();
+  MinCostWcg without_fw =
+      FindMinCostWcg(setup.windows, setup.semantics, options.eta);
+  MinCostWcg with_fw =
+      OptimizeWithFactorWindows(setup.windows, setup.semantics, options);
+  auto opt_end = std::chrono::steady_clock::now();
+  result.opt_seconds =
+      std::chrono::duration<double>(opt_end - opt_start).count();
+
+  CostModel model(setup.windows, options.eta);
+  result.cost_naive = model.NaiveTotalCost(setup.windows);
+  result.cost_without_fw = without_fw.total_cost;
+  result.cost_with_fw = with_fw.total_cost;
+  for (const Wcg::Node& node : with_fw.graph.nodes()) {
+    if (node.is_factor) ++result.num_factor_windows;
+  }
+
+  QueryPlan original = QueryPlan::Original(setup.windows, setup.agg);
+  QueryPlan plan_without = QueryPlan::FromMinCostWcg(without_fw, setup.agg);
+  QueryPlan plan_with = QueryPlan::FromMinCostWcg(with_fw, setup.agg);
+
+  result.original = RunPlan(original, events, num_keys);
+  result.without_fw = RunPlan(plan_without, events, num_keys);
+  result.with_fw = RunPlan(plan_with, events, num_keys);
+  return result;
+}
+
+SlicingComparisonResult CompareWithSlicing(const QuerySetup& setup,
+                                           const std::vector<Event>& events,
+                                           uint32_t num_keys,
+                                           const OptimizerOptions& options) {
+  SlicingComparisonResult result;
+  QueryPlan original = QueryPlan::Original(setup.windows, setup.agg);
+  result.flink = RunPlan(original, events, num_keys);
+  result.scotty = RunSlicing(setup.windows, setup.agg, events, num_keys);
+  MinCostWcg with_fw =
+      OptimizeWithFactorWindows(setup.windows, setup.semantics, options);
+  QueryPlan plan_with = QueryPlan::FromMinCostWcg(with_fw, setup.agg);
+  result.factor_windows = RunPlan(plan_with, events, num_keys);
+  return result;
+}
+
+std::vector<WindowSet> GeneratePanelWindowSets(const PanelConfig& config) {
+  std::vector<WindowSet> sets;
+  sets.reserve(static_cast<size_t>(config.num_sets));
+  for (int run = 0; run < config.num_sets; ++run) {
+    // Independent seed per run so set contents do not depend on num_sets.
+    Rng rng(config.seed * 1000003ull + static_cast<uint64_t>(run));
+    sets.push_back(config.sequential
+                       ? SequentialGenWindowSet(config.set_size,
+                                                config.tumbling, &rng)
+                       : RandomGenWindowSet(config.set_size, config.tumbling,
+                                            &rng));
+  }
+  return sets;
+}
+
+std::vector<ComparisonResult> RunThroughputPanel(
+    const PanelConfig& config, const std::vector<Event>& events,
+    uint32_t num_keys, const OptimizerOptions& options) {
+  std::vector<ComparisonResult> rows;
+  for (const WindowSet& windows : GeneratePanelWindowSets(config)) {
+    QuerySetup setup{windows, config.agg,
+                     SemanticsForWindowKind(config.tumbling)};
+    rows.push_back(CompareSetups(setup, events, num_keys, options));
+  }
+  return rows;
+}
+
+BoostSummary Summarize(const std::vector<ComparisonResult>& rows) {
+  FW_CHECK(!rows.empty());
+  BoostSummary s;
+  for (const ComparisonResult& row : rows) {
+    double b0 = row.BoostWithoutFw();
+    double b1 = row.BoostWithFw();
+    s.mean_without_fw += b0;
+    s.mean_with_fw += b1;
+    if (b0 > s.max_without_fw) s.max_without_fw = b0;
+    if (b1 > s.max_with_fw) s.max_with_fw = b1;
+  }
+  s.mean_without_fw /= static_cast<double>(rows.size());
+  s.mean_with_fw /= static_cast<double>(rows.size());
+  return s;
+}
+
+std::string PanelLabel(const PanelConfig& config) {
+  std::string label = config.sequential ? "S-" : "R-";
+  label += std::to_string(config.set_size);
+  label += config.tumbling ? "-tumbling" : "-hopping";
+  return label;
+}
+
+void PrintThroughputPanel(const std::string& title,
+                          const std::vector<ComparisonResult>& rows) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%4s %14s %14s %14s %10s %10s\n", "run", "original(K/s)",
+              "w/o FW(K/s)", "w/ FW(K/s)", "boost-w/o", "boost-w/");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ComparisonResult& r = rows[i];
+    std::printf("%4zu %14.1f %14.1f %14.1f %9.2fx %9.2fx\n", i + 1,
+                r.original.throughput / 1000.0,
+                r.without_fw.throughput / 1000.0,
+                r.with_fw.throughput / 1000.0, r.BoostWithoutFw(),
+                r.BoostWithFw());
+  }
+  std::printf("\n");
+}
+
+void PrintBoostRow(const std::string& label, const BoostSummary& s) {
+  std::printf("%-16s %10.2fx %10.2fx %10.2fx %10.2fx\n", label.c_str(),
+              s.mean_without_fw, s.max_without_fw, s.mean_with_fw,
+              s.max_with_fw);
+}
+
+void PrintSlicingPanel(const std::string& title,
+                       const std::vector<SlicingComparisonResult>& rows) {
+  std::printf("%s\n", title.c_str());
+  std::printf("%4s %14s %14s %18s %12s %12s\n", "run", "Flink(K/s)",
+              "Scotty(K/s)", "FactorWindows(K/s)", "FW/Flink", "FW/Scotty");
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const SlicingComparisonResult& r = rows[i];
+    std::printf("%4zu %14.1f %14.1f %18.1f %11.2fx %11.2fx\n", i + 1,
+                r.flink.throughput / 1000.0, r.scotty.throughput / 1000.0,
+                r.factor_windows.throughput / 1000.0,
+                r.factor_windows.throughput / r.flink.throughput,
+                r.factor_windows.throughput / r.scotty.throughput);
+  }
+  std::printf("\n");
+}
+
+size_t EventCountFromEnv(const char* var, size_t fallback) {
+  const char* value = std::getenv(var);
+  if (value == nullptr || *value == '\0') return fallback;
+  char* end = nullptr;
+  unsigned long long parsed = std::strtoull(value, &end, 10);
+  if (end == value || parsed == 0) return fallback;
+  return static_cast<size_t>(parsed);
+}
+
+}  // namespace fw

@@ -1,0 +1,122 @@
+#ifndef FW_HARNESS_EXPERIMENTS_H_
+#define FW_HARNESS_EXPERIMENTS_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "factor/optimizer.h"
+#include "harness/runner.h"
+#include "workload/generator.h"
+
+namespace fw {
+
+/// The semantics the paper's experiments pair with each window kind
+/// (§V-B.1): tumbling sets exercise "partitioned by", hopping sets the
+/// general "covered by". (MIN is valid under both.)
+CoverageSemantics SemanticsForWindowKind(bool tumbling);
+
+/// One experiment query: a window set, the aggregate (MIN throughout the
+/// paper's evaluation), and the semantics to optimize under.
+struct QuerySetup {
+  WindowSet windows;
+  AggKind agg = AggKind::kMin;
+  CoverageSemantics semantics = CoverageSemantics::kCoveredBy;
+};
+
+/// Per-window-set measurements backing Figures 11, 14-18, 20, 21 and the
+/// boost tables.
+struct ComparisonResult {
+  RunStats original;    // The unshared plan (ASA/Flink default).
+  RunStats without_fw;  // Algorithm 1 rewriting.
+  RunStats with_fw;     // Algorithm 3 rewriting (factor windows).
+  double cost_naive = 0.0;
+  double cost_without_fw = 0.0;
+  double cost_with_fw = 0.0;
+  double opt_seconds = 0.0;  // Optimizer latency (both phases).
+  int num_factor_windows = 0;
+
+  double BoostWithoutFw() const {
+    return without_fw.throughput / original.throughput;
+  }
+  double BoostWithFw() const {
+    return with_fw.throughput / original.throughput;
+  }
+  /// γ_C of Figure 19: model-predicted speedup of the factor-window plan
+  /// over the no-factor-window plan.
+  double PredictedFwSpeedup() const { return cost_without_fw / cost_with_fw; }
+  /// γ_T of Figure 19.
+  double MeasuredFwSpeedup() const {
+    return with_fw.throughput / without_fw.throughput;
+  }
+};
+
+/// Optimizes `setup` (Algorithms 1 and 3), executes the three plans over
+/// `events`, and gathers all measurements.
+ComparisonResult CompareSetups(const QuerySetup& setup,
+                               const std::vector<Event>& events,
+                               uint32_t num_keys,
+                               const OptimizerOptions& options = {});
+
+/// Figure 13/22 comparison: unshared plan ("Flink"), stream slicing
+/// ("Scotty"), and the factor-window plan.
+struct SlicingComparisonResult {
+  RunStats flink;
+  RunStats scotty;
+  RunStats factor_windows;
+};
+SlicingComparisonResult CompareWithSlicing(const QuerySetup& setup,
+                                           const std::vector<Event>& events,
+                                           uint32_t num_keys,
+                                           const OptimizerOptions& options = {});
+
+/// One panel of the paper's figures: `num_sets` generated window sets of
+/// `set_size` windows, tumbling or hopping, RandomGen or SequentialGen.
+struct PanelConfig {
+  bool sequential = false;
+  bool tumbling = true;
+  int set_size = 5;
+  int num_sets = 10;
+  uint64_t seed = 42;
+  AggKind agg = AggKind::kMin;
+};
+
+/// Generates the panel's window sets (deterministic in config.seed).
+std::vector<WindowSet> GeneratePanelWindowSets(const PanelConfig& config);
+
+/// Runs a full throughput panel.
+std::vector<ComparisonResult> RunThroughputPanel(
+    const PanelConfig& config, const std::vector<Event>& events,
+    uint32_t num_keys, const OptimizerOptions& options = {});
+
+/// Mean/max throughput boosts across a panel (Table I/II/III/IV rows).
+struct BoostSummary {
+  double mean_without_fw = 0.0;
+  double max_without_fw = 0.0;
+  double mean_with_fw = 0.0;
+  double max_with_fw = 0.0;
+};
+BoostSummary Summarize(const std::vector<ComparisonResult>& rows);
+
+/// "R-5-tumbling" style setup label used by the paper's tables.
+std::string PanelLabel(const PanelConfig& config);
+
+/// Prints a figure panel: one line per run with the three throughputs
+/// (K events/second), matching the figures' series.
+void PrintThroughputPanel(const std::string& title,
+                          const std::vector<ComparisonResult>& rows);
+
+/// Prints a Table I-style summary row.
+void PrintBoostRow(const std::string& label, const BoostSummary& summary);
+
+/// Prints the Fig 13/22-style panel (Flink / Scotty / Factor Windows).
+void PrintSlicingPanel(const std::string& title,
+                       const std::vector<SlicingComparisonResult>& rows);
+
+/// Event-count override from the environment (paper-scale runs set
+/// FW_EVENTS / FW_REAL_EVENTS); returns `fallback` when unset/invalid.
+size_t EventCountFromEnv(const char* var, size_t fallback);
+
+}  // namespace fw
+
+#endif  // FW_HARNESS_EXPERIMENTS_H_

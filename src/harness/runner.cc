@@ -1,0 +1,131 @@
+#include "harness/runner.h"
+
+#include <algorithm>
+#include <chrono>
+#include <cmath>
+#include <sstream>
+
+#include "exec/sink.h"
+
+namespace fw {
+
+namespace {
+
+// Compares two result maps for equality within `tolerance`.
+Status CompareResultMaps(
+    const std::map<CollectingSink::ResultKey, double>& expected,
+    const std::map<CollectingSink::ResultKey, double>& actual,
+    double tolerance) {
+  auto describe = [](const CollectingSink::ResultKey& key) {
+    std::ostringstream os;
+    os << "op=" << std::get<0>(key) << " window=[" << std::get<1>(key)
+       << ", " << std::get<2>(key) << ") key=" << std::get<3>(key);
+    return os.str();
+  };
+  if (expected.size() != actual.size()) {
+    std::ostringstream os;
+    os << "result count mismatch: expected " << expected.size() << ", got "
+       << actual.size();
+    return Status::Internal(os.str());
+  }
+  auto it_a = actual.begin();
+  for (const auto& [key, value] : expected) {
+    if (it_a->first != key) {
+      return Status::Internal("result domain mismatch at " + describe(key) +
+                              " vs " + describe(it_a->first));
+    }
+    double diff = std::fabs(value - it_a->second);
+    double scale = std::max(1.0, std::fabs(value));
+    if (diff > tolerance * scale + (tolerance == 0.0 ? 0.0 : 1e-12)) {
+      std::ostringstream os;
+      os << "value mismatch at " << describe(key) << ": expected " << value
+         << ", got " << it_a->second;
+      return Status::Internal(os.str());
+    }
+    ++it_a;
+  }
+  return Status::OK();
+}
+
+}  // namespace
+
+namespace {
+
+// Cap on the untimed warm-up prefix that primes code and data caches
+// before throughput measurement (cold first runs otherwise skew plan
+// comparisons by tens of percent).
+constexpr size_t kWarmupEvents = 200'000;
+
+}  // namespace
+
+RunStats RunPlan(const QueryPlan& plan, const std::vector<Event>& events,
+                 uint32_t num_keys) {
+  PlanExecutor::Options options;
+  options.num_keys = num_keys;
+  {
+    CountingSink warm_sink;
+    PlanExecutor warm(plan, options, &warm_sink);
+    size_t warm_count = std::min(events.size(), kWarmupEvents);
+    for (size_t i = 0; i < warm_count; ++i) warm.Push(events[i]);
+    warm.Finish();
+  }
+  CountingSink sink;
+  RunStats stats;
+  ExecutePlan(plan, events, num_keys, &sink, &stats.throughput, &stats.ops);
+  stats.results = sink.count();
+  stats.checksum = sink.checksum();
+  return stats;
+}
+
+RunStats RunSlicing(const WindowSet& windows, AggKind agg,
+                    const std::vector<Event>& events, uint32_t num_keys) {
+  SlicingEvaluator::Options options;
+  options.num_keys = num_keys;
+  {
+    CountingSink warm_sink;
+    SlicingEvaluator warm(windows, agg, options, &warm_sink);
+    size_t warm_count = std::min(events.size(), kWarmupEvents);
+    for (size_t i = 0; i < warm_count; ++i) warm.Push(events[i]);
+    warm.Finish();
+  }
+  CountingSink sink;
+  SlicingEvaluator evaluator(windows, agg, options, &sink);
+  auto start = std::chrono::steady_clock::now();
+  evaluator.Run(events);
+  auto end = std::chrono::steady_clock::now();
+  double seconds = std::chrono::duration<double>(end - start).count();
+  RunStats stats;
+  stats.throughput =
+      seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
+  stats.ops = evaluator.TotalOps();
+  stats.results = sink.count();
+  stats.checksum = sink.checksum();
+  return stats;
+}
+
+Status VerifyEquivalence(const QueryPlan& reference,
+                         const QueryPlan& candidate,
+                         const std::vector<Event>& events, uint32_t num_keys,
+                         double tolerance) {
+  CollectingSink ref_sink;
+  CollectingSink cand_sink;
+  ExecutePlan(reference, events, num_keys, &ref_sink, nullptr, nullptr);
+  ExecutePlan(candidate, events, num_keys, &cand_sink, nullptr, nullptr);
+  return CompareResultMaps(ref_sink.ToMap(), cand_sink.ToMap(), tolerance);
+}
+
+Status VerifySlicingEquivalence(const WindowSet& windows, AggKind agg,
+                                const QueryPlan& reference,
+                                const std::vector<Event>& events,
+                                uint32_t num_keys, double tolerance) {
+  CollectingSink ref_sink;
+  ExecutePlan(reference, events, num_keys, &ref_sink, nullptr, nullptr);
+  CollectingSink slice_sink;
+  SlicingEvaluator::Options options;
+  options.num_keys = num_keys;
+  SlicingEvaluator evaluator(windows, agg, options, &slice_sink);
+  evaluator.Run(events);
+  return CompareResultMaps(ref_sink.ToMap(), slice_sink.ToMap(), tolerance);
+}
+
+}  // namespace fw

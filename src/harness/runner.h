@@ -1,0 +1,53 @@
+#ifndef FW_HARNESS_RUNNER_H_
+#define FW_HARNESS_RUNNER_H_
+
+#include <vector>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "plan/plan.h"
+#include "slicing/slicer.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// Measurements from one plan (or slicing) execution.
+struct RunStats {
+  /// Events per second, wall clock (the paper's throughput metric [34]).
+  double throughput = 0.0;
+  /// Accumulate/merge operations — the engine-side analogue of the model
+  /// cost C.
+  uint64_t ops = 0;
+  /// Window results delivered to the Union.
+  uint64_t results = 0;
+  /// Sum of result values (keeps work observable; also a cheap fingerprint).
+  double checksum = 0.0;
+};
+
+/// Executes `plan` over `events` and reports throughput/op statistics.
+RunStats RunPlan(const QueryPlan& plan, const std::vector<Event>& events,
+                 uint32_t num_keys);
+
+/// Executes the stream-slicing baseline over `events`.
+RunStats RunSlicing(const WindowSet& windows, AggKind agg,
+                    const std::vector<Event>& events, uint32_t num_keys);
+
+/// Runs both plans and verifies they produce identical result sets (same
+/// (operator, interval, key) domains; values equal within `tolerance`,
+/// which should be 0 for MIN/MAX/COUNT). Exposed operators must use the
+/// same numbering in both plans (true for Original vs FromMinCostWcg of
+/// the same window set).
+Status VerifyEquivalence(const QueryPlan& reference,
+                         const QueryPlan& candidate,
+                         const std::vector<Event>& events, uint32_t num_keys,
+                         double tolerance = 0.0);
+
+/// Same, comparing the slicing baseline against a reference plan.
+Status VerifySlicingEquivalence(const WindowSet& windows, AggKind agg,
+                                const QueryPlan& reference,
+                                const std::vector<Event>& events,
+                                uint32_t num_keys, double tolerance = 0.0);
+
+}  // namespace fw
+
+#endif  // FW_HARNESS_RUNNER_H_

@@ -1,0 +1,116 @@
+#include "multi/multi_query.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Optimize(
+    const std::vector<StreamQuery>& queries,
+    const OptimizerOptions& options) {
+  if (queries.empty()) {
+    return Status::InvalidArgument("no queries to optimize");
+  }
+  const StreamQuery& first = queries[0];
+  if (!SupportsSharing(first.agg)) {
+    return Status::Unimplemented(
+        std::string(AggKindToString(first.agg)) +
+        " is holistic; multi-query sharing is not supported");
+  }
+  for (const StreamQuery& q : queries) {
+    if (q.source != first.source) {
+      return Status::InvalidArgument(
+          "all queries must read the same stream (got '" + q.source +
+          "' vs '" + first.source + "')");
+    }
+    if (q.agg != first.agg) {
+      return Status::InvalidArgument(
+          "all queries must use the same aggregate function");
+    }
+    if (q.windows.empty()) {
+      return Status::InvalidArgument("query without windows");
+    }
+  }
+
+  // Merge the batch's windows (deduplicated; WindowSet::Add rejects
+  // duplicates, which is exactly the coalescing we want).
+  WindowSet merged;
+  for (const StreamQuery& q : queries) {
+    for (const Window& w : q.windows) {
+      (void)merged.Add(w);
+    }
+  }
+
+  Result<OptimizationOutcome> outcome =
+      OptimizeQuery(merged, first.agg, options);
+  if (!outcome.ok()) return outcome.status();
+
+  SharedPlan shared{QueryPlan::FromMinCostWcg(outcome->with_factors,
+                                              first.agg),
+                    {},
+                    outcome->with_factors.total_cost,
+                    0.0};
+
+  // Subscriptions: shared-plan operators are ordered like `merged` (query
+  // windows first, factors after), so window -> operator lookup is by
+  // position.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    for (const Window& w : queries[qi].windows) {
+      int op = -1;
+      for (size_t i = 0; i < shared.plan.num_operators(); ++i) {
+        if (shared.plan.op(static_cast<int>(i)).window == w) {
+          op = static_cast<int>(i);
+          break;
+        }
+      }
+      FW_CHECK_GE(op, 0) << "query window missing from shared plan";
+      shared.subscriptions.push_back(
+          Subscription{static_cast<int>(qi), w, op});
+    }
+  }
+
+  // Baseline for the savings report: each query optimized on its own
+  // (factor windows included), operators not shared across queries.
+  for (const StreamQuery& q : queries) {
+    Result<OptimizationOutcome> solo =
+        OptimizeQuery(q.windows, q.agg, options);
+    if (!solo.ok()) return solo.status();
+    shared.independent_cost += solo->with_factors.total_cost;
+  }
+  return shared;
+}
+
+RoutingSink::RoutingSink(const MultiQueryOptimizer::SharedPlan& shared,
+                         const std::vector<StreamQuery>& queries,
+                         std::vector<ResultSink*> sinks)
+    : sinks_(std::move(sinks)) {
+  FW_CHECK_EQ(sinks_.size(), queries.size());
+  for (ResultSink* sink : sinks_) FW_CHECK(sink != nullptr);
+  for (const MultiQueryOptimizer::Subscription& sub :
+       shared.subscriptions) {
+    // The query-local operator id is the window's position in that
+    // query's own window set (matching QueryPlan::Original numbering).
+    const WindowSet& windows =
+        queries[static_cast<size_t>(sub.query_index)].windows;
+    int local = -1;
+    for (size_t i = 0; i < windows.size(); ++i) {
+      if (windows[i] == sub.window) {
+        local = static_cast<int>(i);
+        break;
+      }
+    }
+    FW_CHECK_GE(local, 0);
+    routes_[sub.plan_operator].push_back(Route{sub.query_index, local});
+  }
+}
+
+void RoutingSink::OnResult(const WindowResult& result) {
+  auto it = routes_.find(result.operator_id);
+  if (it == routes_.end()) return;
+  for (const Route& route : it->second) {
+    WindowResult rewritten = result;
+    rewritten.operator_id = route.local_operator;
+    sinks_[static_cast<size_t>(route.query_index)]->OnResult(rewritten);
+  }
+}
+
+}  // namespace fw

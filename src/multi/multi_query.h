@@ -1,0 +1,76 @@
+#ifndef FW_MULTI_MULTI_QUERY_H_
+#define FW_MULTI_MULTI_QUERY_H_
+
+#include <map>
+#include <vector>
+
+#include "exec/sink.h"
+#include "factor/optimizer.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace fw {
+
+/// Multi-query sharing for the paper's motivating scenario (§I): Azure
+/// IoT Central hosts many concurrent dashboard queries — same stream,
+/// same aggregate, different window sizes. Instead of optimizing each
+/// query alone, the batch's windows are merged into one window set,
+/// optimized once (so windows of *different queries* share computation
+/// and factor windows amortize across the batch), and executed as a
+/// single plan whose results are routed back to the subscribing queries.
+class MultiQueryOptimizer {
+ public:
+  /// Where one query's window results come from in the shared plan.
+  struct Subscription {
+    int query_index = 0;
+    Window window{1, 1};
+    int plan_operator = 0;  // Operator index in the shared plan.
+  };
+
+  struct SharedPlan {
+    QueryPlan plan;
+    std::vector<Subscription> subscriptions;
+    /// Model cost of the shared plan vs the sum of individually
+    /// optimized per-query plans (both with factor windows).
+    double shared_cost = 0.0;
+    double independent_cost = 0.0;
+
+    double PredictedSavings() const {
+      return independent_cost > 0.0 ? independent_cost / shared_cost : 1.0;
+    }
+  };
+
+  /// Optimizes a batch of queries jointly. All queries must target the
+  /// same source stream and use the same (shareable) aggregate function —
+  /// the IoT-dashboard shape. Duplicate windows across queries are
+  /// coalesced into one operator with multiple subscriptions.
+  static Result<SharedPlan> Optimize(const std::vector<StreamQuery>& queries,
+                                     const OptimizerOptions& options = {});
+};
+
+/// Demultiplexes shared-plan results to per-query sinks using the
+/// subscription table. Operators without subscribers (possible only for
+/// factor windows, which are unexposed anyway) are ignored.
+class RoutingSink : public ResultSink {
+ public:
+  /// `sinks[i]` receives query i's results with operator ids rewritten to
+  /// the window's position within that query's own window set. All sinks
+  /// must outlive the router.
+  RoutingSink(const MultiQueryOptimizer::SharedPlan& shared,
+              const std::vector<StreamQuery>& queries,
+              std::vector<ResultSink*> sinks);
+
+  void OnResult(const WindowResult& result) override;
+
+ private:
+  struct Route {
+    int query_index;
+    int local_operator;  // Index within the query's own window set.
+  };
+  std::map<int, std::vector<Route>> routes_;  // Shared op -> subscribers.
+  std::vector<ResultSink*> sinks_;
+};
+
+}  // namespace fw
+
+#endif  // FW_MULTI_MULTI_QUERY_H_

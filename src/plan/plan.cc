@@ -1,0 +1,114 @@
+#include "plan/plan.h"
+
+#include <set>
+
+#include "common/logging.h"
+
+namespace fw {
+
+QueryPlan QueryPlan::Original(const WindowSet& windows, AggKind agg) {
+  QueryPlan plan(agg);
+  plan.operators_.reserve(windows.size());
+  for (const Window& w : windows) {
+    PlanOperator op;
+    op.window = w;
+    op.label = w.ToString();
+    op.parent = -1;
+    op.exposed = true;
+    plan.operators_.push_back(std::move(op));
+  }
+  return plan;
+}
+
+QueryPlan QueryPlan::FromMinCostWcg(const MinCostWcg& wcg, AggKind agg) {
+  QueryPlan plan(agg);
+  const int n = static_cast<int>(wcg.graph.num_nodes());
+  // WCG node index -> plan operator index (virtual root maps to -1).
+  std::vector<int> plan_index(static_cast<size_t>(n), -1);
+  for (int i = 0; i < n; ++i) {
+    if (wcg.graph.IsVirtualRoot(i)) continue;
+    const Wcg::Node& node = wcg.graph.node(i);
+    PlanOperator op;
+    op.window = node.window;
+    op.label = node.window.ToString();
+    op.is_factor = node.is_factor;
+    op.exposed = !node.is_factor;
+    plan_index[static_cast<size_t>(i)] = static_cast<int>(
+        plan.operators_.size());
+    plan.operators_.push_back(std::move(op));
+  }
+  for (int i = 0; i < n; ++i) {
+    int self = plan_index[static_cast<size_t>(i)];
+    if (self < 0) continue;
+    int provider = wcg.costs[static_cast<size_t>(i)].provider;
+    int parent = -1;
+    if (provider >= 0 && !wcg.graph.IsVirtualRoot(provider)) {
+      parent = plan_index[static_cast<size_t>(provider)];
+      FW_CHECK_GE(parent, 0);
+    }
+    plan.operators_[static_cast<size_t>(self)].parent = parent;
+    if (parent >= 0) {
+      plan.operators_[static_cast<size_t>(parent)].children.push_back(self);
+    }
+  }
+  FW_CHECK(plan.Validate());
+  return plan;
+}
+
+std::vector<int> QueryPlan::Roots() const {
+  std::vector<int> roots;
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (operators_[i].parent < 0) roots.push_back(static_cast<int>(i));
+  }
+  return roots;
+}
+
+std::vector<int> QueryPlan::ExposedOperators() const {
+  std::vector<int> out;
+  for (size_t i = 0; i < operators_.size(); ++i) {
+    if (operators_[i].exposed) out.push_back(static_cast<int>(i));
+  }
+  return out;
+}
+
+int QueryPlan::NumSharedEdges() const {
+  int count = 0;
+  for (const PlanOperator& op : operators_) {
+    if (op.parent >= 0) ++count;
+  }
+  return count;
+}
+
+bool QueryPlan::Validate() const {
+  const int n = static_cast<int>(operators_.size());
+  std::set<std::string> labels;
+  for (int i = 0; i < n; ++i) {
+    const PlanOperator& op = operators_[static_cast<size_t>(i)];
+    if (!labels.insert(op.label).second) return false;
+    if (op.parent >= n || op.parent == i) return false;
+    // Parent/children symmetry.
+    for (int c : op.children) {
+      if (c < 0 || c >= n) return false;
+      if (operators_[static_cast<size_t>(c)].parent != i) return false;
+    }
+    if (op.parent >= 0) {
+      const auto& siblings =
+          operators_[static_cast<size_t>(op.parent)].children;
+      bool found = false;
+      for (int c : siblings) found = found || c == i;
+      if (!found) return false;
+    }
+  }
+  // Acyclicity of parent chains.
+  for (int start = 0; start < n; ++start) {
+    int cursor = start;
+    int steps = 0;
+    while (cursor >= 0) {
+      cursor = operators_[static_cast<size_t>(cursor)].parent;
+      if (++steps > n) return false;
+    }
+  }
+  return true;
+}
+
+}  // namespace fw

@@ -1,0 +1,76 @@
+#ifndef FW_PLAN_PLAN_H_
+#define FW_PLAN_PLAN_H_
+
+#include <string>
+#include <vector>
+
+#include "agg/aggregate.h"
+#include "cost/min_cost.h"
+#include "window/window.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// One window-aggregate operator in a logical query plan. Plans are trees
+/// rooted at the input stream: an operator either consumes the raw stream
+/// (parent == -1) or the sub-aggregate output of another operator.
+/// Multicast is implicit wherever a stream has more than one consumer, and
+/// the final Union collects every *exposed* operator's output (Appendix B).
+struct PlanOperator {
+  Window window{1, 1};
+  /// Display label, e.g. "W(20, 10)"; unique within a plan.
+  std::string label;
+  /// Index of the upstream operator, or -1 for the raw input stream.
+  int parent = -1;
+  /// Operators consuming this operator's sub-aggregates.
+  std::vector<int> children;
+  /// True when the operator's results are part of the query answer; factor
+  /// windows are computed but not exposed (Definition 6).
+  bool exposed = true;
+  /// True when this is a factor window added by the optimizer.
+  bool is_factor = false;
+};
+
+/// A logical multi-window aggregate plan: the operator tree plus the
+/// aggregate function. Immutable once built.
+class QueryPlan {
+ public:
+  /// The original (unshared) plan: every window reads the raw stream
+  /// independently — the default produced by ASA/Flink (Figure 2(a), left).
+  static QueryPlan Original(const WindowSet& windows, AggKind agg);
+
+  /// Appendix B rewriting: one operator per min-cost-WCG node (virtual
+  /// root excluded), parent = chosen provider. Factor windows become
+  /// unexposed operators.
+  static QueryPlan FromMinCostWcg(const MinCostWcg& wcg, AggKind agg);
+
+  AggKind agg() const { return agg_; }
+  size_t num_operators() const { return operators_.size(); }
+  const PlanOperator& op(int i) const {
+    return operators_[static_cast<size_t>(i)];
+  }
+  const std::vector<PlanOperator>& operators() const { return operators_; }
+
+  /// Operators that read the raw input stream.
+  std::vector<int> Roots() const;
+
+  /// Indices of exposed operators (the Union inputs), in plan order.
+  std::vector<int> ExposedOperators() const;
+
+  /// Number of operators that read sub-aggregates (shared edges).
+  int NumSharedEdges() const;
+
+  /// Basic structural invariants: acyclic parent links, children/parent
+  /// symmetry, unique labels. Exposed for tests.
+  bool Validate() const;
+
+ private:
+  QueryPlan(AggKind agg) : agg_(agg) {}
+
+  AggKind agg_;
+  std::vector<PlanOperator> operators_;
+};
+
+}  // namespace fw
+
+#endif  // FW_PLAN_PLAN_H_

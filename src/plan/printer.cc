@@ -1,0 +1,175 @@
+#include "plan/printer.h"
+
+#include <cctype>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fw {
+
+namespace {
+
+// Lower-cases the aggregate name into the Trill member style: Min, Max...
+std::string TrillAggName(AggKind agg) {
+  std::string name = AggKindToString(agg);
+  for (size_t i = 1; i < name.size(); ++i) {
+    name[i] = static_cast<char>(
+        std::tolower(static_cast<unsigned char>(name[i])));
+  }
+  return name;
+}
+
+std::string TrillWindowCall(const Window& w) {
+  std::ostringstream os;
+  if (w.IsTumbling()) {
+    os << ".Tumbling(minute, " << w.range() << ")";
+  } else {
+    os << ".Hopping(minute, " << w.range() << ", " << w.slide() << ")";
+  }
+  return os.str();
+}
+
+// Renders the subtree rooted at `node` applied to stream variable `var`.
+// An operator with children multicasts its aggregate output; an exposed
+// operator with children also unions its own stream into the result.
+std::string RenderTrill(const QueryPlan& plan, int node,
+                        const std::string& var, int depth) {
+  const PlanOperator& op = plan.op(node);
+  std::ostringstream os;
+  os << var << TrillWindowCall(op.window) << ".GroupAggregate('" << op.label
+     << "', w => w." << TrillAggName(plan.agg()) << "(e => e.Value))";
+  if (op.children.empty()) {
+    return os.str();
+  }
+  std::string inner = "s" + std::to_string(depth);
+  std::vector<std::string> pieces;
+  if (op.exposed) pieces.push_back(inner);
+  for (int child : op.children) {
+    pieces.push_back(RenderTrill(plan, child, inner, depth + 1));
+  }
+  FW_CHECK(!pieces.empty());
+  std::string body = pieces[0];
+  for (size_t i = 1; i < pieces.size(); ++i) {
+    body += "\n.Union(" + pieces[i] + ")";
+  }
+  os << ".Multicast(" << inner << " => " << body << ")";
+  return os.str();
+}
+
+std::string FlinkWindowCall(const Window& w) {
+  std::ostringstream os;
+  if (w.IsTumbling()) {
+    os << ".window(TumblingEventTimeWindows.of(Time.minutes(" << w.range()
+       << ")))";
+  } else {
+    os << ".window(SlidingEventTimeWindows.of(Time.minutes(" << w.range()
+       << "), Time.minutes(" << w.slide() << ")))";
+  }
+  return os.str();
+}
+
+}  // namespace
+
+std::string ToTrillExpression(const QueryPlan& plan) {
+  std::vector<int> roots = plan.Roots();
+  FW_CHECK(!roots.empty());
+  if (roots.size() == 1) {
+    return RenderTrill(plan, roots[0], "Input", 1);
+  }
+  std::string body = RenderTrill(plan, roots[0], "s", 1);
+  for (size_t i = 1; i < roots.size(); ++i) {
+    body += "\n.Union(" + RenderTrill(plan, roots[static_cast<int>(i)], "s",
+                                      1) +
+            ")";
+  }
+  return "Input.Multicast(s => " + body + ")";
+}
+
+std::string ToFlinkExpression(const QueryPlan& plan) {
+  // Flink's DataStream API names every intermediate stream; emit one
+  // assignment per operator, then the union of the exposed streams.
+  std::ostringstream os;
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    const PlanOperator& op = plan.op(static_cast<int>(i));
+    os << "DataStream<Agg> w" << i << " = ";
+    if (op.parent < 0) {
+      os << "input.keyBy(e -> e.key)";
+    } else {
+      os << "w" << op.parent << ".keyBy(a -> a.key)";
+    }
+    os << FlinkWindowCall(op.window) << ".aggregate(new "
+       << (op.parent < 0 ? "" : "Merge") << AggKindToString(plan.agg())
+       << "Aggregate())";
+    os << ";  // " << op.label << (op.exposed ? "" : " (factor window)")
+       << "\n";
+  }
+  std::vector<int> exposed = plan.ExposedOperators();
+  FW_CHECK(!exposed.empty());
+  os << "DataStream<Agg> result = w" << exposed[0];
+  for (size_t i = 1; i < exposed.size(); ++i) {
+    os << ".union(w" << exposed[i] << ")";
+  }
+  os << ";\n";
+  return os.str();
+}
+
+std::string ToDot(const QueryPlan& plan) {
+  std::ostringstream os;
+  os << "digraph plan {\n  rankdir=TB;\n  input [shape=box];\n"
+     << "  union [shape=box];\n";
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    const PlanOperator& op = plan.op(static_cast<int>(i));
+    os << "  n" << i << " [label=\"" << AggKindToString(plan.agg()) << " "
+       << op.label << "\"" << (op.is_factor ? ", style=dashed" : "")
+       << "];\n";
+  }
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    const PlanOperator& op = plan.op(static_cast<int>(i));
+    if (op.parent < 0) {
+      os << "  input -> n" << i << ";\n";
+    } else {
+      os << "  n" << op.parent << " -> n" << i << ";\n";
+    }
+    if (op.exposed) os << "  n" << i << " -> union;\n";
+  }
+  os << "}\n";
+  return os.str();
+}
+
+std::string ToJson(const QueryPlan& plan) {
+  std::ostringstream os;
+  os << "{\n  \"aggregate\": \"" << AggKindToString(plan.agg())
+     << "\",\n  \"operators\": [\n";
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    const PlanOperator& op = plan.op(static_cast<int>(i));
+    os << "    {\"id\": " << i << ", \"range\": " << op.window.range()
+       << ", \"slide\": " << op.window.slide()
+       << ", \"parent\": " << op.parent << ", \"exposed\": "
+       << (op.exposed ? "true" : "false") << ", \"factor\": "
+       << (op.is_factor ? "true" : "false") << "}"
+       << (i + 1 < plan.num_operators() ? "," : "") << "\n";
+  }
+  os << "  ]\n}\n";
+  return os.str();
+}
+
+std::string ToSummary(const QueryPlan& plan) {
+  std::ostringstream os;
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    const PlanOperator& op = plan.op(static_cast<int>(i));
+    os << "  " << op.label << " <- ";
+    if (op.parent < 0) {
+      os << "<input>";
+    } else {
+      os << plan.op(op.parent).label;
+    }
+    if (op.is_factor) os << "  [factor]";
+    if (!op.exposed) os << "  [hidden]";
+    os << "\n";
+  }
+  return os.str();
+}
+
+}  // namespace fw

@@ -1,0 +1,34 @@
+#ifndef FW_PLAN_PRINTER_H_
+#define FW_PLAN_PRINTER_H_
+
+#include <string>
+
+#include "plan/plan.h"
+
+namespace fw {
+
+/// Renders `plan` as a Trill-style functional expression in the shape the
+/// paper uses (Figures 1(b), 2(b), 2(c)): Multicast / window / GroupAggregate
+/// / Union chains. Exposed operators feed the final Union; factor windows
+/// appear as interior stages only.
+std::string ToTrillExpression(const QueryPlan& plan);
+
+/// Renders `plan` against the Apache Flink DataStream API in the style of
+/// the paper's §V-F translation (window assigners + aggregate + union).
+std::string ToFlinkExpression(const QueryPlan& plan);
+
+/// Graphviz rendering of the operator tree (Figure 2(a) style).
+std::string ToDot(const QueryPlan& plan);
+
+/// Compact one-operator-per-line summary used by EXPLAIN-style tooling:
+///   W(40, 40) <- T(20)   [exposed]
+std::string ToSummary(const QueryPlan& plan);
+
+/// Machine-readable JSON rendering of the plan (aggregate + one object
+/// per operator with window, parent, exposure and factor flags), for
+/// external tooling and plan diffing.
+std::string ToJson(const QueryPlan& plan);
+
+}  // namespace fw
+
+#endif  // FW_PLAN_PRINTER_H_

@@ -1,0 +1,49 @@
+#include "query/compile.h"
+
+#include "query/parser.h"
+
+namespace fw {
+
+Result<CompiledQuery> CompileQuery(const StreamQuery& query,
+                                   const OptimizerOptions& options) {
+  if (query.windows.empty()) {
+    return Status::InvalidArgument("query has no windows");
+  }
+  QueryPlan original = QueryPlan::Original(query.windows, query.agg);
+
+  if (!SupportsSharing(query.agg)) {
+    // Holistic fallback: execute every window independently (§III-A).
+    CompiledQuery compiled{query,    original, original, /*shared=*/false,
+                           CoverageSemantics::kCoveredBy,
+                           /*plan_cost=*/0.0,
+                           /*original_cost=*/0.0,
+                           /*optimize_seconds=*/0.0};
+    CostModel model(query.windows, options.eta);
+    compiled.original_cost = model.NaiveTotalCost(query.windows);
+    compiled.plan_cost = compiled.original_cost;
+    return compiled;
+  }
+
+  Result<OptimizationOutcome> outcome = OptimizeQuery(query.windows,
+                                                      query.agg, options);
+  if (!outcome.ok()) return outcome.status();
+  CompiledQuery compiled{
+      query,
+      QueryPlan::FromMinCostWcg(outcome->with_factors, query.agg),
+      std::move(original),
+      /*shared=*/true,
+      outcome->semantics,
+      outcome->with_factors.total_cost,
+      outcome->naive_cost,
+      outcome->optimize_seconds};
+  return compiled;
+}
+
+Result<CompiledQuery> CompileQuery(std::string_view sql,
+                                   const OptimizerOptions& options) {
+  Result<StreamQuery> query = ParseQuery(sql);
+  if (!query.ok()) return query.status();
+  return CompileQuery(*query, options);
+}
+
+}  // namespace fw

@@ -1,0 +1,51 @@
+#ifndef FW_QUERY_COMPILE_H_
+#define FW_QUERY_COMPILE_H_
+
+#include <string_view>
+
+#include "factor/optimizer.h"
+#include "plan/plan.h"
+#include "query/query.h"
+
+namespace fw {
+
+/// A query compiled through the cost-based optimizer: the chosen execution
+/// plan, the unoptimized plan for comparison, and model-cost metadata.
+struct CompiledQuery {
+  StreamQuery query;
+  /// The plan to execute: rewritten (with factor windows when they pay
+  /// off) for shareable aggregates, or the original plan for holistic
+  /// ones.
+  QueryPlan plan;
+  /// The unshared baseline plan.
+  QueryPlan original_plan;
+  /// Whether `plan` shares computation (false = holistic fallback).
+  bool shared = false;
+  /// Semantics used when shared.
+  CoverageSemantics semantics = CoverageSemantics::kCoveredBy;
+  /// Model costs (events per hyper-period).
+  double plan_cost = 0.0;
+  double original_cost = 0.0;
+  /// Optimizer latency, seconds.
+  double optimize_seconds = 0.0;
+
+  /// Model-predicted speedup of `plan` over the original plan.
+  double PredictedSpeedup() const {
+    return plan_cost > 0.0 ? original_cost / plan_cost : 1.0;
+  }
+};
+
+/// Compiles a parsed query: selects semantics from the aggregate, runs
+/// Algorithms 1 and 3, and rewrites to the best plan. Holistic aggregates
+/// compile to the original plan (shared == false), mirroring the paper's
+/// fallback.
+Result<CompiledQuery> CompileQuery(const StreamQuery& query,
+                                   const OptimizerOptions& options = {});
+
+/// Parse + compile in one step.
+Result<CompiledQuery> CompileQuery(std::string_view sql,
+                                   const OptimizerOptions& options = {});
+
+}  // namespace fw
+
+#endif  // FW_QUERY_COMPILE_H_

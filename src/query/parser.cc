@@ -1,0 +1,291 @@
+#include "query/parser.h"
+
+#include <cctype>
+#include <optional>
+#include <sstream>
+#include <vector>
+
+namespace fw {
+
+namespace {
+
+enum class TokenKind {
+  kIdent,
+  kNumber,
+  kLParen,
+  kRParen,
+  kComma,
+  kEnd,
+};
+
+struct Token {
+  TokenKind kind = TokenKind::kEnd;
+  std::string text;    // Identifier spelling (original case).
+  std::string upper;   // Upper-cased spelling for keyword matching.
+  TimeT number = 0;
+  size_t offset = 0;
+};
+
+class Lexer {
+ public:
+  explicit Lexer(std::string_view text) : text_(text) {}
+
+  Result<std::vector<Token>> Tokenize() {
+    std::vector<Token> tokens;
+    while (true) {
+      SkipSpaces();
+      Token token;
+      token.offset = pos_;
+      if (pos_ >= text_.size()) {
+        token.kind = TokenKind::kEnd;
+        tokens.push_back(token);
+        return tokens;
+      }
+      char c = text_[pos_];
+      if (c == '(') {
+        token.kind = TokenKind::kLParen;
+        ++pos_;
+      } else if (c == ')') {
+        token.kind = TokenKind::kRParen;
+        ++pos_;
+      } else if (c == ',') {
+        token.kind = TokenKind::kComma;
+        ++pos_;
+      } else if (std::isdigit(static_cast<unsigned char>(c))) {
+        token.kind = TokenKind::kNumber;
+        while (pos_ < text_.size() &&
+               std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+          token.number = token.number * 10 + (text_[pos_] - '0');
+          ++pos_;
+        }
+      } else if (std::isalpha(static_cast<unsigned char>(c)) || c == '_') {
+        token.kind = TokenKind::kIdent;
+        while (pos_ < text_.size() &&
+               (std::isalnum(static_cast<unsigned char>(text_[pos_])) ||
+                text_[pos_] == '_' || text_[pos_] == '.')) {
+          token.text.push_back(text_[pos_]);
+          token.upper.push_back(static_cast<char>(
+              std::toupper(static_cast<unsigned char>(text_[pos_]))));
+          ++pos_;
+        }
+      } else {
+        return Status::InvalidArgument(
+            std::string("unexpected character '") + c + "' at offset " +
+            std::to_string(pos_));
+      }
+      tokens.push_back(std::move(token));
+    }
+  }
+
+ private:
+  void SkipSpaces() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+  }
+
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+std::optional<AggKind> AggFromName(const std::string& upper) {
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
+                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
+                       AggKind::kVariance, AggKind::kRange,
+                       AggKind::kMedian}) {
+    if (upper == AggKindToString(kind)) return kind;
+  }
+  return std::nullopt;
+}
+
+class Parser {
+ public:
+  explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
+
+  Result<StreamQuery> Parse() {
+    StreamQuery query;
+    FW_RETURN_IF_ERROR(ExpectKeyword("SELECT"));
+    // Aggregate call.
+    Result<Token> agg_name = ExpectIdent("aggregate function");
+    if (!agg_name.ok()) return agg_name.status();
+    std::optional<AggKind> agg = AggFromName(agg_name->upper);
+    if (!agg.has_value()) {
+      return Error("unknown aggregate function '" + agg_name->text + "'",
+                   agg_name->offset);
+    }
+    query.agg = *agg;
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    Result<Token> column = ExpectIdent("value column");
+    if (!column.ok()) return column.status();
+    query.value_column = column->text;
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    // FROM clause.
+    FW_RETURN_IF_ERROR(ExpectKeyword("FROM"));
+    Result<Token> source = ExpectIdent("stream name");
+    if (!source.ok()) return source.status();
+    query.source = source->text;
+    // Optional GROUP BY.
+    bool saw_windows = false;
+    if (PeekKeyword("GROUP")) {
+      Advance();
+      FW_RETURN_IF_ERROR(ExpectKeyword("BY"));
+      while (true) {
+        if (PeekKeyword("WINDOWS")) {
+          if (saw_windows) {
+            return Error("duplicate WINDOWS clause", Peek().offset);
+          }
+          saw_windows = true;
+          FW_RETURN_IF_ERROR(ParseWindowsClause(&query));
+        } else {
+          Result<Token> key = ExpectIdent("grouping key");
+          if (!key.ok()) return key.status();
+          if (query.per_key) {
+            return Error("at most one grouping key is supported",
+                         key->offset);
+          }
+          query.per_key = true;
+          query.key_column = key->text;
+        }
+        if (Peek().kind == TokenKind::kComma) {
+          Advance();
+          continue;
+        }
+        break;
+      }
+    }
+    if (!saw_windows) {
+      return Status::InvalidArgument(
+          "query must contain a WINDOWS(...) clause");
+    }
+    if (Peek().kind != TokenKind::kEnd) {
+      return Error("trailing input after query", Peek().offset);
+    }
+    return query;
+  }
+
+ private:
+  const Token& Peek() const { return tokens_[index_]; }
+  void Advance() { ++index_; }
+
+  bool PeekKeyword(const std::string& keyword) const {
+    return Peek().kind == TokenKind::kIdent && Peek().upper == keyword;
+  }
+
+  Status Error(const std::string& message, size_t offset) const {
+    std::ostringstream os;
+    os << message << " (offset " << offset << ")";
+    return Status::InvalidArgument(os.str());
+  }
+
+  Status ExpectKeyword(const std::string& keyword) {
+    if (!PeekKeyword(keyword)) {
+      return Error("expected " + keyword, Peek().offset);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Status Expect(TokenKind kind, const std::string& what) {
+    if (Peek().kind != kind) {
+      return Error("expected " + what, Peek().offset);
+    }
+    Advance();
+    return Status::OK();
+  }
+
+  Result<Token> ExpectIdent(const std::string& what) {
+    if (Peek().kind != TokenKind::kIdent) {
+      return Error("expected " + what, Peek().offset);
+    }
+    Token token = Peek();
+    Advance();
+    return token;
+  }
+
+  Result<TimeT> ExpectNumber() {
+    if (Peek().kind != TokenKind::kNumber) {
+      return Error("expected number", Peek().offset);
+    }
+    TimeT value = Peek().number;
+    Advance();
+    return value;
+  }
+
+  Status ParseWindowsClause(StreamQuery* query) {
+    FW_RETURN_IF_ERROR(ExpectKeyword("WINDOWS"));
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    while (true) {
+      FW_RETURN_IF_ERROR(ParseWindow(query));
+      if (Peek().kind == TokenKind::kComma) {
+        Advance();
+        continue;
+      }
+      break;
+    }
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    return Status::OK();
+  }
+
+  Status ParseWindow(StreamQuery* query) {
+    Result<Token> kind = ExpectIdent("window constructor");
+    if (!kind.ok()) return kind.status();
+    bool tumbling;
+    if (kind->upper == "TUMBLINGWINDOW" || kind->upper == "T") {
+      tumbling = true;
+    } else if (kind->upper == "HOPPINGWINDOW" || kind->upper == "W") {
+      tumbling = false;
+    } else {
+      return Error("unknown window constructor '" + kind->text + "'",
+                   kind->offset);
+    }
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
+    Result<TimeT> range = ExpectNumber();
+    if (!range.ok()) return range.status();
+    TimeT slide = *range;
+    if (!tumbling) {
+      FW_RETURN_IF_ERROR(Expect(TokenKind::kComma, "','"));
+      Result<TimeT> s = ExpectNumber();
+      if (!s.ok()) return s.status();
+      slide = *s;
+    }
+    FW_RETURN_IF_ERROR(Expect(TokenKind::kRParen, "')'"));
+    Result<Window> window = Window::Make(*range, slide);
+    if (!window.ok()) return window.status();
+    return query->windows.Add(*window);
+  }
+
+  std::vector<Token> tokens_;
+  size_t index_ = 0;
+};
+
+}  // namespace
+
+Result<StreamQuery> ParseQuery(std::string_view sql) {
+  Lexer lexer(sql);
+  Result<std::vector<Token>> tokens = lexer.Tokenize();
+  if (!tokens.ok()) return tokens.status();
+  Parser parser(std::move(*tokens));
+  return parser.Parse();
+}
+
+std::string StreamQuery::ToSql() const {
+  std::ostringstream os;
+  os << "SELECT " << AggKindToString(agg) << "(" << value_column
+     << ") FROM " << source << " GROUP BY ";
+  if (per_key) os << key_column << ", ";
+  os << "WINDOWS(";
+  for (size_t i = 0; i < windows.size(); ++i) {
+    if (i > 0) os << ", ";
+    const Window& w = windows[i];
+    if (w.IsTumbling()) {
+      os << "TUMBLINGWINDOW(" << w.range() << ")";
+    } else {
+      os << "HOPPINGWINDOW(" << w.range() << ", " << w.slide() << ")";
+    }
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace fw

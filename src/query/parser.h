@@ -1,0 +1,29 @@
+#ifndef FW_QUERY_PARSER_H_
+#define FW_QUERY_PARSER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+
+namespace fw {
+
+/// Parses the library's ASA-flavoured query dialect into a StreamQuery.
+/// Grammar (keywords case-insensitive, identifiers case-sensitive):
+///
+///   query      := SELECT agg '(' ident ')' FROM ident [group]
+///   agg        := MIN | MAX | SUM | COUNT | AVG | STDEV | VARIANCE |
+///                 RANGE | MEDIAN
+///   group      := GROUP BY item (',' item)*
+///   item       := ident | windows
+///   windows    := WINDOWS '(' window (',' window)* ')'
+///   window     := TUMBLINGWINDOW '(' number ')'
+///               | HOPPINGWINDOW '(' number ',' number ')'   -- (range, slide)
+///               | T '(' number ')' | W '(' number ',' number ')'
+///
+/// Exactly one WINDOWS(...) clause is required (this is a multi-window
+/// aggregate front end), and at most one grouping key is supported.
+Result<StreamQuery> ParseQuery(std::string_view sql);
+
+}  // namespace fw
+
+#endif  // FW_QUERY_PARSER_H_

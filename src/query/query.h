@@ -1,0 +1,36 @@
+#ifndef FW_QUERY_QUERY_H_
+#define FW_QUERY_QUERY_H_
+
+#include <string>
+#include <string_view>
+
+#include "agg/aggregate.h"
+#include "common/status.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// A parsed multi-window aggregate query — the library's analogue of the
+/// ASA query of Figure 1(a). One aggregate function over one value column
+/// of one stream, optionally grouped by a key column, evaluated over a
+/// set of windows:
+///
+///   SELECT MIN(temperature) FROM input
+///   GROUP BY device_id, WINDOWS(TUMBLINGWINDOW(20), TUMBLINGWINDOW(30),
+///                               TUMBLINGWINDOW(40))
+struct StreamQuery {
+  std::string source;
+  AggKind agg = AggKind::kMin;
+  std::string value_column;
+  /// True when the query groups by a key column (per-device results).
+  bool per_key = false;
+  std::string key_column;
+  WindowSet windows;
+
+  /// Renders the query back to its SQL form (canonical keyword casing).
+  std::string ToSql() const;
+};
+
+}  // namespace fw
+
+#endif  // FW_QUERY_QUERY_H_

@@ -1,0 +1,89 @@
+#include "slicing/flat_fat.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+namespace {
+
+size_t RoundUpPowerOfTwo(size_t n) {
+  size_t p = 2;
+  while (p < n) p <<= 1;
+  return p;
+}
+
+}  // namespace
+
+FlatFat::FlatFat(AggKind agg, size_t capacity_hint)
+    : agg_(agg), capacity_(RoundUpPowerOfTwo(capacity_hint)) {
+  FW_CHECK(SupportsSharing(agg));
+  nodes_.assign(2 * capacity_, AggState{});
+}
+
+void FlatFat::Assign(uint64_t id, const AggState& state) {
+  size_t slot = LeafSlot(id);
+  nodes_[slot] = state;
+  // Refresh ancestors: each internal node is the merge of its children
+  // (empty children are skipped).
+  for (slot >>= 1; slot >= 1; slot >>= 1) {
+    const AggState& left = nodes_[2 * slot];
+    const AggState& right = nodes_[2 * slot + 1];
+    AggState combined = AggIdentity(agg_);
+    combined.n = 0;
+    if (left.n > 0) {
+      combined = left;
+      ++merge_ops_;
+    }
+    if (right.n > 0) {
+      if (combined.n == 0) {
+        combined = right;
+      } else {
+        AggMerge(agg_, &combined, right);
+      }
+      ++merge_ops_;
+    }
+    nodes_[slot] = combined;
+    if (slot == 1) break;
+  }
+}
+
+void FlatFat::CombineSlots(size_t from, size_t to, AggState* into) const {
+  // Standard iterative segment-tree range fold over leaf slots
+  // [from, to), both already offset by capacity_.
+  size_t lo = from;
+  size_t hi = to;
+  auto fold = [&](const AggState& node) {
+    if (node.n == 0) return;
+    if (into->n == 0) {
+      *into = node;
+    } else {
+      AggMerge(agg_, into, node);
+    }
+    ++merge_ops_;
+  };
+  while (lo < hi) {
+    if (lo & 1) fold(nodes_[lo++]);
+    if (hi & 1) fold(nodes_[--hi]);
+    lo >>= 1;
+    hi >>= 1;
+  }
+}
+
+AggState FlatFat::Query(uint64_t lo, uint64_t hi) const {
+  AggState result;
+  result.n = 0;
+  if (lo >= hi) return result;
+  FW_CHECK_LE(hi - lo, capacity_) << "query range exceeds ring capacity";
+  size_t lo_slot = LeafSlot(lo);
+  size_t hi_slot = LeafSlot(hi);  // One past the last leaf, ring-wrapped.
+  if (lo_slot < hi_slot) {
+    CombineSlots(lo_slot, hi_slot, &result);
+  } else {
+    // Wrapped range: [lo_slot, end) plus [begin, hi_slot).
+    CombineSlots(lo_slot, 2 * capacity_, &result);
+    CombineSlots(capacity_, hi_slot, &result);
+  }
+  return result;
+}
+
+}  // namespace fw

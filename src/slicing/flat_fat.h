@@ -1,0 +1,62 @@
+#ifndef FW_SLICING_FLAT_FAT_H_
+#define FW_SLICING_FLAT_FAT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "agg/aggregate.h"
+
+namespace fw {
+
+/// FlatFAT — the Flat Fixed-sized Aggregator Tree of Tangwongsan et al.
+/// (VLDB'15), the classic index behind lazy slice sharing: a complete
+/// binary tree stored in a flat array whose leaves are a ring of partial
+/// aggregates (slices) and whose internal nodes cache the merge of their
+/// children. Point updates and range queries both cost O(log capacity)
+/// merges.
+///
+/// Leaves are addressed by a monotonically increasing slice id; the ring
+/// wraps ids modulo the (power-of-two) capacity, so at most `capacity`
+/// consecutive ids may be live at once — the caller retires old slices by
+/// simply letting the ring reuse their leaves (Assign overwrites).
+class FlatFat {
+ public:
+  /// `capacity_hint` is rounded up to a power of two (minimum 2).
+  FlatFat(AggKind agg, size_t capacity_hint);
+
+  size_t capacity() const { return capacity_; }
+
+  /// Overwrites the leaf for slice `id` and refreshes the O(log n) path
+  /// to the root.
+  void Assign(uint64_t id, const AggState& state);
+
+  /// Marks slice `id` empty.
+  void Clear(uint64_t id) { Assign(id, AggState{}); }
+
+  /// Combines slices with ids in [lo, hi), which must span at most
+  /// `capacity` ids. Empty leaves contribute nothing; the result's n == 0
+  /// when every leaf in range is empty. Cost: O(log capacity) merges.
+  AggState Query(uint64_t lo, uint64_t hi) const;
+
+  /// Merge operations performed so far (for cost accounting).
+  uint64_t merge_ops() const { return merge_ops_; }
+  void ResetOps() { merge_ops_ = 0; }
+
+ private:
+  size_t LeafSlot(uint64_t id) const {
+    return capacity_ + (static_cast<size_t>(id) & (capacity_ - 1));
+  }
+
+  /// Combines the leaf range [from, to) given as ring slots (no wrap),
+  /// walking the tree bottom-up.
+  void CombineSlots(size_t from, size_t to, AggState* into) const;
+
+  AggKind agg_;
+  size_t capacity_ = 0;           // Power of two.
+  std::vector<AggState> nodes_;   // 1-based heap layout; size 2*capacity.
+  mutable uint64_t merge_ops_ = 0;
+};
+
+}  // namespace fw
+
+#endif  // FW_SLICING_FLAT_FAT_H_

@@ -1,0 +1,265 @@
+#include "slicing/slicer.h"
+
+#include <algorithm>
+#include <limits>
+
+#include "common/logging.h"
+#include "common/math_util.h"
+
+namespace fw {
+
+SlicingEvaluator::SlicingEvaluator(const WindowSet& windows, AggKind agg,
+                                   const Options& options, ResultSink* sink)
+    : windows_(windows.windows()),
+      agg_(agg),
+      options_(options),
+      sink_(sink),
+      identity_(AggIdentity(agg)) {
+  FW_CHECK(!windows_.empty());
+  FW_CHECK(SupportsSharing(agg))
+      << AggKindToString(agg) << " is holistic; slicing unsupported";
+  FW_CHECK(sink != nullptr);
+  FW_CHECK_GT(options.num_keys, 0u);
+  next_fire_m_.assign(windows_.size(), 0);
+  if (options_.mode == CombineMode::kLazyTree) {
+    size_t capacity = TreeCapacityHint();
+    trees_.reserve(options_.num_keys);
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      trees_.emplace_back(agg_, capacity);
+    }
+  }
+}
+
+size_t SlicingEvaluator::TreeCapacityHint() const {
+  // Any window instance spans at most rmax time units; slice edges within
+  // such a span are bounded by the start and end grids of every window.
+  TimeT rmax = 0;
+  for (const Window& w : windows_) rmax = std::max(rmax, w.range());
+  size_t edges = 2;  // Both endpoints.
+  for (const Window& w : windows_) {
+    edges += 2 * (static_cast<size_t>(rmax / w.slide()) + 2);
+  }
+  return edges + 4;  // Slack for the in-flight slice and firing lag.
+}
+
+TimeT SlicingEvaluator::EdgeAtOrBefore(TimeT t) const {
+  // Edges lie on every window's start grid (m*s) and end grid (m*s + r),
+  // so window instance boundaries always coincide with slice boundaries
+  // even when r is not a multiple of s.
+  TimeT best = 0;
+  for (const Window& w : windows_) {
+    best = std::max(best, FloorDiv(t, w.slide()) * w.slide());
+    TimeT end_grid = FloorDiv(t - w.range(), w.slide()) * w.slide() +
+                     w.range();
+    if (end_grid >= 0) best = std::max(best, end_grid);
+  }
+  return best;
+}
+
+TimeT SlicingEvaluator::EdgeAfter(TimeT t) const {
+  TimeT best = std::numeric_limits<TimeT>::max();
+  for (const Window& w : windows_) {
+    best = std::min(best, (FloorDiv(t, w.slide()) + 1) * w.slide());
+    TimeT end_grid = (FloorDiv(t - w.range(), w.slide()) + 1) * w.slide() +
+                     w.range();
+    best = std::min(best, end_grid);
+  }
+  return best;
+}
+
+void SlicingEvaluator::Push(const Event& event) {
+  const TimeT t = event.timestamp;
+  if (!started_) {
+    started_ = true;
+    current_.start = EdgeAtOrBefore(t);
+    current_.end = EdgeAfter(current_.start);
+    current_.states.assign(options_.num_keys, AggState{});
+    // Skip firing instances that ended before any data existed.
+    for (size_t w = 0; w < windows_.size(); ++w) {
+      // First instance whose end > t: m*s + r > t.
+      int64_t m =
+          FloorDiv(t - windows_[w].range(), windows_[w].slide()) + 1;
+      next_fire_m_[w] = std::max<int64_t>(m, 0);
+    }
+  }
+  while (t >= current_.end) RollSlice();
+  FW_CHECK_LT(event.key, options_.num_keys);
+  AggState& state = current_.states[event.key];
+  if (state.n == 0) state = identity_;
+  AggAccumulate(agg_, &state, event.value);
+  ++ops_;
+  last_event_time_ = t;
+}
+
+void SlicingEvaluator::HarvestTreeOps() {
+  for (FlatFat& tree : trees_) {
+    ops_ += tree.merge_ops();
+    tree.ResetOps();
+  }
+}
+
+void SlicingEvaluator::RollSlice() {
+  bool has_data = false;
+  for (const AggState& s : current_.states) has_data = has_data || s.n > 0;
+  TimeT closed_end = current_.end;
+  if (options_.mode == CombineMode::kLazyTree) {
+    // Every slice takes a ring slot (assigning empties clears any stale
+    // leaf from a previous lap of the ring).
+    current_.id = next_slice_id_++;
+    if (!store_.empty()) {
+      FW_CHECK_LT(current_.id - store_.front().id, trees_[0].capacity())
+          << "slice ring overflow; TreeCapacityHint too small";
+    }
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      trees_[key].Assign(current_.id, current_.states[key]);
+    }
+    HarvestTreeOps();
+    Slice archived;
+    archived.start = current_.start;
+    archived.end = current_.end;
+    archived.id = current_.id;
+    store_.push_back(std::move(archived));  // States live in the trees.
+  } else if (has_data) {
+    store_.push_back(std::move(current_));
+  }
+  // Every window instance ending at or before the closed edge is complete.
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    FireDueInstances(w, closed_end);
+  }
+  PruneStore();
+  current_.start = closed_end;
+  current_.end = EdgeAfter(closed_end);
+  current_.states.assign(options_.num_keys, AggState{});
+}
+
+void SlicingEvaluator::FireDueInstances(size_t w, TimeT watermark) {
+  const Window& window = windows_[w];
+  while (next_fire_m_[w] * window.slide() + window.range() <= watermark) {
+    int64_t m = next_fire_m_[w]++;
+    FireInstance(w, m * window.slide(),
+                 m * window.slide() + window.range());
+  }
+}
+
+void SlicingEvaluator::FireInstance(size_t w, TimeT start, TimeT end) {
+  if (options_.mode == CombineMode::kLazyTree) {
+    // Locate the slice-id range spanned by [start, end) — store_ is
+    // ordered by time and id.
+    auto first = std::lower_bound(
+        store_.begin(), store_.end(), start,
+        [](const Slice& s, TimeT value) { return s.start < value; });
+    uint64_t id_lo = 0;
+    uint64_t id_hi = 0;  // Exclusive.
+    bool any = false;
+    for (auto it = first; it != store_.end() && it->start < end; ++it) {
+      FW_CHECK_GE(it->start, start);
+      FW_CHECK_LE(it->end, end);
+      if (!any) id_lo = it->id;
+      id_hi = it->id + 1;
+      any = true;
+    }
+    if (!any) return;
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      AggState combined = trees_[key].Query(id_lo, id_hi);
+      if (combined.n == 0) continue;
+      sink_->OnResult(WindowResult{static_cast<int>(w), start, end, key,
+                                   AggFinalize(agg_, combined)});
+    }
+    HarvestTreeOps();
+    return;
+  }
+
+  std::vector<AggState> combined(options_.num_keys, AggState{});
+  auto merge_slice = [&](const Slice& slice) {
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      const AggState& s = slice.states[key];
+      if (s.n == 0) continue;
+      AggState& c = combined[key];
+      if (c.n == 0) c = identity_;
+      AggMerge(agg_, &c, s);
+      ++ops_;
+    }
+  };
+  for (const Slice& slice : store_) {
+    if (slice.end <= start) continue;
+    if (slice.start >= end) break;
+    // Slice grids align with window starts/ends, so overlap implies
+    // containment (both endpoints are slide-grid edges).
+    FW_CHECK_GE(slice.start, start);
+    FW_CHECK_LE(slice.end, end);
+    merge_slice(slice);
+  }
+  for (uint32_t key = 0; key < options_.num_keys; ++key) {
+    if (combined[key].n == 0) continue;
+    sink_->OnResult(WindowResult{static_cast<int>(w), start, end, key,
+                                 AggFinalize(agg_, combined[key])});
+  }
+}
+
+void SlicingEvaluator::PruneStore() {
+  TimeT keep_from = std::numeric_limits<TimeT>::max();
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    keep_from =
+        std::min(keep_from, next_fire_m_[w] * windows_[w].slide());
+  }
+  while (!store_.empty() && store_.front().end <= keep_from) {
+    store_.pop_front();
+  }
+}
+
+void SlicingEvaluator::Finish() {
+  if (!started_) return;
+  bool has_data = false;
+  for (const AggState& s : current_.states) has_data = has_data || s.n > 0;
+  if (options_.mode == CombineMode::kLazyTree) {
+    current_.id = next_slice_id_++;
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      trees_[key].Assign(current_.id, current_.states[key]);
+    }
+    HarvestTreeOps();
+    Slice archived;
+    archived.start = current_.start;
+    archived.end = current_.end;
+    archived.id = current_.id;
+    store_.push_back(std::move(archived));
+  } else if (has_data) {
+    store_.push_back(std::move(current_));
+  }
+  current_.states.assign(options_.num_keys, AggState{});
+  // Fire every remaining instance that overlaps the observed data,
+  // mirroring the engine's end-of-stream flush of open instances.
+  const TimeT data_high = last_event_time_ + 1;
+  for (size_t w = 0; w < windows_.size(); ++w) {
+    const Window& window = windows_[w];
+    while (next_fire_m_[w] * window.slide() < data_high) {
+      int64_t m = next_fire_m_[w]++;
+      FireInstance(w, m * window.slide(),
+                   m * window.slide() + window.range());
+    }
+  }
+  store_.clear();
+}
+
+void SlicingEvaluator::Run(const std::vector<Event>& events) {
+  for (const Event& e : events) Push(e);
+  Finish();
+}
+
+void SlicingEvaluator::Reset() {
+  started_ = false;
+  last_event_time_ = 0;
+  current_ = Slice{};
+  store_.clear();
+  next_slice_id_ = 0;
+  if (options_.mode == CombineMode::kLazyTree) {
+    size_t capacity = TreeCapacityHint();
+    trees_.clear();
+    for (uint32_t key = 0; key < options_.num_keys; ++key) {
+      trees_.emplace_back(agg_, capacity);
+    }
+  }
+  next_fire_m_.assign(windows_.size(), 0);
+  ops_ = 0;
+}
+
+}  // namespace fw

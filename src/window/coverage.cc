@@ -1,0 +1,108 @@
+#include "window/coverage.h"
+
+#include <algorithm>
+
+#include "common/logging.h"
+
+namespace fw {
+
+const char* CoverageSemanticsToString(CoverageSemantics semantics) {
+  switch (semantics) {
+    case CoverageSemantics::kCoveredBy:
+      return "covered-by";
+    case CoverageSemantics::kPartitionedBy:
+      return "partitioned-by";
+  }
+  return "unknown";
+}
+
+bool IsCoveredBy(const Window& w1, const Window& w2) {
+  if (w1 == w2) return true;  // Reflexive special case (Definition 1).
+  if (w1.range() <= w2.range()) return false;
+  if (w1.slide() % w2.slide() != 0) return false;
+  if ((w1.range() - w2.range()) % w2.slide() != 0) return false;
+  return true;
+}
+
+bool IsStrictlyCoveredBy(const Window& w1, const Window& w2) {
+  return !(w1 == w2) && IsCoveredBy(w1, w2);
+}
+
+bool IsPartitionedBy(const Window& w1, const Window& w2) {
+  if (w1 == w2) return true;  // Reflexive, as with coverage.
+  if (w1.range() <= w2.range()) return false;
+  if (!w2.IsTumbling()) return false;  // Condition (3).
+  if (w1.slide() % w2.slide() != 0) return false;
+  if (w1.range() % w2.slide() != 0) return false;
+  return true;
+}
+
+bool IsStrictlyPartitionedBy(const Window& w1, const Window& w2) {
+  return !(w1 == w2) && IsPartitionedBy(w1, w2);
+}
+
+bool IsStrictlyRelated(const Window& w1, const Window& w2,
+                       CoverageSemantics semantics) {
+  switch (semantics) {
+    case CoverageSemantics::kCoveredBy:
+      return IsStrictlyCoveredBy(w1, w2);
+    case CoverageSemantics::kPartitionedBy:
+      return IsStrictlyPartitionedBy(w1, w2);
+  }
+  return false;
+}
+
+int64_t CoveringMultiplier(const Window& w1, const Window& w2) {
+  FW_CHECK(IsCoveredBy(w1, w2))
+      << w1.ToString() << " is not covered by " << w2.ToString();
+  return 1 + (w1.range() - w2.range()) / w2.slide();
+}
+
+std::vector<Interval> CoveringSet(const Window& w1, const Interval& interval,
+                                  const Window& w2) {
+  FW_CHECK(IsCoveredBy(w1, w2));
+  FW_CHECK_EQ(interval.length(), w1.range());
+  FW_CHECK_EQ(interval.start % w1.slide(), 0);
+  // W2 intervals [m*s2, m*s2 + r2) with interval.start <= m*s2 and
+  // m*s2 + r2 <= interval.end. Both bounds divide exactly by Theorem 1.
+  std::vector<Interval> out;
+  int64_t m_lo = interval.start / w2.slide();
+  int64_t m_hi = (interval.end - w2.range()) / w2.slide();
+  for (int64_t m = m_lo; m <= m_hi; ++m) out.push_back(w2.IntervalAt(m));
+  return out;
+}
+
+bool IntervalIsCoveredBy(const Interval& interval,
+                         std::vector<Interval> pieces) {
+  if (pieces.empty()) return false;
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Interval& a, const Interval& b) {
+              if (a.start != b.start) return a.start < b.start;
+              return a.end < b.end;
+            });
+  if (pieces.front().start != interval.start) return false;
+  TimeT reach = pieces.front().start;
+  for (const Interval& p : pieces) {
+    if (p.start > reach) return false;  // Gap.
+    if (p.start < interval.start || p.end > interval.end) return false;
+    reach = std::max(reach, p.end);
+  }
+  return reach == interval.end;
+}
+
+bool IntervalIsPartitionedBy(const Interval& interval,
+                             std::vector<Interval> pieces) {
+  if (pieces.empty()) return false;
+  std::sort(pieces.begin(), pieces.end(),
+            [](const Interval& a, const Interval& b) {
+              return a.start < b.start;
+            });
+  TimeT cursor = interval.start;
+  for (const Interval& p : pieces) {
+    if (p.start != cursor) return false;  // Gap or overlap.
+    cursor = p.end;
+  }
+  return cursor == interval.end;
+}
+
+}  // namespace fw

@@ -1,0 +1,71 @@
+#ifndef FW_WINDOW_COVERAGE_H_
+#define FW_WINDOW_COVERAGE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "window/window.h"
+
+namespace fw {
+
+/// The two sharing semantics of the paper. Which one applies is a property
+/// of the aggregate function (§III-A): MIN/MAX tolerate overlapping
+/// sub-aggregates and may use the general "covered by" relation; SUM/COUNT/
+/// AVG/STDEV require disjoint partitions and must use "partitioned by".
+enum class CoverageSemantics {
+  kCoveredBy,
+  kPartitionedBy,
+};
+
+const char* CoverageSemanticsToString(CoverageSemantics semantics);
+
+/// Theorem 1: W1 is covered by W2 (written W1 <= W2) iff
+///   (1) s1 is a multiple of s2, and
+///   (2) r1 - r2 is a multiple of s2,
+/// with r1 > r2 (Definition 1). Coverage is also reflexive by definition;
+/// this predicate includes the W1 == W2 case.
+bool IsCoveredBy(const Window& w1, const Window& w2);
+
+/// Strict coverage: IsCoveredBy and w1 != w2 (so r1 > r2). This is the
+/// relation used for WCG edges, where self-loops are meaningless.
+bool IsStrictlyCoveredBy(const Window& w1, const Window& w2);
+
+/// Theorem 4: W1 is partitioned by W2 iff
+///   (1) s1 is a multiple of s2,
+///   (2) r1 is a multiple of s2, and
+///   (3) r2 == s2 (W2 tumbling),
+/// again with the reflexive case included.
+bool IsPartitionedBy(const Window& w1, const Window& w2);
+
+/// Strict partitioning (w1 != w2).
+bool IsStrictlyPartitionedBy(const Window& w1, const Window& w2);
+
+/// Dispatches to the strict relation for `semantics`.
+bool IsStrictlyRelated(const Window& w1, const Window& w2,
+                       CoverageSemantics semantics);
+
+/// Theorem 3: the covering multiplier M(W1, W2) = 1 + (r1 - r2)/s2, i.e.,
+/// the number of W2 intervals in the covering set of any W1 interval.
+/// Requires IsCoveredBy(w1, w2).
+int64_t CoveringMultiplier(const Window& w1, const Window& w2);
+
+/// Definition 2: the covering set of the W1 interval `interval` in W2 —
+/// all W2 intervals [u, v) with interval.start <= u and v <= interval.end.
+/// Requires IsCoveredBy(w1, w2) and that `interval` is an interval of w1
+/// (start a non-negative multiple of w1.slide()).
+std::vector<Interval> CoveringSet(const Window& w1, const Interval& interval,
+                                  const Window& w2);
+
+/// Definition 3 helper: true when `interval` equals the union of `pieces`
+/// (pieces need not be disjoint). Used by tests and by the verifier.
+bool IntervalIsCoveredBy(const Interval& interval,
+                         std::vector<Interval> pieces);
+
+/// Definition 4 helper: true when `pieces` are pairwise disjoint and their
+/// union is exactly `interval`.
+bool IntervalIsPartitionedBy(const Interval& interval,
+                             std::vector<Interval> pieces);
+
+}  // namespace fw
+
+#endif  // FW_WINDOW_COVERAGE_H_

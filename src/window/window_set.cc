@@ -1,0 +1,180 @@
+#include "window/window_set.h"
+
+#include <algorithm>
+#include <cctype>
+#include <sstream>
+
+namespace fw {
+
+Result<WindowSet> WindowSet::Make(std::vector<Window> windows) {
+  WindowSet set;
+  for (const Window& w : windows) {
+    FW_RETURN_IF_ERROR(set.Add(w));
+  }
+  return set;
+}
+
+Status WindowSet::Add(const Window& window) {
+  if (Contains(window)) {
+    return Status::AlreadyExists("duplicate window " + window.ToString());
+  }
+  windows_.push_back(window);
+  return Status::OK();
+}
+
+Status WindowSet::Remove(const Window& window) {
+  auto it = std::find(windows_.begin(), windows_.end(), window);
+  if (it == windows_.end()) {
+    return Status::NotFound("window " + window.ToString() + " not in set");
+  }
+  windows_.erase(it);
+  return Status::OK();
+}
+
+bool WindowSet::Contains(const Window& window) const {
+  return std::find(windows_.begin(), windows_.end(), window) !=
+         windows_.end();
+}
+
+std::vector<uint64_t> WindowSet::Ranges() const {
+  std::vector<uint64_t> out;
+  out.reserve(windows_.size());
+  for (const Window& w : windows_) {
+    out.push_back(static_cast<uint64_t>(w.range()));
+  }
+  return out;
+}
+
+std::vector<uint64_t> WindowSet::Slides() const {
+  std::vector<uint64_t> out;
+  out.reserve(windows_.size());
+  for (const Window& w : windows_) {
+    out.push_back(static_cast<uint64_t>(w.slide()));
+  }
+  return out;
+}
+
+bool WindowSet::AllTumbling() const {
+  return std::all_of(windows_.begin(), windows_.end(),
+                     [](const Window& w) { return w.IsTumbling(); });
+}
+
+std::string WindowSet::ToString() const {
+  std::ostringstream os;
+  os << "{";
+  for (size_t i = 0; i < windows_.size(); ++i) {
+    if (i > 0) os << ", ";
+    os << windows_[i].ToString();
+  }
+  os << "}";
+  return os.str();
+}
+
+namespace {
+
+// Minimal recursive-descent scanner for the window-set spec grammar.
+class SpecScanner {
+ public:
+  explicit SpecScanner(std::string_view text) : text_(text) {}
+
+  void SkipSpaces() {
+    while (pos_ < text_.size() &&
+           (std::isspace(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == ',')) {
+      ++pos_;
+    }
+  }
+
+  bool AtEnd() {
+    SkipSpaces();
+    return pos_ >= text_.size();
+  }
+
+  bool Consume(char c) {
+    SkipSpaces();
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  Result<char> ConsumeLetter() {
+    SkipSpaces();
+    if (pos_ < text_.size() &&
+        std::isalpha(static_cast<unsigned char>(text_[pos_]))) {
+      return text_[pos_++];
+    }
+    return Status::InvalidArgument("expected window kind letter at offset " +
+                                   std::to_string(pos_));
+  }
+
+  Result<TimeT> ConsumeNumber() {
+    SkipSpaces();
+    size_t start = pos_;
+    while (pos_ < text_.size() &&
+           std::isdigit(static_cast<unsigned char>(text_[pos_]))) {
+      ++pos_;
+    }
+    if (pos_ == start) {
+      return Status::InvalidArgument("expected number at offset " +
+                                     std::to_string(pos_));
+    }
+    TimeT value = 0;
+    for (size_t i = start; i < pos_; ++i) {
+      value = value * 10 + (text_[i] - '0');
+    }
+    return value;
+  }
+
+ private:
+  std::string_view text_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+Result<WindowSet> WindowSet::Parse(std::string_view spec) {
+  SpecScanner scanner(spec);
+  bool braced = scanner.Consume('{');
+  WindowSet set;
+  while (true) {
+    if (braced && scanner.Consume('}')) break;
+    if (scanner.AtEnd()) {
+      if (braced) {
+        return Status::InvalidArgument("unterminated '{' in window spec");
+      }
+      break;
+    }
+    Result<char> kind = scanner.ConsumeLetter();
+    if (!kind.ok()) return kind.status();
+    char k = std::toupper(static_cast<unsigned char>(*kind));
+    if (k != 'T' && k != 'W') {
+      return Status::InvalidArgument(std::string("unknown window kind '") +
+                                     *kind + "'");
+    }
+    if (!scanner.Consume('(')) {
+      return Status::InvalidArgument("expected '(' after window kind");
+    }
+    Result<TimeT> range = scanner.ConsumeNumber();
+    if (!range.ok()) return range.status();
+    TimeT slide = *range;
+    if (k == 'W') {
+      Result<TimeT> s = scanner.ConsumeNumber();
+      if (!s.ok()) return s.status();
+      slide = *s;
+    }
+    if (!scanner.Consume(')')) {
+      return Status::InvalidArgument("expected ')' in window spec");
+    }
+    Result<Window> window = Window::Make(*range, slide);
+    if (!window.ok()) return window.status();
+    FW_RETURN_IF_ERROR(set.Add(*window));
+  }
+  if (set.empty()) {
+    return Status::InvalidArgument("empty window set spec");
+  }
+  return set;
+}
+
+}  // namespace fw

@@ -1,0 +1,65 @@
+#ifndef FW_WINDOW_WINDOW_SET_H_
+#define FW_WINDOW_WINDOW_SET_H_
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "window/window.h"
+
+namespace fw {
+
+/// A duplicate-free, insertion-ordered set of windows (paper §II-A). The
+/// aggregate over a window set is the union of the per-window aggregates.
+class WindowSet {
+ public:
+  WindowSet() = default;
+
+  /// Builds from a list; rejects duplicates.
+  static Result<WindowSet> Make(std::vector<Window> windows);
+
+  /// Adds a window; error if already present.
+  Status Add(const Window& window);
+
+  /// Removes a window; error if absent.
+  Status Remove(const Window& window);
+
+  bool Contains(const Window& window) const;
+
+  size_t size() const { return windows_.size(); }
+  bool empty() const { return windows_.empty(); }
+
+  const std::vector<Window>& windows() const { return windows_; }
+  const Window& operator[](size_t i) const { return windows_[i]; }
+
+  std::vector<Window>::const_iterator begin() const {
+    return windows_.begin();
+  }
+  std::vector<Window>::const_iterator end() const { return windows_.end(); }
+
+  /// All ranges, in insertion order.
+  std::vector<uint64_t> Ranges() const;
+
+  /// All slides, in insertion order.
+  std::vector<uint64_t> Slides() const;
+
+  /// True when every window is tumbling.
+  bool AllTumbling() const;
+
+  /// "{T(10), W(20, 5)}".
+  std::string ToString() const;
+
+  /// Parses a textual window-set spec: a comma/space separated list of
+  /// "T(r)" and "W(r,s)" items, optionally wrapped in braces, e.g.
+  /// "{T(20), T(30), W(40, 10)}". This is the library's tiny stand-in for
+  /// the ASA `Windows(...)` SQL clause.
+  static Result<WindowSet> Parse(std::string_view spec);
+
+ private:
+  std::vector<Window> windows_;
+};
+
+}  // namespace fw
+
+#endif  // FW_WINDOW_WINDOW_SET_H_

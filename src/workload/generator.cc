@@ -1,0 +1,56 @@
+#include "workload/generator.h"
+
+#include "common/logging.h"
+
+namespace fw {
+
+WindowSet RandomGenWindowSet(int size, bool tumbling, Rng* rng,
+                             const WindowGenConfig& config) {
+  FW_CHECK_GT(size, 0);
+  FW_CHECK(rng != nullptr);
+  WindowSet set;
+  int attempts = 0;
+  while (static_cast<int>(set.size()) < size) {
+    FW_CHECK_LT(attempts++, size * 1000)
+        << "window-set generator failed to find " << size
+        << " distinct windows";
+    Window w = [&] {
+      if (tumbling) {
+        TimeT r0 = rng->Pick(config.seed_ranges);
+        TimeT r = r0 * static_cast<TimeT>(
+                           rng->Uniform(2, static_cast<uint64_t>(config.kr)));
+        return Window(r, r);
+      }
+      TimeT s0 = rng->Pick(config.seed_slides);
+      TimeT s = s0 * static_cast<TimeT>(
+                         rng->Uniform(2, static_cast<uint64_t>(config.ks)));
+      return Window(2 * s, s);
+    }();
+    // Duplicate draws are simply retried (window sets have no duplicates).
+    (void)set.Add(w);
+  }
+  return set;
+}
+
+WindowSet SequentialGenWindowSet(int size, bool tumbling, Rng* rng,
+                                 const WindowGenConfig& config) {
+  FW_CHECK_GT(size, 0);
+  FW_CHECK(rng != nullptr);
+  WindowSet set;
+  if (tumbling) {
+    TimeT r0 = rng->Pick(config.seed_ranges);
+    for (int i = 0; i < size; ++i) {
+      TimeT r = r0 * static_cast<TimeT>(i + 2);  // 2*r0, 3*r0, ...
+      FW_CHECK(set.Add(Window(r, r)).ok());
+    }
+  } else {
+    TimeT s0 = rng->Pick(config.seed_slides);
+    for (int i = 0; i < size; ++i) {
+      TimeT s = s0 * static_cast<TimeT>(i + 2);
+      FW_CHECK(set.Add(Window(2 * s, s)).ok());
+    }
+  }
+  return set;
+}
+
+}  // namespace fw

@@ -1,0 +1,36 @@
+#ifndef FW_WORKLOAD_GENERATOR_H_
+#define FW_WORKLOAD_GENERATOR_H_
+
+#include "common/rng.h"
+#include "window/window_set.h"
+
+namespace fw {
+
+/// Parameters shared by the window-set generators (paper §V-A.3/§V-B):
+/// "seed" slides S (hopping windows fix r = 2s), "seed" ranges R (tumbling
+/// windows), and the multipliers k_s = k_r = 50.
+struct WindowGenConfig {
+  std::vector<TimeT> seed_slides = {5, 10, 20};
+  std::vector<TimeT> seed_ranges = {2, 5, 10};
+  int ks = 50;
+  int kr = 50;
+};
+
+/// Algorithm 6 (RandomGen): each window independently picks a seed and a
+/// uniformly random multiple of it in {2*seed, ..., k*seed}. r = seed*k for
+/// tumbling windows; (r, s) = (2s, s) with s = seed*k for hopping windows.
+/// r = 1*seed is purposely avoided so W⟨seed, seed⟩ remains an interesting
+/// factor-window candidate. Duplicates are redrawn (window sets are
+/// duplicate-free).
+WindowSet RandomGenWindowSet(int size, bool tumbling, Rng* rng,
+                             const WindowGenConfig& config = {});
+
+/// SequentialGen: one seed for the whole set; sizes follow the sequential
+/// pattern 2*seed, 3*seed, ..., (size+1)*seed — the common real-world
+/// "dashboards at increasing granularities" shape (Example 1).
+WindowSet SequentialGenWindowSet(int size, bool tumbling, Rng* rng,
+                                 const WindowGenConfig& config = {});
+
+}  // namespace fw
+
+#endif  // FW_WORKLOAD_GENERATOR_H_

@@ -1,0 +1,141 @@
+#include "adaptive/adaptive.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+WindowSet Example7Set() {
+  return WindowSet::Parse("{T(20), T(30), T(40)}").value();
+}
+
+int CountFactorOps(const QueryPlan& plan) {
+  int count = 0;
+  for (const PlanOperator& op : plan.operators()) {
+    count += op.is_factor ? 1 : 0;
+  }
+  return count;
+}
+
+TEST(RateEstimator, FirstObservationSetsRate) {
+  RateEstimator estimator(0.5);
+  EXPECT_DOUBLE_EQ(estimator.rate(), 1.0);
+  EXPECT_FALSE(estimator.has_observations());
+  estimator.ObserveBatch(500, 100);  // 5 events per unit.
+  EXPECT_TRUE(estimator.has_observations());
+  EXPECT_DOUBLE_EQ(estimator.rate(), 5.0);
+}
+
+TEST(RateEstimator, EwmaBlending) {
+  RateEstimator estimator(0.5);
+  estimator.ObserveBatch(400, 100);  // 4.
+  estimator.ObserveBatch(800, 100);  // 8 -> 0.5*8 + 0.5*4 = 6.
+  EXPECT_DOUBLE_EQ(estimator.rate(), 6.0);
+}
+
+TEST(RateEstimator, ZeroDurationBatchesFoldIntoNext) {
+  RateEstimator estimator(1.0);
+  estimator.ObserveBatch(100, 0);  // Burst, deferred.
+  EXPECT_FALSE(estimator.has_observations());
+  estimator.ObserveBatch(100, 100);  // (100 + 100) / 100 = 2.
+  EXPECT_DOUBLE_EQ(estimator.rate(), 2.0);
+}
+
+TEST(RateEstimatorDeathTest, AlphaValidation) {
+  EXPECT_DEATH(RateEstimator(0.0), "alpha");
+  EXPECT_DEATH(RateEstimator(1.5), "alpha");
+}
+
+TEST(AdaptiveOptimizer, InitialPlanAtUnitRate) {
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_DOUBLE_EQ(adaptive->planned_eta(), 1.0);
+  EXPECT_DOUBLE_EQ(adaptive->plan_cost(), 150.0);  // Example 7 w/ T(10).
+  EXPECT_EQ(CountFactorOps(adaptive->plan()), 1);
+  EXPECT_EQ(adaptive->reoptimize_count(), 0);
+}
+
+TEST(AdaptiveOptimizer, NoReoptimizationWithinThreshold) {
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+  ASSERT_TRUE(adaptive.ok());
+  adaptive->ObserveBatch(130, 100);  // 1.3 < 1.5 threshold.
+  EXPECT_FALSE(adaptive->MaybeReoptimize());
+  EXPECT_EQ(adaptive->reoptimize_count(), 0);
+}
+
+TEST(AdaptiveOptimizer, RateDropEvictsFactorWindow) {
+  // Example 7's factor window T(10) pays off only while η > 0.2: its raw
+  // scan costs η·R while it saves Σ n_j (η·r_j - M_j) downstream. At
+  // η = 0.05 raw reads are so cheap that sharing stops paying.
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+  ASSERT_TRUE(adaptive.ok());
+  EXPECT_EQ(CountFactorOps(adaptive->plan()), 1);
+  adaptive->ObserveBatch(50, 1000);  // η ≈ 0.05.
+  bool changed = adaptive->MaybeReoptimize();
+  EXPECT_TRUE(changed);
+  EXPECT_EQ(adaptive->reoptimize_count(), 1);
+  EXPECT_EQ(CountFactorOps(adaptive->plan()), 0);
+  EXPECT_NEAR(adaptive->planned_eta(), 0.05, 1e-9);
+}
+
+TEST(AdaptiveOptimizer, RateRecoveryReinstatesFactorWindow) {
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+  ASSERT_TRUE(adaptive.ok());
+  adaptive->ObserveBatch(50, 1000);  // η ≈ 0.05: factor evicted.
+  ASSERT_TRUE(adaptive->MaybeReoptimize());
+  ASSERT_EQ(CountFactorOps(adaptive->plan()), 0);
+  // Rate climbs back: EWMA with alpha 0.3 needs a few batches.
+  for (int i = 0; i < 20; ++i) adaptive->ObserveBatch(2000, 1000);
+  EXPECT_GT(adaptive->estimated_eta(), 1.0);
+  EXPECT_TRUE(adaptive->MaybeReoptimize());
+  EXPECT_EQ(CountFactorOps(adaptive->plan()), 1);
+}
+
+TEST(AdaptiveOptimizer, RateRiseKeepsPlanButRecosts) {
+  // Above η = 1 the Example-7 plan shape is stable; re-optimization
+  // happens but reports no structural change.
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+  ASSERT_TRUE(adaptive.ok());
+  adaptive->ObserveBatch(4000, 1000);  // η = 4.
+  EXPECT_FALSE(adaptive->MaybeReoptimize());  // Same structure.
+  EXPECT_EQ(adaptive->reoptimize_count(), 1);
+  EXPECT_DOUBLE_EQ(adaptive->planned_eta(), 4.0);
+  EXPECT_GT(adaptive->plan_cost(), 150.0);  // Raw scans cost 4x more.
+}
+
+TEST(AdaptiveOptimizer, HolisticRejected) {
+  Result<AdaptiveOptimizer> adaptive =
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kMedian);
+  EXPECT_FALSE(adaptive.ok());
+  EXPECT_EQ(adaptive.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(AdaptiveOptimizer, Validation) {
+  WindowSet empty;
+  EXPECT_FALSE(AdaptiveOptimizer::Make(empty, AggKind::kMin).ok());
+  AdaptiveOptimizer::Options options;
+  options.reoptimize_ratio = 1.0;
+  EXPECT_FALSE(
+      AdaptiveOptimizer::Make(Example7Set(), AggKind::kMin, options).ok());
+}
+
+TEST(PlansStructurallyEqual, DetectsDifferences) {
+  WindowSet set = Example7Set();
+  QueryPlan a = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan b = QueryPlan::Original(set, AggKind::kMin);
+  EXPECT_TRUE(PlansStructurallyEqual(a, b));
+  QueryPlan c = QueryPlan::Original(set, AggKind::kMax);
+  EXPECT_FALSE(PlansStructurallyEqual(a, c));
+  MinCostWcg wcg =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan d = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  EXPECT_FALSE(PlansStructurallyEqual(a, d));
+}
+
+}  // namespace
+}  // namespace fw

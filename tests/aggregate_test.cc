@@ -1,0 +1,269 @@
+#include "agg/aggregate.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fw {
+namespace {
+
+TEST(Taxonomy, GrayEtAlClasses) {
+  EXPECT_EQ(ClassOf(AggKind::kMin), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kMax), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kSum), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kCount), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(AggKind::kAvg), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggKind::kStdev), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggKind::kVariance), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggKind::kRange), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(AggKind::kMedian), AggClass::kHolistic);
+}
+
+TEST(Taxonomy, OverlapSafety) {
+  // Theorem 6: MIN and MAX tolerate overlapping partitions; RANGE does
+  // too because its state is a (min, max) pair (footnote-2 extension).
+  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kMin));
+  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kMax));
+  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kRange));
+  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kSum));
+  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kCount));
+  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kAvg));
+  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kStdev));
+  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kVariance));
+}
+
+TEST(Taxonomy, Sharing) {
+  EXPECT_TRUE(SupportsSharing(AggKind::kMin));
+  EXPECT_TRUE(SupportsSharing(AggKind::kAvg));
+  EXPECT_FALSE(SupportsSharing(AggKind::kMedian));
+}
+
+TEST(Taxonomy, SemanticsSelection) {
+  // Paper footnote 2.
+  EXPECT_EQ(SemanticsFor(AggKind::kMin).value(),
+            CoverageSemantics::kCoveredBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kMax).value(),
+            CoverageSemantics::kCoveredBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kSum).value(),
+            CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kCount).value(),
+            CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kAvg).value(),
+            CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kStdev).value(),
+            CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kVariance).value(),
+            CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kRange).value(),
+            CoverageSemantics::kCoveredBy);
+  EXPECT_EQ(SemanticsFor(AggKind::kMedian).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(Names, Strings) {
+  EXPECT_STREQ(AggKindToString(AggKind::kMin), "MIN");
+  EXPECT_STREQ(AggKindToString(AggKind::kStdev), "STDEV");
+  EXPECT_STREQ(AggClassToString(AggClass::kAlgebraic), "algebraic");
+  EXPECT_STREQ(AggClassToString(AggClass::kHolistic), "holistic");
+}
+
+TEST(Accumulate, Min) {
+  AggState s = AggIdentity(AggKind::kMin);
+  EXPECT_TRUE(s.empty());
+  AggAccumulate(AggKind::kMin, &s, 5.0);
+  AggAccumulate(AggKind::kMin, &s, 3.0);
+  AggAccumulate(AggKind::kMin, &s, 7.0);
+  EXPECT_EQ(s.n, 3u);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMin, s), 3.0);
+}
+
+TEST(Accumulate, Max) {
+  AggState s = AggIdentity(AggKind::kMax);
+  AggAccumulate(AggKind::kMax, &s, -5.0);
+  AggAccumulate(AggKind::kMax, &s, -3.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMax, s), -3.0);
+}
+
+TEST(Accumulate, SumCountAvg) {
+  AggState sum = AggIdentity(AggKind::kSum);
+  AggState cnt = AggIdentity(AggKind::kCount);
+  AggState avg = AggIdentity(AggKind::kAvg);
+  for (double v : {1.0, 2.0, 3.0, 4.0}) {
+    AggAccumulate(AggKind::kSum, &sum, v);
+    AggAccumulate(AggKind::kCount, &cnt, v);
+    AggAccumulate(AggKind::kAvg, &avg, v);
+  }
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, sum), 10.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kCount, cnt), 4.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kAvg, avg), 2.5);
+}
+
+TEST(Accumulate, Stdev) {
+  AggState s = AggIdentity(AggKind::kStdev);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    AggAccumulate(AggKind::kStdev, &s, v);
+  }
+  EXPECT_NEAR(AggFinalize(AggKind::kStdev, s), 2.0, 1e-12);
+}
+
+TEST(Accumulate, Variance) {
+  AggState s = AggIdentity(AggKind::kVariance);
+  for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
+    AggAccumulate(AggKind::kVariance, &s, v);
+  }
+  EXPECT_NEAR(AggFinalize(AggKind::kVariance, s), 4.0, 1e-12);
+}
+
+TEST(Accumulate, Range) {
+  AggState s = AggIdentity(AggKind::kRange);
+  for (double v : {5.0, -2.0, 3.0, 11.0}) {
+    AggAccumulate(AggKind::kRange, &s, v);
+  }
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kRange, s), 13.0);
+}
+
+TEST(Merge, RangeOverlapSafe) {
+  // RANGE over overlapping chunks equals the direct evaluation, since the
+  // (min, max) pair is insensitive to duplicates.
+  std::vector<double> all = {4.0, 8.0, 1.0, 6.0, 3.0};
+  auto chunk = [&](size_t lo, size_t hi) {
+    AggState s = AggIdentity(AggKind::kRange);
+    for (size_t i = lo; i < hi; ++i) {
+      AggAccumulate(AggKind::kRange, &s, all[i]);
+    }
+    return s;
+  };
+  AggState merged = AggIdentity(AggKind::kRange);
+  AggMerge(AggKind::kRange, &merged, chunk(0, 3));
+  AggMerge(AggKind::kRange, &merged, chunk(2, 5));  // Overlap at index 2.
+  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kRange, merged), 7.0);  // 8 - 1.
+}
+
+TEST(Merge, DisjointPartitionsMatchDirect) {
+  // Theorem 5: distributive/algebraic functions compose over disjoint
+  // partitions.
+  Rng rng(123);
+  std::vector<double> all;
+  for (int i = 0; i < 100; ++i) all.push_back(rng.UniformReal(-50, 50));
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
+                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
+                       AggKind::kVariance, AggKind::kRange}) {
+    AggState direct = AggIdentity(kind);
+    for (double v : all) AggAccumulate(kind, &direct, v);
+    // Three disjoint chunks merged.
+    AggState merged = AggIdentity(kind);
+    for (size_t lo : {0u, 33u, 71u}) {
+      size_t hi = lo == 0 ? 33 : (lo == 33 ? 71 : 100);
+      AggState part = AggIdentity(kind);
+      for (size_t i = lo; i < hi; ++i) AggAccumulate(kind, &part, all[i]);
+      AggMerge(kind, &merged, part);
+    }
+    EXPECT_NEAR(AggFinalize(kind, merged), AggFinalize(kind, direct), 1e-9)
+        << AggKindToString(kind);
+  }
+}
+
+TEST(Merge, OverlappingPartitionsSafeForMinMax) {
+  // Theorem 6: MIN/MAX stay correct under overlapping partitions; SUM and
+  // friends do not (double counting), which is why they require
+  // "partitioned by".
+  std::vector<double> all = {4.0, 8.0, 1.0, 6.0, 3.0};
+  auto chunk = [&](AggKind kind, size_t lo, size_t hi) {
+    AggState s = AggIdentity(kind);
+    for (size_t i = lo; i < hi; ++i) AggAccumulate(kind, &s, all[i]);
+    return s;
+  };
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax}) {
+    AggState direct = AggIdentity(kind);
+    for (double v : all) AggAccumulate(kind, &direct, v);
+    AggState merged = AggIdentity(kind);
+    AggMerge(kind, &merged, chunk(kind, 0, 3));
+    AggMerge(kind, &merged, chunk(kind, 2, 5));  // Overlaps element 2.
+    EXPECT_DOUBLE_EQ(AggFinalize(kind, merged), AggFinalize(kind, direct));
+  }
+  // SUM over the same overlapping chunks double-counts.
+  AggState sum = AggIdentity(AggKind::kSum);
+  AggMerge(AggKind::kSum, &sum, chunk(AggKind::kSum, 0, 3));
+  AggMerge(AggKind::kSum, &sum, chunk(AggKind::kSum, 2, 5));
+  EXPECT_NE(AggFinalize(AggKind::kSum, sum), 22.0);
+}
+
+TEST(Merge, EmptyStateIsIdentity) {
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
+                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
+                       AggKind::kVariance, AggKind::kRange}) {
+    AggState s = AggIdentity(kind);
+    AggAccumulate(kind, &s, 5.0);
+    AggState merged = AggIdentity(kind);
+    AggMerge(kind, &merged, s);
+    AggMerge(kind, &merged, AggIdentity(kind));
+    EXPECT_DOUBLE_EQ(AggFinalize(kind, merged), AggFinalize(kind, s));
+  }
+}
+
+TEST(FinalizeDeathTest, EmptyStateAborts) {
+  AggState empty = AggIdentity(AggKind::kMin);
+  EXPECT_DEATH(AggFinalize(AggKind::kMin, empty), "empty");
+}
+
+TEST(Holistic, MedianOddAndEven) {
+  HolisticState odd;
+  for (double v : {5.0, 1.0, 3.0}) odd.Add(v);
+  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &odd), 3.0);
+  HolisticState even;
+  for (double v : {4.0, 1.0, 3.0, 2.0}) even.Add(v);
+  // Lower median convention.
+  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &even), 2.0);
+}
+
+TEST(Holistic, SingleValue) {
+  HolisticState s;
+  s.Add(42.0);
+  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &s), 42.0);
+}
+
+TEST(Reference, MatchesManual) {
+  std::vector<double> vals = {3.0, 1.0, 4.0, 1.0, 5.0};
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMin, vals).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMax, vals).value(), 5.0);
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kSum, vals).value(), 14.0);
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kCount, vals).value(), 5.0);
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kAvg, vals).value(), 2.8);
+  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMedian, vals).value(), 3.0);
+  EXPECT_FALSE(AggReference(AggKind::kMin, {}).ok());
+}
+
+// Property: merging a random binary split equals direct evaluation for
+// every shareable aggregate.
+class SplitSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(SplitSweep, RandomSplitsCompose) {
+  Rng rng(static_cast<uint64_t>(GetParam()));
+  std::vector<double> values;
+  int n = 1 + static_cast<int>(rng.Uniform(1, 200));
+  for (int i = 0; i < n; ++i) values.push_back(rng.UniformReal(-10, 10));
+  size_t split = rng.Uniform(0, values.size());
+  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
+                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
+                       AggKind::kVariance, AggKind::kRange}) {
+    AggState left = AggIdentity(kind);
+    AggState right = AggIdentity(kind);
+    for (size_t i = 0; i < split; ++i) AggAccumulate(kind, &left, values[i]);
+    for (size_t i = split; i < values.size(); ++i) {
+      AggAccumulate(kind, &right, values[i]);
+    }
+    AggState merged = AggIdentity(kind);
+    AggMerge(kind, &merged, left);
+    AggMerge(kind, &merged, right);
+    EXPECT_NEAR(AggFinalize(kind, merged),
+                AggReference(kind, values).value(), 1e-9)
+        << AggKindToString(kind) << " split=" << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SplitSweep, ::testing::Range(1, 21));
+
+}  // namespace
+}  // namespace fw

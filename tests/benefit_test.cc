@@ -1,0 +1,276 @@
+#include "factor/benefit.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+// Direct δ_f from the definition: δ_f = Σ n_j (M(W_j,W) - M(W_j,W_f))
+//                                        - n_f · M(W_f,W).
+double DirectBenefit(const Window& target,
+                     const std::vector<Window>& downstream,
+                     const Window& factor, const CostModel& model) {
+  auto multiplier = [](const Window& a, const Window& b) {
+    return 1.0 + static_cast<double>(a.range() - b.range()) /
+                     static_cast<double>(b.slide());
+  };
+  double delta = 0.0;
+  for (const Window& wj : downstream) {
+    delta += model.RecurrenceCount(wj) *
+             (multiplier(wj, target) - multiplier(wj, factor));
+  }
+  delta -= model.RecurrenceCount(factor) * multiplier(factor, target);
+  return delta;
+}
+
+TEST(FactorBenefit, Example7FactorWindowHelps) {
+  // Inserting T(10) between S(1,1) and {T(20), T(30)} in Example 7:
+  // benefit = (c2' + c3') - (c1 + c2 + c3) computed over the affected
+  // nodes = (120 + 120) - (120 + 12 + 12) = 96.
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  Window root(1, 1);
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  Window factor = Window::Tumbling(10);
+  double benefit = FactorBenefit(root, downstream, factor, model);
+  EXPECT_DOUBLE_EQ(benefit, 96.0);
+  EXPECT_GT(benefit, 0.0);
+}
+
+TEST(FactorBenefit, MatchesDirectDefinition) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  Window root(1, 1);
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  for (TimeT rf : {2, 5, 10}) {
+    Window factor = Window::Tumbling(rf);
+    EXPECT_NEAR(FactorBenefit(root, downstream, factor, model),
+                DirectBenefit(root, downstream, factor, model), 1e-9)
+        << rf;
+  }
+}
+
+TEST(FactorBenefit, SingleTumblingConsumerNeverHelps) {
+  // Algorithm 4, case K=1 & k1=1: the factor only adds its own cost.
+  WindowSet set = Tumblings({20, 40});
+  CostModel model(set);
+  Window target = Window::Tumbling(20);
+  std::vector<Window> downstream = {Window::Tumbling(40)};
+  // No factor window fits strictly between T(20) and T(40), but evaluate
+  // the formula for the hypothetical W(40, 20)-style candidates anyway
+  // via a larger set where T(120) is downstream of T(20).
+  WindowSet set2 = Tumblings({20, 120});
+  CostModel model2(set2);
+  std::vector<Window> downstream2 = {Window::Tumbling(120)};
+  for (TimeT rf : {40, 60}) {
+    Window factor = Window::Tumbling(rf);
+    EXPECT_LT(FactorBenefit(Window::Tumbling(20), downstream2, factor,
+                            model2),
+              0.0)
+        << rf;
+    EXPECT_FALSE(IsBeneficialPartitionedBy(factor, Window::Tumbling(20),
+                                           downstream2, model2));
+  }
+  (void)target;
+  (void)downstream;
+  (void)model;
+}
+
+TEST(Lambda, Equation4) {
+  // For tumbling windows n_j == m_j so each term is 1.
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(
+      Lambda({Window::Tumbling(20), Window::Tumbling(30)}, model), 2.0);
+  // Hopping window W(20, 10): n = 1 + (120-20)/10 = 11, m = 6.
+  WindowSet set2;
+  ASSERT_TRUE(set2.Add(Window(20, 10)).ok());
+  ASSERT_TRUE(set2.Add(Window::Tumbling(30)).ok());
+  CostModel model2(set2);  // R = 60.
+  double n = 1.0 + (60.0 - 20.0) / 10.0;  // 5.
+  double m = 60.0 / 20.0;                 // 3.
+  EXPECT_DOUBLE_EQ(Lambda({Window(20, 10)}, model2), n / m);
+}
+
+TEST(Algorithm4, TwoConsumersAlwaysBeneficial) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  EXPECT_TRUE(IsBeneficialPartitionedBy(
+      Window::Tumbling(10), Window(1, 1),
+      {Window::Tumbling(20), Window::Tumbling(30)}, model));
+}
+
+TEST(Algorithm4, SingleHoppingConsumerLargeKAndM) {
+  // K=1, k1 >= 3, m1 >= 3 -> beneficial.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(30, 10)).ok());  // k1 = 3.
+  ASSERT_TRUE(set.Add(Window::Tumbling(90)).ok());
+  CostModel model(set);  // R = 90, m1 = 3.
+  EXPECT_TRUE(IsBeneficialPartitionedBy(Window::Tumbling(10), Window(1, 1),
+                                        {Window(30, 10)}, model));
+}
+
+TEST(Algorithm4, ThresholdCaseUsesLambdaFormula) {
+  // K=1, k1 = 2, m1 = 2: threshold = 1 + m1/((m1-1)(k1-1)) = 3.
+  // Factor helps only if r_f / r_W >= 3.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(8, 4)).ok());  // k1 = 2, r1 = 8.
+  ASSERT_TRUE(set.Add(Window::Tumbling(16)).ok());
+  CostModel model(set);  // R = 16, m1 = 2.
+  Window target(1, 1);
+  EXPECT_FALSE(IsBeneficialPartitionedBy(Window::Tumbling(2), target,
+                                         {Window(8, 4)}, model));
+  EXPECT_TRUE(IsBeneficialPartitionedBy(Window::Tumbling(4), target,
+                                        {Window(8, 4)}, model));
+}
+
+TEST(Algorithm4, DegenerateSingleInstance) {
+  // m1 == 1 (R == r1): never beneficial.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 5)).ok());
+  CostModel model(set);  // R = 20, m1 = 1.
+  EXPECT_FALSE(IsBeneficialPartitionedBy(Window::Tumbling(5), Window(1, 1),
+                                         {Window(20, 5)}, model));
+}
+
+TEST(Algorithm4, AgreementWithEquation2) {
+  // Theorem 8: Algorithm 4's verdict equals sign(δ_f) for tumbling factor
+  // and target windows, over a parameter grid.
+  for (TimeT r1 : {12, 24, 36, 48}) {
+    for (TimeT s1 : {2, 3, 4, 6, 12}) {
+      if (r1 % s1 != 0) continue;
+      for (TimeT big : {2, 3, 4}) {
+        WindowSet set;
+        ASSERT_TRUE(set.Add(Window(r1, s1)).ok());
+        ASSERT_TRUE(set.Add(Window::Tumbling(r1 * big)).ok());
+        CostModel model(set);
+        Window target(1, 1);
+        std::vector<Window> downstream = {Window(r1, s1)};
+        for (TimeT rf : {2, 3, 4, 6}) {
+          if (s1 % rf != 0 || r1 % rf != 0) continue;  // Must partition W1.
+          Window factor = Window::Tumbling(rf);
+          double delta = FactorBenefit(target, downstream, factor, model);
+          bool verdict =
+              IsBeneficialPartitionedBy(factor, target, downstream, model);
+          if (delta > 1e-9) {
+            EXPECT_TRUE(verdict)
+                << "r1=" << r1 << " s1=" << s1 << " rf=" << rf
+                << " delta=" << delta;
+          } else if (delta < -1e-9) {
+            EXPECT_FALSE(verdict)
+                << "r1=" << r1 << " s1=" << s1 << " rf=" << rf
+                << " delta=" << delta;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(FactorPlanCost, Example8Ordering) {
+  // Candidates T(10), T(5), T(2) for target S(1,1), downstream
+  // {T(20), T(30)}: coarser is cheaper.
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  Window target(1, 1);
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  double c10 = FactorPlanCost(target, downstream, Window::Tumbling(10), model);
+  double c5 = FactorPlanCost(target, downstream, Window::Tumbling(5), model);
+  double c2 = FactorPlanCost(target, downstream, Window::Tumbling(2), model);
+  EXPECT_LT(c10, c5);
+  EXPECT_LT(c5, c2);
+}
+
+TEST(Theorem9, AgreesWithPlanCostOrdering) {
+  // Property: Theorem9PrefersFirst(first, second) iff
+  // FactorPlanCost(first) <= FactorPlanCost(second), for eligible
+  // independent tumbling candidates.
+  Rng rng(99);
+  for (int trial = 0; trial < 200; ++trial) {
+    TimeT rw = static_cast<TimeT>(rng.Uniform(1, 4));
+    TimeT rf1 = rw * static_cast<TimeT>(rng.Uniform(2, 6));
+    TimeT rf2 = rw * static_cast<TimeT>(rng.Uniform(2, 6));
+    if (rf1 == rf2) continue;
+    // Downstream ranges are common multiples of both candidates.
+    TimeT base = rf1 * rf2;
+    WindowSet set;
+    ASSERT_TRUE(set.Add(Window::Tumbling(2 * base)).ok());
+    ASSERT_TRUE(set.Add(Window::Tumbling(3 * base)).ok());
+    CostModel model(set);
+    Window target = Window::Tumbling(rw);
+    std::vector<Window> downstream = {Window::Tumbling(2 * base),
+                                      Window::Tumbling(3 * base)};
+    bool t9 = Theorem9PrefersFirst(Window::Tumbling(rf1),
+                                   Window::Tumbling(rf2), target,
+                                   downstream, model);
+    double c1 =
+        FactorPlanCost(target, downstream, Window::Tumbling(rf1), model);
+    double c2 =
+        FactorPlanCost(target, downstream, Window::Tumbling(rf2), model);
+    EXPECT_EQ(t9, c1 <= c2 + 1e-9)
+        << "rw=" << rw << " rf1=" << rf1 << " rf2=" << rf2;
+  }
+}
+
+TEST(FactorBenefit, RawTargetScalesWithEventRate) {
+  // Our η-aware extension: with the target standing for the raw stream,
+  // the benefit of Example 7's factor window T(10) is δ(η) = 120η - 24 —
+  // positive above η = 0.2, negative below (the basis of the adaptive
+  // re-optimizer's plan flips).
+  WindowSet set = Tumblings({20, 30, 40});
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  Window factor = Window::Tumbling(10);
+  Window root(1, 1);
+  for (double eta : {0.05, 0.1, 0.2, 0.5, 1.0, 4.0}) {
+    CostModel model(set, eta);
+    double delta = FactorBenefit(root, downstream, factor, model,
+                                 /*target_is_raw=*/true);
+    EXPECT_NEAR(delta, 120.0 * eta - 24.0, 1e-9) << eta;
+  }
+  // At η = 1 the raw-target form coincides with the paper's Eq. 2
+  // (M(W, S(1,1)) == r == η·r).
+  CostModel unit(set, 1.0);
+  EXPECT_NEAR(FactorBenefit(root, downstream, factor, unit, true),
+              FactorBenefit(root, downstream, factor, unit, false), 1e-9);
+}
+
+TEST(FactorPlanCost, RawTargetUsesEventRate) {
+  WindowSet set = Tumblings({20, 30, 40});
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  Window factor = Window::Tumbling(10);
+  Window root(1, 1);
+  CostModel cheap(set, 1.0);
+  CostModel pricey(set, 3.0);
+  double base = FactorPlanCost(root, downstream, factor, cheap, true);
+  double scaled = FactorPlanCost(root, downstream, factor, pricey, true);
+  // Only the factor's raw scan scales: n_f·η·r_f = 120η.
+  EXPECT_NEAR(scaled - base, 2.0 * 120.0, 1e-9);
+}
+
+TEST(Theorem9, LargerRangeWinsForTumblingDownstream) {
+  WindowSet set = Tumblings({60, 90});
+  CostModel model(set);
+  std::vector<Window> downstream = {Window::Tumbling(60),
+                                    Window::Tumbling(90)};
+  EXPECT_TRUE(Theorem9PrefersFirst(Window::Tumbling(30), Window::Tumbling(15),
+                                   Window::Tumbling(5), downstream, model));
+  EXPECT_FALSE(Theorem9PrefersFirst(Window::Tumbling(15),
+                                    Window::Tumbling(30), Window::Tumbling(5),
+                                    downstream, model));
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,197 @@
+#include "factor/candidates.h"
+
+#include <gtest/gtest.h>
+
+#include "window/coverage.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+TEST(Algorithm5, Example8SelectsT10) {
+  // Target S(1,1), downstream {T(20), T(30)}: candidates T(10), T(5),
+  // T(2) are all beneficial; dependent pruning keeps T(10).
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window(1, 1), {Window::Tumbling(20), Window::Tumbling(30)}, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, Window::Tumbling(10));
+}
+
+TEST(Algorithm5, NoCandidateWhenGcdEqualsTargetRange) {
+  // Line 4-5: rd == rW means nothing fits between target and downstream.
+  WindowSet set = Tumblings({10, 20, 30});
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window::Tumbling(10), {Window::Tumbling(20), Window::Tumbling(30)},
+      model);
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(Algorithm5, SingleTumblingConsumerRejected) {
+  // K=1 with a tumbling consumer: Algorithm 4 rejects all candidates.
+  WindowSet set = Tumblings({2, 120});
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window::Tumbling(2), {Window::Tumbling(120)}, model);
+  EXPECT_FALSE(best.has_value());
+}
+
+TEST(Algorithm5, ExcludesExistingWindows) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  FactorSearchOptions options;
+  options.exclude = {Window::Tumbling(10)};
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window(1, 1), {Window::Tumbling(20), Window::Tumbling(30)}, model,
+      options);
+  // With T(10) off the table the next-best independent candidate wins.
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NE(*best, Window::Tumbling(10));
+  EXPECT_TRUE(IsStrictlyPartitionedBy(Window::Tumbling(20), *best));
+  EXPECT_TRUE(IsStrictlyPartitionedBy(Window::Tumbling(30), *best));
+}
+
+TEST(Algorithm5, HoppingTargetReturnsNothing) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  EXPECT_FALSE(FindBestFactorWindowPartitionedBy(
+                   Window(4, 2), {Window::Tumbling(20), Window::Tumbling(30)},
+                   model)
+                   .has_value());
+}
+
+TEST(Algorithm5, HoppingDownstreamUsesRangeGcd) {
+  // Downstream hopping windows W(40,20), W(60,30): rd = gcd(40,60) = 20;
+  // candidates must also partition each downstream window
+  // (slides 20, 30 => rf must divide gcd(20,30) = 10 too).
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(40, 20)).ok());
+  ASSERT_TRUE(set.Add(Window(60, 30)).ok());
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window(1, 1), {Window(40, 20), Window(60, 30)}, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, Window::Tumbling(10));
+  EXPECT_TRUE(IsStrictlyPartitionedBy(Window(40, 20), *best));
+  EXPECT_TRUE(IsStrictlyPartitionedBy(Window(60, 30), *best));
+}
+
+TEST(Algorithm5, SkipBenefitCheckAblation) {
+  // With the ablation flag, a candidate is returned even when Algorithm 4
+  // would reject it (single tumbling consumer).
+  WindowSet set = Tumblings({2, 120});
+  CostModel model(set);
+  FactorSearchOptions options;
+  options.skip_benefit_check = true;
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window::Tumbling(2), {Window::Tumbling(120)}, model, options);
+  EXPECT_TRUE(best.has_value());
+}
+
+TEST(Algorithm2, FindsHoppingFactorWindow) {
+  // Downstream hopping windows W(40,10) and W(60,10) from the raw stream:
+  // eligible slides divide gcd(10,10) = 10; candidate W(10,10) etc.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(40, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(60, 10)).ok());
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowCoveredBy(
+      Window(1, 1), {Window(40, 10), Window(60, 10)}, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_TRUE(IsStrictlyCoveredBy(Window(40, 10), *best));
+  EXPECT_TRUE(IsStrictlyCoveredBy(Window(60, 10), *best));
+  EXPECT_TRUE(IsStrictlyCoveredBy(*best, Window(1, 1)));
+}
+
+TEST(Algorithm2, RespectsSlideDivisibility) {
+  // Downstream slides {6, 10}: gcd = 2, so candidate slides ∈ {1, 2} ∩
+  // multiples of target slide.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(12, 6)).ok());
+  ASSERT_TRUE(set.Add(Window(20, 10)).ok());
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowCoveredBy(
+      Window(1, 1), {Window(12, 6), Window(20, 10)}, model);
+  if (best.has_value()) {
+    EXPECT_TRUE(best->slide() == 1 || best->slide() == 2);
+    EXPECT_TRUE(IsStrictlyCoveredBy(Window(12, 6), *best));
+    EXPECT_TRUE(IsStrictlyCoveredBy(Window(20, 10), *best));
+  }
+}
+
+TEST(Algorithm2, NoDownstreamNoCandidate) {
+  WindowSet set = Tumblings({20});
+  CostModel model(set);
+  EXPECT_FALSE(
+      FindBestFactorWindowCoveredBy(Window(1, 1), {}, model).has_value());
+  EXPECT_FALSE(FindBestFactorWindowPartitionedBy(Window(1, 1), {}, model)
+                   .has_value());
+}
+
+TEST(Algorithm2, ExcludesTargetItself) {
+  // The candidate grid can contain the target's own shape; it must be
+  // skipped.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(40, 10)).ok());
+  CostModel model(set);
+  FactorSearchOptions options;
+  options.exclude = {Window(20, 10), Window(40, 10)};
+  std::optional<Window> best = FindBestFactorWindowCoveredBy(
+      Window(20, 10), {Window(40, 10)}, model, options);
+  if (best.has_value()) {
+    EXPECT_NE(*best, Window(20, 10));
+    EXPECT_NE(*best, Window(40, 10));
+  }
+}
+
+TEST(Algorithm2, BenefitRequiredUnlessAblated) {
+  // A single downstream window with little overlap: every candidate has
+  // negative benefit, so the search comes back empty — but the ablation
+  // mode still returns the structurally best one.
+  WindowSet set = Tumblings({2, 120});
+  CostModel model(set);
+  std::optional<Window> honest = FindBestFactorWindowCoveredBy(
+      Window::Tumbling(2), {Window::Tumbling(120)}, model);
+  EXPECT_FALSE(honest.has_value());
+  FactorSearchOptions options;
+  options.skip_benefit_check = true;
+  std::optional<Window> forced = FindBestFactorWindowCoveredBy(
+      Window::Tumbling(2), {Window::Tumbling(120)}, model, options);
+  EXPECT_TRUE(forced.has_value());
+}
+
+TEST(Algorithm2, CandidateSatisfiesFigure9Constraints) {
+  // Property over generated shapes: any returned candidate is covered by
+  // the target and covers every downstream window.
+  for (TimeT s : {5, 10}) {
+    for (TimeT k1 : {4, 6}) {
+      for (TimeT k2 : {8, 12}) {
+        WindowSet set;
+        ASSERT_TRUE(set.Add(Window(k1 * s, s)).ok());
+        ASSERT_TRUE(set.Add(Window(k2 * s, s)).ok());
+        CostModel model(set);
+        std::vector<Window> downstream = {Window(k1 * s, s),
+                                          Window(k2 * s, s)};
+        std::optional<Window> best =
+            FindBestFactorWindowCoveredBy(Window(1, 1), downstream, model);
+        if (!best.has_value()) continue;
+        EXPECT_TRUE(IsStrictlyCoveredBy(*best, Window(1, 1)));
+        for (const Window& wj : downstream) {
+          EXPECT_TRUE(IsStrictlyCoveredBy(wj, *best))
+              << wj.ToString() << " vs " << best->ToString();
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,163 @@
+#include "exec/checkpoint.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "exec/engine.h"
+#include "factor/optimizer.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+QueryPlan Example7FactorPlan(AggKind agg = AggKind::kMin) {
+  WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  return QueryPlan::FromMinCostWcg(wcg, agg);
+}
+
+TEST(Checkpoint, SerializeDeserializeRoundTrip) {
+  ExecutorCheckpoint checkpoint;
+  OperatorCheckpoint op;
+  op.operator_id = 3;
+  op.next_m = 17;
+  op.next_open_start = 170;
+  op.accumulate_ops = 12345;
+  InstanceCheckpoint inst;
+  inst.m = 16;
+  AggState s;
+  s.v1 = 3.14159265358979;
+  s.v2 = -0.0;
+  s.n = 42;
+  inst.states = {s, AggState{}};
+  op.open_instances.push_back(inst);
+  checkpoint.operators.push_back(op);
+
+  Result<ExecutorCheckpoint> restored =
+      ExecutorCheckpoint::Deserialize(checkpoint.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  ASSERT_EQ(restored->operators.size(), 1u);
+  const OperatorCheckpoint& r = restored->operators[0];
+  EXPECT_EQ(r.operator_id, 3);
+  EXPECT_EQ(r.next_m, 17);
+  EXPECT_EQ(r.next_open_start, 170);
+  EXPECT_EQ(r.accumulate_ops, 12345u);
+  ASSERT_EQ(r.open_instances.size(), 1u);
+  ASSERT_EQ(r.open_instances[0].states.size(), 2u);
+  // Bit-exact doubles (including the signed zero).
+  EXPECT_EQ(r.open_instances[0].states[0].v1, 3.14159265358979);
+  EXPECT_TRUE(std::signbit(r.open_instances[0].states[0].v2));
+  EXPECT_EQ(r.open_instances[0].states[0].n, 42u);
+}
+
+TEST(Checkpoint, DeserializeRejectsGarbage) {
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("BOGUS 1 0").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 2 0").ok());
+  EXPECT_FALSE(
+      ExecutorCheckpoint::Deserialize("FWCKPT 1 1\nop 0 0").ok());
+}
+
+TEST(Checkpoint, ResumeProducesIdenticalResults) {
+  // Split a stream at an arbitrary point; run A->checkpoint->fresh
+  // executor->restore->B and compare against an uninterrupted run.
+  QueryPlan plan = Example7FactorPlan(AggKind::kSum);
+  std::vector<Event> events = GenerateSyntheticStream(5000, 2, 13);
+  const size_t split = 2347;
+
+  CollectingSink continuous;
+  PlanExecutor uninterrupted(plan, {.num_keys = 2}, &continuous);
+  uninterrupted.Run(events);
+
+  CollectingSink part_a;
+  ExecutorCheckpoint snapshot;
+  {
+    PlanExecutor first(plan, {.num_keys = 2}, &part_a);
+    for (size_t i = 0; i < split; ++i) first.Push(events[i]);
+    Result<ExecutorCheckpoint> cp = first.Checkpoint();
+    ASSERT_TRUE(cp.ok());
+    snapshot = *cp;
+    // `first` is destroyed without Finish — the crash being simulated.
+  }
+  // Round-trip through the wire format, as a real recovery would.
+  Result<ExecutorCheckpoint> rehydrated =
+      ExecutorCheckpoint::Deserialize(snapshot.Serialize());
+  ASSERT_TRUE(rehydrated.ok());
+
+  CollectingSink part_b;
+  PlanExecutor second(plan, {.num_keys = 2}, &part_b);
+  ASSERT_TRUE(second.Restore(*rehydrated).ok());
+  for (size_t i = split; i < events.size(); ++i) second.Push(events[i]);
+  second.Finish();
+
+  // Results before the checkpoint came from the first executor; results
+  // after from the second. Together they must equal the continuous run.
+  auto merged = part_a.ToMap();
+  for (const auto& [key, value] : part_b.ToMap()) {
+    merged.emplace(key, value);
+  }
+  EXPECT_EQ(merged, continuous.ToMap());
+  EXPECT_EQ(second.TotalAccumulateOps(), uninterrupted.TotalAccumulateOps());
+}
+
+TEST(Checkpoint, ResumeAcrossWindowBoundaries) {
+  // Checkpoint at several split points, including exact window edges.
+  QueryPlan plan = Example7FactorPlan(AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(1200, 1, 14);
+  CollectingSink continuous;
+  PlanExecutor uninterrupted(plan, {.num_keys = 1}, &continuous);
+  uninterrupted.Run(events);
+
+  for (size_t split : {1u, 119u, 120u, 121u, 600u, 1199u}) {
+    CollectingSink part_a;
+    PlanExecutor first(plan, {.num_keys = 1}, &part_a);
+    for (size_t i = 0; i < split; ++i) first.Push(events[i]);
+    Result<ExecutorCheckpoint> cp = first.Checkpoint();
+    ASSERT_TRUE(cp.ok());
+    CollectingSink part_b;
+    PlanExecutor second(plan, {.num_keys = 1}, &part_b);
+    ASSERT_TRUE(second.Restore(*cp).ok());
+    for (size_t i = split; i < events.size(); ++i) second.Push(events[i]);
+    second.Finish();
+    auto merged = part_a.ToMap();
+    for (const auto& [key, value] : part_b.ToMap()) {
+      merged.emplace(key, value);
+    }
+    EXPECT_EQ(merged, continuous.ToMap()) << "split=" << split;
+  }
+}
+
+TEST(Checkpoint, RestoreValidation) {
+  QueryPlan plan = Example7FactorPlan();
+  CollectingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  // Wrong operator count.
+  ExecutorCheckpoint wrong;
+  EXPECT_EQ(executor.Restore(wrong).code(), StatusCode::kInvalidArgument);
+  // Key-space mismatch.
+  Result<ExecutorCheckpoint> cp = executor.Checkpoint();
+  ASSERT_TRUE(cp.ok());
+  PlanExecutor other(plan, {.num_keys = 4}, &sink);
+  std::vector<Event> events = GenerateSyntheticStream(100, 1, 15);
+  PlanExecutor populated(plan, {.num_keys = 1}, &sink);
+  for (const Event& e : events) populated.Push(e);
+  Result<ExecutorCheckpoint> with_state = populated.Checkpoint();
+  ASSERT_TRUE(with_state.ok());
+  EXPECT_FALSE(other.Restore(*with_state).ok());
+}
+
+TEST(Checkpoint, HolisticPlansUnsupported) {
+  WindowSet set = WindowSet::Parse("{T(10)}").value();
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMedian);
+  CollectingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  EXPECT_EQ(executor.Checkpoint().status().code(),
+            StatusCode::kUnimplemented);
+  ExecutorCheckpoint empty;
+  EXPECT_EQ(executor.Restore(empty).code(), StatusCode::kUnimplemented);
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,145 @@
+#include "cost/cost_model.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+TEST(CostModel, HyperPeriodExample6) {
+  CostModel model(Tumblings({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(model.hyper_period(), 120.0);
+  ASSERT_TRUE(model.exact_hyper_period().has_value());
+  EXPECT_EQ(*model.exact_hyper_period(), 120u);
+}
+
+TEST(CostModel, MultiplicityAndRecurrenceTumbling) {
+  // For tumbling windows n_i == m_i == R/r_i.
+  CostModel model(Tumblings({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(model.Multiplicity(Window::Tumbling(10)), 12.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window::Tumbling(10)), 12.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window::Tumbling(20)), 6.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window::Tumbling(30)), 4.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window::Tumbling(40)), 3.0);
+}
+
+TEST(CostModel, RecurrenceHopping) {
+  // Equation 1: n = 1 + (m-1) r/s = 1 + (R - r)/s.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(10, 2)).ok());
+  ASSERT_TRUE(set.Add(Window(20, 4)).ok());
+  CostModel model(set);  // R = lcm(10, 20) = 20.
+  EXPECT_DOUBLE_EQ(model.hyper_period(), 20.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window(10, 2)), 6.0);
+  EXPECT_DOUBLE_EQ(model.RecurrenceCount(Window(20, 4)), 1.0);
+}
+
+TEST(CostModel, UnsharedCosts) {
+  // Example 6: each tumbling window's unshared cost is η·R = 120.
+  CostModel model(Tumblings({10, 20, 30, 40}));
+  for (TimeT r : {10, 20, 30, 40}) {
+    EXPECT_DOUBLE_EQ(model.UnsharedWindowCost(Window::Tumbling(r)), 120.0)
+        << r;
+  }
+  EXPECT_DOUBLE_EQ(model.UnsharedInstanceCost(Window::Tumbling(40)), 40.0);
+}
+
+TEST(CostModel, NaiveTotalCostExample6) {
+  // C = 4ηR = 480.
+  WindowSet set = Tumblings({10, 20, 30, 40});
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(model.NaiveTotalCost(set), 480.0);
+}
+
+TEST(CostModel, NaiveTotalCostExample7) {
+  // Without W1(10,10): C = 3R = 360.
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(model.NaiveTotalCost(set), 360.0);
+}
+
+TEST(CostModel, SharedCostExample6) {
+  // c4 = n4 * M(W4, W2) = 3 * 2 = 6; c2 = 6 * 2 = 12; c3 = 4 * 3 = 12.
+  CostModel model(Tumblings({10, 20, 30, 40}));
+  EXPECT_DOUBLE_EQ(
+      model.SharedWindowCost(Window::Tumbling(40), Window::Tumbling(20)),
+      6.0);
+  EXPECT_DOUBLE_EQ(
+      model.SharedWindowCost(Window::Tumbling(20), Window::Tumbling(10)),
+      12.0);
+  EXPECT_DOUBLE_EQ(
+      model.SharedWindowCost(Window::Tumbling(30), Window::Tumbling(10)),
+      12.0);
+}
+
+TEST(CostModel, EtaScalesUnsharedOnly) {
+  WindowSet set = Tumblings({10, 20});
+  CostModel fast(set, /*eta=*/4.0);
+  EXPECT_DOUBLE_EQ(fast.UnsharedInstanceCost(Window::Tumbling(10)), 40.0);
+  // Shared cost counts sub-aggregates, independent of η.
+  EXPECT_DOUBLE_EQ(
+      fast.SharedWindowCost(Window::Tumbling(20), Window::Tumbling(10)),
+      2.0 /*M*/ * 1.0 /*n2=R/r2=20/20*/);
+}
+
+TEST(CostModel, HopsVsTumblesHyperPeriodUsesRangesOnly) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(12, 3)).ok());
+  ASSERT_TRUE(set.Add(Window(8, 2)).ok());
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(model.hyper_period(), 24.0);
+}
+
+TEST(CostModel, OverflowFallsBackToReal) {
+  // Large pairwise-coprime ranges overflow the exact 64-bit lcm but the
+  // real-valued hyper-period stays usable.
+  WindowSet set;
+  for (TimeT r : {1000003, 1000033, 1000037, 1000039, 1000081, 1000099,
+                  1000117, 1000121}) {
+    ASSERT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  }
+  CostModel model(set);
+  EXPECT_FALSE(model.exact_hyper_period().has_value());
+  EXPECT_GT(model.hyper_period(), 1e48);
+  EXPECT_GT(model.RecurrenceCount(Window::Tumbling(1000003)), 0.0);
+}
+
+TEST(CostModelDeathTest, RequiresPositiveEtaAndNonEmptySet) {
+  WindowSet set = Tumblings({10});
+  EXPECT_DEATH(CostModel(set, 0.0), "eta");
+  WindowSet no_windows;
+  EXPECT_DEATH(CostModel{no_windows}, "empty");
+}
+
+// Property: across a grid of window sets, n_i and m_i are consistent with
+// Eq. 1 and shared costs never exceed unshared ones when the multiplier
+// is at most η·r (Observation 1 is a min).
+class CostSweep : public ::testing::TestWithParam<TimeT> {};
+
+TEST_P(CostSweep, RecurrenceMatchesClosedForm) {
+  TimeT base = GetParam();
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(2 * base, base)).ok());
+  ASSERT_TRUE(set.Add(Window(4 * base, 2 * base)).ok());
+  ASSERT_TRUE(set.Add(Window::Tumbling(6 * base)).ok());
+  CostModel model(set);
+  double R = model.hyper_period();
+  for (const Window& w : set) {
+    double m = R / static_cast<double>(w.range());
+    double n = 1.0 + (m - 1.0) * w.RangeSlideRatio();
+    EXPECT_DOUBLE_EQ(model.Multiplicity(w), m);
+    EXPECT_DOUBLE_EQ(model.RecurrenceCount(w), n);
+    EXPECT_DOUBLE_EQ(model.UnsharedWindowCost(w),
+                     n * static_cast<double>(w.range()));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Bases, CostSweep, ::testing::Values(1, 2, 3, 5, 7));
+
+}  // namespace
+}  // namespace fw

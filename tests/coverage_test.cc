@@ -1,0 +1,268 @@
+#include "window/coverage.h"
+
+#include <gtest/gtest.h>
+
+#include <vector>
+
+namespace fw {
+namespace {
+
+// Brute-force check of Definition 1 over the first `checks` intervals of
+// w1: every interval [a, b) of w1 must have w2-intervals starting exactly
+// at a and ending exactly at b, both contained in [a, b).
+bool BruteForceCoveredBy(const Window& w1, const Window& w2,
+                         int64_t checks = 16) {
+  if (w1 == w2) return true;
+  if (w1.range() <= w2.range()) return false;
+  for (int64_t m = 0; m < checks; ++m) {
+    Interval iv = w1.IntervalAt(m);
+    bool has_prefix = false;
+    bool has_suffix = false;
+    for (int64_t m2 = 0; w2.IntervalAt(m2).start < iv.end; ++m2) {
+      Interval jv = w2.IntervalAt(m2);
+      if (jv.start == iv.start && jv.end < iv.end) has_prefix = true;
+      if (jv.end == iv.end && jv.start > iv.start) has_suffix = true;
+    }
+    if (!has_prefix || !has_suffix) return false;
+  }
+  return true;
+}
+
+TEST(Coverage, PaperExample2And3) {
+  // W1(10, 2) is covered by W2(8, 2): s1/s2 = 1, (r1-r2)/s2 = 1.
+  Window w1(10, 2);
+  Window w2(8, 2);
+  EXPECT_TRUE(IsCoveredBy(w1, w2));
+  EXPECT_TRUE(IsStrictlyCoveredBy(w1, w2));
+  EXPECT_FALSE(IsCoveredBy(w2, w1));
+}
+
+TEST(Coverage, Reflexive) {
+  Window w(10, 2);
+  EXPECT_TRUE(IsCoveredBy(w, w));
+  EXPECT_FALSE(IsStrictlyCoveredBy(w, w));
+  EXPECT_TRUE(IsPartitionedBy(w, w));
+  EXPECT_FALSE(IsStrictlyPartitionedBy(w, w));
+}
+
+TEST(Coverage, TumblingChain) {
+  // Example 6's windows: T(40) covered by T(20) and T(10); T(30) by T(10).
+  EXPECT_TRUE(IsCoveredBy(Window::Tumbling(40), Window::Tumbling(20)));
+  EXPECT_TRUE(IsCoveredBy(Window::Tumbling(40), Window::Tumbling(10)));
+  EXPECT_TRUE(IsCoveredBy(Window::Tumbling(30), Window::Tumbling(10)));
+  EXPECT_FALSE(IsCoveredBy(Window::Tumbling(30), Window::Tumbling(20)));
+  EXPECT_FALSE(IsCoveredBy(Window::Tumbling(20), Window::Tumbling(40)));
+}
+
+TEST(Coverage, SlideNotMultiple) {
+  // s1 = 3 not a multiple of s2 = 2.
+  EXPECT_FALSE(IsCoveredBy(Window(9, 3), Window(4, 2)));
+}
+
+TEST(Coverage, RangeDeltaNotMultiple) {
+  // s1 % s2 == 0 but (r1 - r2) % s2 != 0.
+  EXPECT_FALSE(IsCoveredBy(Window(11, 4), Window(8, 2)));
+  EXPECT_TRUE(IsCoveredBy(Window(12, 4), Window(8, 2)));
+}
+
+TEST(Partitioning, PaperExample5) {
+  // W1(10, 2), W2(8, 2): conditions (1),(2) hold but W2 is not tumbling.
+  EXPECT_FALSE(IsPartitionedBy(Window(10, 2), Window(8, 2)));
+}
+
+TEST(Partitioning, RequiresTumblingProvider) {
+  EXPECT_TRUE(IsPartitionedBy(Window(10, 2), Window(2, 2)));
+  EXPECT_FALSE(IsPartitionedBy(Window(10, 2), Window(4, 2)));
+}
+
+TEST(Partitioning, RangeMustBeMultipleOfProviderSlide) {
+  EXPECT_TRUE(IsPartitionedBy(Window::Tumbling(40), Window::Tumbling(20)));
+  EXPECT_FALSE(IsPartitionedBy(Window::Tumbling(30), Window::Tumbling(20)));
+  // Hopping consumer: s1 = 6, r1 = 12, provider T(3).
+  EXPECT_TRUE(IsPartitionedBy(Window(12, 6), Window::Tumbling(3)));
+  // r1 = 10 not a multiple of 3.
+  EXPECT_FALSE(IsPartitionedBy(Window(10, 6), Window::Tumbling(3)));
+}
+
+TEST(Partitioning, ImpliesCoverage) {
+  // Partitioning is a special case of coverage (Definition 5).
+  std::vector<std::pair<Window, Window>> pairs = {
+      {Window::Tumbling(40), Window::Tumbling(20)},
+      {Window(12, 6), Window::Tumbling(3)},
+      {Window(20, 10), Window::Tumbling(5)},
+  };
+  for (const auto& [w1, w2] : pairs) {
+    ASSERT_TRUE(IsPartitionedBy(w1, w2));
+    EXPECT_TRUE(IsCoveredBy(w1, w2));
+  }
+}
+
+TEST(CoveringMultiplier, Theorem3Examples) {
+  // M = 1 + (r1 - r2)/s2.
+  EXPECT_EQ(CoveringMultiplier(Window(10, 2), Window(8, 2)), 2);
+  EXPECT_EQ(CoveringMultiplier(Window::Tumbling(40), Window::Tumbling(20)),
+            2);
+  EXPECT_EQ(CoveringMultiplier(Window::Tumbling(30), Window::Tumbling(10)),
+            3);
+  EXPECT_EQ(CoveringMultiplier(Window::Tumbling(40), Window(1, 1)), 40);
+  EXPECT_EQ(CoveringMultiplier(Window(10, 2), Window(10, 2)), 1);
+}
+
+TEST(CoveringMultiplierDeathTest, RequiresCoverage) {
+  EXPECT_DEATH(
+      CoveringMultiplier(Window::Tumbling(30), Window::Tumbling(20)),
+      "not covered");
+}
+
+TEST(CoveringSet, PaperExample4) {
+  // First interval [0, 10) of W1(10, 2) is covered by [0, 8) and [2, 10)
+  // of W2(8, 2); second interval [2, 12) by [2, 10) and [4, 12).
+  Window w1(10, 2);
+  Window w2(8, 2);
+  std::vector<Interval> set0 = CoveringSet(w1, w1.IntervalAt(0), w2);
+  ASSERT_EQ(set0.size(), 2u);
+  EXPECT_EQ(set0[0], (Interval{0, 8}));
+  EXPECT_EQ(set0[1], (Interval{2, 10}));
+  std::vector<Interval> set1 = CoveringSet(w1, w1.IntervalAt(1), w2);
+  ASSERT_EQ(set1.size(), 2u);
+  EXPECT_EQ(set1[0], (Interval{2, 10}));
+  EXPECT_EQ(set1[1], (Interval{4, 12}));
+}
+
+TEST(CoveringSet, SizeMatchesMultiplier) {
+  Window w1(30, 6);
+  Window w2(12, 6);
+  ASSERT_TRUE(IsCoveredBy(w1, w2));
+  for (int64_t m = 0; m < 8; ++m) {
+    std::vector<Interval> set = CoveringSet(w1, w1.IntervalAt(m), w2);
+    EXPECT_EQ(static_cast<int64_t>(set.size()),
+              CoveringMultiplier(w1, w2));
+    EXPECT_TRUE(IntervalIsCoveredBy(w1.IntervalAt(m), set));
+  }
+}
+
+TEST(IntervalHelpers, CoveredBy) {
+  Interval target{0, 10};
+  EXPECT_TRUE(IntervalIsCoveredBy(target, {{0, 8}, {2, 10}}));
+  EXPECT_TRUE(IntervalIsCoveredBy(target, {{0, 5}, {5, 10}}));
+  EXPECT_FALSE(IntervalIsCoveredBy(target, {{0, 4}, {5, 10}}));  // Gap.
+  EXPECT_FALSE(IntervalIsCoveredBy(target, {{1, 10}}));  // Late start.
+  EXPECT_FALSE(IntervalIsCoveredBy(target, {{0, 9}}));   // Short end.
+  EXPECT_FALSE(IntervalIsCoveredBy(target, {{0, 11}}));  // Overshoot.
+  EXPECT_FALSE(IntervalIsCoveredBy(target, {}));
+}
+
+TEST(IntervalHelpers, PartitionedBy) {
+  Interval target{0, 10};
+  EXPECT_TRUE(IntervalIsPartitionedBy(target, {{0, 5}, {5, 10}}));
+  EXPECT_TRUE(IntervalIsPartitionedBy(target, {{5, 10}, {0, 5}}));
+  EXPECT_FALSE(IntervalIsPartitionedBy(target, {{0, 8}, {2, 10}}));
+  EXPECT_FALSE(IntervalIsPartitionedBy(target, {{0, 4}, {5, 10}}));
+  EXPECT_FALSE(IntervalIsPartitionedBy(target, {}));
+}
+
+TEST(Semantics, Dispatch) {
+  Window w1(10, 2);
+  Window w2(8, 2);
+  EXPECT_TRUE(IsStrictlyRelated(w1, w2, CoverageSemantics::kCoveredBy));
+  EXPECT_FALSE(IsStrictlyRelated(w1, w2, CoverageSemantics::kPartitionedBy));
+  EXPECT_STREQ(CoverageSemanticsToString(CoverageSemantics::kCoveredBy),
+               "covered-by");
+  EXPECT_STREQ(CoverageSemanticsToString(CoverageSemantics::kPartitionedBy),
+               "partitioned-by");
+}
+
+// ---- Property sweeps ----------------------------------------------------
+
+// Theorem 1: the closed-form test agrees with brute-force Definition 1
+// over a grid of window shapes.
+class CoverageSweep : public ::testing::TestWithParam<TimeT> {};
+
+TEST_P(CoverageSweep, Theorem1MatchesBruteForce) {
+  TimeT s1 = GetParam();
+  for (TimeT r1 = s1; r1 <= 24; r1 += s1) {
+    for (TimeT s2 = 1; s2 <= 8; ++s2) {
+      for (TimeT r2 = s2; r2 <= 24; r2 += s2) {
+        Window w1(r1, s1);
+        Window w2(r2, s2);
+        EXPECT_EQ(IsCoveredBy(w1, w2), BruteForceCoveredBy(w1, w2))
+            << w1.ToString() << " vs " << w2.ToString();
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Slides, CoverageSweep,
+                         ::testing::Values(1, 2, 3, 4, 6));
+
+// Theorem 2: the coverage relation is a partial order.
+TEST(Coverage, PartialOrderProperties) {
+  std::vector<Window> windows;
+  for (TimeT s = 1; s <= 6; ++s) {
+    for (TimeT r = s; r <= 30; r += s) windows.push_back(Window(r, s));
+  }
+  for (const Window& a : windows) {
+    EXPECT_TRUE(IsCoveredBy(a, a));  // Reflexive.
+    for (const Window& b : windows) {
+      if (IsCoveredBy(a, b) && IsCoveredBy(b, a)) {
+        EXPECT_TRUE(a == b);  // Antisymmetric.
+      }
+      for (const Window& c : windows) {
+        if (IsCoveredBy(a, b) && IsCoveredBy(b, c)) {
+          EXPECT_TRUE(IsCoveredBy(a, c))  // Transitive.
+              << a.ToString() << " <= " << b.ToString()
+              << " <= " << c.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Theorem 4 + Definition 5: window partitioning <=> every interval's
+// covering set is a disjoint partition.
+TEST(Partitioning, Theorem4MatchesIntervalSemantics) {
+  for (TimeT s1 = 1; s1 <= 6; ++s1) {
+    for (TimeT r1 = s1; r1 <= 24; r1 += s1) {
+      for (TimeT s2 = 1; s2 <= 6; ++s2) {
+        for (TimeT r2 = s2; r2 <= 24; r2 += s2) {
+          Window w1(r1, s1);
+          Window w2(r2, s2);
+          if (w1 == w2 || !IsCoveredBy(w1, w2)) continue;
+          bool partitions = true;
+          for (int64_t m = 0; m < 6; ++m) {
+            Interval iv = w1.IntervalAt(m);
+            if (!IntervalIsPartitionedBy(iv, CoveringSet(w1, iv, w2))) {
+              partitions = false;
+              break;
+            }
+          }
+          EXPECT_EQ(IsPartitionedBy(w1, w2), partitions)
+              << w1.ToString() << " vs " << w2.ToString();
+        }
+      }
+    }
+  }
+}
+
+// Theorem 3: the covering multiplier equals the brute-force covering-set
+// size for every covered pair in the grid.
+TEST(CoveringMultiplier, MatchesCoveringSetSize) {
+  for (TimeT s1 = 1; s1 <= 6; ++s1) {
+    for (TimeT r1 = s1; r1 <= 24; r1 += s1) {
+      for (TimeT s2 = 1; s2 <= 6; ++s2) {
+        for (TimeT r2 = s2; r2 <= 24; r2 += s2) {
+          Window w1(r1, s1);
+          Window w2(r2, s2);
+          if (w1 == w2 || !IsCoveredBy(w1, w2)) continue;
+          Interval iv = w1.IntervalAt(3);
+          EXPECT_EQ(CoveringMultiplier(w1, w2),
+                    static_cast<int64_t>(CoveringSet(w1, iv, w2).size()));
+          EXPECT_TRUE(IntervalIsCoveredBy(iv, CoveringSet(w1, iv, w2)));
+        }
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fw

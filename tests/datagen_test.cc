@@ -1,0 +1,102 @@
+#include "workload/datagen.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+TEST(Synthetic, ConstantPace) {
+  std::vector<Event> events = GenerateSyntheticStream(1000, 1, 1);
+  ASSERT_EQ(events.size(), 1000u);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].timestamp, static_cast<TimeT>(i));
+    EXPECT_EQ(events[i].key, 0u);
+    EXPECT_GE(events[i].value, 0.0);
+    EXPECT_LT(events[i].value, 100.0);
+  }
+}
+
+TEST(Synthetic, RoundRobinKeys) {
+  std::vector<Event> events = GenerateSyntheticStream(100, 4, 1);
+  for (size_t i = 0; i < events.size(); ++i) {
+    EXPECT_EQ(events[i].key, static_cast<uint32_t>(i % 4));
+  }
+}
+
+TEST(Synthetic, DeterministicInSeed) {
+  std::vector<Event> a = GenerateSyntheticStream(100, 1, 7);
+  std::vector<Event> b = GenerateSyntheticStream(100, 1, 7);
+  std::vector<Event> c = GenerateSyntheticStream(100, 1, 8);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].value, b[i].value);
+  }
+  bool any_diff = false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    any_diff = any_diff || a[i].value != c[i].value;
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(DebsLike, MonotoneTimestamps) {
+  std::vector<Event> events = GenerateDebsLikeStream(5000, 1, kDebsSeed);
+  ASSERT_EQ(events.size(), 5000u);
+  for (size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].timestamp, events[i - 1].timestamp);
+  }
+}
+
+TEST(DebsLike, HasBurstsAndGaps) {
+  std::vector<Event> events = GenerateDebsLikeStream(5000, 1, kDebsSeed);
+  bool burst = false;
+  bool gap = false;
+  for (size_t i = 1; i < events.size(); ++i) {
+    TimeT delta = events[i].timestamp - events[i - 1].timestamp;
+    burst = burst || delta == 0;
+    gap = gap || delta >= 2;
+  }
+  EXPECT_TRUE(burst);
+  EXPECT_TRUE(gap);
+}
+
+TEST(DebsLike, ValuesBoundedLikePowerSensor) {
+  std::vector<Event> events = GenerateDebsLikeStream(10000, 1, kDebsSeed);
+  for (const Event& e : events) {
+    EXPECT_GE(e.value, 0.0);
+    EXPECT_LE(e.value, 500.0);
+  }
+}
+
+TEST(DebsLike, ValuesAreAutocorrelated) {
+  // Neighbouring readings differ far less than the overall spread — the
+  // property that distinguishes the sensor trace from white noise.
+  std::vector<Event> events = GenerateDebsLikeStream(20000, 1, kDebsSeed);
+  double max_step = 0.0;
+  double lo = events[0].value;
+  double hi = events[0].value;
+  for (size_t i = 1; i < events.size(); ++i) {
+    max_step =
+        std::max(max_step, std::abs(events[i].value - events[i - 1].value));
+    lo = std::min(lo, events[i].value);
+    hi = std::max(hi, events[i].value);
+  }
+  EXPECT_LT(max_step, (hi - lo) / 4.0);
+  EXPECT_GT(hi - lo, 10.0);  // The walk does move.
+}
+
+TEST(DebsLike, KeyedVariant) {
+  std::vector<Event> events = GenerateDebsLikeStream(1000, 3, kDebsSeed);
+  bool saw[3] = {false, false, false};
+  for (const Event& e : events) {
+    ASSERT_LT(e.key, 3u);
+    saw[e.key] = true;
+  }
+  EXPECT_TRUE(saw[0] && saw[1] && saw[2]);
+}
+
+TEST(Datasets, EmptyRequestsYieldEmptyStreams) {
+  EXPECT_TRUE(GenerateSyntheticStream(0, 1, 1).empty());
+  EXPECT_TRUE(GenerateDebsLikeStream(0, 1, 1).empty());
+}
+
+}  // namespace
+}  // namespace fw

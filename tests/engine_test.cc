@@ -1,0 +1,167 @@
+#include "exec/engine.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "cost/min_cost.h"
+#include "factor/optimizer.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+std::vector<Event> UnitStream(TimeT length) {
+  std::vector<Event> events;
+  for (TimeT t = 0; t < length; ++t) {
+    events.push_back(Event{t, 0, static_cast<double>(t % 17)});
+  }
+  return events;
+}
+
+TEST(Engine, OriginalPlanAllRootsSeeEveryEvent) {
+  WindowSet set = Tumblings({10, 20});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  CountingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  EXPECT_EQ(executor.num_roots(), 2u);
+  executor.Run(UnitStream(40));
+  // Tumbling windows: one op per event per window.
+  EXPECT_EQ(executor.TotalAccumulateOps(), 80u);
+  // 4 instances of T(10) + 2 of T(20).
+  EXPECT_EQ(sink.count(), 6u);
+}
+
+TEST(Engine, RewrittenPlanSingleRoot) {
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  CountingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  EXPECT_EQ(executor.num_roots(), 1u);
+  executor.Run(UnitStream(120));
+  // T(10): 120 raw ops; T(20): 12 subaggs * ... per-instance merges:
+  // 6 instances * 2 = 12; T(30): 4 * 3 = 12; T(40): 3 * 2 = 6.
+  EXPECT_EQ(executor.TotalAccumulateOps(), 120u + 12u + 12u + 6u);
+  // Results: 12 + 6 + 4 + 3 windows.
+  EXPECT_EQ(sink.count(), 25u);
+}
+
+TEST(Engine, OpsMatchModelCostOnFullHyperPeriods) {
+  // Engine op counts equal the model's total cost when the stream length
+  // is a whole number of hyper-periods (here 2R = 240).
+  WindowSet set = Tumblings({10, 20, 30, 40});
+  MinCostWcg wcg =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  CountingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  executor.Run(UnitStream(240));
+  EXPECT_EQ(static_cast<double>(executor.TotalAccumulateOps()),
+            2.0 * wcg.total_cost);
+}
+
+TEST(Engine, FactorWindowPlanOpsMatchModel) {
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  CountingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  executor.Run(UnitStream(240));
+  EXPECT_EQ(static_cast<double>(executor.TotalAccumulateOps()),
+            2.0 * wcg.total_cost);  // 2 * 150.
+}
+
+TEST(Engine, TopologicalFlushDeliversTailSubAggregates) {
+  // Stream ends mid-window: the tail partial T(10) instance must still
+  // reach T(20) before it flushes.
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kSum);
+  CollectingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  std::vector<Event> events;
+  for (TimeT t = 0; t < 15; ++t) events.push_back(Event{t, 0, 1.0});
+  executor.Run(events);
+  // T(20)'s partial [0,20) must contain all 15 events.
+  bool found = false;
+  for (const WindowResult& r : sink.results()) {
+    if (r.start == 0 && r.end == 20) {
+      found = true;
+      EXPECT_DOUBLE_EQ(r.value, 15.0);
+    }
+  }
+  EXPECT_TRUE(found);
+}
+
+TEST(Engine, HolisticPlanRuns) {
+  WindowSet set = Tumblings({10, 20});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMedian);
+  CollectingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  executor.Run(UnitStream(20));
+  // T(10): 2 instances; T(20): 1.
+  EXPECT_EQ(sink.results().size(), 3u);
+  EXPECT_GT(executor.TotalAccumulateOps(), 0u);
+}
+
+TEST(EngineDeathTest, HolisticSharedPlanRejected) {
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMedian);
+  CollectingSink sink;
+  EXPECT_DEATH(PlanExecutor(plan, {.num_keys = 1}, &sink), "holistic");
+}
+
+TEST(Engine, ResetAllowsRerun) {
+  WindowSet set = Tumblings({10});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kSum);
+  CountingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 1}, &sink);
+  executor.Run(UnitStream(20));
+  uint64_t first_ops = executor.TotalAccumulateOps();
+  executor.Reset();
+  EXPECT_EQ(executor.TotalAccumulateOps(), 0u);
+  executor.Run(UnitStream(20));
+  EXPECT_EQ(executor.TotalAccumulateOps(), first_ops);
+}
+
+TEST(Engine, ExecutePlanHelperReportsThroughputAndOps) {
+  WindowSet set = Tumblings({10, 20});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  CountingSink sink;
+  double throughput = 0.0;
+  uint64_t ops = 0;
+  ExecutePlan(plan, UnitStream(5000), 1, &sink, &throughput, &ops);
+  EXPECT_GT(throughput, 0.0);
+  EXPECT_EQ(ops, 10000u);
+}
+
+TEST(Engine, MultiKeyStreams) {
+  WindowSet set = Tumblings({10});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kCount);
+  CollectingSink sink;
+  PlanExecutor executor(plan, {.num_keys = 4}, &sink);
+  std::vector<Event> events;
+  for (TimeT t = 0; t < 20; ++t) {
+    events.push_back(Event{t, static_cast<uint32_t>(t % 4), 1.0});
+  }
+  executor.Run(events);
+  // 2 instances x 4 keys; counts per (instance, key) are 2 or 3 and total
+  // to the 20 events.
+  EXPECT_EQ(sink.results().size(), 8u);
+  double total = 0.0;
+  for (const WindowResult& r : sink.results()) {
+    EXPECT_TRUE(r.value == 2.0 || r.value == 3.0) << r.value;
+    total += r.value;
+  }
+  EXPECT_DOUBLE_EQ(total, 20.0);
+}
+
+}  // namespace
+}  // namespace fw

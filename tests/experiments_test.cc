@@ -1,0 +1,133 @@
+#include "harness/experiments.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdlib>
+
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+TEST(Semantics, WindowKindPairing) {
+  EXPECT_EQ(SemanticsForWindowKind(true), CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(SemanticsForWindowKind(false), CoverageSemantics::kCoveredBy);
+}
+
+TEST(CompareSetups, Example7EndToEnd) {
+  QuerySetup setup{WindowSet::Parse("{T(20), T(30), T(40)}").value(),
+                   AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  std::vector<Event> events = GenerateSyntheticStream(24000, 1, 1);
+  ComparisonResult result = CompareSetups(setup, events, 1);
+  EXPECT_DOUBLE_EQ(result.cost_naive, 360.0);
+  EXPECT_DOUBLE_EQ(result.cost_without_fw, 246.0);
+  EXPECT_DOUBLE_EQ(result.cost_with_fw, 150.0);
+  EXPECT_EQ(result.num_factor_windows, 1);
+  EXPECT_GT(result.opt_seconds, 0.0);
+  // Ops ratios mirror model costs on whole hyper-periods (24000 = 200 R).
+  EXPECT_NEAR(static_cast<double>(result.original.ops) /
+                  static_cast<double>(result.with_fw.ops),
+              360.0 / 150.0, 0.05);
+  EXPECT_GT(result.PredictedFwSpeedup(), 1.0);
+  EXPECT_GT(result.BoostWithFw(), 0.0);
+}
+
+TEST(CompareWithSlicing, ProducesAllThreeRuns) {
+  QuerySetup setup{WindowSet::Parse("{W(20, 10), W(40, 10), W(60, 10)}")
+                       .value(),
+                   AggKind::kMin, CoverageSemantics::kCoveredBy};
+  std::vector<Event> events = GenerateSyntheticStream(20000, 1, 2);
+  SlicingComparisonResult result = CompareWithSlicing(setup, events, 1);
+  EXPECT_GT(result.flink.throughput, 0.0);
+  EXPECT_GT(result.scotty.throughput, 0.0);
+  EXPECT_GT(result.factor_windows.throughput, 0.0);
+  // All runs deliver the same number of results.
+  EXPECT_EQ(result.flink.results, result.scotty.results);
+  EXPECT_EQ(result.flink.results, result.factor_windows.results);
+}
+
+TEST(Panels, GenerateDeterministicWindowSets) {
+  PanelConfig config;
+  config.set_size = 5;
+  config.num_sets = 4;
+  config.seed = 99;
+  std::vector<WindowSet> a = GeneratePanelWindowSets(config);
+  std::vector<WindowSet> b = GeneratePanelWindowSets(config);
+  ASSERT_EQ(a.size(), 4u);
+  for (size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].ToString(), b[i].ToString());
+  }
+  // Run i's set does not depend on num_sets.
+  config.num_sets = 2;
+  std::vector<WindowSet> c = GeneratePanelWindowSets(config);
+  EXPECT_EQ(c[0].ToString(), a[0].ToString());
+  EXPECT_EQ(c[1].ToString(), a[1].ToString());
+}
+
+TEST(Panels, RunThroughputPanelSmall) {
+  PanelConfig config;
+  config.sequential = true;
+  config.tumbling = true;
+  config.set_size = 3;
+  config.num_sets = 2;
+  std::vector<Event> events = GenerateSyntheticStream(5000, 1, 3);
+  std::vector<ComparisonResult> rows = RunThroughputPanel(config, events, 1);
+  ASSERT_EQ(rows.size(), 2u);
+  for (const ComparisonResult& row : rows) {
+    EXPECT_GT(row.original.throughput, 0.0);
+    EXPECT_LE(row.cost_with_fw, row.cost_without_fw + 1e-9);
+  }
+}
+
+TEST(Summarize, MeanAndMax) {
+  ComparisonResult a;
+  a.original.throughput = 100;
+  a.without_fw.throughput = 150;
+  a.with_fw.throughput = 300;
+  ComparisonResult b;
+  b.original.throughput = 100;
+  b.without_fw.throughput = 110;
+  b.with_fw.throughput = 200;
+  BoostSummary s = Summarize({a, b});
+  EXPECT_DOUBLE_EQ(s.mean_without_fw, (1.5 + 1.1) / 2);
+  EXPECT_DOUBLE_EQ(s.max_without_fw, 1.5);
+  EXPECT_DOUBLE_EQ(s.mean_with_fw, 2.5);
+  EXPECT_DOUBLE_EQ(s.max_with_fw, 3.0);
+}
+
+TEST(PanelLabel, PaperNotation) {
+  PanelConfig config;
+  config.sequential = false;
+  config.tumbling = true;
+  config.set_size = 5;
+  EXPECT_EQ(PanelLabel(config), "R-5-tumbling");
+  config.sequential = true;
+  config.tumbling = false;
+  config.set_size = 10;
+  EXPECT_EQ(PanelLabel(config), "S-10-hopping");
+}
+
+TEST(EventCountFromEnv, ParsesAndFallsBack) {
+  ::setenv("FW_TEST_COUNT", "12345", 1);
+  EXPECT_EQ(EventCountFromEnv("FW_TEST_COUNT", 7), 12345u);
+  ::setenv("FW_TEST_COUNT", "garbage", 1);
+  EXPECT_EQ(EventCountFromEnv("FW_TEST_COUNT", 7), 7u);
+  ::setenv("FW_TEST_COUNT", "", 1);
+  EXPECT_EQ(EventCountFromEnv("FW_TEST_COUNT", 7), 7u);
+  ::unsetenv("FW_TEST_COUNT");
+  EXPECT_EQ(EventCountFromEnv("FW_TEST_COUNT", 7), 7u);
+}
+
+TEST(CompareSetups, PredictedSpeedupFieldsConsistent) {
+  QuerySetup setup{WindowSet::Parse("{T(20), T(30), T(40)}").value(),
+                   AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  std::vector<Event> events = GenerateSyntheticStream(6000, 1, 4);
+  ComparisonResult result = CompareSetups(setup, events, 1);
+  EXPECT_DOUBLE_EQ(result.PredictedFwSpeedup(),
+                   result.cost_without_fw / result.cost_with_fw);
+  EXPECT_DOUBLE_EQ(result.MeasuredFwSpeedup(),
+                   result.with_fw.throughput / result.without_fw.throughput);
+}
+
+}  // namespace
+}  // namespace fw

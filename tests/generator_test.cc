@@ -1,0 +1,151 @@
+#include "workload/generator.h"
+
+#include <gtest/gtest.h>
+
+#include <set>
+
+namespace fw {
+namespace {
+
+TEST(RandomGen, TumblingShapes) {
+  Rng rng(1);
+  WindowSet set = RandomGenWindowSet(10, /*tumbling=*/true, &rng);
+  EXPECT_EQ(set.size(), 10u);
+  WindowGenConfig config;
+  for (const Window& w : set) {
+    EXPECT_TRUE(w.IsTumbling());
+    // r must be k*r0 for some seed r0 and k in [2, 50].
+    bool valid = false;
+    for (TimeT r0 : config.seed_ranges) {
+      if (w.range() % r0 == 0) {
+        TimeT k = w.range() / r0;
+        valid = valid || (k >= 2 && k <= config.kr);
+      }
+    }
+    EXPECT_TRUE(valid) << w.ToString();
+  }
+}
+
+TEST(RandomGen, HoppingShapes) {
+  Rng rng(2);
+  WindowSet set = RandomGenWindowSet(10, /*tumbling=*/false, &rng);
+  WindowGenConfig config;
+  for (const Window& w : set) {
+    EXPECT_TRUE(w.IsHopping());
+    EXPECT_EQ(w.range(), 2 * w.slide());  // r = 2s by construction.
+    bool valid = false;
+    for (TimeT s0 : config.seed_slides) {
+      if (w.slide() % s0 == 0) {
+        TimeT k = w.slide() / s0;
+        valid = valid || (k >= 2 && k <= config.ks);
+      }
+    }
+    EXPECT_TRUE(valid) << w.ToString();
+  }
+}
+
+TEST(RandomGen, AvoidsSeedSizedWindows) {
+  // r == r0 is purposely excluded (k starts at 2) so that W(r0, r0) stays
+  // an interesting factor-window candidate. With a single seed this is
+  // directly observable.
+  WindowGenConfig config;
+  config.seed_ranges = {10};
+  Rng rng(3);
+  for (int trial = 0; trial < 20; ++trial) {
+    WindowSet set = RandomGenWindowSet(5, true, &rng, config);
+    for (const Window& w : set) {
+      EXPECT_NE(w.range(), 10);
+      EXPECT_GE(w.range(), 20);
+    }
+  }
+}
+
+TEST(RandomGen, NoDuplicates) {
+  Rng rng(4);
+  for (int trial = 0; trial < 10; ++trial) {
+    WindowSet set = RandomGenWindowSet(20, trial % 2 == 0, &rng);
+    std::set<std::pair<TimeT, TimeT>> seen;
+    for (const Window& w : set) {
+      EXPECT_TRUE(seen.insert({w.range(), w.slide()}).second);
+    }
+  }
+}
+
+TEST(RandomGen, DeterministicInSeed) {
+  Rng rng_a(42);
+  Rng rng_b(42);
+  WindowSet a = RandomGenWindowSet(8, true, &rng_a);
+  WindowSet b = RandomGenWindowSet(8, true, &rng_b);
+  EXPECT_EQ(a.ToString(), b.ToString());
+  Rng rng_c(43);
+  WindowSet c = RandomGenWindowSet(8, true, &rng_c);
+  EXPECT_NE(a.ToString(), c.ToString());  // Overwhelmingly likely.
+}
+
+TEST(SequentialGen, TumblingPattern) {
+  Rng rng(5);
+  WindowGenConfig config;
+  WindowSet set = SequentialGenWindowSet(5, true, &rng, config);
+  ASSERT_EQ(set.size(), 5u);
+  // All ranges share one seed r0 with multipliers 2..6.
+  TimeT r0 = set[0].range() / 2;
+  bool seed_known = false;
+  for (TimeT seed : config.seed_ranges) seed_known |= seed == r0;
+  EXPECT_TRUE(seed_known) << r0;
+  for (int i = 0; i < 5; ++i) {
+    EXPECT_EQ(set[static_cast<size_t>(i)].range(), r0 * (i + 2));
+    EXPECT_TRUE(set[static_cast<size_t>(i)].IsTumbling());
+  }
+}
+
+TEST(SequentialGen, HoppingPattern) {
+  Rng rng(6);
+  WindowSet set = SequentialGenWindowSet(4, false, &rng);
+  ASSERT_EQ(set.size(), 4u);
+  TimeT s0 = set[0].slide() / 2;
+  for (int i = 0; i < 4; ++i) {
+    const Window& w = set[static_cast<size_t>(i)];
+    EXPECT_EQ(w.slide(), s0 * (i + 2));
+    EXPECT_EQ(w.range(), 2 * w.slide());
+  }
+}
+
+TEST(SequentialGen, PaperExample1IsASequentialPattern) {
+  // {20, 30, 40} = seed 10 with multipliers 2, 3, 4.
+  WindowGenConfig config;
+  config.seed_ranges = {10};
+  Rng rng(7);
+  WindowSet set = SequentialGenWindowSet(3, true, &rng, config);
+  EXPECT_EQ(set.ToString(), "{T(20), T(30), T(40)}");
+}
+
+TEST(SequentialGen, LargeSetsStayValid) {
+  Rng rng(8);
+  WindowSet set = SequentialGenWindowSet(20, false, &rng);
+  EXPECT_EQ(set.size(), 20u);
+  for (const Window& w : set) {
+    EXPECT_TRUE(w.HasIntegralRecurrence());
+  }
+}
+
+TEST(Generators, CustomConfigRespected) {
+  WindowGenConfig config;
+  config.seed_ranges = {7};
+  config.kr = 3;
+  Rng rng(9);
+  WindowSet set = RandomGenWindowSet(2, true, &rng, config);
+  for (const Window& w : set) {
+    EXPECT_EQ(w.range() % 7, 0);
+    EXPECT_LE(w.range(), 21);
+    EXPECT_GE(w.range(), 14);
+  }
+}
+
+TEST(GeneratorsDeathTest, InvalidArguments) {
+  Rng rng(10);
+  EXPECT_DEATH(RandomGenWindowSet(0, true, &rng), "size");
+  EXPECT_DEATH(SequentialGenWindowSet(-1, true, &rng), "size");
+}
+
+}  // namespace
+}  // namespace fw

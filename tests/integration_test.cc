@@ -1,0 +1,168 @@
+// Cross-module integration tests: optimizer -> plan -> engine -> harness
+// over realistic workloads, plus the end-to-end behaviours the paper's
+// evaluation depends on.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+
+#include "harness/experiments.h"
+#include "plan/printer.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+TEST(Integration, SequentialTumblingEndToEnd) {
+  // The Example-1 shape at |W| = 5: T(20..60); factor windows should cut
+  // model cost and engine ops substantially.
+  WindowSet set =
+      WindowSet::Parse("{T(20), T(30), T(40), T(50), T(60)}").value();
+  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  std::vector<Event> events = GenerateSyntheticStream(60000, 1, 1);
+  ComparisonResult result = CompareSetups(setup, events, 1);
+  EXPECT_LT(result.cost_with_fw, result.cost_without_fw);
+  EXPECT_LT(result.cost_without_fw, result.cost_naive);
+  EXPECT_LT(result.with_fw.ops, result.original.ops);
+  EXPECT_GE(result.num_factor_windows, 1);
+  // Same number of exposed results from all three plans.
+  EXPECT_EQ(result.original.results, result.without_fw.results);
+  EXPECT_EQ(result.original.results, result.with_fw.results);
+  EXPECT_NEAR(result.original.checksum, result.with_fw.checksum, 1e-6);
+}
+
+TEST(Integration, SequentialHoppingEndToEnd) {
+  WindowSet set;
+  for (TimeT s : {10, 20, 30, 40, 50}) {
+    ASSERT_TRUE(set.Add(Window(2 * s, s)).ok());
+  }
+  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kCoveredBy};
+  std::vector<Event> events = GenerateSyntheticStream(60000, 1, 2);
+  ComparisonResult result = CompareSetups(setup, events, 1);
+  EXPECT_LE(result.cost_with_fw, result.cost_without_fw + 1e-9);
+  EXPECT_LT(result.with_fw.ops, result.original.ops);
+  EXPECT_EQ(result.original.results, result.with_fw.results);
+}
+
+TEST(Integration, OpsRatiosTrackModelRatios) {
+  // The cost model's predicted speedup should track the measured op-count
+  // speedup closely (the throughput analogue is Figure 19).
+  PanelConfig config;
+  config.sequential = true;
+  config.tumbling = true;
+  config.set_size = 5;
+  config.num_sets = 5;
+  config.seed = 77;
+  std::vector<Event> events = GenerateSyntheticStream(30000, 1, 3);
+  for (const WindowSet& set : GeneratePanelWindowSets(config)) {
+    QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+    ComparisonResult result = CompareSetups(setup, events, 1);
+    double predicted = result.cost_without_fw / result.cost_with_fw;
+    double measured = static_cast<double>(result.without_fw.ops) /
+                      static_cast<double>(result.with_fw.ops);
+    EXPECT_NEAR(measured / predicted, 1.0, 0.15) << set.ToString();
+  }
+}
+
+TEST(Integration, ScottyComparisonResultsAgree) {
+  WindowSet set;
+  for (TimeT s : {10, 20, 40}) ASSERT_TRUE(set.Add(Window(2 * s, s)).ok());
+  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kCoveredBy};
+  std::vector<Event> events = GenerateSyntheticStream(20000, 1, 4);
+  SlicingComparisonResult result = CompareWithSlicing(setup, events, 1);
+  EXPECT_EQ(result.flink.results, result.scotty.results);
+  EXPECT_EQ(result.flink.results, result.factor_windows.results);
+  EXPECT_NEAR(result.flink.checksum, result.scotty.checksum, 1e-6);
+  EXPECT_NEAR(result.flink.checksum, result.factor_windows.checksum, 1e-6);
+}
+
+TEST(Integration, DebsLikeWorkload) {
+  WindowSet set = WindowSet::Parse("{T(40), T(60), T(80)}").value();
+  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  std::vector<Event> events = GenerateDebsLikeStream(40000, 1, kDebsSeed);
+  ComparisonResult result = CompareSetups(setup, events, 1);
+  EXPECT_LT(result.with_fw.ops, result.original.ops);
+  EXPECT_EQ(result.original.results, result.with_fw.results);
+}
+
+TEST(Integration, MultiDeviceIoTScenario) {
+  // Example 1's setting: per-device MIN over three dashboards. Note that
+  // sub-aggregate volume scales with the number of groups (each upstream
+  // instance emits one record per device), so the op savings shrink as
+  // keys grow relative to window sizes; two devices still win clearly.
+  WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
+  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  std::vector<Event> events = GenerateSyntheticStream(24000, 2, 5);
+  ComparisonResult result = CompareSetups(setup, events, 2);
+  EXPECT_EQ(result.original.results, result.with_fw.results);
+  EXPECT_GT(result.original.results, 0u);
+  EXPECT_LT(result.with_fw.ops, result.original.ops);
+}
+
+TEST(Integration, OptimizerOverheadIsSmall) {
+  // Figure 12's claim: optimization takes well under 100 ms even at
+  // |W| = 20.
+  PanelConfig config;
+  config.sequential = false;
+  config.tumbling = false;
+  config.set_size = 20;
+  config.num_sets = 3;
+  config.seed = 5;
+  for (const WindowSet& set : GeneratePanelWindowSets(config)) {
+    OptimizerOptions options;
+    auto start = std::chrono::steady_clock::now();
+    MinCostWcg result = OptimizeWithFactorWindows(
+        set, CoverageSemantics::kCoveredBy, options);
+    auto end = std::chrono::steady_clock::now();
+    double ms = std::chrono::duration<double, std::milli>(end - start).count();
+    EXPECT_LT(ms, 500.0) << set.ToString();
+    EXPECT_TRUE(result.IsForest());
+  }
+}
+
+TEST(Integration, PrintersRoundTripOnOptimizedPlans) {
+  WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  EXPECT_FALSE(ToTrillExpression(plan).empty());
+  EXPECT_FALSE(ToFlinkExpression(plan).empty());
+  EXPECT_FALSE(ToDot(plan).empty());
+  EXPECT_FALSE(ToSummary(plan).empty());
+}
+
+TEST(Integration, LargerWindowSetsStillVerify) {
+  // |W| = 10 sequential hopping set with keys, full verification chain.
+  WindowSet set;
+  for (int i = 2; i <= 11; ++i) {
+    ASSERT_TRUE(set.Add(Window(2 * 5 * i, 5 * i)).ok());
+  }
+  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kCoveredBy);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(20000, 2, 6);
+  EXPECT_TRUE(VerifyEquivalence(original, rewritten, events, 2).ok());
+}
+
+TEST(Integration, EtaAffectsPlanChoice) {
+  // Higher event rates make raw reads pricier, never cheaper: the set of
+  // shared edges cannot shrink as η grows.
+  WindowSet set = WindowSet::Parse("{T(6), T(12), T(18)}").value();
+  OptimizerOptions slow;
+  slow.eta = 1.0;
+  OptimizerOptions fast;
+  fast.eta = 100.0;
+  MinCostWcg plan_slow = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, slow);
+  MinCostWcg plan_fast = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, fast);
+  int shared_slow = 0;
+  int shared_fast = 0;
+  for (const NodeCost& nc : plan_slow.costs) shared_slow += nc.provider >= 0;
+  for (const NodeCost& nc : plan_fast.costs) shared_fast += nc.provider >= 0;
+  EXPECT_GE(shared_fast, shared_slow);
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,153 @@
+#include "common/math_util.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <limits>
+
+namespace fw {
+namespace {
+
+TEST(Gcd, Basics) {
+  EXPECT_EQ(Gcd(12, 18), 6u);
+  EXPECT_EQ(Gcd(18, 12), 6u);
+  EXPECT_EQ(Gcd(7, 13), 1u);
+  EXPECT_EQ(Gcd(0, 5), 5u);
+  EXPECT_EQ(Gcd(5, 0), 5u);
+  EXPECT_EQ(Gcd(0, 0), 0u);
+  EXPECT_EQ(Gcd(42, 42), 42u);
+}
+
+TEST(Gcd, List) {
+  EXPECT_EQ(Gcd(std::vector<uint64_t>{20, 30, 40}), 10u);
+  EXPECT_EQ(Gcd(std::vector<uint64_t>{17}), 17u);
+  EXPECT_EQ(Gcd(std::vector<uint64_t>{6, 10, 15}), 1u);
+}
+
+TEST(CheckedLcm, Basics) {
+  EXPECT_EQ(CheckedLcm(4, 6).value(), 12u);
+  EXPECT_EQ(CheckedLcm(10, 20).value(), 20u);
+  EXPECT_EQ(CheckedLcm(1, 9).value(), 9u);
+  EXPECT_EQ(CheckedLcm(0, 9).value(), 0u);
+}
+
+TEST(CheckedLcm, PaperExample6) {
+  // R = lcm{10, 20, 30, 40} = 120 (Example 6).
+  EXPECT_EQ(CheckedLcm(std::vector<uint64_t>{10, 20, 30, 40}).value(), 120u);
+}
+
+TEST(CheckedLcm, Overflow) {
+  uint64_t big = 1ull << 40;
+  uint64_t prime_ish = (1ull << 40) + 15;  // Coprime with 2^40.
+  EXPECT_FALSE(CheckedLcm(big, prime_ish).has_value());
+}
+
+TEST(CheckedLcm, ListOverflow) {
+  std::vector<uint64_t> primes = {1000003, 1000033, 1000037, 1000039,
+                                  1000081, 1000099, 1000117, 1000121};
+  EXPECT_FALSE(CheckedLcm(primes).has_value());
+}
+
+TEST(CheckedMul, Basics) {
+  EXPECT_EQ(CheckedMul(3, 4).value(), 12u);
+  EXPECT_EQ(CheckedMul(0, 4).value(), 0u);
+  EXPECT_FALSE(CheckedMul(1ull << 40, 1ull << 40).has_value());
+  EXPECT_EQ(
+      CheckedMul(std::numeric_limits<uint64_t>::max(), 1).value(),
+      std::numeric_limits<uint64_t>::max());
+}
+
+TEST(IsMultiple, Basics) {
+  EXPECT_TRUE(IsMultiple(12, 4));
+  EXPECT_TRUE(IsMultiple(12, 12));
+  EXPECT_TRUE(IsMultiple(0, 4));
+  EXPECT_FALSE(IsMultiple(13, 4));
+}
+
+TEST(Divisors, Basics) {
+  EXPECT_EQ(Divisors(1), (std::vector<uint64_t>{1}));
+  EXPECT_EQ(Divisors(12), (std::vector<uint64_t>{1, 2, 3, 4, 6, 12}));
+  EXPECT_EQ(Divisors(16), (std::vector<uint64_t>{1, 2, 4, 8, 16}));
+  EXPECT_EQ(Divisors(17), (std::vector<uint64_t>{1, 17}));
+}
+
+TEST(Divisors, SortedAndComplete) {
+  for (uint64_t n = 1; n <= 200; ++n) {
+    std::vector<uint64_t> ds = Divisors(n);
+    ASSERT_FALSE(ds.empty());
+    EXPECT_EQ(ds.front(), 1u);
+    EXPECT_EQ(ds.back(), n);
+    for (size_t i = 1; i < ds.size(); ++i) EXPECT_LT(ds[i - 1], ds[i]);
+    size_t count = 0;
+    for (uint64_t d = 1; d <= n; ++d) count += (n % d == 0) ? 1 : 0;
+    EXPECT_EQ(ds.size(), count) << "n=" << n;
+  }
+}
+
+TEST(CeilDiv, Basics) {
+  EXPECT_EQ(CeilDiv(10, 5), 2u);
+  EXPECT_EQ(CeilDiv(11, 5), 3u);
+  EXPECT_EQ(CeilDiv(0, 5), 0u);
+}
+
+TEST(FloorDiv, NegativeNumerators) {
+  EXPECT_EQ(FloorDiv(7, 2), 3);
+  EXPECT_EQ(FloorDiv(-7, 2), -4);
+  EXPECT_EQ(FloorDiv(-8, 2), -4);
+  EXPECT_EQ(FloorDiv(0, 2), 0);
+  EXPECT_EQ(FloorDiv(-1, 3), -1);
+}
+
+TEST(CeilDiv64, NegativeNumerators) {
+  EXPECT_EQ(CeilDiv64(7, 2), 4);
+  EXPECT_EQ(CeilDiv64(8, 2), 4);
+  EXPECT_EQ(CeilDiv64(-7, 2), -3);
+  EXPECT_EQ(CeilDiv64(-1, 2), 0);
+  EXPECT_EQ(CeilDiv64(1, 2), 1);
+}
+
+// Property: floor/ceil division bracket the rational quotient.
+class DivSweep : public ::testing::TestWithParam<int64_t> {};
+
+TEST_P(DivSweep, FloorCeilBracket) {
+  int64_t b = GetParam();
+  for (int64_t a = -50; a <= 50; ++a) {
+    int64_t f = FloorDiv(a, b);
+    int64_t c = CeilDiv64(a, b);
+    EXPECT_LE(f * b, a);
+    EXPECT_GT((f + 1) * b, a);
+    EXPECT_GE(c * b, a);
+    EXPECT_LT((c - 1) * b, a);
+    if (a % b == 0) {
+      EXPECT_EQ(f, c);
+    } else {
+      EXPECT_EQ(c, f + 1);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Denominators, DivSweep,
+                         ::testing::Values(1, 2, 3, 5, 7, 10, 60));
+
+// Property: gcd*lcm == a*b for modest values.
+class GcdLcmSweep : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(GcdLcmSweep, Product) {
+  uint64_t a = GetParam();
+  for (uint64_t b = 1; b <= 60; ++b) {
+    uint64_t g = Gcd(a, b);
+    auto l = CheckedLcm(a, b);
+    ASSERT_TRUE(l.has_value());
+    EXPECT_EQ(g * l.value(), a * b);
+    EXPECT_EQ(a % g, 0u);
+    EXPECT_EQ(b % g, 0u);
+    EXPECT_EQ(l.value() % a, 0u);
+    EXPECT_EQ(l.value() % b, 0u);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, GcdLcmSweep,
+                         ::testing::Values(1, 2, 6, 9, 12, 17, 30, 48));
+
+}  // namespace
+}  // namespace fw

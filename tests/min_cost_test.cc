@@ -1,0 +1,173 @@
+#include "cost/min_cost.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+const NodeCost& CostOf(const MinCostWcg& result, const Window& w) {
+  int idx = result.graph.IndexOf(w).value();
+  return result.costs[static_cast<size_t>(idx)];
+}
+
+TEST(MinCost, Example6Figure6) {
+  // Figure 6(b): c1 = 120, c2 = 12, c3 = 12, c4 = 6; total 150 (68.75%...
+  // paper says 62.5% reduction from 480).
+  MinCostWcg result = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                     CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(10)).cost, 120.0);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(20)).cost, 12.0);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(30)).cost, 12.0);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(40)).cost, 6.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 150.0);
+}
+
+TEST(MinCost, Example6Providers) {
+  MinCostWcg result = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                     CoverageSemantics::kPartitionedBy);
+  // T(10) reads the raw stream.
+  EXPECT_EQ(CostOf(result, Window::Tumbling(10)).provider, -1);
+  // T(20) and T(30) read from T(10).
+  int idx10 = result.graph.IndexOf(Window::Tumbling(10)).value();
+  EXPECT_EQ(CostOf(result, Window::Tumbling(20)).provider, idx10);
+  EXPECT_EQ(CostOf(result, Window::Tumbling(30)).provider, idx10);
+  // T(40) reads from T(20) (M=2 beats T(10)'s M=4).
+  int idx20 = result.graph.IndexOf(Window::Tumbling(20)).value();
+  EXPECT_EQ(CostOf(result, Window::Tumbling(40)).provider, idx20);
+}
+
+TEST(MinCost, Example7WithoutFactorWindows) {
+  // Figure 7(a): c2 = c3 = 120, c4 = 6; total 246.
+  MinCostWcg result = FindMinCostWcg(Tumblings({20, 30, 40}),
+                                     CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(20)).cost, 120.0);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(30)).cost, 120.0);
+  EXPECT_DOUBLE_EQ(CostOf(result, Window::Tumbling(40)).cost, 6.0);
+  EXPECT_DOUBLE_EQ(result.total_cost, 246.0);
+}
+
+TEST(MinCost, MutuallyPrimeRangesNoImprovement) {
+  // The paper's limitation: T(15), T(17), T(19) cannot share anything.
+  WindowSet set = Tumblings({15, 17, 19});
+  MinCostWcg result =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(result.total_cost, model.NaiveTotalCost(set));
+  for (const Window& w : set) {
+    EXPECT_EQ(CostOf(result, w).provider, -1);
+  }
+}
+
+TEST(MinCost, IsForest) {
+  MinCostWcg result = FindMinCostWcg(Tumblings({10, 20, 30, 40, 60, 120}),
+                                     CoverageSemantics::kPartitionedBy);
+  EXPECT_TRUE(result.IsForest());
+}
+
+TEST(MinCost, ChosenConsumers) {
+  MinCostWcg result = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                     CoverageSemantics::kPartitionedBy);
+  int idx10 = result.graph.IndexOf(Window::Tumbling(10)).value();
+  std::vector<int> consumers = result.ChosenConsumers(idx10);
+  // T(20) and T(30) chose T(10).
+  EXPECT_EQ(consumers.size(), 2u);
+}
+
+TEST(MinCost, HoppingCoveredBy) {
+  // W(10,2) covered by W(8,2): M = 2 per instance instead of 10 raw.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(8, 2)).ok());
+  ASSERT_TRUE(set.Add(Window(10, 2)).ok());
+  MinCostWcg result = FindMinCostWcg(set, CoverageSemantics::kCoveredBy);
+  const NodeCost& c10 = CostOf(result, Window(10, 2));
+  EXPECT_EQ(c10.provider, result.graph.IndexOf(Window(8, 2)).value());
+  EXPECT_DOUBLE_EQ(c10.instance_cost, 2.0);
+}
+
+TEST(MinCost, PartitionedBySkipsHoppingProviders) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(8, 2)).ok());
+  ASSERT_TRUE(set.Add(Window(10, 2)).ok());
+  MinCostWcg result =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(CostOf(result, Window(10, 2)).provider, -1);
+}
+
+TEST(MinCost, ToStringMentionsWindowsAndProviders) {
+  MinCostWcg result = FindMinCostWcg(Tumblings({10, 20}),
+                                     CoverageSemantics::kPartitionedBy);
+  std::string text = result.ToString();
+  EXPECT_NE(text.find("T(20)"), std::string::npos);
+  EXPECT_NE(text.find("T(10)"), std::string::npos);
+  EXPECT_NE(text.find("reads from"), std::string::npos);
+  EXPECT_NE(text.find("<input stream>"), std::string::npos);
+}
+
+TEST(MinCost, EtaRaisesRawCostsOnly) {
+  WindowSet set = Tumblings({10, 20});
+  MinCostWcg cheap =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy, 1.0);
+  MinCostWcg pricey =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy, 10.0);
+  // Raw reader T(10) scales with η; shared T(20) does not.
+  EXPECT_DOUBLE_EQ(CostOf(pricey, Window::Tumbling(10)).cost,
+                   10.0 * CostOf(cheap, Window::Tumbling(10)).cost);
+  EXPECT_DOUBLE_EQ(CostOf(pricey, Window::Tumbling(20)).cost,
+                   CostOf(cheap, Window::Tumbling(20)).cost);
+}
+
+// Properties over generated window sets: the min-cost plan never exceeds
+// the naive cost, is a forest, and every chosen provider strictly relates
+// to its consumer.
+struct SweepParam {
+  bool tumbling;
+  CoverageSemantics semantics;
+  uint64_t seed;
+};
+
+class MinCostSweep : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(MinCostSweep, Invariants) {
+  SweepParam param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 10; ++trial) {
+    WindowSet set = RandomGenWindowSet(6, param.tumbling, &rng);
+    MinCostWcg result = FindMinCostWcg(set, param.semantics);
+    CostModel model(set);
+    EXPECT_LE(result.total_cost, model.NaiveTotalCost(set) + 1e-6);
+    EXPECT_TRUE(result.IsForest());
+    for (int i = 0; i < static_cast<int>(result.graph.num_nodes()); ++i) {
+      if (result.graph.IsVirtualRoot(i)) continue;
+      const NodeCost& nc = result.costs[static_cast<size_t>(i)];
+      EXPECT_GT(nc.cost, 0.0);
+      if (nc.provider >= 0) {
+        EXPECT_TRUE(IsStrictlyRelated(result.graph.node(i).window,
+                                      result.graph.node(nc.provider).window,
+                                      param.semantics));
+        // Observation 1: shared cost beats raw cost strictly.
+        EXPECT_LT(nc.instance_cost,
+                  model.UnsharedInstanceCost(result.graph.node(i).window));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, MinCostSweep,
+    ::testing::Values(
+        SweepParam{true, CoverageSemantics::kPartitionedBy, 1},
+        SweepParam{true, CoverageSemantics::kCoveredBy, 2},
+        SweepParam{false, CoverageSemantics::kCoveredBy, 3},
+        SweepParam{false, CoverageSemantics::kPartitionedBy, 4}));
+
+}  // namespace
+}  // namespace fw

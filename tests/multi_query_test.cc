@@ -1,0 +1,138 @@
+#include "multi/multi_query.h"
+
+#include <gtest/gtest.h>
+
+#include "exec/engine.h"
+#include "harness/runner.h"
+#include "query/parser.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+StreamQuery MakeQuery(const char* windows, AggKind agg = AggKind::kMin,
+                      const char* source = "telemetry") {
+  StreamQuery q;
+  q.source = source;
+  q.agg = agg;
+  q.value_column = "v";
+  q.windows = WindowSet::Parse(windows).value();
+  return q;
+}
+
+TEST(MultiQuery, MergesWindowsAcrossQueries) {
+  std::vector<StreamQuery> queries = {
+      MakeQuery("{T(20), T(30)}"),
+      MakeQuery("{T(40), T(60)}"),
+  };
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Optimize(queries);
+  ASSERT_TRUE(shared.ok()) << shared.status().ToString();
+  // 4 query windows (+ possibly factor windows).
+  EXPECT_GE(shared->plan.num_operators(), 4u);
+  EXPECT_EQ(shared->subscriptions.size(), 4u);
+  // Sharing across queries beats independent optimization: T(40) and
+  // T(60) can read T(20)/T(30) sub-aggregates from query 1.
+  EXPECT_LT(shared->shared_cost, shared->independent_cost);
+  EXPECT_GT(shared->PredictedSavings(), 1.0);
+}
+
+TEST(MultiQuery, DuplicateWindowsCoalesce) {
+  std::vector<StreamQuery> queries = {
+      MakeQuery("{T(20), T(40)}"),
+      MakeQuery("{T(40), T(80)}"),  // T(40) appears in both.
+  };
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Optimize(queries);
+  ASSERT_TRUE(shared.ok());
+  // Three distinct query windows; four subscriptions.
+  int query_ops = 0;
+  for (const PlanOperator& op : shared->plan.operators()) {
+    query_ops += op.is_factor ? 0 : 1;
+  }
+  EXPECT_EQ(query_ops, 3);
+  EXPECT_EQ(shared->subscriptions.size(), 4u);
+}
+
+TEST(MultiQuery, Validation) {
+  EXPECT_FALSE(MultiQueryOptimizer::Optimize({}).ok());
+  // Different sources.
+  std::vector<StreamQuery> mixed_sources = {
+      MakeQuery("{T(20)}", AggKind::kMin, "a"),
+      MakeQuery("{T(40)}", AggKind::kMin, "b"),
+  };
+  EXPECT_EQ(MultiQueryOptimizer::Optimize(mixed_sources).status().code(),
+            StatusCode::kInvalidArgument);
+  // Different aggregates.
+  std::vector<StreamQuery> mixed_aggs = {
+      MakeQuery("{T(20)}", AggKind::kMin),
+      MakeQuery("{T(40)}", AggKind::kMax),
+  };
+  EXPECT_EQ(MultiQueryOptimizer::Optimize(mixed_aggs).status().code(),
+            StatusCode::kInvalidArgument);
+  // Holistic.
+  std::vector<StreamQuery> holistic = {
+      MakeQuery("{T(20)}", AggKind::kMedian)};
+  EXPECT_EQ(MultiQueryOptimizer::Optimize(holistic).status().code(),
+            StatusCode::kUnimplemented);
+}
+
+TEST(MultiQuery, RoutedResultsMatchIndependentExecution) {
+  std::vector<StreamQuery> queries = {
+      MakeQuery("{T(20), T(30)}"),
+      MakeQuery("{T(40), T(60)}"),
+      MakeQuery("{T(30), T(120)}"),  // Overlaps query 0's T(30).
+  };
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Optimize(queries);
+  ASSERT_TRUE(shared.ok());
+
+  std::vector<Event> events = GenerateSyntheticStream(6000, 1, 5);
+
+  // Shared execution with routing.
+  std::vector<CollectingSink> per_query(queries.size());
+  std::vector<ResultSink*> sinks;
+  for (CollectingSink& s : per_query) sinks.push_back(&s);
+  RoutingSink router(*shared, queries, sinks);
+  PlanExecutor executor(shared->plan, {.num_keys = 1}, &router);
+  executor.Run(events);
+
+  // Reference: each query executed independently on its original plan.
+  for (size_t qi = 0; qi < queries.size(); ++qi) {
+    QueryPlan original =
+        QueryPlan::Original(queries[qi].windows, queries[qi].agg);
+    CollectingSink reference;
+    ExecutePlan(original, events, 1, &reference, nullptr, nullptr);
+    EXPECT_EQ(per_query[qi].ToMap(), reference.ToMap()) << "query " << qi;
+  }
+}
+
+TEST(MultiQuery, SharedExecutionDoesFewerOps) {
+  // The IoT Central shape: five dashboards, one device stream.
+  std::vector<StreamQuery> queries;
+  for (const char* spec : {"{T(20)}", "{T(40)}", "{T(60)}", "{T(80)}",
+                           "{T(120)}"}) {
+    queries.push_back(MakeQuery(spec));
+  }
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Optimize(queries);
+  ASSERT_TRUE(shared.ok());
+
+  std::vector<Event> events = GenerateSyntheticStream(24000, 1, 6);
+  CountingSink shared_sink;
+  PlanExecutor shared_exec(shared->plan, {.num_keys = 1}, &shared_sink);
+  shared_exec.Run(events);
+
+  uint64_t independent_ops = 0;
+  for (const StreamQuery& q : queries) {
+    QueryPlan original = QueryPlan::Original(q.windows, q.agg);
+    CountingSink sink;
+    PlanExecutor exec(original, {.num_keys = 1}, &sink);
+    exec.Run(events);
+    independent_ops += exec.TotalAccumulateOps();
+  }
+  EXPECT_LT(shared_exec.TotalAccumulateOps(), independent_ops / 2);
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,305 @@
+#include "exec/operator.h"
+
+#include <gtest/gtest.h>
+
+#include <map>
+
+#include "common/rng.h"
+
+namespace fw {
+namespace {
+
+WindowAggregateOperator::Config MakeConfig(Window w, AggKind agg,
+                                           int id = 0, bool exposed = true,
+                                           uint32_t num_keys = 1) {
+  WindowAggregateOperator::Config config;
+  config.window = w;
+  config.agg = agg;
+  config.operator_id = id;
+  config.exposed = exposed;
+  config.num_keys = num_keys;
+  return config;
+}
+
+std::vector<Event> UnitStream(TimeT length, double base = 0.0) {
+  std::vector<Event> events;
+  for (TimeT t = 0; t < length; ++t) {
+    events.push_back(Event{t, 0, base + static_cast<double>(t)});
+  }
+  return events;
+}
+
+// Ground truth: evaluate `agg` per window instance by scanning the events.
+std::map<std::tuple<TimeT, TimeT, uint32_t>, double> BruteForce(
+    const Window& w, AggKind agg, const std::vector<Event>& events) {
+  std::map<std::tuple<TimeT, TimeT, uint32_t>, std::vector<double>> buckets;
+  for (const Event& e : events) {
+    for (const Interval& iv : w.InstancesContaining(e.timestamp)) {
+      buckets[{iv.start, iv.end, e.key}].push_back(e.value);
+    }
+  }
+  std::map<std::tuple<TimeT, TimeT, uint32_t>, double> out;
+  for (const auto& [key, values] : buckets) {
+    out[key] = AggReference(agg, values).value();
+  }
+  return out;
+}
+
+std::map<std::tuple<TimeT, TimeT, uint32_t>, double> SinkToMap(
+    const CollectingSink& sink) {
+  std::map<std::tuple<TimeT, TimeT, uint32_t>, double> out;
+  for (const WindowResult& r : sink.results()) {
+    out[{r.start, r.end, r.key}] = r.value;
+  }
+  return out;
+}
+
+TEST(WindowOperator, TumblingMinCompleteWindows) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kMin),
+                             &sink);
+  for (const Event& e : UnitStream(30)) op.OnEvent(e);
+  op.Flush();
+  ASSERT_EQ(sink.results().size(), 3u);
+  EXPECT_DOUBLE_EQ(sink.results()[0].value, 0.0);
+  EXPECT_EQ(sink.results()[0].start, 0);
+  EXPECT_EQ(sink.results()[0].end, 10);
+  EXPECT_DOUBLE_EQ(sink.results()[1].value, 10.0);
+  EXPECT_DOUBLE_EQ(sink.results()[2].value, 20.0);
+}
+
+TEST(WindowOperator, EmitsOnWatermarkNotOnlyFlush) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kSum),
+                             &sink);
+  for (const Event& e : UnitStream(11)) op.OnEvent(e);
+  // Event at t=10 closes [0,10).
+  EXPECT_EQ(sink.results().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.results()[0].value, 45.0);
+}
+
+TEST(WindowOperator, FlushEmitsPartialInstance) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kCount),
+                             &sink);
+  for (const Event& e : UnitStream(7)) op.OnEvent(e);
+  op.Flush();
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.results()[0].value, 7.0);
+  EXPECT_EQ(sink.results()[0].end, 10);  // Nominal interval.
+}
+
+TEST(WindowOperator, HoppingAssignsToAllInstances) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window(10, 2), AggKind::kMin), &sink);
+  std::vector<Event> events = UnitStream(20);
+  for (const Event& e : events) op.OnEvent(e);
+  op.Flush();
+  EXPECT_EQ(SinkToMap(sink),
+            BruteForce(Window(10, 2), AggKind::kMin, events));
+}
+
+TEST(WindowOperator, DataGapSkipsEmptyInstances) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kMin),
+                             &sink);
+  op.OnEvent(Event{5, 0, 1.0});
+  op.OnEvent(Event{95, 0, 2.0});  // Eight empty windows in between.
+  op.Flush();
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(sink.results()[0].start, 0);
+  EXPECT_EQ(sink.results()[1].start, 90);
+}
+
+TEST(WindowOperator, GroupsByKey) {
+  CollectingSink sink;
+  WindowAggregateOperator op(
+      MakeConfig(Window::Tumbling(10), AggKind::kSum, 0, true, 3), &sink);
+  for (TimeT t = 0; t < 10; ++t) {
+    op.OnEvent(Event{t, static_cast<uint32_t>(t % 3), 1.0});
+  }
+  op.Flush();
+  ASSERT_EQ(sink.results().size(), 3u);
+  double total = 0;
+  for (const WindowResult& r : sink.results()) total += r.value;
+  EXPECT_DOUBLE_EQ(total, 10.0);
+  // Key 0 saw events at t = 0,3,6,9.
+  auto by_key = SinkToMap(sink);
+  EXPECT_EQ((by_key[{0, 10, 0}]), 4.0);
+}
+
+TEST(WindowOperator, CountsAccumulateOps) {
+  CollectingSink sink;
+  // Tumbling window: exactly one op per event.
+  WindowAggregateOperator tumbling(
+      MakeConfig(Window::Tumbling(10), AggKind::kMin), &sink);
+  for (const Event& e : UnitStream(100)) tumbling.OnEvent(e);
+  EXPECT_EQ(tumbling.accumulate_ops(), 100u);
+  // Hopping r/s = 5: five ops per event once warmed up.
+  WindowAggregateOperator hopping(MakeConfig(Window(10, 2), AggKind::kMin),
+                                  &sink);
+  for (const Event& e : UnitStream(100)) hopping.OnEvent(e);
+  // Warm-up: events at t<8 touch 1..4 instances (20 ops total); the
+  // remaining 92 events touch 5 instances each.
+  EXPECT_EQ(hopping.accumulate_ops(), 20u + 92u * 5u);
+}
+
+TEST(WindowOperator, SubAggregatePartitionedPath) {
+  // T(20) consumes T(10)'s output; SUM must match direct evaluation.
+  CollectingSink inner_sink;
+  CollectingSink outer_sink;
+  WindowAggregateOperator outer(
+      MakeConfig(Window::Tumbling(20), AggKind::kSum, 1), &outer_sink);
+  WindowAggregateOperator inner(
+      MakeConfig(Window::Tumbling(10), AggKind::kSum, 0), &inner_sink);
+  inner.AddChild(&outer);
+  std::vector<Event> events = UnitStream(40);
+  for (const Event& e : events) inner.OnEvent(e);
+  inner.Flush();
+  outer.Flush();
+  EXPECT_EQ(SinkToMap(outer_sink),
+            BruteForce(Window::Tumbling(20), AggKind::kSum, events));
+  // Outer did 2 merges per instance instead of 20 accumulates.
+  EXPECT_EQ(outer.accumulate_ops(), 4u);
+}
+
+TEST(WindowOperator, SubAggregateCoveredPathOverlapping) {
+  // W(10,2) consumes W(8,2)'s overlapping sub-aggregates (MIN only).
+  CollectingSink inner_sink;
+  CollectingSink outer_sink;
+  WindowAggregateOperator outer(MakeConfig(Window(10, 2), AggKind::kMin, 1),
+                                &outer_sink);
+  WindowAggregateOperator inner(MakeConfig(Window(8, 2), AggKind::kMin, 0),
+                                &inner_sink);
+  inner.AddChild(&outer);
+  Rng rng(5);
+  std::vector<Event> events;
+  for (TimeT t = 0; t < 60; ++t) {
+    events.push_back(Event{t, 0, rng.UniformReal(-100, 100)});
+  }
+  for (const Event& e : events) inner.OnEvent(e);
+  inner.Flush();
+  outer.Flush();
+  EXPECT_EQ(SinkToMap(outer_sink),
+            BruteForce(Window(10, 2), AggKind::kMin, events));
+}
+
+TEST(WindowOperator, UnexposedEmitsNothingButForwards) {
+  CollectingSink sink;
+  WindowAggregateOperator outer(
+      MakeConfig(Window::Tumbling(20), AggKind::kMin, 1), &sink);
+  WindowAggregateOperator hidden(
+      MakeConfig(Window::Tumbling(10), AggKind::kMin, 0, /*exposed=*/false),
+      nullptr);
+  hidden.AddChild(&outer);
+  for (const Event& e : UnitStream(40)) hidden.OnEvent(e);
+  hidden.Flush();
+  outer.Flush();
+  // Only the outer operator's two instances appear.
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_EQ(sink.results()[0].operator_id, 1);
+}
+
+TEST(WindowOperator, ResetClearsState) {
+  CollectingSink sink;
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kSum),
+                             &sink);
+  for (const Event& e : UnitStream(10)) op.OnEvent(e);
+  op.Reset();
+  EXPECT_EQ(op.accumulate_ops(), 0u);
+  for (const Event& e : UnitStream(10)) op.OnEvent(e);
+  op.Flush();
+  // Two runs but only the second produced output (reset dropped run 1).
+  ASSERT_EQ(sink.results().size(), 1u);
+  EXPECT_DOUBLE_EQ(sink.results()[0].value, 45.0);
+}
+
+TEST(WindowOperatorDeathTest, ConfigValidation) {
+  CollectingSink sink;
+  EXPECT_DEATH(WindowAggregateOperator(
+                   MakeConfig(Window(10, 10), AggKind::kMedian), &sink),
+               "Holistic");
+  EXPECT_DEATH(WindowAggregateOperator(
+                   MakeConfig(Window(10, 10), AggKind::kMin), nullptr),
+               "sink");
+}
+
+TEST(HolisticOperator, MedianPerWindow) {
+  CollectingSink sink;
+  HolisticWindowOperator op(MakeConfig(Window::Tumbling(5), AggKind::kMedian),
+                            &sink);
+  std::vector<Event> events = {{0, 0, 5.0}, {1, 0, 1.0}, {2, 0, 9.0},
+                               {3, 0, 7.0}, {4, 0, 3.0}, {5, 0, 2.0},
+                               {6, 0, 4.0}};
+  for (const Event& e : events) op.OnEvent(e);
+  op.Flush();
+  ASSERT_EQ(sink.results().size(), 2u);
+  EXPECT_DOUBLE_EQ(sink.results()[0].value, 5.0);  // median{5,1,9,7,3}.
+  EXPECT_DOUBLE_EQ(sink.results()[1].value, 2.0);  // lower median{2,4}.
+}
+
+TEST(HolisticOperator, HoppingMedianMatchesBruteForce) {
+  CollectingSink sink;
+  HolisticWindowOperator op(MakeConfig(Window(6, 2), AggKind::kMedian),
+                            &sink);
+  Rng rng(17);
+  std::vector<Event> events;
+  for (TimeT t = 0; t < 30; ++t) {
+    events.push_back(Event{t, 0, rng.UniformReal(0, 10)});
+  }
+  for (const Event& e : events) op.OnEvent(e);
+  op.Flush();
+  EXPECT_EQ(SinkToMap(sink),
+            BruteForce(Window(6, 2), AggKind::kMedian, events));
+}
+
+// Property: the raw path matches brute force for every aggregate and a
+// grid of window shapes, with randomized values and same-timestamp ties.
+struct OpSweepParam {
+  TimeT range;
+  TimeT slide;
+  AggKind agg;
+};
+
+class OperatorSweep : public ::testing::TestWithParam<OpSweepParam> {};
+
+TEST_P(OperatorSweep, RawPathMatchesBruteForce) {
+  OpSweepParam param = GetParam();
+  CollectingSink sink;
+  WindowAggregateOperator op(
+      MakeConfig(Window(param.range, param.slide), param.agg, 0, true, 2),
+      &sink);
+  Rng rng(static_cast<uint64_t>(param.range * 100 + param.slide));
+  std::vector<Event> events;
+  TimeT t = 0;
+  for (int i = 0; i < 200; ++i) {
+    t += static_cast<TimeT>(rng.Uniform(0, 2));  // Ties and small gaps.
+    events.push_back(Event{t, static_cast<uint32_t>(rng.Uniform(0, 1)),
+                           rng.UniformReal(-10, 10)});
+  }
+  for (const Event& e : events) op.OnEvent(e);
+  op.Flush();
+  auto expected = BruteForce(Window(param.range, param.slide), param.agg,
+                             events);
+  auto actual = SinkToMap(sink);
+  ASSERT_EQ(actual.size(), expected.size());
+  for (const auto& [key, value] : expected) {
+    ASSERT_TRUE(actual.count(key));
+    EXPECT_NEAR(actual[key], value, 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Shapes, OperatorSweep,
+    ::testing::Values(OpSweepParam{10, 10, AggKind::kMin},
+                      OpSweepParam{10, 2, AggKind::kMin},
+                      OpSweepParam{10, 5, AggKind::kMax},
+                      OpSweepParam{12, 3, AggKind::kSum},
+                      OpSweepParam{8, 2, AggKind::kCount},
+                      OpSweepParam{9, 3, AggKind::kAvg},
+                      OpSweepParam{15, 5, AggKind::kStdev},
+                      OpSweepParam{7, 3, AggKind::kSum},
+                      OpSweepParam{1, 1, AggKind::kMin}));
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,221 @@
+#include "factor/optimizer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "workload/generator.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+int CountFactors(const MinCostWcg& result) {
+  int count = 0;
+  for (const Wcg::Node& node : result.graph.nodes()) {
+    if (node.is_factor) ++count;
+  }
+  return count;
+}
+
+TEST(Algorithm3, Example7AddsT10AndReaches150) {
+  // Figure 7(b): factor window T(10) brings the cost from 246 to 150.
+  MinCostWcg result = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(result.total_cost, 150.0);
+  ASSERT_EQ(CountFactors(result), 1);
+  int idx = result.graph.IndexOf(Window::Tumbling(10)).value();
+  EXPECT_TRUE(result.graph.node(idx).is_factor);
+  // Cost layout of Figure 7(b).
+  EXPECT_DOUBLE_EQ(result.costs[static_cast<size_t>(idx)].cost, 120.0);
+}
+
+TEST(Algorithm3, Example6NoFactorNeeded) {
+  // With T(10) already in the set, the optimizer finds no beneficial
+  // factor window and keeps the Algorithm 1 result (cost 150).
+  MinCostWcg result = OptimizeWithFactorWindows(
+      Tumblings({10, 20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(result.total_cost, 150.0);
+  EXPECT_EQ(CountFactors(result), 0);
+}
+
+TEST(Algorithm3, NeverWorseThanAlgorithm1) {
+  // The paper's guarantee: factor windows are only inserted when
+  // beneficial, so the expanded min-cost WCG can only improve.
+  Rng rng(7);
+  for (int trial = 0; trial < 20; ++trial) {
+    bool tumbling = trial % 2 == 0;
+    WindowSet set = RandomGenWindowSet(5, tumbling, &rng);
+    CoverageSemantics semantics = tumbling
+                                      ? CoverageSemantics::kPartitionedBy
+                                      : CoverageSemantics::kCoveredBy;
+    MinCostWcg without = FindMinCostWcg(set, semantics);
+    MinCostWcg with = OptimizeWithFactorWindows(set, semantics);
+    EXPECT_LE(with.total_cost, without.total_cost + 1e-6)
+        << set.ToString();
+    EXPECT_TRUE(with.IsForest());
+  }
+}
+
+TEST(Algorithm3, DisabledFactorWindowsEqualsAlgorithm1) {
+  OptimizerOptions options;
+  options.enable_factor_windows = false;
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg result = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, options);
+  EXPECT_DOUBLE_EQ(result.total_cost, 246.0);
+  EXPECT_EQ(CountFactors(result), 0);
+}
+
+TEST(Algorithm3, PruningRemovesUnusedFactors) {
+  // With the benefit check ablated, candidates get inserted for every
+  // target; pruning must remove any that end up unused.
+  OptimizerOptions forced;
+  forced.skip_benefit_check = true;
+  forced.prune_unused_factors = true;
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg pruned = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, forced);
+  for (int i = 0; i < static_cast<int>(pruned.graph.num_nodes()); ++i) {
+    if (!pruned.graph.node(i).is_factor) continue;
+    EXPECT_FALSE(pruned.ChosenConsumers(i).empty())
+        << pruned.graph.node(i).window.ToString() << " is unused";
+  }
+}
+
+TEST(Algorithm3, UnprunedMayKeepDeadFactors) {
+  OptimizerOptions forced;
+  forced.skip_benefit_check = true;
+  forced.prune_unused_factors = false;
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg unpruned = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, forced);
+  OptimizerOptions clean;
+  clean.skip_benefit_check = true;
+  MinCostWcg pruned = OptimizeWithFactorWindows(
+      set, CoverageSemantics::kPartitionedBy, clean);
+  EXPECT_LE(pruned.total_cost, unpruned.total_cost);
+}
+
+TEST(Algorithm3, MutuallyPrimeRangesUnchanged) {
+  WindowSet set = Tumblings({15, 17, 19});
+  MinCostWcg result =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(result.total_cost, model.NaiveTotalCost(set));
+  EXPECT_EQ(CountFactors(result), 0);
+}
+
+TEST(Algorithm3, CoveredBySemantics) {
+  // Hopping windows sharing a slide grid benefit from a hopping/tumbling
+  // factor window under covered-by semantics.
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(40, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(60, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(80, 10)).ok());
+  MinCostWcg without = FindMinCostWcg(set, CoverageSemantics::kCoveredBy);
+  MinCostWcg with =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kCoveredBy);
+  EXPECT_LT(with.total_cost, without.total_cost);
+  EXPECT_GE(CountFactors(with), 1);
+}
+
+TEST(OptimizeQuery, MinUsesCoveredBy) {
+  WindowSet set = Tumblings({20, 30, 40});
+  Result<OptimizationOutcome> outcome = OptimizeQuery(set, AggKind::kMin);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->semantics, CoverageSemantics::kCoveredBy);
+  EXPECT_GT(outcome->naive_cost, 0.0);
+  EXPECT_LE(outcome->with_factors.total_cost,
+            outcome->without_factors.total_cost + 1e-9);
+  EXPECT_GE(outcome->optimize_seconds, 0.0);
+}
+
+TEST(OptimizeQuery, SumUsesPartitionedBy) {
+  WindowSet set = Tumblings({20, 30, 40});
+  Result<OptimizationOutcome> outcome = OptimizeQuery(set, AggKind::kSum);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_EQ(outcome->semantics, CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(outcome->with_factors.total_cost, 150.0);
+}
+
+TEST(OptimizeQuery, HolisticUnsupported) {
+  WindowSet set = Tumblings({20, 30, 40});
+  Result<OptimizationOutcome> outcome =
+      OptimizeQuery(set, AggKind::kMedian);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kUnimplemented);
+}
+
+TEST(OptimizeQuery, EmptySetRejected) {
+  WindowSet empty;
+  Result<OptimizationOutcome> outcome = OptimizeQuery(empty, AggKind::kMin);
+  ASSERT_FALSE(outcome.ok());
+  EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(OptimizeQuery, FactorWindowsDisabled) {
+  OptimizerOptions options;
+  options.enable_factor_windows = false;
+  WindowSet set = Tumblings({20, 30, 40});
+  Result<OptimizationOutcome> outcome =
+      OptimizeQuery(set, AggKind::kSum, options);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_DOUBLE_EQ(outcome->with_factors.total_cost,
+                   outcome->without_factors.total_cost);
+}
+
+// Property sweep: Algorithm 3 output is always a forest, never costs more
+// than Algorithm 1, and exposed (query) windows are all retained.
+struct OptSweepParam {
+  bool tumbling;
+  bool sequential;
+  int size;
+  uint64_t seed;
+};
+
+class OptimizerSweep : public ::testing::TestWithParam<OptSweepParam> {};
+
+TEST_P(OptimizerSweep, Invariants) {
+  OptSweepParam param = GetParam();
+  Rng rng(param.seed);
+  for (int trial = 0; trial < 5; ++trial) {
+    WindowSet set =
+        param.sequential
+            ? SequentialGenWindowSet(param.size, param.tumbling, &rng)
+            : RandomGenWindowSet(param.size, param.tumbling, &rng);
+    CoverageSemantics semantics = param.tumbling
+                                      ? CoverageSemantics::kPartitionedBy
+                                      : CoverageSemantics::kCoveredBy;
+    MinCostWcg without = FindMinCostWcg(set, semantics);
+    MinCostWcg with = OptimizeWithFactorWindows(set, semantics);
+    EXPECT_TRUE(with.IsForest());
+    EXPECT_LE(with.total_cost, without.total_cost + 1e-6);
+    // All query windows retained.
+    for (const Window& w : set) {
+      EXPECT_TRUE(with.graph.IndexOf(w).ok()) << w.ToString();
+    }
+    // Every factor window is used by someone.
+    for (int i = 0; i < static_cast<int>(with.graph.num_nodes()); ++i) {
+      if (with.graph.node(i).is_factor) {
+        EXPECT_FALSE(with.ChosenConsumers(i).empty());
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweeps, OptimizerSweep,
+    ::testing::Values(OptSweepParam{true, false, 5, 11},
+                      OptSweepParam{true, true, 5, 12},
+                      OptSweepParam{false, false, 5, 13},
+                      OptSweepParam{false, true, 5, 14},
+                      OptSweepParam{true, true, 10, 15},
+                      OptSweepParam{false, false, 10, 16}));
+
+}  // namespace
+}  // namespace fw

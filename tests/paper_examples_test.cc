@@ -1,0 +1,187 @@
+// End-to-end reproductions of every worked example in the paper. These
+// tests pin the library to the paper's published numbers.
+
+#include <gtest/gtest.h>
+
+#include "factor/benefit.h"
+#include "factor/candidates.h"
+#include "factor/optimizer.h"
+#include "plan/printer.h"
+#include "window/coverage.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+// Example 1 / Figures 1-2: MIN over tumbling windows of 20/30/40 minutes.
+TEST(Example1, RewrittenPlanShape) {
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg wcg =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  // "aggregates of the 40-minute window are computed from sub-aggregates
+  // that are outputs of the 20-minute window".
+  int i20 = -1;
+  int i40 = -1;
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    if (plan.op(static_cast<int>(i)).window == Window::Tumbling(20)) {
+      i20 = static_cast<int>(i);
+    }
+    if (plan.op(static_cast<int>(i)).window == Window::Tumbling(40)) {
+      i40 = static_cast<int>(i);
+    }
+  }
+  EXPECT_EQ(plan.op(i40).parent, i20);
+  // The 30-minute window still reads the input.
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    if (plan.op(static_cast<int>(i)).window == Window::Tumbling(30)) {
+      EXPECT_EQ(plan.op(static_cast<int>(i)).parent, -1);
+    }
+  }
+}
+
+TEST(Example1, FactorWindowPlanUsesT10) {
+  // Figure 2(a), right: a 10-minute tumbling factor window feeds all
+  // three query windows (20 and 30 directly; 40 via 20).
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  ASSERT_EQ(plan.num_operators(), 4u);
+  std::string trill = ToTrillExpression(plan);
+  EXPECT_EQ(trill.rfind("Input.Tumbling(minute, 10)", 0), 0u) << trill;
+}
+
+// Example 2 & 3: W1(10,2) covered by W2(8,2), via Theorem 1.
+TEST(Example2And3, Coverage) {
+  EXPECT_TRUE(IsCoveredBy(Window(10, 2), Window(8, 2)));
+}
+
+// Example 4: the covering sets of W1(10,2)'s first two intervals.
+TEST(Example4, CoveringSets) {
+  Window w1(10, 2);
+  Window w2(8, 2);
+  EXPECT_EQ(CoveringSet(w1, w1.IntervalAt(0), w2),
+            (std::vector<Interval>{{0, 8}, {2, 10}}));
+  EXPECT_EQ(CoveringSet(w1, w1.IntervalAt(1), w2),
+            (std::vector<Interval>{{2, 10}, {4, 12}}));
+}
+
+// Example 5: W1(10,2) is NOT partitioned by W2(8,2) (condition 3 fails).
+TEST(Example5, PartitioningFails) {
+  EXPECT_FALSE(IsPartitionedBy(Window(10, 2), Window(8, 2)));
+}
+
+// Example 6 / Figure 6: C = 480 naive, C' = 150 after Algorithm 1, a
+// 68.75% reduction... the paper reports 62.5% against C = 480? The paper
+// says "C' = 120+12+12+6 = 150, a 62.5% reduction" — 480 - 62.5% = 180;
+// the published percentage is computed against the sharable part. We pin
+// the absolute numbers, which are unambiguous.
+TEST(Example6, CostNumbers) {
+  WindowSet set = Tumblings({10, 20, 30, 40});
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(model.NaiveTotalCost(set), 480.0);
+  MinCostWcg wcg =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(wcg.total_cost, 150.0);
+}
+
+TEST(Example6, CoveredAndPartitionedCoincideForTumbling) {
+  // "It does not matter which aggregate function f we choose here."
+  WindowSet set = Tumblings({10, 20, 30, 40});
+  MinCostWcg covered = FindMinCostWcg(set, CoverageSemantics::kCoveredBy);
+  MinCostWcg partitioned =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(covered.total_cost, partitioned.total_cost);
+}
+
+// Example 7 / Figure 7: without factor windows C' = 246 (31.7% less than
+// 360); with the factor window T(10), C'' = 150 (58.3% less than 360 and
+// 39% less than 246).
+TEST(Example7, CostProgression) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  EXPECT_DOUBLE_EQ(model.NaiveTotalCost(set), 360.0);
+  MinCostWcg without =
+      FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(without.total_cost, 246.0);
+  MinCostWcg with =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_DOUBLE_EQ(with.total_cost, 150.0);
+  // Published reductions.
+  EXPECT_NEAR((360.0 - 246.0) / 360.0, 0.317, 0.001);
+  EXPECT_NEAR((360.0 - 150.0) / 360.0, 0.583, 0.001);
+  EXPECT_NEAR((246.0 - 150.0) / 246.0, 0.39, 0.005);
+}
+
+TEST(Example7, Figure7bCostLayout) {
+  WindowSet set = Tumblings({20, 30, 40});
+  MinCostWcg with =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  auto cost_of = [&](const Window& w) {
+    return with.costs[static_cast<size_t>(with.graph.IndexOf(w).value())]
+        .cost;
+  };
+  EXPECT_DOUBLE_EQ(cost_of(Window::Tumbling(10)), 120.0);  // c1.
+  EXPECT_DOUBLE_EQ(cost_of(Window::Tumbling(20)), 12.0);   // c2.
+  EXPECT_DOUBLE_EQ(cost_of(Window::Tumbling(30)), 12.0);   // c3.
+  EXPECT_DOUBLE_EQ(cost_of(Window::Tumbling(40)), 6.0);    // c4.
+}
+
+// Example 8: candidates T(10), T(5), T(2); dependent pruning removes the
+// finer two; T(10) wins.
+TEST(Example8, CandidateSelection) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  std::vector<Window> downstream = {Window::Tumbling(20),
+                                    Window::Tumbling(30)};
+  // All three candidates pass Algorithm 4 (K = 2).
+  for (TimeT rf : {2, 5, 10}) {
+    EXPECT_TRUE(IsBeneficialPartitionedBy(Window::Tumbling(rf), Window(1, 1),
+                                          downstream, model))
+        << rf;
+  }
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window(1, 1), downstream, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_EQ(*best, Window::Tumbling(10));
+}
+
+// Section IV-C footnote: the restricted search space skips W(15, 15) for
+// Figure 7(a)'s WCG because gcd{20, 30, 40} = 10 < 15.
+TEST(Footnote3, W15OutsideSearchSpace) {
+  WindowSet set = Tumblings({20, 30, 40});
+  CostModel model(set);
+  std::optional<Window> best = FindBestFactorWindowPartitionedBy(
+      Window(1, 1), {Window::Tumbling(20), Window::Tumbling(30)}, model);
+  ASSERT_TRUE(best.has_value());
+  EXPECT_NE(*best, Window::Tumbling(15));
+  // And indeed 15 does not divide gcd(20, 30) = 10.
+  EXPECT_NE(10 % 15, 0);
+}
+
+// Theorem 7: the min-cost WCG is a forest.
+TEST(Theorem7, MinCostWcgIsForest) {
+  for (auto ranges : std::vector<std::vector<TimeT>>{
+           {10, 20, 30, 40}, {20, 30, 40}, {15, 17, 19},
+           {10, 20, 40, 80, 160}}) {
+    WindowSet set;
+    for (TimeT r : ranges) ASSERT_TRUE(set.Add(Window::Tumbling(r)).ok());
+    MinCostWcg wcg =
+        FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
+    EXPECT_TRUE(wcg.IsForest());
+    for (size_t i = 0; i < wcg.costs.size(); ++i) {
+      // "Each window in Gmin has at most one incoming edge."
+      // (Represented directly: a single provider field.)
+      SUCCEED();
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,131 @@
+#include "plan/plan.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/optimizer.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+int IndexOfLabel(const QueryPlan& plan, const std::string& label) {
+  for (size_t i = 0; i < plan.num_operators(); ++i) {
+    if (plan.op(static_cast<int>(i)).label == label) {
+      return static_cast<int>(i);
+    }
+  }
+  return -1;
+}
+
+TEST(OriginalPlan, IndependentOperators) {
+  QueryPlan plan =
+      QueryPlan::Original(Tumblings({20, 30, 40}), AggKind::kMin);
+  EXPECT_EQ(plan.num_operators(), 3u);
+  EXPECT_EQ(plan.agg(), AggKind::kMin);
+  for (const PlanOperator& op : plan.operators()) {
+    EXPECT_EQ(op.parent, -1);
+    EXPECT_TRUE(op.children.empty());
+    EXPECT_TRUE(op.exposed);
+    EXPECT_FALSE(op.is_factor);
+  }
+  EXPECT_EQ(plan.Roots().size(), 3u);
+  EXPECT_EQ(plan.ExposedOperators().size(), 3u);
+  EXPECT_EQ(plan.NumSharedEdges(), 0);
+  EXPECT_TRUE(plan.Validate());
+}
+
+TEST(OriginalPlan, OperatorOrderMatchesWindowSet) {
+  WindowSet set = Tumblings({30, 10, 20});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kSum);
+  EXPECT_EQ(plan.op(0).window, Window::Tumbling(30));
+  EXPECT_EQ(plan.op(1).window, Window::Tumbling(10));
+  EXPECT_EQ(plan.op(2).window, Window::Tumbling(20));
+}
+
+TEST(RewrittenPlan, Example6Shape) {
+  // Figure 6(b)/2(a): T(10) from input; T(20), T(30) from T(10); T(40)
+  // from T(20).
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  ASSERT_EQ(plan.num_operators(), 4u);
+  int i10 = IndexOfLabel(plan, "T(10)");
+  int i20 = IndexOfLabel(plan, "T(20)");
+  int i30 = IndexOfLabel(plan, "T(30)");
+  int i40 = IndexOfLabel(plan, "T(40)");
+  ASSERT_GE(i10, 0);
+  EXPECT_EQ(plan.op(i10).parent, -1);
+  EXPECT_EQ(plan.op(i20).parent, i10);
+  EXPECT_EQ(plan.op(i30).parent, i10);
+  EXPECT_EQ(plan.op(i40).parent, i20);
+  EXPECT_EQ(plan.Roots(), std::vector<int>{i10});
+  EXPECT_EQ(plan.NumSharedEdges(), 3);
+  EXPECT_TRUE(plan.Validate());
+}
+
+TEST(RewrittenPlan, FactorWindowsAreHidden) {
+  MinCostWcg wcg = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  ASSERT_EQ(plan.num_operators(), 4u);  // 3 query + factor T(10).
+  int factor = IndexOfLabel(plan, "T(10)");
+  ASSERT_GE(factor, 0);
+  EXPECT_TRUE(plan.op(factor).is_factor);
+  EXPECT_FALSE(plan.op(factor).exposed);
+  // Exposed set excludes the factor window.
+  std::vector<int> exposed = plan.ExposedOperators();
+  EXPECT_EQ(exposed.size(), 3u);
+  for (int i : exposed) EXPECT_FALSE(plan.op(i).is_factor);
+}
+
+TEST(RewrittenPlan, ExposedOperatorIdsMatchOriginalPlan) {
+  // Query windows keep window-set order in both plans so results can be
+  // compared by operator id.
+  WindowSet set = Tumblings({20, 30, 40});
+  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  for (size_t i = 0; i < set.size(); ++i) {
+    EXPECT_EQ(original.op(static_cast<int>(i)).window,
+              rewritten.op(static_cast<int>(i)).window);
+  }
+}
+
+TEST(RewrittenPlan, ChildrenSymmetry) {
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  int i10 = IndexOfLabel(plan, "T(10)");
+  const std::vector<int>& kids = plan.op(i10).children;
+  EXPECT_EQ(kids.size(), 2u);
+  for (int kid : kids) EXPECT_EQ(plan.op(kid).parent, i10);
+}
+
+TEST(RewrittenPlan, NoSharingCollapsesToOriginalShape) {
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({15, 17, 19}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  EXPECT_EQ(plan.Roots().size(), 3u);
+  EXPECT_EQ(plan.NumSharedEdges(), 0);
+}
+
+TEST(RewrittenPlan, HoppingCoveredByShape) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(8, 2)).ok());
+  ASSERT_TRUE(set.Add(Window(10, 2)).ok());
+  MinCostWcg wcg = FindMinCostWcg(set, CoverageSemantics::kCoveredBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  int i8 = IndexOfLabel(plan, "W(8, 2)");
+  int i10 = IndexOfLabel(plan, "W(10, 2)");
+  EXPECT_EQ(plan.op(i8).parent, -1);
+  EXPECT_EQ(plan.op(i10).parent, i8);
+}
+
+}  // namespace
+}  // namespace fw

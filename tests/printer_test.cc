@@ -1,0 +1,153 @@
+#include "plan/printer.h"
+
+#include <gtest/gtest.h>
+
+#include "factor/optimizer.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+size_t CountOccurrences(const std::string& text, const std::string& sub) {
+  size_t count = 0;
+  size_t pos = 0;
+  while ((pos = text.find(sub, pos)) != std::string::npos) {
+    ++count;
+    pos += sub.size();
+  }
+  return count;
+}
+
+TEST(TrillPrinter, OriginalPlanFigure1b) {
+  // Figure 1(b): Input.Multicast over three independent aggregates joined
+  // by Union.
+  QueryPlan plan =
+      QueryPlan::Original(Tumblings({20, 30, 40}), AggKind::kMin);
+  std::string expr = ToTrillExpression(plan);
+  EXPECT_EQ(expr.rfind("Input.Multicast(s => ", 0), 0u) << expr;
+  EXPECT_EQ(CountOccurrences(expr, ".Tumbling(minute, "), 3u);
+  EXPECT_EQ(CountOccurrences(expr, ".GroupAggregate("), 3u);
+  EXPECT_EQ(CountOccurrences(expr, ".Union("), 2u);
+  EXPECT_EQ(CountOccurrences(expr, "w.Min(e => e.Value)"), 3u);
+}
+
+TEST(TrillPrinter, RewrittenPlanFigure2b) {
+  // Figure 2(b): 20-minute aggregate multicasts to the 40-minute window;
+  // the 30-minute window still reads the input.
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({20, 30, 40}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string expr = ToTrillExpression(plan);
+  // Two roots (T(20) chain and T(30)) -> top-level multicast; the T(20)
+  // operator multicasts its aggregate stream to T(40) and the union.
+  EXPECT_EQ(CountOccurrences(expr, ".Multicast("), 2u) << expr;
+  EXPECT_EQ(CountOccurrences(expr, ".Tumbling(minute, 40)"), 1u);
+  // T(40)'s Tumbling call is applied to the inner multicast variable s1.
+  EXPECT_NE(expr.find("s1.Tumbling(minute, 40)"), std::string::npos) << expr;
+}
+
+TEST(TrillPrinter, FactorWindowPlanFigure2c) {
+  // Figure 2(c): the factor window's aggregate is NOT unioned into the
+  // result (it is hidden), but its output feeds the query windows.
+  MinCostWcg wcg = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string expr = ToTrillExpression(plan);
+  // Single root: the factor window T(10) reads Input directly (no
+  // top-level multicast of the raw stream).
+  EXPECT_EQ(expr.rfind("Input.Tumbling(minute, 10)", 0), 0u) << expr;
+  EXPECT_EQ(CountOccurrences(expr, ".GroupAggregate("), 4u);
+  // Union appears for the three exposed windows' streams; since T(10) is
+  // hidden its own stream variable is not unioned: the multicast body
+  // starts with a window chain, not the bare variable.
+  EXPECT_NE(expr.find(".Multicast(s1 => s1.Tumbling(minute, 20)"),
+            std::string::npos)
+      << expr;
+}
+
+TEST(TrillPrinter, HoppingWindowsUseHoppingCall) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(40, 10)).ok());
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMax);
+  std::string expr = ToTrillExpression(plan);
+  EXPECT_NE(expr.find(".Hopping(minute, 40, 10)"), std::string::npos);
+  EXPECT_NE(expr.find("w.Max(e => e.Value)"), std::string::npos);
+}
+
+TEST(TrillPrinter, SingleWindowNoMulticast) {
+  QueryPlan plan = QueryPlan::Original(Tumblings({20}), AggKind::kMin);
+  std::string expr = ToTrillExpression(plan);
+  EXPECT_EQ(expr.rfind("Input.Tumbling(minute, 20)", 0), 0u) << expr;
+  EXPECT_EQ(CountOccurrences(expr, ".Multicast("), 0u);
+}
+
+TEST(FlinkPrinter, OneStatementPerOperatorPlusUnion) {
+  MinCostWcg wcg = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string expr = ToFlinkExpression(plan);
+  EXPECT_EQ(CountOccurrences(expr, "DataStream<Agg> w"), 4u);
+  EXPECT_EQ(CountOccurrences(expr, "TumblingEventTimeWindows"), 4u);
+  // Factor window marked.
+  EXPECT_NE(expr.find("(factor window)"), std::string::npos);
+  // Union of the three exposed streams: two .union calls.
+  EXPECT_EQ(CountOccurrences(expr, ".union(w"), 2u);
+  // Shared operators consume upstream streams with merge aggregates.
+  EXPECT_NE(expr.find("new MergeMINAggregate()"), std::string::npos);
+}
+
+TEST(FlinkPrinter, SlidingWindows) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(40, 10)).ok());
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kAvg);
+  std::string expr = ToFlinkExpression(plan);
+  EXPECT_NE(expr.find("SlidingEventTimeWindows.of(Time.minutes(40), "
+                      "Time.minutes(10))"),
+            std::string::npos);
+}
+
+TEST(DotPrinter, ContainsAllEdges) {
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string dot = ToDot(plan);
+  EXPECT_NE(dot.find("digraph plan"), std::string::npos);
+  EXPECT_EQ(CountOccurrences(dot, "input -> "), 1u);  // Only T(10).
+  // Every exposed operator links to the union.
+  EXPECT_EQ(CountOccurrences(dot, "-> union"), 4u);
+}
+
+TEST(JsonPrinter, EmitsOneObjectPerOperator) {
+  MinCostWcg wcg = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string json = ToJson(plan);
+  EXPECT_NE(json.find("\"aggregate\": \"MIN\""), std::string::npos);
+  EXPECT_EQ(CountOccurrences(json, "\"id\": "), 4u);
+  EXPECT_EQ(CountOccurrences(json, "\"factor\": true"), 1u);
+  EXPECT_EQ(CountOccurrences(json, "\"exposed\": true"), 3u);
+  // The factor window T(10) reads the raw stream.
+  EXPECT_NE(json.find("\"range\": 10, \"slide\": 10, \"parent\": -1"),
+            std::string::npos)
+      << json;
+}
+
+TEST(SummaryPrinter, ShowsProvidersAndFlags) {
+  MinCostWcg wcg = OptimizeWithFactorWindows(
+      Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::string summary = ToSummary(plan);
+  EXPECT_NE(summary.find("T(10) <- <input>"), std::string::npos) << summary;
+  EXPECT_NE(summary.find("T(30) <- T(10)"), std::string::npos);
+  EXPECT_NE(summary.find("T(40) <- T(20)"), std::string::npos);
+  EXPECT_NE(summary.find("[factor]"), std::string::npos);
+  EXPECT_NE(summary.find("[hidden]"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace fw

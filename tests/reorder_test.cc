@@ -1,0 +1,154 @@
+#include "exec/reorder.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "harness/runner.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+class VectorConsumer : public EventConsumer {
+ public:
+  void Consume(const Event& event) override { events.push_back(event); }
+  std::vector<Event> events;
+};
+
+TEST(ReorderBuffer, PassThroughWhenOrdered) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 0}, &out);
+  for (TimeT t = 0; t < 10; ++t) {
+    EXPECT_TRUE(buffer.Push(Event{t, 0, 1.0}).ok());
+  }
+  buffer.Flush();
+  ASSERT_EQ(out.events.size(), 10u);
+  for (size_t i = 0; i < 10; ++i) {
+    EXPECT_EQ(out.events[i].timestamp, static_cast<TimeT>(i));
+  }
+  EXPECT_EQ(buffer.late_dropped(), 0u);
+}
+
+TEST(ReorderBuffer, ReordersWithinDelayBound) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 5}, &out);
+  // Timestamps 3, 1, 2, 0, 4 — all within disorder 5.
+  for (TimeT t : {3, 1, 2, 0, 4}) {
+    EXPECT_TRUE(buffer.Push(Event{t, 0, static_cast<double>(t)}).ok());
+  }
+  buffer.Flush();
+  ASSERT_EQ(out.events.size(), 5u);
+  for (size_t i = 1; i < out.events.size(); ++i) {
+    EXPECT_LE(out.events[i - 1].timestamp, out.events[i].timestamp);
+  }
+}
+
+TEST(ReorderBuffer, ReleasesOnWatermarkAdvance) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 2}, &out);
+  ASSERT_TRUE(buffer.Push(Event{5, 0, 0.0}).ok());
+  EXPECT_EQ(out.events.size(), 0u);  // Watermark 3 < 5, still buffered.
+  ASSERT_TRUE(buffer.Push(Event{8, 0, 0.0}).ok());
+  // Watermark 6: releases t=5.
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].timestamp, 5);
+  EXPECT_EQ(buffer.buffered(), 1u);
+}
+
+TEST(ReorderBuffer, DropsLateEventsUnderDropPolicy) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 2, .late_policy =
+                            ReorderBuffer::LatePolicy::kDrop},
+                       &out);
+  ASSERT_TRUE(buffer.Push(Event{10, 0, 0.0}).ok());  // Watermark 8.
+  ASSERT_TRUE(buffer.Push(Event{3, 0, 0.0}).ok());   // Late; dropped.
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+  buffer.Flush();
+  ASSERT_EQ(out.events.size(), 1u);
+  EXPECT_EQ(out.events[0].timestamp, 10);
+}
+
+TEST(ReorderBuffer, ErrorsOnLateEventsUnderErrorPolicy) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 2, .late_policy =
+                            ReorderBuffer::LatePolicy::kError},
+                       &out);
+  ASSERT_TRUE(buffer.Push(Event{10, 0, 0.0}).ok());
+  Status late = buffer.Push(Event{3, 0, 0.0});
+  EXPECT_EQ(late.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(buffer.late_dropped(), 1u);
+}
+
+TEST(ReorderBuffer, EqualTimestampsAreNotLate) {
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 0}, &out);
+  ASSERT_TRUE(buffer.Push(Event{5, 0, 1.0}).ok());
+  ASSERT_TRUE(buffer.Push(Event{5, 1, 2.0}).ok());
+  buffer.Flush();
+  EXPECT_EQ(out.events.size(), 2u);
+  EXPECT_EQ(buffer.late_dropped(), 0u);
+}
+
+TEST(ReorderBuffer, FeedsPlanExecutorEquivalently) {
+  // Shuffling a stream within the disorder bound and pushing it through
+  // the reorder buffer must reproduce the sorted-run results exactly.
+  WindowSet windows = WindowSet::Parse("{T(10), W(20, 5)}").value();
+  std::vector<Event> ordered = GenerateSyntheticStream(4000, 2, 9);
+  // Bounded shuffle: swap within blocks of 8 (disorder < 16).
+  std::vector<Event> shuffled = ordered;
+  Rng rng(17);
+  for (size_t block = 0; block + 8 <= shuffled.size(); block += 8) {
+    std::shuffle(shuffled.begin() + static_cast<long>(block),
+                 shuffled.begin() + static_cast<long>(block + 8),
+                 rng.engine());
+  }
+
+  QueryPlan plan = QueryPlan::Original(windows, AggKind::kMin);
+  CollectingSink sorted_sink;
+  ExecutePlan(plan, ordered, 2, &sorted_sink, nullptr, nullptr);
+
+  CollectingSink reordered_sink;
+  PlanExecutor executor(plan, {.num_keys = 2}, &reordered_sink);
+  ConsumerFn feed([&](const Event& e) { executor.Push(e); });
+  ReorderBuffer buffer({.max_delay = 16}, &feed);
+  for (const Event& e : shuffled) {
+    ASSERT_TRUE(buffer.Push(e).ok());
+  }
+  buffer.Flush();
+  executor.Finish();
+  EXPECT_EQ(buffer.late_dropped(), 0u);
+  EXPECT_EQ(sorted_sink.ToMap(), reordered_sink.ToMap());
+}
+
+TEST(ReorderBuffer, FailureInjectionExcessDisorder) {
+  // Disorder beyond the bound: late events are dropped, the pipeline
+  // keeps running, and the drop counter reports the loss.
+  VectorConsumer out;
+  ReorderBuffer buffer({.max_delay = 4}, &out);
+  Rng rng(23);
+  uint64_t pushed = 0;
+  for (TimeT t = 0; t < 500; ++t) {
+    TimeT jitter = static_cast<TimeT>(rng.Uniform(0, 12)) - 6;
+    TimeT ts = std::max<TimeT>(0, t + jitter);
+    (void)buffer.Push(Event{ts, 0, 0.0});
+    ++pushed;
+  }
+  buffer.Flush();
+  EXPECT_GT(buffer.late_dropped(), 0u);
+  EXPECT_EQ(out.events.size() + buffer.late_dropped(), pushed);
+  for (size_t i = 1; i < out.events.size(); ++i) {
+    EXPECT_LE(out.events[i - 1].timestamp, out.events[i].timestamp);
+  }
+}
+
+TEST(ReorderBufferDeathTest, RequiresConsumerAndValidDelay) {
+  EXPECT_DEATH(ReorderBuffer({.max_delay = 1}, nullptr), "out");
+  VectorConsumer out;
+  EXPECT_DEATH(ReorderBuffer({.max_delay = -1}, &out), "max_delay");
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,100 @@
+#include "harness/runner.h"
+
+#include <gtest/gtest.h>
+
+#include "cost/min_cost.h"
+#include "factor/optimizer.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+TEST(RunPlan, ReportsStats) {
+  WindowSet set = Tumblings({10, 20});
+  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(10000, 1, 1);
+  RunStats stats = RunPlan(plan, events, 1);
+  EXPECT_GT(stats.throughput, 0.0);
+  EXPECT_EQ(stats.ops, 20000u);
+  EXPECT_EQ(stats.results, 1000u + 500u);
+  EXPECT_GT(stats.checksum, 0.0);
+}
+
+TEST(RunSlicing, ReportsStats) {
+  WindowSet set = Tumblings({10, 20});
+  std::vector<Event> events = GenerateSyntheticStream(10000, 1, 1);
+  RunStats stats = RunSlicing(set, AggKind::kMin, events, 1);
+  EXPECT_GT(stats.throughput, 0.0);
+  EXPECT_GT(stats.ops, 0u);
+  EXPECT_EQ(stats.results, 1500u);
+}
+
+TEST(VerifyEquivalence, AcceptsRewrittenPlans) {
+  WindowSet set = Tumblings({20, 30, 40});
+  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(5000, 1, 2);
+  EXPECT_TRUE(VerifyEquivalence(original, rewritten, events, 1).ok());
+}
+
+TEST(VerifyEquivalence, DetectsDifferentPlans) {
+  // Different window sets produce different result domains.
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kMin);
+  QueryPlan b = QueryPlan::Original(Tumblings({20}), AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(100, 1, 3);
+  Status status = VerifyEquivalence(a, b, events, 1);
+  EXPECT_FALSE(status.ok());
+}
+
+TEST(VerifyEquivalence, DetectsValueDifferences) {
+  // MIN vs MAX over the same windows: same domain, different values.
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kMin);
+  QueryPlan b = QueryPlan::Original(Tumblings({10}), AggKind::kMax);
+  std::vector<Event> events = GenerateSyntheticStream(100, 1, 4);
+  Status status = VerifyEquivalence(a, b, events, 1);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("value mismatch"), std::string::npos);
+}
+
+TEST(VerifyEquivalence, ToleranceAllowsFloatNoise) {
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kAvg);
+  MinCostWcg wcg = FindMinCostWcg(Tumblings({10}),
+                                  CoverageSemantics::kPartitionedBy);
+  QueryPlan b = QueryPlan::FromMinCostWcg(wcg, AggKind::kAvg);
+  std::vector<Event> events = GenerateSyntheticStream(1000, 1, 5);
+  EXPECT_TRUE(VerifyEquivalence(a, b, events, 1, 1e-9).ok());
+}
+
+TEST(VerifySlicingEquivalence, MatchesOriginal) {
+  WindowSet set = Tumblings({10, 20, 30});
+  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  std::vector<Event> events = GenerateSyntheticStream(2000, 1, 6);
+  EXPECT_TRUE(
+      VerifySlicingEquivalence(set, AggKind::kMin, original, events, 1).ok());
+}
+
+TEST(RunPlan, SharedPlanDoesFewerOps) {
+  WindowSet set = Tumblings({20, 30, 40});
+  std::vector<Event> events = GenerateSyntheticStream(24000, 1, 7);
+  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  MinCostWcg wcg =
+      OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  RunStats naive = RunPlan(original, events, 1);
+  RunStats shared = RunPlan(rewritten, events, 1);
+  // Model: 360 vs 150 per hyper-period of 120 -> ratio 2.4.
+  EXPECT_NEAR(static_cast<double>(naive.ops) /
+                  static_cast<double>(shared.ops),
+              2.4, 0.05);
+}
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,251 @@
+#include "slicing/slicer.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "exec/engine.h"
+#include "plan/plan.h"
+
+namespace fw {
+namespace {
+
+std::vector<Event> RandomStream(TimeT length, uint32_t num_keys,
+                                uint64_t seed, bool gaps = false) {
+  Rng rng(seed);
+  std::vector<Event> events;
+  TimeT t = 0;
+  while (t < length) {
+    events.push_back(
+        Event{t, static_cast<uint32_t>(rng.Uniform(0, num_keys - 1)),
+              rng.UniformReal(-100, 100)});
+    t += gaps ? static_cast<TimeT>(rng.Uniform(0, 3)) : 1;
+  }
+  return events;
+}
+
+std::map<CollectingSink::ResultKey, double> RunNaive(
+    const WindowSet& windows, AggKind agg, const std::vector<Event>& events,
+    uint32_t num_keys) {
+  QueryPlan plan = QueryPlan::Original(windows, agg);
+  CollectingSink sink;
+  ExecutePlan(plan, events, num_keys, &sink, nullptr, nullptr);
+  return sink.ToMap();
+}
+
+std::map<CollectingSink::ResultKey, double> RunSliced(
+    const WindowSet& windows, AggKind agg, const std::vector<Event>& events,
+    uint32_t num_keys, uint64_t* ops = nullptr,
+    SlicingEvaluator::CombineMode mode =
+        SlicingEvaluator::CombineMode::kEager) {
+  CollectingSink sink;
+  SlicingEvaluator evaluator(windows, agg,
+                             {.num_keys = num_keys, .mode = mode}, &sink);
+  evaluator.Run(events);
+  if (ops != nullptr) *ops = evaluator.TotalOps();
+  return sink.ToMap();
+}
+
+void ExpectMapsNear(const std::map<CollectingSink::ResultKey, double>& a,
+                    const std::map<CollectingSink::ResultKey, double>& b,
+                    double tolerance) {
+  ASSERT_EQ(a.size(), b.size());
+  auto it_b = b.begin();
+  for (const auto& [key, value] : a) {
+    ASSERT_EQ(key, it_b->first);
+    EXPECT_NEAR(value, it_b->second, tolerance);
+    ++it_b;
+  }
+}
+
+TEST(Slicer, TumblingMinMatchesNaive) {
+  WindowSet windows = WindowSet::Parse("{T(10), T(20), T(30)}").value();
+  std::vector<Event> events = RandomStream(200, 1, 1);
+  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
+                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+}
+
+TEST(Slicer, HoppingSumMatchesNaive) {
+  WindowSet windows = WindowSet::Parse("{W(20, 5), W(30, 10)}").value();
+  std::vector<Event> events = RandomStream(200, 1, 2);
+  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
+                 RunSliced(windows, AggKind::kSum, events, 1), 1e-9);
+}
+
+TEST(Slicer, MixedWindowsWithKeysAndGaps) {
+  WindowSet windows = WindowSet::Parse("{T(12), W(18, 6), W(24, 4)}").value();
+  std::vector<Event> events = RandomStream(300, 3, 3, /*gaps=*/true);
+  ExpectMapsNear(RunNaive(windows, AggKind::kMax, events, 3),
+                 RunSliced(windows, AggKind::kMax, events, 3), 0.0);
+}
+
+TEST(Slicer, NonIntegralRecurrenceWindows) {
+  // r not a multiple of s: slice edges must include window-end grids.
+  WindowSet windows = WindowSet::Parse("{W(10, 4), W(7, 3)}").value();
+  std::vector<Event> events = RandomStream(150, 1, 4);
+  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
+                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+}
+
+TEST(Slicer, LateStartStream) {
+  // Events begin far from time zero; no firings for the empty prefix.
+  WindowSet windows = WindowSet::Parse("{T(10), W(20, 5)}").value();
+  Rng rng(5);
+  std::vector<Event> events;
+  for (TimeT t = 1000; t < 1200; ++t) {
+    events.push_back(Event{t, 0, rng.UniformReal(0, 1)});
+  }
+  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
+                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+}
+
+TEST(Slicer, PartialTailWindowsMatchEngineFlush) {
+  WindowSet windows = WindowSet::Parse("{T(10), T(25)}").value();
+  std::vector<Event> events = RandomStream(37, 1, 6);  // Ends mid-window.
+  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
+                 RunSliced(windows, AggKind::kSum, events, 1), 1e-9);
+}
+
+TEST(Slicer, OpsBeatNaiveOnManyOverlappingWindows) {
+  // Five hopping windows with a common slide grid: slicing folds each
+  // event once, the naive plan r/s times per window.
+  WindowSet windows;
+  for (TimeT k : {2, 4, 6, 8, 10}) {
+    ASSERT_TRUE(windows.Add(Window(10 * k, 10)).ok());
+  }
+  std::vector<Event> events = RandomStream(2000, 1, 7);
+  QueryPlan plan = QueryPlan::Original(windows, AggKind::kMin);
+  CountingSink naive_sink;
+  uint64_t naive_ops = 0;
+  ExecutePlan(plan, events, 1, &naive_sink, nullptr, &naive_ops);
+  uint64_t sliced_ops = 0;
+  RunSliced(windows, AggKind::kMin, events, 1, &sliced_ops);
+  EXPECT_LT(sliced_ops, naive_ops / 2);
+}
+
+TEST(Slicer, SingleWindowStillCorrect) {
+  WindowSet windows = WindowSet::Parse("{W(12, 3)}").value();
+  std::vector<Event> events = RandomStream(100, 1, 8);
+  ExpectMapsNear(RunNaive(windows, AggKind::kAvg, events, 1),
+                 RunSliced(windows, AggKind::kAvg, events, 1), 1e-9);
+}
+
+TEST(Slicer, ResetAllowsRerun) {
+  WindowSet windows = WindowSet::Parse("{T(10)}").value();
+  std::vector<Event> events = RandomStream(50, 1, 9);
+  CollectingSink sink;
+  SlicingEvaluator evaluator(windows, AggKind::kMin, {.num_keys = 1}, &sink);
+  evaluator.Run(events);
+  size_t first_count = sink.results().size();
+  uint64_t first_ops = evaluator.TotalOps();
+  evaluator.Reset();
+  EXPECT_EQ(evaluator.TotalOps(), 0u);
+  evaluator.Run(events);
+  EXPECT_EQ(sink.results().size(), 2 * first_count);
+  EXPECT_EQ(evaluator.TotalOps(), first_ops);
+}
+
+TEST(Slicer, EmptyStreamProducesNothing) {
+  WindowSet windows = WindowSet::Parse("{T(10)}").value();
+  CollectingSink sink;
+  SlicingEvaluator evaluator(windows, AggKind::kMin, {.num_keys = 1}, &sink);
+  evaluator.Finish();
+  EXPECT_TRUE(sink.results().empty());
+  EXPECT_EQ(evaluator.TotalOps(), 0u);
+}
+
+TEST(SlicerDeathTest, HolisticRejected) {
+  WindowSet windows = WindowSet::Parse("{T(10)}").value();
+  CollectingSink sink;
+  EXPECT_DEATH(
+      SlicingEvaluator(windows, AggKind::kMedian, {.num_keys = 1}, &sink),
+      "holistic");
+}
+
+// The lazy FlatFAT combine mode must agree with both the naive engine and
+// the eager mode, instance for instance.
+TEST(SlicerLazyTree, MatchesNaiveAndEager) {
+  WindowSet windows = WindowSet::Parse("{T(10), W(20, 5), W(30, 10)}")
+                          .value();
+  std::vector<Event> events = RandomStream(400, 2, 31);
+  auto naive = RunNaive(windows, AggKind::kMin, events, 2);
+  auto eager = RunSliced(windows, AggKind::kMin, events, 2);
+  uint64_t lazy_ops = 0;
+  auto lazy = RunSliced(windows, AggKind::kMin, events, 2, &lazy_ops,
+                        SlicingEvaluator::CombineMode::kLazyTree);
+  ExpectMapsNear(naive, eager, 0.0);
+  ExpectMapsNear(naive, lazy, 0.0);
+  EXPECT_GT(lazy_ops, 0u);
+}
+
+TEST(SlicerLazyTree, HandlesGapsAndLateStart) {
+  WindowSet windows = WindowSet::Parse("{T(12), W(24, 6)}").value();
+  Rng rng(33);
+  std::vector<Event> events;
+  TimeT t = 500;
+  for (int i = 0; i < 300; ++i) {
+    events.push_back(Event{t, 0, rng.UniformReal(0, 1)});
+    t += static_cast<TimeT>(rng.Uniform(0, 4));
+  }
+  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
+                 RunSliced(windows, AggKind::kSum, events, 1, nullptr,
+                           SlicingEvaluator::CombineMode::kLazyTree),
+                 1e-9);
+}
+
+TEST(SlicerLazyTree, ResetWorks) {
+  WindowSet windows = WindowSet::Parse("{T(10)}").value();
+  std::vector<Event> events = RandomStream(80, 1, 34);
+  CollectingSink sink;
+  SlicingEvaluator evaluator(
+      windows, AggKind::kMin,
+      {.num_keys = 1, .mode = SlicingEvaluator::CombineMode::kLazyTree},
+      &sink);
+  evaluator.Run(events);
+  size_t first = sink.results().size();
+  evaluator.Reset();
+  evaluator.Run(events);
+  EXPECT_EQ(sink.results().size(), 2 * first);
+}
+
+// Property: slicing equals the naive engine across aggregates, window
+// shapes, keyed/gapped streams, and both combine modes.
+struct SliceSweepParam {
+  const char* spec;
+  AggKind agg;
+  uint32_t keys;
+  bool gaps;
+};
+
+class SlicerSweep : public ::testing::TestWithParam<SliceSweepParam> {};
+
+TEST_P(SlicerSweep, MatchesNaive) {
+  SliceSweepParam param = GetParam();
+  WindowSet windows = WindowSet::Parse(param.spec).value();
+  std::vector<Event> events =
+      RandomStream(250, param.keys, 1234, param.gaps);
+  double tolerance = param.agg == AggKind::kMin || param.agg == AggKind::kMax
+                         ? 0.0
+                         : 1e-9;
+  auto naive = RunNaive(windows, param.agg, events, param.keys);
+  ExpectMapsNear(naive,
+                 RunSliced(windows, param.agg, events, param.keys),
+                 tolerance);
+  ExpectMapsNear(naive,
+                 RunSliced(windows, param.agg, events, param.keys, nullptr,
+                           SlicingEvaluator::CombineMode::kLazyTree),
+                 tolerance);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grids, SlicerSweep,
+    ::testing::Values(
+        SliceSweepParam{"{T(10), T(15), T(20)}", AggKind::kMin, 1, false},
+        SliceSweepParam{"{T(10), T(15), T(20)}", AggKind::kSum, 2, true},
+        SliceSweepParam{"{W(20, 10), W(30, 10)}", AggKind::kMax, 1, false},
+        SliceSweepParam{"{W(20, 10), W(30, 15)}", AggKind::kAvg, 2, false},
+        SliceSweepParam{"{W(8, 2), W(12, 4), T(6)}", AggKind::kStdev, 1,
+                        true},
+        SliceSweepParam{"{W(14, 7), T(21)}", AggKind::kCount, 3, false}));
+
+}  // namespace
+}  // namespace fw

@@ -1,0 +1,18 @@
+#include <gtest/gtest.h>
+
+#include "harness/experiments.h"
+#include "plan/printer.h"
+#include "workload/datagen.h"
+
+TEST(Smoke, EndToEnd) {
+  fw::WindowSet windows =
+      fw::WindowSet::Parse("{T(20), T(30), T(40)}").value();
+  fw::QuerySetup setup{windows, fw::AggKind::kMin,
+                       fw::CoverageSemantics::kPartitionedBy};
+  std::vector<fw::Event> events =
+      fw::GenerateSyntheticStream(20000, 1, fw::kSyntheticSeed);
+  fw::ComparisonResult result = fw::CompareSetups(setup, events, 1);
+  EXPECT_GT(result.with_fw.throughput, 0.0);
+  EXPECT_EQ(result.num_factor_windows, 1);
+  EXPECT_LT(result.cost_with_fw, result.cost_naive);
+}

@@ -1,0 +1,105 @@
+#include "common/stats.h"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/rng.h"
+
+namespace fw {
+namespace {
+
+TEST(Mean, Basics) {
+  EXPECT_DOUBLE_EQ(Mean({2.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({1.0, 2.0, 3.0}), 2.0);
+  EXPECT_DOUBLE_EQ(Mean({-1.0, 1.0}), 0.0);
+}
+
+TEST(StdDev, Basics) {
+  EXPECT_DOUBLE_EQ(StdDev({5.0, 5.0, 5.0}), 0.0);
+  // Population stddev of {1,3} is 1.
+  EXPECT_DOUBLE_EQ(StdDev({1.0, 3.0}), 1.0);
+}
+
+TEST(MinMax, Basics) {
+  std::vector<double> xs = {3.0, -1.0, 7.0, 2.0};
+  EXPECT_DOUBLE_EQ(Max(xs), 7.0);
+  EXPECT_DOUBLE_EQ(Min(xs), -1.0);
+}
+
+TEST(Pearson, PerfectPositive) {
+  std::vector<double> xs = {1, 2, 3, 4, 5};
+  std::vector<double> ys = {2, 4, 6, 8, 10};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), 1.0, 1e-12);
+}
+
+TEST(Pearson, PerfectNegative) {
+  std::vector<double> xs = {1, 2, 3, 4};
+  std::vector<double> ys = {8, 6, 4, 2};
+  EXPECT_NEAR(PearsonCorrelation(xs, ys), -1.0, 1e-12);
+}
+
+TEST(Pearson, ZeroVariance) {
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 1, 1}, {1, 2, 3}), 0.0);
+  EXPECT_DOUBLE_EQ(PearsonCorrelation({1, 2, 3}, {5, 5, 5}), 0.0);
+}
+
+TEST(Pearson, InvariantUnderAffineTransforms) {
+  Rng rng(7);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 100; ++i) {
+    double x = rng.UniformReal(0, 10);
+    xs.push_back(x);
+    ys.push_back(3.0 * x + rng.Gaussian());
+  }
+  double r = PearsonCorrelation(xs, ys);
+  std::vector<double> xs2;
+  std::vector<double> ys2;
+  for (size_t i = 0; i < xs.size(); ++i) {
+    xs2.push_back(2.0 * xs[i] + 5.0);
+    ys2.push_back(-1.5 * ys[i] + 3.0);  // Sign flip flips r.
+  }
+  EXPECT_NEAR(PearsonCorrelation(xs2, ys2), -r, 1e-9);
+}
+
+TEST(FitLine, RecoversSlopeIntercept) {
+  std::vector<double> xs = {0, 1, 2, 3};
+  std::vector<double> ys = {1, 3, 5, 7};  // y = 2x + 1.
+  LinearFit fit = FitLine(xs, ys);
+  EXPECT_NEAR(fit.slope, 2.0, 1e-12);
+  EXPECT_NEAR(fit.intercept, 1.0, 1e-12);
+}
+
+TEST(FitLine, ZeroVarianceX) {
+  LinearFit fit = FitLine({2, 2, 2}, {1, 2, 3});
+  EXPECT_DOUBLE_EQ(fit.slope, 0.0);
+  EXPECT_DOUBLE_EQ(fit.intercept, 2.0);
+}
+
+// Property: correlation of a noisy linear relation rises with the
+// signal-to-noise ratio.
+class NoiseSweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(NoiseSweep, CorrelationAboveFloor) {
+  double noise = GetParam();
+  Rng rng(42);
+  std::vector<double> xs;
+  std::vector<double> ys;
+  for (int i = 0; i < 500; ++i) {
+    double x = rng.UniformReal(0, 1);
+    xs.push_back(x);
+    ys.push_back(x + noise * rng.Gaussian());
+  }
+  double r = PearsonCorrelation(xs, ys);
+  // With sd(x) ~ 0.29, r ~ 1/sqrt(1 + (noise/0.29)^2); allow slack.
+  double expected = 1.0 / std::sqrt(1.0 + (noise / 0.289) * (noise / 0.289));
+  EXPECT_GT(r, expected - 0.15);
+  EXPECT_LE(r, 1.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Noise, NoiseSweep,
+                         ::testing::Values(0.0, 0.05, 0.1, 0.3, 1.0));
+
+}  // namespace
+}  // namespace fw

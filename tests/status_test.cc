@@ -1,0 +1,105 @@
+#include "common/status.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+TEST(Status, OkDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kOk);
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(Status, ErrorFactories) {
+  EXPECT_EQ(Status::InvalidArgument("x").code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(Status::NotFound("x").code(), StatusCode::kNotFound);
+  EXPECT_EQ(Status::AlreadyExists("x").code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(Status::OutOfRange("x").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Status::Unimplemented("x").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(Status::Internal("x").code(), StatusCode::kInternal);
+  EXPECT_FALSE(Status::Internal("x").ok());
+}
+
+TEST(Status, ToStringIncludesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad slide");
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad slide");
+  EXPECT_EQ(s.message(), "bad slide");
+}
+
+TEST(Status, Equality) {
+  EXPECT_EQ(Status::OK(), Status());
+  EXPECT_EQ(Status::NotFound("a"), Status::NotFound("a"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::NotFound("b"));
+  EXPECT_FALSE(Status::NotFound("a") == Status::Internal("a"));
+}
+
+TEST(StatusCodeToString, AllCodes) {
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOk), "OK");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInvalidArgument),
+               "InvalidArgument");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kNotFound), "NotFound");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kAlreadyExists),
+               "AlreadyExists");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kOutOfRange), "OutOfRange");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kUnimplemented),
+               "Unimplemented");
+  EXPECT_STREQ(StatusCodeToString(StatusCode::kInternal), "Internal");
+}
+
+TEST(Result, Value) {
+  Result<int> r(42);
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(r.value(), 42);
+  EXPECT_EQ(*r, 42);
+  EXPECT_EQ(r.value_or(7), 42);
+}
+
+TEST(Result, Error) {
+  Result<int> r(Status::NotFound("missing"));
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kNotFound);
+  EXPECT_EQ(r.value_or(7), 7);
+}
+
+TEST(Result, MoveValue) {
+  Result<std::string> r(std::string("hello"));
+  std::string taken = std::move(r).value();
+  EXPECT_EQ(taken, "hello");
+}
+
+TEST(Result, ArrowOperator) {
+  Result<std::string> r(std::string("abc"));
+  EXPECT_EQ(r->size(), 3u);
+}
+
+Status FailsThrough() {
+  FW_RETURN_IF_ERROR(Status::OutOfRange("boom"));
+  return Status::OK();
+}
+
+Status Succeeds() {
+  FW_RETURN_IF_ERROR(Status::OK());
+  return Status::Internal("reached");
+}
+
+TEST(ReturnIfError, PropagatesAndPasses) {
+  EXPECT_EQ(FailsThrough().code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(Succeeds().code(), StatusCode::kInternal);
+}
+
+TEST(CheckMacros, PassingChecksDoNotAbort) {
+  FW_CHECK(true) << "never shown";
+  FW_CHECK_EQ(1, 1);
+  FW_CHECK_LT(1, 2);
+  FW_CHECK_GE(2, 2);
+  SUCCEED();
+}
+
+TEST(CheckMacrosDeathTest, FailingCheckAborts) {
+  EXPECT_DEATH(FW_CHECK(1 == 2) << "context", "Check failed");
+}
+
+}  // namespace
+}  // namespace fw

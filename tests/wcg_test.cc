@@ -1,0 +1,186 @@
+#include "graph/wcg.h"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace fw {
+namespace {
+
+WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
+  WindowSet set;
+  for (TimeT r : ranges) EXPECT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  return set;
+}
+
+bool HasEdge(const Wcg& g, const Window& from, const Window& to) {
+  int i = g.IndexOf(from).value();
+  int j = g.IndexOf(to).value();
+  const std::vector<int>& out = g.consumers(i);
+  return std::find(out.begin(), out.end(), j) != out.end();
+}
+
+TEST(Wcg, Example6InitialGraph) {
+  // Figure 6(a): T(10) covers T(20), T(30), T(40); T(20) covers T(40).
+  Wcg g = Wcg::Build(Tumblings({10, 20, 30, 40}),
+                     CoverageSemantics::kPartitionedBy);
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(20)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(30)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(40)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(20), Window::Tumbling(40)));
+  EXPECT_FALSE(HasEdge(g, Window::Tumbling(20), Window::Tumbling(30)));
+  EXPECT_FALSE(HasEdge(g, Window::Tumbling(30), Window::Tumbling(40)));
+  EXPECT_FALSE(HasEdge(g, Window::Tumbling(40), Window::Tumbling(20)));
+}
+
+TEST(Wcg, AugmentationAddsVirtualRoot) {
+  Wcg g = Wcg::Build(Tumblings({20, 30, 40}),
+                     CoverageSemantics::kPartitionedBy);
+  // Nodes: the three windows + S(1,1).
+  EXPECT_EQ(g.num_nodes(), 4u);
+  int root = g.root_index();
+  ASSERT_GE(root, 0);
+  EXPECT_TRUE(g.IsVirtualRoot(root));
+  EXPECT_EQ(g.node(root).window, Window(1, 1));
+}
+
+TEST(Wcg, RootEdgesOnlyToUncoveredNodes) {
+  // Figure 7(a): S -> T(20), S -> T(30); T(40) is covered by T(20) so it
+  // gets no root edge.
+  Wcg g = Wcg::Build(Tumblings({20, 30, 40}),
+                     CoverageSemantics::kPartitionedBy);
+  EXPECT_TRUE(HasEdge(g, Window(1, 1), Window::Tumbling(20)));
+  EXPECT_TRUE(HasEdge(g, Window(1, 1), Window::Tumbling(30)));
+  EXPECT_FALSE(HasEdge(g, Window(1, 1), Window::Tumbling(40)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(20), Window::Tumbling(40)));
+}
+
+TEST(Wcg, RealUnitWindowBecomesRoot) {
+  // "If such an S already exists in W, we do not add another one."
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(1, 1)).ok());
+  ASSERT_TRUE(set.Add(Window::Tumbling(10)).ok());
+  Wcg g = Wcg::Build(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(g.num_nodes(), 2u);
+  int root = g.root_index();
+  EXPECT_EQ(g.node(root).window, Window(1, 1));
+  EXPECT_FALSE(g.IsVirtualRoot(root));  // Real query window doubles as root.
+}
+
+TEST(Wcg, SemanticsMatters) {
+  // W(30, 10) is covered but not partitioned by W(20, 10).
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(30, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(20, 10)).ok());
+  Wcg covered = Wcg::Build(set, CoverageSemantics::kCoveredBy);
+  EXPECT_TRUE(HasEdge(covered, Window(20, 10), Window(30, 10)));
+  Wcg partitioned = Wcg::Build(set, CoverageSemantics::kPartitionedBy);
+  EXPECT_FALSE(HasEdge(partitioned, Window(20, 10), Window(30, 10)));
+}
+
+TEST(Wcg, ProvidersAndConsumersAreSymmetric) {
+  Wcg g = Wcg::Build(Tumblings({10, 20, 30, 40, 60}),
+                     CoverageSemantics::kPartitionedBy);
+  for (int i = 0; i < static_cast<int>(g.num_nodes()); ++i) {
+    for (int j : g.consumers(i)) {
+      const std::vector<int>& back = g.providers(j);
+      EXPECT_NE(std::find(back.begin(), back.end(), i), back.end());
+    }
+    for (int j : g.providers(i)) {
+      const std::vector<int>& fwd = g.consumers(j);
+      EXPECT_NE(std::find(fwd.begin(), fwd.end(), i), fwd.end());
+    }
+  }
+}
+
+TEST(Wcg, EveryNodeHasAProvider) {
+  // After augmentation every non-root node has at least one provider
+  // (possibly the root).
+  Wcg g = Wcg::Build(Tumblings({15, 17, 19}),
+                     CoverageSemantics::kPartitionedBy);
+  for (int i = 0; i < static_cast<int>(g.num_nodes()); ++i) {
+    if (i == g.root_index()) continue;
+    EXPECT_FALSE(g.providers(i).empty());
+  }
+}
+
+TEST(Wcg, MutuallyPrimeRangesOnlyRootEdges) {
+  // The paper's limitation example: T(15), T(17), T(19) share nothing.
+  Wcg g = Wcg::Build(Tumblings({15, 17, 19}),
+                     CoverageSemantics::kPartitionedBy);
+  for (int i = 0; i < static_cast<int>(g.num_nodes()); ++i) {
+    if (i == g.root_index()) continue;
+    ASSERT_EQ(g.providers(i).size(), 1u);
+    EXPECT_EQ(g.providers(i)[0], g.root_index());
+  }
+}
+
+TEST(Wcg, AddFactorWindow) {
+  Wcg g = Wcg::Build(Tumblings({20, 30, 40}),
+                     CoverageSemantics::kPartitionedBy);
+  Result<int> idx = g.AddFactorWindow(Window::Tumbling(10));
+  ASSERT_TRUE(idx.ok());
+  EXPECT_TRUE(g.node(*idx).is_factor);
+  g.RebuildEdges();
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(20)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(30)));
+  EXPECT_TRUE(HasEdge(g, Window::Tumbling(10), Window::Tumbling(40)));
+  EXPECT_TRUE(HasEdge(g, Window(1, 1), Window::Tumbling(10)));
+  // T(20) and T(30) now have a non-root provider, so no root edge.
+  EXPECT_FALSE(HasEdge(g, Window(1, 1), Window::Tumbling(20)));
+  EXPECT_FALSE(HasEdge(g, Window(1, 1), Window::Tumbling(30)));
+}
+
+TEST(Wcg, AddFactorWindowRejectsDuplicates) {
+  Wcg g = Wcg::Build(Tumblings({20, 30}), CoverageSemantics::kPartitionedBy);
+  EXPECT_EQ(g.AddFactorWindow(Window::Tumbling(20)).status().code(),
+            StatusCode::kAlreadyExists);
+  ASSERT_TRUE(g.AddFactorWindow(Window::Tumbling(10)).ok());
+  EXPECT_EQ(g.AddFactorWindow(Window::Tumbling(10)).status().code(),
+            StatusCode::kAlreadyExists);
+}
+
+TEST(Wcg, IndexOf) {
+  Wcg g = Wcg::Build(Tumblings({20, 30}), CoverageSemantics::kPartitionedBy);
+  EXPECT_TRUE(g.IndexOf(Window::Tumbling(20)).ok());
+  EXPECT_EQ(g.IndexOf(Window::Tumbling(99)).status().code(),
+            StatusCode::kNotFound);
+}
+
+TEST(Wcg, HoppingCoveredByEdges) {
+  // W(10,2) <= W(8,2) <= W(6,2) <= W(4,2): a chain under covered-by.
+  WindowSet set;
+  for (TimeT r : {4, 6, 8, 10}) ASSERT_TRUE(set.Add(Window(r, 2)).ok());
+  Wcg g = Wcg::Build(set, CoverageSemantics::kCoveredBy);
+  EXPECT_TRUE(HasEdge(g, Window(4, 2), Window(6, 2)));
+  EXPECT_TRUE(HasEdge(g, Window(4, 2), Window(10, 2)));
+  EXPECT_TRUE(HasEdge(g, Window(8, 2), Window(10, 2)));
+  EXPECT_FALSE(HasEdge(g, Window(10, 2), Window(4, 2)));
+}
+
+TEST(Wcg, ToDotMentionsAllNodes) {
+  Wcg g = Wcg::Build(Tumblings({20, 40}), CoverageSemantics::kPartitionedBy);
+  std::string dot = g.ToDot();
+  EXPECT_NE(dot.find("T(20)"), std::string::npos);
+  EXPECT_NE(dot.find("T(40)"), std::string::npos);
+  EXPECT_NE(dot.find("->"), std::string::npos);
+  EXPECT_NE(dot.find("digraph"), std::string::npos);
+}
+
+TEST(Wcg, EdgesAreAcyclic) {
+  // Strict coverage implies strictly larger range downstream, so no cycles.
+  WindowSet set;
+  for (TimeT r : {10, 20, 30, 40, 60, 120}) {
+    ASSERT_TRUE(set.Add(Window::Tumbling(r)).ok());
+  }
+  Wcg g = Wcg::Build(set, CoverageSemantics::kPartitionedBy);
+  for (int i = 0; i < static_cast<int>(g.num_nodes()); ++i) {
+    for (int j : g.consumers(i)) {
+      if (i == g.root_index()) continue;
+      EXPECT_LT(g.node(i).window.range(), g.node(j).window.range());
+    }
+  }
+}
+
+}  // namespace
+}  // namespace fw

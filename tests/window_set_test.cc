@@ -1,0 +1,125 @@
+#include "window/window_set.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+TEST(WindowSet, AddAndContains) {
+  WindowSet set;
+  EXPECT_TRUE(set.empty());
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  ASSERT_TRUE(set.Add(Window(30, 30)).ok());
+  EXPECT_EQ(set.size(), 2u);
+  EXPECT_TRUE(set.Contains(Window(20, 20)));
+  EXPECT_FALSE(set.Contains(Window(40, 40)));
+}
+
+TEST(WindowSet, RejectsDuplicates) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  Status dup = set.Add(Window(20, 20));
+  EXPECT_EQ(dup.code(), StatusCode::kAlreadyExists);
+  EXPECT_EQ(set.size(), 1u);
+}
+
+TEST(WindowSet, SameRangeDifferentSlideAreDistinct) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  EXPECT_TRUE(set.Add(Window(20, 10)).ok());
+  EXPECT_EQ(set.size(), 2u);
+}
+
+TEST(WindowSet, Remove) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  EXPECT_TRUE(set.Remove(Window(20, 20)).ok());
+  EXPECT_TRUE(set.empty());
+  EXPECT_EQ(set.Remove(Window(20, 20)).code(), StatusCode::kNotFound);
+}
+
+TEST(WindowSet, MakeFromVector) {
+  Result<WindowSet> set =
+      WindowSet::Make({Window(10, 10), Window(20, 20)});
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+  Result<WindowSet> dup =
+      WindowSet::Make({Window(10, 10), Window(10, 10)});
+  EXPECT_FALSE(dup.ok());
+}
+
+TEST(WindowSet, PreservesInsertionOrder) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(30, 30)).ok());
+  ASSERT_TRUE(set.Add(Window(10, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  EXPECT_EQ(set[0], Window(30, 30));
+  EXPECT_EQ(set[1], Window(10, 10));
+  EXPECT_EQ(set[2], Window(20, 20));
+}
+
+TEST(WindowSet, RangesAndSlides) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 10)).ok());
+  ASSERT_TRUE(set.Add(Window(30, 30)).ok());
+  EXPECT_EQ(set.Ranges(), (std::vector<uint64_t>{20, 30}));
+  EXPECT_EQ(set.Slides(), (std::vector<uint64_t>{10, 30}));
+}
+
+TEST(WindowSet, AllTumbling) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  EXPECT_TRUE(set.AllTumbling());
+  ASSERT_TRUE(set.Add(Window(30, 10)).ok());
+  EXPECT_FALSE(set.AllTumbling());
+}
+
+TEST(WindowSet, ToString) {
+  WindowSet set;
+  ASSERT_TRUE(set.Add(Window(20, 20)).ok());
+  ASSERT_TRUE(set.Add(Window(30, 10)).ok());
+  EXPECT_EQ(set.ToString(), "{T(20), W(30, 10)}");
+}
+
+TEST(WindowSetParse, Braced) {
+  Result<WindowSet> set = WindowSet::Parse("{T(20), T(30), T(40)}");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 3u);
+  EXPECT_TRUE(set->Contains(Window(40, 40)));
+}
+
+TEST(WindowSetParse, Unbraced) {
+  Result<WindowSet> set = WindowSet::Parse("T(20) W(40, 10)");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+  EXPECT_TRUE(set->Contains(Window(40, 10)));
+}
+
+TEST(WindowSetParse, LowercaseAndSpacing) {
+  Result<WindowSet> set = WindowSet::Parse("  t( 20 ) , w(40 , 10)  ");
+  ASSERT_TRUE(set.ok());
+  EXPECT_EQ(set->size(), 2u);
+}
+
+TEST(WindowSetParse, Roundtrip) {
+  WindowSet original;
+  ASSERT_TRUE(original.Add(Window(20, 20)).ok());
+  ASSERT_TRUE(original.Add(Window(40, 10)).ok());
+  Result<WindowSet> parsed = WindowSet::Parse(original.ToString());
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(parsed->ToString(), original.ToString());
+}
+
+TEST(WindowSetParse, Errors) {
+  EXPECT_FALSE(WindowSet::Parse("").ok());
+  EXPECT_FALSE(WindowSet::Parse("{}").ok());
+  EXPECT_FALSE(WindowSet::Parse("X(20)").ok());
+  EXPECT_FALSE(WindowSet::Parse("T(20").ok());
+  EXPECT_FALSE(WindowSet::Parse("T()").ok());
+  EXPECT_FALSE(WindowSet::Parse("{T(20)").ok());        // Unterminated.
+  EXPECT_FALSE(WindowSet::Parse("W(10, 20)").ok());     // s > r.
+  EXPECT_FALSE(WindowSet::Parse("T(20), T(20)").ok());  // Duplicate.
+}
+
+}  // namespace
+}  // namespace fw

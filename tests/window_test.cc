@@ -1,0 +1,139 @@
+#include "window/window.h"
+
+#include <gtest/gtest.h>
+
+namespace fw {
+namespace {
+
+TEST(Window, Construction) {
+  Window w(10, 2);
+  EXPECT_EQ(w.range(), 10);
+  EXPECT_EQ(w.slide(), 2);
+  EXPECT_TRUE(w.IsHopping());
+  EXPECT_FALSE(w.IsTumbling());
+}
+
+TEST(Window, Tumbling) {
+  Window w = Window::Tumbling(20);
+  EXPECT_EQ(w.range(), 20);
+  EXPECT_EQ(w.slide(), 20);
+  EXPECT_TRUE(w.IsTumbling());
+  EXPECT_FALSE(w.IsHopping());
+}
+
+TEST(Window, MakeValidation) {
+  EXPECT_TRUE(Window::Make(10, 5).ok());
+  EXPECT_TRUE(Window::Make(10, 10).ok());
+  EXPECT_FALSE(Window::Make(10, 0).ok());
+  EXPECT_FALSE(Window::Make(10, -1).ok());
+  EXPECT_FALSE(Window::Make(5, 10).ok());  // s > r.
+  EXPECT_EQ(Window::Make(5, 10).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(WindowDeathTest, InvalidConstructionAborts) {
+  EXPECT_DEATH(Window(10, 0), "slide");
+  EXPECT_DEATH(Window(5, 10), "slide");
+}
+
+TEST(Window, RangeSlideRatio) {
+  EXPECT_DOUBLE_EQ(Window(10, 2).RangeSlideRatio(), 5.0);
+  EXPECT_DOUBLE_EQ(Window(10, 10).RangeSlideRatio(), 1.0);
+  EXPECT_DOUBLE_EQ(Window(10, 4).RangeSlideRatio(), 2.5);
+}
+
+TEST(Window, HasIntegralRecurrence) {
+  EXPECT_TRUE(Window(10, 2).HasIntegralRecurrence());
+  EXPECT_TRUE(Window(10, 10).HasIntegralRecurrence());
+  EXPECT_FALSE(Window(10, 4).HasIntegralRecurrence());
+}
+
+TEST(Window, IntervalRepresentation) {
+  // Paper §II-A.1: W(10, 2) = {[0, 10), [2, 12), ...}.
+  Window w(10, 2);
+  EXPECT_EQ(w.IntervalAt(0), (Interval{0, 10}));
+  EXPECT_EQ(w.IntervalAt(1), (Interval{2, 12}));
+  EXPECT_EQ(w.IntervalAt(5), (Interval{10, 20}));
+  std::vector<Interval> first = w.FirstIntervals(3);
+  ASSERT_EQ(first.size(), 3u);
+  EXPECT_EQ(first[2], (Interval{4, 14}));
+}
+
+TEST(Window, IntervalLength) {
+  EXPECT_EQ(Window(10, 2).IntervalAt(7).length(), 10);
+  EXPECT_EQ(Interval({3, 8}).length(), 5);
+}
+
+TEST(Window, InstancesContainingTumbling) {
+  Window w = Window::Tumbling(10);
+  std::vector<Interval> at0 = w.InstancesContaining(0);
+  ASSERT_EQ(at0.size(), 1u);
+  EXPECT_EQ(at0[0], (Interval{0, 10}));
+  std::vector<Interval> at9 = w.InstancesContaining(9);
+  ASSERT_EQ(at9.size(), 1u);
+  EXPECT_EQ(at9[0], (Interval{0, 10}));
+  std::vector<Interval> at10 = w.InstancesContaining(10);
+  ASSERT_EQ(at10.size(), 1u);
+  EXPECT_EQ(at10[0], (Interval{10, 20}));
+}
+
+TEST(Window, InstancesContainingHopping) {
+  Window w(10, 2);
+  // t = 11 lies in [2,12), [4,14), [6,16), [8,18), [10,20).
+  std::vector<Interval> instances = w.InstancesContaining(11);
+  ASSERT_EQ(instances.size(), 5u);
+  EXPECT_EQ(instances.front(), (Interval{2, 12}));
+  EXPECT_EQ(instances.back(), (Interval{10, 20}));
+}
+
+TEST(Window, InstancesContainingClampsAtZero) {
+  Window w(10, 2);
+  // t = 1: intervals [0,10) only (m >= 0).
+  std::vector<Interval> instances = w.InstancesContaining(1);
+  ASSERT_EQ(instances.size(), 1u);
+  EXPECT_EQ(instances[0], (Interval{0, 10}));
+}
+
+TEST(Window, ToString) {
+  EXPECT_EQ(Window(20, 20).ToString(), "T(20)");
+  EXPECT_EQ(Window(20, 5).ToString(), "W(20, 5)");
+}
+
+TEST(Window, OrderingAndEquality) {
+  EXPECT_TRUE(Window(10, 5) == Window(10, 5));
+  EXPECT_FALSE(Window(10, 5) == Window(10, 2));
+  EXPECT_TRUE(Window(10, 5) < Window(20, 5));
+  EXPECT_TRUE(Window(10, 2) < Window(10, 5));
+  EXPECT_FALSE(Window(10, 5) < Window(10, 5));
+}
+
+// Property: InstancesContaining agrees with a brute-force scan of the
+// interval representation.
+struct WindowParam {
+  TimeT range;
+  TimeT slide;
+};
+
+class InstanceSweep : public ::testing::TestWithParam<WindowParam> {};
+
+TEST_P(InstanceSweep, MatchesBruteForce) {
+  Window w(GetParam().range, GetParam().slide);
+  for (TimeT t = 0; t <= 100; ++t) {
+    std::vector<Interval> expected;
+    for (int64_t m = 0; m * w.slide() <= t; ++m) {
+      Interval iv = w.IntervalAt(m);
+      if (iv.start <= t && t < iv.end) expected.push_back(iv);
+    }
+    EXPECT_EQ(w.InstancesContaining(t), expected) << "t=" << t;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Windows, InstanceSweep,
+    ::testing::Values(WindowParam{10, 10}, WindowParam{10, 2},
+                      WindowParam{10, 5}, WindowParam{7, 3},
+                      WindowParam{12, 4}, WindowParam{1, 1},
+                      WindowParam{30, 6}));
+
+}  // namespace
+}  // namespace fw
