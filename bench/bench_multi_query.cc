@@ -3,13 +3,14 @@
 // we compare three execution strategies:
 //   independent  — every query runs its own original plan;
 //   per-query FW — every query optimized alone (Algorithm 3);
-//   shared FW    — the whole batch merged and optimized jointly
-//                  (MultiQueryOptimizer) and executed as one plan.
+//   session      — the whole batch served by one fw::StreamSession
+//                  (jointly optimized shared plan + per-query routing).
+
+#include <chrono>
 
 #include "bench/bench_util.h"
 #include "common/rng.h"
-#include "exec/engine.h"
-#include "multi/multi_query.h"
+#include "session/session.h"
 
 namespace {
 
@@ -20,7 +21,6 @@ std::vector<StreamQuery> MakeDashboards(int count, uint64_t seed) {
   // query picks 1-2 multiples of a shared base granularity.
   Rng rng(seed);
   std::vector<StreamQuery> queries;
-  WindowSet used;
   for (int i = 0; i < count; ++i) {
     StreamQuery q;
     q.source = "telemetry";
@@ -44,12 +44,12 @@ int main() {
   std::printf(
       "=== Multi-query sharing (IoT Central scenario, %zu events) ===\n\n",
       events.size());
-  std::printf("%6s %16s %16s %16s %12s\n", "boards", "independent(K/s)",
-              "per-query FW(K/s)", "shared FW(K/s)", "shared ops%%");
+  std::printf("%6s %16s %17s %16s %12s\n", "boards", "independent(K/s)",
+              "per-query FW(K/s)", "session(K/s)", "session ops%%");
   for (int boards : {2, 5, 10}) {
     double independent_tput = 0.0;
     double per_query_tput = 0.0;
-    double shared_tput = 0.0;
+    double session_tput = 0.0;
     double ops_ratio = 0.0;
     const int kRuns = 5;
     for (int run = 0; run < kRuns; ++run) {
@@ -58,7 +58,6 @@ int main() {
 
       // Independent originals.
       uint64_t independent_ops = 0;
-      double worst_tput = 0.0;
       double total_seconds = 0.0;
       for (const StreamQuery& q : queries) {
         QueryPlan plan = QueryPlan::Original(q.windows, q.agg);
@@ -66,9 +65,7 @@ int main() {
         independent_ops += stats.ops;
         total_seconds += static_cast<double>(events.size()) /
                          stats.throughput;
-        worst_tput = stats.throughput;
       }
-      (void)worst_tput;
       independent_tput += static_cast<double>(events.size()) / total_seconds;
 
       // Per-query factor-window plans.
@@ -84,21 +81,29 @@ int main() {
       }
       per_query_tput += static_cast<double>(events.size()) / total_seconds;
 
-      // Shared plan for the whole batch.
-      MultiQueryOptimizer::SharedPlan shared =
-          MultiQueryOptimizer::Optimize(queries).value();
-      RunStats stats = RunPlan(shared.plan, events, 1);
-      shared_tput += stats.throughput;
-      ops_ratio += static_cast<double>(stats.ops) /
+      // One session serving the whole batch (shared plan + routing).
+      StreamSession session;
+      for (const StreamQuery& q : queries) {
+        (void)session.AddQuery(q).value();
+      }
+      auto start = std::chrono::steady_clock::now();
+      (void)session.PushBatch(events);
+      (void)session.Finish();
+      double seconds =
+          std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                        start)
+              .count();
+      session_tput += static_cast<double>(events.size()) / seconds;
+      ops_ratio += static_cast<double>(session.Stats().lifetime_ops) /
                    static_cast<double>(independent_ops);
     }
-    std::printf("%6d %16.1f %16.1f %16.1f %11.1f%%\n", boards,
+    std::printf("%6d %16.1f %17.1f %16.1f %11.1f%%\n", boards,
                 independent_tput / kRuns / 1000.0,
                 per_query_tput / kRuns / 1000.0,
-                shared_tput / kRuns / 1000.0, 100.0 * ops_ratio / kRuns);
+                session_tput / kRuns / 1000.0, 100.0 * ops_ratio / kRuns);
   }
   std::printf(
-      "\n(throughput = events/sec to serve ALL dashboards; 'shared ops%%' "
-      "= shared-plan ops as a fraction of independent execution)\n");
+      "\n(throughput = events/sec to serve ALL dashboards; 'session ops%%' "
+      "= session engine ops as a fraction of independent execution)\n");
   return 0;
 }

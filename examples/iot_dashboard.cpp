@@ -1,7 +1,9 @@
 // IoT dashboard scenario (paper §I): multiple downstream applications
 // watch the same device fleet at different granularities — a classic
-// correlated-window workload. Demonstrates per-device grouping, hopping
-// windows under "covered by" semantics, and result verification.
+// correlated-window workload. Demonstrates per-device grouping and hopping
+// windows under "covered by" semantics through fw::StreamSession, with the
+// harness verifying that the session's shared plan agrees with the
+// unshared original plan.
 //
 //   $ ./examples/iot_dashboard
 
@@ -9,54 +11,58 @@
 
 #include "harness/experiments.h"
 #include "harness/runner.h"
-#include "plan/printer.h"
+#include "session/session.h"
 #include "workload/datagen.h"
 
 int main() {
   using namespace fw;
 
   // Five dashboards over the same fleet: sliding MAX temperature with
-  // increasing spans, all sliding every 10 minutes.
-  WindowSet windows;
-  for (TimeT r : {20, 40, 60, 80, 120}) {
-    (void)windows.Add(Window(r, 10));
-  }
-  const AggKind agg = AggKind::kMax;
+  // increasing spans, all sliding every 10 minutes, one query per span.
+  constexpr TimeT kSpans[] = {20, 40, 60, 80, 120};
   const uint32_t kDevices = 4;
-  std::printf("dashboards: %s %s per device (%u devices)\n\n",
-              AggKindToString(agg), windows.ToString().c_str(), kDevices);
-
-  // MAX allows the general "covered by" sharing (Theorem 6).
-  OptimizationOutcome outcome = OptimizeQuery(windows, agg).value();
-  QueryPlan optimized = QueryPlan::FromMinCostWcg(outcome.with_factors, agg);
-  std::printf("optimized plan (%s semantics):\n%s\n",
-              CoverageSemanticsToString(outcome.semantics),
-              ToSummary(optimized).c_str());
+  StreamSession session({.num_keys = kDevices});
+  QueryId first = 0;
+  for (TimeT r : kSpans) {
+    QueryId id = session
+                     .AddQuery(Query()
+                                   .Max("temperature")
+                                   .From("fleet")
+                                   .PerKey("device_id")
+                                   .Hopping(r, 10))
+                     .value();
+    if (r == 20) first = id;
+  }
+  std::printf("five MAX dashboards per device (%u devices):\n\n%s\n",
+              kDevices, session.Explain(first).value().c_str());
 
   // Simulated fleet telemetry.
   std::vector<Event> events = GenerateDebsLikeStream(
       EventCountFromEnv("FW_EVENTS_1M", 400'000), kDevices, kDebsSeed);
 
-  // Verify the optimized plan agrees with the unshared plan, then race
-  // them.
-  QueryPlan original = QueryPlan::Original(windows, agg);
-  Status verified =
-      VerifyEquivalence(original, optimized, events, kDevices);
+  // Verify the session's shared plan agrees with the unshared plan (MAX
+  // allows the general "covered by" sharing, Theorem 6), then stream.
+  WindowSet windows;
+  for (TimeT r : kSpans) {
+    (void)windows.Add(Window(r, 10));
+  }
+  QueryPlan original = QueryPlan::Original(windows, AggKind::kMax);
+  Status verified = VerifyEquivalence(original, *session.shared_plan(),
+                                      events, kDevices);
   std::printf("result equivalence: %s\n\n", verified.ToString().c_str());
 
+  (void)session.PushBatch(events);
+  (void)session.Finish();
+
   RunStats naive = RunPlan(original, events, kDevices);
-  RunStats shared = RunPlan(optimized, events, kDevices);
-  std::printf("original : %8.1f K events/s, %llu window results\n",
-              naive.throughput / 1000.0,
-              static_cast<unsigned long long>(naive.results));
-  std::printf("optimized: %8.1f K events/s, %llu window results (%.2fx)\n",
-              shared.throughput / 1000.0,
-              static_cast<unsigned long long>(shared.results),
-              shared.throughput / naive.throughput);
-  std::printf("\naccumulate ops: %llu -> %llu (%.1f%% of original)\n",
-              static_cast<unsigned long long>(naive.ops),
-              static_cast<unsigned long long>(shared.ops),
-              100.0 * static_cast<double>(shared.ops) /
-                  static_cast<double>(naive.ops));
+  StreamSession::SessionStats stats = session.Stats();
+  std::printf("original : %llu accumulate ops\n",
+              static_cast<unsigned long long>(naive.ops));
+  std::printf("session  : %llu accumulate ops (%.1f%%), predicted boost "
+              "%.2fx\n",
+              static_cast<unsigned long long>(stats.lifetime_ops),
+              100.0 * static_cast<double>(stats.lifetime_ops) /
+                  static_cast<double>(naive.ops),
+              stats.predicted_boost);
   return verified.ok() ? 0 : 1;
 }

@@ -13,6 +13,7 @@
 #include "factor/optimizer.h"
 #include "graph/wcg.h"
 #include "plan/printer.h"
+#include "session/session.h"
 
 namespace {
 
@@ -75,5 +76,31 @@ int main(int argc, char** argv) {
   std::printf("-- Flink DataStream translation --\n%s\n",
               ToFlinkExpression(plan).c_str());
   std::printf("-- Graphviz --\n%s", ToDot(plan).c_str());
+
+  // The same query through the front door: a StreamSession owns this whole
+  // pipeline and exposes the result as EXPLAIN output.
+  StreamSession session;
+  QueryBuilder builder;
+  switch (agg) {
+    case AggKind::kMin: builder = Query().Min("v"); break;
+    case AggKind::kMax: builder = Query().Max("v"); break;
+    case AggKind::kSum: builder = Query().Sum("v"); break;
+    case AggKind::kCount: builder = Query().Count("v"); break;
+    case AggKind::kAvg: builder = Query().Avg("v"); break;
+    case AggKind::kStdev: builder = Query().Stdev("v"); break;
+    case AggKind::kVariance: builder = Query().Variance("v"); break;
+    case AggKind::kRange: builder = Query().Range("v"); break;
+    case AggKind::kMedian: builder = Query().Median("v"); break;
+  }
+  builder.From("input");
+  for (const Window& w : windows) builder.Over(w);
+  Result<QueryId> id = session.AddQuery(builder);
+  if (id.ok()) {
+    std::printf("\n== StreamSession::Explain ==\n%s",
+                session.Explain(*id).value().c_str());
+  } else {
+    std::printf("\n== StreamSession ==\nrejected: %s\n",
+                id.status().ToString().c_str());
+  }
   return 0;
 }

@@ -1,57 +1,59 @@
-// Quickstart: optimize and execute Example 1 of the paper — a MIN
-// aggregate over 20/30/40-minute tumbling windows on a device telemetry
-// stream — and compare the three plans.
+// Quickstart: the paper's Example 1 — MIN(temperature) over 20/30/40-
+// minute tumbling windows of a device telemetry stream — through the
+// library's front door, fw::StreamSession. The session parses/builds the
+// query, runs the cost-based optimizer (Algorithms 1 and 3), executes the
+// rewritten shared plan, and routes results back, all behind one object.
 //
 //   $ ./examples/quickstart
 
 #include <cstdio>
 
 #include "harness/experiments.h"
-#include "plan/printer.h"
+#include "session/session.h"
 #include "workload/datagen.h"
 
 int main() {
   using namespace fw;
 
-  // 1. Declare the query: MIN(temperature) per device over three windows.
-  //    (This is the ASA query of Figure 1(a).)
-  WindowSet windows = WindowSet::Parse("{T(20), T(30), T(40)}").value();
-  AggKind agg = AggKind::kMin;
-  std::printf("query: %s over windows %s\n\n", AggKindToString(agg),
-              windows.ToString().c_str());
+  // 1. Open a session and declare the query with the fluent builder. The
+  //    SQL front end works too:
+  //      session.AddQuery("SELECT MIN(temperature) FROM input GROUP BY "
+  //                       "WINDOWS(T(20), T(30), T(40))", ...)
+  StreamSession session;
+  CountingSink dashboard;
+  QueryId id = session
+                   .AddQuery(Query()
+                                 .Min("temperature")
+                                 .From("input")
+                                 .Tumbling(20)
+                                 .Tumbling(30)
+                                 .Tumbling(40),
+                             [&dashboard](const WindowResult& r) {
+                               dashboard.OnResult(r);
+                             })
+                   .value();
 
-  // 2. Run the cost-based optimizer (Algorithms 1 and 3).
-  OptimizationOutcome outcome = OptimizeQuery(windows, agg).value();
-  std::printf("semantics selected: %s\n",
-              CoverageSemanticsToString(outcome.semantics));
-  std::printf("model cost: original %.0f, rewritten %.0f, with factor "
-              "windows %.0f\n\n",
-              outcome.naive_cost, outcome.without_factors.total_cost,
-              outcome.with_factors.total_cost);
+  // 2. Inspect what the optimizer built (Figure 2(c)).
+  std::printf("%s\n", session.Explain(id).value().c_str());
 
-  // 3. Inspect the rewritten plan (Figure 2(c)).
-  QueryPlan plan = QueryPlan::FromMinCostWcg(outcome.with_factors, agg);
-  std::printf("rewritten plan:\n%s\n", ToSummary(plan).c_str());
-  std::printf("as a Trill expression:\n%s\n\n",
-              ToTrillExpression(plan).c_str());
-
-  // 4. Execute all three plans on a synthetic telemetry stream and
-  //    compare throughput.
+  // 3. Stream synthetic telemetry through the shared plan.
   std::vector<Event> events = GenerateSyntheticStream(
       EventCountFromEnv("FW_EVENTS_1M", 500'000), 1, kSyntheticSeed);
-  QuerySetup setup{windows, agg, outcome.semantics};
-  ComparisonResult result = CompareSetups(setup, events, 1);
-  std::printf("throughput on %zu events (single core):\n", events.size());
-  std::printf("  original plan     : %8.1f K events/s (%llu ops)\n",
-              result.original.throughput / 1000.0,
-              static_cast<unsigned long long>(result.original.ops));
-  std::printf("  rewritten, no FW  : %8.1f K events/s (%llu ops) -> %.2fx\n",
-              result.without_fw.throughput / 1000.0,
-              static_cast<unsigned long long>(result.without_fw.ops),
-              result.BoostWithoutFw());
-  std::printf("  rewritten, with FW: %8.1f K events/s (%llu ops) -> %.2fx\n",
-              result.with_fw.throughput / 1000.0,
-              static_cast<unsigned long long>(result.with_fw.ops),
-              result.BoostWithFw());
+  if (!session.PushBatch(events).ok() || !session.Finish().ok()) {
+    std::fprintf(stderr, "push failed\n");
+    return 1;
+  }
+
+  // 4. Report what happened.
+  StreamSession::SessionStats stats = session.Stats();
+  std::printf("\nprocessed %llu events for %llu window results\n",
+              static_cast<unsigned long long>(stats.events_pushed),
+              static_cast<unsigned long long>(dashboard.count()));
+  std::printf("model cost: %.0f rewritten vs %.0f original "
+              "(predicted %.2fx speedup)\n",
+              stats.shared_cost, stats.original_cost,
+              stats.predicted_boost);
+  std::printf("engine accumulate/merge ops: %llu\n",
+              static_cast<unsigned long long>(stats.lifetime_ops));
   return 0;
 }

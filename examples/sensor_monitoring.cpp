@@ -1,7 +1,9 @@
 // Manufacturing-sensor monitoring (the paper's "real data" scenario,
 // DEBS 2012): one power sensor, AVG and STDEV telemetry at several
 // horizons — algebraic aggregates that require "partitioned by" sharing —
-// plus a MEDIAN query showing the holistic fallback.
+// plus a MEDIAN query showing the holistic fallback: StreamSession rejects
+// it (no constant-size sub-aggregate exists, §III-A) and the caller runs
+// the original plan through the harness instead.
 //
 //   $ ./examples/sensor_monitoring
 
@@ -9,7 +11,7 @@
 
 #include "harness/experiments.h"
 #include "harness/runner.h"
-#include "plan/printer.h"
+#include "session/session.h"
 #include "workload/datagen.h"
 
 int main() {
@@ -22,32 +24,45 @@ int main() {
   std::printf("power-sensor stream: %zu readings\n\n", events.size());
 
   for (AggKind agg : {AggKind::kAvg, AggKind::kStdev}) {
-    OptimizationOutcome outcome = OptimizeQuery(windows, agg).value();
-    QueryPlan optimized =
-        QueryPlan::FromMinCostWcg(outcome.with_factors, agg);
+    StreamSession session;
+    QueryBuilder query = Query().From("power").Tumbling(60).Tumbling(120)
+                             .Tumbling(240).Tumbling(480);
+    query = agg == AggKind::kAvg ? query.Avg("mf01") : query.Stdev("mf01");
+    CountingSink sink;
+    (void)session
+        .AddQuery(query, [&sink](const WindowResult& r) { sink.OnResult(r); })
+        .value();
+
+    // The session's plan must agree with the unshared original plan.
     QueryPlan original = QueryPlan::Original(windows, agg);
-    Status verified =
-        VerifyEquivalence(original, optimized, events, 1, 1e-9);
+    Status verified = VerifyEquivalence(original, *session.shared_plan(),
+                                        events, 1, 1e-9);
+    (void)session.PushBatch(events);
+    (void)session.Finish();
+
     RunStats naive = RunPlan(original, events, 1);
-    RunStats shared = RunPlan(optimized, events, 1);
-    std::printf("%s over %s (%s):\n", AggKindToString(agg),
-                windows.ToString().c_str(),
-                CoverageSemanticsToString(outcome.semantics));
+    StreamSession::SessionStats stats = session.Stats();
+    std::printf("%s over %s:\n", AggKindToString(agg),
+                windows.ToString().c_str());
     std::printf("  verification: %s\n", verified.ToString().c_str());
-    std::printf("  model cost %.0f -> %.0f; throughput %.1f -> %.1f K/s "
-                "(%.2fx)\n\n",
-                outcome.naive_cost, outcome.with_factors.total_cost,
-                naive.throughput / 1000.0, shared.throughput / 1000.0,
-                shared.throughput / naive.throughput);
+    std::printf("  %llu results; ops %llu -> %llu (predicted boost "
+                "%.2fx)\n\n",
+                static_cast<unsigned long long>(sink.count()),
+                static_cast<unsigned long long>(naive.ops),
+                static_cast<unsigned long long>(stats.lifetime_ops),
+                stats.predicted_boost);
   }
 
   // MEDIAN is holistic: no constant-size sub-aggregate exists, so the
-  // optimizer declines and the original plan runs unshared (§III-A).
-  Result<OptimizationOutcome> median = OptimizeQuery(windows, AggKind::kMedian);
-  std::printf("MEDIAN: optimizer says \"%s\" -> falling back to the "
+  // session declines and the original plan runs unshared (§III-A).
+  StreamSession session;
+  Result<QueryId> median = session.AddQuery(
+      Query().Median("mf01").From("power").Tumbling(60).Tumbling(120));
+  std::printf("MEDIAN: session says \"%s\" -> falling back to the "
               "original plan\n",
               median.status().ToString().c_str());
-  QueryPlan fallback = QueryPlan::Original(windows, AggKind::kMedian);
+  WindowSet median_windows = WindowSet::Parse("{T(60), T(120)}").value();
+  QueryPlan fallback = QueryPlan::Original(median_windows, AggKind::kMedian);
   RunStats stats = RunPlan(fallback, events, 1);
   std::printf("  unshared MEDIAN plan: %.1f K events/s, %llu results\n",
               stats.throughput / 1000.0,

@@ -1,6 +1,7 @@
-// Declarative front end: compile an ASA-style SQL query through the
-// cost-based optimizer and execute it. Pass a query as the first argument
-// or use the built-in Example-1 query.
+// Declarative front end: hand an ASA-style SQL query to a StreamSession,
+// which parses it, runs it through the cost-based optimizer, and executes
+// the rewritten plan. Pass a query as the first argument or use the
+// built-in Example-1 query.
 //
 //   $ ./examples/sql_query
 //   $ ./examples/sql_query "SELECT AVG(load) FROM metrics GROUP BY host, \
@@ -10,8 +11,8 @@
 
 #include "harness/experiments.h"
 #include "harness/runner.h"
-#include "plan/printer.h"
-#include "query/compile.h"
+#include "query/parser.h"
+#include "session/session.h"
 #include "workload/datagen.h"
 
 int main(int argc, char** argv) {
@@ -23,33 +24,57 @@ int main(int argc, char** argv) {
                                "TUMBLINGWINDOW(40))";
   std::printf("query:\n  %s\n\n", sql);
 
-  Result<CompiledQuery> compiled = CompileQuery(sql);
-  if (!compiled.ok()) {
-    std::fprintf(stderr, "compile error: %s\n",
-                 compiled.status().ToString().c_str());
+  // Parse first: the session's key space depends on whether the query
+  // groups by a key column.
+  Result<StreamQuery> parsed = ParseQuery(sql);
+  if (!parsed.ok()) {
+    std::fprintf(stderr, "rejected: %s\n",
+                 parsed.status().ToString().c_str());
     return 1;
   }
-  std::printf("canonical form:\n  %s\n\n", compiled->query.ToSql().c_str());
-  if (compiled->shared) {
-    std::printf("optimized under %s semantics in %.3f ms; model cost "
-                "%.0f -> %.0f (predicted speedup %.2fx)\n\n",
-                CoverageSemanticsToString(compiled->semantics),
-                compiled->optimize_seconds * 1e3, compiled->original_cost,
-                compiled->plan_cost, compiled->PredictedSpeedup());
-  } else {
-    std::printf("holistic aggregate: executing the original plan\n\n");
-  }
-  std::printf("plan:\n%s\n", ToSummary(compiled->plan).c_str());
+  const uint32_t num_keys = parsed->per_key ? 4 : 1;
 
-  const uint32_t num_keys = compiled->query.per_key ? 4 : 1;
+  StreamSession session({.num_keys = num_keys});
+  CountingSink sink;
+  Result<QueryId> id = session.AddQuery(
+      *parsed, [&sink](const WindowResult& r) { sink.OnResult(r); });
+  if (!id.ok() && id.status().code() == StatusCode::kUnimplemented) {
+    // Holistic aggregate: no shared session, so run the original plan
+    // unshared (the paper's fallback).
+    std::printf("%s\n-> executing the original plan unshared\n\n",
+                id.status().ToString().c_str());
+    std::vector<Event> events = GenerateSyntheticStream(
+        EventCountFromEnv("FW_EVENTS_1M", 400'000), num_keys,
+        kSyntheticSeed);
+    QueryPlan original = QueryPlan::Original(parsed->windows, parsed->agg);
+    RunStats stats = RunPlan(original, events, num_keys);
+    std::printf("processed %zu events, delivered %llu window results "
+                "(%.1f K events/s)\n",
+                events.size(),
+                static_cast<unsigned long long>(stats.results),
+                stats.throughput / 1000.0);
+    return 0;
+  }
+  if (!id.ok()) {
+    std::fprintf(stderr, "rejected: %s\n", id.status().ToString().c_str());
+    return 1;
+  }
+  std::printf("%s\n\n", session.Explain(*id).value().c_str());
+
   std::vector<Event> events = GenerateSyntheticStream(
       EventCountFromEnv("FW_EVENTS_1M", 400'000), num_keys, kSyntheticSeed);
-  RunStats naive = RunPlan(compiled->original_plan, events, num_keys);
-  RunStats best = RunPlan(compiled->plan, events, num_keys);
-  std::printf("throughput: original %.1f K/s, optimized %.1f K/s "
-              "(%.2fx measured, %.2fx predicted)\n",
-              naive.throughput / 1000.0, best.throughput / 1000.0,
-              best.throughput / naive.throughput,
-              compiled->PredictedSpeedup());
+  if (!session.PushBatch(events).ok() || !session.Finish().ok()) {
+    std::fprintf(stderr, "push failed\n");
+    return 1;
+  }
+
+  StreamSession::SessionStats stats = session.Stats();
+  std::printf("processed %llu events, delivered %llu window results\n",
+              static_cast<unsigned long long>(stats.events_pushed),
+              static_cast<unsigned long long>(sink.count()));
+  std::printf("model cost %.0f original -> %.0f shared (predicted "
+              "speedup %.2fx); replan latency %.3f ms\n",
+              stats.original_cost, stats.shared_cost, stats.predicted_boost,
+              stats.last_replan_seconds * 1e3);
   return 0;
 }

@@ -1,0 +1,43 @@
+#include "exec/migrate.h"
+
+#include <map>
+
+#include "common/logging.h"
+
+namespace fw {
+
+CheckpointMigration MigrateCheckpoint(
+    const ExecutorCheckpoint& old_checkpoint,
+    const std::vector<std::string>& old_lineages,
+    const std::vector<std::string>& new_lineages) {
+  FW_CHECK_EQ(old_checkpoint.operators.size(), old_lineages.size());
+  std::map<std::string, const OperatorCheckpoint*> by_lineage;
+  for (size_t i = 0; i < old_lineages.size(); ++i) {
+    bool inserted =
+        by_lineage.emplace(old_lineages[i], &old_checkpoint.operators[i])
+            .second;
+    FW_CHECK(inserted) << "duplicate lineage " << old_lineages[i];
+  }
+
+  CheckpointMigration migration;
+  migration.checkpoint.operators.reserve(new_lineages.size());
+  for (size_t i = 0; i < new_lineages.size(); ++i) {
+    auto it = by_lineage.find(new_lineages[i]);
+    if (it == by_lineage.end()) {
+      // Cold start: default cursors, no open instances.
+      OperatorCheckpoint cold;
+      cold.operator_id = static_cast<int>(i);
+      migration.checkpoint.operators.push_back(std::move(cold));
+      ++migration.cold;
+      continue;
+    }
+    OperatorCheckpoint carried = *it->second;
+    carried.operator_id = static_cast<int>(i);
+    migration.carried_ops += carried.accumulate_ops;
+    migration.checkpoint.operators.push_back(std::move(carried));
+    ++migration.migrated;
+  }
+  return migration;
+}
+
+}  // namespace fw

@@ -1,0 +1,44 @@
+#ifndef FW_EXEC_MIGRATE_H_
+#define FW_EXEC_MIGRATE_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "exec/checkpoint.h"
+
+namespace fw {
+
+/// Outcome of aligning a checkpoint taken over one plan with the operator
+/// layout of another plan (a live re-optimization swap).
+struct CheckpointMigration {
+  /// One entry per new-plan operator, restorable into a fresh PlanExecutor
+  /// over the new plan.
+  ExecutorCheckpoint checkpoint;
+  /// Operators whose state was carried over from the old plan.
+  int migrated = 0;
+  /// Operators starting cold (no matching operator in the old plan).
+  int cold = 0;
+  /// Accumulate-op counters carried over with the migrated operators.
+  uint64_t carried_ops = 0;
+};
+
+/// Rewrites `old_checkpoint` (taken over the plan described by
+/// `old_lineages`, see plan/OperatorLineages) for a plan described by
+/// `new_lineages`. An operator's state migrates iff an operator with the
+/// same lineage existed in the old plan: equal lineages mean the whole
+/// provider chain — and therefore the operator's in-flight partial state
+/// and input schedule — is identical, so resuming from the snapshot is
+/// exact. Lineage equality of an operator implies lineage equality of its
+/// parent, so migrated operators always sit on fully migrated chains.
+/// Everything else starts cold (fresh cursors, no open instances); a cold
+/// operator's window instances already open at the swap will only reflect
+/// post-swap input.
+CheckpointMigration MigrateCheckpoint(
+    const ExecutorCheckpoint& old_checkpoint,
+    const std::vector<std::string>& old_lineages,
+    const std::vector<std::string>& new_lineages);
+
+}  // namespace fw
+
+#endif  // FW_EXEC_MIGRATE_H_

@@ -1,12 +1,19 @@
 #include "multi/multi_query.h"
 
 #include "common/logging.h"
+#include "cost/cost_model.h"
 
 namespace fw {
 
 Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Optimize(
     const std::vector<StreamQuery>& queries,
     const OptimizerOptions& options) {
+  return Reoptimize(queries, options, /*with_baseline=*/true);
+}
+
+Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Reoptimize(
+    const std::vector<StreamQuery>& queries, const OptimizerOptions& options,
+    bool with_baseline) {
   if (queries.empty()) {
     return Status::InvalidArgument("no queries to optimize");
   }
@@ -48,7 +55,18 @@ Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Optimize(
                                               first.agg),
                     {},
                     outcome->with_factors.total_cost,
+                    0.0,
                     0.0};
+  // Original-plan baseline, costed under the merged set's hyper-period so
+  // it is comparable with shared_cost (duplicate windows across queries
+  // count once per subscribing query — the original plans really would
+  // evaluate them repeatedly).
+  CostModel original_model(merged, options.eta);
+  for (const StreamQuery& q : queries) {
+    for (const Window& w : q.windows) {
+      shared.original_cost += original_model.UnsharedWindowCost(w);
+    }
+  }
 
   // Subscriptions: shared-plan operators are ordered like `merged` (query
   // windows first, factors after), so window -> operator lookup is by
@@ -70,11 +88,13 @@ Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Optimize(
 
   // Baseline for the savings report: each query optimized on its own
   // (factor windows included), operators not shared across queries.
-  for (const StreamQuery& q : queries) {
-    Result<OptimizationOutcome> solo =
-        OptimizeQuery(q.windows, q.agg, options);
-    if (!solo.ok()) return solo.status();
-    shared.independent_cost += solo->with_factors.total_cost;
+  if (with_baseline) {
+    for (const StreamQuery& q : queries) {
+      Result<OptimizationOutcome> solo =
+          OptimizeQuery(q.windows, q.agg, options);
+      if (!solo.ok()) return solo.status();
+      shared.independent_cost += solo->with_factors.total_cost;
+    }
   }
   return shared;
 }

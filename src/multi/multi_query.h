@@ -34,9 +34,24 @@ class MultiQueryOptimizer {
     /// optimized per-query plans (both with factor windows).
     double shared_cost = 0.0;
     double independent_cost = 0.0;
+    /// Model cost of running every query's original (unshared) plan — the
+    /// ASA/Flink default. Cheap (no optimizer run), so always computed.
+    double original_cost = 0.0;
+
+    /// Shared cost vs the unshared original plans.
+    double PredictedBoost() const {
+      return original_cost > 0.0 && shared_cost > 0.0
+                 ? original_cost / shared_cost
+                 : 1.0;
+    }
 
     double PredictedSavings() const {
-      return independent_cost > 0.0 ? independent_cost / shared_cost : 1.0;
+      // Both guards matter: independent_cost == 0 when the baseline was
+      // skipped (Reoptimize), shared_cost == 0 for degenerate plans that
+      // would otherwise report an infinite saving.
+      return independent_cost > 0.0 && shared_cost > 0.0
+                 ? independent_cost / shared_cost
+                 : 1.0;
     }
   };
 
@@ -46,6 +61,17 @@ class MultiQueryOptimizer {
   /// coalesced into one operator with multiple subscriptions.
   static Result<SharedPlan> Optimize(const std::vector<StreamQuery>& queries,
                                      const OptimizerOptions& options = {});
+
+  /// Re-optimization entry point for a live query set (StreamSession's
+  /// replan path): coalesces the batch's windows and optimizes the shared
+  /// plan exactly like Optimize, but skips the per-query independently-
+  /// optimized baseline unless `with_baseline` — the baseline is one extra
+  /// optimizer run per query, pure reporting, and replan latency is on the
+  /// serving path. Without the baseline, independent_cost is 0 and
+  /// PredictedSavings() reports 1.
+  static Result<SharedPlan> Reoptimize(const std::vector<StreamQuery>& queries,
+                                       const OptimizerOptions& options = {},
+                                       bool with_baseline = false);
 };
 
 /// Demultiplexes shared-plan results to per-query sinks using the

@@ -111,4 +111,23 @@ bool QueryPlan::Validate() const {
   return true;
 }
 
+std::vector<std::string> OperatorLineages(const QueryPlan& plan) {
+  const size_t n = plan.num_operators();
+  std::vector<std::string> lineages(n);
+  for (size_t i = 0; i < n; ++i) {
+    // Walk the parent chain; plans are shallow (Validate bounds chains by
+    // n), so the quadratic worst case is irrelevant in practice.
+    std::string lineage;
+    int cursor = static_cast<int>(i);
+    while (cursor >= 0) {
+      lineage += plan.op(cursor).window.ToString();
+      lineage += "<-";
+      cursor = plan.op(cursor).parent;
+    }
+    lineage += "raw";
+    lineages[i] = std::move(lineage);
+  }
+  return lineages;
+}
+
 }  // namespace fw

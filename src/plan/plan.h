@@ -71,6 +71,14 @@ class QueryPlan {
   std::vector<PlanOperator> operators_;
 };
 
+/// The provider lineage of every operator: the window chain from the
+/// operator up to the raw input, e.g. "T(40)<-T(20)<-raw". Two operators
+/// (possibly from different plans over the same stream) with equal
+/// lineages perform the same computation on the same input, which makes
+/// the lineage the state-migration key for live re-optimization (see
+/// exec/migrate.h and DESIGN.md). Lineages are unique within a plan.
+std::vector<std::string> OperatorLineages(const QueryPlan& plan);
+
 }  // namespace fw
 
 #endif  // FW_PLAN_PLAN_H_

@@ -1,0 +1,123 @@
+#include "query/builder.h"
+
+namespace fw {
+
+QueryBuilder& QueryBuilder::SetAgg(AggKind agg, std::string_view column) {
+  if (agg_set_) {
+    Latch(Status::InvalidArgument(
+        "aggregate set twice (" + std::string(AggKindToString(query_.agg)) +
+        ", then " + AggKindToString(agg) + ")"));
+    return *this;
+  }
+  if (column.empty()) {
+    Latch(Status::InvalidArgument(
+        std::string(AggKindToString(agg)) + " needs a value column"));
+    return *this;
+  }
+  agg_set_ = true;
+  query_.agg = agg;
+  query_.value_column = column;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Min(std::string_view column) {
+  return SetAgg(AggKind::kMin, column);
+}
+QueryBuilder& QueryBuilder::Max(std::string_view column) {
+  return SetAgg(AggKind::kMax, column);
+}
+QueryBuilder& QueryBuilder::Sum(std::string_view column) {
+  return SetAgg(AggKind::kSum, column);
+}
+QueryBuilder& QueryBuilder::Count(std::string_view column) {
+  return SetAgg(AggKind::kCount, column);
+}
+QueryBuilder& QueryBuilder::Avg(std::string_view column) {
+  return SetAgg(AggKind::kAvg, column);
+}
+QueryBuilder& QueryBuilder::Stdev(std::string_view column) {
+  return SetAgg(AggKind::kStdev, column);
+}
+QueryBuilder& QueryBuilder::Variance(std::string_view column) {
+  return SetAgg(AggKind::kVariance, column);
+}
+QueryBuilder& QueryBuilder::Range(std::string_view column) {
+  return SetAgg(AggKind::kRange, column);
+}
+QueryBuilder& QueryBuilder::Median(std::string_view column) {
+  return SetAgg(AggKind::kMedian, column);
+}
+
+QueryBuilder& QueryBuilder::From(std::string_view source) {
+  if (!query_.source.empty()) {
+    Latch(Status::InvalidArgument("From set twice ('" + query_.source +
+                                  "', then '" + std::string(source) + "')"));
+    return *this;
+  }
+  if (source.empty()) {
+    Latch(Status::InvalidArgument("From needs a stream name"));
+    return *this;
+  }
+  query_.source = source;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::PerKey(std::string_view column) {
+  if (query_.per_key) {
+    Latch(Status::InvalidArgument("PerKey set twice"));
+    return *this;
+  }
+  if (column.empty()) {
+    Latch(Status::InvalidArgument("PerKey needs a key column"));
+    return *this;
+  }
+  query_.per_key = true;
+  query_.key_column = column;
+  return *this;
+}
+
+QueryBuilder& QueryBuilder::Tumbling(TimeT range) {
+  Result<Window> window = Window::Make(range, range);
+  if (!window.ok()) {
+    Latch(window.status());
+    return *this;
+  }
+  return Over(*window);
+}
+
+QueryBuilder& QueryBuilder::Hopping(TimeT range, TimeT slide) {
+  Result<Window> window = Window::Make(range, slide);
+  if (!window.ok()) {
+    Latch(window.status());
+    return *this;
+  }
+  return Over(*window);
+}
+
+QueryBuilder& QueryBuilder::Over(const Window& window) {
+  Latch(query_.windows.Add(window));
+  return *this;
+}
+
+void QueryBuilder::Latch(Status status) {
+  if (error_.ok() && !status.ok()) error_ = std::move(status);
+}
+
+Result<StreamQuery> QueryBuilder::Build() const {
+  if (!error_.ok()) return error_;
+  if (!agg_set_) {
+    return Status::InvalidArgument("query needs an aggregate (Min/Max/...)");
+  }
+  if (query_.source.empty()) {
+    return Status::InvalidArgument("query needs a source stream (From)");
+  }
+  if (query_.windows.empty()) {
+    return Status::InvalidArgument(
+        "query needs at least one window (Tumbling/Hopping)");
+  }
+  return query_;
+}
+
+QueryBuilder Query() { return QueryBuilder(); }
+
+}  // namespace fw

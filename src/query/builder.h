@@ -1,0 +1,69 @@
+#ifndef FW_QUERY_BUILDER_H_
+#define FW_QUERY_BUILDER_H_
+
+#include <string_view>
+
+#include "query/query.h"
+
+namespace fw {
+
+/// Fluent construction of a StreamQuery, the programmatic alternative to
+/// ParseQuery's SQL dialect:
+///
+///   Result<StreamQuery> q = Query()
+///                               .Min("temperature")
+///                               .From("input")
+///                               .PerKey("device_id")
+///                               .Tumbling(20)
+///                               .Hopping(60, 10)
+///                               .Build();
+///
+/// Every step returns the builder, so errors (invalid window parameters,
+/// duplicate windows, conflicting aggregates) are latched and reported by
+/// Build() — the chain itself never fails. Exactly one aggregate, one
+/// From() source, and at least one window are required; PerKey is
+/// optional.
+class QueryBuilder {
+ public:
+  QueryBuilder() = default;
+
+  /// Aggregate selectors; `column` is the aggregated value column.
+  QueryBuilder& Min(std::string_view column);
+  QueryBuilder& Max(std::string_view column);
+  QueryBuilder& Sum(std::string_view column);
+  QueryBuilder& Count(std::string_view column);
+  QueryBuilder& Avg(std::string_view column);
+  QueryBuilder& Stdev(std::string_view column);
+  QueryBuilder& Variance(std::string_view column);
+  QueryBuilder& Range(std::string_view column);
+  QueryBuilder& Median(std::string_view column);
+
+  /// The source stream name.
+  QueryBuilder& From(std::string_view source);
+
+  /// Groups results by `column` (per-device results).
+  QueryBuilder& PerKey(std::string_view column);
+
+  /// Window selectors; each call adds one window to the query's set.
+  QueryBuilder& Tumbling(TimeT range);
+  QueryBuilder& Hopping(TimeT range, TimeT slide);
+  QueryBuilder& Over(const Window& window);
+
+  /// Validates and yields the query, or the first error of the chain.
+  Result<StreamQuery> Build() const;
+
+ private:
+  QueryBuilder& SetAgg(AggKind agg, std::string_view column);
+  void Latch(Status status);
+
+  StreamQuery query_;
+  bool agg_set_ = false;
+  Status error_;
+};
+
+/// Starts a fluent query: `Query().Min("temp").From("input")...`.
+QueryBuilder Query();
+
+}  // namespace fw
+
+#endif  // FW_QUERY_BUILDER_H_

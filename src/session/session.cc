@@ -1,0 +1,318 @@
+#include "session/session.h"
+
+#include <chrono>
+#include <utility>
+
+#include "common/logging.h"
+#include "exec/migrate.h"
+#include "plan/printer.h"
+#include "query/parser.h"
+
+namespace fw {
+
+void StreamSession::CallbackSink::OnResult(const WindowResult& result) {
+  ++owner_->results_delivered;
+  if (owner_->callback) owner_->callback(result);
+}
+
+StreamSession::StreamSession() : StreamSession(Options{}) {}
+
+StreamSession::StreamSession(const Options& options) : options_(options) {
+  FW_CHECK_GT(options.num_keys, 0u);
+}
+
+StreamSession::~StreamSession() {
+  // The executor references the router, which references the queries'
+  // sinks; tear down in dependency order.
+  executor_.reset();
+  router_.reset();
+}
+
+Status StreamSession::CheckMutable() const {
+  if (finished_) {
+    return Status::InvalidArgument("session is finished");
+  }
+  return Status::OK();
+}
+
+Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
+                                        ResultCallback callback) {
+  FW_RETURN_IF_ERROR(CheckMutable());
+  if (query.windows.empty()) {
+    return Status::InvalidArgument("query without windows");
+  }
+  if (!SupportsSharing(query.agg)) {
+    return Status::Unimplemented(
+        std::string(AggKindToString(query.agg)) +
+        " is holistic and cannot join a shared session; execute "
+        "QueryPlan::Original directly instead");
+  }
+  // Grouping is an execution property of the whole session (every event
+  // carries one key drawn from [0, num_keys)), so a global aggregate in a
+  // keyed session would silently produce per-key results.
+  if (!query.per_key && options_.num_keys > 1) {
+    return Status::InvalidArgument(
+        "global (non-PerKey) query in a session with num_keys " +
+        std::to_string(options_.num_keys) +
+        "; declare PerKey or use a num_keys=1 session");
+  }
+  if (!queries_.empty()) {
+    const StreamQuery& first = queries_.front()->query;
+    if (query.source != first.source) {
+      return Status::InvalidArgument(
+          "session reads stream '" + first.source + "', query reads '" +
+          query.source + "'");
+    }
+    if (query.agg != first.agg) {
+      return Status::InvalidArgument(
+          std::string("session aggregates ") + AggKindToString(first.agg) +
+          ", query aggregates " + AggKindToString(query.agg));
+    }
+    if (query.per_key != first.per_key ||
+        query.key_column != first.key_column) {
+      return Status::InvalidArgument(
+          "session groups by '" +
+          (first.per_key ? first.key_column : std::string("<none>")) +
+          "', query groups by '" +
+          (query.per_key ? query.key_column : std::string("<none>")) + "'");
+    }
+  }
+
+  auto live = std::make_unique<LiveQuery>();
+  live->id = next_id_;
+  live->query = query;
+  live->callback = std::move(callback);
+
+  std::vector<LiveQuery*> candidate;
+  candidate.reserve(queries_.size() + 1);
+  for (const auto& q : queries_) candidate.push_back(q.get());
+  candidate.push_back(live.get());
+  FW_RETURN_IF_ERROR(Rebuild(candidate));
+
+  ++next_id_;
+  queries_.push_back(std::move(live));
+  return queries_.back()->id;
+}
+
+Result<QueryId> StreamSession::AddQuery(std::string_view sql,
+                                        ResultCallback callback) {
+  Result<StreamQuery> query = ParseQuery(sql);
+  if (!query.ok()) return query.status();
+  return AddQuery(*query, std::move(callback));
+}
+
+Result<QueryId> StreamSession::AddQuery(const QueryBuilder& builder,
+                                        ResultCallback callback) {
+  Result<StreamQuery> query = builder.Build();
+  if (!query.ok()) return query.status();
+  return AddQuery(*query, std::move(callback));
+}
+
+size_t StreamSession::FindQuery(QueryId id) const {
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (queries_[i]->id == id) return i;
+  }
+  return queries_.size();
+}
+
+Status StreamSession::RemoveQuery(QueryId id) {
+  FW_RETURN_IF_ERROR(CheckMutable());
+  size_t index = FindQuery(id);
+  if (index == queries_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  std::vector<LiveQuery*> remaining;
+  remaining.reserve(queries_.size() - 1);
+  for (size_t i = 0; i < queries_.size(); ++i) {
+    if (i != index) remaining.push_back(queries_[i].get());
+  }
+  FW_RETURN_IF_ERROR(Rebuild(remaining));
+  queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(index));
+  return Status::OK();
+}
+
+Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
+  auto t0 = std::chrono::steady_clock::now();
+
+  if (live.empty()) {
+    // Session went idle: retire the whole pipeline (in-flight windows are
+    // dropped — nobody subscribes to them anymore).
+    if (executor_) retired_ops_ += executor_->TotalAccumulateOps();
+    executor_.reset();
+    router_.reset();
+    shared_.reset();
+    lineages_.clear();
+    ++replans_;
+    last_migrated_ = 0;
+    last_cold_ = 0;
+    last_replan_seconds_ =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+            .count();
+    return Status::OK();
+  }
+
+  std::vector<StreamQuery> queries;
+  std::vector<ResultSink*> sinks;
+  queries.reserve(live.size());
+  sinks.reserve(live.size());
+  for (LiveQuery* q : live) {
+    queries.push_back(q->query);
+    sinks.push_back(&q->sink);
+  }
+
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Reoptimize(queries, options_.optimizer,
+                                      options_.track_baseline);
+  if (!shared.ok()) return shared.status();
+
+  // Carry surviving operator state across the swap (see class comment for
+  // the migration semantics).
+  std::vector<std::string> lineages = OperatorLineages(shared->plan);
+  CheckpointMigration migration;
+  if (executor_) {
+    Result<ExecutorCheckpoint> checkpoint = executor_->Checkpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    migration = MigrateCheckpoint(*checkpoint, lineages_, lineages);
+  } else {
+    migration.cold = static_cast<int>(shared->plan.num_operators());
+  }
+
+  auto router =
+      std::make_unique<RoutingSink>(*shared, queries, std::move(sinks));
+  auto executor = std::make_unique<PlanExecutor>(
+      shared->plan, PlanExecutor::Options{.num_keys = options_.num_keys},
+      router.get());
+  if (executor_) {
+    FW_RETURN_IF_ERROR(executor->Restore(migration.checkpoint));
+    retired_ops_ += executor_->TotalAccumulateOps() - migration.carried_ops;
+  }
+
+  // Commit; destroy the old executor before the router it references.
+  executor_ = std::move(executor);
+  router_ = std::move(router);
+  shared_ = std::make_unique<MultiQueryOptimizer::SharedPlan>(
+      std::move(*shared));
+  lineages_ = std::move(lineages);
+  ++replans_;
+  last_migrated_ = migration.migrated;
+  last_cold_ = migration.cold;
+  last_replan_seconds_ =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return Status::OK();
+}
+
+Status StreamSession::Push(const Event& event) {
+  FW_RETURN_IF_ERROR(CheckMutable());
+  if (event.timestamp < watermark_) {
+    return Status::InvalidArgument(
+        "out-of-order event: timestamp " + std::to_string(event.timestamp) +
+        " behind watermark " + std::to_string(watermark_));
+  }
+  if (event.key >= options_.num_keys) {
+    return Status::OutOfRange("event key " + std::to_string(event.key) +
+                              " outside key space [0, " +
+                              std::to_string(options_.num_keys) + ")");
+  }
+  watermark_ = event.timestamp;
+  ++events_pushed_;
+  if (!executor_) {
+    ++events_dropped_;
+    return Status::OK();
+  }
+  executor_->Push(event);
+  return Status::OK();
+}
+
+Status StreamSession::PushBatch(const std::vector<Event>& events) {
+  for (const Event& event : events) {
+    FW_RETURN_IF_ERROR(Push(event));
+  }
+  return Status::OK();
+}
+
+Status StreamSession::Finish() {
+  if (finished_) return Status::OK();
+  finished_ = true;
+  if (executor_) executor_->Finish();
+  return Status::OK();
+}
+
+const QueryPlan* StreamSession::shared_plan() const {
+  return shared_ ? &shared_->plan : nullptr;
+}
+
+Result<std::string> StreamSession::Explain(QueryId id) const {
+  size_t index = FindQuery(id);
+  if (index == queries_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  FW_CHECK(shared_ != nullptr);
+  const LiveQuery& live = *queries_[index];
+
+  std::string out = "query " + std::to_string(id) + ": " +
+                    live.query.ToSql() + "\nsubscriptions:\n";
+  for (const MultiQueryOptimizer::Subscription& sub :
+       shared_->subscriptions) {
+    if (sub.query_index != static_cast<int>(index)) continue;
+    out += "  " + sub.window.ToString() + " <- shared operator " +
+           std::to_string(sub.plan_operator) + " [" +
+           shared_->plan.op(sub.plan_operator).label + "]\n";
+  }
+  out += "shared plan (" + std::to_string(shared_->plan.num_operators()) +
+         " operators serving " + std::to_string(queries_.size()) +
+         " queries):\n" + ToSummary(shared_->plan);
+  return out;
+}
+
+Result<StreamSession::QueryStats> StreamSession::StatsFor(QueryId id) const {
+  size_t index = FindQuery(id);
+  if (index == queries_.size()) {
+    return Status::NotFound("no query with id " + std::to_string(id));
+  }
+  QueryStats stats;
+  stats.results_delivered = queries_[index]->results_delivered;
+  if (executor_) {
+    std::vector<uint64_t> per_op = executor_->PerOperatorOps();
+    // Subscribed operators plus everything upstream of them: the whole
+    // provider chain works for this query. Chains overlap, so collect
+    // before summing.
+    std::vector<bool> attributed(per_op.size(), false);
+    for (const MultiQueryOptimizer::Subscription& sub :
+         shared_->subscriptions) {
+      if (sub.query_index != static_cast<int>(index)) continue;
+      int cursor = sub.plan_operator;
+      while (cursor >= 0 && !attributed[static_cast<size_t>(cursor)]) {
+        attributed[static_cast<size_t>(cursor)] = true;
+        cursor = shared_->plan.op(cursor).parent;
+      }
+    }
+    for (size_t i = 0; i < per_op.size(); ++i) {
+      if (attributed[i]) stats.attributed_ops += per_op[i];
+    }
+  }
+  return stats;
+}
+
+StreamSession::SessionStats StreamSession::Stats() const {
+  SessionStats stats;
+  stats.live_queries = queries_.size();
+  stats.events_pushed = events_pushed_;
+  stats.events_dropped = events_dropped_;
+  stats.replans = replans_;
+  stats.operators_migrated = last_migrated_;
+  stats.operators_cold = last_cold_;
+  stats.last_replan_seconds = last_replan_seconds_;
+  stats.lifetime_ops =
+      retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0);
+  if (shared_) {
+    stats.shared_cost = shared_->shared_cost;
+    stats.original_cost = shared_->original_cost;
+    stats.independent_cost = shared_->independent_cost;
+    stats.predicted_boost = shared_->PredictedBoost();
+    stats.predicted_savings = shared_->PredictedSavings();
+  }
+  return stats;
+}
+
+}  // namespace fw

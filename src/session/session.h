@@ -1,0 +1,234 @@
+#ifndef FW_SESSION_SESSION_H_
+#define FW_SESSION_SESSION_H_
+
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/engine.h"
+#include "exec/event.h"
+#include "multi/multi_query.h"
+#include "query/builder.h"
+#include "query/query.h"
+
+namespace fw {
+
+/// Stable handle for one query registered with a StreamSession. Ids are
+/// assigned once and never reused within a session.
+using QueryId = uint64_t;
+
+/// The library's front door for the paper's motivating scenario (§I): a
+/// long-lived population of multi-window aggregate queries over one event
+/// stream, arriving and departing while the stream flows. A StreamSession
+/// owns the whole pipeline — parse/build, joint (multi-query) cost-based
+/// optimization, shared-plan execution, and per-query result routing — so
+/// callers never wire ParseQuery/MultiQueryOptimizer/PlanExecutor/
+/// RoutingSink by hand:
+///
+///   StreamSession session({.num_keys = 4});
+///   QueryId dash = session
+///                      .AddQuery(Query().Min("temp").From("telemetry")
+///                                    .PerKey("device").Tumbling(20),
+///                                [](const WindowResult& r) { ... })
+///                      .value();
+///   session.Push({.timestamp = 3, .key = 1, .value = 21.5});
+///   session.RemoveQuery(dash);
+///
+/// ## Dynamic query add/remove and state-preserving re-optimization
+///
+/// AddQuery/RemoveQuery may be called on a live session, mid-stream. Each
+/// call re-runs the shared-plan optimizer over the updated query set
+/// (MultiQueryOptimizer::Reoptimize) and swaps in a new executor. Operator
+/// state migrates across the swap by *lineage* (the operator's provider
+/// window chain, plan/OperatorLineages):
+///
+///  * operators whose lineage survives the replan keep their in-flight
+///    partial aggregates and cursors exactly (their provider chain is
+///    unchanged, so resumption is exact: every later result equals what an
+///    unchanged session — or a fresh session fed the whole stream — would
+///    emit);
+///  * operators that are new, or whose provider chain changed, start cold:
+///    their window instances already open at the swap only reflect
+///    post-swap events, so results for windows straddling the swap are
+///    partial. Windows opening at or after the swap are exact.
+///
+/// Removing a query immediately drops its subscriptions; its in-flight
+/// windows never emit. State of operators still serving other queries is
+/// retained. All queries of a session must read the same source stream and
+/// use the same shareable (non-holistic) aggregate — the IoT-dashboard
+/// shape the multi-query optimizer supports; holistic queries (MEDIAN) are
+/// rejected at AddQuery.
+///
+/// Sessions are single-threaded and push-based; events must arrive in
+/// non-decreasing timestamp order across the whole session lifetime.
+class StreamSession {
+ public:
+  /// Per-query result delivery. Results carry the window interval, group
+  /// key, and final value; operator_id is rewritten to the window's
+  /// position within the query's own window set (0-based), exactly like
+  /// RoutingSink.
+  using ResultCallback = std::function<void(const WindowResult&)>;
+
+  struct Options {
+    /// Size of the grouping-key space; events must use keys below this.
+    uint32_t num_keys = 1;
+    /// Knobs forwarded to the cost-based optimizer on every (re)plan.
+    OptimizerOptions optimizer;
+    /// Also compute the independently-optimized per-query cost baseline on
+    /// every replan (one extra optimizer run per query), so
+    /// Stats().predicted_savings is meaningful. Off by default: replan
+    /// latency is on the serving path.
+    bool track_baseline = false;
+  };
+
+  /// Per-query measurements.
+  struct QueryStats {
+    /// Window results delivered to this query's callback.
+    uint64_t results_delivered = 0;
+    /// Engine accumulate/merge ops of the shared-plan operators this query
+    /// subscribes to — the per-query attribution of PerOperatorOps. An
+    /// operator shared by several queries counts fully for each, so the
+    /// sum over queries can exceed total ops (that overlap *is* the
+    /// sharing).
+    uint64_t attributed_ops = 0;
+  };
+
+  /// Session-wide measurements.
+  struct SessionStats {
+    size_t live_queries = 0;
+    uint64_t events_pushed = 0;
+    /// Events pushed while no query was live (accepted and discarded).
+    uint64_t events_dropped = 0;
+    /// Number of replans (every successful AddQuery/RemoveQuery is one).
+    int replans = 0;
+    /// Operator migration tally of the most recent replan.
+    int operators_migrated = 0;
+    int operators_cold = 0;
+    double last_replan_seconds = 0.0;
+    /// Engine ops across the session lifetime, including operators retired
+    /// by replans.
+    uint64_t lifetime_ops = 0;
+    /// Model cost of the current shared plan, of the unshared original
+    /// plans (the ASA/Flink default), and of the independently-optimized
+    /// per-query baseline (0 unless Options::track_baseline).
+    double shared_cost = 0.0;
+    double original_cost = 0.0;
+    double independent_cost = 0.0;
+    /// Original cost / shared cost: the predicted speedup over running
+    /// every query's original plan.
+    double predicted_boost = 1.0;
+    /// Independent baseline cost / shared cost (1 when the baseline is
+    /// untracked).
+    double predicted_savings = 1.0;
+  };
+
+  StreamSession();
+  explicit StreamSession(const Options& options);
+  ~StreamSession();
+
+  StreamSession(const StreamSession&) = delete;
+  StreamSession& operator=(const StreamSession&) = delete;
+
+  /// Registers a query and replans the shared pipeline. The callback may
+  /// be null (results counted but not delivered — useful for throughput
+  /// runs). On error the session is unchanged.
+  Result<QueryId> AddQuery(const StreamQuery& query,
+                           ResultCallback callback = nullptr);
+  /// SQL front end (see query/parser.h for the dialect).
+  Result<QueryId> AddQuery(std::string_view sql,
+                           ResultCallback callback = nullptr);
+  /// Fluent front end; forwards QueryBuilder::Build errors.
+  Result<QueryId> AddQuery(const QueryBuilder& builder,
+                           ResultCallback callback = nullptr);
+
+  /// Unsubscribes a query and replans. In-flight windows of the removed
+  /// query never emit; state shared with surviving queries is retained.
+  Status RemoveQuery(QueryId id);
+
+  /// Pushes one event through the shared plan. Events must be timestamp-
+  /// ordered; out-of-order events are rejected. Events pushed while no
+  /// query is live are counted and discarded.
+  Status Push(const Event& event);
+
+  /// Pushes an ordered batch; stops at the first rejected event.
+  Status PushBatch(const std::vector<Event>& events);
+
+  /// Ends the stream: flushes every open window of every live query. The
+  /// session is read-only afterwards (Push/AddQuery/RemoveQuery error);
+  /// Explain and stats remain available. Idempotent.
+  Status Finish();
+
+  /// Renders the query, its subscriptions into the shared plan, and the
+  /// shared plan itself (plan/printer summary).
+  Result<std::string> Explain(QueryId id) const;
+
+  Result<QueryStats> StatsFor(QueryId id) const;
+  SessionStats Stats() const;
+
+  size_t num_queries() const { return queries_.size(); }
+  bool finished() const { return finished_; }
+
+  /// The current shared plan, or null while no query is live.
+  const QueryPlan* shared_plan() const;
+
+ private:
+  struct LiveQuery;
+
+  /// Per-query ResultSink bridging RoutingSink to the user callback.
+  class CallbackSink : public ResultSink {
+   public:
+    explicit CallbackSink(LiveQuery* owner) : owner_(owner) {}
+    void OnResult(const WindowResult& result) override;
+
+   private:
+    LiveQuery* owner_;
+  };
+
+  struct LiveQuery {
+    QueryId id = 0;
+    StreamQuery query;
+    ResultCallback callback;
+    uint64_t results_delivered = 0;
+    CallbackSink sink{this};
+  };
+
+  /// Re-optimizes over `live`, migrates executor state by lineage, and
+  /// commits the new pipeline. On error the session is unchanged.
+  Status Rebuild(const std::vector<LiveQuery*>& live);
+
+  /// Position of `id` in queries_, or queries_.size() when unknown.
+  size_t FindQuery(QueryId id) const;
+
+  Status CheckMutable() const;
+
+  Options options_;
+  QueryId next_id_ = 1;
+  std::vector<std::unique_ptr<LiveQuery>> queries_;  // Plan order.
+
+  /// Current pipeline; all null while no query is live. The executor
+  /// references the router, the router references the queries' sinks.
+  std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_;
+  std::unique_ptr<RoutingSink> router_;
+  std::unique_ptr<PlanExecutor> executor_;
+  std::vector<std::string> lineages_;  // Of the current plan's operators.
+
+  bool finished_ = false;
+  TimeT watermark_ = std::numeric_limits<TimeT>::min();
+  uint64_t events_pushed_ = 0;
+  uint64_t events_dropped_ = 0;
+  /// Ops of operators dropped by past replans (their counters left the
+  /// executor with them).
+  uint64_t retired_ops_ = 0;
+  int replans_ = 0;
+  int last_migrated_ = 0;
+  int last_cold_ = 0;
+  double last_replan_seconds_ = 0.0;
+};
+
+}  // namespace fw
+
+#endif  // FW_SESSION_SESSION_H_

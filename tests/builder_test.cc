@@ -1,0 +1,92 @@
+#include "query/builder.h"
+
+#include <gtest/gtest.h>
+
+#include "query/parser.h"
+
+namespace fw {
+namespace {
+
+TEST(QueryBuilder, BuildsFullQuery) {
+  Result<StreamQuery> q = Query()
+                              .Min("temperature")
+                              .From("input")
+                              .PerKey("device_id")
+                              .Tumbling(20)
+                              .Hopping(60, 10)
+                              .Build();
+  ASSERT_TRUE(q.ok()) << q.status().ToString();
+  EXPECT_EQ(q->agg, AggKind::kMin);
+  EXPECT_EQ(q->value_column, "temperature");
+  EXPECT_EQ(q->source, "input");
+  EXPECT_TRUE(q->per_key);
+  EXPECT_EQ(q->key_column, "device_id");
+  ASSERT_EQ(q->windows.size(), 2u);
+  EXPECT_EQ(q->windows[0], Window::Tumbling(20));
+  EXPECT_EQ(q->windows[1], Window(60, 10));
+}
+
+TEST(QueryBuilder, MatchesParsedSql) {
+  Result<StreamQuery> built = Query()
+                                  .Min("temperature")
+                                  .From("input")
+                                  .PerKey("device_id")
+                                  .Tumbling(20)
+                                  .Tumbling(30)
+                                  .Build();
+  ASSERT_TRUE(built.ok());
+  Result<StreamQuery> parsed = ParseQuery(
+      "SELECT MIN(temperature) FROM input GROUP BY device_id, "
+      "WINDOWS(TUMBLINGWINDOW(20), TUMBLINGWINDOW(30))");
+  ASSERT_TRUE(parsed.ok()) << parsed.status().ToString();
+  EXPECT_EQ(built->ToSql(), parsed->ToSql());
+}
+
+TEST(QueryBuilder, OrderInsensitive) {
+  Result<StreamQuery> q =
+      Query().Tumbling(20).From("s").PerKey("k").Max("v").Build();
+  ASSERT_TRUE(q.ok());
+  EXPECT_EQ(q->agg, AggKind::kMax);
+}
+
+TEST(QueryBuilder, RequiresAggregate) {
+  Result<StreamQuery> q = Query().From("s").Tumbling(20).Build();
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilder, RequiresSource) {
+  Result<StreamQuery> q = Query().Min("v").Tumbling(20).Build();
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilder, RequiresWindows) {
+  Result<StreamQuery> q = Query().Min("v").From("s").Build();
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(QueryBuilder, LatchesFirstError) {
+  // The invalid hopping window (slide > range) is hit before the
+  // duplicate aggregate; the first error wins.
+  Result<StreamQuery> q =
+      Query().Min("v").From("s").Hopping(10, 20).Max("w").Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_EQ(q.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(q.status().message().find("slide"), std::string::npos)
+      << q.status().message();
+}
+
+TEST(QueryBuilder, RejectsConflictingAggregate) {
+  Result<StreamQuery> q =
+      Query().Min("v").Avg("v").From("s").Tumbling(20).Build();
+  ASSERT_FALSE(q.ok());
+  EXPECT_NE(q.status().message().find("twice"), std::string::npos);
+}
+
+TEST(QueryBuilder, RejectsDuplicateWindow) {
+  Result<StreamQuery> q =
+      Query().Min("v").From("s").Tumbling(20).Tumbling(20).Build();
+  EXPECT_FALSE(q.ok());
+}
+
+}  // namespace
+}  // namespace fw

@@ -54,6 +54,39 @@ TEST(MultiQuery, DuplicateWindowsCoalesce) {
   EXPECT_EQ(shared->subscriptions.size(), 4u);
 }
 
+TEST(MultiQuery, PredictedSavingsGuardsDegenerateCosts) {
+  // A degenerate shared plan must not report an infinite saving.
+  MultiQueryOptimizer::SharedPlan degenerate{
+      QueryPlan::Original(WindowSet{}, AggKind::kMin), {}, 0.0, 0.0};
+  degenerate.independent_cost = 100.0;
+  degenerate.shared_cost = 0.0;
+  EXPECT_EQ(degenerate.PredictedSavings(), 1.0);
+  // No baseline tracked (Reoptimize's default): neutral saving.
+  degenerate.independent_cost = 0.0;
+  degenerate.shared_cost = 50.0;
+  EXPECT_EQ(degenerate.PredictedSavings(), 1.0);
+}
+
+TEST(MultiQuery, ReoptimizeSkipsBaselineByDefault) {
+  std::vector<StreamQuery> queries = {
+      MakeQuery("{T(20), T(30)}"),
+      MakeQuery("{T(40), T(60)}"),
+  };
+  Result<MultiQueryOptimizer::SharedPlan> fast =
+      MultiQueryOptimizer::Reoptimize(queries);
+  ASSERT_TRUE(fast.ok()) << fast.status().ToString();
+  EXPECT_EQ(fast->independent_cost, 0.0);
+  EXPECT_EQ(fast->PredictedSavings(), 1.0);
+
+  // Same plan as the baseline-carrying entry point.
+  Result<MultiQueryOptimizer::SharedPlan> full =
+      MultiQueryOptimizer::Optimize(queries);
+  ASSERT_TRUE(full.ok());
+  EXPECT_EQ(fast->plan.num_operators(), full->plan.num_operators());
+  EXPECT_EQ(fast->shared_cost, full->shared_cost);
+  EXPECT_GT(full->independent_cost, 0.0);
+}
+
 TEST(MultiQuery, Validation) {
   EXPECT_FALSE(MultiQueryOptimizer::Optimize({}).ok());
   // Different sources.
