@@ -1,0 +1,92 @@
+// Throughput scaling of the sharded runtime: one StreamSession with a
+// fixed per-device dashboard query set, swept over --shards (default
+// 1,2,4,8). Each shard count runs the identical keyed stream; the speedup
+// column is relative to the first swept shard count (put 1 first for a
+// single-threaded baseline). Results are counted per run and compared so
+// a scaling win can never come from dropped work. Scale with
+// --events/--keys or FW_EVENTS_1M; expect ~linear scaling only when the
+// host has at least as many free cores as shards.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "session/session.h"
+
+namespace fw {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(
+      argc, argv, EventCountFromEnv("FW_EVENTS_1M", 300'000));
+  std::vector<Event> events =
+      GenerateSyntheticStream(args.events, args.keys, kSyntheticSeed);
+
+  std::printf(
+      "shard scaling  [%zu events, %u keys, MAX dashboards "
+      "T(20)+H(60,20)+T(40)+T(120)]\n",
+      events.size(), args.keys);
+  std::printf("%8s %10s %14s %9s %12s\n", "shards", "effective", "events/s",
+              "speedup", "results");
+
+  double base_throughput = 0.0;
+  uint64_t base_results = 0;
+  for (uint32_t shards : args.shards) {
+    StreamSession::Options options;
+    options.num_keys = args.keys;
+    options.num_shards = shards;
+    StreamSession session(options);
+
+    uint64_t results = 0;
+    StreamSession::ResultCallback count = [&results](const WindowResult&) {
+      ++results;
+    };
+    auto add = [&](const QueryBuilder& query) {
+      Result<QueryId> id = session.AddQuery(query, count);
+      if (!id.ok()) {
+        std::fprintf(stderr, "AddQuery: %s\n", id.status().ToString().c_str());
+        std::exit(1);
+      }
+    };
+    QueryBuilder dash =
+        Query().Max("v").From("fleet").PerKey("device");
+    add(QueryBuilder(dash).Tumbling(20).Hopping(60, 20));
+    add(QueryBuilder(dash).Tumbling(40));
+    add(QueryBuilder(dash).Tumbling(120));
+
+    auto start = std::chrono::steady_clock::now();
+    Status status = session.PushBatch(events);
+    if (status.ok()) status = session.Finish();
+    if (!status.ok()) {
+      std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    const double seconds = std::chrono::duration<double>(
+                               std::chrono::steady_clock::now() - start)
+                               .count();
+    const double throughput =
+        seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
+    if (base_throughput == 0.0) {
+      base_throughput = throughput;
+      base_results = results;
+    }
+    if (results != base_results) {
+      std::fprintf(stderr,
+                   "result mismatch: %llu at %u shards vs %llu baseline\n",
+                   static_cast<unsigned long long>(results), shards,
+                   static_cast<unsigned long long>(base_results));
+      return 1;
+    }
+    std::printf("%8u %10u %14.0f %8.2fx %12llu\n", shards,
+                session.Stats().num_shards, throughput,
+                base_throughput > 0.0 ? throughput / base_throughput : 0.0,
+                static_cast<unsigned long long>(results));
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fw
+
+int main(int argc, char** argv) { return fw::Run(argc, argv); }

@@ -9,6 +9,7 @@
 //   FW_REAL_EVENTS  DEBS-like stream length   (paper: 32'000'000)
 
 #include <cstdio>
+#include <cstdlib>
 #include <string>
 #include <vector>
 
@@ -17,6 +18,63 @@
 
 namespace fw {
 namespace bench {
+
+/// Command-line flags shared by the runtime benches (bench_shard_scaling):
+///   --shards=1,2,4,8   shard counts to sweep (Options::num_shards)
+///   --events=N         stream length, overriding the env-var default
+///   --keys=K           grouping-key space size
+struct BenchArgs {
+  std::vector<uint32_t> shards = {1, 2, 4, 8};
+  size_t events = 0;
+  uint32_t keys = 64;
+};
+
+inline BenchArgs ParseBenchArgs(int argc, char** argv,
+                                size_t default_events) {
+  BenchArgs args;
+  args.events = default_events;
+  auto fail = [&](const std::string& message) {
+    std::fprintf(stderr,
+                 "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]\n",
+                 message.c_str(), argv[0]);
+    std::exit(2);
+  };
+  // Strict decimal parse: trailing garbage ("1e6", "4x") fails loudly
+  // instead of silently truncating.
+  auto parse_positive = [](const std::string& text) -> long long {
+    char* end = nullptr;
+    const long long value = std::strtoll(text.c_str(), &end, 10);
+    if (end == text.c_str() || *end != '\0') return -1;
+    return value;
+  };
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--shards=", 0) == 0) {
+      args.shards.clear();
+      const std::string list = arg.substr(9);
+      size_t pos = 0;
+      while (pos <= list.size()) {
+        size_t comma = list.find(',', pos);
+        if (comma == std::string::npos) comma = list.size();
+        const long long value = parse_positive(list.substr(pos, comma - pos));
+        if (value <= 0) fail("bad shard count in '" + arg + "'");
+        args.shards.push_back(static_cast<uint32_t>(value));
+        pos = comma + 1;
+      }
+    } else if (arg.rfind("--events=", 0) == 0) {
+      const long long value = parse_positive(arg.substr(9));
+      if (value <= 0) fail("bad value in '" + arg + "'");
+      args.events = static_cast<size_t>(value);
+    } else if (arg.rfind("--keys=", 0) == 0) {
+      const long long value = parse_positive(arg.substr(7));
+      if (value <= 0) fail("bad value in '" + arg + "'");
+      args.keys = static_cast<uint32_t>(value);
+    } else {
+      fail("unknown flag '" + arg + "'");
+    }
+  }
+  return args;
+}
 
 inline std::vector<Event> SyntheticDefault() {
   return GenerateSyntheticStream(

@@ -1,6 +1,7 @@
 #ifndef FW_EXEC_SINK_H_
 #define FW_EXEC_SINK_H_
 
+#include <atomic>
 #include <cstdint>
 #include <map>
 #include <tuple>
@@ -11,6 +12,16 @@
 namespace fw {
 
 /// Receives finalized results from exposed operators (the plan's Union).
+///
+/// ## Thread safety across shards
+///
+/// The sharded runtime (runtime/ShardedExecutor) invokes its *merge-stage*
+/// sink only from the session thread, so any sink below — including the
+/// unsynchronized CountingSink and CollectingSink — is safe as a
+/// ShardedExecutor or StreamSession sink regardless of shard count. Only a
+/// sink wired *directly* into per-shard executors (one PlanExecutor per
+/// worker thread sharing one sink) must be thread-safe; use
+/// ThreadSafeCountingSink for that, or give each shard its own sink.
 class ResultSink {
  public:
   virtual ~ResultSink() = default;
@@ -35,7 +46,31 @@ class CountingSink : public ResultSink {
   double checksum_ = 0.0;
 };
 
+/// CountingSink that may be shared by operators running on several
+/// threads (see the ResultSink thread-safety note): count and checksum
+/// are atomics, so concurrent OnResult calls never lose updates. The
+/// atomic read-modify-writes make this dearer per result than
+/// CountingSink — prefer the unsynchronized sink whenever delivery is
+/// single-threaded.
+class ThreadSafeCountingSink : public ResultSink {
+ public:
+  void OnResult(const WindowResult& result) override {
+    count_.fetch_add(1, std::memory_order_relaxed);
+    checksum_.fetch_add(result.value, std::memory_order_relaxed);
+  }
+
+  uint64_t count() const { return count_.load(std::memory_order_relaxed); }
+  double checksum() const {
+    return checksum_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<uint64_t> count_{0};
+  std::atomic<double> checksum_{0.0};
+};
+
 /// Collects every result; used by tests, examples, and the verifier.
+/// NOT thread-safe (see the ResultSink note).
 class CollectingSink : public ResultSink {
  public:
   void OnResult(const WindowResult& result) override {

@@ -2,8 +2,21 @@
 
 #include "common/logging.h"
 #include "cost/cost_model.h"
+#include "runtime/partition.h"
 
 namespace fw {
+
+double MultiQueryOptimizer::SharedPlan::ShardedCost(
+    uint32_t num_shards, uint32_t num_keys) const {
+  return shared_cost / EffectiveShards(num_shards, num_keys);
+}
+
+double MultiQueryOptimizer::SharedPlan::PredictedShardBoost(
+    uint32_t num_shards, uint32_t num_keys) const {
+  const double sharded = ShardedCost(num_shards, num_keys);
+  return original_cost > 0.0 && sharded > 0.0 ? original_cost / sharded
+                                              : 1.0;
+}
 
 Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Optimize(
     const std::vector<StreamQuery>& queries,

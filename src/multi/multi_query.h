@@ -53,6 +53,21 @@ class MultiQueryOptimizer {
                  ? independent_cost / shared_cost
                  : 1.0;
     }
+
+    /// Shard-aware cost reporting: the model cost of this shared plan on
+    /// a key-partitioned executor (runtime/ShardedExecutor) with
+    /// `num_shards` workers over a `num_keys` key space. All engine work
+    /// is per-key, so under perfect balance the critical-path cost is the
+    /// single-threaded cost divided by the effective shard count
+    /// (EffectiveShards: at most one shard per key — a keyless plan does
+    /// not parallelize). Idealized: hash-partition skew and hand-off
+    /// overhead are not modeled.
+    double ShardedCost(uint32_t num_shards, uint32_t num_keys) const;
+
+    /// Predicted speedup of the sharded shared plan over running every
+    /// query's original plan single-threaded: PredictedBoost() times the
+    /// effective shard count.
+    double PredictedShardBoost(uint32_t num_shards, uint32_t num_keys) const;
   };
 
   /// Optimizes a batch of queries jointly. All queries must target the

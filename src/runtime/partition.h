@@ -1,0 +1,32 @@
+#ifndef FW_RUNTIME_PARTITION_H_
+#define FW_RUNTIME_PARTITION_H_
+
+#include <algorithm>
+#include <cstdint>
+
+namespace fw {
+
+/// Number of shards actually worth running for a key space: at most one
+/// shard per key (extra shards would never receive an event), never less
+/// than one. A keyless stream (num_keys == 1) therefore always collapses
+/// to a single shard — global aggregates cannot be key-partitioned.
+inline uint32_t EffectiveShards(uint32_t num_shards, uint32_t num_keys) {
+  return std::max(1u, std::min(num_shards, num_keys));
+}
+
+/// Stable key → shard assignment (Knuth multiplicative hash, so the
+/// contiguous device ids of the synthetic workloads spread instead of
+/// clustering mod num_shards). Every layer that partitions by key — event
+/// routing in ShardedExecutor, checkpoint splitting in shard_checkpoint —
+/// must use this one function: state for a key living on two shards would
+/// double-emit that key's results.
+inline uint32_t ShardForKey(uint32_t key, uint32_t num_shards) {
+  if (num_shards <= 1) return 0;
+  uint32_t h = key * 2654435761u;
+  h ^= h >> 16;
+  return h % num_shards;
+}
+
+}  // namespace fw
+
+#endif  // FW_RUNTIME_PARTITION_H_

@@ -1,0 +1,47 @@
+#ifndef FW_RUNTIME_SHARD_CHECKPOINT_H_
+#define FW_RUNTIME_SHARD_CHECKPOINT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/checkpoint.h"
+
+namespace fw {
+
+/// Conversions between per-shard executor checkpoints and the global
+/// (single-threaded) checkpoint view. They are what makes checkpoints —
+/// and therefore StreamSession's lineage-migrating replans — shard-aware
+/// *and* shard-count portable: a checkpoint merged from a 4-shard run
+/// restores into a 1- or 8-shard executor over the same plan, because all
+/// operator state is per-key and shards own disjoint key slices.
+///
+/// Soundness of the merge rests on the session-wide ordering invariant
+/// (events arrive in non-decreasing timestamp order across the *whole*
+/// stream): a shard that lags — its local watermark trails because its
+/// keys went quiet — still holds exactly the open instances that future
+/// events for its keys can fold into, since any instance a faster shard
+/// already closed has an end at or before the global watermark and can
+/// never receive post-checkpoint input.
+
+/// Merges one checkpoint per shard (same plan, disjoint keys) into the
+/// global view: per operator, cursors advance to the furthest shard
+/// (max next_m), op counters sum, and open instances union by instance
+/// number with per-key states taken from the owning shard. Errors if the
+/// checkpoints disagree on plan shape, or if two shards both hold state
+/// for one key (a partitioning-invariant violation).
+Result<ExecutorCheckpoint> MergeShardCheckpoints(
+    const std::vector<ExecutorCheckpoint>& shards);
+
+/// Projects a global checkpoint onto shard `shard` of `num_shards`: every
+/// per-key state whose key hashes elsewhere (ShardForKey) is cleared to
+/// empty, instances and cursors are kept as-is (an all-empty instance
+/// emits nothing and closes silently). Accumulate-op counters are carried
+/// on shard 0 only, so summing over shards preserves the global total.
+ExecutorCheckpoint ExtractShardCheckpoint(const ExecutorCheckpoint& global,
+                                          uint32_t shard,
+                                          uint32_t num_shards);
+
+}  // namespace fw
+
+#endif  // FW_RUNTIME_SHARD_CHECKPOINT_H_

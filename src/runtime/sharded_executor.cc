@@ -1,0 +1,212 @@
+#include "runtime/sharded_executor.h"
+
+#include <algorithm>
+#include <thread>
+#include <tuple>
+#include <utility>
+
+#include "common/logging.h"
+#include "runtime/partition.h"
+#include "runtime/shard_checkpoint.h"
+#include "runtime/spsc_queue.h"
+
+namespace fw {
+
+struct ShardedExecutor::Shard {
+  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+
+  BufferSink buffer;
+  std::unique_ptr<PlanExecutor> executor;
+  SpscQueue<std::vector<Event>> queue;
+  /// Producer-side partial batch, session thread only.
+  std::vector<Event> pending;
+  /// Batches handed off so far; session thread only.
+  uint64_t enqueued = 0;
+  /// Batches fully processed; written by the worker (release) and read by
+  /// the session thread (acquire) — equality with `enqueued` is the
+  /// quiesce point that publishes the shard's executor/buffer state.
+  std::atomic<uint64_t> consumed{0};
+  std::thread worker;
+};
+
+ShardedExecutor::ShardedExecutor(const QueryPlan& plan,
+                                 const Options& options, ResultSink* sink)
+    : options_(options), sink_(sink) {
+  FW_CHECK(sink != nullptr);
+  FW_CHECK_GT(options.num_keys, 0u);
+  FW_CHECK_GT(options.batch_size, 0u);
+  const uint32_t shards = EffectiveShards(options.num_shards,
+                                          options.num_keys);
+  PlanExecutor::Options exec_options;
+  exec_options.num_keys = options.num_keys;
+  if (shards == 1) {
+    inline_executor_ =
+        std::make_unique<PlanExecutor>(plan, exec_options, sink);
+    return;
+  }
+
+  shards_.reserve(shards);
+  for (uint32_t i = 0; i < shards; ++i) {
+    auto shard =
+        std::make_unique<Shard>(std::max<size_t>(options.queue_capacity, 2));
+    shard->executor =
+        std::make_unique<PlanExecutor>(plan, exec_options, &shard->buffer);
+    shard->pending.reserve(options.batch_size);
+    shards_.push_back(std::move(shard));
+  }
+  for (auto& shard : shards_) {
+    Shard* s = shard.get();
+    s->worker = std::thread([s] {
+      std::vector<Event> batch;
+      while (s->queue.Pop(&batch)) {
+        for (const Event& event : batch) s->executor->Push(event);
+        s->consumed.fetch_add(1, std::memory_order_release);
+      }
+    });
+  }
+}
+
+ShardedExecutor::~ShardedExecutor() { StopWorkers(); }
+
+void ShardedExecutor::StopWorkers() {
+  if (inline_executor_ || stopped_) return;
+  for (auto& shard : shards_) {
+    FlushPending(shard.get());
+    shard->queue.Close();
+  }
+  for (auto& shard : shards_) {
+    if (shard->worker.joinable()) shard->worker.join();
+  }
+  stopped_ = true;
+}
+
+void ShardedExecutor::FlushPending(Shard* shard) {
+  if (shard->pending.empty()) return;
+  std::vector<Event> batch;
+  batch.reserve(options_.batch_size);
+  batch.swap(shard->pending);  // Leaves a fresh reserved buffer behind.
+  shard->queue.Push(std::move(batch));
+  ++shard->enqueued;
+}
+
+void ShardedExecutor::Push(const Event& event) {
+  if (inline_executor_) {
+    inline_executor_->Push(event);
+    return;
+  }
+  FW_CHECK(!stopped_) << "Push after Finish";
+  Shard* shard = shards_[ShardForKey(event.key, num_shards())].get();
+  shard->pending.push_back(event);
+  if (shard->pending.size() >= options_.batch_size) FlushPending(shard);
+  if (++events_since_drain_ >= options_.drain_interval) Drain();
+}
+
+void ShardedExecutor::Quiesce() {
+  for (auto& shard : shards_) FlushPending(shard.get());
+  for (auto& shard : shards_) {
+    SpinBackoff backoff;
+    while (shard->consumed.load(std::memory_order_acquire) <
+           shard->enqueued) {
+      backoff.Pause();
+    }
+  }
+}
+
+void ShardedExecutor::DeliverBuffered() {
+  std::vector<WindowResult> merged;
+  for (auto& shard : shards_) {
+    std::vector<WindowResult>& buffered = shard->buffer.results();
+    merged.insert(merged.end(), buffered.begin(), buffered.end());
+    buffered.clear();
+  }
+  std::sort(merged.begin(), merged.end(),
+            [](const WindowResult& a, const WindowResult& b) {
+              return std::tie(a.end, a.start, a.operator_id, a.key) <
+                     std::tie(b.end, b.start, b.operator_id, b.key);
+            });
+  for (const WindowResult& result : merged) sink_->OnResult(result);
+}
+
+void ShardedExecutor::Drain() {
+  if (inline_executor_) return;
+  Quiesce();
+  DeliverBuffered();
+  events_since_drain_ = 0;
+}
+
+void ShardedExecutor::Finish() {
+  if (inline_executor_) {
+    inline_executor_->Finish();
+    return;
+  }
+  StopWorkers();
+  // Workers are joined: flushing the shard plans from this thread is safe.
+  for (auto& shard : shards_) shard->executor->Finish();
+  DeliverBuffered();
+}
+
+Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
+  if (inline_executor_) return inline_executor_->Checkpoint();
+  Drain();
+  std::vector<ExecutorCheckpoint> parts;
+  parts.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    Result<ExecutorCheckpoint> part = shard->executor->Checkpoint();
+    if (!part.ok()) return part.status();
+    parts.push_back(std::move(*part));
+  }
+  return MergeShardCheckpoints(parts);
+}
+
+Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
+  if (inline_executor_) return inline_executor_->Restore(checkpoint);
+  Quiesce();
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    // The worker only touches its executor while a batch is in flight, so
+    // restoring from the session thread is race-free; the queue's
+    // release/acquire pair on the next batch publishes the new state.
+    FW_RETURN_IF_ERROR(shards_[i]->executor->Restore(
+        ExtractShardCheckpoint(checkpoint, i, num_shards())));
+  }
+  return Status::OK();
+}
+
+void ShardedExecutor::Reset() {
+  if (inline_executor_) {
+    inline_executor_->Reset();
+    return;
+  }
+  Quiesce();
+  for (auto& shard : shards_) {
+    shard->executor->Reset();
+    shard->buffer.results().clear();
+  }
+  events_since_drain_ = 0;
+}
+
+uint64_t ShardedExecutor::TotalAccumulateOps() const {
+  if (inline_executor_) return inline_executor_->TotalAccumulateOps();
+  // Logically const: Quiesce only synchronizes with the workers so the
+  // counters are exact; no results are delivered and no state changes.
+  const_cast<ShardedExecutor*>(this)->Quiesce();
+  uint64_t total = 0;
+  for (const auto& shard : shards_) {
+    total += shard->executor->TotalAccumulateOps();
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExecutor::PerOperatorOps() const {
+  if (inline_executor_) return inline_executor_->PerOperatorOps();
+  const_cast<ShardedExecutor*>(this)->Quiesce();
+  std::vector<uint64_t> total;
+  for (const auto& shard : shards_) {
+    std::vector<uint64_t> ops = shard->executor->PerOperatorOps();
+    if (total.empty()) total.resize(ops.size(), 0);
+    FW_CHECK_EQ(ops.size(), total.size());
+    for (size_t i = 0; i < ops.size(); ++i) total[i] += ops[i];
+  }
+  return total;
+}
+
+}  // namespace fw

@@ -1,0 +1,155 @@
+#ifndef FW_RUNTIME_SHARDED_EXECUTOR_H_
+#define FW_RUNTIME_SHARDED_EXECUTOR_H_
+
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/checkpoint.h"
+#include "exec/engine.h"
+#include "exec/event.h"
+#include "exec/sink.h"
+#include "plan/plan.h"
+
+namespace fw {
+
+/// Key-partitioned parallel execution of one QueryPlan (the shared-nothing
+/// scaling path sketched in DESIGN.md §8): events are hash-partitioned by
+/// grouping key across N shards, each shard runs a private single-threaded
+/// PlanExecutor over its key slice on its own worker thread, fed through a
+/// bounded SPSC ring in batches, and a merge stage funnels per-shard
+/// WindowResults back into the caller's sink in deterministic
+/// (window end, start, operator, key) order.
+///
+/// Because every operator's state and every result is per-key, and each
+/// key lives on exactly one shard, the merged result stream is the exact
+/// multiset — bitwise, since each key's fold order is its stream order
+/// regardless of sharding — of a single-threaded run over the same plan.
+///
+/// ## Threading and delivery contract
+///
+///  * All public methods must be called from one thread (the "session
+///    thread"); the executor owns its worker threads internally.
+///  * The caller's sink is only ever invoked on the session thread, from
+///    inside Push/Drain/Finish/Checkpoint — never concurrently. Plain
+///    sinks (CollectingSink, RoutingSink) are safe here; see exec/sink.h
+///    for which sinks tolerate being wired *directly* into per-shard
+///    executors instead.
+///  * With num_shards effectively 1 (requested 1, or a keyless stream —
+///    see EffectiveShards) the executor runs in *inline mode*: no threads,
+///    no buffering, results delivered synchronously from Push exactly like
+///    a bare PlanExecutor. This keeps the default StreamSession path
+///    byte-identical to the pre-sharding engine.
+///  * With N > 1 shards, results are buffered per shard and delivered in
+///    sorted batches at *drain points*: every Options::drain_interval
+///    pushed events, and on Drain/Finish/Checkpoint. Drain points depend
+///    only on the pushed sequence and the API calls made, so delivery
+///    order is deterministic run-to-run. An executor destroyed without
+///    Finish discards still-buffered results.
+class ShardedExecutor {
+ public:
+  struct Options {
+    /// Size of the grouping-key space; events must use keys below this.
+    uint32_t num_keys = 1;
+    /// Requested worker count; clamped to EffectiveShards(num_shards,
+    /// num_keys). 1 selects inline mode (see class comment).
+    uint32_t num_shards = 1;
+    /// Events per hand-off batch (producer-side buffering; amortizes the
+    /// queue's atomics over many events).
+    size_t batch_size = 256;
+    /// Ring capacity per shard, in batches; the producer blocks when a
+    /// shard falls this far behind (backpressure).
+    size_t queue_capacity = 64;
+    /// Deliver buffered results at least every this many pushed events;
+    /// bounds result latency and buffer memory.
+    uint64_t drain_interval = 65536;
+  };
+
+  /// `sink` must outlive the executor.
+  ShardedExecutor(const QueryPlan& plan, const Options& options,
+                  ResultSink* sink);
+  ~ShardedExecutor();
+
+  ShardedExecutor(const ShardedExecutor&) = delete;
+  ShardedExecutor& operator=(const ShardedExecutor&) = delete;
+
+  /// Routes one event to its key's shard. Events must be timestamp-ordered
+  /// (the per-shard subsequences then are too). Invalid after Finish.
+  void Push(const Event& event);
+
+  /// Ends the stream: hands off everything pending, stops and joins the
+  /// workers, flushes every shard's plan, and delivers all results.
+  void Finish();
+
+  /// Quiesces the shards (every pushed event fully processed) and delivers
+  /// buffered results now. No-op in inline mode.
+  void Drain();
+
+  /// Drains, then snapshots all shards into one *global* checkpoint — the
+  /// same shape a single-threaded executor over this plan would produce,
+  /// so it migrates by lineage (exec/migrate.h) and restores into an
+  /// executor with any shard count. Unsupported for holistic plans.
+  Result<ExecutorCheckpoint> Checkpoint();
+
+  /// Restores a global checkpoint taken from an executor over the same
+  /// plan and key space (any shard count), splitting per-key state across
+  /// this executor's shards. Push may resume with the next event.
+  Status Restore(const ExecutorCheckpoint& checkpoint);
+
+  /// Clears all shard state, counters, and buffered results.
+  void Reset();
+
+  /// Total accumulate/merge ops across all shards. Synchronizes with the
+  /// workers (waits until pushed events are processed); logically const.
+  uint64_t TotalAccumulateOps() const;
+
+  /// Per-operator ops summed element-wise across shards, indexed like the
+  /// plan's operators.
+  std::vector<uint64_t> PerOperatorOps() const;
+
+  /// Effective shard count (1 in inline mode).
+  uint32_t num_shards() const {
+    return inline_executor_ ? 1u : static_cast<uint32_t>(shards_.size());
+  }
+
+ private:
+  /// Shard-local result buffer; written only by the shard's worker while a
+  /// batch is in flight, read by the session thread only after a quiesce.
+  class BufferSink : public ResultSink {
+   public:
+    void OnResult(const WindowResult& result) override {
+      results_.push_back(result);
+    }
+    std::vector<WindowResult>& results() { return results_; }
+
+   private:
+    std::vector<WindowResult> results_;
+  };
+
+  struct Shard;
+
+  /// Hands the shard's pending partial batch to its queue.
+  void FlushPending(Shard* shard);
+  /// Flushes all pending batches and waits until every worker has consumed
+  /// its queue. Afterwards the session thread may read shard state.
+  void Quiesce();
+  /// Merges and sorts all buffered results into the sink.
+  void DeliverBuffered();
+  void StopWorkers();
+
+  Options options_;
+  ResultSink* sink_;
+
+  /// Inline mode: the one executor, wired straight to sink_.
+  std::unique_ptr<PlanExecutor> inline_executor_;
+
+  /// Threaded mode.
+  std::vector<std::unique_ptr<Shard>> shards_;
+  uint64_t events_since_drain_ = 0;
+  bool stopped_ = false;
+};
+
+}  // namespace fw
+
+#endif  // FW_RUNTIME_SHARDED_EXECUTOR_H_

@@ -1,0 +1,110 @@
+#ifndef FW_RUNTIME_SPSC_QUEUE_H_
+#define FW_RUNTIME_SPSC_QUEUE_H_
+
+#include <atomic>
+#include <chrono>
+#include <cstddef>
+#include <thread>
+#include <vector>
+
+#include "common/logging.h"
+
+namespace fw {
+
+/// Wait policy of the sharded runtime's spin loops (queue full/empty,
+/// quiesce): yield a few times, then sleep — burns little CPU when the
+/// other side stalls or the host has fewer cores than shards.
+struct SpinBackoff {
+  int spins = 0;
+  void Pause() {
+    if (++spins < 64) {
+      std::this_thread::yield();
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(50));
+    }
+  }
+};
+
+/// Bounded single-producer single-consumer ring buffer — the hand-off
+/// primitive of the sharded runtime (one queue per shard: the session
+/// thread produces event batches, the shard's worker consumes them).
+/// Wait-free in the common case: one atomic store per side per item, and
+/// each slot is touched by exactly one side at a time. Capacity is
+/// rounded up to a power of two.
+///
+/// Exactly one thread may use the producer side (TryPush/Push/Close) and
+/// exactly one the consumer side (TryPop/Pop).
+template <typename T>
+class SpscQueue {
+ public:
+  explicit SpscQueue(size_t min_capacity) {
+    size_t capacity = 1;
+    while (capacity < min_capacity) capacity <<= 1;
+    slots_.resize(capacity);
+    mask_ = capacity - 1;
+  }
+
+  SpscQueue(const SpscQueue&) = delete;
+  SpscQueue& operator=(const SpscQueue&) = delete;
+
+  size_t capacity() const { return mask_ + 1; }
+
+  /// Producer. Returns false when the queue is full.
+  bool TryPush(T&& item) {
+    const size_t tail = tail_.load(std::memory_order_relaxed);
+    if (tail - head_.load(std::memory_order_acquire) > mask_) return false;
+    slots_[tail & mask_] = std::move(item);
+    tail_.store(tail + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Producer. Blocks (yield, then micro-sleep) while the queue is full;
+  /// pushing on a closed queue is a checked fatal error.
+  void Push(T item) {
+    FW_CHECK(!closed_.load(std::memory_order_relaxed))
+        << "push on closed queue";
+    SpinBackoff backoff;
+    while (!TryPush(std::move(item))) backoff.Pause();
+  }
+
+  /// Producer. No more pushes will follow; unblocks a waiting Pop once the
+  /// queue drains.
+  void Close() { closed_.store(true, std::memory_order_release); }
+
+  /// Consumer. Returns false when the queue is empty.
+  bool TryPop(T* out) {
+    const size_t head = head_.load(std::memory_order_relaxed);
+    if (tail_.load(std::memory_order_acquire) == head) return false;
+    *out = std::move(slots_[head & mask_]);
+    head_.store(head + 1, std::memory_order_release);
+    return true;
+  }
+
+  /// Consumer. Blocks until an item arrives (true) or the queue is closed
+  /// and fully drained (false).
+  bool Pop(T* out) {
+    SpinBackoff backoff;
+    while (true) {
+      if (TryPop(out)) return true;
+      if (closed_.load(std::memory_order_acquire)) {
+        // Items pushed before Close are visible after the acquire; one
+        // final pop catches a push that raced the close.
+        return TryPop(out);
+      }
+      backoff.Pause();
+    }
+  }
+
+ private:
+  std::vector<T> slots_;
+  size_t mask_ = 0;
+  /// Cursors are monotonically increasing and wrapped only at indexing
+  /// time; padded so the two sides never share a cache line.
+  alignas(64) std::atomic<size_t> head_{0};  // Consumer cursor.
+  alignas(64) std::atomic<size_t> tail_{0};  // Producer cursor.
+  std::atomic<bool> closed_{false};
+};
+
+}  // namespace fw
+
+#endif  // FW_RUNTIME_SPSC_QUEUE_H_

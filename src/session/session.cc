@@ -7,6 +7,7 @@
 #include "exec/migrate.h"
 #include "plan/printer.h"
 #include "query/parser.h"
+#include "runtime/partition.h"
 
 namespace fw {
 
@@ -136,8 +137,14 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
 
   if (live.empty()) {
     // Session went idle: retire the whole pipeline (in-flight windows are
-    // dropped — nobody subscribes to them anymore).
-    if (executor_) retired_ops_ += executor_->TotalAccumulateOps();
+    // dropped — nobody subscribes to them anymore). Results already
+    // emitted but still buffered in the shards belong to windows that
+    // closed before the removal, so deliver them first, exactly like the
+    // single-threaded path did during Push.
+    if (executor_) {
+      executor_->Drain();
+      retired_ops_ += executor_->TotalAccumulateOps();
+    }
     executor_.reset();
     router_.reset();
     shared_.reset();
@@ -166,7 +173,9 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   if (!shared.ok()) return shared.status();
 
   // Carry surviving operator state across the swap (see class comment for
-  // the migration semantics).
+  // the migration semantics). ShardedExecutor::Checkpoint drains buffered
+  // results through the old router and merges the shards into the global
+  // view, so the lineage migration below is shard-count agnostic.
   std::vector<std::string> lineages = OperatorLineages(shared->plan);
   CheckpointMigration migration;
   if (executor_) {
@@ -179,9 +188,12 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
 
   auto router =
       std::make_unique<RoutingSink>(*shared, queries, std::move(sinks));
-  auto executor = std::make_unique<PlanExecutor>(
-      shared->plan, PlanExecutor::Options{.num_keys = options_.num_keys},
-      router.get());
+  ShardedExecutor::Options exec_options;
+  exec_options.num_keys = options_.num_keys;
+  exec_options.num_shards = options_.num_shards;
+  auto executor = std::make_unique<ShardedExecutor>(shared->plan,
+                                                    exec_options,
+                                                    router.get());
   if (executor_) {
     FW_RETURN_IF_ERROR(executor->Restore(migration.checkpoint));
     retired_ops_ += executor_->TotalAccumulateOps() - migration.carried_ops;
@@ -225,8 +237,17 @@ Status StreamSession::Push(const Event& event) {
 }
 
 Status StreamSession::PushBatch(const std::vector<Event>& events) {
-  for (const Event& event : events) {
-    FW_RETURN_IF_ERROR(Push(event));
+  for (size_t i = 0; i < events.size(); ++i) {
+    Status status = Push(events[i]);
+    if (!status.ok()) {
+      // Tell the caller exactly where the batch stopped; events before
+      // index i were applied.
+      return Status(status.code(),
+                    "batch stopped at event " + std::to_string(i) +
+                        " (timestamp " +
+                        std::to_string(events[i].timestamp) +
+                        "): " + status.message());
+    }
   }
   return Status::OK();
 }
@@ -305,12 +326,15 @@ StreamSession::SessionStats StreamSession::Stats() const {
   stats.last_replan_seconds = last_replan_seconds_;
   stats.lifetime_ops =
       retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0);
+  stats.num_shards = EffectiveShards(options_.num_shards, options_.num_keys);
   if (shared_) {
     stats.shared_cost = shared_->shared_cost;
     stats.original_cost = shared_->original_cost;
     stats.independent_cost = shared_->independent_cost;
     stats.predicted_boost = shared_->PredictedBoost();
     stats.predicted_savings = shared_->PredictedSavings();
+    stats.predicted_shard_boost =
+        shared_->PredictedShardBoost(options_.num_shards, options_.num_keys);
   }
   return stats;
 }

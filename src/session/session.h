@@ -9,11 +9,11 @@
 #include <vector>
 
 #include "common/status.h"
-#include "exec/engine.h"
 #include "exec/event.h"
 #include "multi/multi_query.h"
 #include "query/builder.h"
 #include "query/query.h"
+#include "runtime/sharded_executor.h"
 
 namespace fw {
 
@@ -63,8 +63,27 @@ using QueryId = uint64_t;
 /// shape the multi-query optimizer supports; holistic queries (MEDIAN) are
 /// rejected at AddQuery.
 ///
-/// Sessions are single-threaded and push-based; events must arrive in
-/// non-decreasing timestamp order across the whole session lifetime.
+/// ## Sharded parallel execution
+///
+/// With Options::num_shards > 1 the session executes its shared plan on
+/// the sharded runtime (runtime/ShardedExecutor): events are
+/// hash-partitioned by grouping key across worker threads, each running a
+/// private engine over its key slice, and results are merged back — on
+/// the caller's thread, so callbacks never run concurrently — in
+/// deterministic (window end, start, operator, key) order. The delivered
+/// result multiset is bitwise identical to a num_shards = 1 session
+/// across churn, replans, and Finish; only delivery timing changes
+/// (buffered results arrive at drain points: periodically, and on every
+/// replan and Finish — stats reads synchronize the counters but deliver
+/// nothing). Replans stay state-preserving: shard checkpoints
+/// merge into the global view, migrate by lineage as below, and split
+/// back across shards. The shard count is capped at num_keys — a keyless
+/// session cannot parallelize — and the default (1) runs the
+/// single-threaded engine inline, exactly as before.
+///
+/// Sessions are push-based and driven from one caller thread; events must
+/// arrive in non-decreasing timestamp order across the whole session
+/// lifetime.
 class StreamSession {
  public:
   /// Per-query result delivery. Results carry the window interval, group
@@ -76,6 +95,10 @@ class StreamSession {
   struct Options {
     /// Size of the grouping-key space; events must use keys below this.
     uint32_t num_keys = 1;
+    /// Key-partitioned execution shards (see the class comment). 1 (the
+    /// default) runs the single-threaded engine inline — today's path —
+    /// while k > 1 spawns min(k, num_keys) worker threads.
+    uint32_t num_shards = 1;
     /// Knobs forwarded to the cost-based optimizer on every (re)plan.
     OptimizerOptions optimizer;
     /// Also compute the independently-optimized per-query cost baseline on
@@ -124,6 +147,12 @@ class StreamSession {
     /// Independent baseline cost / shared cost (1 when the baseline is
     /// untracked).
     double predicted_savings = 1.0;
+    /// Effective shard count: min(Options::num_shards, num_keys), >= 1.
+    uint32_t num_shards = 1;
+    /// Predicted speedup of the sharded shared plan over the unshared
+    /// single-threaded originals: predicted_boost x num_shards under the
+    /// idealized balance model (SharedPlan::PredictedShardBoost).
+    double predicted_shard_boost = 1.0;
   };
 
   StreamSession();
@@ -154,7 +183,9 @@ class StreamSession {
   /// query is live are counted and discarded.
   Status Push(const Event& event);
 
-  /// Pushes an ordered batch; stops at the first rejected event.
+  /// Pushes an ordered batch; stops at the first rejected event. The
+  /// error Status reports that event's batch index and timestamp (events
+  /// before it were applied), so callers can resume from the right spot.
   Status PushBatch(const std::vector<Event>& events);
 
   /// Ends the stream: flushes every open window of every live query. The
@@ -213,7 +244,7 @@ class StreamSession {
   /// references the router, the router references the queries' sinks.
   std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_;
   std::unique_ptr<RoutingSink> router_;
-  std::unique_ptr<PlanExecutor> executor_;
+  std::unique_ptr<ShardedExecutor> executor_;
   std::vector<std::string> lineages_;  // Of the current plan's operators.
 
   bool finished_ = false;

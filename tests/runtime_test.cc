@@ -1,0 +1,445 @@
+#include "runtime/sharded_executor.h"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <map>
+#include <set>
+#include <thread>
+#include <tuple>
+#include <vector>
+
+#include "exec/engine.h"
+#include "multi/multi_query.h"
+#include "runtime/partition.h"
+#include "runtime/shard_checkpoint.h"
+#include "runtime/spsc_queue.h"
+#include "session/session.h"
+#include "workload/datagen.h"
+
+namespace fw {
+namespace {
+
+// --- SPSC queue ------------------------------------------------------------
+
+TEST(SpscQueue, SingleThreadedOrderAndBounds) {
+  SpscQueue<int> queue(3);
+  EXPECT_EQ(queue.capacity(), 4u);  // Rounded up to a power of two.
+
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_TRUE(queue.TryPush(int{i}));
+  }
+  int overflow = 99;
+  EXPECT_FALSE(queue.TryPush(std::move(overflow)));  // Full.
+
+  int out = -1;
+  for (int i = 0; i < 4; ++i) {
+    ASSERT_TRUE(queue.TryPop(&out));
+    EXPECT_EQ(out, i);  // FIFO.
+  }
+  EXPECT_FALSE(queue.TryPop(&out));  // Empty.
+
+  // Close with nothing pending: blocking Pop returns false immediately.
+  queue.Close();
+  EXPECT_FALSE(queue.Pop(&out));
+}
+
+TEST(SpscQueue, CrossThreadTransferDeliversEverythingInOrder) {
+  constexpr int kItems = 100000;
+  SpscQueue<int> queue(8);  // Tiny: forces producer back-pressure.
+
+  std::thread producer([&queue] {
+    for (int i = 0; i < kItems; ++i) queue.Push(int{i});
+    queue.Close();
+  });
+
+  int expected = 0;
+  int64_t sum = 0;
+  int out = -1;
+  while (queue.Pop(&out)) {
+    EXPECT_EQ(out, expected);
+    ++expected;
+    sum += out;
+  }
+  producer.join();
+  EXPECT_EQ(expected, kItems);
+  EXPECT_EQ(sum, int64_t{kItems} * (kItems - 1) / 2);
+}
+
+// --- Key partitioning ------------------------------------------------------
+
+TEST(Partition, ShardAssignmentIsStableAndInRange) {
+  for (uint32_t shards : {1u, 2u, 3u, 4u, 8u}) {
+    for (uint32_t key = 0; key < 256; ++key) {
+      uint32_t shard = ShardForKey(key, shards);
+      EXPECT_LT(shard, shards);
+      EXPECT_EQ(shard, ShardForKey(key, shards));  // Deterministic.
+    }
+  }
+  // A keyless stream (only key 0) always lands on shard 0, whatever the
+  // shard count — this is why global queries pin to shard 0.
+  for (uint32_t shards : {1u, 2u, 4u, 8u}) {
+    EXPECT_EQ(ShardForKey(0, shards), 0u);
+  }
+}
+
+TEST(Partition, HashSpreadsContiguousKeys) {
+  // Round-robin key assignment (the synthetic workloads) must not
+  // collapse onto few shards.
+  constexpr uint32_t kShards = 4;
+  std::set<uint32_t> hit;
+  for (uint32_t key = 0; key < 16; ++key) {
+    hit.insert(ShardForKey(key, kShards));
+  }
+  EXPECT_EQ(hit.size(), kShards);
+}
+
+TEST(Partition, EffectiveShardsClampsToKeySpace) {
+  EXPECT_EQ(EffectiveShards(8, 4), 4u);   // No more shards than keys.
+  EXPECT_EQ(EffectiveShards(2, 16), 2u);
+  EXPECT_EQ(EffectiveShards(8, 1), 1u);   // Keyless never parallelizes.
+  EXPECT_EQ(EffectiveShards(0, 16), 1u);  // At least one shard.
+}
+
+// --- Checkpoint merge / split ----------------------------------------------
+
+TEST(ShardCheckpoint, MergeRejectsMismatchedPlansAndSharedKeys) {
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  op.next_m = 2;
+  InstanceCheckpoint inst;
+  inst.m = 1;
+  inst.states.resize(4);
+  inst.states[2].n = 1;
+  op.open_instances.push_back(inst);
+  ExecutorCheckpoint a;
+  a.operators.push_back(op);
+
+  ExecutorCheckpoint extra_op = a;
+  extra_op.operators.push_back(op);
+  EXPECT_EQ(MergeShardCheckpoints({a, extra_op}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // The same key holding state on two shards violates the partitioning
+  // invariant and must be loud, not silently double-counted.
+  EXPECT_EQ(MergeShardCheckpoints({a, a}).status().code(),
+            StatusCode::kInternal);
+}
+
+TEST(ShardCheckpoint, MergeUnionsInstancesAndSumsCounters) {
+  auto make_shard = [](int64_t next_m, int64_t m, uint32_t key,
+                       uint64_t ops) {
+    ExecutorCheckpoint shard;
+    OperatorCheckpoint op;
+    op.operator_id = 0;
+    op.next_m = next_m;
+    op.next_open_start = next_m * 10;
+    op.accumulate_ops = ops;
+    InstanceCheckpoint inst;
+    inst.m = m;
+    inst.states.resize(8);
+    inst.states[key].n = 3;
+    inst.states[key].v1 = static_cast<double>(key);
+    op.open_instances.push_back(inst);
+    shard.operators.push_back(op);
+    return shard;
+  };
+
+  // Shard 0 is ahead (next_m 5, instance 4 open for key 1); shard 1 lags
+  // (next_m 3, instance 2 still open for key 6).
+  Result<ExecutorCheckpoint> merged = MergeShardCheckpoints(
+      {make_shard(5, 4, 1, 100), make_shard(3, 2, 6, 40)});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->operators.size(), 1u);
+  const OperatorCheckpoint& op = merged->operators[0];
+  EXPECT_EQ(op.next_m, 5);
+  EXPECT_EQ(op.next_open_start, 50);
+  EXPECT_EQ(op.accumulate_ops, 140u);
+  ASSERT_EQ(op.open_instances.size(), 2u);
+  EXPECT_EQ(op.open_instances[0].m, 2);  // Sorted by instance number.
+  EXPECT_EQ(op.open_instances[1].m, 4);
+  EXPECT_EQ(op.open_instances[0].states[6].n, 3u);
+  EXPECT_EQ(op.open_instances[1].states[1].n, 3u);
+}
+
+TEST(ShardCheckpoint, ExtractKeepsOnlyOwnedKeys) {
+  constexpr uint32_t kKeys = 16;
+  constexpr uint32_t kShards = 4;
+  ExecutorCheckpoint global;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  op.next_m = 1;
+  op.accumulate_ops = 77;
+  InstanceCheckpoint inst;
+  inst.m = 0;
+  inst.states.resize(kKeys);
+  for (uint32_t k = 0; k < kKeys; ++k) inst.states[k].n = k + 1;
+  op.open_instances.push_back(inst);
+  global.operators.push_back(op);
+
+  std::vector<ExecutorCheckpoint> parts;
+  uint64_t total_ops = 0;
+  for (uint32_t shard = 0; shard < kShards; ++shard) {
+    parts.push_back(ExtractShardCheckpoint(global, shard, kShards));
+    total_ops += parts.back().operators[0].accumulate_ops;
+    for (uint32_t k = 0; k < kKeys; ++k) {
+      const AggState& state =
+          parts.back().operators[0].open_instances[0].states[k];
+      if (ShardForKey(k, kShards) == shard) {
+        EXPECT_EQ(state.n, k + 1);
+      } else {
+        EXPECT_TRUE(state.empty());
+      }
+    }
+  }
+  EXPECT_EQ(total_ops, 77u);  // Counters carried once, on shard 0.
+
+  // Splitting then merging is the identity on the global view.
+  Result<ExecutorCheckpoint> roundtrip = MergeShardCheckpoints(parts);
+  ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+  EXPECT_EQ(roundtrip->Serialize(), global.Serialize());
+}
+
+// --- ShardedExecutor -------------------------------------------------------
+
+QueryPlan SharedTestPlan() {
+  // A jointly optimized multi-window plan, so sharding also covers the
+  // sub-aggregate (operator → operator) flow, not just raw readers.
+  StreamQuery q1;
+  q1.source = "s";
+  q1.agg = AggKind::kMin;
+  q1.per_key = true;
+  q1.key_column = "k";
+  EXPECT_TRUE(q1.windows.Add(Window::Tumbling(20)).ok());
+  EXPECT_TRUE(q1.windows.Add(Window(60, 20)).ok());
+  StreamQuery q2 = q1;
+  q2.windows = WindowSet();
+  EXPECT_TRUE(q2.windows.Add(Window::Tumbling(40)).ok());
+  EXPECT_TRUE(q2.windows.Add(Window::Tumbling(120)).ok());
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Optimize({q1, q2});
+  EXPECT_TRUE(shared.ok()) << shared.status().ToString();
+  return shared->plan;
+}
+
+TEST(ShardedExecutor, MatchesSingleThreadedExecutorExactly) {
+  constexpr uint32_t kKeys = 16;
+  std::vector<Event> events = GenerateSyntheticStream(20000, kKeys, 21);
+  QueryPlan plan = SharedTestPlan();
+
+  CollectingSink reference;
+  uint64_t reference_ops = 0;
+  ExecutePlan(plan, events, kKeys, &reference, nullptr, &reference_ops);
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedExecutor::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = shards;
+    options.batch_size = 16;       // Exercise many hand-offs.
+    options.drain_interval = 3000; // Exercise mid-stream drains.
+    CollectingSink sink;
+    ShardedExecutor executor(plan, options, &sink);
+    EXPECT_EQ(executor.num_shards(), shards);
+    for (const Event& event : events) executor.Push(event);
+    executor.Finish();
+    EXPECT_EQ(sink.ToMap(), reference.ToMap()) << shards << " shards";
+    EXPECT_EQ(executor.TotalAccumulateOps(), reference_ops);
+  }
+}
+
+TEST(ShardedExecutor, MergeOrderIsDeterministicAndSortedPerDrain) {
+  constexpr uint32_t kKeys = 8;
+  std::vector<Event> events = GenerateSyntheticStream(6000, kKeys, 22);
+  QueryPlan plan = SharedTestPlan();
+
+  auto run = [&] {
+    ShardedExecutor::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = 4;
+    options.batch_size = 32;
+    CollectingSink sink;
+    ShardedExecutor executor(plan, options, &sink);
+    for (const Event& event : events) executor.Push(event);
+    executor.Finish();
+    return sink.results();
+  };
+
+  std::vector<WindowResult> first = run();
+  std::vector<WindowResult> second = run();
+  ASSERT_FALSE(first.empty());
+  ASSERT_EQ(first.size(), second.size());
+  for (size_t i = 0; i < first.size(); ++i) {
+    EXPECT_EQ(std::tie(first[i].end, first[i].start, first[i].operator_id,
+                       first[i].key),
+              std::tie(second[i].end, second[i].start,
+                       second[i].operator_id, second[i].key));
+    EXPECT_EQ(first[i].value, second[i].value);
+  }
+  // Single drain point here (Finish), so the whole delivery is sorted by
+  // the merge order.
+  for (size_t i = 1; i < first.size(); ++i) {
+    EXPECT_LE(std::tie(first[i - 1].end, first[i - 1].start,
+                       first[i - 1].operator_id, first[i - 1].key),
+              std::tie(first[i].end, first[i].start, first[i].operator_id,
+                       first[i].key));
+  }
+}
+
+TEST(ShardedExecutor, CheckpointRestoresAcrossShardCounts) {
+  constexpr uint32_t kKeys = 12;
+  std::vector<Event> events = GenerateSyntheticStream(16000, kKeys, 23);
+  const size_t half = events.size() / 2;
+  QueryPlan plan = SharedTestPlan();
+
+  CollectingSink reference;
+  ExecutePlan(plan, events, kKeys, &reference, nullptr, nullptr);
+
+  ShardedExecutor::Options options;
+  options.num_keys = kKeys;
+  options.num_shards = 2;
+  CollectingSink first_half;
+  ShardedExecutor source(plan, options, &first_half);
+  for (size_t i = 0; i < half; ++i) source.Push(events[i]);
+  Result<ExecutorCheckpoint> checkpoint = source.Checkpoint();
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+
+  // The global checkpoint restores into any shard count; the union of
+  // pre-checkpoint and continuation results equals the uninterrupted run.
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedExecutor::Options target_options;
+    target_options.num_keys = kKeys;
+    target_options.num_shards = shards;
+    CollectingSink second_half;
+    ShardedExecutor target(plan, target_options, &second_half);
+    ASSERT_TRUE(target.Restore(*checkpoint).ok());
+    for (size_t i = half; i < events.size(); ++i) target.Push(events[i]);
+    target.Finish();
+
+    std::map<CollectingSink::ResultKey, double> combined =
+        first_half.ToMap();
+    for (const auto& [key, value] : second_half.ToMap()) {
+      ASSERT_EQ(combined.count(key), 0u);  // No double emissions.
+      combined[key] = value;
+    }
+    EXPECT_EQ(combined, reference.ToMap()) << shards << " shards";
+  }
+}
+
+// --- Sharded sessions: differential equivalence under churn ----------------
+
+// Results of every query of a churned session, keyed by
+// (query slot, query-local operator, start, end, key).
+using SessionResults =
+    std::map<std::tuple<int, int, TimeT, TimeT, uint32_t>, double>;
+
+StreamSession::ResultCallback Tagged(SessionResults* out, int tag) {
+  return [out, tag](const WindowResult& r) {
+    (*out)[{tag, r.operator_id, r.start, r.end, r.key}] = r.value;
+  };
+}
+
+QueryBuilder PerDevice(TimeT range) {
+  return Query().Max("v").From("fleet").PerKey("device").Tumbling(range);
+}
+
+// One add + one remove mid-stream, then finish: exercises the sharded
+// replan path (checkpoint merge → lineage migration → split restore) and
+// the final flush.
+SessionResults RunChurnedSession(uint32_t num_shards,
+                                 const std::vector<Event>& events) {
+  StreamSession::Options options;
+  options.num_keys = 8;
+  options.num_shards = num_shards;
+  StreamSession session(options);
+
+  SessionResults results;
+  EXPECT_TRUE(
+      session.AddQuery(PerDevice(20).Hopping(60, 20), Tagged(&results, 0))
+          .ok());
+  Result<QueryId> doomed = session.AddQuery(PerDevice(80));
+  EXPECT_TRUE(doomed.ok());
+
+  const size_t third = events.size() / 3;
+  for (size_t i = 0; i < events.size(); ++i) {
+    if (i == third) {
+      EXPECT_TRUE(session.RemoveQuery(*doomed).ok());
+    }
+    if (i == 2 * third) {
+      EXPECT_TRUE(
+          session.AddQuery(PerDevice(40), Tagged(&results, 1)).ok());
+    }
+    EXPECT_TRUE(session.Push(events[i]).ok());
+  }
+  EXPECT_TRUE(session.Finish().ok());
+  EXPECT_EQ(session.Stats().num_shards, EffectiveShards(num_shards, 8));
+  return results;
+}
+
+TEST(ShardedSession, ChurnedSessionsAreDifferentiallyEquivalent) {
+  std::vector<Event> events = GenerateSyntheticStream(12000, 8, 24);
+  SessionResults baseline = RunChurnedSession(1, events);
+  ASSERT_FALSE(baseline.empty());
+  for (uint32_t shards : {2u, 4u}) {
+    EXPECT_EQ(RunChurnedSession(shards, events), baseline)
+        << shards << " shards";
+  }
+}
+
+TEST(ShardedSession, KeylessSessionCollapsesToOneShard) {
+  StreamSession::Options options;
+  options.num_keys = 1;
+  options.num_shards = 8;
+  StreamSession session(options);
+  SessionResults results;
+  ASSERT_TRUE(session
+                  .AddQuery(Query().Min("v").From("s").Tumbling(20),
+                            Tagged(&results, 0))
+                  .ok());
+  for (TimeT t = 0; t < 100; ++t) {
+    ASSERT_TRUE(session.Push({.timestamp = t, .key = 0, .value = 1.0}).ok());
+  }
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_EQ(session.Stats().num_shards, 1u);
+  EXPECT_FALSE(results.empty());
+}
+
+TEST(ShardedSession, StatsReportShardCountAndPredictedBoost) {
+  StreamSession::Options options;
+  options.num_keys = 8;
+  options.num_shards = 4;
+  StreamSession session(options);
+  ASSERT_TRUE(session.AddQuery(PerDevice(20)).ok());
+  ASSERT_TRUE(session.AddQuery(PerDevice(40)).ok());
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.num_shards, 4u);
+  // The idealized model: sharding multiplies the sharing boost by the
+  // effective shard count.
+  EXPECT_DOUBLE_EQ(stats.predicted_shard_boost, stats.predicted_boost * 4);
+}
+
+// --- ThreadSafeCountingSink ------------------------------------------------
+
+TEST(ThreadSafeCountingSink, CountsUnderConcurrentDelivery) {
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 10000;
+  ThreadSafeCountingSink sink;
+  std::vector<std::thread> writers;
+  writers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    writers.emplace_back([&sink] {
+      for (int i = 0; i < kPerThread; ++i) {
+        sink.OnResult({.operator_id = 0,
+                       .start = 0,
+                       .end = 1,
+                       .key = 0,
+                       .value = 1.0});
+      }
+    });
+  }
+  for (std::thread& w : writers) w.join();
+  EXPECT_EQ(sink.count(), uint64_t{kThreads} * kPerThread);
+  EXPECT_DOUBLE_EQ(sink.checksum(), double{kThreads} * kPerThread);
+}
+
+}  // namespace
+}  // namespace fw

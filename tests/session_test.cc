@@ -344,6 +344,28 @@ TEST(StreamSession, LifecycleValidation) {
   EXPECT_FALSE(session.RemoveQuery(*first).ok());
 }
 
+// A rejected batch must tell the caller where it stopped: the index and
+// timestamp of the first rejected event, with everything before it applied.
+TEST(StreamSession, PushBatchReportsFirstRejectedEvent) {
+  StreamSession session;
+  ASSERT_TRUE(session.AddQuery(Dashboard(20)).ok());
+  std::vector<Event> batch = {
+      {.timestamp = 5, .key = 0, .value = 1.0},
+      {.timestamp = 7, .key = 0, .value = 2.0},
+      {.timestamp = 6, .key = 0, .value = 3.0},  // Out of order.
+      {.timestamp = 8, .key = 0, .value = 4.0},
+  };
+  Status status = session.PushBatch(batch);
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_NE(status.message().find("event 2"), std::string::npos)
+      << status.message();
+  EXPECT_NE(status.message().find("timestamp 6"), std::string::npos)
+      << status.message();
+  // Events 0 and 1 were applied; the session can resume past the bad one.
+  EXPECT_EQ(session.Stats().events_pushed, 2u);
+  EXPECT_TRUE(session.Push({.timestamp = 8, .key = 0, .value = 4.0}).ok());
+}
+
 TEST(StreamSession, IdleSessionDropsEventsAndRevives) {
   StreamSession session;
   ASSERT_TRUE(session.Push({.timestamp = 1, .key = 0, .value = 1.0}).ok());
