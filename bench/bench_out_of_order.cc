@@ -1,0 +1,111 @@
+// Out-of-order ingestion cost: the same keyed dashboard query set as
+// bench_shard_scaling, fed a stream with bounded disorder (--disorder
+// positions of displacement) through StreamSession::Options::max_delay,
+// swept over --max-delays and --shards. Every shard count first runs the
+// *sorted* stream strictly (the max_delay=0 row, printed whether or not 0
+// is listed) — the zero-overhead baseline every other row is compared
+// against. A max_delay below the actual disorder sheds late events
+// (counted in the "late" column); at or above it the result count must
+// match the baseline exactly, or the run aborts. Buffer peak bounds the
+// memory cost of riding out the disorder.
+
+#include <chrono>
+#include <cstdio>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "session/session.h"
+
+namespace fw {
+namespace {
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(
+      argc, argv, EventCountFromEnv("FW_EVENTS_1M", 300'000));
+  std::vector<Event> sorted =
+      GenerateSyntheticStream(args.events, args.keys, kSyntheticSeed);
+  std::vector<Event> shuffled =
+      ApplyBoundedDisorder(sorted, args.disorder, kSyntheticSeed + 1);
+
+  std::printf(
+      "out-of-order ingestion  [%zu events, %u keys, disorder <= %zu, "
+      "MAX dashboards T(20)+H(60,20)+T(40)+T(120)]\n",
+      sorted.size(), args.keys, args.disorder);
+  std::printf("%8s %11s %14s %9s %12s %12s %12s\n", "shards", "max_delay",
+              "events/s", "vs base", "late", "buf peak", "results");
+
+  for (uint32_t shards : args.shards) {
+    double base_throughput = 0.0;
+    uint64_t base_results = 0;
+    // The strict sorted baseline always runs first so every disordered
+    // row has something to compare against.
+    std::vector<TimeT> delays = {0};
+    for (TimeT max_delay : args.max_delays) {
+      if (max_delay != 0) delays.push_back(max_delay);
+    }
+    for (TimeT max_delay : delays) {
+      StreamSession::Options options;
+      options.num_keys = args.keys;
+      options.num_shards = shards;
+      options.max_delay = max_delay;
+      StreamSession session(options);
+
+      uint64_t results = 0;
+      StreamSession::ResultCallback count =
+          [&results](const WindowResult&) { ++results; };
+      auto add = [&](const QueryBuilder& query) {
+        Result<QueryId> id = session.AddQuery(query, count);
+        if (!id.ok()) {
+          std::fprintf(stderr, "AddQuery: %s\n",
+                       id.status().ToString().c_str());
+          std::exit(1);
+        }
+      };
+      QueryBuilder dash = Query().Max("v").From("fleet").PerKey("device");
+      add(QueryBuilder(dash).Tumbling(20).Hopping(60, 20));
+      add(QueryBuilder(dash).Tumbling(40));
+      add(QueryBuilder(dash).Tumbling(120));
+
+      const std::vector<Event>& events = max_delay == 0 ? sorted : shuffled;
+      auto start = std::chrono::steady_clock::now();
+      Status status = session.PushBatch(events);
+      if (status.ok()) status = session.Finish();
+      if (!status.ok()) {
+        std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
+        return 1;
+      }
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - start)
+                                 .count();
+      const double throughput =
+          seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
+      StreamSession::SessionStats stats = session.Stats();
+      if (max_delay == 0) {
+        base_throughput = throughput;
+        base_results = results;
+      } else if (stats.late_events == 0 && results != base_results) {
+        // No events were shed, so sharing the baseline's input (modulo
+        // order) must reproduce its result count exactly.
+        std::fprintf(stderr,
+                     "result mismatch: %llu at max_delay %lld vs %llu "
+                     "baseline\n",
+                     static_cast<unsigned long long>(results),
+                     static_cast<long long>(max_delay),
+                     static_cast<unsigned long long>(base_results));
+        return 1;
+      }
+      std::printf("%8u %11lld %14.0f %8.2fx %12llu %12llu %12llu\n", shards,
+                  static_cast<long long>(max_delay), throughput,
+                  base_throughput > 0.0 ? throughput / base_throughput : 0.0,
+                  static_cast<unsigned long long>(stats.late_events),
+                  static_cast<unsigned long long>(stats.reorder_buffer_peak),
+                  static_cast<unsigned long long>(results));
+    }
+  }
+  return 0;
+}
+
+}  // namespace
+}  // namespace fw
+
+int main(int argc, char** argv) { return fw::Run(argc, argv); }

@@ -19,14 +19,21 @@
 namespace fw {
 namespace bench {
 
-/// Command-line flags shared by the runtime benches (bench_shard_scaling):
-///   --shards=1,2,4,8   shard counts to sweep (Options::num_shards)
-///   --events=N         stream length, overriding the env-var default
-///   --keys=K           grouping-key space size
+/// Command-line flags shared by the runtime benches (bench_shard_scaling,
+/// bench_out_of_order):
+///   --shards=1,2,4,8     shard counts to sweep (Options::num_shards)
+///   --events=N           stream length, overriding the env-var default
+///   --keys=K             grouping-key space size
+///   --disorder=N         displacement bound applied to the stream
+///                        (ApplyBoundedDisorder; bench_out_of_order)
+///   --max-delays=0,64,.. Options::max_delay values to sweep; 0 runs the
+///                        sorted stream strictly as the baseline
 struct BenchArgs {
   std::vector<uint32_t> shards = {1, 2, 4, 8};
   size_t events = 0;
   uint32_t keys = 64;
+  size_t disorder = 256;
+  std::vector<TimeT> max_delays = {0, 64, 256, 1024};
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -35,7 +42,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
   args.events = default_events;
   auto fail = [&](const std::string& message) {
     std::fprintf(stderr,
-                 "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]\n",
+                 "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]"
+                 " [--disorder=N] [--max-delays=0,64,256]\n",
                  message.c_str(), argv[0]);
     std::exit(2);
   };
@@ -47,19 +55,28 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
     if (end == text.c_str() || *end != '\0') return -1;
     return value;
   };
+  // Comma-separated decimal list; every element must be >= min_value.
+  auto parse_list = [&](const std::string& arg, size_t prefix_len,
+                        long long min_value) {
+    std::vector<long long> values;
+    const std::string list = arg.substr(prefix_len);
+    size_t pos = 0;
+    while (pos <= list.size()) {
+      size_t comma = list.find(',', pos);
+      if (comma == std::string::npos) comma = list.size();
+      const long long value = parse_positive(list.substr(pos, comma - pos));
+      if (value < min_value) fail("bad value in '" + arg + "'");
+      values.push_back(value);
+      pos = comma + 1;
+    }
+    return values;
+  };
   for (int i = 1; i < argc; ++i) {
     const std::string arg = argv[i];
     if (arg.rfind("--shards=", 0) == 0) {
       args.shards.clear();
-      const std::string list = arg.substr(9);
-      size_t pos = 0;
-      while (pos <= list.size()) {
-        size_t comma = list.find(',', pos);
-        if (comma == std::string::npos) comma = list.size();
-        const long long value = parse_positive(list.substr(pos, comma - pos));
-        if (value <= 0) fail("bad shard count in '" + arg + "'");
+      for (long long value : parse_list(arg, 9, 1)) {
         args.shards.push_back(static_cast<uint32_t>(value));
-        pos = comma + 1;
       }
     } else if (arg.rfind("--events=", 0) == 0) {
       const long long value = parse_positive(arg.substr(9));
@@ -69,6 +86,15 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
       const long long value = parse_positive(arg.substr(7));
       if (value <= 0) fail("bad value in '" + arg + "'");
       args.keys = static_cast<uint32_t>(value);
+    } else if (arg.rfind("--disorder=", 0) == 0) {
+      const long long value = parse_positive(arg.substr(11));
+      if (value <= 0) fail("bad value in '" + arg + "'");
+      args.disorder = static_cast<size_t>(value);
+    } else if (arg.rfind("--max-delays=", 0) == 0) {
+      args.max_delays.clear();
+      for (long long value : parse_list(arg, 13, 0)) {
+        args.max_delays.push_back(static_cast<TimeT>(value));
+      }
     } else {
       fail("unknown flag '" + arg + "'");
     }

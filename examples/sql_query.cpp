@@ -4,8 +4,7 @@
 // built-in Example-1 query.
 //
 //   $ ./examples/sql_query
-//   $ ./examples/sql_query "SELECT AVG(load) FROM metrics GROUP BY host, \
-//        WINDOWS(HOPPINGWINDOW(60, 10), HOPPINGWINDOW(120, 10))"
+//   $ ./examples/sql_query "SELECT AVG(load) FROM metrics GROUP BY host, WINDOWS(HOPPINGWINDOW(60, 10))"
 
 #include <cstdio>
 

@@ -16,7 +16,11 @@ double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
 
 std::string ExecutorCheckpoint::Serialize() const {
   std::ostringstream os;
-  os << "FWCKPT 1 " << operators.size() << "\n";
+  // Version 1 is the pre-reorder format; an active reorder section writes
+  // version 2 so readers that predate it reject the checkpoint loudly
+  // instead of silently dropping the in-flight events.
+  os << "FWCKPT " << (reorder.Inactive() ? 1 : 2) << " " << operators.size()
+     << "\n";
   for (const OperatorCheckpoint& op : operators) {
     os << "op " << op.operator_id << " " << op.next_m << " "
        << op.next_open_start << " " << op.accumulate_ops << " "
@@ -28,6 +32,19 @@ std::string ExecutorCheckpoint::Serialize() const {
            << s.n;
       }
       os << "\n";
+    }
+  }
+  // The reorder section is appended only when active, so strict-order
+  // checkpoints keep the exact pre-reorder byte layout.
+  if (!reorder.Inactive()) {
+    os << "reorder " << (reorder.any_seen ? 1 : 0) << " " << reorder.max_seen
+       << " " << reorder.max_delay << " " << reorder.next_seq << " "
+       << reorder.late_events << " " << reorder.buffer_peak << " "
+       << reorder.events.size() << "\n";
+    for (const BufferedEvent& buffered : reorder.events) {
+      os << "buf " << buffered.seq << " " << buffered.event.timestamp << " "
+         << buffered.event.key << " " << DoubleBits(buffered.event.value)
+         << "\n";
     }
   }
   return os.str();
@@ -42,7 +59,7 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
   if (!(is >> magic >> version >> num_operators) || magic != "FWCKPT") {
     return Status::InvalidArgument("bad checkpoint header");
   }
-  if (version != 1) {
+  if (version != 1 && version != 2) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
   }
@@ -78,6 +95,50 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
       op.open_instances.push_back(std::move(inst));
     }
     checkpoint.operators.push_back(std::move(op));
+  }
+  std::string tag;
+  bool has_reorder = false;
+  if (is >> tag) {  // Optional trailing reorder section.
+    if (tag != "reorder") {
+      return Status::InvalidArgument("unexpected trailing record '" + tag +
+                                     "'");
+    }
+    has_reorder = true;
+    int any_seen = 0;
+    size_t num_buffered = 0;
+    if (!(is >> any_seen >> checkpoint.reorder.max_seen >>
+          checkpoint.reorder.max_delay >> checkpoint.reorder.next_seq >>
+          checkpoint.reorder.late_events >> checkpoint.reorder.buffer_peak >>
+          num_buffered)) {
+      return Status::InvalidArgument("bad reorder record");
+    }
+    checkpoint.reorder.any_seen = any_seen != 0;
+    // No reserve from the unvalidated count: a corrupt length must fail
+    // record-by-record below, not throw out of the Result API.
+    for (size_t i = 0; i < num_buffered; ++i) {
+      BufferedEvent buffered;
+      uint64_t value = 0;
+      if (!(is >> tag >> buffered.seq >> buffered.event.timestamp >>
+            buffered.event.key >> value) ||
+          tag != "buf") {
+        return Status::InvalidArgument("bad buffered-event record");
+      }
+      buffered.event.value = BitsDouble(value);
+      checkpoint.reorder.events.push_back(buffered);
+    }
+    if (is >> tag) {
+      return Status::InvalidArgument("unexpected trailing record '" + tag +
+                                     "'");
+    }
+  }
+  // Version 2 exists *because* of the reorder section (see Serialize), so
+  // presence must match — otherwise a truncated v2 checkpoint would parse
+  // as strict and silently lose its in-flight events.
+  if (has_reorder != (version == 2)) {
+    return Status::InvalidArgument(
+        has_reorder ? "version 1 checkpoint carries a reorder section"
+                    : "version 2 checkpoint lost its reorder section "
+                      "(truncated?)");
   }
   return checkpoint;
 }

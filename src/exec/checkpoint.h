@@ -25,6 +25,42 @@ struct OperatorCheckpoint {
   std::vector<InstanceCheckpoint> open_instances;
 };
 
+/// One in-flight event of a bounded-lateness reorder stage
+/// (exec/reorderer.h): buffered because its timestamp is still ahead
+/// of the watermark, tagged with the global arrival sequence number that
+/// makes equal-timestamp release order deterministic.
+struct BufferedEvent {
+  uint64_t seq = 0;
+  Event event;
+};
+
+/// Snapshot of a reorder stage (runtime/ShardedExecutor with
+/// Options::max_delay > 0): the event-time clock, late/buffer accounting,
+/// and every buffered event. Inactive — all defaults, no events — for
+/// strict-order executors, in which case serialization omits it and keeps
+/// the version-1 byte layout; an active section serializes as version 2,
+/// which pre-reorder readers reject instead of silently dropping the
+/// in-flight events.
+struct ReorderCheckpoint {
+  bool any_seen = false;
+  TimeT max_seen = 0;
+  /// The lateness bound the snapshot was taken under. Restoring into an
+  /// executor with a different bound would move the watermark relative
+  /// to the engines' progress, so Restore requires an exact match.
+  TimeT max_delay = 0;
+  uint64_t next_seq = 0;
+  uint64_t late_events = 0;
+  uint64_t buffer_peak = 0;
+  std::vector<BufferedEvent> events;  // In arrival (seq) order.
+
+  /// Ignores max_delay: a bounded-lateness executor that never saw an
+  /// event has no state worth carrying, exactly like a strict one.
+  bool Inactive() const {
+    return !any_seen && next_seq == 0 && late_events == 0 &&
+           buffer_peak == 0 && events.empty();
+  }
+};
+
 /// A consistent snapshot of a whole plan execution, taken between events.
 /// Restoring it into a fresh PlanExecutor over the same plan resumes the
 /// computation exactly where it stopped — the library-level analogue of
@@ -33,6 +69,10 @@ struct OperatorCheckpoint {
 /// Apache Flink"); here it falls out of the operator model.
 struct ExecutorCheckpoint {
   std::vector<OperatorCheckpoint> operators;
+  /// In-flight reorder-buffer state (bounded-lateness executors only; see
+  /// DESIGN.md §9). PlanExecutor itself neither writes nor reads it —
+  /// ShardedExecutor owns the reorder stage and this section with it.
+  ReorderCheckpoint reorder;
 
   /// Simple line-oriented text serialization (versioned), so checkpoints
   /// can be persisted and restored across processes.

@@ -20,6 +20,10 @@ CheckpointMigration MigrateCheckpoint(
   }
 
   CheckpointMigration migration;
+  // Reorder-buffer state is plan-independent (raw source events, not
+  // operator state), so a replan carries it through untouched: the new
+  // plan resumes the disordered stream exactly where the old one stopped.
+  migration.checkpoint.reorder = old_checkpoint.reorder;
   migration.checkpoint.operators.reserve(new_lineages.size());
   for (size_t i = 0; i < new_lineages.size(); ++i) {
     auto it = by_lineage.find(new_lineages[i]);

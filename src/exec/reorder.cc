@@ -25,23 +25,18 @@ Status ReorderBuffer::Push(const Event& event) {
     watermark_ = max_seen_ - options_.max_delay;
   }
   any_seen_ = true;
-  heap_.push(event);
+  buffer_.Buffer(event, next_seq_++);
   Release();
   return Status::OK();
 }
 
 void ReorderBuffer::Release() {
-  while (!heap_.empty() && heap_.top().timestamp <= watermark_) {
-    out_->Consume(heap_.top());
-    heap_.pop();
-  }
+  buffer_.ReleaseThrough(watermark_,
+                         [this](const Event& event) { out_->Consume(event); });
 }
 
 void ReorderBuffer::Flush() {
-  while (!heap_.empty()) {
-    out_->Consume(heap_.top());
-    heap_.pop();
-  }
+  buffer_.ReleaseAll([this](const Event& event) { out_->Consume(event); });
 }
 
 }  // namespace fw

@@ -2,11 +2,10 @@
 #define FW_EXEC_REORDER_H_
 
 #include <cstdint>
-#include <queue>
-#include <vector>
 
 #include "common/status.h"
 #include "exec/event.h"
+#include "exec/reorderer.h"
 
 namespace fw {
 
@@ -27,6 +26,12 @@ class EventConsumer {
 ///
 /// With max_delay = 0 the buffer degenerates to a pass-through that
 /// rejects any regression in timestamps.
+///
+/// This is the standalone single-stream building block. The serving path
+/// — per-shard buffering with one global watermark, checkpointable
+/// in-flight state, and a side-output late policy — is
+/// StreamSession::Options::max_delay, built on exec/reorderer.h; see
+/// DESIGN.md §9.
 class ReorderBuffer {
  public:
   enum class LatePolicy {
@@ -58,20 +63,17 @@ class ReorderBuffer {
   TimeT watermark() const { return watermark_; }
 
   uint64_t late_dropped() const { return late_dropped_; }
-  size_t buffered() const { return heap_.size(); }
+  size_t buffered() const { return buffer_.buffered(); }
 
  private:
-  struct LaterTimestamp {
-    bool operator()(const Event& a, const Event& b) const {
-      return a.timestamp > b.timestamp;
-    }
-  };
-
   void Release();
 
   Options options_;
   EventConsumer* out_;
-  std::priority_queue<Event, std::vector<Event>, LaterTimestamp> heap_;
+  /// The shared heap primitive (stable on arrival order for timestamp
+  /// ties — here seqs are simply this buffer's push order).
+  Reorderer buffer_;
+  uint64_t next_seq_ = 0;
   TimeT max_seen_ = 0;
   TimeT watermark_ = 0;
   bool any_seen_ = false;

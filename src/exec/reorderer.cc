@@ -1,0 +1,19 @@
+#include "exec/reorderer.h"
+
+namespace fw {
+
+void Reorderer::Buffer(const Event& event, uint64_t seq) {
+  heap_.push_back(BufferedEvent{seq, event});
+  std::push_heap(heap_.begin(), heap_.end(), ReleasesLater());
+}
+
+std::vector<BufferedEvent> Reorderer::Snapshot() const {
+  std::vector<BufferedEvent> events = heap_;
+  std::sort(events.begin(), events.end(),
+            [](const BufferedEvent& a, const BufferedEvent& b) {
+              return a.seq < b.seq;
+            });
+  return events;
+}
+
+}  // namespace fw

@@ -27,17 +27,23 @@ namespace fw {
 /// Merges one checkpoint per shard (same plan, disjoint keys) into the
 /// global view: per operator, cursors advance to the furthest shard
 /// (max next_m), op counters sum, and open instances union by instance
-/// number with per-key states taken from the owning shard. Errors if the
-/// checkpoints disagree on plan shape, or if two shards both hold state
-/// for one key (a partitioning-invariant violation).
+/// number with per-key states taken from the owning shard. The reorder
+/// sections merge too: buffered events union into global arrival (seq)
+/// order, the event-time clock takes the furthest shard, late counters
+/// sum, and the buffer peak takes the max. Errors if the checkpoints
+/// disagree on plan shape, if two shards both hold state for one key, or
+/// if two shards both buffered one arrival sequence number (both are
+/// partitioning-invariant violations).
 Result<ExecutorCheckpoint> MergeShardCheckpoints(
     const std::vector<ExecutorCheckpoint>& shards);
 
 /// Projects a global checkpoint onto shard `shard` of `num_shards`: every
 /// per-key state whose key hashes elsewhere (ShardForKey) is cleared to
 /// empty, instances and cursors are kept as-is (an all-empty instance
-/// emits nothing and closes silently). Accumulate-op counters are carried
-/// on shard 0 only, so summing over shards preserves the global total.
+/// emits nothing and closes silently), and buffered reorder events are
+/// kept only for owned keys. Accumulate-op counters — and the reorder
+/// clock and counters — are carried on shard 0 only, so merging over
+/// shards preserves the global values.
 ExecutorCheckpoint ExtractShardCheckpoint(const ExecutorCheckpoint& global,
                                           uint32_t shard,
                                           uint32_t num_shards);

@@ -6,6 +6,7 @@
 #include <utility>
 
 #include "common/logging.h"
+#include "exec/reorder.h"
 #include "runtime/partition.h"
 #include "runtime/shard_checkpoint.h"
 #include "runtime/spsc_queue.h"
@@ -35,8 +36,10 @@ ShardedExecutor::ShardedExecutor(const QueryPlan& plan,
   FW_CHECK(sink != nullptr);
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GT(options.batch_size, 0u);
+  FW_CHECK_GE(options.max_delay, 0);
   const uint32_t shards = EffectiveShards(options.num_shards,
                                           options.num_keys);
+  if (options.max_delay > 0) reorderers_.resize(shards);
   PlanExecutor::Options exec_options;
   exec_options.num_keys = options.num_keys;
   if (shards == 1) {
@@ -90,15 +93,62 @@ void ShardedExecutor::FlushPending(Shard* shard) {
 }
 
 void ShardedExecutor::Push(const Event& event) {
+  if (options_.max_delay > 0) {
+    ReorderPush(event);
+    return;
+  }
   if (inline_executor_) {
     inline_executor_->Push(event);
     return;
   }
   FW_CHECK(!stopped_) << "Push after Finish";
-  Shard* shard = shards_[ShardForKey(event.key, num_shards())].get();
+  DeliverToShard(ShardForKey(event.key, num_shards()), event);
+}
+
+void ShardedExecutor::DeliverToShard(uint32_t shard_index,
+                                     const Event& event) {
+  if (inline_executor_) {
+    inline_executor_->Push(event);
+    return;
+  }
+  Shard* shard = shards_[shard_index].get();
   shard->pending.push_back(event);
   if (shard->pending.size() >= options_.batch_size) FlushPending(shard);
   if (++events_since_drain_ >= options_.drain_interval) Drain();
+}
+
+void ShardedExecutor::ReorderPush(const Event& event) {
+  if (!inline_executor_) FW_CHECK(!stopped_) << "Push after Finish";
+  if (reorder_any_seen_ && event.timestamp < current_watermark()) {
+    ++late_events_;
+    if (options_.late_sink != nullptr) options_.late_sink->Consume(event);
+    return;
+  }
+  const bool advanced =
+      !reorder_any_seen_ || event.timestamp > reorder_max_seen_;
+  if (advanced) reorder_max_seen_ = event.timestamp;
+  reorder_any_seen_ = true;
+  const uint32_t shard =
+      ShardForKey(event.key, static_cast<uint32_t>(reorderers_.size()));
+  reorderers_[shard].Buffer(event, reorder_next_seq_++);
+  reorder_buffer_peak_ = std::max(reorder_buffer_peak_, reorder_buffered());
+  if (advanced) {
+    ReleaseEligible();
+  } else {
+    // The watermark is unchanged, so no other shard can have turned
+    // eligible; only this event may sit exactly on the watermark.
+    reorderers_[shard].ReleaseThrough(
+        current_watermark(),
+        [&](const Event& released) { DeliverToShard(shard, released); });
+  }
+}
+
+void ShardedExecutor::ReleaseEligible() {
+  const TimeT watermark = current_watermark();
+  for (uint32_t i = 0; i < reorderers_.size(); ++i) {
+    reorderers_[i].ReleaseThrough(
+        watermark, [&](const Event& event) { DeliverToShard(i, event); });
+  }
 }
 
 void ShardedExecutor::Quiesce() {
@@ -135,6 +185,12 @@ void ShardedExecutor::Drain() {
 }
 
 void ShardedExecutor::Finish() {
+  // End of stream: drain the reorder buffers first, so every buffered
+  // event is folded before any window finalizes.
+  for (uint32_t i = 0; i < reorderers_.size(); ++i) {
+    reorderers_[i].ReleaseAll(
+        [&](const Event& event) { DeliverToShard(i, event); });
+  }
   if (inline_executor_) {
     inline_executor_->Finish();
     return;
@@ -145,33 +201,133 @@ void ShardedExecutor::Finish() {
   DeliverBuffered();
 }
 
+ReorderCheckpoint ShardedExecutor::ReorderMeta() const {
+  ReorderCheckpoint meta;
+  meta.any_seen = reorder_any_seen_;
+  meta.max_seen = reorder_max_seen_;
+  meta.max_delay = options_.max_delay;
+  meta.next_seq = reorder_next_seq_;
+  meta.late_events = late_events_;
+  meta.buffer_peak = reorder_buffer_peak_;
+  return meta;
+}
+
 Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
-  if (inline_executor_) return inline_executor_->Checkpoint();
+  if (inline_executor_) {
+    Result<ExecutorCheckpoint> checkpoint = inline_executor_->Checkpoint();
+    if (checkpoint.ok() && options_.max_delay > 0) {
+      checkpoint->reorder = ReorderMeta();
+      checkpoint->reorder.events = reorderers_[0].Snapshot();
+    }
+    return checkpoint;
+  }
   Drain();
   std::vector<ExecutorCheckpoint> parts;
   parts.reserve(shards_.size());
-  for (auto& shard : shards_) {
-    Result<ExecutorCheckpoint> part = shard->executor->Checkpoint();
+  for (uint32_t i = 0; i < num_shards(); ++i) {
+    Result<ExecutorCheckpoint> part = shards_[i]->executor->Checkpoint();
     if (!part.ok()) return part.status();
+    if (options_.max_delay > 0) {
+      // Each shard contributes its own buffered events; the global clock
+      // and counters ride on shard 0, mirroring accumulate_ops.
+      if (i == 0) part->reorder = ReorderMeta();
+      part->reorder.events = reorderers_[i].Snapshot();
+    }
     parts.push_back(std::move(*part));
   }
   return MergeShardCheckpoints(parts);
 }
 
+namespace {
+
+bool AnyOperatorProgress(const ExecutorCheckpoint& checkpoint) {
+  for (const OperatorCheckpoint& op : checkpoint.operators) {
+    if (op.next_m > 0 || op.next_open_start > 0 || op.accumulate_ops > 0 ||
+        !op.open_instances.empty()) {
+      return true;
+    }
+  }
+  return false;
+}
+
+}  // namespace
+
 Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
-  if (inline_executor_) return inline_executor_->Restore(checkpoint);
-  Quiesce();
-  for (uint32_t i = 0; i < num_shards(); ++i) {
-    // The worker only touches its executor while a batch is in flight, so
-    // restoring from the session thread is race-free; the queue's
-    // release/acquire pair on the next batch publishes the new state.
-    FW_RETURN_IF_ERROR(shards_[i]->executor->Restore(
-        ExtractShardCheckpoint(checkpoint, i, num_shards())));
+  if (options_.max_delay == 0 && !checkpoint.reorder.events.empty()) {
+    return Status::InvalidArgument(
+        "checkpoint holds " + std::to_string(checkpoint.reorder.events.size()) +
+        " buffered out-of-order events, but this executor is strict-order "
+        "(max_delay = 0)");
+  }
+  if (options_.max_delay > 0 && checkpoint.reorder.Inactive() &&
+      AnyOperatorProgress(checkpoint)) {
+    // The mirror direction: a strict-order run's snapshot carries no
+    // event-time clock, so a bounded-lateness executor would accept
+    // events arbitrarily far behind the restored operators' progress and
+    // misfold them silently.
+    return Status::InvalidArgument(
+        "checkpoint was taken mid-stream by a strict-order executor (no "
+        "event-time clock); it cannot resume under max_delay > 0");
+  }
+  if (options_.max_delay > 0 && !checkpoint.reorder.Inactive() &&
+      checkpoint.reorder.max_delay != options_.max_delay) {
+    // A different bound moves the watermark relative to the snapshotted
+    // engines' progress — a larger one would regress it and release
+    // events behind windows that already closed.
+    return Status::InvalidArgument(
+        "checkpoint was taken under max_delay " +
+        std::to_string(checkpoint.reorder.max_delay) +
+        ", but this executor runs max_delay " +
+        std::to_string(options_.max_delay) +
+        "; the watermark cannot change mid-stream");
+  }
+  if (inline_executor_) {
+    // PlanExecutor reads only the operator section; the reorder section
+    // is restored below by the stage that owns it.
+    FW_RETURN_IF_ERROR(inline_executor_->Restore(checkpoint));
+  } else {
+    Quiesce();
+    // The per-shard engines never read the reorder section (it is
+    // re-buffered below from the global view), so split a reorder-free
+    // copy instead of filtering the buffered events once per shard.
+    ExecutorCheckpoint operators_only;
+    operators_only.operators = checkpoint.operators;
+    for (uint32_t i = 0; i < num_shards(); ++i) {
+      // The worker only touches its executor while a batch is in flight,
+      // so restoring from the session thread is race-free; the queue's
+      // release/acquire pair on the next batch publishes the new state.
+      FW_RETURN_IF_ERROR(shards_[i]->executor->Restore(
+          ExtractShardCheckpoint(operators_only, i, num_shards())));
+    }
+  }
+  if (options_.max_delay > 0) {
+    for (Reorderer& reorderer : reorderers_) reorderer.Clear();
+    const ReorderCheckpoint& reorder = checkpoint.reorder;
+    reorder_any_seen_ = reorder.any_seen;
+    reorder_max_seen_ = reorder.max_seen;
+    reorder_next_seq_ = reorder.next_seq;
+    late_events_ = reorder.late_events;
+    reorder_buffer_peak_ =
+        std::max(reorder.buffer_peak, uint64_t{reorder.events.size()});
+    for (const BufferedEvent& buffered : reorder.events) {
+      // Re-partition for *this* executor's shard count; original arrival
+      // sequence numbers keep the release order exact.
+      reorder_next_seq_ = std::max(reorder_next_seq_, buffered.seq + 1);
+      reorderers_[ShardForKey(buffered.event.key,
+                              static_cast<uint32_t>(reorderers_.size()))]
+          .Buffer(buffered.event, buffered.seq);
+    }
   }
   return Status::OK();
 }
 
 void ShardedExecutor::Reset() {
+  for (Reorderer& reorderer : reorderers_) reorderer.Clear();
+  reorder_any_seen_ = false;
+  reorder_max_seen_ = 0;
+  reorder_next_seq_ = 0;
+  late_events_ = 0;
+  reorder_buffer_peak_ = 0;
   if (inline_executor_) {
     inline_executor_->Reset();
     return;

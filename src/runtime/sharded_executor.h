@@ -2,6 +2,7 @@
 #define FW_RUNTIME_SHARDED_EXECUTOR_H_
 
 #include <cstdint>
+#include <limits>
 #include <memory>
 #include <vector>
 
@@ -9,10 +10,13 @@
 #include "exec/checkpoint.h"
 #include "exec/engine.h"
 #include "exec/event.h"
+#include "exec/reorderer.h"
 #include "exec/sink.h"
 #include "plan/plan.h"
 
 namespace fw {
+
+class EventConsumer;  // exec/reorder.h; side output for late events.
 
 /// Key-partitioned parallel execution of one QueryPlan (the shared-nothing
 /// scaling path sketched in DESIGN.md §8): events are hash-partitioned by
@@ -47,6 +51,26 @@ namespace fw {
 ///    only on the pushed sequence and the API calls made, so delivery
 ///    order is deterministic run-to-run. An executor destroyed without
 ///    Finish discards still-buffered results.
+///
+/// ## Bounded-lateness ingestion (Options::max_delay > 0)
+///
+/// With a positive max_delay the executor accepts out-of-order input:
+/// each accepted event is stamped with a global arrival sequence number
+/// and buffered in its shard's Reorderer; the event-time watermark — the
+/// minimum over shard watermarks which, since every shard shares the
+/// session thread's clock, equals the maximum timestamp seen minus
+/// max_delay — releases buffered events into the shard engines in
+/// (timestamp, arrival) order. An event older than the watermark on
+/// arrival is *late*: counted, and either dropped or handed to
+/// Options::late_sink. Because the watermark, the lateness decision, and
+/// each key's release order depend only on the pushed sequence — never on
+/// partitioning — results stay bitwise identical across shard counts
+/// (for streams with distinct timestamps; on timestamp ties within one
+/// key, identical to arrival order). Checkpoints carry the in-flight
+/// buffers (ExecutorCheckpoint::reorder), so Restore — into any shard
+/// count — resumes the disordered stream exactly; Finish drains the
+/// buffers before any window finalizes. DESIGN.md §9 has the full
+/// semantics.
 class ShardedExecutor {
  public:
   struct Options {
@@ -64,6 +88,16 @@ class ShardedExecutor {
     /// Deliver buffered results at least every this many pushed events;
     /// bounds result latency and buffer memory.
     uint64_t drain_interval = 65536;
+    /// Bounded event-time disorder (see the class comment): events may
+    /// arrive up to this many time units behind the stream's maximum
+    /// timestamp. 0 (default) requires strictly ordered input — the
+    /// pre-existing path, byte for byte.
+    TimeT max_delay = 0;
+    /// Side output for late events (max_delay > 0 only): events behind
+    /// the watermark are handed here, on the session thread, in arrival
+    /// order. Null: late events are counted and dropped. Must outlive the
+    /// executor.
+    EventConsumer* late_sink = nullptr;
   };
 
   /// `sink` must outlive the executor.
@@ -74,27 +108,42 @@ class ShardedExecutor {
   ShardedExecutor(const ShardedExecutor&) = delete;
   ShardedExecutor& operator=(const ShardedExecutor&) = delete;
 
-  /// Routes one event to its key's shard. Events must be timestamp-ordered
-  /// (the per-shard subsequences then are too). Invalid after Finish.
+  /// Routes one event to its key's shard. With max_delay = 0 events must
+  /// be timestamp-ordered (the per-shard subsequences then are too); with
+  /// max_delay > 0 the event is buffered, released by watermark, or — if
+  /// older than the watermark — counted late and dropped or side-output.
+  /// Invalid after Finish.
   void Push(const Event& event);
 
-  /// Ends the stream: hands off everything pending, stops and joins the
-  /// workers, flushes every shard's plan, and delivers all results.
+  /// Ends the stream: drains the reorder buffers (every buffered event is
+  /// released before any window finalizes), hands off everything pending,
+  /// stops and joins the workers, flushes every shard's plan, and
+  /// delivers all results.
   void Finish();
 
   /// Quiesces the shards (every pushed event fully processed) and delivers
-  /// buffered results now. No-op in inline mode.
+  /// buffered results now. Reorder buffers are untouched — events ahead
+  /// of the watermark stay buffered until it passes them (or Finish).
+  /// No-op in inline mode.
   void Drain();
 
   /// Drains, then snapshots all shards into one *global* checkpoint — the
   /// same shape a single-threaded executor over this plan would produce,
   /// so it migrates by lineage (exec/migrate.h) and restores into an
-  /// executor with any shard count. Unsupported for holistic plans.
+  /// executor with any shard count. Under max_delay > 0 the snapshot also
+  /// carries the in-flight reorder buffers and the event-time clock
+  /// (never flushing buffered events early — that would reorder them
+  /// ahead of not-yet-arrived older events). Unsupported for holistic
+  /// plans.
   Result<ExecutorCheckpoint> Checkpoint();
 
   /// Restores a global checkpoint taken from an executor over the same
-  /// plan and key space (any shard count), splitting per-key state across
-  /// this executor's shards. Push may resume with the next event.
+  /// plan and key space (any shard count), splitting per-key state —
+  /// including buffered out-of-order events — across this executor's
+  /// shards. Errors on a lateness-mode mismatch: a checkpoint with
+  /// buffered events cannot restore into a strict-order executor, and a
+  /// strict-order mid-stream checkpoint (no event-time clock) cannot
+  /// resume under max_delay > 0. Push may resume with the next event.
   Status Restore(const ExecutorCheckpoint& checkpoint);
 
   /// Clears all shard state, counters, and buffered results.
@@ -113,6 +162,30 @@ class ShardedExecutor {
     return inline_executor_ ? 1u : static_cast<uint32_t>(shards_.size());
   }
 
+  /// Event-time watermark of the reorder stage: events below it are late.
+  /// numeric_limits<TimeT>::min() until the first event, and always in
+  /// strict-order mode (which has no watermark — the caller enforces
+  /// ordering). Session-thread state; never blocks on the workers.
+  TimeT current_watermark() const {
+    if (options_.max_delay == 0 || !reorder_any_seen_) {
+      return std::numeric_limits<TimeT>::min();
+    }
+    return reorder_max_seen_ - options_.max_delay;
+  }
+
+  /// Events that arrived behind the watermark (dropped or side-output).
+  uint64_t late_events() const { return late_events_; }
+
+  /// Events currently held in the reorder buffers, and the lifetime peak.
+  uint64_t reorder_buffered() const {
+    uint64_t total = 0;
+    for (const Reorderer& reorderer : reorderers_) {
+      total += reorderer.buffered();
+    }
+    return total;
+  }
+  uint64_t reorder_buffer_peak() const { return reorder_buffer_peak_; }
+
  private:
   /// Shard-local result buffer; written only by the shard's worker while a
   /// batch is in flight, read by the session thread only after a quiesce.
@@ -128,6 +201,17 @@ class ShardedExecutor {
   };
 
   struct Shard;
+
+  /// Feeds one ordered (released or strict-path) event into shard
+  /// `shard_index`'s engine: inline push, or pending-batch hand-off with
+  /// drain-interval accounting.
+  void DeliverToShard(uint32_t shard_index, const Event& event);
+  /// The bounded-lateness Push path: classify late, buffer, release.
+  void ReorderPush(const Event& event);
+  /// Releases every buffered event the watermark has passed, all shards.
+  void ReleaseEligible();
+  /// The reorder stage's clock and counters, for checkpointing.
+  ReorderCheckpoint ReorderMeta() const;
 
   /// Hands the shard's pending partial batch to its queue.
   void FlushPending(Shard* shard);
@@ -148,6 +232,17 @@ class ShardedExecutor {
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t events_since_drain_ = 0;
   bool stopped_ = false;
+
+  /// Bounded-lateness reorder stage (session thread only; sized
+  /// num_shards() when max_delay > 0, empty otherwise). The clock is
+  /// global — one max_seen for the whole stream — so lateness never
+  /// depends on partitioning.
+  std::vector<Reorderer> reorderers_;
+  TimeT reorder_max_seen_ = 0;
+  bool reorder_any_seen_ = false;
+  uint64_t reorder_next_seq_ = 0;
+  uint64_t late_events_ = 0;
+  uint64_t reorder_buffer_peak_ = 0;
 };
 
 }  // namespace fw

@@ -1,10 +1,12 @@
 #include "session/session.h"
 
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
 #include "common/logging.h"
 #include "exec/migrate.h"
+#include "exec/reorder.h"
 #include "plan/printer.h"
 #include "query/parser.h"
 #include "runtime/partition.h"
@@ -20,6 +22,13 @@ StreamSession::StreamSession() : StreamSession(Options{}) {}
 
 StreamSession::StreamSession(const Options& options) : options_(options) {
   FW_CHECK_GT(options.num_keys, 0u);
+  FW_CHECK_GE(options.max_delay, 0);
+  if (options_.max_delay > 0 &&
+      options_.late_policy == LatePolicy::kSideOutput &&
+      options_.late_callback) {
+    late_sink_ = std::make_unique<ConsumerFn<LateEventCallback>>(
+        options_.late_callback);
+  }
 }
 
 StreamSession::~StreamSession() {
@@ -144,6 +153,14 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
     if (executor_) {
       executor_->Drain();
       retired_ops_ += executor_->TotalAccumulateOps();
+      // The reorder stage retires with the pipeline: its buffered events
+      // belonged to windows nobody subscribes to anymore, its counters
+      // move into the session tallies, and the event-time clock restarts
+      // on revival.
+      retired_late_ += executor_->late_events();
+      retired_reorder_peak_ =
+          std::max(retired_reorder_peak_, executor_->reorder_buffer_peak());
+      retired_watermark_ = executor_->current_watermark();
     }
     executor_.reset();
     router_.reset();
@@ -191,6 +208,8 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   ShardedExecutor::Options exec_options;
   exec_options.num_keys = options_.num_keys;
   exec_options.num_shards = options_.num_shards;
+  exec_options.max_delay = options_.max_delay;
+  exec_options.late_sink = late_sink_.get();
   auto executor = std::make_unique<ShardedExecutor>(shared->plan,
                                                     exec_options,
                                                     router.get());
@@ -216,7 +235,7 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
 
 Status StreamSession::Push(const Event& event) {
   FW_RETURN_IF_ERROR(CheckMutable());
-  if (event.timestamp < watermark_) {
+  if (options_.max_delay == 0 && event.timestamp < watermark_) {
     return Status::InvalidArgument(
         "out-of-order event: timestamp " + std::to_string(event.timestamp) +
         " behind watermark " + std::to_string(watermark_));
@@ -226,7 +245,7 @@ Status StreamSession::Push(const Event& event) {
                               " outside key space [0, " +
                               std::to_string(options_.num_keys) + ")");
   }
-  watermark_ = event.timestamp;
+  if (event.timestamp > watermark_) watermark_ = event.timestamp;
   ++events_pushed_;
   if (!executor_) {
     ++events_dropped_;
@@ -327,6 +346,18 @@ StreamSession::SessionStats StreamSession::Stats() const {
   stats.lifetime_ops =
       retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0);
   stats.num_shards = EffectiveShards(options_.num_shards, options_.num_keys);
+  stats.late_events =
+      retired_late_ + (executor_ ? executor_->late_events() : 0);
+  stats.reorder_buffered = executor_ ? executor_->reorder_buffered() : 0;
+  stats.reorder_buffer_peak = std::max(
+      retired_reorder_peak_,
+      executor_ ? executor_->reorder_buffer_peak() : 0);
+  if (options_.max_delay == 0) {
+    stats.current_watermark = watermark_;
+  } else {
+    stats.current_watermark =
+        executor_ ? executor_->current_watermark() : retired_watermark_;
+  }
   if (shared_) {
     stats.shared_cost = shared_->shared_cost;
     stats.original_cost = shared_->original_cost;

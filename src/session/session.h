@@ -81,9 +81,32 @@ using QueryId = uint64_t;
 /// session cannot parallelize — and the default (1) runs the
 /// single-threaded engine inline, exactly as before.
 ///
-/// Sessions are push-based and driven from one caller thread; events must
-/// arrive in non-decreasing timestamp order across the whole session
-/// lifetime.
+/// ## Out-of-order ingestion (event time under bounded lateness)
+///
+/// By default sessions are strict: Push rejects any timestamp regression.
+/// Real traces are disordered, so Options::max_delay > 0 switches the
+/// session to bounded-lateness event time (DESIGN.md §9): events may
+/// arrive up to max_delay time units behind the newest timestamp seen.
+/// They are buffered in per-shard reorder stages and released into the
+/// engines in (timestamp, arrival) order as the watermark — newest
+/// timestamp minus max_delay — passes them; Finish drains the buffers
+/// before finalizing any window. A stream whose disorder stays within
+/// max_delay therefore produces results identical to the same stream
+/// sorted (bitwise, when timestamps are distinct), at any shard count.
+///
+/// An event older than the watermark on arrival is *late*: it is never
+/// aggregated, and Options::late_policy decides whether it is counted and
+/// dropped or also handed to Options::late_callback (a side output, on
+/// the Push thread). SessionStats reports late_events, the reorder-buffer
+/// depth and peak, and the current watermark. Replans checkpoint the
+/// in-flight buffers with the operator state, so churn under disorder
+/// stays exact; a session that goes idle (last query removed) discards
+/// buffered events with the pipeline — they had no subscribers — and
+/// restarts its event-time clock on revival.
+///
+/// Sessions are push-based and driven from one caller thread; with
+/// max_delay = 0 events must arrive in non-decreasing timestamp order
+/// across the whole session lifetime.
 class StreamSession {
  public:
   /// Per-query result delivery. Results carry the window interval, group
@@ -92,6 +115,18 @@ class StreamSession {
   /// RoutingSink.
   using ResultCallback = std::function<void(const WindowResult&)>;
 
+  /// Side output for late events (see LatePolicy::kSideOutput): called on
+  /// the Push thread, in arrival order.
+  using LateEventCallback = std::function<void(const Event&)>;
+
+  /// What happens to an event that arrives behind the watermark. Only
+  /// reachable with Options::max_delay > 0 — a strict-order session
+  /// rejects out-of-order events at Push instead.
+  enum class LatePolicy {
+    kDrop,        // Count in SessionStats::late_events and discard.
+    kSideOutput,  // Count, then hand to Options::late_callback.
+  };
+
   struct Options {
     /// Size of the grouping-key space; events must use keys below this.
     uint32_t num_keys = 1;
@@ -99,8 +134,18 @@ class StreamSession {
     /// default) runs the single-threaded engine inline — today's path —
     /// while k > 1 spawns min(k, num_keys) worker threads.
     uint32_t num_shards = 1;
+    /// Bounded event-time disorder (see the class comment): accept events
+    /// arriving up to this many time units behind the newest timestamp
+    /// seen. 0 (the default) is strict-order ingestion — today's
+    /// behavior, byte for byte.
+    TimeT max_delay = 0;
+    /// Disposition of late events (max_delay > 0 only).
+    LatePolicy late_policy = LatePolicy::kDrop;
+    /// Receives each late event under LatePolicy::kSideOutput; null means
+    /// late events are only counted.
+    LateEventCallback late_callback = nullptr;
     /// Knobs forwarded to the cost-based optimizer on every (re)plan.
-    OptimizerOptions optimizer;
+    OptimizerOptions optimizer = {};
     /// Also compute the independently-optimized per-query cost baseline on
     /// every replan (one extra optimizer run per query), so
     /// Stats().predicted_savings is meaningful. Off by default: replan
@@ -153,6 +198,18 @@ class StreamSession {
     /// single-threaded originals: predicted_boost x num_shards under the
     /// idealized balance model (SharedPlan::PredictedShardBoost).
     double predicted_shard_boost = 1.0;
+    /// Events that arrived behind the watermark (max_delay sessions):
+    /// counted here — and side-output under LatePolicy::kSideOutput —
+    /// but never aggregated. A subset of events_pushed.
+    uint64_t late_events = 0;
+    /// Events currently held in the reorder buffers, and the lifetime
+    /// peak of that depth (bounds the memory cost of disorder).
+    uint64_t reorder_buffered = 0;
+    uint64_t reorder_buffer_peak = 0;
+    /// Event-time watermark: the newest timestamp seen minus max_delay
+    /// (with max_delay = 0, simply the newest timestamp pushed).
+    /// numeric_limits<TimeT>::min() before the first event.
+    TimeT current_watermark = std::numeric_limits<TimeT>::min();
   };
 
   StreamSession();
@@ -178,14 +235,16 @@ class StreamSession {
   /// query never emit; state shared with surviving queries is retained.
   Status RemoveQuery(QueryId id);
 
-  /// Pushes one event through the shared plan. Events must be timestamp-
-  /// ordered; out-of-order events are rejected. Events pushed while no
-  /// query is live are counted and discarded.
+  /// Pushes one event through the shared plan. With max_delay = 0 events
+  /// must be timestamp-ordered and out-of-order events are rejected; with
+  /// max_delay > 0 disorder within the bound is reordered and deeper
+  /// regressions follow the late policy (always OK). Events pushed while
+  /// no query is live are counted and discarded.
   Status Push(const Event& event);
 
-  /// Pushes an ordered batch; stops at the first rejected event. The
-  /// error Status reports that event's batch index and timestamp (events
-  /// before it were applied), so callers can resume from the right spot.
+  /// Pushes a batch; stops at the first rejected event. The error Status
+  /// reports that event's batch index and timestamp (events before it
+  /// were applied), so callers can resume from the right spot.
   Status PushBatch(const std::vector<Event>& events);
 
   /// Ends the stream: flushes every open window of every live query. The
@@ -240,6 +299,10 @@ class StreamSession {
   QueryId next_id_ = 1;
   std::vector<std::unique_ptr<LiveQuery>> queries_;  // Plan order.
 
+  /// Adapter handing late events to Options::late_callback; wired as the
+  /// executor's side-output sink, so it must outlive every executor.
+  std::unique_ptr<EventConsumer> late_sink_;
+
   /// Current pipeline; all null while no query is live. The executor
   /// references the router, the router references the queries' sinks.
   std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_;
@@ -248,12 +311,19 @@ class StreamSession {
   std::vector<std::string> lineages_;  // Of the current plan's operators.
 
   bool finished_ = false;
+  /// Newest timestamp accepted; strict (max_delay = 0) sessions reject
+  /// events behind it.
   TimeT watermark_ = std::numeric_limits<TimeT>::min();
   uint64_t events_pushed_ = 0;
   uint64_t events_dropped_ = 0;
   /// Ops of operators dropped by past replans (their counters left the
   /// executor with them).
   uint64_t retired_ops_ = 0;
+  /// Reorder-stage accounting of pipelines retired by idle periods (live
+  /// replans carry theirs through the checkpoint instead).
+  uint64_t retired_late_ = 0;
+  uint64_t retired_reorder_peak_ = 0;
+  TimeT retired_watermark_ = std::numeric_limits<TimeT>::min();
   int replans_ = 0;
   int last_migrated_ = 0;
   int last_cold_ = 0;

@@ -1,6 +1,7 @@
 #include "workload/datagen.h"
 
 #include <algorithm>
+#include <utility>
 
 #include "common/rng.h"
 
@@ -51,6 +52,25 @@ std::vector<Event> GenerateDebsLikeStream(size_t num_events,
     e.value = level;
     events.push_back(e);
   }
+  return events;
+}
+
+std::vector<Event> ApplyBoundedDisorder(std::vector<Event> events,
+                                        size_t max_displacement,
+                                        uint64_t seed) {
+  Rng rng(seed);
+  std::vector<std::pair<size_t, Event>> keyed;
+  keyed.reserve(events.size());
+  for (size_t i = 0; i < events.size(); ++i) {
+    keyed.emplace_back(i + rng.Uniform(0, max_displacement), events[i]);
+  }
+  // Stable: equal perturbed indices keep arrival order, so the
+  // displacement bound is exact.
+  std::stable_sort(keyed.begin(), keyed.end(),
+                   [](const auto& a, const auto& b) {
+                     return a.first < b.first;
+                   });
+  for (size_t i = 0; i < keyed.size(); ++i) events[i] = keyed[i].second;
   return events;
 }
 

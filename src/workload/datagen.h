@@ -24,6 +24,20 @@ std::vector<Event> GenerateSyntheticStream(size_t num_events,
 std::vector<Event> GenerateDebsLikeStream(size_t num_events,
                                           uint32_t num_keys, uint64_t seed);
 
+/// Applies bounded disorder to a timestamp-ordered stream: every event
+/// lands at most `max_displacement` positions from its ordered index
+/// (each event's index is perturbed by a uniform draw in
+/// [0, max_displacement], then the stream is stably re-sorted by the
+/// perturbed index). With the synthetic η = 1 pacing this bounds the
+/// *time* disorder by max_displacement too, so a bounded-lateness
+/// pipeline with max_delay >= max_displacement drops nothing; for
+/// bursty/gapped streams the time bound is max_displacement times the
+/// largest inter-arrival gap. Models disordered real traces and
+/// per-shard skewed arrival.
+std::vector<Event> ApplyBoundedDisorder(std::vector<Event> events,
+                                        size_t max_displacement,
+                                        uint64_t seed);
+
 /// Deterministic default seeds used by benches/examples so runs are
 /// reproducible.
 inline constexpr uint64_t kSyntheticSeed = 0x5EEDFACE;

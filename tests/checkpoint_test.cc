@@ -55,9 +55,73 @@ TEST(Checkpoint, SerializeDeserializeRoundTrip) {
 TEST(Checkpoint, DeserializeRejectsGarbage) {
   EXPECT_FALSE(ExecutorCheckpoint::Deserialize("").ok());
   EXPECT_FALSE(ExecutorCheckpoint::Deserialize("BOGUS 1 0").ok());
-  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 2 0").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 3 0").ok());
   EXPECT_FALSE(
       ExecutorCheckpoint::Deserialize("FWCKPT 1 1\nop 0 0").ok());
+  // Trailing junk after the operators, and truncated reorder sections.
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 1 0\nextra").ok());
+  EXPECT_FALSE(
+      ExecutorCheckpoint::Deserialize("FWCKPT 1 0\nreorder 1 5").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize(
+                   "FWCKPT 2 0\nreorder 1 5 2 2 0 1 1\nbuf 0 3")
+                   .ok());
+  // Junk after a complete reorder section, and an absurd buffered-event
+  // count, fail with a Status instead of being dropped or throwing.
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize(
+                   "FWCKPT 2 0\nreorder 1 5 2 2 0 1 0\nextra")
+                   .ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize(
+                   "FWCKPT 2 0\nreorder 1 0 0 0 0 0 18446744073709551615")
+                   .ok());
+}
+
+TEST(Checkpoint, ReorderSectionRoundTripsAndStrictFormatIsUnchanged) {
+  ExecutorCheckpoint checkpoint;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  checkpoint.operators.push_back(op);
+  // A strict-order checkpoint (inactive reorder stage) serializes without
+  // any reorder record — the pre-reorder version-1 byte layout.
+  EXPECT_EQ(checkpoint.Serialize().find("reorder"), std::string::npos);
+  EXPECT_EQ(checkpoint.Serialize().rfind("FWCKPT 1 ", 0), 0u);
+  // Version and section presence must agree, so a v2 checkpoint truncated
+  // before its reorder section — or a v1 one carrying it — is rejected.
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 2 0\n").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize(
+                   "FWCKPT 1 0\nreorder 1 5 2 2 0 1 0")
+                   .ok());
+
+  checkpoint.reorder.any_seen = true;
+  checkpoint.reorder.max_seen = 90;
+  checkpoint.reorder.max_delay = 6;
+  checkpoint.reorder.next_seq = 12;
+  checkpoint.reorder.late_events = 4;
+  checkpoint.reorder.buffer_peak = 7;
+  checkpoint.reorder.events.push_back(
+      {10, Event{.timestamp = 88, .key = 3, .value = -0.0}});
+  checkpoint.reorder.events.push_back(
+      {11, Event{.timestamp = 86, .key = 1, .value = 2.5}});
+
+  // An active section bumps the header to version 2, so pre-reorder
+  // readers reject it instead of silently dropping the buffered events.
+  EXPECT_EQ(checkpoint.Serialize().rfind("FWCKPT 2 ", 0), 0u);
+  Result<ExecutorCheckpoint> restored =
+      ExecutorCheckpoint::Deserialize(checkpoint.Serialize());
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  EXPECT_TRUE(restored->reorder.any_seen);
+  EXPECT_EQ(restored->reorder.max_seen, 90);
+  EXPECT_EQ(restored->reorder.max_delay, 6);
+  EXPECT_EQ(restored->reorder.next_seq, 12u);
+  EXPECT_EQ(restored->reorder.late_events, 4u);
+  EXPECT_EQ(restored->reorder.buffer_peak, 7u);
+  ASSERT_EQ(restored->reorder.events.size(), 2u);
+  EXPECT_EQ(restored->reorder.events[0].seq, 10u);
+  EXPECT_EQ(restored->reorder.events[0].event.timestamp, 88);
+  EXPECT_EQ(restored->reorder.events[0].event.key, 3u);
+  EXPECT_TRUE(std::signbit(restored->reorder.events[0].event.value));
+  EXPECT_EQ(restored->reorder.events[1].event.value, 2.5);
+  // Byte-stable: serializing the restored snapshot is the identity.
+  EXPECT_EQ(restored->Serialize(), checkpoint.Serialize());
 }
 
 TEST(Checkpoint, ResumeProducesIdenticalResults) {

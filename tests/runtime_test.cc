@@ -10,8 +10,10 @@
 #include <vector>
 
 #include "exec/engine.h"
+#include "exec/reorder.h"
 #include "multi/multi_query.h"
 #include "runtime/partition.h"
+#include "exec/reorderer.h"
 #include "runtime/shard_checkpoint.h"
 #include "runtime/spsc_queue.h"
 #include "session/session.h"
@@ -99,6 +101,45 @@ TEST(Partition, EffectiveShardsClampsToKeySpace) {
   EXPECT_EQ(EffectiveShards(2, 16), 2u);
   EXPECT_EQ(EffectiveShards(8, 1), 1u);   // Keyless never parallelizes.
   EXPECT_EQ(EffectiveShards(0, 16), 1u);  // At least one shard.
+}
+
+// --- Reorderer -------------------------------------------------------------
+
+TEST(Reorderer, ReleasesByTimestampThenArrival) {
+  Reorderer reorderer;
+  // Two timestamp ties (t=5 seq 0/2, t=3 seq 1/3): release must order by
+  // timestamp first, arrival second — the stability that keeps per-key
+  // fold order shard-count invariant.
+  reorderer.Buffer({.timestamp = 5, .key = 0, .value = 1.0}, 0);
+  reorderer.Buffer({.timestamp = 3, .key = 0, .value = 2.0}, 1);
+  reorderer.Buffer({.timestamp = 5, .key = 0, .value = 3.0}, 2);
+  reorderer.Buffer({.timestamp = 3, .key = 0, .value = 4.0}, 3);
+  EXPECT_EQ(reorderer.buffered(), 4u);
+
+  std::vector<double> released;
+  EXPECT_EQ(reorderer.ReleaseThrough(
+                4, [&](const Event& e) { released.push_back(e.value); }),
+            2u);
+  EXPECT_EQ(released, (std::vector<double>{2.0, 4.0}));
+  EXPECT_EQ(reorderer.ReleaseAll(
+                [&](const Event& e) { released.push_back(e.value); }),
+            2u);
+  EXPECT_EQ(released, (std::vector<double>{2.0, 4.0, 1.0, 3.0}));
+  EXPECT_EQ(reorderer.buffered(), 0u);
+}
+
+TEST(Reorderer, SnapshotIsInArrivalOrder) {
+  Reorderer reorderer;
+  reorderer.Buffer({.timestamp = 9, .key = 1, .value = 0.5}, 7);
+  reorderer.Buffer({.timestamp = 2, .key = 3, .value = 1.5}, 9);
+  reorderer.Buffer({.timestamp = 4, .key = 2, .value = 2.5}, 8);
+  std::vector<BufferedEvent> snapshot = reorderer.Snapshot();
+  ASSERT_EQ(snapshot.size(), 3u);
+  EXPECT_EQ(snapshot[0].seq, 7u);
+  EXPECT_EQ(snapshot[1].seq, 8u);
+  EXPECT_EQ(snapshot[2].seq, 9u);
+  EXPECT_EQ(snapshot[2].event.timestamp, 2);
+  EXPECT_EQ(reorderer.buffered(), 3u);  // Snapshot does not consume.
 }
 
 // --- Checkpoint merge / split ----------------------------------------------
@@ -198,6 +239,57 @@ TEST(ShardCheckpoint, ExtractKeepsOnlyOwnedKeys) {
   Result<ExecutorCheckpoint> roundtrip = MergeShardCheckpoints(parts);
   ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
   EXPECT_EQ(roundtrip->Serialize(), global.Serialize());
+}
+
+TEST(ShardCheckpoint, ReorderSectionSplitsAndMergesByKeyOwnership) {
+  constexpr uint32_t kKeys = 16;
+  constexpr uint32_t kShards = 4;
+  ExecutorCheckpoint global;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  global.operators.push_back(op);
+  global.reorder.any_seen = true;
+  global.reorder.max_seen = 100;
+  global.reorder.max_delay = 20;
+  global.reorder.next_seq = 40;
+  global.reorder.late_events = 5;
+  global.reorder.buffer_peak = 9;
+  for (uint32_t k = 0; k < kKeys; ++k) {
+    global.reorder.events.push_back(
+        {k, Event{.timestamp = static_cast<TimeT>(95 + k % 4),
+                  .key = k,
+                  .value = static_cast<double>(k)}});
+  }
+
+  std::vector<ExecutorCheckpoint> parts;
+  size_t total_events = 0;
+  for (uint32_t shard = 0; shard < kShards; ++shard) {
+    parts.push_back(ExtractShardCheckpoint(global, shard, kShards));
+    total_events += parts.back().reorder.events.size();
+    for (const BufferedEvent& buffered : parts.back().reorder.events) {
+      EXPECT_EQ(ShardForKey(buffered.event.key, kShards), shard);
+    }
+    // The clock and counters ride on shard 0 only.
+    EXPECT_EQ(parts.back().reorder.any_seen, shard == 0);
+    EXPECT_EQ(parts.back().reorder.late_events, shard == 0 ? 5u : 0u);
+  }
+  EXPECT_EQ(total_events, static_cast<size_t>(kKeys));
+
+  Result<ExecutorCheckpoint> roundtrip = MergeShardCheckpoints(parts);
+  ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+  EXPECT_EQ(roundtrip->Serialize(), global.Serialize());
+}
+
+TEST(ShardCheckpoint, MergeRejectsDuplicateBufferedSeq) {
+  ExecutorCheckpoint shard;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  shard.operators.push_back(op);
+  shard.reorder.events.push_back({3, Event{.timestamp = 1, .key = 0}});
+  // The same arrival sequence number buffered on two shards is a
+  // partitioning-invariant violation, like a key's state on two shards.
+  EXPECT_EQ(MergeShardCheckpoints({shard, shard}).status().code(),
+            StatusCode::kInternal);
 }
 
 // --- ShardedExecutor -------------------------------------------------------
@@ -314,6 +406,163 @@ TEST(ShardedExecutor, CheckpointRestoresAcrossShardCounts) {
     ASSERT_TRUE(target.Restore(*checkpoint).ok());
     for (size_t i = half; i < events.size(); ++i) target.Push(events[i]);
     target.Finish();
+
+    std::map<CollectingSink::ResultKey, double> combined =
+        first_half.ToMap();
+    for (const auto& [key, value] : second_half.ToMap()) {
+      ASSERT_EQ(combined.count(key), 0u);  // No double emissions.
+      combined[key] = value;
+    }
+    EXPECT_EQ(combined, reference.ToMap()) << shards << " shards";
+  }
+}
+
+// --- Out-of-order ingestion ------------------------------------------------
+
+class LateCollector : public EventConsumer {
+ public:
+  void Consume(const Event& event) override { events.push_back(event); }
+  std::vector<Event> events;
+};
+
+TEST(ShardedExecutorDisorder, ShuffledStreamMatchesSortedReference) {
+  constexpr uint32_t kKeys = 16;
+  constexpr TimeT kMaxDelay = 64;
+  std::vector<Event> sorted = GenerateSyntheticStream(20000, kKeys, 41);
+  std::vector<Event> shuffled =
+      ApplyBoundedDisorder(sorted, static_cast<size_t>(kMaxDelay), 5);
+  QueryPlan plan = SharedTestPlan();
+
+  CollectingSink reference;
+  uint64_t reference_ops = 0;
+  ExecutePlan(plan, sorted, kKeys, &reference, nullptr, &reference_ops);
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedExecutor::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = shards;
+    options.batch_size = 16;
+    options.drain_interval = 3000;
+    options.max_delay = kMaxDelay;
+    CollectingSink sink;
+    ShardedExecutor executor(plan, options, &sink);
+    for (const Event& event : shuffled) executor.Push(event);
+    EXPECT_GT(executor.reorder_buffer_peak(), 0u);
+    EXPECT_EQ(executor.current_watermark(),
+              sorted.back().timestamp - kMaxDelay);
+    executor.Finish();
+    EXPECT_EQ(executor.late_events(), 0u) << shards << " shards";
+    EXPECT_EQ(executor.reorder_buffered(), 0u);  // Finish drains.
+    EXPECT_EQ(sink.ToMap(), reference.ToMap()) << shards << " shards";
+    EXPECT_EQ(executor.TotalAccumulateOps(), reference_ops);
+  }
+}
+
+TEST(ShardedExecutorDisorder, LatePolicyIsIdenticalAcrossShardCounts) {
+  constexpr uint32_t kKeys = 8;
+  // Disorder (up to 96 positions) deeper than the tolerance (16): some
+  // events must go late, and which ones — plus every result — has to be
+  // invariant to the shard count, because lateness is decided against the
+  // global watermark before partitioning.
+  std::vector<Event> sorted = GenerateSyntheticStream(12000, kKeys, 42);
+  std::vector<Event> shuffled = ApplyBoundedDisorder(sorted, 96, 6);
+  QueryPlan plan = SharedTestPlan();
+
+  std::map<CollectingSink::ResultKey, double> baseline_results;
+  std::vector<Event> baseline_late;
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedExecutor::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = shards;
+    options.batch_size = 32;
+    options.max_delay = 16;
+    LateCollector late;
+    options.late_sink = &late;
+    CollectingSink sink;
+    ShardedExecutor executor(plan, options, &sink);
+    for (const Event& event : shuffled) executor.Push(event);
+    executor.Finish();
+
+    EXPECT_GT(executor.late_events(), 0u);
+    EXPECT_EQ(executor.late_events(), late.events.size());
+    if (shards == 1) {
+      baseline_results = sink.ToMap();
+      baseline_late = late.events;
+      continue;
+    }
+    EXPECT_EQ(sink.ToMap(), baseline_results) << shards << " shards";
+    ASSERT_EQ(late.events.size(), baseline_late.size());
+    for (size_t i = 0; i < late.events.size(); ++i) {
+      EXPECT_EQ(late.events[i].timestamp, baseline_late[i].timestamp);
+      EXPECT_EQ(late.events[i].key, baseline_late[i].key);
+      EXPECT_EQ(late.events[i].value, baseline_late[i].value);
+    }
+  }
+}
+
+TEST(ShardedExecutorDisorder, CheckpointCarriesBuffersAcrossShardCounts) {
+  constexpr uint32_t kKeys = 12;
+  constexpr TimeT kMaxDelay = 48;
+  std::vector<Event> sorted = GenerateSyntheticStream(16000, kKeys, 43);
+  std::vector<Event> shuffled =
+      ApplyBoundedDisorder(sorted, static_cast<size_t>(kMaxDelay), 7);
+  const size_t half = shuffled.size() / 2;
+  QueryPlan plan = SharedTestPlan();
+
+  CollectingSink reference;
+  ExecutePlan(plan, sorted, kKeys, &reference, nullptr, nullptr);
+
+  ShardedExecutor::Options options;
+  options.num_keys = kKeys;
+  options.num_shards = 2;
+  options.max_delay = kMaxDelay;
+  CollectingSink first_half;
+  ShardedExecutor source(plan, options, &first_half);
+  for (size_t i = 0; i < half; ++i) source.Push(shuffled[i]);
+  Result<ExecutorCheckpoint> checkpoint = source.Checkpoint();
+  ASSERT_TRUE(checkpoint.ok()) << checkpoint.status().ToString();
+  // Mid-stream under disorder the snapshot must hold in-flight events.
+  EXPECT_GT(checkpoint->reorder.events.size(), 0u);
+  EXPECT_TRUE(checkpoint->reorder.any_seen);
+
+  // A strict-order executor cannot adopt in-flight disorder.
+  ShardedExecutor::Options strict_options;
+  strict_options.num_keys = kKeys;
+  CollectingSink strict_sink;
+  ShardedExecutor strict(plan, strict_options, &strict_sink);
+  EXPECT_EQ(strict.Restore(*checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  // Mirror direction: a strict-order mid-stream snapshot has no
+  // event-time clock, so a bounded-lateness executor must reject it
+  // rather than silently accept arbitrarily old events.
+  for (const Event& event : sorted) strict.Push(event);
+  Result<ExecutorCheckpoint> strict_checkpoint = strict.Checkpoint();
+  ASSERT_TRUE(strict_checkpoint.ok());
+  CollectingSink tolerant_sink;
+  ShardedExecutor tolerant(plan, options, &tolerant_sink);
+  EXPECT_EQ(tolerant.Restore(*strict_checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  // A different lateness bound would move the watermark relative to the
+  // snapshotted engines' progress — also rejected.
+  ShardedExecutor::Options wider_options = options;
+  wider_options.max_delay = kMaxDelay * 2;
+  CollectingSink wider_sink;
+  ShardedExecutor wider(plan, wider_options, &wider_sink);
+  EXPECT_EQ(wider.Restore(*checkpoint).code(),
+            StatusCode::kInvalidArgument);
+
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    ShardedExecutor::Options target_options = options;
+    target_options.num_shards = shards;
+    CollectingSink second_half;
+    ShardedExecutor target(plan, target_options, &second_half);
+    ASSERT_TRUE(target.Restore(*checkpoint).ok());
+    EXPECT_EQ(target.reorder_buffered(), checkpoint->reorder.events.size());
+    for (size_t i = half; i < shuffled.size(); ++i) target.Push(shuffled[i]);
+    target.Finish();
+    EXPECT_EQ(target.late_events(), 0u);
 
     std::map<CollectingSink::ResultKey, double> combined =
         first_half.ToMap();

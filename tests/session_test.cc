@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include <limits>
 #include <map>
 #include <tuple>
 #include <vector>
@@ -446,6 +447,145 @@ TEST(StreamSession, TrackBaselineReportsSavings) {
   EXPECT_GT(stats.shared_cost, 0.0);
   EXPECT_GT(stats.independent_cost, stats.shared_cost);
   EXPECT_GT(stats.predicted_savings, 1.0);
+}
+
+// --- Out-of-order ingestion (Options::max_delay) ---------------------------
+
+// The tentpole differential: a shuffled stream ingested with max_delay >=
+// its actual disorder yields byte-identical results to the sorted stream
+// ingested strictly — across shard counts, and across a mid-stream replan
+// (which must checkpoint and restore the in-flight reorder buffers).
+TEST(StreamSessionDisorder, ShuffledMatchesSortedAcrossShardsAndChurn) {
+  constexpr uint32_t kKeys = 8;
+  constexpr TimeT kMaxDelay = 64;
+  std::vector<Event> sorted = GenerateSyntheticStream(12000, kKeys, 51);
+  std::vector<Event> shuffled =
+      ApplyBoundedDisorder(sorted, static_cast<size_t>(kMaxDelay), 8);
+  const size_t half = sorted.size() / 2;
+
+  auto fleet = [](TimeT range) {
+    return Query().Max("v").From("fleet").PerKey("device").Tumbling(range);
+  };
+  auto run = [&](const std::vector<Event>& events, TimeT max_delay,
+                 uint32_t shards) {
+    StreamSession::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = shards;
+    options.max_delay = max_delay;
+    StreamSession session(options);
+    ResultMap results;
+    EXPECT_TRUE(
+        session.AddQuery(fleet(20).Hopping(60, 20), CollectInto(&results))
+            .ok());
+    for (size_t i = 0; i < events.size(); ++i) {
+      if (i == half) {
+        // Replan mid-disorder: in-flight buffered events must survive.
+        if (max_delay > 0) {
+          EXPECT_GT(session.Stats().reorder_buffered, 0u);
+        }
+        EXPECT_TRUE(session.AddQuery(fleet(40)).ok());
+      }
+      EXPECT_TRUE(session.Push(events[i]).ok());
+    }
+    EXPECT_TRUE(session.Finish().ok());
+    EXPECT_EQ(session.Stats().late_events, 0u);
+    EXPECT_EQ(session.Stats().reorder_buffered, 0u);  // Finish drains.
+    return results;
+  };
+
+  ResultMap baseline = run(sorted, 0, 1);  // Strict, single-threaded.
+  ASSERT_FALSE(baseline.empty());
+  for (uint32_t shards : {1u, 2u, 4u}) {
+    EXPECT_EQ(run(shuffled, kMaxDelay, shards), baseline)
+        << shards << " shards";
+  }
+}
+
+TEST(StreamSessionDisorder, LateEventsFollowPolicy) {
+  // Watermark trails the newest timestamp by 5: after t=30 arrives,
+  // anything below 25 is late.
+  StreamSession::Options options;
+  options.max_delay = 5;
+  std::vector<Event> side_output;
+  options.late_policy = StreamSession::LatePolicy::kSideOutput;
+  options.late_callback = [&side_output](const Event& event) {
+    side_output.push_back(event);
+  };
+  StreamSession session(options);
+  ResultMap results;
+  ASSERT_TRUE(session.AddQuery(Dashboard(10), CollectInto(&results)).ok());
+
+  ASSERT_TRUE(session.Push({.timestamp = 30, .key = 0, .value = 1.0}).ok());
+  // Within the bound: reordered, not late.
+  ASSERT_TRUE(session.Push({.timestamp = 27, .key = 0, .value = 2.0}).ok());
+  // Behind the watermark: late, side-output, still Status::OK.
+  ASSERT_TRUE(session.Push({.timestamp = 3, .key = 0, .value = 9.0}).ok());
+  ASSERT_TRUE(session.Finish().ok());
+
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.late_events, 1u);
+  EXPECT_EQ(stats.events_pushed, 3u);
+  ASSERT_EQ(side_output.size(), 1u);
+  EXPECT_EQ(side_output[0].timestamp, 3);
+  EXPECT_EQ(side_output[0].value, 9.0);
+  // The late event never reached a window: t=3 opened no [0,10) result
+  // with value 9.
+  for (const auto& [key, value] : results) EXPECT_NE(value, 9.0);
+
+  // kDrop only counts.
+  StreamSession::Options drop_options;
+  drop_options.max_delay = 5;
+  StreamSession dropper(drop_options);
+  ASSERT_TRUE(dropper.AddQuery(Dashboard(10)).ok());
+  ASSERT_TRUE(dropper.Push({.timestamp = 30, .key = 0, .value = 1.0}).ok());
+  ASSERT_TRUE(dropper.Push({.timestamp = 3, .key = 0, .value = 9.0}).ok());
+  EXPECT_EQ(dropper.Stats().late_events, 1u);
+  ASSERT_TRUE(dropper.Finish().ok());
+}
+
+TEST(StreamSessionDisorder, StatsTrackWatermarkAndBufferDepth) {
+  StreamSession::Options options;
+  options.max_delay = 10;
+  StreamSession session(options);
+  EXPECT_EQ(session.Stats().current_watermark,
+            std::numeric_limits<TimeT>::min());
+  ASSERT_TRUE(session.AddQuery(Dashboard(20)).ok());
+
+  ASSERT_TRUE(session.Push({.timestamp = 50, .key = 0, .value = 1.0}).ok());
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.current_watermark, 40);
+  EXPECT_EQ(stats.reorder_buffered, 1u);  // t=50 awaits the watermark.
+  ASSERT_TRUE(session.Push({.timestamp = 45, .key = 0, .value = 2.0}).ok());
+  EXPECT_EQ(session.Stats().reorder_buffered, 2u);
+  EXPECT_GE(session.Stats().reorder_buffer_peak, 2u);
+
+  // Advancing the clock past 50 + max_delay releases both.
+  ASSERT_TRUE(session.Push({.timestamp = 61, .key = 0, .value = 3.0}).ok());
+  stats = session.Stats();
+  EXPECT_EQ(stats.current_watermark, 51);
+  EXPECT_EQ(stats.reorder_buffered, 1u);  // Only t=61 remains.
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_EQ(session.Stats().reorder_buffered, 0u);
+  // Peak saw t=61 join t=45/t=50 before the release.
+  EXPECT_EQ(session.Stats().reorder_buffer_peak, 3u);
+}
+
+TEST(StreamSessionDisorder, StrictSessionsStillRejectAndDisorderedAccept) {
+  // max_delay = 0 keeps the pre-existing contract (rejection) while a
+  // disordered session accepts the same regression.
+  StreamSession strict;
+  ASSERT_TRUE(strict.AddQuery(Dashboard(20)).ok());
+  ASSERT_TRUE(strict.Push({.timestamp = 10, .key = 0, .value = 1.0}).ok());
+  EXPECT_EQ(strict.Push({.timestamp = 9, .key = 0, .value = 1.0}).code(),
+            StatusCode::kInvalidArgument);
+
+  StreamSession::Options options;
+  options.max_delay = 4;
+  StreamSession tolerant(options);
+  ASSERT_TRUE(tolerant.AddQuery(Dashboard(20)).ok());
+  ASSERT_TRUE(tolerant.Push({.timestamp = 10, .key = 0, .value = 1.0}).ok());
+  EXPECT_TRUE(tolerant.Push({.timestamp = 9, .key = 0, .value = 1.0}).ok());
+  ASSERT_TRUE(tolerant.Finish().ok());
 }
 
 TEST(StreamSession, ExplainRendersPlanAndSubscriptions) {
