@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_fig11_synth10m_w5.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,2 @@
+# Empty dependencies file for bench_fig13_scotty_w10.
+# This may be replaced when dependencies are built.

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig15_16_synth1m.dir/bench/bench_fig15_16_synth1m.cc.o"
+  "CMakeFiles/bench_fig15_16_synth1m.dir/bench/bench_fig15_16_synth1m.cc.o.d"
+  "bench_fig15_16_synth1m"
+  "bench_fig15_16_synth1m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig15_16_synth1m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig17_18_real.dir/bench/bench_fig17_18_real.cc.o"
+  "CMakeFiles/bench_fig17_18_real.dir/bench/bench_fig17_18_real.cc.o.d"
+  "bench_fig17_18_real"
+  "bench_fig17_18_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig17_18_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

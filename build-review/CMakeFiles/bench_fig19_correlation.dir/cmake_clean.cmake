@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig19_correlation.dir/bench/bench_fig19_correlation.cc.o"
+  "CMakeFiles/bench_fig19_correlation.dir/bench/bench_fig19_correlation.cc.o.d"
+  "bench_fig19_correlation"
+  "bench_fig19_correlation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig19_correlation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_fig22_scotty_w5.dir/bench/bench_fig22_scotty_w5.cc.o"
+  "CMakeFiles/bench_fig22_scotty_w5.dir/bench/bench_fig22_scotty_w5.cc.o.d"
+  "bench_fig22_scotty_w5"
+  "bench_fig22_scotty_w5.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_fig22_scotty_w5.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

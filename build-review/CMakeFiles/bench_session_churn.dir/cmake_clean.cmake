@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_session_churn.dir/bench/bench_session_churn.cc.o"
+  "CMakeFiles/bench_session_churn.dir/bench/bench_session_churn.cc.o.d"
+  "bench_session_churn"
+  "bench_session_churn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_session_churn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

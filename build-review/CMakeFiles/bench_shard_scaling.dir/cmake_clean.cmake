@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_shard_scaling.dir/bench/bench_shard_scaling.cc.o"
+  "CMakeFiles/bench_shard_scaling.dir/bench/bench_shard_scaling.cc.o.d"
+  "bench_shard_scaling"
+  "bench_shard_scaling.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_shard_scaling.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

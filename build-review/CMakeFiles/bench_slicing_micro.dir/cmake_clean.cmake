@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_slicing_micro.dir/bench/bench_slicing_micro.cc.o"
+  "CMakeFiles/bench_slicing_micro.dir/bench/bench_slicing_micro.cc.o.d"
+  "bench_slicing_micro"
+  "bench_slicing_micro.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_slicing_micro.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table1_synth10m.dir/bench/bench_table1_synth10m.cc.o"
+  "CMakeFiles/bench_table1_synth10m.dir/bench/bench_table1_synth10m.cc.o.d"
+  "bench_table1_synth10m"
+  "bench_table1_synth10m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table1_synth10m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table2_real32m.dir/bench/bench_table2_real32m.cc.o"
+  "CMakeFiles/bench_table2_real32m.dir/bench/bench_table2_real32m.cc.o.d"
+  "bench_table2_real32m"
+  "bench_table2_real32m.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table2_real32m.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_scalability.dir/bench/bench_table3_scalability.cc.o"
+  "CMakeFiles/bench_table3_scalability.dir/bench/bench_table3_scalability.cc.o.d"
+  "bench_table3_scalability"
+  "bench_table3_scalability.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_scalability.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/benefit_test.dir/tests/benefit_test.cc.o"
+  "CMakeFiles/benefit_test.dir/tests/benefit_test.cc.o.d"
+  "benefit_test"
+  "benefit_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/benefit_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

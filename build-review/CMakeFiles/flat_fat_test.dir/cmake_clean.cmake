@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/flat_fat_test.dir/tests/flat_fat_test.cc.o"
+  "CMakeFiles/flat_fat_test.dir/tests/flat_fat_test.cc.o.d"
+  "flat_fat_test"
+  "flat_fat_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/flat_fat_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,54 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/adaptive/adaptive.cc" "CMakeFiles/fw.dir/src/adaptive/adaptive.cc.o" "gcc" "CMakeFiles/fw.dir/src/adaptive/adaptive.cc.o.d"
+  "/root/repo/src/agg/aggregate.cc" "CMakeFiles/fw.dir/src/agg/aggregate.cc.o" "gcc" "CMakeFiles/fw.dir/src/agg/aggregate.cc.o.d"
+  "/root/repo/src/common/math_util.cc" "CMakeFiles/fw.dir/src/common/math_util.cc.o" "gcc" "CMakeFiles/fw.dir/src/common/math_util.cc.o.d"
+  "/root/repo/src/common/stats.cc" "CMakeFiles/fw.dir/src/common/stats.cc.o" "gcc" "CMakeFiles/fw.dir/src/common/stats.cc.o.d"
+  "/root/repo/src/common/status.cc" "CMakeFiles/fw.dir/src/common/status.cc.o" "gcc" "CMakeFiles/fw.dir/src/common/status.cc.o.d"
+  "/root/repo/src/cost/cost_model.cc" "CMakeFiles/fw.dir/src/cost/cost_model.cc.o" "gcc" "CMakeFiles/fw.dir/src/cost/cost_model.cc.o.d"
+  "/root/repo/src/cost/min_cost.cc" "CMakeFiles/fw.dir/src/cost/min_cost.cc.o" "gcc" "CMakeFiles/fw.dir/src/cost/min_cost.cc.o.d"
+  "/root/repo/src/exec/checkpoint.cc" "CMakeFiles/fw.dir/src/exec/checkpoint.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/checkpoint.cc.o.d"
+  "/root/repo/src/exec/engine.cc" "CMakeFiles/fw.dir/src/exec/engine.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/engine.cc.o.d"
+  "/root/repo/src/exec/migrate.cc" "CMakeFiles/fw.dir/src/exec/migrate.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/migrate.cc.o.d"
+  "/root/repo/src/exec/operator.cc" "CMakeFiles/fw.dir/src/exec/operator.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/operator.cc.o.d"
+  "/root/repo/src/exec/reorder.cc" "CMakeFiles/fw.dir/src/exec/reorder.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/reorder.cc.o.d"
+  "/root/repo/src/exec/reorderer.cc" "CMakeFiles/fw.dir/src/exec/reorderer.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/reorderer.cc.o.d"
+  "/root/repo/src/exec/sink.cc" "CMakeFiles/fw.dir/src/exec/sink.cc.o" "gcc" "CMakeFiles/fw.dir/src/exec/sink.cc.o.d"
+  "/root/repo/src/factor/benefit.cc" "CMakeFiles/fw.dir/src/factor/benefit.cc.o" "gcc" "CMakeFiles/fw.dir/src/factor/benefit.cc.o.d"
+  "/root/repo/src/factor/candidates.cc" "CMakeFiles/fw.dir/src/factor/candidates.cc.o" "gcc" "CMakeFiles/fw.dir/src/factor/candidates.cc.o.d"
+  "/root/repo/src/factor/optimizer.cc" "CMakeFiles/fw.dir/src/factor/optimizer.cc.o" "gcc" "CMakeFiles/fw.dir/src/factor/optimizer.cc.o.d"
+  "/root/repo/src/graph/wcg.cc" "CMakeFiles/fw.dir/src/graph/wcg.cc.o" "gcc" "CMakeFiles/fw.dir/src/graph/wcg.cc.o.d"
+  "/root/repo/src/harness/experiments.cc" "CMakeFiles/fw.dir/src/harness/experiments.cc.o" "gcc" "CMakeFiles/fw.dir/src/harness/experiments.cc.o.d"
+  "/root/repo/src/harness/runner.cc" "CMakeFiles/fw.dir/src/harness/runner.cc.o" "gcc" "CMakeFiles/fw.dir/src/harness/runner.cc.o.d"
+  "/root/repo/src/multi/multi_query.cc" "CMakeFiles/fw.dir/src/multi/multi_query.cc.o" "gcc" "CMakeFiles/fw.dir/src/multi/multi_query.cc.o.d"
+  "/root/repo/src/plan/plan.cc" "CMakeFiles/fw.dir/src/plan/plan.cc.o" "gcc" "CMakeFiles/fw.dir/src/plan/plan.cc.o.d"
+  "/root/repo/src/plan/printer.cc" "CMakeFiles/fw.dir/src/plan/printer.cc.o" "gcc" "CMakeFiles/fw.dir/src/plan/printer.cc.o.d"
+  "/root/repo/src/query/builder.cc" "CMakeFiles/fw.dir/src/query/builder.cc.o" "gcc" "CMakeFiles/fw.dir/src/query/builder.cc.o.d"
+  "/root/repo/src/query/compile.cc" "CMakeFiles/fw.dir/src/query/compile.cc.o" "gcc" "CMakeFiles/fw.dir/src/query/compile.cc.o.d"
+  "/root/repo/src/query/parser.cc" "CMakeFiles/fw.dir/src/query/parser.cc.o" "gcc" "CMakeFiles/fw.dir/src/query/parser.cc.o.d"
+  "/root/repo/src/runtime/shard_checkpoint.cc" "CMakeFiles/fw.dir/src/runtime/shard_checkpoint.cc.o" "gcc" "CMakeFiles/fw.dir/src/runtime/shard_checkpoint.cc.o.d"
+  "/root/repo/src/runtime/sharded_executor.cc" "CMakeFiles/fw.dir/src/runtime/sharded_executor.cc.o" "gcc" "CMakeFiles/fw.dir/src/runtime/sharded_executor.cc.o.d"
+  "/root/repo/src/session/session.cc" "CMakeFiles/fw.dir/src/session/session.cc.o" "gcc" "CMakeFiles/fw.dir/src/session/session.cc.o.d"
+  "/root/repo/src/slicing/flat_fat.cc" "CMakeFiles/fw.dir/src/slicing/flat_fat.cc.o" "gcc" "CMakeFiles/fw.dir/src/slicing/flat_fat.cc.o.d"
+  "/root/repo/src/slicing/slicer.cc" "CMakeFiles/fw.dir/src/slicing/slicer.cc.o" "gcc" "CMakeFiles/fw.dir/src/slicing/slicer.cc.o.d"
+  "/root/repo/src/window/coverage.cc" "CMakeFiles/fw.dir/src/window/coverage.cc.o" "gcc" "CMakeFiles/fw.dir/src/window/coverage.cc.o.d"
+  "/root/repo/src/window/window.cc" "CMakeFiles/fw.dir/src/window/window.cc.o" "gcc" "CMakeFiles/fw.dir/src/window/window.cc.o.d"
+  "/root/repo/src/window/window_set.cc" "CMakeFiles/fw.dir/src/window/window_set.cc.o" "gcc" "CMakeFiles/fw.dir/src/window/window_set.cc.o.d"
+  "/root/repo/src/workload/datagen.cc" "CMakeFiles/fw.dir/src/workload/datagen.cc.o" "gcc" "CMakeFiles/fw.dir/src/workload/datagen.cc.o.d"
+  "/root/repo/src/workload/generator.cc" "CMakeFiles/fw.dir/src/workload/generator.cc.o" "gcc" "CMakeFiles/fw.dir/src/workload/generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

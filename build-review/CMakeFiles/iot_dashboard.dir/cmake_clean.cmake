@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/iot_dashboard.dir/examples/iot_dashboard.cpp.o"
+  "CMakeFiles/iot_dashboard.dir/examples/iot_dashboard.cpp.o.d"
+  "iot_dashboard"
+  "iot_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/iot_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/min_cost_test.dir/tests/min_cost_test.cc.o"
+  "CMakeFiles/min_cost_test.dir/tests/min_cost_test.cc.o.d"
+  "min_cost_test"
+  "min_cost_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/min_cost_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/multi_dashboard.dir/examples/multi_dashboard.cpp.o"
+  "CMakeFiles/multi_dashboard.dir/examples/multi_dashboard.cpp.o.d"
+  "multi_dashboard"
+  "multi_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/multi_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

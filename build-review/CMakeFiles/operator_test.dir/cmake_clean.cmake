@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/operator_test.dir/tests/operator_test.cc.o"
+  "CMakeFiles/operator_test.dir/tests/operator_test.cc.o.d"
+  "operator_test"
+  "operator_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/operator_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/optimizer_explain.dir/examples/optimizer_explain.cpp.o"
+  "CMakeFiles/optimizer_explain.dir/examples/optimizer_explain.cpp.o.d"
+  "optimizer_explain"
+  "optimizer_explain.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/optimizer_explain.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/reorder_test.dir/tests/reorder_test.cc.o"
+  "CMakeFiles/reorder_test.dir/tests/reorder_test.cc.o.d"
+  "reorder_test"
+  "reorder_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/reorder_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

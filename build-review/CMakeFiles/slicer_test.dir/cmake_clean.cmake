@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/slicer_test.dir/tests/slicer_test.cc.o"
+  "CMakeFiles/slicer_test.dir/tests/slicer_test.cc.o.d"
+  "slicer_test"
+  "slicer_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/slicer_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/sql_query.dir/examples/sql_query.cpp.o"
+  "CMakeFiles/sql_query.dir/examples/sql_query.cpp.o.d"
+  "sql_query"
+  "sql_query.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/sql_query.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wcg_test.dir/tests/wcg_test.cc.o"
+  "CMakeFiles/wcg_test.dir/tests/wcg_test.cc.o.d"
+  "wcg_test"
+  "wcg_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wcg_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

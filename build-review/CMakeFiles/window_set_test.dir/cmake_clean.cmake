@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/window_set_test.dir/tests/window_set_test.cc.o"
+  "CMakeFiles/window_set_test.dir/tests/window_set_test.cc.o.d"
+  "window_set_test"
+  "window_set_test.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/window_set_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
