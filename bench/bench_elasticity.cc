@@ -1,0 +1,196 @@
+// Online elasticity under a load ramp: one StreamSession with the
+// per-device dashboard query set is driven through the --shards sequence
+// (default 1,2,4,8 — put 1 first to start inline), resizing live between
+// equal-length stream phases. With --max-delays=D > 0 the stream is
+// disordered by min(--disorder, D) positions first, so resizes happen
+// with in-flight reorder buffers. Output is one JSON object: per-phase
+// throughput, per-resize latency in nanoseconds, and the final session
+// stats. Exactness is checked in-run: the delivered result count and an
+// order-insensitive multiset fingerprint must match a fixed-shard (first
+// swept width) run over the identical stream, so a throughput win can
+// never come from dropped or duplicated work. Scale with
+// --events/--keys or FW_EVENTS_1M.
+
+#include <algorithm>
+#include <chrono>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "session/session.h"
+
+namespace fw {
+namespace {
+
+// Order-insensitive exact fingerprint of the delivered result multiset:
+// resizes move drain points, so delivery *order* legitimately differs —
+// XOR of per-result hashes compares content without order (and without
+// the rounding sensitivity a floating-point sum would have).
+struct RunTotals {
+  uint64_t results = 0;
+  uint64_t fingerprint = 0;
+
+  void Fold(const WindowResult& r) {
+    ++results;
+    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the result fields.
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    mix(static_cast<uint64_t>(r.operator_id));
+    mix(static_cast<uint64_t>(r.start));
+    mix(static_cast<uint64_t>(r.end));
+    mix(r.key);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(r.value));
+    std::memcpy(&bits, &r.value, sizeof(bits));
+    mix(bits);
+    fingerprint ^= h;
+  }
+};
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(
+      argc, argv, EventCountFromEnv("FW_EVENTS_1M", 300'000));
+  const TimeT max_delay = args.max_delays.empty() ? 0 : args.max_delays[0];
+  std::vector<Event> events =
+      GenerateSyntheticStream(args.events, args.keys, kSyntheticSeed);
+  if (max_delay > 0) {
+    const size_t displacement =
+        std::min(args.disorder, static_cast<size_t>(max_delay));
+    events = ApplyBoundedDisorder(std::move(events), displacement,
+                                  kSyntheticSeed + 1);
+  }
+
+  auto run_session = [&](bool ramp, RunTotals* totals,
+                         std::string* phases_json, std::string* resizes_json,
+                         StreamSession::SessionStats* stats_out) -> int {
+    StreamSession::Options options;
+    options.num_keys = args.keys;
+    options.num_shards = args.shards.front();
+    options.max_delay = max_delay;
+    StreamSession session(options);
+
+    StreamSession::ResultCallback count = [totals](const WindowResult& r) {
+      totals->Fold(r);
+    };
+    QueryBuilder dash = Query().Max("v").From("fleet").PerKey("device");
+    for (const QueryBuilder& query :
+         {QueryBuilder(dash).Tumbling(20).Hopping(60, 20),
+          QueryBuilder(dash).Tumbling(40),
+          QueryBuilder(dash).Tumbling(120)}) {
+      Result<QueryId> id = session.AddQuery(query, count);
+      if (!id.ok()) {
+        std::fprintf(stderr, "AddQuery: %s\n",
+                     id.status().ToString().c_str());
+        return 1;
+      }
+    }
+
+    const size_t num_phases = ramp ? args.shards.size() : 1;
+    const size_t phase_len = events.size() / num_phases;
+    size_t cursor = 0;
+    for (size_t phase = 0; phase < num_phases; ++phase) {
+      if (ramp && phase > 0) {
+        auto t0 = std::chrono::steady_clock::now();
+        Status status = session.Resize(args.shards[phase]);
+        const auto ns =
+            std::chrono::duration_cast<std::chrono::nanoseconds>(
+                std::chrono::steady_clock::now() - t0)
+                .count();
+        if (!status.ok()) {
+          std::fprintf(stderr, "Resize: %s\n",
+                       status.ToString().c_str());
+          return 1;
+        }
+        char buf[128];
+        std::snprintf(buf, sizeof(buf),
+                      "%s{\"from\":%u,\"to\":%u,\"ns\":%lld}",
+                      resizes_json->empty() ? "" : ",",
+                      args.shards[phase - 1], args.shards[phase],
+                      static_cast<long long>(ns));
+        *resizes_json += buf;
+      }
+      const size_t start = cursor;
+      const size_t end =
+          phase + 1 == num_phases ? events.size() : cursor + phase_len;
+      auto t0 = std::chrono::steady_clock::now();
+      for (; cursor < end; ++cursor) {
+        Status status = session.Push(events[cursor]);
+        if (!status.ok()) {
+          std::fprintf(stderr, "Push: %s\n", status.ToString().c_str());
+          return 1;
+        }
+      }
+      const double seconds = std::chrono::duration<double>(
+                                 std::chrono::steady_clock::now() - t0)
+                                 .count();
+      if (phases_json != nullptr) {
+        char buf[160];
+        std::snprintf(
+            buf, sizeof(buf),
+            "%s{\"shards\":%u,\"events\":%zu,\"events_per_sec\":%.0f}",
+            phases_json->empty() ? "" : ",",
+            session.Stats().num_shards, end - start,
+            seconds > 0.0 ? static_cast<double>(end - start) / seconds
+                          : 0.0);
+        *phases_json += buf;
+      }
+    }
+    Status status = session.Finish();
+    if (!status.ok()) {
+      std::fprintf(stderr, "Finish: %s\n", status.ToString().c_str());
+      return 1;
+    }
+    if (stats_out != nullptr) *stats_out = session.Stats();
+    return 0;
+  };
+
+  // Fixed-width reference first: the ramp's results must match exactly.
+  RunTotals reference;
+  if (int rc = run_session(false, &reference, nullptr, nullptr, nullptr)) {
+    return rc;
+  }
+
+  RunTotals ramped;
+  std::string phases_json;
+  std::string resizes_json;
+  StreamSession::SessionStats stats;
+  if (int rc =
+          run_session(true, &ramped, &phases_json, &resizes_json, &stats)) {
+    return rc;
+  }
+  if (ramped.results != reference.results ||
+      ramped.fingerprint != reference.fingerprint) {
+    std::fprintf(stderr,
+                 "exactness violated: ramp delivered %llu results "
+                 "(fingerprint %016llx) vs fixed %llu (%016llx)\n",
+                 static_cast<unsigned long long>(ramped.results),
+                 static_cast<unsigned long long>(ramped.fingerprint),
+                 static_cast<unsigned long long>(reference.results),
+                 static_cast<unsigned long long>(reference.fingerprint));
+    return 1;
+  }
+
+  std::printf(
+      "{\"bench\":\"elasticity\",\"events\":%zu,\"keys\":%u,"
+      "\"max_delay\":%lld,\"phases\":[%s],\"resizes\":[%s],"
+      "\"resize_count\":%llu,\"last_resize_ns\":%llu,"
+      "\"results\":%llu,\"late_events\":%llu,\"exact\":true}\n",
+      events.size(), args.keys, static_cast<long long>(max_delay),
+      phases_json.c_str(), resizes_json.c_str(),
+      static_cast<unsigned long long>(stats.resize_count),
+      static_cast<unsigned long long>(stats.last_resize_ns),
+      static_cast<unsigned long long>(ramped.results),
+      static_cast<unsigned long long>(stats.late_events));
+  return 0;
+}
+
+}  // namespace
+}  // namespace fw
+
+int main(int argc, char** argv) { return fw::Run(argc, argv); }

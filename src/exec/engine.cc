@@ -91,6 +91,13 @@ void PlanExecutor::Finish() {
   }
 }
 
+void PlanExecutor::CloseThrough(TimeT frontier) {
+  if (holistic_) return;
+  for (int i : topological_order_) {
+    operators_[static_cast<size_t>(i)]->CloseUpTo(frontier);
+  }
+}
+
 void PlanExecutor::Run(const std::vector<Event>& events) {
   for (const Event& e : events) Push(e);
   Finish();

@@ -44,6 +44,17 @@ class PlanExecutor {
   /// Clears operator state and counters for another run.
   void Reset();
 
+  /// Closes, in topological order, every window instance that can no
+  /// longer receive input because all future items carry timestamps at or
+  /// past `frontier` (pass 1 + the largest delivered timestamp). Parents
+  /// close first, so their tail sub-aggregates reach children before the
+  /// children's own close. Checkpoints call this to make snapshots
+  /// canonical — a pure function of the delivered stream, independent of
+  /// how lazily closes would otherwise trail behind per-operator input
+  /// (which differs across shard counts; DESIGN.md §10). No-op for
+  /// holistic plans, which cannot checkpoint anyway.
+  void CloseThrough(TimeT frontier);
+
   /// Snapshots every operator's state between events. Unsupported for
   /// holistic plans (their state is unbounded; see DESIGN.md).
   Result<ExecutorCheckpoint> Checkpoint() const;

@@ -67,6 +67,17 @@ class WindowAggregateOperator {
   /// propagate before a child's own flush.
   void Flush();
 
+  /// Eagerly applies the close rule up to a frontier: emits and retires
+  /// every open instance whose end precedes `frontier`, exactly as the
+  /// next input past it would. Sound whenever no future input can carry a
+  /// timestamp (or sub-aggregate span) inside those instances — i.e.
+  /// `frontier` is at most one past the largest timestamp the executor
+  /// has delivered. PlanExecutor::CloseThrough drives this in topological
+  /// order at checkpoints, so snapshots are *canonical*: which instances
+  /// are open depends only on the delivered stream, never on how lazily
+  /// each operator's inputs happened to arrive (DESIGN.md §10).
+  void CloseUpTo(TimeT frontier) { CloseBefore(frontier); }
+
   /// Resets all state and counters for a fresh run.
   void Reset();
 

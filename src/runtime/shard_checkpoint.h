@@ -23,6 +23,17 @@ namespace fw {
 /// events for its keys can fold into, since any instance a faster shard
 /// already closed has an end at or before the global watermark and can
 /// never receive post-checkpoint input.
+///
+/// ShardedExecutor additionally *canonicalizes* before snapshotting
+/// (PlanExecutor::CloseThrough): every instance the delivered frontier
+/// allows is closed on every shard, so the merged view never depends on
+/// how far each shard's close cursor happened to trail. This matters the
+/// moment a checkpoint feeds a replan that introduces a cold operator: a
+/// provider instance still open on a lagging shard would emit its tail
+/// into the *new* plan, while the same instance already closed on another
+/// topology emitted into the *old* one — breaking shard-count invariance
+/// for windows straddling the swap (tests/elasticity_test.cc and the fuzz
+/// harness pin the fixed behavior).
 
 /// Merges one checkpoint per shard (same plan, disjoint keys) into the
 /// global view: per operator, cursors advance to the furthest shard

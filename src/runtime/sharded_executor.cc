@@ -32,29 +32,36 @@ struct ShardedExecutor::Shard {
 
 ShardedExecutor::ShardedExecutor(const QueryPlan& plan,
                                  const Options& options, ResultSink* sink)
-    : options_(options), sink_(sink) {
+    : options_(options), sink_(sink), plan_(&plan) {
   FW_CHECK(sink != nullptr);
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GT(options.batch_size, 0u);
   FW_CHECK_GE(options.max_delay, 0);
-  const uint32_t shards = EffectiveShards(options.num_shards,
-                                          options.num_keys);
-  if (options.max_delay > 0) reorderers_.resize(shards);
+  BuildTopology();
+}
+
+void ShardedExecutor::BuildTopology() {
+  FW_CHECK(!inline_executor_ && shards_.empty());
+  const uint32_t shards = EffectiveShards(options_.num_shards,
+                                          options_.num_keys);
+  reorderers_.clear();
+  if (options_.max_delay > 0) reorderers_.resize(shards);
+  events_per_shard_.assign(shards, 0);
   PlanExecutor::Options exec_options;
-  exec_options.num_keys = options.num_keys;
+  exec_options.num_keys = options_.num_keys;
   if (shards == 1) {
     inline_executor_ =
-        std::make_unique<PlanExecutor>(plan, exec_options, sink);
+        std::make_unique<PlanExecutor>(*plan_, exec_options, sink_);
     return;
   }
 
   shards_.reserve(shards);
   for (uint32_t i = 0; i < shards; ++i) {
-    auto shard =
-        std::make_unique<Shard>(std::max<size_t>(options.queue_capacity, 2));
+    auto shard = std::make_unique<Shard>(
+        std::max<size_t>(options_.queue_capacity, 2));
     shard->executor =
-        std::make_unique<PlanExecutor>(plan, exec_options, &shard->buffer);
-    shard->pending.reserve(options.batch_size);
+        std::make_unique<PlanExecutor>(*plan_, exec_options, &shard->buffer);
+    shard->pending.reserve(options_.batch_size);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -97,16 +104,18 @@ void ShardedExecutor::Push(const Event& event) {
     ReorderPush(event);
     return;
   }
-  if (inline_executor_) {
-    inline_executor_->Push(event);
-    return;
-  }
-  FW_CHECK(!stopped_) << "Push after Finish";
-  DeliverToShard(ShardForKey(event.key, num_shards()), event);
+  if (!inline_executor_) FW_CHECK(!stopped_) << "Push after Finish";
+  DeliverToShard(
+      inline_executor_ ? 0 : ShardForKey(event.key, num_shards()), event);
 }
 
 void ShardedExecutor::DeliverToShard(uint32_t shard_index,
                                      const Event& event) {
+  ++events_per_shard_[shard_index];
+  if (!delivered_any_ || event.timestamp > delivered_max_) {
+    delivered_max_ = event.timestamp;
+    delivered_any_ = true;
+  }
   if (inline_executor_) {
     inline_executor_->Push(event);
     return;
@@ -213,7 +222,19 @@ ReorderCheckpoint ShardedExecutor::ReorderMeta() const {
 }
 
 Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
+  // Canonicalize before snapshotting: close every instance the delivered
+  // frontier allows, in every engine. Without this, *when* an instance
+  // closes depends on when its operator's next local input arrived —
+  // which differs across shard counts — so a straddling instance could be
+  // open on one topology and already emitted on another, and a cold
+  // operator introduced by a replan would see different provider tails.
+  // After CloseThrough, the snapshot is a pure function of the delivered
+  // stream (DESIGN.md §10). Sound because every future delivery carries a
+  // timestamp at or past the frontier - 1 (strict mode: input is ordered;
+  // bounded-lateness mode: releases never regress behind the watermark).
+  const TimeT close_frontier = delivered_max_ + 1;
   if (inline_executor_) {
+    if (delivered_any_) inline_executor_->CloseThrough(close_frontier);
     Result<ExecutorCheckpoint> checkpoint = inline_executor_->Checkpoint();
     if (checkpoint.ok() && options_.max_delay > 0) {
       checkpoint->reorder = ReorderMeta();
@@ -221,7 +242,16 @@ Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
     }
     return checkpoint;
   }
-  Drain();
+  Quiesce();
+  if (delivered_any_) {
+    // Workers are quiesced, so the session thread may drive the engines;
+    // close results land in the shard buffers and ship with the drain.
+    for (auto& shard : shards_) {
+      shard->executor->CloseThrough(close_frontier);
+    }
+  }
+  DeliverBuffered();
+  events_since_drain_ = 0;
   std::vector<ExecutorCheckpoint> parts;
   parts.reserve(shards_.size());
   for (uint32_t i = 0; i < num_shards(); ++i) {
@@ -300,6 +330,13 @@ Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
           ExtractShardCheckpoint(operators_only, i, num_shards())));
     }
   }
+  // The close frontier tracks *this* execution's deliveries; the restored
+  // state may be older (a rollback-replay), in which case a stale frontier
+  // would make the next Checkpoint close windows the replay still owes
+  // events to. Restart it — re-deliveries rebuild it, and a canonical
+  // checkpoint has nothing left to close below its own frontier anyway.
+  delivered_max_ = 0;
+  delivered_any_ = false;
   if (options_.max_delay > 0) {
     for (Reorderer& reorderer : reorderers_) reorderer.Clear();
     const ReorderCheckpoint& reorder = checkpoint.reorder;
@@ -321,6 +358,54 @@ Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
   return Status::OK();
 }
 
+Status ShardedExecutor::Resize(uint32_t new_num_shards) {
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  FW_CHECK(!stopped_) << "Resize after Finish";
+  const uint32_t target =
+      EffectiveShards(new_num_shards, options_.num_keys);
+  if (target == num_shards()) {
+    // Same effective width (e.g. 8 -> 16 over 4 keys): no swap, just
+    // remember the requested count.
+    options_.num_shards = new_num_shards;
+    return Status::OK();
+  }
+  // Quiesce + snapshot: Checkpoint drains first, so every buffered result
+  // reaches the sink before the swap, and the global view carries window
+  // state, reorder buffers, the event-time clock, and all cumulative
+  // counters.
+  Result<ExecutorCheckpoint> checkpoint = Checkpoint();
+  if (!checkpoint.ok()) return checkpoint.status();
+  // Tear down the old topology. Workers are joined before their engines
+  // are discarded; their queues are already empty from the drain.
+  if (!inline_executor_) {
+    StopWorkers();
+    stopped_ = false;
+  }
+  inline_executor_.reset();
+  shards_.clear();
+  options_.num_shards = new_num_shards;
+  events_since_drain_ = 0;
+  // Rebuild at the new width and split the snapshot across it. Restore
+  // re-buffers in-flight reorder events by the new key partitioning and
+  // cannot fail: the checkpoint came from this very executor (same plan,
+  // key space, and lateness mode).
+  BuildTopology();
+  return Restore(*checkpoint);
+}
+
+double ShardedExecutor::RingOccupancy() const {
+  double worst = 0.0;
+  for (const auto& shard : shards_) {
+    const uint64_t in_flight =
+        shard->enqueued - shard->consumed.load(std::memory_order_acquire);
+    worst = std::max(worst, static_cast<double>(in_flight) /
+                                static_cast<double>(shard->queue.capacity()));
+  }
+  return worst;
+}
+
 void ShardedExecutor::Reset() {
   for (Reorderer& reorderer : reorderers_) reorderer.Clear();
   reorder_any_seen_ = false;
@@ -328,6 +413,9 @@ void ShardedExecutor::Reset() {
   reorder_next_seq_ = 0;
   late_events_ = 0;
   reorder_buffer_peak_ = 0;
+  events_per_shard_.assign(events_per_shard_.size(), 0);
+  delivered_max_ = 0;
+  delivered_any_ = false;
   if (inline_executor_) {
     inline_executor_->Reset();
     return;

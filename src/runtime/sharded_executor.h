@@ -71,6 +71,18 @@ class EventConsumer;  // exec/reorder.h; side output for late events.
 /// count — resumes the disordered stream exactly; Finish drains the
 /// buffers before any window finalizes. DESIGN.md §9 has the full
 /// semantics.
+///
+/// ## Online elasticity (Resize)
+///
+/// Resize re-scales a live executor in place (DESIGN.md §10): quiesce,
+/// snapshot everything into the global checkpoint (window state, reorder
+/// buffers, event-time clock, op counters), tear the topology down, and
+/// rebuild it at the new width with the checkpoint split across the new
+/// shards. Because the snapshot is the same shard-count-portable view
+/// replans migrate through, the resized executor's future output is
+/// bitwise identical to one that ran at the target width from the start —
+/// no drop, duplicate, or reorder, even mid-disorder. Push may resume
+/// with the next event.
 class ShardedExecutor {
  public:
   struct Options {
@@ -146,6 +158,17 @@ class ShardedExecutor {
   /// resume under max_delay > 0. Push may resume with the next event.
   Status Restore(const ExecutorCheckpoint& checkpoint);
 
+  /// Re-scales the executor in place to min(new_num_shards, num_keys)
+  /// worker threads (1 = inline mode) with exact state handoff — see the
+  /// class comment. Buffered results are delivered (a drain point) before
+  /// the swap; cumulative counters (accumulate ops, late events, reorder
+  /// buffer peak) carry across it, while the per-topology EventsPerShard
+  /// counters restart at the new width. When the effective width is
+  /// already current this only records the requested count — no swap.
+  /// Unsupported for holistic plans (they cannot checkpoint). Invalid
+  /// after Finish.
+  Status Resize(uint32_t new_num_shards);
+
   /// Clears all shard state, counters, and buffered results.
   void Reset();
 
@@ -186,6 +209,20 @@ class ShardedExecutor {
   }
   uint64_t reorder_buffer_peak() const { return reorder_buffer_peak_; }
 
+  /// Events delivered into each shard's engine since this topology was
+  /// built (construction or the last Resize) — the skew signal. Indexed
+  /// by shard; under max_delay > 0 an event counts when the watermark
+  /// releases it, and late events never count. Session-thread state;
+  /// never blocks on the workers.
+  std::vector<uint64_t> EventsPerShard() const { return events_per_shard_; }
+
+  /// Instantaneous hand-off backlog: the worst shard's in-flight batch
+  /// count as a fraction of its ring capacity, in [0, 1]. 0 in inline
+  /// mode (no rings). A cheap load signal for auto-resize policies —
+  /// sampled without quiescing, so it is a snapshot, not a high-water
+  /// mark.
+  double RingOccupancy() const;
+
  private:
   /// Shard-local result buffer; written only by the shard's worker while a
   /// batch is in flight, read by the session thread only after a quiesce.
@@ -201,6 +238,12 @@ class ShardedExecutor {
   };
 
   struct Shard;
+
+  /// Builds the execution topology (inline executor or worker shards,
+  /// reorderers, per-shard counters) for the current options_. The
+  /// executor must hold no topology when called — the constructor's tail
+  /// and Resize's rebuild step.
+  void BuildTopology();
 
   /// Feeds one ordered (released or strict-path) event into shard
   /// `shard_index`'s engine: inline push, or pending-batch hand-off with
@@ -224,6 +267,9 @@ class ShardedExecutor {
 
   Options options_;
   ResultSink* sink_;
+  /// The plan every topology executes; the caller keeps it alive for the
+  /// executor's lifetime (Resize rebuilds engines over it).
+  const QueryPlan* plan_;
 
   /// Inline mode: the one executor, wired straight to sink_.
   std::unique_ptr<PlanExecutor> inline_executor_;
@@ -232,6 +278,20 @@ class ShardedExecutor {
   std::vector<std::unique_ptr<Shard>> shards_;
   uint64_t events_since_drain_ = 0;
   bool stopped_ = false;
+
+  /// Per-shard delivered-event counts for the current topology (session
+  /// thread only; sized num_shards()).
+  std::vector<uint64_t> events_per_shard_;
+
+  /// Largest timestamp delivered into any engine — the close frontier
+  /// checkpoints canonicalize to (see Checkpoint). Restarted by Restore
+  /// (the restored state may be older than this execution's deliveries —
+  /// a rollback-replay must not inherit the future's frontier); tracked
+  /// since construction/Restore it still coincides with the stream-wide
+  /// maximum whenever anything was delivered, because deliveries never
+  /// regress across the whole executor.
+  TimeT delivered_max_ = 0;
+  bool delivered_any_ = false;
 
   /// Bounded-lateness reorder stage (session thread only; sized
   /// num_shards() when max_delay > 0, empty otherwise). The clock is

@@ -189,28 +189,34 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
                                       options_.track_baseline);
   if (!shared.ok()) return shared.status();
 
+  // Materialize the owned plan first: the executor keeps a pointer to it
+  // for its whole lifetime (Resize rebuilds engines over it), so it must
+  // live at its final address before any executor is constructed.
+  auto shared_owned = std::make_unique<MultiQueryOptimizer::SharedPlan>(
+      std::move(*shared));
+
   // Carry surviving operator state across the swap (see class comment for
   // the migration semantics). ShardedExecutor::Checkpoint drains buffered
   // results through the old router and merges the shards into the global
   // view, so the lineage migration below is shard-count agnostic.
-  std::vector<std::string> lineages = OperatorLineages(shared->plan);
+  std::vector<std::string> lineages = OperatorLineages(shared_owned->plan);
   CheckpointMigration migration;
   if (executor_) {
     Result<ExecutorCheckpoint> checkpoint = executor_->Checkpoint();
     if (!checkpoint.ok()) return checkpoint.status();
     migration = MigrateCheckpoint(*checkpoint, lineages_, lineages);
   } else {
-    migration.cold = static_cast<int>(shared->plan.num_operators());
+    migration.cold = static_cast<int>(shared_owned->plan.num_operators());
   }
 
-  auto router =
-      std::make_unique<RoutingSink>(*shared, queries, std::move(sinks));
+  auto router = std::make_unique<RoutingSink>(*shared_owned, queries,
+                                              std::move(sinks));
   ShardedExecutor::Options exec_options;
   exec_options.num_keys = options_.num_keys;
   exec_options.num_shards = options_.num_shards;
   exec_options.max_delay = options_.max_delay;
   exec_options.late_sink = late_sink_.get();
-  auto executor = std::make_unique<ShardedExecutor>(shared->plan,
+  auto executor = std::make_unique<ShardedExecutor>(shared_owned->plan,
                                                     exec_options,
                                                     router.get());
   if (executor_) {
@@ -221,8 +227,7 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   // Commit; destroy the old executor before the router it references.
   executor_ = std::move(executor);
   router_ = std::move(router);
-  shared_ = std::make_unique<MultiQueryOptimizer::SharedPlan>(
-      std::move(*shared));
+  shared_ = std::move(shared_owned);
   lineages_ = std::move(lineages);
   ++replans_;
   last_migrated_ = migration.migrated;
@@ -231,6 +236,73 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
       std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
           .count();
   return Status::OK();
+}
+
+Status StreamSession::Resize(uint32_t new_num_shards) {
+  FW_RETURN_IF_ERROR(CheckMutable());
+  if (new_num_shards == 0) {
+    return Status::InvalidArgument("num_shards must be >= 1");
+  }
+  auto t0 = std::chrono::steady_clock::now();
+  if (executor_) {
+    // In-place exact handoff (runtime/ShardedExecutor::Resize): drains,
+    // merges shard checkpoints, rebuilds at the new width, re-splits.
+    // Cumulative counters ride inside the checkpoint, so nothing is
+    // retired here.
+    FW_RETURN_IF_ERROR(executor_->Resize(new_num_shards));
+  }
+  options_.num_shards = new_num_shards;  // Future replans keep the width.
+  ++resize_count_;
+  last_resize_ns_ = static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now() - t0)
+          .count());
+  low_occupancy_checks_ = 0;
+  return Status::OK();
+}
+
+void StreamSession::AutoResizeCheck() {
+  const AutoResizeOptions& policy = options_.auto_resize;
+  const uint32_t floor = std::max(policy.min_shards, 1u);
+  const uint32_t ceiling = std::max(policy.max_shards, floor);
+  const uint32_t current = executor_->num_shards();
+  uint32_t target = current;
+  if (current < floor) {
+    target = floor;  // Clamp into range (boots 1-shard sessions up).
+  } else if (current > ceiling) {
+    target = ceiling;
+  } else {
+    const double occupancy = executor_->RingOccupancy();
+    if (occupancy >= policy.scale_up_occupancy && current < ceiling) {
+      target = std::min(current * 2, ceiling);
+      low_occupancy_checks_ = 0;
+    } else if (occupancy <= policy.scale_down_occupancy &&
+               current > std::max(floor, 2u)) {
+      // Never scale *into* inline mode: a 1-shard session has no rings,
+      // so the occupancy signal vanishes and the monitor could never
+      // scale back up. Reaching 1 shard takes an explicit Resize.
+      if (++low_occupancy_checks_ < policy.scale_down_checks) return;
+      target = std::max(current / 2, std::max(floor, 2u));
+    } else {
+      low_occupancy_checks_ = 0;
+      return;
+    }
+  }
+  // A resize that cannot change the effective width (keyless plan, or
+  // already one shard per key) would churn executors for nothing — the
+  // cost model prices it as gain 1.
+  if (target == current ||
+      EffectiveShards(target, options_.num_keys) == current ||
+      (target > current && shared_ &&
+       shared_->PredictedResizeGain(current, target, options_.num_keys) <=
+           1.0)) {
+    return;
+  }
+  // Best-effort: a failed auto-resize (cannot happen for the plans a
+  // session admits — they always checkpoint) leaves the session at its
+  // current width, to retry at the next sample.
+  Status status = Resize(target);
+  (void)status;
 }
 
 Status StreamSession::Push(const Event& event) {
@@ -252,6 +324,11 @@ Status StreamSession::Push(const Event& event) {
     return Status::OK();
   }
   executor_->Push(event);
+  if (options_.auto_resize.enabled &&
+      ++events_since_resize_check_ >= options_.auto_resize.check_interval) {
+    events_since_resize_check_ = 0;
+    AutoResizeCheck();
+  }
   return Status::OK();
 }
 
@@ -345,7 +422,16 @@ StreamSession::SessionStats StreamSession::Stats() const {
   stats.last_replan_seconds = last_replan_seconds_;
   stats.lifetime_ops =
       retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0);
-  stats.num_shards = EffectiveShards(options_.num_shards, options_.num_keys);
+  stats.num_shards = executor_
+                         ? executor_->num_shards()
+                         : EffectiveShards(options_.num_shards,
+                                           options_.num_keys);
+  stats.resize_count = resize_count_;
+  stats.last_resize_ns = last_resize_ns_;
+  if (executor_) {
+    stats.events_per_shard = executor_->EventsPerShard();
+    stats.ring_occupancy = executor_->RingOccupancy();
+  }
   stats.late_events =
       retired_late_ + (executor_ ? executor_->late_events() : 0);
   stats.reorder_buffered = executor_ ? executor_->reorder_buffered() : 0;
@@ -366,6 +452,8 @@ StreamSession::SessionStats StreamSession::Stats() const {
     stats.predicted_savings = shared_->PredictedSavings();
     stats.predicted_shard_boost =
         shared_->PredictedShardBoost(options_.num_shards, options_.num_keys);
+    stats.sharded_cost =
+        shared_->ShardedCost(options_.num_shards, options_.num_keys);
   }
   return stats;
 }

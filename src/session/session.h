@@ -104,6 +104,21 @@ using QueryId = uint64_t;
 /// buffered events with the pipeline — they had no subscribers — and
 /// restarts its event-time clock on revival.
 ///
+/// ## Online elasticity (live shard re-scaling)
+///
+/// Resize(n) re-scales a live sharded session in place (DESIGN.md §10):
+/// the executor quiesces, merges every shard's checkpoint into the global
+/// view (window state, in-flight reorder buffers, the event-time clock,
+/// and all cumulative counters), and re-splits it across the new shard
+/// count. The handoff is *exact*: from the resize point onward the
+/// session emits bitwise what a session that ran at the target width from
+/// the start would emit — no result is dropped, duplicated, or reordered,
+/// and churn replans and bounded-lateness disorder keep working across
+/// the swap. Options::auto_resize turns on a load monitor that samples
+/// the hand-off ring occupancy every few thousand events and re-scales
+/// within [min_shards, max_shards] automatically; because resizes are
+/// exact, *when* they trigger never affects results.
+///
 /// Sessions are push-based and driven from one caller thread; with
 /// max_delay = 0 events must arrive in non-decreasing timestamp order
 /// across the whole session lifetime.
@@ -127,6 +142,43 @@ class StreamSession {
     kSideOutput,  // Count, then hand to Options::late_callback.
   };
 
+  /// Load-driven shard re-scaling (see the class comment). The monitor
+  /// runs on the Push thread: every check_interval accepted events it
+  /// samples the executor's worst-shard SPSC ring occupancy (in-flight
+  /// batches / ring capacity) and
+  ///
+  ///  * scales *up* (doubling, capped at max_shards) when one sample is
+  ///    at or above scale_up_occupancy — workers are falling behind;
+  ///  * scales *down* (halving, floored at min_shards but never below 2)
+  ///    after scale_down_checks consecutive samples at or below
+  ///    scale_down_occupancy — the rings sit empty, so fewer workers
+  ///    suffice. The monitor never steers a session *into* inline
+  ///    (1-shard) mode: inline has no rings, so the occupancy signal
+  ///    vanishes there and could never scale back up — reaching 1 shard
+  ///    takes an explicit Resize;
+  ///  * first clamps a session whose current width lies outside
+  ///    [min_shards, max_shards] back into range (this is how a session
+  ///    started at 1 shard reaches min_shards > 1).
+  ///
+  /// Scale-ups that the cost model predicts cannot help (the effective
+  /// width would not change, e.g. already one shard per key —
+  /// SharedPlan::PredictedResizeGain) are vetoed. An inline (1-shard)
+  /// session has no rings and samples occupancy 0, so it only ever
+  /// scales up via the min_shards clamp. Every automatic resize counts
+  /// in SessionStats::resize_count, exactly like an explicit Resize.
+  struct AutoResizeOptions {
+    bool enabled = false;
+    uint32_t min_shards = 1;
+    uint32_t max_shards = 8;
+    /// Accepted events between occupancy samples.
+    uint64_t check_interval = 8192;
+    double scale_up_occupancy = 0.5;
+    double scale_down_occupancy = 0.02;
+    /// Consecutive low samples required before scaling down (hysteresis:
+    /// scale up fast, down slowly).
+    int scale_down_checks = 4;
+  };
+
   struct Options {
     /// Size of the grouping-key space; events must use keys below this.
     uint32_t num_keys = 1;
@@ -144,6 +196,9 @@ class StreamSession {
     /// Receives each late event under LatePolicy::kSideOutput; null means
     /// late events are only counted.
     LateEventCallback late_callback = nullptr;
+    /// Load-driven shard re-scaling; off by default (the shard count
+    /// only changes via explicit Resize calls).
+    AutoResizeOptions auto_resize = {};
     /// Knobs forwarded to the cost-based optimizer on every (re)plan.
     OptimizerOptions optimizer = {};
     /// Also compute the independently-optimized per-query cost baseline on
@@ -166,6 +221,21 @@ class StreamSession {
   };
 
   /// Session-wide measurements.
+  ///
+  /// Counter lifecycle contract: counters documented as *cumulative*
+  /// (events_pushed, events_dropped, replans, lifetime_ops, late_events,
+  /// reorder_buffer_peak, resize_count) cover the whole session lifetime
+  /// — they never reset and are never double-counted across executor
+  /// swaps, whether the swap is a churn replan, a Resize, or an
+  /// idle-retire/revive cycle (the regression tests in
+  /// tests/elasticity_test.cc pin this). Everything else is either
+  /// *instantaneous* (live_queries, reorder_buffered, current_watermark,
+  /// ring_occupancy, the cost/boost fields), scoped to the *most recent
+  /// replan* (operators_migrated, operators_cold, last_replan_seconds) or
+  /// *most recent resize* (last_resize_ns), or scoped to the *current
+  /// executor topology* (num_shards, events_per_shard — a resize or
+  /// replan restarts the per-shard tallies at the new width, and an idle
+  /// session has none).
   struct SessionStats {
     size_t live_queries = 0;
     uint64_t events_pushed = 0;
@@ -192,12 +262,27 @@ class StreamSession {
     /// Independent baseline cost / shared cost (1 when the baseline is
     /// untracked).
     double predicted_savings = 1.0;
-    /// Effective shard count: min(Options::num_shards, num_keys), >= 1.
+    /// Effective shard count: min(num_shards requested, num_keys), >= 1.
+    /// Reflects the live executor's width, so it tracks Resize.
     uint32_t num_shards = 1;
     /// Predicted speedup of the sharded shared plan over the unshared
     /// single-threaded originals: predicted_boost x num_shards under the
     /// idealized balance model (SharedPlan::PredictedShardBoost).
     double predicted_shard_boost = 1.0;
+    /// Model cost of the current shared plan at the current width
+    /// (SharedPlan::ShardedCost — re-evaluated after every resize).
+    double sharded_cost = 0.0;
+    /// Completed Resize calls (explicit and auto), and the wall-clock
+    /// latency of the most recent one.
+    uint64_t resize_count = 0;
+    uint64_t last_resize_ns = 0;
+    /// Events delivered into each shard's engine since the current
+    /// topology was built (skew observability); empty while idle. Late
+    /// events never count; reordered events count on release.
+    std::vector<uint64_t> events_per_shard;
+    /// Instantaneous worst-shard hand-off backlog in [0, 1] — the signal
+    /// auto_resize samples. 0 for inline (1-shard) and idle sessions.
+    double ring_occupancy = 0.0;
     /// Events that arrived behind the watermark (max_delay sessions):
     /// counted here — and side-output under LatePolicy::kSideOutput —
     /// but never aggregated. A subset of events_pushed.
@@ -234,6 +319,14 @@ class StreamSession {
   /// Unsubscribes a query and replans. In-flight windows of the removed
   /// query never emit; state shared with surviving queries is retained.
   Status RemoveQuery(QueryId id);
+
+  /// Re-scales the session to min(new_num_shards, num_keys) worker
+  /// threads (1 = the inline single-threaded engine) with exact state
+  /// handoff — see the class comment. Works mid-stream, under disorder,
+  /// and interleaved with AddQuery/RemoveQuery; an idle session just
+  /// records the width for its next pipeline. Later replans keep the new
+  /// width.
+  Status Resize(uint32_t new_num_shards);
 
   /// Pushes one event through the shared plan. With max_delay = 0 events
   /// must be timestamp-ordered and out-of-order events are rejected; with
@@ -290,6 +383,11 @@ class StreamSession {
   /// commits the new pipeline. On error the session is unchanged.
   Status Rebuild(const std::vector<LiveQuery*>& live);
 
+  /// One auto-resize policy step (see AutoResizeOptions): sample ring
+  /// occupancy, pick a target width, resize if it differs. Called from
+  /// Push every check_interval accepted events while a pipeline is live.
+  void AutoResizeCheck();
+
   /// Position of `id` in queries_, or queries_.size() when unknown.
   size_t FindQuery(QueryId id) const;
 
@@ -328,6 +426,12 @@ class StreamSession {
   int last_migrated_ = 0;
   int last_cold_ = 0;
   double last_replan_seconds_ = 0.0;
+  uint64_t resize_count_ = 0;
+  uint64_t last_resize_ns_ = 0;
+  /// Auto-resize monitor state: accepted events since the last occupancy
+  /// sample, and consecutive low samples (scale-down hysteresis).
+  uint64_t events_since_resize_check_ = 0;
+  int low_occupancy_checks_ = 0;
 };
 
 }  // namespace fw

@@ -280,6 +280,103 @@ TEST(ShardCheckpoint, ReorderSectionSplitsAndMergesByKeyOwnership) {
   EXPECT_EQ(roundtrip->Serialize(), global.Serialize());
 }
 
+TEST(ShardCheckpoint, MergeRejectsEmptyInputAndMismatchedFingerprints) {
+  // No shards at all is a caller bug, not a valid empty merge.
+  EXPECT_EQ(MergeShardCheckpoints({}).status().code(),
+            StatusCode::kInvalidArgument);
+
+  // Same operator count but different operator ids: the checkpoints came
+  // from plans with different operator layouts (mismatched fingerprints)
+  // and must not be zipped together positionally.
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  ExecutorCheckpoint a;
+  a.operators.push_back(op);
+  ExecutorCheckpoint b;
+  op.operator_id = 7;
+  b.operators.push_back(op);
+  EXPECT_EQ(MergeShardCheckpoints({a, b}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardCheckpoint, MergeRejectsKeySpaceMismatch) {
+  // Two shards snapshotting "the same" instance over different key-space
+  // sizes cannot union per-key states.
+  auto make = [](size_t num_keys, uint32_t key) {
+    ExecutorCheckpoint shard;
+    OperatorCheckpoint op;
+    op.operator_id = 0;
+    op.next_m = 1;
+    InstanceCheckpoint inst;
+    inst.m = 0;
+    inst.states.resize(num_keys);
+    inst.states[key].n = 1;
+    op.open_instances.push_back(inst);
+    shard.operators.push_back(op);
+    return shard;
+  };
+  EXPECT_EQ(MergeShardCheckpoints({make(4, 1), make(8, 5)}).status().code(),
+            StatusCode::kInvalidArgument);
+}
+
+TEST(ShardCheckpoint, MergeOfStatelessShardsIsEmptyButWellFormed) {
+  // Shards that saw no events (every instance closed, or never opened)
+  // merge into a clean zero checkpoint — the "empty-shard merge" path a
+  // Resize of a quiet session exercises.
+  ExecutorCheckpoint empty_shard;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  empty_shard.operators.push_back(op);
+
+  Result<ExecutorCheckpoint> merged =
+      MergeShardCheckpoints({empty_shard, empty_shard, empty_shard});
+  ASSERT_TRUE(merged.ok()) << merged.status().ToString();
+  ASSERT_EQ(merged->operators.size(), 1u);
+  EXPECT_EQ(merged->operators[0].next_m, 0);
+  EXPECT_EQ(merged->operators[0].accumulate_ops, 0u);
+  EXPECT_TRUE(merged->operators[0].open_instances.empty());
+  EXPECT_TRUE(merged->reorder.Inactive());
+}
+
+TEST(ShardCheckpoint, SplitToMoreShardsThanKeysRoundTrips) {
+  // 4 keys split across 8 shards: at least half the shards own no key at
+  // all and must come back empty (but structurally valid), and the
+  // merge of all parts is still the identity.
+  constexpr uint32_t kKeys = 4;
+  constexpr uint32_t kShards = 8;
+  ExecutorCheckpoint global;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  op.next_m = 3;
+  op.accumulate_ops = 12;
+  InstanceCheckpoint inst;
+  inst.m = 2;
+  inst.states.resize(kKeys);
+  for (uint32_t k = 0; k < kKeys; ++k) inst.states[k].n = k + 1;
+  op.open_instances.push_back(inst);
+  global.operators.push_back(op);
+
+  std::vector<ExecutorCheckpoint> parts;
+  uint32_t empty_shards = 0;
+  for (uint32_t shard = 0; shard < kShards; ++shard) {
+    parts.push_back(ExtractShardCheckpoint(global, shard, kShards));
+    bool owns_any = false;
+    for (uint32_t k = 0; k < kKeys; ++k) {
+      const bool owned = ShardForKey(k, kShards) == shard;
+      owns_any |= owned;
+      EXPECT_EQ(
+          parts.back().operators[0].open_instances[0].states[k].empty(),
+          !owned);
+    }
+    if (!owns_any) ++empty_shards;
+  }
+  EXPECT_GE(empty_shards, kShards - kKeys);
+
+  Result<ExecutorCheckpoint> roundtrip = MergeShardCheckpoints(parts);
+  ASSERT_TRUE(roundtrip.ok()) << roundtrip.status().ToString();
+  EXPECT_EQ(roundtrip->Serialize(), global.Serialize());
+}
+
 TEST(ShardCheckpoint, MergeRejectsDuplicateBufferedSeq) {
   ExecutorCheckpoint shard;
   OperatorCheckpoint op;
