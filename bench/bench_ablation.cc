@@ -72,7 +72,7 @@ int main() {
         for (const Wcg::Node& node : wcg.graph.nodes()) {
           total_factors += node.is_factor ? 1 : 0;
         }
-        QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+        QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
         RunStats stats = RunPlan(plan, events, 1);
         total_ops += static_cast<double>(stats.ops);
         total_tput += stats.throughput;
@@ -102,7 +102,7 @@ int main() {
       std::vector<WindowSet> sets = GeneratePanelWindowSets(config);
       for (const WindowSet& set : sets) {
         CountingSink sink;
-        SlicingEvaluator evaluator(set, AggKind::kMin,
+        SlicingEvaluator evaluator(set, Agg("MIN"),
                                    {.num_keys = 1, .mode = mode}, &sink);
         auto start = std::chrono::steady_clock::now();
         evaluator.Run(events);

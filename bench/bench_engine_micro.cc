@@ -21,7 +21,7 @@ void BM_RawPushTumbling(benchmark::State& state) {
   CountingSink sink;
   WindowAggregateOperator::Config config;
   config.window = Window::Tumbling(64);
-  config.agg = AggKind::kMin;
+  config.agg = Agg("MIN");
   WindowAggregateOperator op(config, &sink);
   for (auto _ : state) {
     op.Reset();
@@ -40,7 +40,7 @@ void BM_RawPushHopping(benchmark::State& state) {
   CountingSink sink;
   WindowAggregateOperator::Config config;
   config.window = Window(8 * ratio, 8);
-  config.agg = AggKind::kMin;
+  config.agg = Agg("MIN");
   WindowAggregateOperator op(config, &sink);
   for (auto _ : state) {
     op.Reset();
@@ -59,7 +59,7 @@ void BM_SubAggregateChain(benchmark::State& state) {
   CountingSink sink;
   WindowAggregateOperator::Config c1;
   c1.window = Window::Tumbling(16);
-  c1.agg = AggKind::kSum;
+  c1.agg = Agg("SUM");
   c1.exposed = true;
   WindowAggregateOperator::Config c2 = c1;
   c2.window = Window::Tumbling(64);
@@ -93,7 +93,7 @@ void BM_KeyedAggregation(benchmark::State& state) {
   CountingSink sink;
   WindowAggregateOperator::Config config;
   config.window = Window::Tumbling(128);
-  config.agg = AggKind::kAvg;
+  config.agg = Agg("AVG");
   config.num_keys = keys;
   WindowAggregateOperator op(config, &sink);
   for (auto _ : state) {
@@ -115,8 +115,8 @@ void BM_FullPlanOriginalVsRewritten(benchmark::State& state) {
           ? QueryPlan::FromMinCostWcg(
                 OptimizeWithFactorWindows(
                     set, CoverageSemantics::kPartitionedBy),
-                AggKind::kMin)
-          : QueryPlan::Original(set, AggKind::kMin);
+                Agg("MIN"))
+          : QueryPlan::Original(set, Agg("MIN"));
   std::vector<Event> events = MakeStream(1 << 16, 1);
   CountingSink sink;
   for (auto _ : state) {

@@ -28,7 +28,7 @@ int main() {
     config.set_size = 10;
     std::vector<SlicingComparisonResult> rows;
     for (const WindowSet& set : GeneratePanelWindowSets(config)) {
-      QuerySetup setup{set, AggKind::kMin,
+      QuerySetup setup{set, Agg("MIN"),
                        SemanticsForWindowKind(config.tumbling)};
       rows.push_back(CompareWithSlicing(setup, events, 1));
     }

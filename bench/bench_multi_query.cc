@@ -24,7 +24,7 @@ std::vector<StreamQuery> MakeDashboards(int count, uint64_t seed) {
   for (int i = 0; i < count; ++i) {
     StreamQuery q;
     q.source = "telemetry";
-    q.agg = AggKind::kMin;
+    q.agg = Agg("MIN");
     q.value_column = "v";
     int windows = 1 + static_cast<int>(rng.Uniform(0, 1));
     while (static_cast<int>(q.windows.size()) < windows) {

@@ -21,7 +21,7 @@ using namespace fw;
 StreamQuery MakeDashboard(Rng* rng) {
   StreamQuery q;
   q.source = "telemetry";
-  q.agg = AggKind::kMin;
+  q.agg = Agg("MIN");
   q.value_column = "v";
   int windows = 1 + static_cast<int>(rng->Uniform(0, 1));
   while (static_cast<int>(q.windows.size()) < windows) {

@@ -24,9 +24,9 @@ int Run(int argc, char** argv) {
       GenerateSyntheticStream(args.events, args.keys, kSyntheticSeed);
 
   std::printf(
-      "shard scaling  [%zu events, %u keys, MAX dashboards "
+      "shard scaling  [%zu events, %u keys, %s dashboards "
       "T(20)+H(60,20)+T(40)+T(120)]\n",
-      events.size(), args.keys);
+      events.size(), args.keys, args.agg.c_str());
   std::printf("%8s %10s %14s %9s %12s\n", "shards", "effective", "events/s",
               "speedup", "results");
 
@@ -50,7 +50,7 @@ int Run(int argc, char** argv) {
       }
     };
     QueryBuilder dash =
-        Query().Max("v").From("fleet").PerKey("device");
+        Query().Aggregate(args.agg, "v").From("fleet").PerKey("device");
     add(QueryBuilder(dash).Tumbling(20).Hopping(60, 20));
     add(QueryBuilder(dash).Tumbling(40));
     add(QueryBuilder(dash).Tumbling(120));

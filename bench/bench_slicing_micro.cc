@@ -18,7 +18,7 @@ void BM_SlicingSequentialTumbling(benchmark::State& state) {
   std::vector<Event> events =
       GenerateSyntheticStream(1 << 16, 1, kSyntheticSeed);
   CountingSink sink;
-  SlicingEvaluator evaluator(set, AggKind::kMin, {.num_keys = 1}, &sink);
+  SlicingEvaluator evaluator(set, Agg("MIN"), {.num_keys = 1}, &sink);
   for (auto _ : state) {
     evaluator.Reset();
     evaluator.Run(events);
@@ -36,7 +36,7 @@ void BM_SlicingSequentialHopping(benchmark::State& state) {
   std::vector<Event> events =
       GenerateSyntheticStream(1 << 16, 1, kSyntheticSeed);
   CountingSink sink;
-  SlicingEvaluator evaluator(set, AggKind::kMin, {.num_keys = 1}, &sink);
+  SlicingEvaluator evaluator(set, Agg("MIN"), {.num_keys = 1}, &sink);
   for (auto _ : state) {
     evaluator.Reset();
     evaluator.Run(events);
@@ -53,7 +53,7 @@ void BM_SlicingKeyed(benchmark::State& state) {
   std::vector<Event> events =
       GenerateSyntheticStream(1 << 15, keys, kSyntheticSeed);
   CountingSink sink;
-  SlicingEvaluator evaluator(set, AggKind::kSum, {.num_keys = keys}, &sink);
+  SlicingEvaluator evaluator(set, Agg("SUM"), {.num_keys = keys}, &sink);
   for (auto _ : state) {
     evaluator.Reset();
     evaluator.Run(events);

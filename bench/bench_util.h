@@ -28,12 +28,15 @@ namespace bench {
 ///                        (ApplyBoundedDisorder; bench_out_of_order)
 ///   --max-delays=0,64,.. Options::max_delay values to sweep; 0 runs the
 ///                        sorted stream strictly as the baseline
+///   --agg=NAME           aggregate function (any registered name, e.g.
+///                        MAX, AVG, P99, DISTINCT_COUNT)
 struct BenchArgs {
   std::vector<uint32_t> shards = {1, 2, 4, 8};
   size_t events = 0;
   uint32_t keys = 64;
   size_t disorder = 256;
   std::vector<TimeT> max_delays = {0, 64, 256, 1024};
+  std::string agg = "MAX";
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -43,7 +46,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
   auto fail = [&](const std::string& message) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]"
-                 " [--disorder=N] [--max-delays=0,64,256]\n",
+                 " [--disorder=N] [--max-delays=0,64,256] [--agg=NAME]\n",
                  message.c_str(), argv[0]);
     std::exit(2);
   };
@@ -94,6 +97,11 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
       args.max_delays.clear();
       for (long long value : parse_list(arg, 13, 0)) {
         args.max_delays.push_back(static_cast<TimeT>(value));
+      }
+    } else if (arg.rfind("--agg=", 0) == 0) {
+      args.agg = arg.substr(6);
+      if (FindAggregate(args.agg) == nullptr) {
+        fail("unknown aggregate in '" + arg + "'");
       }
     } else {
       fail("unknown flag '" + arg + "'");

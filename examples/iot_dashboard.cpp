@@ -46,7 +46,7 @@ int main() {
   for (TimeT r : kSpans) {
     (void)windows.Add(Window(r, 10));
   }
-  QueryPlan original = QueryPlan::Original(windows, AggKind::kMax);
+  QueryPlan original = QueryPlan::Original(windows, Agg("MAX"));
   Status verified = VerifyEquivalence(original, *session.shared_plan(),
                                       events, kDevices);
   std::printf("result equivalence: %s\n\n", verified.ToString().c_str());

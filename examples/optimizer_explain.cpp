@@ -17,16 +17,12 @@
 
 namespace {
 
-fw::AggKind ParseAgg(const char* name) {
-  using fw::AggKind;
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
-                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
-                       AggKind::kVariance, AggKind::kRange,
-                       AggKind::kMedian}) {
-    if (std::strcmp(name, fw::AggKindToString(kind)) == 0) return kind;
-  }
+fw::AggFn ParseAgg(const char* name) {
+  // Any registered aggregate works — built-ins and user-defined alike.
+  fw::AggFn fn = fw::FindAggregate(name);
+  if (fn != nullptr) return fn;
   std::fprintf(stderr, "unknown aggregate '%s', using MIN\n", name);
-  return AggKind::kMin;
+  return fw::Agg("MIN");
 }
 
 }  // namespace
@@ -34,7 +30,7 @@ fw::AggKind ParseAgg(const char* name) {
 int main(int argc, char** argv) {
   using namespace fw;
   const char* spec = argc > 1 ? argv[1] : "{T(20), T(30), T(40)}";
-  AggKind agg = argc > 2 ? ParseAgg(argv[2]) : AggKind::kMin;
+  AggFn agg = argc > 2 ? ParseAgg(argv[2]) : Agg("MIN");
 
   Result<WindowSet> parsed = WindowSet::Parse(spec);
   if (!parsed.ok()) {
@@ -43,7 +39,7 @@ int main(int argc, char** argv) {
     return 1;
   }
   WindowSet windows = *parsed;
-  std::printf("query: %s over %s\n\n", AggKindToString(agg),
+  std::printf("query: %s over %s\n\n", agg->name.c_str(),
               windows.ToString().c_str());
 
   Result<OptimizationOutcome> outcome = OptimizeQuery(windows, agg);
@@ -80,18 +76,7 @@ int main(int argc, char** argv) {
   // The same query through the front door: a StreamSession owns this whole
   // pipeline and exposes the result as EXPLAIN output.
   StreamSession session;
-  QueryBuilder builder;
-  switch (agg) {
-    case AggKind::kMin: builder = Query().Min("v"); break;
-    case AggKind::kMax: builder = Query().Max("v"); break;
-    case AggKind::kSum: builder = Query().Sum("v"); break;
-    case AggKind::kCount: builder = Query().Count("v"); break;
-    case AggKind::kAvg: builder = Query().Avg("v"); break;
-    case AggKind::kStdev: builder = Query().Stdev("v"); break;
-    case AggKind::kVariance: builder = Query().Variance("v"); break;
-    case AggKind::kRange: builder = Query().Range("v"); break;
-    case AggKind::kMedian: builder = Query().Median("v"); break;
-  }
+  QueryBuilder builder = Query().Aggregate(agg->name, "v");
   builder.From("input");
   for (const Window& w : windows) builder.Over(w);
   Result<QueryId> id = session.AddQuery(builder);

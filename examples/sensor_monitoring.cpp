@@ -23,11 +23,11 @@ int main() {
       EventCountFromEnv("FW_EVENTS_1M", 400'000), 1, kDebsSeed);
   std::printf("power-sensor stream: %zu readings\n\n", events.size());
 
-  for (AggKind agg : {AggKind::kAvg, AggKind::kStdev}) {
+  for (AggFn agg : {Agg("AVG"), Agg("STDEV")}) {
     StreamSession session;
     QueryBuilder query = Query().From("power").Tumbling(60).Tumbling(120)
                              .Tumbling(240).Tumbling(480);
-    query = agg == AggKind::kAvg ? query.Avg("mf01") : query.Stdev("mf01");
+    query = agg == Agg("AVG") ? query.Avg("mf01") : query.Stdev("mf01");
     CountingSink sink;
     (void)session
         .AddQuery(query, [&sink](const WindowResult& r) { sink.OnResult(r); })
@@ -42,7 +42,7 @@ int main() {
 
     RunStats naive = RunPlan(original, events, 1);
     StreamSession::SessionStats stats = session.Stats();
-    std::printf("%s over %s:\n", AggKindToString(agg),
+    std::printf("%s over %s:\n", agg->name.c_str(),
                 windows.ToString().c_str());
     std::printf("  verification: %s\n", verified.ToString().c_str());
     std::printf("  %llu results; ops %llu -> %llu (predicted boost "
@@ -62,7 +62,7 @@ int main() {
               "original plan\n",
               median.status().ToString().c_str());
   WindowSet median_windows = WindowSet::Parse("{T(60), T(120)}").value();
-  QueryPlan fallback = QueryPlan::Original(median_windows, AggKind::kMedian);
+  QueryPlan fallback = QueryPlan::Original(median_windows, Agg("MEDIAN"));
   RunStats stats = RunPlan(fallback, events, 1);
   std::printf("  unshared MEDIAN plan: %.1f K events/s, %llu results\n",
               stats.throughput / 1000.0,

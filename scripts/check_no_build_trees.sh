@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# CI guard: build trees must never be tracked in git (they are local
+# artifacts; .gitignore covers build*/). Fails listing any offender.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+tracked=$(git ls-files -- 'build*/' || true)
+if [ -n "$tracked" ]; then
+  echo "ERROR: build-tree files are tracked in git:" >&2
+  echo "$tracked" | head -20 >&2
+  echo "(run: git rm -r --cached 'build*/')" >&2
+  exit 1
+fi
+echo "OK: no tracked build trees"

@@ -42,7 +42,7 @@ bool PlansStructurallyEqual(const QueryPlan& a, const QueryPlan& b) {
 }
 
 Result<AdaptiveOptimizer> AdaptiveOptimizer::Make(const WindowSet& windows,
-                                                  AggKind agg,
+                                                  AggFn agg,
                                                   const Options& options) {
   if (windows.empty()) {
     return Status::InvalidArgument("empty window set");
@@ -55,7 +55,7 @@ Result<AdaptiveOptimizer> AdaptiveOptimizer::Make(const WindowSet& windows,
   return AdaptiveOptimizer(windows, agg, *semantics, options);
 }
 
-AdaptiveOptimizer::AdaptiveOptimizer(const WindowSet& windows, AggKind agg,
+AdaptiveOptimizer::AdaptiveOptimizer(const WindowSet& windows, AggFn agg,
                                      CoverageSemantics semantics,
                                      const Options& options)
     : windows_(windows),

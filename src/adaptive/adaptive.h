@@ -55,10 +55,10 @@ class AdaptiveOptimizer {
 
   /// Validated construction; compiles the initial plan at η = 1.
   static Result<AdaptiveOptimizer> Make(const WindowSet& windows,
-                                        AggKind agg,
+                                        AggFn agg,
                                         const Options& options);
   static Result<AdaptiveOptimizer> Make(const WindowSet& windows,
-                                        AggKind agg) {
+                                        AggFn agg) {
     return Make(windows, agg, Options());
   }
 
@@ -88,13 +88,13 @@ class AdaptiveOptimizer {
   bool MaybeReoptimize();
 
  private:
-  AdaptiveOptimizer(const WindowSet& windows, AggKind agg,
+  AdaptiveOptimizer(const WindowSet& windows, AggFn agg,
                     CoverageSemantics semantics, const Options& options);
 
   void Recompile(double eta);
 
   WindowSet windows_;
-  AggKind agg_;
+  AggFn agg_;
   CoverageSemantics semantics_;
   Options options_;
   RateEstimator estimator_;

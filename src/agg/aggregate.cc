@@ -1,35 +1,304 @@
 #include "agg/aggregate.h"
 
 #include <algorithm>
+#include <bit>
+#include <cctype>
 #include <cmath>
+#include <sstream>
 
+#include "agg/sketch.h"
 #include "common/logging.h"
 
 namespace fw {
 
-const char* AggKindToString(AggKind kind) {
-  switch (kind) {
-    case AggKind::kMin:
-      return "MIN";
-    case AggKind::kMax:
-      return "MAX";
-    case AggKind::kSum:
-      return "SUM";
-    case AggKind::kCount:
-      return "COUNT";
-    case AggKind::kAvg:
-      return "AVG";
-    case AggKind::kStdev:
-      return "STDEV";
-    case AggKind::kVariance:
-      return "VARIANCE";
-    case AggKind::kRange:
-      return "RANGE";
-    case AggKind::kMedian:
-      return "MEDIAN";
+namespace {
+
+std::string UpperCased(std::string_view name) {
+  std::string upper(name);
+  for (char& c : upper) {
+    c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
   }
-  return "UNKNOWN";
+  return upper;
 }
+
+bool IsIdentifier(const std::string& name) {
+  if (name.empty()) return false;
+  if (!std::isalpha(static_cast<unsigned char>(name[0])) && name[0] != '_') {
+    return false;
+  }
+  for (char c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c)) && c != '_') {
+      return false;
+    }
+  }
+  return true;
+}
+
+// Bootstraps a sketch extension on first touch and returns the typed
+// state. Sketches are trivially-copyable PODs placement-constructed into
+// the state's extension buffer (the state_bytes contract).
+template <typename Sketch>
+Sketch* SketchOf(AggState* state) {
+  if (state->n == 0) {
+    return new (state->EnsureExt(sizeof(Sketch))) Sketch();
+  }
+  return state->template ext_as<Sketch>();
+}
+
+// --- Built-in operations ---------------------------------------------------
+//
+// Contracts (see AggregateFunction): accumulate folds one raw value and
+// advances n; merge folds a sub-aggregate, no-ops on empty `other`, and
+// handles an empty `this` (states bootstrap lazily — there is no separate
+// identity step on the hot path); finalize is only called on non-empty
+// states.
+
+void MinAccumulate(AggState* s, double v) {
+  if (s->n == 0 || v < s->v1) s->v1 = v;
+  ++s->n;
+}
+void MinMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  if (s->n == 0 || o.v1 < s->v1) s->v1 = o.v1;
+  s->n += o.n;
+}
+double ValueFinalize(const AggState& s) { return s.v1; }
+
+void MaxAccumulate(AggState* s, double v) {
+  if (s->n == 0 || v > s->v1) s->v1 = v;
+  ++s->n;
+}
+void MaxMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  if (s->n == 0 || o.v1 > s->v1) s->v1 = o.v1;
+  s->n += o.n;
+}
+
+void SumAccumulate(AggState* s, double v) {
+  s->v1 += v;
+  ++s->n;
+}
+void SumMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  s->v1 += o.v1;
+  s->n += o.n;
+}
+
+void CountAccumulate(AggState* s, double) { ++s->n; }
+void CountMerge(AggState* s, const AggState& o) { s->n += o.n; }
+double CountFinalize(const AggState& s) {
+  return static_cast<double>(s.n);
+}
+
+double AvgFinalize(const AggState& s) {
+  return s.v1 / static_cast<double>(s.n);
+}
+
+void MomentsAccumulate(AggState* s, double v) {
+  s->v1 += v;
+  s->v2 += v * v;
+  ++s->n;
+}
+void MomentsMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  s->v1 += o.v1;
+  s->v2 += o.v2;
+  s->n += o.n;
+}
+// Sum-of-squares variance can go (slightly) negative under catastrophic
+// cancellation for near-constant large-magnitude inputs; the clamp keeps
+// VARIANCE at 0 and STDEV's sqrt off NaN.
+double VarianceFinalize(const AggState& s) {
+  const double count = static_cast<double>(s.n);
+  const double mean = s.v1 / count;
+  return std::max(s.v2 / count - mean * mean, 0.0);
+}
+double StdevFinalize(const AggState& s) {
+  return std::sqrt(VarianceFinalize(s));
+}
+
+void RangeAccumulate(AggState* s, double v) {
+  if (s->n == 0) {
+    s->v1 = v;
+    s->v2 = v;
+  } else {
+    if (v < s->v1) s->v1 = v;
+    if (v > s->v2) s->v2 = v;
+  }
+  ++s->n;
+}
+void RangeMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  if (s->n == 0) {
+    s->v1 = o.v1;
+    s->v2 = o.v2;
+  } else {
+    if (o.v1 < s->v1) s->v1 = o.v1;
+    if (o.v2 > s->v2) s->v2 = o.v2;
+  }
+  s->n += o.n;
+}
+double RangeFinalize(const AggState& s) { return s.v2 - s.v1; }
+
+// FIRST/LAST lean on the ordering contract: raw values fold in time order
+// and sub-aggregates merge in non-decreasing window-end order ("partitioned
+// by" tiles arrive oldest first), so "first seen" / "latest seen" are the
+// window's first/last value.
+void FirstAccumulate(AggState* s, double v) {
+  if (s->n == 0) s->v1 = v;
+  ++s->n;
+}
+void FirstMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  if (s->n == 0) s->v1 = o.v1;
+  s->n += o.n;
+}
+
+void LastAccumulate(AggState* s, double v) {
+  s->v1 = v;
+  ++s->n;
+}
+void LastMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  s->v1 = o.v1;
+  s->n += o.n;
+}
+
+double MedianFinalize(HolisticState* state) {
+  FW_CHECK(!state->empty()) << "finalize of empty holistic state";
+  size_t mid = (state->values.size() - 1) / 2;
+  std::nth_element(state->values.begin(), state->values.begin() + mid,
+                   state->values.end());
+  return state->values[mid];
+}
+
+void P99Accumulate(AggState* s, double v) {
+  SketchOf<QuantileSketch>(s)->Add(v);
+  ++s->n;
+}
+void P99Merge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  QuantileSketch* sketch = SketchOf<QuantileSketch>(s);
+  sketch->Merge(*o.ext_as<QuantileSketch>());
+  s->n += o.n;
+}
+double P99Finalize(const AggState& s) {
+  return s.ext_as<QuantileSketch>()->Quantile(0.99, s.n);
+}
+
+void DistinctAccumulate(AggState* s, double v) {
+  SketchOf<HllSketch>(s)->Add(v);
+  ++s->n;
+}
+void DistinctMerge(AggState* s, const AggState& o) {
+  if (o.n == 0) return;
+  HllSketch* sketch = SketchOf<HllSketch>(s);
+  sketch->Merge(*o.ext_as<HllSketch>());
+  s->n += o.n;
+}
+double DistinctFinalize(const AggState& s) {
+  return s.ext_as<HllSketch>()->Estimate();
+}
+
+void RegisterBuiltins(AggregateRegistry* registry) {
+  const auto must = [registry](AggregateFunction fn) {
+    Result<AggFn> registered = registry->Register(std::move(fn));
+    FW_CHECK(registered.ok()) << registered.status().message();
+  };
+  // The paper's §III-A set: MIN/MAX/SUM/COUNT distributive, AVG/STDEV
+  // algebraic, MEDIAN holistic — plus the footnote-2 extensions VARIANCE
+  // and RANGE (overlap-safe like MIN/MAX: its (min, max) state is a pair
+  // of idempotent components).
+  must({.name = "MIN",
+        .description = "smallest value",
+        .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = true,
+        .accumulate = MinAccumulate,
+        .merge = MinMerge,
+        .finalize = ValueFinalize});
+  must({.name = "MAX",
+        .description = "largest value",
+        .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = true,
+        .accumulate = MaxAccumulate,
+        .merge = MaxMerge,
+        .finalize = ValueFinalize});
+  must({.name = "SUM",
+        .description = "sum of values",
+        .agg_class = AggClass::kDistributive,
+        .accumulate = SumAccumulate,
+        .merge = SumMerge,
+        .finalize = ValueFinalize});
+  must({.name = "COUNT",
+        .description = "number of events",
+        .agg_class = AggClass::kDistributive,
+        .accumulate = CountAccumulate,
+        .merge = CountMerge,
+        .finalize = CountFinalize});
+  must({.name = "AVG",
+        .description = "arithmetic mean",
+        .agg_class = AggClass::kAlgebraic,
+        .accumulate = SumAccumulate,
+        .merge = SumMerge,
+        .finalize = AvgFinalize});
+  must({.name = "STDEV",
+        .description = "population standard deviation",
+        .agg_class = AggClass::kAlgebraic,
+        .accumulate = MomentsAccumulate,
+        .merge = MomentsMerge,
+        .finalize = StdevFinalize});
+  must({.name = "VARIANCE",
+        .description = "population variance",
+        .agg_class = AggClass::kAlgebraic,
+        .accumulate = MomentsAccumulate,
+        .merge = MomentsMerge,
+        .finalize = VarianceFinalize});
+  must({.name = "RANGE",
+        .description = "max - min",
+        .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = true,
+        .accumulate = RangeAccumulate,
+        .merge = RangeMerge,
+        .finalize = RangeFinalize});
+  must({.name = "MEDIAN",
+        .description = "middle value (holistic; unshared plans only)",
+        .agg_class = AggClass::kHolistic,
+        .holistic_finalize = MedianFinalize});
+  // Registry-era extensions: the functions footnote 2 asks for, flowing
+  // through the same sharing machinery via their declared properties.
+  must({.name = "FIRST",
+        .description = "earliest value in the window",
+        .agg_class = AggClass::kDistributive,
+        .merge_order_sensitive = true,
+        .accumulate = FirstAccumulate,
+        .merge = FirstMerge,
+        .finalize = ValueFinalize});
+  must({.name = "LAST",
+        .description = "latest value in the window",
+        .agg_class = AggClass::kDistributive,
+        .merge_order_sensitive = true,
+        .accumulate = LastAccumulate,
+        .merge = LastMerge,
+        .finalize = ValueFinalize});
+  must({.name = "P99",
+        .description =
+            "99th-percentile estimate (log-bucketed quantile sketch)",
+        .agg_class = AggClass::kAlgebraic,
+        .state_bytes = sizeof(QuantileSketch),
+        .accumulate = P99Accumulate,
+        .merge = P99Merge,
+        .finalize = P99Finalize});
+  must({.name = "DISTINCT_COUNT",
+        .description = "distinct-value estimate (HyperLogLog sketch)",
+        .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = true,
+        .state_bytes = sizeof(HllSketch),
+        .accumulate = DistinctAccumulate,
+        .merge = DistinctMerge,
+        .finalize = DistinctFinalize});
+}
+
+}  // namespace
 
 const char* AggClassToString(AggClass cls) {
   switch (cls) {
@@ -43,97 +312,188 @@ const char* AggClassToString(AggClass cls) {
   return "unknown";
 }
 
-AggClass ClassOf(AggKind kind) {
-  switch (kind) {
-    case AggKind::kMin:
-    case AggKind::kMax:
-    case AggKind::kSum:
-    case AggKind::kCount:
-      return AggClass::kDistributive;
-    case AggKind::kAvg:
-    case AggKind::kStdev:
-    case AggKind::kVariance:
-    case AggKind::kRange:
-      return AggClass::kAlgebraic;
-    case AggKind::kMedian:
-      return AggClass::kHolistic;
+uint8_t* AggState::EnsureExt(uint32_t size) {
+  if (ext_size_ != size) {
+    delete[] ext_;
+    ext_ = size > 0 ? new uint8_t[size]() : nullptr;
+    ext_size_ = size;
   }
-  return AggClass::kHolistic;
+  return ext_;
 }
 
-bool SupportsOverlappingMerge(AggKind kind) {
-  // MIN and MAX per Theorem 6; RANGE is our footnote-2 extension — its
-  // (min, max) state is a pair of overlap-safe components, so merging
-  // overlapping partitions cannot change either bound.
-  return kind == AggKind::kMin || kind == AggKind::kMax ||
-         kind == AggKind::kRange;
-}
-
-bool SupportsSharing(AggKind kind) {
-  return ClassOf(kind) != AggClass::kHolistic;
-}
-
-Result<CoverageSemantics> SemanticsFor(AggKind kind) {
-  if (!SupportsSharing(kind)) {
+Result<CoverageSemantics> AggregateFunction::SharingSemantics() const {
+  if (!SupportsSharing()) {
     return Status::Unimplemented(
-        std::string(AggKindToString(kind)) +
-        " is holistic; shared evaluation is not supported");
+        name + " is holistic; shared evaluation is not supported");
   }
-  return SupportsOverlappingMerge(kind) ? CoverageSemantics::kCoveredBy
-                                        : CoverageSemantics::kPartitionedBy;
+  return overlap_merge_safe ? CoverageSemantics::kCoveredBy
+                            : CoverageSemantics::kPartitionedBy;
 }
 
-double AggFinalize(AggKind kind, const AggState& state) {
+void SerializeAggState(const AggState& state, std::ostream& os) {
+  // Canonical form: empty states drop any recycled extension allocation.
+  const uint32_t ext_size = state.empty() ? 0 : state.ext_size();
+  os << std::bit_cast<uint64_t>(state.v1) << " "
+     << std::bit_cast<uint64_t>(state.v2) << " " << state.n << " "
+     << ext_size;
+  if (ext_size > 0) {
+    os << " ";
+    static const char* kHex = "0123456789abcdef";
+    const uint8_t* bytes = state.ext();
+    for (uint32_t i = 0; i < ext_size; ++i) {
+      os << kHex[bytes[i] >> 4] << kHex[bytes[i] & 0xf];
+    }
+  }
+}
+
+Status DeserializeAggState(std::istream& is, AggState* state) {
+  uint64_t v1 = 0;
+  uint64_t v2 = 0;
+  uint32_t ext_size = 0;
+  if (!(is >> v1 >> v2 >> state->n >> ext_size)) {
+    return Status::InvalidArgument("bad aggregate-state record");
+  }
+  state->v1 = std::bit_cast<double>(v1);
+  state->v2 = std::bit_cast<double>(v2);
+  if (ext_size == 0) {
+    state->EnsureExt(0);
+    return Status::OK();
+  }
+  std::string hex;
+  if (!(is >> hex) || hex.size() != 2 * static_cast<size_t>(ext_size)) {
+    return Status::InvalidArgument("bad aggregate-state payload");
+  }
+  uint8_t* bytes = state->EnsureExt(ext_size);
+  const auto nibble = [](char c) -> int {
+    if (c >= '0' && c <= '9') return c - '0';
+    if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+    return -1;
+  };
+  for (uint32_t i = 0; i < ext_size; ++i) {
+    const int hi = nibble(hex[2 * i]);
+    const int lo = nibble(hex[2 * i + 1]);
+    if (hi < 0 || lo < 0) {
+      return Status::InvalidArgument("bad aggregate-state payload");
+    }
+    bytes[i] = static_cast<uint8_t>((hi << 4) | lo);
+  }
+  return Status::OK();
+}
+
+std::string AggregateFunction::SerializeState(const AggState& state) const {
+  std::ostringstream os;
+  SerializeAggState(state, os);
+  return os.str();
+}
+
+Result<AggState> AggregateFunction::DeserializeState(
+    const std::string& text) const {
+  std::istringstream is(text);
+  AggState state;
+  FW_RETURN_IF_ERROR(DeserializeAggState(is, &state));
+  const uint32_t expected = state.n == 0 ? 0 : state_bytes;
+  if (state.ext_size() != expected) {
+    return Status::InvalidArgument(
+        "state payload is " + std::to_string(state.ext_size()) + " bytes, " +
+        name + " expects " + std::to_string(expected));
+  }
+  return state;
+}
+
+AggregateRegistry& AggregateRegistry::Global() {
+  static AggregateRegistry* registry = [] {
+    auto* r = new AggregateRegistry();
+    RegisterBuiltins(r);
+    return r;
+  }();
+  return *registry;
+}
+
+Result<AggFn> AggregateRegistry::Register(AggregateFunction fn) {
+  fn.name = UpperCased(fn.name);
+  if (!IsIdentifier(fn.name)) {
+    return Status::InvalidArgument(
+        "aggregate name '" + fn.name +
+        "' is not an identifier ([A-Z_][A-Z0-9_]*)");
+  }
+  if (fn.agg_class == AggClass::kHolistic) {
+    if (fn.holistic_finalize == nullptr) {
+      return Status::InvalidArgument(fn.name +
+                                     ": holistic functions need "
+                                     "holistic_finalize");
+    }
+  } else if (fn.accumulate == nullptr || fn.merge == nullptr ||
+             fn.finalize == nullptr) {
+    return Status::InvalidArgument(
+        fn.name + ": accumulate, merge, and finalize are required");
+  }
+  std::lock_guard<std::mutex> lock(mu_);
+  if (FindLocked(fn.name) != nullptr) {
+    return Status::AlreadyExists("aggregate '" + fn.name +
+                                 "' is already registered");
+  }
+  fns_.push_back(std::make_unique<AggregateFunction>(std::move(fn)));
+  return static_cast<AggFn>(fns_.back().get());
+}
+
+AggFn AggregateRegistry::FindLocked(const std::string& canonical) const {
+  for (const auto& fn : fns_) {
+    if (fn->name == canonical) return fn.get();
+  }
+  return nullptr;
+}
+
+AggFn AggregateRegistry::Find(std::string_view name) const {
+  const std::string upper = UpperCased(name);
+  std::lock_guard<std::mutex> lock(mu_);
+  return FindLocked(upper);
+}
+
+std::vector<AggFn> AggregateRegistry::List() const {
+  std::vector<AggFn> out;
+  {
+    std::lock_guard<std::mutex> lock(mu_);
+    out.reserve(fns_.size());
+    for (const auto& fn : fns_) out.push_back(fn.get());
+  }
+  std::sort(out.begin(), out.end(),
+            [](AggFn a, AggFn b) { return a->name < b->name; });
+  return out;
+}
+
+AggFn FindAggregate(std::string_view name) {
+  return AggregateRegistry::Global().Find(name);
+}
+
+AggFn Agg(std::string_view name) {
+  AggFn fn = FindAggregate(name);
+  FW_CHECK(fn != nullptr) << "unknown aggregate function '" << name << "'";
+  return fn;
+}
+
+double AggFinalize(AggFn fn, const AggState& state) {
   FW_CHECK(!state.empty()) << "finalize of empty aggregate state";
-  switch (kind) {
-    case AggKind::kMin:
-    case AggKind::kMax:
-    case AggKind::kSum:
-      return state.v1;
-    case AggKind::kCount:
-      return static_cast<double>(state.n);
-    case AggKind::kAvg:
-      return state.v1 / static_cast<double>(state.n);
-    case AggKind::kStdev: {
-      double n = static_cast<double>(state.n);
-      double mean = state.v1 / n;
-      double variance = state.v2 / n - mean * mean;
-      return std::sqrt(std::max(variance, 0.0));
-    }
-    case AggKind::kVariance: {
-      double n = static_cast<double>(state.n);
-      double mean = state.v1 / n;
-      return std::max(state.v2 / n - mean * mean, 0.0);
-    }
-    case AggKind::kRange:
-      return state.v2 - state.v1;
-    case AggKind::kMedian:
-      FW_CHECK(false) << "MEDIAN uses HolisticState";
-  }
-  return 0.0;
+  return fn->finalize(state);
 }
 
-double HolisticFinalize(AggKind kind, HolisticState* state) {
-  FW_CHECK(!state->empty()) << "finalize of empty holistic state";
-  FW_CHECK(kind == AggKind::kMedian) << "unsupported holistic kind";
-  size_t mid = (state->values.size() - 1) / 2;
-  std::nth_element(state->values.begin(), state->values.begin() + mid,
-                   state->values.end());
-  return state->values[mid];
+double HolisticFinalize(AggFn fn, HolisticState* state) {
+  FW_CHECK(fn->holistic_finalize != nullptr)
+      << fn->name << " is not holistic";
+  return fn->holistic_finalize(state);
 }
 
-Result<double> AggReference(AggKind kind, const std::vector<double>& values) {
+Result<double> AggReference(AggFn fn, const std::vector<double>& values) {
   if (values.empty()) {
     return Status::InvalidArgument("aggregate of empty input");
   }
-  if (kind == AggKind::kMedian) {
+  if (fn->agg_class == AggClass::kHolistic) {
     HolisticState h;
     h.values = values;
-    return HolisticFinalize(kind, &h);
+    return fn->holistic_finalize(&h);
   }
-  AggState s = AggIdentity(kind);
-  for (double v : values) AggAccumulate(kind, &s, v);
-  return AggFinalize(kind, s);
+  AggState s;
+  for (double v : values) fn->accumulate(&s, v);
+  return fn->finalize(s);
 }
 
 }  // namespace fw

@@ -2,8 +2,12 @@
 #define FW_AGG_AGGREGATE_H_
 
 #include <cstdint>
-#include <limits>
+#include <cstring>
+#include <iosfwd>
+#include <memory>
+#include <mutex>
 #include <string>
+#include <string_view>
 #include <vector>
 
 #include "common/status.h"
@@ -11,156 +15,118 @@
 
 namespace fw {
 
-/// Built-in aggregate functions. The set mirrors the paper's §III-A
-/// discussion — MIN/MAX/SUM/COUNT are distributive, AVG/STDEV algebraic,
-/// MEDIAN holistic (no constant-size sub-aggregate exists) — plus two
-/// extensions in the spirit of footnote 2 ("future work could expand
-/// these two lists"): VARIANCE (algebraic, partitioned-by) and RANGE
-/// (max - min; algebraic, and overlap-safe like MIN/MAX because its state
-/// is a (min, max) pair, so it qualifies for "covered by" sharing).
-enum class AggKind {
-  kMin,
-  kMax,
-  kSum,
-  kCount,
-  kAvg,
-  kStdev,
-  kVariance,
-  kRange,
-  kMedian,
-};
-
-/// Gray et al.'s aggregate taxonomy (§III-A).
+/// Gray et al.'s aggregate taxonomy (§III-A). The paper's sharing theorems
+/// hang off this classification: distributive and algebraic functions have
+/// constant-size sub-aggregates (Theorem 5) and can share computation;
+/// holistic functions cannot and fall back to the unshared original plan.
 enum class AggClass {
   kDistributive,
   kAlgebraic,
   kHolistic,
 };
 
-const char* AggKindToString(AggKind kind);
 const char* AggClassToString(AggClass cls);
 
-/// Classifies `kind` per Gray et al.
-AggClass ClassOf(AggKind kind);
-
-/// Theorem 6: true when the function stays correct even if the merged
-/// sub-aggregates cover overlapping input partitions (MIN and MAX only).
-bool SupportsOverlappingMerge(AggKind kind);
-
-/// True when the function can be computed from constant-size sub-aggregates
-/// at all (i.e., is distributive or algebraic, Theorem 5).
-bool SupportsSharing(AggKind kind);
-
-/// The coverage semantics the optimizer must use for `kind` (paper
-/// footnote 2): "covered by" for MIN/MAX, "partitioned by" for the other
-/// shareable functions. Error for holistic functions, which fall back to
-/// the unshared original plan.
-Result<CoverageSemantics> SemanticsFor(AggKind kind);
-
-/// Constant-size partial-aggregate state shared by all non-holistic
-/// functions. Field meaning depends on the kind:
-///   MIN/MAX        : v1 = current extremum
-///   SUM            : v1 = running sum
-///   COUNT          : n  = running count
-///   AVG            : v1 = sum, n = count
-///   STDEV/VARIANCE : v1 = sum, v2 = sum of squares, n = count
-///   RANGE          : v1 = min, v2 = max
-/// `n` is also the emptiness indicator for every kind.
+/// Partial-aggregate state. The inline fields are the constant-size fast
+/// path every built-in uses (field meaning is per function, e.g. MIN keeps
+/// its extremum in v1, AVG keeps sum in v1 and count in n); functions whose
+/// state cannot fit three words — quantile and distinct-count sketches —
+/// spill into an out-of-line extension buffer that the state owns, copies,
+/// and recycles. `n` is the emptiness indicator for every function.
 struct AggState {
   double v1 = 0.0;
   double v2 = 0.0;
   uint64_t n = 0;
 
+  AggState() = default;
+  AggState(const AggState& other)
+      : v1(other.v1), v2(other.v2), n(other.n) {
+    CopyExtFrom(other);
+  }
+  AggState& operator=(const AggState& other) {
+    if (this != &other) {
+      v1 = other.v1;
+      v2 = other.v2;
+      n = other.n;
+      CopyExtFrom(other);
+    }
+    return *this;
+  }
+  AggState(AggState&& other) noexcept
+      : v1(other.v1),
+        v2(other.v2),
+        n(other.n),
+        ext_(other.ext_),
+        ext_size_(other.ext_size_) {
+    other.ext_ = nullptr;
+    other.ext_size_ = 0;
+  }
+  AggState& operator=(AggState&& other) noexcept {
+    if (this != &other) {
+      delete[] ext_;
+      v1 = other.v1;
+      v2 = other.v2;
+      n = other.n;
+      ext_ = other.ext_;
+      ext_size_ = other.ext_size_;
+      other.ext_ = nullptr;
+      other.ext_size_ = 0;
+    }
+    return *this;
+  }
+  ~AggState() { delete[] ext_; }
+
   bool empty() const { return n == 0; }
+
+  const uint8_t* ext() const { return ext_; }
+  uint8_t* ext() { return ext_; }
+  uint32_t ext_size() const { return ext_size_; }
+
+  /// Returns a writable extension buffer of exactly `size` bytes. The
+  /// buffer is zero-filled when (re)allocated; contents are preserved when
+  /// the current size already matches (state pools recycle sketch
+  /// allocations across window instances).
+  uint8_t* EnsureExt(uint32_t size);
+
+  /// Zeroes the inline fields and the extension contents while keeping the
+  /// extension allocation, so pooled state buffers reuse sketch storage.
+  void Clear() {
+    v1 = 0.0;
+    v2 = 0.0;
+    n = 0;
+    if (ext_ != nullptr) std::memset(ext_, 0, ext_size_);
+  }
+
+  template <typename T>
+  T* ext_as() {
+    return reinterpret_cast<T*>(ext_);
+  }
+  template <typename T>
+  const T* ext_as() const {
+    return reinterpret_cast<const T*>(ext_);
+  }
+
+ private:
+  void CopyExtFrom(const AggState& other) {
+    if (other.ext_size_ == 0) {
+      if (ext_ != nullptr) {
+        delete[] ext_;
+        ext_ = nullptr;
+        ext_size_ = 0;
+      }
+      return;
+    }
+    if (ext_size_ != other.ext_size_) {
+      delete[] ext_;
+      ext_ = new uint8_t[other.ext_size_];
+      ext_size_ = other.ext_size_;
+    }
+    std::memcpy(ext_, other.ext_, ext_size_);
+  }
+
+  uint8_t* ext_ = nullptr;
+  uint32_t ext_size_ = 0;
 };
-
-/// The identity (empty) state for `kind`.
-inline AggState AggIdentity(AggKind kind) {
-  AggState s;
-  switch (kind) {
-    case AggKind::kMin:
-      s.v1 = std::numeric_limits<double>::infinity();
-      break;
-    case AggKind::kMax:
-      s.v1 = -std::numeric_limits<double>::infinity();
-      break;
-    case AggKind::kRange:
-      s.v1 = std::numeric_limits<double>::infinity();
-      s.v2 = -std::numeric_limits<double>::infinity();
-      break;
-    default:
-      break;
-  }
-  return s;
-}
-
-/// Folds one raw value into `state`.
-inline void AggAccumulate(AggKind kind, AggState* state, double value) {
-  switch (kind) {
-    case AggKind::kMin:
-      if (value < state->v1) state->v1 = value;
-      break;
-    case AggKind::kMax:
-      if (value > state->v1) state->v1 = value;
-      break;
-    case AggKind::kSum:
-      state->v1 += value;
-      break;
-    case AggKind::kCount:
-      break;  // Only n advances.
-    case AggKind::kAvg:
-      state->v1 += value;
-      break;
-    case AggKind::kStdev:
-    case AggKind::kVariance:
-      state->v1 += value;
-      state->v2 += value * value;
-      break;
-    case AggKind::kRange:
-      if (value < state->v1) state->v1 = value;
-      if (value > state->v2) state->v2 = value;
-      break;
-    case AggKind::kMedian:
-      // Holistic functions never take this path; see HolisticState.
-      break;
-  }
-  ++state->n;
-}
-
-/// Merges sub-aggregate `other` into `state`. For MIN/MAX this is valid
-/// even when the underlying partitions overlap (Theorem 6); for the other
-/// kinds the caller must guarantee disjointness (Theorem 5).
-inline void AggMerge(AggKind kind, AggState* state, const AggState& other) {
-  switch (kind) {
-    case AggKind::kMin:
-      if (other.v1 < state->v1) state->v1 = other.v1;
-      break;
-    case AggKind::kMax:
-      if (other.v1 > state->v1) state->v1 = other.v1;
-      break;
-    case AggKind::kSum:
-    case AggKind::kAvg:
-      state->v1 += other.v1;
-      break;
-    case AggKind::kCount:
-      break;
-    case AggKind::kStdev:
-    case AggKind::kVariance:
-      state->v1 += other.v1;
-      state->v2 += other.v2;
-      break;
-    case AggKind::kRange:
-      if (other.v1 < state->v1) state->v1 = other.v1;
-      if (other.v2 > state->v2) state->v2 = other.v2;
-      break;
-    case AggKind::kMedian:
-      break;
-  }
-  state->n += other.n;
-}
-
-/// Produces the final scalar from a non-empty state.
-double AggFinalize(AggKind kind, const AggState& state);
 
 /// Unbounded state for holistic aggregates (the slices would have to carry
 /// all input events — paper §III-A). Used only on the unshared path.
@@ -171,13 +137,150 @@ struct HolisticState {
   void Add(double v) { values.push_back(v); }
 };
 
-/// Final scalar for a non-empty holistic state (currently MEDIAN; lower
-/// median for even sizes).
-double HolisticFinalize(AggKind kind, HolisticState* state);
+/// Descriptor of one aggregate function — the open replacement for the
+/// original closed enum (the paper's footnote 2 invites exactly this:
+/// "future work could expand these two lists"). Everything the rest of the
+/// system needs is *declared* here, so the optimizer's sharing decisions
+/// (Theorems 5/6), the engine's hot loops, checkpoints, and shard
+/// merge/split never special-case individual functions:
+///
+///  * `agg_class` — Gray taxonomy class; holistic functions are excluded
+///    from shared evaluation (Theorem 5) and run on the unshared path via
+///    `holistic_finalize`;
+///  * `overlap_merge_safe` — Theorem 6 declaration: merging sub-aggregates
+///    whose input partitions overlap is still correct (idempotent merges:
+///    MIN/MAX/RANGE extrema, HLL register unions). Drives "covered by"
+///    coverage semantics; everything else shares under "partitioned by";
+///  * `state_bytes` — extension-state size. 0 keeps the inline
+///    three-word fast path; non-zero states must be a trivially-copyable
+///    blob of exactly this size, which is the serialization contract:
+///    checkpoint canonicalization, lineage migration, and shard
+///    merge/split persist and restore the raw bytes, so handoff stays
+///    bitwise exact (the ROADMAP elasticity invariant);
+///  * `accumulate`/`merge`/`finalize` — the data-path operations, resolved
+///    once at plan build into per-operator function tables (no per-event
+///    dispatch through the registry). `accumulate` folds one raw value and
+///    must advance `n`; `merge` folds one sub-aggregate (callers deliver
+///    sub-aggregates in non-decreasing window-end order, so order-dependent
+///    functions like FIRST/LAST stay correct) and must no-op on an empty
+///    `other`; `finalize` is only called on non-empty states.
+struct AggregateFunction {
+  /// Canonical name (upper-case identifier: [A-Z_][A-Z0-9_]*). The SQL
+  /// parser and QueryBuilder resolve any registered name.
+  std::string name;
+  /// One-line human description (README table, tooling).
+  std::string description;
+  AggClass agg_class = AggClass::kAlgebraic;
+  bool overlap_merge_safe = false;
+  /// True when merge results depend on sub-aggregate arrival order
+  /// (FIRST/LAST). Plan execution always delivers sub-aggregates in
+  /// non-decreasing window-end (time) order, so rewritten plans stay
+  /// exact; evaluators that reassociate merges freely — the FlatFAT
+  /// lazy-tree combiner — must fall back to in-order combining.
+  bool merge_order_sensitive = false;
+  uint32_t state_bytes = 0;
+  void (*accumulate)(AggState* state, double value) = nullptr;
+  void (*merge)(AggState* state, const AggState& other) = nullptr;
+  double (*finalize)(const AggState& state) = nullptr;
+  /// Holistic functions only: final scalar from the full value multiset.
+  double (*holistic_finalize)(HolisticState* state) = nullptr;
 
-/// Reference (batch) evaluation of any aggregate over raw values. Used by
-/// tests and the result verifier as ground truth. Empty input is an error.
-Result<double> AggReference(AggKind kind, const std::vector<double>& values);
+  /// True when the function can be computed from constant-size
+  /// sub-aggregates at all (Theorem 5).
+  bool SupportsSharing() const { return agg_class != AggClass::kHolistic; }
+
+  /// The coverage semantics the optimizer must use for this function
+  /// (paper footnote 2): "covered by" when overlapping merges are declared
+  /// safe, "partitioned by" for the other shareable functions. Error for
+  /// holistic functions, which fall back to the unshared original plan.
+  Result<CoverageSemantics> SharingSemantics() const;
+
+  /// State persistence (the checkpoint text format for one state): inline
+  /// fields as IEEE-754 bit patterns plus the raw extension bytes.
+  /// DeserializeState validates the extension size against `state_bytes`,
+  /// so restoring a sketch state into the wrong function fails cleanly.
+  std::string SerializeState(const AggState& state) const;
+  Result<AggState> DeserializeState(const std::string& text) const;
+};
+
+/// How the rest of the system refers to an aggregate function: a pointer
+/// to its registered descriptor. Descriptors live for the process lifetime
+/// at stable addresses, so equality is pointer equality.
+using AggFn = const AggregateFunction*;
+
+/// Process-wide function registry. Built-ins (and the sketch-backed
+/// extensions) are registered on first access; user-defined aggregates
+/// join through Register at any point before queries name them.
+/// Thread-safe: Register and lookups take an internal mutex (lookups are
+/// cold-path — hot loops run on pre-resolved function tables).
+class AggregateRegistry {
+ public:
+  /// The global registry, with all built-ins registered.
+  static AggregateRegistry& Global();
+
+  /// Registers a function. Errors on an invalid descriptor (empty or
+  /// non-identifier name, missing operations for its class) or a
+  /// duplicate name (case-insensitive). On success the descriptor's
+  /// address is stable for the registry's lifetime.
+  Result<AggFn> Register(AggregateFunction fn);
+
+  /// Case-insensitive lookup; null when unknown.
+  AggFn Find(std::string_view name) const;
+
+  /// All registered functions, by canonical name.
+  std::vector<AggFn> List() const;
+
+ private:
+  AggFn FindLocked(const std::string& canonical) const;
+
+  mutable std::mutex mu_;
+  std::vector<std::unique_ptr<AggregateFunction>> fns_;  // Stable addresses.
+};
+
+/// Case-insensitive lookup in the global registry; null when unknown.
+AggFn FindAggregate(std::string_view name);
+
+/// Lookup that CHECK-fails on unknown names — for call sites that name
+/// built-ins statically (tests, examples, benchmarks).
+AggFn Agg(std::string_view name);
+
+/// Classification and sharing helpers over descriptors (the pre-registry
+/// free-function spellings, kept so call sites read the same).
+inline AggClass ClassOf(AggFn fn) { return fn->agg_class; }
+inline bool SupportsSharing(AggFn fn) { return fn->SupportsSharing(); }
+inline bool SupportsOverlappingMerge(AggFn fn) {
+  return fn->overlap_merge_safe;
+}
+inline Result<CoverageSemantics> SemanticsFor(AggFn fn) {
+  return fn->SharingSemantics();
+}
+
+/// Data-path wrappers. Hot paths resolve the function pointers once per
+/// operator instead (exec/operator.cc); these are for cold call sites.
+inline void AggAccumulate(AggFn fn, AggState* state, double value) {
+  fn->accumulate(state, value);
+}
+inline void AggMerge(AggFn fn, AggState* state, const AggState& other) {
+  fn->merge(state, other);
+}
+/// Checked finalize: CHECK-fails on an empty state (the finalize contract;
+/// engine hot paths skip empty states and call the raw pointer instead).
+double AggFinalize(AggFn fn, const AggState& state);
+double HolisticFinalize(AggFn fn, HolisticState* state);
+
+/// Reference (batch) evaluation of any aggregate over raw values, in time
+/// order. Used by tests and the result verifier as ground truth. Empty
+/// input is an error.
+Result<double> AggReference(AggFn fn, const std::vector<double>& values);
+
+/// The checkpoint text encoding of one state — "v1-bits v2-bits n
+/// ext_size [hex-payload]" — shared by ExecutorCheckpoint's version-3
+/// format and AggregateFunction::SerializeState/DeserializeState so the
+/// wire format cannot drift between them. Empty states always encode with
+/// ext_size 0 (a pooled buffer may carry a zeroed recycled allocation;
+/// the canonical form drops it, so every record round-trips).
+void SerializeAggState(const AggState& state, std::ostream& os);
+Status DeserializeAggState(std::istream& is, AggState* state);
 
 }  // namespace fw
 

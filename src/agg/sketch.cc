@@ -1,0 +1,137 @@
+#include "agg/sketch.h"
+
+#include <algorithm>
+#include <bit>
+#include <cmath>
+#include <cstring>
+
+namespace fw {
+
+namespace {
+
+// Magnitude bucket for |v| > 0, clamped into [0, kBins). The range check
+// happens in floating point *before* the int cast: casting an
+// out-of-range double (log10 of an infinity, or a huge magnitude) to int
+// is undefined behavior.
+int BucketFor(double magnitude) {
+  const double decades = std::log10(magnitude);
+  const double raw = QuantileSketch::kOffset +
+                     std::floor(decades / QuantileSketch::kDecadesPerBin);
+  if (!(raw > 0.0)) return 0;
+  if (raw >= QuantileSketch::kBins - 1) return QuantileSketch::kBins - 1;
+  return static_cast<int>(raw);
+}
+
+// Log-space midpoint of bucket i, always positive.
+double BucketMid(int i) {
+  const double decades =
+      (i - QuantileSketch::kOffset + 0.5) * QuantileSketch::kDecadesPerBin;
+  return std::pow(10.0, decades);
+}
+
+// SplitMix64: cheap, well-distributed 64-bit mix for hashing values.
+uint64_t Mix64(uint64_t x) {
+  x += 0x9e3779b97f4a7c15ULL;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ULL;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebULL;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+void QuantileSketch::Add(double v) {
+  if (std::isnan(v)) {
+    // Deterministic placement for a value with no order: the zero bucket.
+    // min/max comparisons ignore NaN, so estimates stay clamped to the
+    // ordered values.
+    ++zero;
+    return;
+  }
+  min = std::min(min, v);
+  max = std::max(max, v);
+  // Magnitudes below the smallest bucket boundary (incl. exact 0) land in
+  // the zero bucket; the min/max clamp keeps their estimate honest.
+  // Infinities clamp into the edge buckets inside BucketFor.
+  const double magnitude = std::fabs(v);
+  constexpr double kSmallest = 1e-10;
+  if (magnitude < kSmallest) {
+    ++zero;
+  } else if (v < 0.0) {
+    ++neg[BucketFor(magnitude)];
+  } else {
+    ++pos[BucketFor(magnitude)];
+  }
+}
+
+void QuantileSketch::Merge(const QuantileSketch& other) {
+  min = std::min(min, other.min);
+  max = std::max(max, other.max);
+  zero += other.zero;
+  for (int i = 0; i < kBins; ++i) {
+    neg[i] += other.neg[i];
+    pos[i] += other.pos[i];
+  }
+}
+
+double QuantileSketch::Quantile(double q, uint64_t n) const {
+  if (n == 0) return 0.0;
+  const uint64_t rank =
+      std::max<uint64_t>(1, static_cast<uint64_t>(std::ceil(
+                                q * static_cast<double>(n))));
+  const auto clamp = [&](double estimate) {
+    return std::min(max, std::max(min, estimate));
+  };
+  uint64_t cumulative = 0;
+  // Ascending value order: most-negative magnitudes first, then the zero
+  // bucket, then positives.
+  for (int i = kBins - 1; i >= 0; --i) {
+    cumulative += neg[i];
+    if (cumulative >= rank) return clamp(-BucketMid(i));
+  }
+  cumulative += zero;
+  if (cumulative >= rank) return clamp(0.0);
+  for (int i = 0; i < kBins; ++i) {
+    cumulative += pos[i];
+    if (cumulative >= rank) return clamp(BucketMid(i));
+  }
+  return max;  // rank beyond the folded count (all bins exhausted).
+}
+
+void HllSketch::Add(double v) {
+  // Canonicalize -0.0 so it hashes like 0.0 (they compare equal).
+  const double canonical = v == 0.0 ? 0.0 : v;
+  uint64_t bits;
+  static_assert(sizeof(bits) == sizeof(canonical));
+  std::memcpy(&bits, &canonical, sizeof(bits));
+  const uint64_t h = Mix64(bits);
+  const uint32_t index = static_cast<uint32_t>(h & (kRegisters - 1));
+  const uint64_t rest = h >> 8;  // 56 usable bits.
+  const uint8_t rank = static_cast<uint8_t>(
+      rest == 0 ? 57 : std::countl_zero(rest) - 8 + 1);
+  regs[index] = std::max(regs[index], rank);
+}
+
+void HllSketch::Merge(const HllSketch& other) {
+  for (uint32_t i = 0; i < kRegisters; ++i) {
+    regs[i] = std::max(regs[i], other.regs[i]);
+  }
+}
+
+double HllSketch::Estimate() const {
+  const double m = static_cast<double>(kRegisters);
+  const double alpha = 0.7213 / (1.0 + 1.079 / m);
+  double inverse_sum = 0.0;
+  uint32_t zero_registers = 0;
+  for (uint32_t i = 0; i < kRegisters; ++i) {
+    inverse_sum += std::ldexp(1.0, -static_cast<int>(regs[i]));
+    if (regs[i] == 0) ++zero_registers;
+  }
+  const double raw = alpha * m * m / inverse_sum;
+  // Small-range correction: linear counting while registers are sparse.
+  if (raw <= 2.5 * m && zero_registers > 0) {
+    return m * std::log(m / static_cast<double>(zero_registers));
+  }
+  return raw;
+}
+
+}  // namespace fw

@@ -1,0 +1,61 @@
+#ifndef FW_AGG_SKETCH_H_
+#define FW_AGG_SKETCH_H_
+
+#include <cstdint>
+#include <limits>
+
+namespace fw {
+
+/// Fixed-size log-bucketed quantile sketch (DDSketch-style relative-error
+/// histogram) backing the P99 aggregate. The state is a trivially-copyable
+/// blob — the AggregateFunction::state_bytes contract — so checkpoints,
+/// lineage migration, and shard merge/split carry it bitwise.
+///
+/// Values bucket by decimal magnitude: bucket i of the positive (negative)
+/// array holds v with floor(log10(|v|) / kDecadesPerBin) == i - kOffset,
+/// covering ~[1e-10, 1e10] at ~9% relative error; magnitudes outside clamp
+/// into the edge buckets, and the exact min/max clamp every estimate, so
+/// degenerate inputs stay sane. Bucket counts are integers, which makes
+/// Add and Merge exact and order-independent: any partitioning of the
+/// input folds to the identical state, byte for byte — the property that
+/// lets P99 share sub-aggregates under "partitioned by" and survive
+/// resize/replan handoff exactly.
+struct QuantileSketch {
+  static constexpr int kBins = 256;
+  static constexpr int kOffset = kBins / 2;
+  /// Each bin spans this many decades; kBins bins cover 10^±(kOffset*Δ).
+  static constexpr double kDecadesPerBin = 20.0 / kBins;
+
+  double min = std::numeric_limits<double>::infinity();
+  double max = -std::numeric_limits<double>::infinity();
+  uint64_t zero = 0;          // |v| too small to bucket (incl. 0).
+  uint64_t neg[kBins] = {};   // Indexed by |v| magnitude bucket.
+  uint64_t pos[kBins] = {};
+
+  void Add(double v);
+  void Merge(const QuantileSketch& other);
+
+  /// The q-quantile estimate of the `n` folded values (rank ceil(q*n),
+  /// lower bucket midpoint in log space, clamped to [min, max]).
+  double Quantile(double q, uint64_t n) const;
+};
+
+/// Small HyperLogLog sketch (256 registers, ~6.5% standard error) backing
+/// DISTINCT_COUNT. Register-wise max is an idempotent union: merging
+/// sub-aggregates whose inputs overlap cannot change the estimate, so the
+/// function declares overlap_merge_safe and the optimizer shares it under
+/// "covered by" — the same semantics as MIN/MAX (Theorem 6). Trivially
+/// copyable, like QuantileSketch, for bitwise state handoff.
+struct HllSketch {
+  static constexpr uint32_t kRegisters = 256;  // Precision p = 8.
+
+  uint8_t regs[kRegisters] = {};
+
+  void Add(double v);
+  void Merge(const HllSketch& other);
+  double Estimate() const;
+};
+
+}  // namespace fw
+
+#endif  // FW_AGG_SKETCH_H_

@@ -15,12 +15,31 @@ double BitsDouble(uint64_t b) { return std::bit_cast<double>(b); }
 }  // namespace
 
 std::string ExecutorCheckpoint::Serialize() const {
+  // Version 1 is the original format; an active reorder section writes
+  // version 2 and any out-of-line (sketch) aggregate state writes version
+  // 3, so readers that predate either feature reject the checkpoint
+  // loudly instead of silently dropping state. Versions 1/2 keep their
+  // exact historical byte layouts.
+  bool any_ext = false;
+  for (const OperatorCheckpoint& op : operators) {
+    for (const InstanceCheckpoint& inst : op.open_instances) {
+      for (const AggState& s : inst.states) {
+        // Empty states encode canonically without their (possibly
+        // recycled) buffer, so only live payloads force version 3.
+        any_ext = any_ext || (!s.empty() && s.ext_size() > 0);
+      }
+    }
+  }
+  const int version = any_ext ? 3 : (reorder.Inactive() ? 1 : 2);
+
   std::ostringstream os;
-  // Version 1 is the pre-reorder format; an active reorder section writes
-  // version 2 so readers that predate it reject the checkpoint loudly
-  // instead of silently dropping the in-flight events.
-  os << "FWCKPT " << (reorder.Inactive() ? 1 : 2) << " " << operators.size()
-     << "\n";
+  os << "FWCKPT " << version << " " << operators.size();
+  if (version == 3) {
+    // Version 3 flags its reorder section explicitly (versions 1/2 encode
+    // presence in the version number itself).
+    os << " " << (reorder.Inactive() ? 0 : 1);
+  }
+  os << "\n";
   for (const OperatorCheckpoint& op : operators) {
     os << "op " << op.operator_id << " " << op.next_m << " "
        << op.next_open_start << " " << op.accumulate_ops << " "
@@ -28,14 +47,16 @@ std::string ExecutorCheckpoint::Serialize() const {
     for (const InstanceCheckpoint& inst : op.open_instances) {
       os << "inst " << inst.m << " " << inst.states.size();
       for (const AggState& s : inst.states) {
-        os << " " << DoubleBits(s.v1) << " " << DoubleBits(s.v2) << " "
-           << s.n;
+        os << " ";
+        if (version == 3) {
+          SerializeAggState(s, os);  // Shared record format (agg/).
+        } else {
+          os << DoubleBits(s.v1) << " " << DoubleBits(s.v2) << " " << s.n;
+        }
       }
       os << "\n";
     }
   }
-  // The reorder section is appended only when active, so strict-order
-  // checkpoints keep the exact pre-reorder byte layout.
   if (!reorder.Inactive()) {
     os << "reorder " << (reorder.any_seen ? 1 : 0) << " " << reorder.max_seen
        << " " << reorder.max_delay << " " << reorder.next_seq << " "
@@ -59,9 +80,13 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
   if (!(is >> magic >> version >> num_operators) || magic != "FWCKPT") {
     return Status::InvalidArgument("bad checkpoint header");
   }
-  if (version != 1 && version != 2) {
+  if (version != 1 && version != 2 && version != 3) {
     return Status::InvalidArgument("unsupported checkpoint version " +
                                    std::to_string(version));
+  }
+  int v3_reorder_flag = 0;
+  if (version == 3 && !(is >> v3_reorder_flag)) {
+    return Status::InvalidArgument("bad checkpoint header");
   }
   ExecutorCheckpoint checkpoint;
   checkpoint.operators.reserve(num_operators);
@@ -84,6 +109,10 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
       }
       inst.states.resize(num_keys);
       for (AggState& s : inst.states) {
+        if (version == 3) {
+          FW_RETURN_IF_ERROR(DeserializeAggState(is, &s));
+          continue;
+        }
         uint64_t v1 = 0;
         uint64_t v2 = 0;
         if (!(is >> v1 >> v2 >> s.n)) {
@@ -131,14 +160,15 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
                                      "'");
     }
   }
-  // Version 2 exists *because* of the reorder section (see Serialize), so
-  // presence must match — otherwise a truncated v2 checkpoint would parse
-  // as strict and silently lose its in-flight events.
-  if (has_reorder != (version == 2)) {
+  // Reorder-section presence is encoded in the version (v1: absent, v2:
+  // present — it exists *because* of the section) or the v3 header flag,
+  // so a truncated checkpoint cannot silently parse as a strict one.
+  const bool expect_reorder =
+      version == 2 || (version == 3 && v3_reorder_flag != 0);
+  if (has_reorder != expect_reorder) {
     return Status::InvalidArgument(
-        has_reorder ? "version 1 checkpoint carries a reorder section"
-                    : "version 2 checkpoint lost its reorder section "
-                      "(truncated?)");
+        has_reorder ? "checkpoint carries an undeclared reorder section"
+                    : "checkpoint lost its reorder section (truncated?)");
   }
   return checkpoint;
 }

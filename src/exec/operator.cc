@@ -7,9 +7,14 @@ namespace fw {
 
 WindowAggregateOperator::WindowAggregateOperator(const Config& config,
                                                  ResultSink* sink)
-    : config_(config), sink_(sink), identity_(AggIdentity(config.agg)) {
+    : config_(config),
+      sink_(sink),
+      accumulate_(config.agg != nullptr ? config.agg->accumulate : nullptr),
+      merge_(config.agg != nullptr ? config.agg->merge : nullptr),
+      finalize_(config.agg != nullptr ? config.agg->finalize : nullptr) {
+  FW_CHECK(config.agg != nullptr) << "operator needs an aggregate function";
   FW_CHECK(ClassOf(config.agg) != AggClass::kHolistic)
-      << "use HolisticWindowOperator for " << AggKindToString(config.agg);
+      << "use HolisticWindowOperator for " << config.agg->name;
   FW_CHECK(sink != nullptr || !config.exposed)
       << "exposed operator requires a sink";
   FW_CHECK_GT(config.num_keys, 0u);
@@ -38,9 +43,7 @@ void WindowAggregateOperator::OnEvent(const Event& event) {
   OpenThrough(/*start_limit=*/t, /*end_floor=*/t + 1);
   FW_CHECK_LT(event.key, config_.num_keys);
   for (Instance& instance : open_) {
-    AggState& state = instance.states[event.key];
-    if (state.n == 0) state = identity_;
-    AggAccumulate(config_.agg, &state, event.value);
+    accumulate_(&instance.states[event.key], event.value);
     ++accumulate_ops_;
   }
 }
@@ -55,9 +58,7 @@ void WindowAggregateOperator::OnSubAgg(const SubAggRecord& record) {
   if (record.state.n == 0) return;
   FW_CHECK_LT(record.key, config_.num_keys);
   for (Instance& instance : open_) {
-    AggState& state = instance.states[record.key];
-    if (state.n == 0) state = identity_;
-    AggMerge(config_.agg, &state, record.state);
+    merge_(&instance.states[record.key], record.state);
     ++accumulate_ops_;
   }
 }
@@ -80,8 +81,17 @@ OperatorCheckpoint WindowAggregateOperator::Checkpoint() const {
   checkpoint.accumulate_ops = accumulate_ops_;
   checkpoint.open_instances.reserve(open_.size());
   for (const Instance& instance : open_) {
-    checkpoint.open_instances.push_back(
-        InstanceCheckpoint{instance.m, instance.states});
+    InstanceCheckpoint inst;
+    inst.m = instance.m;
+    // Canonical per-key states: untouched keys snapshot as plain empty
+    // states even when the pooled buffer still carries a recycled sketch
+    // allocation — a checkpoint must be a pure function of the delivered
+    // stream, not of the operator's buffer-reuse history.
+    inst.states.reserve(instance.states.size());
+    for (const AggState& state : instance.states) {
+      inst.states.push_back(state.empty() ? AggState{} : state);
+    }
+    checkpoint.open_instances.push_back(std::move(inst));
   }
   return checkpoint;
 }
@@ -102,6 +112,17 @@ Status WindowAggregateOperator::Restore(const OperatorCheckpoint& checkpoint) {
     }
     if (inst.m >= checkpoint.next_m) {
       return Status::InvalidArgument("open instance beyond next_m cursor");
+    }
+    for (const AggState& state : inst.states) {
+      // Extension payloads are typed by size (state_bytes contract): a
+      // sketch state must round-trip into the same function's layout.
+      const uint32_t expected = state.empty() ? 0 : config_.agg->state_bytes;
+      if (state.ext_size() != expected) {
+        return Status::InvalidArgument(
+            "state payload is " + std::to_string(state.ext_size()) +
+            " bytes, " + config_.agg->name + " expects " +
+            std::to_string(expected));
+      }
     }
   }
   Reset();
@@ -161,12 +182,12 @@ void WindowAggregateOperator::EmitInstance(Instance* instance) {
     if (state.n == 0) continue;
     if (config_.exposed) {
       sink_->OnResult(WindowResult{config_.operator_id, start, end, key,
-                                   AggFinalize(config_.agg, state)});
+                                   finalize_(state)});
     }
     for (WindowAggregateOperator* child : children_) {
       child->OnSubAgg(SubAggRecord{start, end, key, state});
     }
-    state = AggState{};  // Zero for reuse.
+    state.Clear();  // Zero for reuse (keeps any sketch allocation).
   }
   state_pool_.push_back(std::move(instance->states));
 }

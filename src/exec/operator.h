@@ -36,7 +36,8 @@ class WindowAggregateOperator {
  public:
   struct Config {
     Window window{1, 1};
-    AggKind agg = AggKind::kMin;
+    /// Registered aggregate descriptor; required (never null).
+    AggFn agg = nullptr;
     /// Plan operator index, reported in results.
     int operator_id = 0;
     /// Whether finalized results go to the sink (factor windows do not).
@@ -123,13 +124,18 @@ class WindowAggregateOperator {
 
   Config config_;
   ResultSink* sink_;
+  /// The aggregate's data-path operations, resolved once from the
+  /// registered descriptor at construction (plan build) — the hot loops
+  /// below never dispatch through the registry or an enum switch.
+  void (*accumulate_)(AggState*, double);
+  void (*merge_)(AggState*, const AggState&);
+  double (*finalize_)(const AggState&);
   std::vector<WindowAggregateOperator*> children_;
   std::deque<Instance> open_;  // Ordered by m (and thus by end).
   int64_t next_m_ = 0;         // Next instance number not yet opened.
   TimeT next_open_start_ = 0;  // == next_m_ * slide.
   std::vector<std::vector<AggState>> state_pool_;  // Recycled buffers.
   uint64_t accumulate_ops_ = 0;
-  AggState identity_;
 };
 
 /// Raw-only window aggregation for holistic functions (MEDIAN): the state

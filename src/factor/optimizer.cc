@@ -113,7 +113,7 @@ MinCostWcg OptimizeWithFactorWindows(const WindowSet& windows,
 }
 
 Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
-                                          AggKind agg,
+                                          AggFn agg,
                                           const OptimizerOptions& options) {
   if (windows.empty()) {
     return Status::InvalidArgument("empty window set");

@@ -51,7 +51,7 @@ struct OptimizationOutcome {
 /// and optimizer latency. Returns Unimplemented for holistic aggregates
 /// (callers fall back to the original plan, as the paper does).
 Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
-                                          AggKind agg,
+                                          AggFn agg,
                                           const OptimizerOptions& options = {});
 
 }  // namespace fw

@@ -20,7 +20,7 @@ CoverageSemantics SemanticsForWindowKind(bool tumbling);
 /// paper's evaluation), and the semantics to optimize under.
 struct QuerySetup {
   WindowSet windows;
-  AggKind agg = AggKind::kMin;
+  AggFn agg = Agg("MIN");
   CoverageSemantics semantics = CoverageSemantics::kCoveredBy;
 };
 
@@ -78,7 +78,7 @@ struct PanelConfig {
   int set_size = 5;
   int num_sets = 10;
   uint64_t seed = 42;
-  AggKind agg = AggKind::kMin;
+  AggFn agg = Agg("MIN");
 };
 
 /// Generates the panel's window sets (deterministic in config.seed).

@@ -77,7 +77,7 @@ RunStats RunPlan(const QueryPlan& plan, const std::vector<Event>& events,
   return stats;
 }
 
-RunStats RunSlicing(const WindowSet& windows, AggKind agg,
+RunStats RunSlicing(const WindowSet& windows, AggFn agg,
                     const std::vector<Event>& events, uint32_t num_keys) {
   SlicingEvaluator::Options options;
   options.num_keys = num_keys;
@@ -114,7 +114,7 @@ Status VerifyEquivalence(const QueryPlan& reference,
   return CompareResultMaps(ref_sink.ToMap(), cand_sink.ToMap(), tolerance);
 }
 
-Status VerifySlicingEquivalence(const WindowSet& windows, AggKind agg,
+Status VerifySlicingEquivalence(const WindowSet& windows, AggFn agg,
                                 const QueryPlan& reference,
                                 const std::vector<Event>& events,
                                 uint32_t num_keys, double tolerance) {

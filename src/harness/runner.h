@@ -29,7 +29,7 @@ RunStats RunPlan(const QueryPlan& plan, const std::vector<Event>& events,
                  uint32_t num_keys);
 
 /// Executes the stream-slicing baseline over `events`.
-RunStats RunSlicing(const WindowSet& windows, AggKind agg,
+RunStats RunSlicing(const WindowSet& windows, AggFn agg,
                     const std::vector<Event>& events, uint32_t num_keys);
 
 /// Runs both plans and verifies they produce identical result sets (same
@@ -43,7 +43,7 @@ Status VerifyEquivalence(const QueryPlan& reference,
                          double tolerance = 0.0);
 
 /// Same, comparing the slicing baseline against a reference plan.
-Status VerifySlicingEquivalence(const WindowSet& windows, AggKind agg,
+Status VerifySlicingEquivalence(const WindowSet& windows, AggFn agg,
                                 const QueryPlan& reference,
                                 const std::vector<Event>& events,
                                 uint32_t num_keys, double tolerance = 0.0);

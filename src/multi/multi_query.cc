@@ -38,9 +38,12 @@ Result<MultiQueryOptimizer::SharedPlan> MultiQueryOptimizer::Reoptimize(
     return Status::InvalidArgument("no queries to optimize");
   }
   const StreamQuery& first = queries[0];
+  if (first.agg == nullptr) {
+    return Status::InvalidArgument("query without an aggregate function");
+  }
   if (!SupportsSharing(first.agg)) {
     return Status::Unimplemented(
-        std::string(AggKindToString(first.agg)) +
+        first.agg->name +
         " is holistic; multi-query sharing is not supported");
   }
   for (const StreamQuery& q : queries) {

@@ -6,7 +6,7 @@
 
 namespace fw {
 
-QueryPlan QueryPlan::Original(const WindowSet& windows, AggKind agg) {
+QueryPlan QueryPlan::Original(const WindowSet& windows, AggFn agg) {
   QueryPlan plan(agg);
   plan.operators_.reserve(windows.size());
   for (const Window& w : windows) {
@@ -20,7 +20,7 @@ QueryPlan QueryPlan::Original(const WindowSet& windows, AggKind agg) {
   return plan;
 }
 
-QueryPlan QueryPlan::FromMinCostWcg(const MinCostWcg& wcg, AggKind agg) {
+QueryPlan QueryPlan::FromMinCostWcg(const MinCostWcg& wcg, AggFn agg) {
   QueryPlan plan(agg);
   const int n = static_cast<int>(wcg.graph.num_nodes());
   // WCG node index -> plan operator index (virtual root maps to -1).

@@ -37,14 +37,14 @@ class QueryPlan {
  public:
   /// The original (unshared) plan: every window reads the raw stream
   /// independently — the default produced by ASA/Flink (Figure 2(a), left).
-  static QueryPlan Original(const WindowSet& windows, AggKind agg);
+  static QueryPlan Original(const WindowSet& windows, AggFn agg);
 
   /// Appendix B rewriting: one operator per min-cost-WCG node (virtual
   /// root excluded), parent = chosen provider. Factor windows become
   /// unexposed operators.
-  static QueryPlan FromMinCostWcg(const MinCostWcg& wcg, AggKind agg);
+  static QueryPlan FromMinCostWcg(const MinCostWcg& wcg, AggFn agg);
 
-  AggKind agg() const { return agg_; }
+  AggFn agg() const { return agg_; }
   size_t num_operators() const { return operators_.size(); }
   const PlanOperator& op(int i) const {
     return operators_[static_cast<size_t>(i)];
@@ -65,9 +65,9 @@ class QueryPlan {
   bool Validate() const;
 
  private:
-  QueryPlan(AggKind agg) : agg_(agg) {}
+  QueryPlan(AggFn agg) : agg_(agg) {}
 
-  AggKind agg_;
+  AggFn agg_;
   std::vector<PlanOperator> operators_;
 };
 

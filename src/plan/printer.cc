@@ -12,8 +12,8 @@ namespace fw {
 namespace {
 
 // Lower-cases the aggregate name into the Trill member style: Min, Max...
-std::string TrillAggName(AggKind agg) {
-  std::string name = AggKindToString(agg);
+std::string TrillAggName(AggFn agg) {
+  std::string name = agg->name;
   for (size_t i = 1; i < name.size(); ++i) {
     name[i] = static_cast<char>(
         std::tolower(static_cast<unsigned char>(name[i])));
@@ -100,7 +100,7 @@ std::string ToFlinkExpression(const QueryPlan& plan) {
       os << "w" << op.parent << ".keyBy(a -> a.key)";
     }
     os << FlinkWindowCall(op.window) << ".aggregate(new "
-       << (op.parent < 0 ? "" : "Merge") << AggKindToString(plan.agg())
+       << (op.parent < 0 ? "" : "Merge") << plan.agg()->name
        << "Aggregate())";
     os << ";  // " << op.label << (op.exposed ? "" : " (factor window)")
        << "\n";
@@ -121,7 +121,7 @@ std::string ToDot(const QueryPlan& plan) {
      << "  union [shape=box];\n";
   for (size_t i = 0; i < plan.num_operators(); ++i) {
     const PlanOperator& op = plan.op(static_cast<int>(i));
-    os << "  n" << i << " [label=\"" << AggKindToString(plan.agg()) << " "
+    os << "  n" << i << " [label=\"" << plan.agg()->name << " "
        << op.label << "\"" << (op.is_factor ? ", style=dashed" : "")
        << "];\n";
   }
@@ -140,7 +140,7 @@ std::string ToDot(const QueryPlan& plan) {
 
 std::string ToJson(const QueryPlan& plan) {
   std::ostringstream os;
-  os << "{\n  \"aggregate\": \"" << AggKindToString(plan.agg())
+  os << "{\n  \"aggregate\": \"" << plan.agg()->name
      << "\",\n  \"operators\": [\n";
   for (size_t i = 0; i < plan.num_operators(); ++i) {
     const PlanOperator& op = plan.op(static_cast<int>(i));

@@ -2,16 +2,15 @@
 
 namespace fw {
 
-QueryBuilder& QueryBuilder::SetAgg(AggKind agg, std::string_view column) {
+QueryBuilder& QueryBuilder::SetAgg(AggFn agg, std::string_view column) {
   if (agg_set_) {
-    Latch(Status::InvalidArgument(
-        "aggregate set twice (" + std::string(AggKindToString(query_.agg)) +
-        ", then " + AggKindToString(agg) + ")"));
+    Latch(Status::InvalidArgument("aggregate set twice (" +
+                                  query_.agg->name + ", then " + agg->name +
+                                  ")"));
     return *this;
   }
   if (column.empty()) {
-    Latch(Status::InvalidArgument(
-        std::string(AggKindToString(agg)) + " needs a value column"));
+    Latch(Status::InvalidArgument(agg->name + " needs a value column"));
     return *this;
   }
   agg_set_ = true;
@@ -20,32 +19,55 @@ QueryBuilder& QueryBuilder::SetAgg(AggKind agg, std::string_view column) {
   return *this;
 }
 
+QueryBuilder& QueryBuilder::Aggregate(std::string_view name,
+                                      std::string_view column) {
+  AggFn agg = FindAggregate(name);
+  if (agg == nullptr) {
+    Latch(Status::InvalidArgument("unknown aggregate function '" +
+                                  std::string(name) + "'"));
+    return *this;
+  }
+  return SetAgg(agg, column);
+}
+
 QueryBuilder& QueryBuilder::Min(std::string_view column) {
-  return SetAgg(AggKind::kMin, column);
+  return Aggregate("MIN", column);
 }
 QueryBuilder& QueryBuilder::Max(std::string_view column) {
-  return SetAgg(AggKind::kMax, column);
+  return Aggregate("MAX", column);
 }
 QueryBuilder& QueryBuilder::Sum(std::string_view column) {
-  return SetAgg(AggKind::kSum, column);
+  return Aggregate("SUM", column);
 }
 QueryBuilder& QueryBuilder::Count(std::string_view column) {
-  return SetAgg(AggKind::kCount, column);
+  return Aggregate("COUNT", column);
 }
 QueryBuilder& QueryBuilder::Avg(std::string_view column) {
-  return SetAgg(AggKind::kAvg, column);
+  return Aggregate("AVG", column);
 }
 QueryBuilder& QueryBuilder::Stdev(std::string_view column) {
-  return SetAgg(AggKind::kStdev, column);
+  return Aggregate("STDEV", column);
 }
 QueryBuilder& QueryBuilder::Variance(std::string_view column) {
-  return SetAgg(AggKind::kVariance, column);
+  return Aggregate("VARIANCE", column);
 }
 QueryBuilder& QueryBuilder::Range(std::string_view column) {
-  return SetAgg(AggKind::kRange, column);
+  return Aggregate("RANGE", column);
 }
 QueryBuilder& QueryBuilder::Median(std::string_view column) {
-  return SetAgg(AggKind::kMedian, column);
+  return Aggregate("MEDIAN", column);
+}
+QueryBuilder& QueryBuilder::First(std::string_view column) {
+  return Aggregate("FIRST", column);
+}
+QueryBuilder& QueryBuilder::Last(std::string_view column) {
+  return Aggregate("LAST", column);
+}
+QueryBuilder& QueryBuilder::P99(std::string_view column) {
+  return Aggregate("P99", column);
+}
+QueryBuilder& QueryBuilder::DistinctCount(std::string_view column) {
+  return Aggregate("DISTINCT_COUNT", column);
 }
 
 QueryBuilder& QueryBuilder::From(std::string_view source) {
@@ -106,7 +128,8 @@ void QueryBuilder::Latch(Status status) {
 Result<StreamQuery> QueryBuilder::Build() const {
   if (!error_.ok()) return error_;
   if (!agg_set_) {
-    return Status::InvalidArgument("query needs an aggregate (Min/Max/...)");
+    return Status::InvalidArgument(
+        "query needs an aggregate (Min/Max/Aggregate(name)/...)");
   }
   if (query_.source.empty()) {
     return Status::InvalidArgument("query needs a source stream (From)");

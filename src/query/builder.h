@@ -27,7 +27,12 @@ class QueryBuilder {
  public:
   QueryBuilder() = default;
 
-  /// Aggregate selectors; `column` is the aggregated value column.
+  /// Generic aggregate selector: any function registered with the global
+  /// AggregateRegistry, by (case-insensitive) name. Unknown names latch an
+  /// error reported by Build(). `column` is the aggregated value column.
+  QueryBuilder& Aggregate(std::string_view name, std::string_view column);
+
+  /// Named conveniences for the built-ins; all forward to Aggregate().
   QueryBuilder& Min(std::string_view column);
   QueryBuilder& Max(std::string_view column);
   QueryBuilder& Sum(std::string_view column);
@@ -37,6 +42,10 @@ class QueryBuilder {
   QueryBuilder& Variance(std::string_view column);
   QueryBuilder& Range(std::string_view column);
   QueryBuilder& Median(std::string_view column);
+  QueryBuilder& First(std::string_view column);
+  QueryBuilder& Last(std::string_view column);
+  QueryBuilder& P99(std::string_view column);
+  QueryBuilder& DistinctCount(std::string_view column);
 
   /// The source stream name.
   QueryBuilder& From(std::string_view source);
@@ -53,7 +62,7 @@ class QueryBuilder {
   Result<StreamQuery> Build() const;
 
  private:
-  QueryBuilder& SetAgg(AggKind agg, std::string_view column);
+  QueryBuilder& SetAgg(AggFn agg, std::string_view column);
   void Latch(Status status);
 
   StreamQuery query_;

@@ -1,7 +1,6 @@
 #include "query/parser.h"
 
 #include <cctype>
-#include <optional>
 #include <sstream>
 #include <vector>
 
@@ -89,16 +88,6 @@ class Lexer {
   size_t pos_ = 0;
 };
 
-std::optional<AggKind> AggFromName(const std::string& upper) {
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
-                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
-                       AggKind::kVariance, AggKind::kRange,
-                       AggKind::kMedian}) {
-    if (upper == AggKindToString(kind)) return kind;
-  }
-  return std::nullopt;
-}
-
 class Parser {
  public:
   explicit Parser(std::vector<Token> tokens) : tokens_(std::move(tokens)) {}
@@ -109,12 +98,14 @@ class Parser {
     // Aggregate call.
     Result<Token> agg_name = ExpectIdent("aggregate function");
     if (!agg_name.ok()) return agg_name.status();
-    std::optional<AggKind> agg = AggFromName(agg_name->upper);
-    if (!agg.has_value()) {
+    // Any registered aggregate resolves — built-ins and user-defined
+    // functions alike (agg/AggregateRegistry).
+    AggFn agg = FindAggregate(agg_name->upper);
+    if (agg == nullptr) {
       return Error("unknown aggregate function '" + agg_name->text + "'",
                    agg_name->offset);
     }
-    query.agg = *agg;
+    query.agg = agg;
     FW_RETURN_IF_ERROR(Expect(TokenKind::kLParen, "'('"));
     Result<Token> column = ExpectIdent("value column");
     if (!column.ok()) return column.status();
@@ -271,7 +262,7 @@ Result<StreamQuery> ParseQuery(std::string_view sql) {
 
 std::string StreamQuery::ToSql() const {
   std::ostringstream os;
-  os << "SELECT " << AggKindToString(agg) << "(" << value_column
+  os << "SELECT " << agg->name << "(" << value_column
      << ") FROM " << source << " GROUP BY ";
   if (per_key) os << key_column << ", ";
   os << "WINDOWS(";

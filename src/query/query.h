@@ -20,7 +20,8 @@ namespace fw {
 ///                               TUMBLINGWINDOW(40))
 struct StreamQuery {
   std::string source;
-  AggKind agg = AggKind::kMin;
+  /// Registered aggregate function (never null in a built query).
+  AggFn agg = nullptr;
   std::string value_column;
   /// True when the query groups by a key column (per-device results).
   bool per_key = false;

@@ -51,9 +51,12 @@ Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
   if (query.windows.empty()) {
     return Status::InvalidArgument("query without windows");
   }
+  if (query.agg == nullptr) {
+    return Status::InvalidArgument("query without an aggregate function");
+  }
   if (!SupportsSharing(query.agg)) {
     return Status::Unimplemented(
-        std::string(AggKindToString(query.agg)) +
+        query.agg->name +
         " is holistic and cannot join a shared session; execute "
         "QueryPlan::Original directly instead");
   }
@@ -75,8 +78,8 @@ Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
     }
     if (query.agg != first.agg) {
       return Status::InvalidArgument(
-          std::string("session aggregates ") + AggKindToString(first.agg) +
-          ", query aggregates " + AggKindToString(query.agg));
+          "session aggregates " + first.agg->name + ", query aggregates " +
+          query.agg->name);
     }
     if (query.per_key != first.per_key ||
         query.key_column != first.key_column) {

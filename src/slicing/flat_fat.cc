@@ -14,9 +14,11 @@ size_t RoundUpPowerOfTwo(size_t n) {
 
 }  // namespace
 
-FlatFat::FlatFat(AggKind agg, size_t capacity_hint)
+FlatFat::FlatFat(AggFn agg, size_t capacity_hint)
     : agg_(agg), capacity_(RoundUpPowerOfTwo(capacity_hint)) {
   FW_CHECK(SupportsSharing(agg));
+  FW_CHECK(!agg->merge_order_sensitive)
+      << agg->name << " merges are order-sensitive; FlatFAT reassociates";
   nodes_.assign(2 * capacity_, AggState{});
 }
 
@@ -28,8 +30,7 @@ void FlatFat::Assign(uint64_t id, const AggState& state) {
   for (slot >>= 1; slot >= 1; slot >>= 1) {
     const AggState& left = nodes_[2 * slot];
     const AggState& right = nodes_[2 * slot + 1];
-    AggState combined = AggIdentity(agg_);
-    combined.n = 0;
+    AggState combined;
     if (left.n > 0) {
       combined = left;
       ++merge_ops_;

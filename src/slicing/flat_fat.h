@@ -22,7 +22,9 @@ namespace fw {
 class FlatFat {
  public:
   /// `capacity_hint` is rounded up to a power of two (minimum 2).
-  FlatFat(AggKind agg, size_t capacity_hint);
+  /// The aggregate must be shareable and merge-order insensitive (the
+  /// range fold reassociates merges).
+  FlatFat(AggFn agg, size_t capacity_hint);
 
   size_t capacity() const { return capacity_; }
 
@@ -51,7 +53,7 @@ class FlatFat {
   /// walking the tree bottom-up.
   void CombineSlots(size_t from, size_t to, AggState* into) const;
 
-  AggKind agg_;
+  AggFn agg_;
   size_t capacity_ = 0;           // Power of two.
   std::vector<AggState> nodes_;   // 1-based heap layout; size 2*capacity.
   mutable uint64_t merge_ops_ = 0;

@@ -8,17 +8,21 @@
 
 namespace fw {
 
-SlicingEvaluator::SlicingEvaluator(const WindowSet& windows, AggKind agg,
+SlicingEvaluator::SlicingEvaluator(const WindowSet& windows, AggFn agg,
                                    const Options& options, ResultSink* sink)
     : windows_(windows.windows()),
       agg_(agg),
       options_(options),
-      sink_(sink),
-      identity_(AggIdentity(agg)) {
+      sink_(sink) {
   FW_CHECK(!windows_.empty());
   FW_CHECK(SupportsSharing(agg))
-      << AggKindToString(agg) << " is holistic; slicing unsupported";
+      << agg->name << " is holistic; slicing unsupported";
   FW_CHECK(sink != nullptr);
+  if (agg->merge_order_sensitive) {
+    // The lazy tree reassociates merges; eager combining folds slices in
+    // time order, which order-sensitive functions require.
+    options_.mode = CombineMode::kEager;
+  }
   FW_CHECK_GT(options.num_keys, 0u);
   next_fire_m_.assign(windows_.size(), 0);
   if (options_.mode == CombineMode::kLazyTree) {
@@ -84,9 +88,7 @@ void SlicingEvaluator::Push(const Event& event) {
   }
   while (t >= current_.end) RollSlice();
   FW_CHECK_LT(event.key, options_.num_keys);
-  AggState& state = current_.states[event.key];
-  if (state.n == 0) state = identity_;
-  AggAccumulate(agg_, &state, event.value);
+  AggAccumulate(agg_, &current_.states[event.key], event.value);
   ++ops_;
   last_event_time_ = t;
 }
@@ -174,9 +176,7 @@ void SlicingEvaluator::FireInstance(size_t w, TimeT start, TimeT end) {
     for (uint32_t key = 0; key < options_.num_keys; ++key) {
       const AggState& s = slice.states[key];
       if (s.n == 0) continue;
-      AggState& c = combined[key];
-      if (c.n == 0) c = identity_;
-      AggMerge(agg_, &c, s);
+      AggMerge(agg_, &combined[key], s);
       ++ops_;
     }
   };

@@ -46,7 +46,9 @@ class SlicingEvaluator {
 
   /// `sink` must outlive the evaluator. Holistic aggregates are not
   /// supported (mirrors our use of Scotty: MIN/MAX/SUM/COUNT/AVG/...).
-  SlicingEvaluator(const WindowSet& windows, AggKind agg,
+  /// Order-sensitive merges (FIRST/LAST) force eager combining: the
+  /// FlatFAT range fold reassociates merges, so kLazyTree is downgraded.
+  SlicingEvaluator(const WindowSet& windows, AggFn agg,
                    const Options& options, ResultSink* sink);
 
   SlicingEvaluator(const SlicingEvaluator&) = delete;
@@ -102,10 +104,9 @@ class SlicingEvaluator {
   void HarvestTreeOps();
 
   std::vector<Window> windows_;
-  AggKind agg_;
+  AggFn agg_;
   Options options_;
   ResultSink* sink_;
-  AggState identity_;
 
   bool started_ = false;
   TimeT last_event_time_ = 0;

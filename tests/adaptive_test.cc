@@ -48,7 +48,7 @@ TEST(RateEstimatorDeathTest, AlphaValidation) {
 
 TEST(AdaptiveOptimizer, InitialPlanAtUnitRate) {
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("SUM"));
   ASSERT_TRUE(adaptive.ok());
   EXPECT_DOUBLE_EQ(adaptive->planned_eta(), 1.0);
   EXPECT_DOUBLE_EQ(adaptive->plan_cost(), 150.0);  // Example 7 w/ T(10).
@@ -58,7 +58,7 @@ TEST(AdaptiveOptimizer, InitialPlanAtUnitRate) {
 
 TEST(AdaptiveOptimizer, NoReoptimizationWithinThreshold) {
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("SUM"));
   ASSERT_TRUE(adaptive.ok());
   adaptive->ObserveBatch(130, 100);  // 1.3 < 1.5 threshold.
   EXPECT_FALSE(adaptive->MaybeReoptimize());
@@ -70,7 +70,7 @@ TEST(AdaptiveOptimizer, RateDropEvictsFactorWindow) {
   // scan costs η·R while it saves Σ n_j (η·r_j - M_j) downstream. At
   // η = 0.05 raw reads are so cheap that sharing stops paying.
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("SUM"));
   ASSERT_TRUE(adaptive.ok());
   EXPECT_EQ(CountFactorOps(adaptive->plan()), 1);
   adaptive->ObserveBatch(50, 1000);  // η ≈ 0.05.
@@ -83,7 +83,7 @@ TEST(AdaptiveOptimizer, RateDropEvictsFactorWindow) {
 
 TEST(AdaptiveOptimizer, RateRecoveryReinstatesFactorWindow) {
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("SUM"));
   ASSERT_TRUE(adaptive.ok());
   adaptive->ObserveBatch(50, 1000);  // η ≈ 0.05: factor evicted.
   ASSERT_TRUE(adaptive->MaybeReoptimize());
@@ -99,7 +99,7 @@ TEST(AdaptiveOptimizer, RateRiseKeepsPlanButRecosts) {
   // Above η = 1 the Example-7 plan shape is stable; re-optimization
   // happens but reports no structural change.
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kSum);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("SUM"));
   ASSERT_TRUE(adaptive.ok());
   adaptive->ObserveBatch(4000, 1000);  // η = 4.
   EXPECT_FALSE(adaptive->MaybeReoptimize());  // Same structure.
@@ -110,30 +110,30 @@ TEST(AdaptiveOptimizer, RateRiseKeepsPlanButRecosts) {
 
 TEST(AdaptiveOptimizer, HolisticRejected) {
   Result<AdaptiveOptimizer> adaptive =
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kMedian);
+      AdaptiveOptimizer::Make(Example7Set(), Agg("MEDIAN"));
   EXPECT_FALSE(adaptive.ok());
   EXPECT_EQ(adaptive.status().code(), StatusCode::kUnimplemented);
 }
 
 TEST(AdaptiveOptimizer, Validation) {
   WindowSet empty;
-  EXPECT_FALSE(AdaptiveOptimizer::Make(empty, AggKind::kMin).ok());
+  EXPECT_FALSE(AdaptiveOptimizer::Make(empty, Agg("MIN")).ok());
   AdaptiveOptimizer::Options options;
   options.reoptimize_ratio = 1.0;
   EXPECT_FALSE(
-      AdaptiveOptimizer::Make(Example7Set(), AggKind::kMin, options).ok());
+      AdaptiveOptimizer::Make(Example7Set(), Agg("MIN"), options).ok());
 }
 
 TEST(PlansStructurallyEqual, DetectsDifferences) {
   WindowSet set = Example7Set();
-  QueryPlan a = QueryPlan::Original(set, AggKind::kMin);
-  QueryPlan b = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan a = QueryPlan::Original(set, Agg("MIN"));
+  QueryPlan b = QueryPlan::Original(set, Agg("MIN"));
   EXPECT_TRUE(PlansStructurallyEqual(a, b));
-  QueryPlan c = QueryPlan::Original(set, AggKind::kMax);
+  QueryPlan c = QueryPlan::Original(set, Agg("MAX"));
   EXPECT_FALSE(PlansStructurallyEqual(a, c));
   MinCostWcg wcg =
       FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan d = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan d = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   EXPECT_FALSE(PlansStructurallyEqual(a, d));
 }
 

@@ -10,118 +10,143 @@ namespace fw {
 namespace {
 
 TEST(Taxonomy, GrayEtAlClasses) {
-  EXPECT_EQ(ClassOf(AggKind::kMin), AggClass::kDistributive);
-  EXPECT_EQ(ClassOf(AggKind::kMax), AggClass::kDistributive);
-  EXPECT_EQ(ClassOf(AggKind::kSum), AggClass::kDistributive);
-  EXPECT_EQ(ClassOf(AggKind::kCount), AggClass::kDistributive);
-  EXPECT_EQ(ClassOf(AggKind::kAvg), AggClass::kAlgebraic);
-  EXPECT_EQ(ClassOf(AggKind::kStdev), AggClass::kAlgebraic);
-  EXPECT_EQ(ClassOf(AggKind::kVariance), AggClass::kAlgebraic);
-  EXPECT_EQ(ClassOf(AggKind::kRange), AggClass::kAlgebraic);
-  EXPECT_EQ(ClassOf(AggKind::kMedian), AggClass::kHolistic);
+  EXPECT_EQ(ClassOf(Agg("MIN")), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(Agg("MAX")), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(Agg("SUM")), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(Agg("COUNT")), AggClass::kDistributive);
+  EXPECT_EQ(ClassOf(Agg("AVG")), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(Agg("STDEV")), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(Agg("VARIANCE")), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(Agg("RANGE")), AggClass::kAlgebraic);
+  EXPECT_EQ(ClassOf(Agg("MEDIAN")), AggClass::kHolistic);
 }
 
 TEST(Taxonomy, OverlapSafety) {
   // Theorem 6: MIN and MAX tolerate overlapping partitions; RANGE does
   // too because its state is a (min, max) pair (footnote-2 extension).
-  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kMin));
-  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kMax));
-  EXPECT_TRUE(SupportsOverlappingMerge(AggKind::kRange));
-  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kSum));
-  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kCount));
-  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kAvg));
-  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kStdev));
-  EXPECT_FALSE(SupportsOverlappingMerge(AggKind::kVariance));
+  EXPECT_TRUE(SupportsOverlappingMerge(Agg("MIN")));
+  EXPECT_TRUE(SupportsOverlappingMerge(Agg("MAX")));
+  EXPECT_TRUE(SupportsOverlappingMerge(Agg("RANGE")));
+  EXPECT_FALSE(SupportsOverlappingMerge(Agg("SUM")));
+  EXPECT_FALSE(SupportsOverlappingMerge(Agg("COUNT")));
+  EXPECT_FALSE(SupportsOverlappingMerge(Agg("AVG")));
+  EXPECT_FALSE(SupportsOverlappingMerge(Agg("STDEV")));
+  EXPECT_FALSE(SupportsOverlappingMerge(Agg("VARIANCE")));
 }
 
 TEST(Taxonomy, Sharing) {
-  EXPECT_TRUE(SupportsSharing(AggKind::kMin));
-  EXPECT_TRUE(SupportsSharing(AggKind::kAvg));
-  EXPECT_FALSE(SupportsSharing(AggKind::kMedian));
+  EXPECT_TRUE(SupportsSharing(Agg("MIN")));
+  EXPECT_TRUE(SupportsSharing(Agg("AVG")));
+  EXPECT_FALSE(SupportsSharing(Agg("MEDIAN")));
 }
 
 TEST(Taxonomy, SemanticsSelection) {
   // Paper footnote 2.
-  EXPECT_EQ(SemanticsFor(AggKind::kMin).value(),
+  EXPECT_EQ(SemanticsFor(Agg("MIN")).value(),
             CoverageSemantics::kCoveredBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kMax).value(),
+  EXPECT_EQ(SemanticsFor(Agg("MAX")).value(),
             CoverageSemantics::kCoveredBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kSum).value(),
+  EXPECT_EQ(SemanticsFor(Agg("SUM")).value(),
             CoverageSemantics::kPartitionedBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kCount).value(),
+  EXPECT_EQ(SemanticsFor(Agg("COUNT")).value(),
             CoverageSemantics::kPartitionedBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kAvg).value(),
+  EXPECT_EQ(SemanticsFor(Agg("AVG")).value(),
             CoverageSemantics::kPartitionedBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kStdev).value(),
+  EXPECT_EQ(SemanticsFor(Agg("STDEV")).value(),
             CoverageSemantics::kPartitionedBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kVariance).value(),
+  EXPECT_EQ(SemanticsFor(Agg("VARIANCE")).value(),
             CoverageSemantics::kPartitionedBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kRange).value(),
+  EXPECT_EQ(SemanticsFor(Agg("RANGE")).value(),
             CoverageSemantics::kCoveredBy);
-  EXPECT_EQ(SemanticsFor(AggKind::kMedian).status().code(),
+  EXPECT_EQ(SemanticsFor(Agg("MEDIAN")).status().code(),
             StatusCode::kUnimplemented);
 }
 
 TEST(Names, Strings) {
-  EXPECT_STREQ(AggKindToString(AggKind::kMin), "MIN");
-  EXPECT_STREQ(AggKindToString(AggKind::kStdev), "STDEV");
+  EXPECT_STREQ(Agg("MIN")->name.c_str(), "MIN");
+  EXPECT_STREQ(Agg("STDEV")->name.c_str(), "STDEV");
   EXPECT_STREQ(AggClassToString(AggClass::kAlgebraic), "algebraic");
   EXPECT_STREQ(AggClassToString(AggClass::kHolistic), "holistic");
 }
 
 TEST(Accumulate, Min) {
-  AggState s = AggIdentity(AggKind::kMin);
+  AggState s = AggState{};
   EXPECT_TRUE(s.empty());
-  AggAccumulate(AggKind::kMin, &s, 5.0);
-  AggAccumulate(AggKind::kMin, &s, 3.0);
-  AggAccumulate(AggKind::kMin, &s, 7.0);
+  AggAccumulate(Agg("MIN"), &s, 5.0);
+  AggAccumulate(Agg("MIN"), &s, 3.0);
+  AggAccumulate(Agg("MIN"), &s, 7.0);
   EXPECT_EQ(s.n, 3u);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMin, s), 3.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("MIN"), s), 3.0);
 }
 
 TEST(Accumulate, Max) {
-  AggState s = AggIdentity(AggKind::kMax);
-  AggAccumulate(AggKind::kMax, &s, -5.0);
-  AggAccumulate(AggKind::kMax, &s, -3.0);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMax, s), -3.0);
+  AggState s = AggState{};
+  AggAccumulate(Agg("MAX"), &s, -5.0);
+  AggAccumulate(Agg("MAX"), &s, -3.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("MAX"), s), -3.0);
 }
 
 TEST(Accumulate, SumCountAvg) {
-  AggState sum = AggIdentity(AggKind::kSum);
-  AggState cnt = AggIdentity(AggKind::kCount);
-  AggState avg = AggIdentity(AggKind::kAvg);
+  AggState sum = AggState{};
+  AggState cnt = AggState{};
+  AggState avg = AggState{};
   for (double v : {1.0, 2.0, 3.0, 4.0}) {
-    AggAccumulate(AggKind::kSum, &sum, v);
-    AggAccumulate(AggKind::kCount, &cnt, v);
-    AggAccumulate(AggKind::kAvg, &avg, v);
+    AggAccumulate(Agg("SUM"), &sum, v);
+    AggAccumulate(Agg("COUNT"), &cnt, v);
+    AggAccumulate(Agg("AVG"), &avg, v);
   }
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, sum), 10.0);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kCount, cnt), 4.0);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kAvg, avg), 2.5);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), sum), 10.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("COUNT"), cnt), 4.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("AVG"), avg), 2.5);
 }
 
 TEST(Accumulate, Stdev) {
-  AggState s = AggIdentity(AggKind::kStdev);
+  AggState s = AggState{};
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
-    AggAccumulate(AggKind::kStdev, &s, v);
+    AggAccumulate(Agg("STDEV"), &s, v);
   }
-  EXPECT_NEAR(AggFinalize(AggKind::kStdev, s), 2.0, 1e-12);
+  EXPECT_NEAR(AggFinalize(Agg("STDEV"), s), 2.0, 1e-12);
 }
 
 TEST(Accumulate, Variance) {
-  AggState s = AggIdentity(AggKind::kVariance);
+  AggState s = AggState{};
   for (double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) {
-    AggAccumulate(AggKind::kVariance, &s, v);
+    AggAccumulate(Agg("VARIANCE"), &s, v);
   }
-  EXPECT_NEAR(AggFinalize(AggKind::kVariance, s), 4.0, 1e-12);
+  EXPECT_NEAR(AggFinalize(Agg("VARIANCE"), s), 4.0, 1e-12);
+}
+
+TEST(Accumulate, StdevCatastrophicCancellationClampsAtZero) {
+  // Sum-of-squares variance of near-constant large-magnitude inputs can
+  // come out (slightly) negative in floating point; unclamped, sqrt would
+  // return NaN. The finalizers clamp at 0.
+  for (AggFn fn : {Agg("STDEV"), Agg("VARIANCE")}) {
+    AggState s;
+    for (int i = 0; i < 1000; ++i) {
+      // Alternate the last-bit neighborhood of 1e8 so the true variance is
+      // tiny but nonzero — the worst case for the cancellation.
+      AggAccumulate(fn, &s, 1e8 + (i % 2 == 0 ? 1e-4 : -1e-4));
+    }
+    const double result = AggFinalize(fn, s);
+    EXPECT_FALSE(std::isnan(result)) << fn->name;
+    EXPECT_GE(result, 0.0) << fn->name;
+  }
+  // Exactly constant input: variance and stdev are 0, never NaN.
+  for (AggFn fn : {Agg("STDEV"), Agg("VARIANCE")}) {
+    AggState s;
+    for (int i = 0; i < 100; ++i) AggAccumulate(fn, &s, 123456789.0);
+    const double result = AggFinalize(fn, s);
+    EXPECT_FALSE(std::isnan(result)) << fn->name;
+    EXPECT_DOUBLE_EQ(result, 0.0) << fn->name;
+  }
 }
 
 TEST(Accumulate, Range) {
-  AggState s = AggIdentity(AggKind::kRange);
+  AggState s = AggState{};
   for (double v : {5.0, -2.0, 3.0, 11.0}) {
-    AggAccumulate(AggKind::kRange, &s, v);
+    AggAccumulate(Agg("RANGE"), &s, v);
   }
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kRange, s), 13.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("RANGE"), s), 13.0);
 }
 
 TEST(Merge, RangeOverlapSafe) {
@@ -129,16 +154,16 @@ TEST(Merge, RangeOverlapSafe) {
   // (min, max) pair is insensitive to duplicates.
   std::vector<double> all = {4.0, 8.0, 1.0, 6.0, 3.0};
   auto chunk = [&](size_t lo, size_t hi) {
-    AggState s = AggIdentity(AggKind::kRange);
+    AggState s = AggState{};
     for (size_t i = lo; i < hi; ++i) {
-      AggAccumulate(AggKind::kRange, &s, all[i]);
+      AggAccumulate(Agg("RANGE"), &s, all[i]);
     }
     return s;
   };
-  AggState merged = AggIdentity(AggKind::kRange);
-  AggMerge(AggKind::kRange, &merged, chunk(0, 3));
-  AggMerge(AggKind::kRange, &merged, chunk(2, 5));  // Overlap at index 2.
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kRange, merged), 7.0);  // 8 - 1.
+  AggState merged = AggState{};
+  AggMerge(Agg("RANGE"), &merged, chunk(0, 3));
+  AggMerge(Agg("RANGE"), &merged, chunk(2, 5));  // Overlap at index 2.
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("RANGE"), merged), 7.0);  // 8 - 1.
 }
 
 TEST(Merge, DisjointPartitionsMatchDirect) {
@@ -147,21 +172,21 @@ TEST(Merge, DisjointPartitionsMatchDirect) {
   Rng rng(123);
   std::vector<double> all;
   for (int i = 0; i < 100; ++i) all.push_back(rng.UniformReal(-50, 50));
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
-                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
-                       AggKind::kVariance, AggKind::kRange}) {
-    AggState direct = AggIdentity(kind);
+  for (AggFn kind : {Agg("MIN"), Agg("MAX"), Agg("SUM"),
+                       Agg("COUNT"), Agg("AVG"), Agg("STDEV"),
+                       Agg("VARIANCE"), Agg("RANGE")}) {
+    AggState direct = AggState{};
     for (double v : all) AggAccumulate(kind, &direct, v);
     // Three disjoint chunks merged.
-    AggState merged = AggIdentity(kind);
+    AggState merged = AggState{};
     for (size_t lo : {0u, 33u, 71u}) {
       size_t hi = lo == 0 ? 33 : (lo == 33 ? 71 : 100);
-      AggState part = AggIdentity(kind);
+      AggState part = AggState{};
       for (size_t i = lo; i < hi; ++i) AggAccumulate(kind, &part, all[i]);
       AggMerge(kind, &merged, part);
     }
     EXPECT_NEAR(AggFinalize(kind, merged), AggFinalize(kind, direct), 1e-9)
-        << AggKindToString(kind);
+        << kind->name;
   }
 }
 
@@ -170,69 +195,69 @@ TEST(Merge, OverlappingPartitionsSafeForMinMax) {
   // friends do not (double counting), which is why they require
   // "partitioned by".
   std::vector<double> all = {4.0, 8.0, 1.0, 6.0, 3.0};
-  auto chunk = [&](AggKind kind, size_t lo, size_t hi) {
-    AggState s = AggIdentity(kind);
+  auto chunk = [&](AggFn kind, size_t lo, size_t hi) {
+    AggState s = AggState{};
     for (size_t i = lo; i < hi; ++i) AggAccumulate(kind, &s, all[i]);
     return s;
   };
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax}) {
-    AggState direct = AggIdentity(kind);
+  for (AggFn kind : {Agg("MIN"), Agg("MAX")}) {
+    AggState direct = AggState{};
     for (double v : all) AggAccumulate(kind, &direct, v);
-    AggState merged = AggIdentity(kind);
+    AggState merged = AggState{};
     AggMerge(kind, &merged, chunk(kind, 0, 3));
     AggMerge(kind, &merged, chunk(kind, 2, 5));  // Overlaps element 2.
     EXPECT_DOUBLE_EQ(AggFinalize(kind, merged), AggFinalize(kind, direct));
   }
   // SUM over the same overlapping chunks double-counts.
-  AggState sum = AggIdentity(AggKind::kSum);
-  AggMerge(AggKind::kSum, &sum, chunk(AggKind::kSum, 0, 3));
-  AggMerge(AggKind::kSum, &sum, chunk(AggKind::kSum, 2, 5));
-  EXPECT_NE(AggFinalize(AggKind::kSum, sum), 22.0);
+  AggState sum = AggState{};
+  AggMerge(Agg("SUM"), &sum, chunk(Agg("SUM"), 0, 3));
+  AggMerge(Agg("SUM"), &sum, chunk(Agg("SUM"), 2, 5));
+  EXPECT_NE(AggFinalize(Agg("SUM"), sum), 22.0);
 }
 
 TEST(Merge, EmptyStateIsIdentity) {
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
-                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
-                       AggKind::kVariance, AggKind::kRange}) {
-    AggState s = AggIdentity(kind);
+  for (AggFn kind : {Agg("MIN"), Agg("MAX"), Agg("SUM"),
+                       Agg("COUNT"), Agg("AVG"), Agg("STDEV"),
+                       Agg("VARIANCE"), Agg("RANGE")}) {
+    AggState s = AggState{};
     AggAccumulate(kind, &s, 5.0);
-    AggState merged = AggIdentity(kind);
+    AggState merged = AggState{};
     AggMerge(kind, &merged, s);
-    AggMerge(kind, &merged, AggIdentity(kind));
+    AggMerge(kind, &merged, AggState{});
     EXPECT_DOUBLE_EQ(AggFinalize(kind, merged), AggFinalize(kind, s));
   }
 }
 
 TEST(FinalizeDeathTest, EmptyStateAborts) {
-  AggState empty = AggIdentity(AggKind::kMin);
-  EXPECT_DEATH(AggFinalize(AggKind::kMin, empty), "empty");
+  AggState empty = AggState{};
+  EXPECT_DEATH(AggFinalize(Agg("MIN"), empty), "empty");
 }
 
 TEST(Holistic, MedianOddAndEven) {
   HolisticState odd;
   for (double v : {5.0, 1.0, 3.0}) odd.Add(v);
-  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &odd), 3.0);
+  EXPECT_DOUBLE_EQ(HolisticFinalize(Agg("MEDIAN"), &odd), 3.0);
   HolisticState even;
   for (double v : {4.0, 1.0, 3.0, 2.0}) even.Add(v);
   // Lower median convention.
-  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &even), 2.0);
+  EXPECT_DOUBLE_EQ(HolisticFinalize(Agg("MEDIAN"), &even), 2.0);
 }
 
 TEST(Holistic, SingleValue) {
   HolisticState s;
   s.Add(42.0);
-  EXPECT_DOUBLE_EQ(HolisticFinalize(AggKind::kMedian, &s), 42.0);
+  EXPECT_DOUBLE_EQ(HolisticFinalize(Agg("MEDIAN"), &s), 42.0);
 }
 
 TEST(Reference, MatchesManual) {
   std::vector<double> vals = {3.0, 1.0, 4.0, 1.0, 5.0};
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMin, vals).value(), 1.0);
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMax, vals).value(), 5.0);
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kSum, vals).value(), 14.0);
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kCount, vals).value(), 5.0);
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kAvg, vals).value(), 2.8);
-  EXPECT_DOUBLE_EQ(AggReference(AggKind::kMedian, vals).value(), 3.0);
-  EXPECT_FALSE(AggReference(AggKind::kMin, {}).ok());
+  EXPECT_DOUBLE_EQ(AggReference(Agg("MIN"), vals).value(), 1.0);
+  EXPECT_DOUBLE_EQ(AggReference(Agg("MAX"), vals).value(), 5.0);
+  EXPECT_DOUBLE_EQ(AggReference(Agg("SUM"), vals).value(), 14.0);
+  EXPECT_DOUBLE_EQ(AggReference(Agg("COUNT"), vals).value(), 5.0);
+  EXPECT_DOUBLE_EQ(AggReference(Agg("AVG"), vals).value(), 2.8);
+  EXPECT_DOUBLE_EQ(AggReference(Agg("MEDIAN"), vals).value(), 3.0);
+  EXPECT_FALSE(AggReference(Agg("MIN"), {}).ok());
 }
 
 // Property: merging a random binary split equals direct evaluation for
@@ -245,21 +270,21 @@ TEST_P(SplitSweep, RandomSplitsCompose) {
   int n = 1 + static_cast<int>(rng.Uniform(1, 200));
   for (int i = 0; i < n; ++i) values.push_back(rng.UniformReal(-10, 10));
   size_t split = rng.Uniform(0, values.size());
-  for (AggKind kind : {AggKind::kMin, AggKind::kMax, AggKind::kSum,
-                       AggKind::kCount, AggKind::kAvg, AggKind::kStdev,
-                       AggKind::kVariance, AggKind::kRange}) {
-    AggState left = AggIdentity(kind);
-    AggState right = AggIdentity(kind);
+  for (AggFn kind : {Agg("MIN"), Agg("MAX"), Agg("SUM"),
+                       Agg("COUNT"), Agg("AVG"), Agg("STDEV"),
+                       Agg("VARIANCE"), Agg("RANGE")}) {
+    AggState left = AggState{};
+    AggState right = AggState{};
     for (size_t i = 0; i < split; ++i) AggAccumulate(kind, &left, values[i]);
     for (size_t i = split; i < values.size(); ++i) {
       AggAccumulate(kind, &right, values[i]);
     }
-    AggState merged = AggIdentity(kind);
+    AggState merged = AggState{};
     AggMerge(kind, &merged, left);
     AggMerge(kind, &merged, right);
     EXPECT_NEAR(AggFinalize(kind, merged),
                 AggReference(kind, values).value(), 1e-9)
-        << AggKindToString(kind) << " split=" << split;
+        << kind->name << " split=" << split;
   }
 }
 

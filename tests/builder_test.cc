@@ -16,7 +16,7 @@ TEST(QueryBuilder, BuildsFullQuery) {
                               .Hopping(60, 10)
                               .Build();
   ASSERT_TRUE(q.ok()) << q.status().ToString();
-  EXPECT_EQ(q->agg, AggKind::kMin);
+  EXPECT_EQ(q->agg, Agg("MIN"));
   EXPECT_EQ(q->value_column, "temperature");
   EXPECT_EQ(q->source, "input");
   EXPECT_TRUE(q->per_key);
@@ -46,7 +46,7 @@ TEST(QueryBuilder, OrderInsensitive) {
   Result<StreamQuery> q =
       Query().Tumbling(20).From("s").PerKey("k").Max("v").Build();
   ASSERT_TRUE(q.ok());
-  EXPECT_EQ(q->agg, AggKind::kMax);
+  EXPECT_EQ(q->agg, Agg("MAX"));
 }
 
 TEST(QueryBuilder, RequiresAggregate) {

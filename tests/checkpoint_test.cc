@@ -11,7 +11,7 @@
 namespace fw {
 namespace {
 
-QueryPlan Example7FactorPlan(AggKind agg = AggKind::kMin) {
+QueryPlan Example7FactorPlan(AggFn agg = Agg("MIN")) {
   WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
@@ -124,10 +124,98 @@ TEST(Checkpoint, ReorderSectionRoundTripsAndStrictFormatIsUnchanged) {
   EXPECT_EQ(restored->Serialize(), checkpoint.Serialize());
 }
 
+TEST(Checkpoint, SketchStatesSerializeAsVersion3AndRoundTrip) {
+  // A checkpoint holding out-of-line (sketch) aggregate state writes
+  // version 3 with the extension payload inline; built-in-only checkpoints
+  // keep the historical version-1/2 layouts byte for byte.
+  ExecutorCheckpoint checkpoint;
+  OperatorCheckpoint op;
+  op.operator_id = 0;
+  op.next_m = 2;
+  InstanceCheckpoint inst;
+  inst.m = 1;
+  AggState sketchy;
+  for (int i = 1; i <= 500; ++i) {
+    Agg("P99")->accumulate(&sketchy, static_cast<double>(i));
+  }
+  inst.states = {sketchy, AggState{}};
+  op.open_instances.push_back(std::move(inst));
+  checkpoint.operators.push_back(std::move(op));
+
+  const std::string bytes = checkpoint.Serialize();
+  EXPECT_EQ(bytes.rfind("FWCKPT 3 1 0", 0), 0u);  // v3, 1 op, no reorder.
+  Result<ExecutorCheckpoint> restored =
+      ExecutorCheckpoint::Deserialize(bytes);
+  ASSERT_TRUE(restored.ok()) << restored.status().ToString();
+  const AggState& state = restored->operators[0].open_instances[0].states[0];
+  EXPECT_EQ(state.n, 500u);
+  ASSERT_EQ(state.ext_size(), Agg("P99")->state_bytes);
+  // Bitwise: finalize agrees exactly and re-serialization is the identity.
+  EXPECT_EQ(Agg("P99")->finalize(state), Agg("P99")->finalize(sketchy));
+  EXPECT_EQ(restored->Serialize(), bytes);
+
+  // Version 3 validation: missing reorder flag, truncated payloads, and a
+  // declared-but-missing reorder section all fail loudly.
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 3 0").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize("FWCKPT 3 0 1\n").ok());
+  EXPECT_FALSE(ExecutorCheckpoint::Deserialize(
+                   "FWCKPT 3 1 0\nop 0 0 0 0 1\ninst 0 1 0 0 1 8 ffff")
+                   .ok());
+}
+
+TEST(Checkpoint, SketchResumeProducesIdenticalResults) {
+  // Mid-stream serialize -> deserialize -> restore with sketch state, vs
+  // an uninterrupted run: bitwise-identical results.
+  QueryPlan plan = Example7FactorPlan(Agg("P99"));
+  std::vector<Event> events = GenerateSyntheticStream(4000, 4, 321);
+
+  CollectingSink reference;
+  ExecutePlan(plan, events, 4, &reference, nullptr, nullptr);
+
+  CollectingSink sink;
+  PlanExecutor first(plan, {.num_keys = 4}, &sink);
+  const size_t split = events.size() / 2;
+  for (size_t i = 0; i < split; ++i) first.Push(events[i]);
+  Result<ExecutorCheckpoint> snapshot = first.Checkpoint();
+  ASSERT_TRUE(snapshot.ok());
+  Result<ExecutorCheckpoint> reloaded =
+      ExecutorCheckpoint::Deserialize(snapshot->Serialize());
+  ASSERT_TRUE(reloaded.ok()) << reloaded.status().ToString();
+
+  PlanExecutor second(plan, {.num_keys = 4}, &sink);
+  ASSERT_TRUE(second.Restore(*reloaded).ok());
+  for (size_t i = split; i < events.size(); ++i) second.Push(events[i]);
+  second.Finish();
+  EXPECT_EQ(sink.ToMap(), reference.ToMap());
+}
+
+TEST(Checkpoint, SketchPayloadCannotRestoreIntoWrongFunction) {
+  // The state_bytes contract: a P99 checkpoint refuses to restore into an
+  // operator running a different function's state layout.
+  QueryPlan p99_plan = Example7FactorPlan(Agg("P99"));
+  std::vector<Event> events = GenerateSyntheticStream(500, 1, 5);
+  CountingSink sink;
+  PlanExecutor executor(p99_plan, {.num_keys = 1}, &sink);
+  for (const Event& e : events) executor.Push(e);
+  Result<ExecutorCheckpoint> snapshot = executor.Checkpoint();
+  ASSERT_TRUE(snapshot.ok());
+
+  QueryPlan sum_plan = Example7FactorPlan(Agg("SUM"));
+  PlanExecutor wrong(sum_plan, {.num_keys = 1}, &sink);
+  Status status = wrong.Restore(*snapshot);
+  ASSERT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("payload"), std::string::npos)
+      << status.ToString();
+
+  QueryPlan hll_plan = Example7FactorPlan(Agg("DISTINCT_COUNT"));
+  PlanExecutor also_wrong(hll_plan, {.num_keys = 1}, &sink);
+  EXPECT_FALSE(also_wrong.Restore(*snapshot).ok());
+}
+
 TEST(Checkpoint, ResumeProducesIdenticalResults) {
   // Split a stream at an arbitrary point; run A->checkpoint->fresh
   // executor->restore->B and compare against an uninterrupted run.
-  QueryPlan plan = Example7FactorPlan(AggKind::kSum);
+  QueryPlan plan = Example7FactorPlan(Agg("SUM"));
   std::vector<Event> events = GenerateSyntheticStream(5000, 2, 13);
   const size_t split = 2347;
 
@@ -168,7 +256,7 @@ TEST(Checkpoint, ResumeProducesIdenticalResults) {
 
 TEST(Checkpoint, ResumeAcrossWindowBoundaries) {
   // Checkpoint at several split points, including exact window edges.
-  QueryPlan plan = Example7FactorPlan(AggKind::kMin);
+  QueryPlan plan = Example7FactorPlan(Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(1200, 1, 14);
   CollectingSink continuous;
   PlanExecutor uninterrupted(plan, {.num_keys = 1}, &continuous);
@@ -214,7 +302,7 @@ TEST(Checkpoint, RestoreValidation) {
 
 TEST(Checkpoint, HolisticPlansUnsupported) {
   WindowSet set = WindowSet::Parse("{T(10)}").value();
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMedian);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MEDIAN"));
   CollectingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   EXPECT_EQ(executor.Checkpoint().status().code(),

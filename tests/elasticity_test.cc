@@ -68,7 +68,7 @@ void ExpectSameResults(const SessionResults& got,
 QueryPlan SharedTestPlan() {
   StreamQuery q1;
   q1.source = "s";
-  q1.agg = AggKind::kMin;
+  q1.agg = Agg("MIN");
   q1.per_key = true;
   q1.key_column = "k";
   EXPECT_TRUE(q1.windows.Add(Window::Tumbling(20)).ok());
@@ -316,6 +316,81 @@ TEST(SessionResize, ValidatesArguments) {
   EXPECT_EQ(session.Stats().resize_count, 0u);
 }
 
+// The elasticity invariant for registry aggregates beyond the classic
+// built-ins: mid-stream 1 -> 4 -> 2 with churn and active disorder emits
+// bitwise what fixed-shard runs emit — including the out-of-line sketch
+// states (P99, DISTINCT_COUNT), whose payloads ride through checkpoint
+// canonicalization, lineage migration, and shard merge/split, and the
+// order-sensitive FIRST/LAST merges.
+class UdafElasticity : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(UdafElasticity, ResizedChurnedDisorderedRunMatchesFixedShards) {
+  const char* agg = GetParam();
+  constexpr TimeT kMaxDelay = 32;
+  std::vector<Event> sorted = GenerateSyntheticStream(9000, 8, 77);
+  // Displacement past the tolerance: some events go genuinely late.
+  std::vector<Event> events = ApplyBoundedDisorder(sorted, 48, 78);
+
+  auto dash = [&](TimeT range) {
+    return Query().Aggregate(agg, "v").From("fleet").PerKey("device")
+        .Tumbling(range);
+  };
+  auto run = [&](uint32_t initial_shards,
+                 const std::vector<ResizeAt>& resizes,
+                 StreamSession::SessionStats* stats_out) {
+    StreamSession::Options options;
+    options.num_keys = 8;
+    options.num_shards = initial_shards;
+    options.max_delay = kMaxDelay;
+    StreamSession session(options);
+    SessionResults results;
+    EXPECT_TRUE(session.AddQuery(dash(20).Hopping(60, 20),
+                                 Tagged(&results, 0)).ok());
+    Result<QueryId> doomed = session.AddQuery(dash(80));
+    EXPECT_TRUE(doomed.ok());
+    const size_t third = events.size() / 3;
+    size_t next_resize = 0;
+    for (size_t i = 0; i < events.size(); ++i) {
+      while (next_resize < resizes.size() &&
+             i == resizes[next_resize].at_event) {
+        EXPECT_TRUE(session.Resize(resizes[next_resize].shards).ok());
+        ++next_resize;
+      }
+      if (i == third) {
+        EXPECT_TRUE(session.RemoveQuery(*doomed).ok());
+      }
+      if (i == 2 * third) {
+        EXPECT_TRUE(
+            session.AddQuery(dash(40), Tagged(&results, 1)).ok());
+      }
+      EXPECT_TRUE(session.Push(events[i]).ok());
+    }
+    EXPECT_TRUE(session.Finish().ok());
+    if (stats_out != nullptr) *stats_out = session.Stats();
+    return results;
+  };
+
+  StreamSession::SessionStats baseline_stats;
+  SessionResults baseline = run(1, {}, &baseline_stats);
+  ASSERT_FALSE(baseline.empty());
+  EXPECT_GT(baseline_stats.late_events, 0u);
+
+  SessionResults fixed4 = run(4, {}, nullptr);
+  ExpectSameResults(fixed4, baseline, "fixed 4-shard");
+
+  StreamSession::SessionStats resized_stats;
+  SessionResults resized = run(
+      1, {{events.size() / 4, 4}, {events.size() / 2, 2}}, &resized_stats);
+  ExpectSameResults(resized, baseline, "resized 1->4->2");
+  EXPECT_EQ(resized_stats.resize_count, 2u);
+  EXPECT_EQ(resized_stats.late_events, baseline_stats.late_events);
+  EXPECT_EQ(resized_stats.lifetime_ops, baseline_stats.lifetime_ops);
+}
+
+INSTANTIATE_TEST_SUITE_P(RegistryFunctions, UdafElasticity,
+                         ::testing::Values("P99", "DISTINCT_COUNT", "FIRST",
+                                           "LAST"));
+
 // --- Stats lifecycle across executor swaps ---------------------------------
 
 // The SessionStats contract (see session.h): cumulative counters survive
@@ -545,7 +620,7 @@ TEST(AutoResize, KeylessSessionNeverChurnsExecutors) {
 TEST(ResizeGain, TracksEffectiveWidthRatio) {
   StreamQuery q;
   q.source = "s";
-  q.agg = AggKind::kMax;
+  q.agg = Agg("MAX");
   q.per_key = true;
   q.key_column = "k";
   ASSERT_TRUE(q.windows.Add(Window::Tumbling(20)).ok());

@@ -25,7 +25,7 @@ std::vector<Event> UnitStream(TimeT length) {
 
 TEST(Engine, OriginalPlanAllRootsSeeEveryEvent) {
   WindowSet set = Tumblings({10, 20});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MIN"));
   CountingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   EXPECT_EQ(executor.num_roots(), 2u);
@@ -39,7 +39,7 @@ TEST(Engine, OriginalPlanAllRootsSeeEveryEvent) {
 TEST(Engine, RewrittenPlanSingleRoot) {
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   CountingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   EXPECT_EQ(executor.num_roots(), 1u);
@@ -57,7 +57,7 @@ TEST(Engine, OpsMatchModelCostOnFullHyperPeriods) {
   WindowSet set = Tumblings({10, 20, 30, 40});
   MinCostWcg wcg =
       FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   CountingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   executor.Run(UnitStream(240));
@@ -69,7 +69,7 @@ TEST(Engine, FactorWindowPlanOpsMatchModel) {
   WindowSet set = Tumblings({20, 30, 40});
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   CountingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   executor.Run(UnitStream(240));
@@ -82,7 +82,7 @@ TEST(Engine, TopologicalFlushDeliversTailSubAggregates) {
   // reach T(20) before it flushes.
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kSum);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("SUM"));
   CollectingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   std::vector<Event> events;
@@ -101,7 +101,7 @@ TEST(Engine, TopologicalFlushDeliversTailSubAggregates) {
 
 TEST(Engine, HolisticPlanRuns) {
   WindowSet set = Tumblings({10, 20});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMedian);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MEDIAN"));
   CollectingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   executor.Run(UnitStream(20));
@@ -113,14 +113,14 @@ TEST(Engine, HolisticPlanRuns) {
 TEST(EngineDeathTest, HolisticSharedPlanRejected) {
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMedian);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MEDIAN"));
   CollectingSink sink;
   EXPECT_DEATH(PlanExecutor(plan, {.num_keys = 1}, &sink), "holistic");
 }
 
 TEST(Engine, ResetAllowsRerun) {
   WindowSet set = Tumblings({10});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kSum);
+  QueryPlan plan = QueryPlan::Original(set, Agg("SUM"));
   CountingSink sink;
   PlanExecutor executor(plan, {.num_keys = 1}, &sink);
   executor.Run(UnitStream(20));
@@ -133,7 +133,7 @@ TEST(Engine, ResetAllowsRerun) {
 
 TEST(Engine, ExecutePlanHelperReportsThroughputAndOps) {
   WindowSet set = Tumblings({10, 20});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MIN"));
   CountingSink sink;
   double throughput = 0.0;
   uint64_t ops = 0;
@@ -144,7 +144,7 @@ TEST(Engine, ExecutePlanHelperReportsThroughputAndOps) {
 
 TEST(Engine, MultiKeyStreams) {
   WindowSet set = Tumblings({10});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kCount);
+  QueryPlan plan = QueryPlan::Original(set, Agg("COUNT"));
   CollectingSink sink;
   PlanExecutor executor(plan, {.num_keys = 4}, &sink);
   std::vector<Event> events;

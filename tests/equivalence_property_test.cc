@@ -19,7 +19,7 @@ namespace {
 struct EquivParam {
   bool tumbling;
   bool sequential;
-  AggKind agg;
+  AggFn agg;
   CoverageSemantics semantics;
   uint32_t num_keys;
   bool debs_like;
@@ -54,11 +54,15 @@ TEST_P(EquivalenceSweep, RewrittenPlansMatchOriginal) {
   QueryPlan plan_without = QueryPlan::FromMinCostWcg(without, param.agg);
   QueryPlan plan_with = QueryPlan::FromMinCostWcg(with, param.agg);
 
-  double tolerance =
-      (param.agg == AggKind::kMin || param.agg == AggKind::kMax ||
-       param.agg == AggKind::kCount)
-          ? 0.0
-          : 1e-9;
+  // Exact equality where the state machine is order/partition exact:
+  // extrema and counts, FIRST/LAST (time-ordered merges), and the
+  // integer-binned sketches. Floating-point sums get an epsilon.
+  const bool exact =
+      param.agg == Agg("MIN") || param.agg == Agg("MAX") ||
+      param.agg == Agg("COUNT") || param.agg == Agg("FIRST") ||
+      param.agg == Agg("LAST") || param.agg == Agg("P99") ||
+      param.agg == Agg("DISTINCT_COUNT");
+  double tolerance = exact ? 0.0 : 1e-9;
   EXPECT_TRUE(VerifyEquivalence(original, plan_without, events,
                                 param.num_keys, tolerance)
                   .ok())
@@ -81,16 +85,23 @@ std::vector<EquivParam> AllParams() {
       // Aggregate/semantics pairings that are valid per §III-A: MIN/MAX
       // under either semantics; additive aggregates only under
       // partitioned-by.
-      std::vector<std::pair<AggKind, CoverageSemantics>> combos = {
-          {AggKind::kMin, CoverageSemantics::kCoveredBy},
-          {AggKind::kMax, CoverageSemantics::kCoveredBy},
-          {AggKind::kMin, CoverageSemantics::kPartitionedBy},
-          {AggKind::kSum, CoverageSemantics::kPartitionedBy},
-          {AggKind::kCount, CoverageSemantics::kPartitionedBy},
-          {AggKind::kAvg, CoverageSemantics::kPartitionedBy},
-          {AggKind::kStdev, CoverageSemantics::kPartitionedBy},
-          {AggKind::kVariance, CoverageSemantics::kPartitionedBy},
-          {AggKind::kRange, CoverageSemantics::kCoveredBy},
+      std::vector<std::pair<AggFn, CoverageSemantics>> combos = {
+          {Agg("MIN"), CoverageSemantics::kCoveredBy},
+          {Agg("MAX"), CoverageSemantics::kCoveredBy},
+          {Agg("MIN"), CoverageSemantics::kPartitionedBy},
+          {Agg("SUM"), CoverageSemantics::kPartitionedBy},
+          {Agg("COUNT"), CoverageSemantics::kPartitionedBy},
+          {Agg("AVG"), CoverageSemantics::kPartitionedBy},
+          {Agg("STDEV"), CoverageSemantics::kPartitionedBy},
+          {Agg("VARIANCE"), CoverageSemantics::kPartitionedBy},
+          {Agg("RANGE"), CoverageSemantics::kCoveredBy},
+          // Registry-era functions: order-sensitive merges and both
+          // sketch-state UDAFs, through the same rewriting machinery.
+          {Agg("FIRST"), CoverageSemantics::kPartitionedBy},
+          {Agg("LAST"), CoverageSemantics::kPartitionedBy},
+          {Agg("P99"), CoverageSemantics::kPartitionedBy},
+          {Agg("DISTINCT_COUNT"), CoverageSemantics::kCoveredBy},
+          {Agg("DISTINCT_COUNT"), CoverageSemantics::kPartitionedBy},
       };
       for (const auto& [agg, semantics] : combos) {
         params.push_back(EquivParam{tumbling, sequential, agg, semantics,
@@ -100,16 +111,16 @@ std::vector<EquivParam> AllParams() {
     }
   }
   // Keyed and DEBS-like spot checks.
-  params.push_back(EquivParam{true, true, AggKind::kMin,
+  params.push_back(EquivParam{true, true, Agg("MIN"),
                               CoverageSemantics::kPartitionedBy, 4, false,
                               seed++});
-  params.push_back(EquivParam{false, false, AggKind::kMin,
+  params.push_back(EquivParam{false, false, Agg("MIN"),
                               CoverageSemantics::kCoveredBy, 4, false,
                               seed++});
-  params.push_back(EquivParam{true, false, AggKind::kSum,
+  params.push_back(EquivParam{true, false, Agg("SUM"),
                               CoverageSemantics::kPartitionedBy, 1, true,
                               seed++});
-  params.push_back(EquivParam{false, true, AggKind::kMax,
+  params.push_back(EquivParam{false, true, Agg("MAX"),
                               CoverageSemantics::kCoveredBy, 1, true,
                               seed++});
   return params;
@@ -132,13 +143,13 @@ TEST(DisorderedEquivalence, ReorderedFactorPlanMatchesSortedOriginal) {
                  rng.engine());
   }
 
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   CollectingSink reference;
   ExecutePlan(original, ordered, 2, &reference, nullptr, nullptr);
 
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   CollectingSink actual;
   PlanExecutor executor(rewritten, {.num_keys = 2}, &actual);
   ConsumerFn feed([&](const Event& e) { executor.Push(e); });
@@ -153,8 +164,8 @@ TEST(DisorderedEquivalence, ReorderedFactorPlanMatchesSortedOriginal) {
 // The MEDIAN fallback: the optimizer refuses, the original plan runs.
 TEST(HolisticFallback, MedianRunsUnshared) {
   WindowSet set = WindowSet::Parse("{T(10), T(20)}").value();
-  EXPECT_FALSE(OptimizeQuery(set, AggKind::kMedian).ok());
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMedian);
+  EXPECT_FALSE(OptimizeQuery(set, Agg("MEDIAN")).ok());
+  QueryPlan original = QueryPlan::Original(set, Agg("MEDIAN"));
   std::vector<Event> events = GenerateSyntheticStream(500, 1, 42);
   RunStats stats = RunPlan(original, events, 1);
   EXPECT_EQ(stats.results, 50u + 25u);
@@ -178,7 +189,7 @@ TEST_P(OpsModelSweep, EngineOpsTrackModelCost) {
   std::vector<Event> events =
       GenerateSyntheticStream(periods * R, 1, 11);
   MinCostWcg wcg = OptimizeWithFactorWindows(set, GetParam().semantics);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   RunStats stats = RunPlan(plan, events, 1);
   double predicted = static_cast<double>(periods) * wcg.total_cost;
   if (set.AllTumbling()) {

@@ -16,7 +16,7 @@ TEST(Semantics, WindowKindPairing) {
 
 TEST(CompareSetups, Example7EndToEnd) {
   QuerySetup setup{WindowSet::Parse("{T(20), T(30), T(40)}").value(),
-                   AggKind::kMin, CoverageSemantics::kPartitionedBy};
+                   Agg("MIN"), CoverageSemantics::kPartitionedBy};
   std::vector<Event> events = GenerateSyntheticStream(24000, 1, 1);
   ComparisonResult result = CompareSetups(setup, events, 1);
   EXPECT_DOUBLE_EQ(result.cost_naive, 360.0);
@@ -35,7 +35,7 @@ TEST(CompareSetups, Example7EndToEnd) {
 TEST(CompareWithSlicing, ProducesAllThreeRuns) {
   QuerySetup setup{WindowSet::Parse("{W(20, 10), W(40, 10), W(60, 10)}")
                        .value(),
-                   AggKind::kMin, CoverageSemantics::kCoveredBy};
+                   Agg("MIN"), CoverageSemantics::kCoveredBy};
   std::vector<Event> events = GenerateSyntheticStream(20000, 1, 2);
   SlicingComparisonResult result = CompareWithSlicing(setup, events, 1);
   EXPECT_GT(result.flink.throughput, 0.0);
@@ -120,7 +120,7 @@ TEST(EventCountFromEnv, ParsesAndFallsBack) {
 
 TEST(CompareSetups, PredictedSpeedupFieldsConsistent) {
   QuerySetup setup{WindowSet::Parse("{T(20), T(30), T(40)}").value(),
-                   AggKind::kMin, CoverageSemantics::kPartitionedBy};
+                   Agg("MIN"), CoverageSemantics::kPartitionedBy};
   std::vector<Event> events = GenerateSyntheticStream(6000, 1, 4);
   ComparisonResult result = CompareSetups(setup, events, 1);
   EXPECT_DOUBLE_EQ(result.PredictedFwSpeedup(),

@@ -9,83 +9,83 @@
 namespace fw {
 namespace {
 
-AggState MakeState(AggKind kind, std::initializer_list<double> values) {
-  AggState s = AggIdentity(kind);
+AggState MakeState(AggFn kind, std::initializer_list<double> values) {
+  AggState s = AggState{};
   for (double v : values) AggAccumulate(kind, &s, v);
   return s;
 }
 
 TEST(FlatFat, CapacityRoundsToPowerOfTwo) {
-  EXPECT_EQ(FlatFat(AggKind::kMin, 1).capacity(), 2u);
-  EXPECT_EQ(FlatFat(AggKind::kMin, 2).capacity(), 2u);
-  EXPECT_EQ(FlatFat(AggKind::kMin, 3).capacity(), 4u);
-  EXPECT_EQ(FlatFat(AggKind::kMin, 100).capacity(), 128u);
+  EXPECT_EQ(FlatFat(Agg("MIN"), 1).capacity(), 2u);
+  EXPECT_EQ(FlatFat(Agg("MIN"), 2).capacity(), 2u);
+  EXPECT_EQ(FlatFat(Agg("MIN"), 3).capacity(), 4u);
+  EXPECT_EQ(FlatFat(Agg("MIN"), 100).capacity(), 128u);
 }
 
 TEST(FlatFat, PointQuery) {
-  FlatFat fat(AggKind::kSum, 8);
-  fat.Assign(3, MakeState(AggKind::kSum, {1.0, 2.0}));
+  FlatFat fat(Agg("SUM"), 8);
+  fat.Assign(3, MakeState(Agg("SUM"), {1.0, 2.0}));
   AggState result = fat.Query(3, 4);
   EXPECT_EQ(result.n, 2u);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, result), 3.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), result), 3.0);
 }
 
 TEST(FlatFat, RangeQueryMin) {
-  FlatFat fat(AggKind::kMin, 8);
-  fat.Assign(0, MakeState(AggKind::kMin, {5.0}));
-  fat.Assign(1, MakeState(AggKind::kMin, {3.0}));
-  fat.Assign(2, MakeState(AggKind::kMin, {9.0}));
-  fat.Assign(3, MakeState(AggKind::kMin, {7.0}));
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMin, fat.Query(0, 4)), 3.0);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMin, fat.Query(2, 4)), 7.0);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kMin, fat.Query(2, 3)), 9.0);
+  FlatFat fat(Agg("MIN"), 8);
+  fat.Assign(0, MakeState(Agg("MIN"), {5.0}));
+  fat.Assign(1, MakeState(Agg("MIN"), {3.0}));
+  fat.Assign(2, MakeState(Agg("MIN"), {9.0}));
+  fat.Assign(3, MakeState(Agg("MIN"), {7.0}));
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("MIN"), fat.Query(0, 4)), 3.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("MIN"), fat.Query(2, 4)), 7.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("MIN"), fat.Query(2, 3)), 9.0);
 }
 
 TEST(FlatFat, EmptyLeavesContributeNothing) {
-  FlatFat fat(AggKind::kSum, 8);
-  fat.Assign(1, MakeState(AggKind::kSum, {4.0}));
+  FlatFat fat(Agg("SUM"), 8);
+  fat.Assign(1, MakeState(Agg("SUM"), {4.0}));
   // Leaves 0, 2, 3 are empty.
   AggState result = fat.Query(0, 4);
   EXPECT_EQ(result.n, 1u);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, result), 4.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), result), 4.0);
   AggState none = fat.Query(2, 4);
   EXPECT_EQ(none.n, 0u);
 }
 
 TEST(FlatFat, EmptyRange) {
-  FlatFat fat(AggKind::kSum, 8);
+  FlatFat fat(Agg("SUM"), 8);
   EXPECT_EQ(fat.Query(3, 3).n, 0u);
 }
 
 TEST(FlatFat, RingWrapAround) {
-  FlatFat fat(AggKind::kSum, 4);
+  FlatFat fat(Agg("SUM"), 4);
   // Ids 6, 7, 8, 9 wrap over leaf slots 2, 3, 0, 1.
   for (uint64_t id = 6; id < 10; ++id) {
-    fat.Assign(id, MakeState(AggKind::kSum, {static_cast<double>(id)}));
+    fat.Assign(id, MakeState(Agg("SUM"), {static_cast<double>(id)}));
   }
   AggState all = fat.Query(6, 10);
   EXPECT_EQ(all.n, 4u);
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, all), 30.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), all), 30.0);
   AggState wrapped = fat.Query(7, 9);  // Slots 3 and 0.
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, wrapped), 15.0);
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), wrapped), 15.0);
 }
 
 TEST(FlatFat, ReassignOverwrites) {
-  FlatFat fat(AggKind::kSum, 4);
-  fat.Assign(0, MakeState(AggKind::kSum, {10.0}));
-  fat.Assign(0, MakeState(AggKind::kSum, {1.0}));
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, fat.Query(0, 1)), 1.0);
+  FlatFat fat(Agg("SUM"), 4);
+  fat.Assign(0, MakeState(Agg("SUM"), {10.0}));
+  fat.Assign(0, MakeState(Agg("SUM"), {1.0}));
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), fat.Query(0, 1)), 1.0);
   // Ring reuse: id 4 lands on id 0's slot.
-  fat.Assign(4, MakeState(AggKind::kSum, {2.0}));
-  EXPECT_DOUBLE_EQ(AggFinalize(AggKind::kSum, fat.Query(4, 5)), 2.0);
+  fat.Assign(4, MakeState(Agg("SUM"), {2.0}));
+  EXPECT_DOUBLE_EQ(AggFinalize(Agg("SUM"), fat.Query(4, 5)), 2.0);
   fat.Clear(4);
   EXPECT_EQ(fat.Query(4, 5).n, 0u);
 }
 
 TEST(FlatFat, CountsMergeOps) {
-  FlatFat fat(AggKind::kMin, 8);
+  FlatFat fat(Agg("MIN"), 8);
   fat.ResetOps();
-  fat.Assign(0, MakeState(AggKind::kMin, {1.0}));
+  fat.Assign(0, MakeState(Agg("MIN"), {1.0}));
   uint64_t after_assign = fat.merge_ops();
   EXPECT_GT(after_assign, 0u);
   EXPECT_LE(after_assign, 6u);  // O(log capacity) path refresh.
@@ -94,14 +94,14 @@ TEST(FlatFat, CountsMergeOps) {
 }
 
 TEST(FlatFatDeathTest, OversizedQuery) {
-  FlatFat fat(AggKind::kMin, 4);
+  FlatFat fat(Agg("MIN"), 4);
   EXPECT_DEATH(fat.Query(0, 5), "capacity");
 }
 
 // Property: random assignments + range queries match a brute-force map,
 // across aggregates and capacities, including ring wrap.
 struct FatSweepParam {
-  AggKind agg;
+  AggFn agg;
   size_t capacity;
   uint64_t seed;
 };
@@ -121,7 +121,7 @@ TEST_P(FlatFatSweep, MatchesBruteForce) {
       reference.erase(id - cap);
       low_id = id - cap + 1;
     }
-    AggState state = AggIdentity(param.agg);
+    AggState state = AggState{};
     int values = static_cast<int>(rng.Uniform(0, 3));
     for (int v = 0; v < values; ++v) {
       AggAccumulate(param.agg, &state, rng.UniformReal(-50, 50));
@@ -132,7 +132,7 @@ TEST_P(FlatFatSweep, MatchesBruteForce) {
     // Random live range query.
     uint64_t lo = low_id + rng.Uniform(0, id - low_id);
     uint64_t hi = lo + 1 + rng.Uniform(0, id - lo);
-    AggState expected = AggIdentity(param.agg);
+    AggState expected = AggState{};
     expected.n = 0;
     bool any = false;
     for (uint64_t q = lo; q < hi; ++q) {
@@ -157,12 +157,12 @@ TEST_P(FlatFatSweep, MatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(
     Sweeps, FlatFatSweep,
-    ::testing::Values(FatSweepParam{AggKind::kMin, 4, 1},
-                      FatSweepParam{AggKind::kMax, 8, 2},
-                      FatSweepParam{AggKind::kSum, 16, 3},
-                      FatSweepParam{AggKind::kAvg, 7, 4},
-                      FatSweepParam{AggKind::kStdev, 32, 5},
-                      FatSweepParam{AggKind::kRange, 9, 6}));
+    ::testing::Values(FatSweepParam{Agg("MIN"), 4, 1},
+                      FatSweepParam{Agg("MAX"), 8, 2},
+                      FatSweepParam{Agg("SUM"), 16, 3},
+                      FatSweepParam{Agg("AVG"), 7, 4},
+                      FatSweepParam{Agg("STDEV"), 32, 5},
+                      FatSweepParam{Agg("RANGE"), 9, 6}));
 
 }  // namespace
 }  // namespace fw

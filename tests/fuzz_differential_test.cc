@@ -62,7 +62,7 @@ struct FuzzCase {
 // All queries of a session share one aggregate and grouping; windows are
 // drawn from a palette whose ranges keep hyper-periods (and thus plan
 // sizes) small.
-StreamQuery RandomQuery(Rng& rng, AggKind agg, bool per_key) {
+StreamQuery RandomQuery(Rng& rng, AggFn agg, bool per_key) {
   static constexpr TimeT kRanges[] = {10, 20, 30, 40, 60, 80, 120};
   StreamQuery query;
   query.source = "fuzz";
@@ -93,8 +93,16 @@ FuzzCase GenerateCase(uint64_t seed) {
   c.max_delay = kDelayChoices[rng.Uniform(0, std::size(kDelayChoices) - 1)];
   c.initial_shards = static_cast<uint32_t>(rng.Uniform(1, 4));
 
-  const AggKind agg =
-      rng.Uniform(0, 1) == 0 ? AggKind::kMax : AggKind::kMin;
+  // Sample across the registry's taxonomy spread: idempotent extrema
+  // ("covered by"), additive moments ("partitioned by"), order-sensitive
+  // FIRST/LAST, and both sketch-state UDAFs — so churn x disorder x resize
+  // schedules exercise every state shape's handoff, including the
+  // out-of-line sketch payloads, against the 1-shard oracle.
+  static const char* const kAggPalette[] = {
+      "MIN",  "MAX",  "SUM", "AVG", "STDEV",
+      "FIRST", "LAST", "P99", "P99", "DISTINCT_COUNT", "DISTINCT_COUNT"};
+  const AggFn agg =
+      Agg(kAggPalette[rng.Uniform(0, std::size(kAggPalette) - 1)]);
   const bool per_key = c.num_keys > 1;
   c.initial_query = RandomQuery(rng, agg, per_key);
 

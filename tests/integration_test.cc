@@ -18,7 +18,7 @@ TEST(Integration, SequentialTumblingEndToEnd) {
   // model cost and engine ops substantially.
   WindowSet set =
       WindowSet::Parse("{T(20), T(30), T(40), T(50), T(60)}").value();
-  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kPartitionedBy};
   std::vector<Event> events = GenerateSyntheticStream(60000, 1, 1);
   ComparisonResult result = CompareSetups(setup, events, 1);
   EXPECT_LT(result.cost_with_fw, result.cost_without_fw);
@@ -36,7 +36,7 @@ TEST(Integration, SequentialHoppingEndToEnd) {
   for (TimeT s : {10, 20, 30, 40, 50}) {
     ASSERT_TRUE(set.Add(Window(2 * s, s)).ok());
   }
-  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kCoveredBy};
+  QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kCoveredBy};
   std::vector<Event> events = GenerateSyntheticStream(60000, 1, 2);
   ComparisonResult result = CompareSetups(setup, events, 1);
   EXPECT_LE(result.cost_with_fw, result.cost_without_fw + 1e-9);
@@ -55,7 +55,7 @@ TEST(Integration, OpsRatiosTrackModelRatios) {
   config.seed = 77;
   std::vector<Event> events = GenerateSyntheticStream(30000, 1, 3);
   for (const WindowSet& set : GeneratePanelWindowSets(config)) {
-    QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+    QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kPartitionedBy};
     ComparisonResult result = CompareSetups(setup, events, 1);
     double predicted = result.cost_without_fw / result.cost_with_fw;
     double measured = static_cast<double>(result.without_fw.ops) /
@@ -67,7 +67,7 @@ TEST(Integration, OpsRatiosTrackModelRatios) {
 TEST(Integration, ScottyComparisonResultsAgree) {
   WindowSet set;
   for (TimeT s : {10, 20, 40}) ASSERT_TRUE(set.Add(Window(2 * s, s)).ok());
-  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kCoveredBy};
+  QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kCoveredBy};
   std::vector<Event> events = GenerateSyntheticStream(20000, 1, 4);
   SlicingComparisonResult result = CompareWithSlicing(setup, events, 1);
   EXPECT_EQ(result.flink.results, result.scotty.results);
@@ -78,7 +78,7 @@ TEST(Integration, ScottyComparisonResultsAgree) {
 
 TEST(Integration, DebsLikeWorkload) {
   WindowSet set = WindowSet::Parse("{T(40), T(60), T(80)}").value();
-  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kPartitionedBy};
   std::vector<Event> events = GenerateDebsLikeStream(40000, 1, kDebsSeed);
   ComparisonResult result = CompareSetups(setup, events, 1);
   EXPECT_LT(result.with_fw.ops, result.original.ops);
@@ -91,7 +91,7 @@ TEST(Integration, MultiDeviceIoTScenario) {
   // instance emits one record per device), so the op savings shrink as
   // keys grow relative to window sizes; two devices still win clearly.
   WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
-  QuerySetup setup{set, AggKind::kMin, CoverageSemantics::kPartitionedBy};
+  QuerySetup setup{set, Agg("MIN"), CoverageSemantics::kPartitionedBy};
   std::vector<Event> events = GenerateSyntheticStream(24000, 2, 5);
   ComparisonResult result = CompareSetups(setup, events, 2);
   EXPECT_EQ(result.original.results, result.with_fw.results);
@@ -124,7 +124,7 @@ TEST(Integration, PrintersRoundTripOnOptimizedPlans) {
   WindowSet set = WindowSet::Parse("{T(20), T(30), T(40)}").value();
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   EXPECT_FALSE(ToTrillExpression(plan).empty());
   EXPECT_FALSE(ToFlinkExpression(plan).empty());
   EXPECT_FALSE(ToDot(plan).empty());
@@ -137,10 +137,10 @@ TEST(Integration, LargerWindowSetsStillVerify) {
   for (int i = 2; i <= 11; ++i) {
     ASSERT_TRUE(set.Add(Window(2 * 5 * i, 5 * i)).ok());
   }
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kCoveredBy);
-  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(20000, 2, 6);
   EXPECT_TRUE(VerifyEquivalence(original, rewritten, events, 2).ok());
 }

@@ -10,7 +10,7 @@
 namespace fw {
 namespace {
 
-StreamQuery MakeQuery(const char* windows, AggKind agg = AggKind::kMin,
+StreamQuery MakeQuery(const char* windows, AggFn agg = Agg("MIN"),
                       const char* source = "telemetry") {
   StreamQuery q;
   q.source = source;
@@ -57,7 +57,7 @@ TEST(MultiQuery, DuplicateWindowsCoalesce) {
 TEST(MultiQuery, PredictedSavingsGuardsDegenerateCosts) {
   // A degenerate shared plan must not report an infinite saving.
   MultiQueryOptimizer::SharedPlan degenerate{
-      QueryPlan::Original(WindowSet{}, AggKind::kMin), {}, 0.0, 0.0};
+      QueryPlan::Original(WindowSet{}, Agg("MIN")), {}, 0.0, 0.0};
   degenerate.independent_cost = 100.0;
   degenerate.shared_cost = 0.0;
   EXPECT_EQ(degenerate.PredictedSavings(), 1.0);
@@ -91,21 +91,21 @@ TEST(MultiQuery, Validation) {
   EXPECT_FALSE(MultiQueryOptimizer::Optimize({}).ok());
   // Different sources.
   std::vector<StreamQuery> mixed_sources = {
-      MakeQuery("{T(20)}", AggKind::kMin, "a"),
-      MakeQuery("{T(40)}", AggKind::kMin, "b"),
+      MakeQuery("{T(20)}", Agg("MIN"), "a"),
+      MakeQuery("{T(40)}", Agg("MIN"), "b"),
   };
   EXPECT_EQ(MultiQueryOptimizer::Optimize(mixed_sources).status().code(),
             StatusCode::kInvalidArgument);
   // Different aggregates.
   std::vector<StreamQuery> mixed_aggs = {
-      MakeQuery("{T(20)}", AggKind::kMin),
-      MakeQuery("{T(40)}", AggKind::kMax),
+      MakeQuery("{T(20)}", Agg("MIN")),
+      MakeQuery("{T(40)}", Agg("MAX")),
   };
   EXPECT_EQ(MultiQueryOptimizer::Optimize(mixed_aggs).status().code(),
             StatusCode::kInvalidArgument);
   // Holistic.
   std::vector<StreamQuery> holistic = {
-      MakeQuery("{T(20)}", AggKind::kMedian)};
+      MakeQuery("{T(20)}", Agg("MEDIAN"))};
   EXPECT_EQ(MultiQueryOptimizer::Optimize(holistic).status().code(),
             StatusCode::kUnimplemented);
 }

@@ -9,7 +9,7 @@
 namespace fw {
 namespace {
 
-WindowAggregateOperator::Config MakeConfig(Window w, AggKind agg,
+WindowAggregateOperator::Config MakeConfig(Window w, AggFn agg,
                                            int id = 0, bool exposed = true,
                                            uint32_t num_keys = 1) {
   WindowAggregateOperator::Config config;
@@ -31,7 +31,7 @@ std::vector<Event> UnitStream(TimeT length, double base = 0.0) {
 
 // Ground truth: evaluate `agg` per window instance by scanning the events.
 std::map<std::tuple<TimeT, TimeT, uint32_t>, double> BruteForce(
-    const Window& w, AggKind agg, const std::vector<Event>& events) {
+    const Window& w, AggFn agg, const std::vector<Event>& events) {
   std::map<std::tuple<TimeT, TimeT, uint32_t>, std::vector<double>> buckets;
   for (const Event& e : events) {
     for (const Interval& iv : w.InstancesContaining(e.timestamp)) {
@@ -56,7 +56,7 @@ std::map<std::tuple<TimeT, TimeT, uint32_t>, double> SinkToMap(
 
 TEST(WindowOperator, TumblingMinCompleteWindows) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kMin),
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), Agg("MIN")),
                              &sink);
   for (const Event& e : UnitStream(30)) op.OnEvent(e);
   op.Flush();
@@ -70,7 +70,7 @@ TEST(WindowOperator, TumblingMinCompleteWindows) {
 
 TEST(WindowOperator, EmitsOnWatermarkNotOnlyFlush) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kSum),
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), Agg("SUM")),
                              &sink);
   for (const Event& e : UnitStream(11)) op.OnEvent(e);
   // Event at t=10 closes [0,10).
@@ -80,7 +80,7 @@ TEST(WindowOperator, EmitsOnWatermarkNotOnlyFlush) {
 
 TEST(WindowOperator, FlushEmitsPartialInstance) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kCount),
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), Agg("COUNT")),
                              &sink);
   for (const Event& e : UnitStream(7)) op.OnEvent(e);
   op.Flush();
@@ -91,17 +91,17 @@ TEST(WindowOperator, FlushEmitsPartialInstance) {
 
 TEST(WindowOperator, HoppingAssignsToAllInstances) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window(10, 2), AggKind::kMin), &sink);
+  WindowAggregateOperator op(MakeConfig(Window(10, 2), Agg("MIN")), &sink);
   std::vector<Event> events = UnitStream(20);
   for (const Event& e : events) op.OnEvent(e);
   op.Flush();
   EXPECT_EQ(SinkToMap(sink),
-            BruteForce(Window(10, 2), AggKind::kMin, events));
+            BruteForce(Window(10, 2), Agg("MIN"), events));
 }
 
 TEST(WindowOperator, DataGapSkipsEmptyInstances) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kMin),
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), Agg("MIN")),
                              &sink);
   op.OnEvent(Event{5, 0, 1.0});
   op.OnEvent(Event{95, 0, 2.0});  // Eight empty windows in between.
@@ -114,7 +114,7 @@ TEST(WindowOperator, DataGapSkipsEmptyInstances) {
 TEST(WindowOperator, GroupsByKey) {
   CollectingSink sink;
   WindowAggregateOperator op(
-      MakeConfig(Window::Tumbling(10), AggKind::kSum, 0, true, 3), &sink);
+      MakeConfig(Window::Tumbling(10), Agg("SUM"), 0, true, 3), &sink);
   for (TimeT t = 0; t < 10; ++t) {
     op.OnEvent(Event{t, static_cast<uint32_t>(t % 3), 1.0});
   }
@@ -132,11 +132,11 @@ TEST(WindowOperator, CountsAccumulateOps) {
   CollectingSink sink;
   // Tumbling window: exactly one op per event.
   WindowAggregateOperator tumbling(
-      MakeConfig(Window::Tumbling(10), AggKind::kMin), &sink);
+      MakeConfig(Window::Tumbling(10), Agg("MIN")), &sink);
   for (const Event& e : UnitStream(100)) tumbling.OnEvent(e);
   EXPECT_EQ(tumbling.accumulate_ops(), 100u);
   // Hopping r/s = 5: five ops per event once warmed up.
-  WindowAggregateOperator hopping(MakeConfig(Window(10, 2), AggKind::kMin),
+  WindowAggregateOperator hopping(MakeConfig(Window(10, 2), Agg("MIN")),
                                   &sink);
   for (const Event& e : UnitStream(100)) hopping.OnEvent(e);
   // Warm-up: events at t<8 touch 1..4 instances (20 ops total); the
@@ -149,16 +149,16 @@ TEST(WindowOperator, SubAggregatePartitionedPath) {
   CollectingSink inner_sink;
   CollectingSink outer_sink;
   WindowAggregateOperator outer(
-      MakeConfig(Window::Tumbling(20), AggKind::kSum, 1), &outer_sink);
+      MakeConfig(Window::Tumbling(20), Agg("SUM"), 1), &outer_sink);
   WindowAggregateOperator inner(
-      MakeConfig(Window::Tumbling(10), AggKind::kSum, 0), &inner_sink);
+      MakeConfig(Window::Tumbling(10), Agg("SUM"), 0), &inner_sink);
   inner.AddChild(&outer);
   std::vector<Event> events = UnitStream(40);
   for (const Event& e : events) inner.OnEvent(e);
   inner.Flush();
   outer.Flush();
   EXPECT_EQ(SinkToMap(outer_sink),
-            BruteForce(Window::Tumbling(20), AggKind::kSum, events));
+            BruteForce(Window::Tumbling(20), Agg("SUM"), events));
   // Outer did 2 merges per instance instead of 20 accumulates.
   EXPECT_EQ(outer.accumulate_ops(), 4u);
 }
@@ -167,9 +167,9 @@ TEST(WindowOperator, SubAggregateCoveredPathOverlapping) {
   // W(10,2) consumes W(8,2)'s overlapping sub-aggregates (MIN only).
   CollectingSink inner_sink;
   CollectingSink outer_sink;
-  WindowAggregateOperator outer(MakeConfig(Window(10, 2), AggKind::kMin, 1),
+  WindowAggregateOperator outer(MakeConfig(Window(10, 2), Agg("MIN"), 1),
                                 &outer_sink);
-  WindowAggregateOperator inner(MakeConfig(Window(8, 2), AggKind::kMin, 0),
+  WindowAggregateOperator inner(MakeConfig(Window(8, 2), Agg("MIN"), 0),
                                 &inner_sink);
   inner.AddChild(&outer);
   Rng rng(5);
@@ -181,15 +181,15 @@ TEST(WindowOperator, SubAggregateCoveredPathOverlapping) {
   inner.Flush();
   outer.Flush();
   EXPECT_EQ(SinkToMap(outer_sink),
-            BruteForce(Window(10, 2), AggKind::kMin, events));
+            BruteForce(Window(10, 2), Agg("MIN"), events));
 }
 
 TEST(WindowOperator, UnexposedEmitsNothingButForwards) {
   CollectingSink sink;
   WindowAggregateOperator outer(
-      MakeConfig(Window::Tumbling(20), AggKind::kMin, 1), &sink);
+      MakeConfig(Window::Tumbling(20), Agg("MIN"), 1), &sink);
   WindowAggregateOperator hidden(
-      MakeConfig(Window::Tumbling(10), AggKind::kMin, 0, /*exposed=*/false),
+      MakeConfig(Window::Tumbling(10), Agg("MIN"), 0, /*exposed=*/false),
       nullptr);
   hidden.AddChild(&outer);
   for (const Event& e : UnitStream(40)) hidden.OnEvent(e);
@@ -202,7 +202,7 @@ TEST(WindowOperator, UnexposedEmitsNothingButForwards) {
 
 TEST(WindowOperator, ResetClearsState) {
   CollectingSink sink;
-  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), AggKind::kSum),
+  WindowAggregateOperator op(MakeConfig(Window::Tumbling(10), Agg("SUM")),
                              &sink);
   for (const Event& e : UnitStream(10)) op.OnEvent(e);
   op.Reset();
@@ -217,16 +217,16 @@ TEST(WindowOperator, ResetClearsState) {
 TEST(WindowOperatorDeathTest, ConfigValidation) {
   CollectingSink sink;
   EXPECT_DEATH(WindowAggregateOperator(
-                   MakeConfig(Window(10, 10), AggKind::kMedian), &sink),
+                   MakeConfig(Window(10, 10), Agg("MEDIAN")), &sink),
                "Holistic");
   EXPECT_DEATH(WindowAggregateOperator(
-                   MakeConfig(Window(10, 10), AggKind::kMin), nullptr),
+                   MakeConfig(Window(10, 10), Agg("MIN")), nullptr),
                "sink");
 }
 
 TEST(HolisticOperator, MedianPerWindow) {
   CollectingSink sink;
-  HolisticWindowOperator op(MakeConfig(Window::Tumbling(5), AggKind::kMedian),
+  HolisticWindowOperator op(MakeConfig(Window::Tumbling(5), Agg("MEDIAN")),
                             &sink);
   std::vector<Event> events = {{0, 0, 5.0}, {1, 0, 1.0}, {2, 0, 9.0},
                                {3, 0, 7.0}, {4, 0, 3.0}, {5, 0, 2.0},
@@ -240,7 +240,7 @@ TEST(HolisticOperator, MedianPerWindow) {
 
 TEST(HolisticOperator, HoppingMedianMatchesBruteForce) {
   CollectingSink sink;
-  HolisticWindowOperator op(MakeConfig(Window(6, 2), AggKind::kMedian),
+  HolisticWindowOperator op(MakeConfig(Window(6, 2), Agg("MEDIAN")),
                             &sink);
   Rng rng(17);
   std::vector<Event> events;
@@ -250,7 +250,7 @@ TEST(HolisticOperator, HoppingMedianMatchesBruteForce) {
   for (const Event& e : events) op.OnEvent(e);
   op.Flush();
   EXPECT_EQ(SinkToMap(sink),
-            BruteForce(Window(6, 2), AggKind::kMedian, events));
+            BruteForce(Window(6, 2), Agg("MEDIAN"), events));
 }
 
 // Property: the raw path matches brute force for every aggregate and a
@@ -258,7 +258,7 @@ TEST(HolisticOperator, HoppingMedianMatchesBruteForce) {
 struct OpSweepParam {
   TimeT range;
   TimeT slide;
-  AggKind agg;
+  AggFn agg;
 };
 
 class OperatorSweep : public ::testing::TestWithParam<OpSweepParam> {};
@@ -291,15 +291,15 @@ TEST_P(OperatorSweep, RawPathMatchesBruteForce) {
 
 INSTANTIATE_TEST_SUITE_P(
     Shapes, OperatorSweep,
-    ::testing::Values(OpSweepParam{10, 10, AggKind::kMin},
-                      OpSweepParam{10, 2, AggKind::kMin},
-                      OpSweepParam{10, 5, AggKind::kMax},
-                      OpSweepParam{12, 3, AggKind::kSum},
-                      OpSweepParam{8, 2, AggKind::kCount},
-                      OpSweepParam{9, 3, AggKind::kAvg},
-                      OpSweepParam{15, 5, AggKind::kStdev},
-                      OpSweepParam{7, 3, AggKind::kSum},
-                      OpSweepParam{1, 1, AggKind::kMin}));
+    ::testing::Values(OpSweepParam{10, 10, Agg("MIN")},
+                      OpSweepParam{10, 2, Agg("MIN")},
+                      OpSweepParam{10, 5, Agg("MAX")},
+                      OpSweepParam{12, 3, Agg("SUM")},
+                      OpSweepParam{8, 2, Agg("COUNT")},
+                      OpSweepParam{9, 3, Agg("AVG")},
+                      OpSweepParam{15, 5, Agg("STDEV")},
+                      OpSweepParam{7, 3, Agg("SUM")},
+                      OpSweepParam{1, 1, Agg("MIN")}));
 
 }  // namespace
 }  // namespace fw

@@ -126,7 +126,7 @@ TEST(Algorithm3, CoveredBySemantics) {
 
 TEST(OptimizeQuery, MinUsesCoveredBy) {
   WindowSet set = Tumblings({20, 30, 40});
-  Result<OptimizationOutcome> outcome = OptimizeQuery(set, AggKind::kMin);
+  Result<OptimizationOutcome> outcome = OptimizeQuery(set, Agg("MIN"));
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->semantics, CoverageSemantics::kCoveredBy);
   EXPECT_GT(outcome->naive_cost, 0.0);
@@ -137,7 +137,7 @@ TEST(OptimizeQuery, MinUsesCoveredBy) {
 
 TEST(OptimizeQuery, SumUsesPartitionedBy) {
   WindowSet set = Tumblings({20, 30, 40});
-  Result<OptimizationOutcome> outcome = OptimizeQuery(set, AggKind::kSum);
+  Result<OptimizationOutcome> outcome = OptimizeQuery(set, Agg("SUM"));
   ASSERT_TRUE(outcome.ok());
   EXPECT_EQ(outcome->semantics, CoverageSemantics::kPartitionedBy);
   EXPECT_DOUBLE_EQ(outcome->with_factors.total_cost, 150.0);
@@ -146,14 +146,14 @@ TEST(OptimizeQuery, SumUsesPartitionedBy) {
 TEST(OptimizeQuery, HolisticUnsupported) {
   WindowSet set = Tumblings({20, 30, 40});
   Result<OptimizationOutcome> outcome =
-      OptimizeQuery(set, AggKind::kMedian);
+      OptimizeQuery(set, Agg("MEDIAN"));
   ASSERT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status().code(), StatusCode::kUnimplemented);
 }
 
 TEST(OptimizeQuery, EmptySetRejected) {
   WindowSet empty;
-  Result<OptimizationOutcome> outcome = OptimizeQuery(empty, AggKind::kMin);
+  Result<OptimizationOutcome> outcome = OptimizeQuery(empty, Agg("MIN"));
   ASSERT_FALSE(outcome.ok());
   EXPECT_EQ(outcome.status().code(), StatusCode::kInvalidArgument);
 }
@@ -163,7 +163,7 @@ TEST(OptimizeQuery, FactorWindowsDisabled) {
   options.enable_factor_windows = false;
   WindowSet set = Tumblings({20, 30, 40});
   Result<OptimizationOutcome> outcome =
-      OptimizeQuery(set, AggKind::kSum, options);
+      OptimizeQuery(set, Agg("SUM"), options);
   ASSERT_TRUE(outcome.ok());
   EXPECT_DOUBLE_EQ(outcome->with_factors.total_cost,
                    outcome->without_factors.total_cost);

@@ -23,7 +23,7 @@ TEST(Example1, RewrittenPlanShape) {
   WindowSet set = Tumblings({20, 30, 40});
   MinCostWcg wcg =
       FindMinCostWcg(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   // "aggregates of the 40-minute window are computed from sub-aggregates
   // that are outputs of the 20-minute window".
   int i20 = -1;
@@ -51,7 +51,7 @@ TEST(Example1, FactorWindowPlanUsesT10) {
   WindowSet set = Tumblings({20, 30, 40});
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   ASSERT_EQ(plan.num_operators(), 4u);
   std::string trill = ToTrillExpression(plan);
   EXPECT_EQ(trill.rfind("Input.Tumbling(minute, 10)", 0), 0u) << trill;

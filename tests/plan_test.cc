@@ -24,9 +24,9 @@ int IndexOfLabel(const QueryPlan& plan, const std::string& label) {
 
 TEST(OriginalPlan, IndependentOperators) {
   QueryPlan plan =
-      QueryPlan::Original(Tumblings({20, 30, 40}), AggKind::kMin);
+      QueryPlan::Original(Tumblings({20, 30, 40}), Agg("MIN"));
   EXPECT_EQ(plan.num_operators(), 3u);
-  EXPECT_EQ(plan.agg(), AggKind::kMin);
+  EXPECT_EQ(plan.agg(), Agg("MIN"));
   for (const PlanOperator& op : plan.operators()) {
     EXPECT_EQ(op.parent, -1);
     EXPECT_TRUE(op.children.empty());
@@ -41,7 +41,7 @@ TEST(OriginalPlan, IndependentOperators) {
 
 TEST(OriginalPlan, OperatorOrderMatchesWindowSet) {
   WindowSet set = Tumblings({30, 10, 20});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kSum);
+  QueryPlan plan = QueryPlan::Original(set, Agg("SUM"));
   EXPECT_EQ(plan.op(0).window, Window::Tumbling(30));
   EXPECT_EQ(plan.op(1).window, Window::Tumbling(10));
   EXPECT_EQ(plan.op(2).window, Window::Tumbling(20));
@@ -52,7 +52,7 @@ TEST(RewrittenPlan, Example6Shape) {
   // from T(20).
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   ASSERT_EQ(plan.num_operators(), 4u);
   int i10 = IndexOfLabel(plan, "T(10)");
   int i20 = IndexOfLabel(plan, "T(20)");
@@ -71,7 +71,7 @@ TEST(RewrittenPlan, Example6Shape) {
 TEST(RewrittenPlan, FactorWindowsAreHidden) {
   MinCostWcg wcg = OptimizeWithFactorWindows(
       Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   ASSERT_EQ(plan.num_operators(), 4u);  // 3 query + factor T(10).
   int factor = IndexOfLabel(plan, "T(10)");
   ASSERT_GE(factor, 0);
@@ -87,10 +87,10 @@ TEST(RewrittenPlan, ExposedOperatorIdsMatchOriginalPlan) {
   // Query windows keep window-set order in both plans so results can be
   // compared by operator id.
   WindowSet set = Tumblings({20, 30, 40});
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   for (size_t i = 0; i < set.size(); ++i) {
     EXPECT_EQ(original.op(static_cast<int>(i)).window,
               rewritten.op(static_cast<int>(i)).window);
@@ -100,7 +100,7 @@ TEST(RewrittenPlan, ExposedOperatorIdsMatchOriginalPlan) {
 TEST(RewrittenPlan, ChildrenSymmetry) {
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   int i10 = IndexOfLabel(plan, "T(10)");
   const std::vector<int>& kids = plan.op(i10).children;
   EXPECT_EQ(kids.size(), 2u);
@@ -110,7 +110,7 @@ TEST(RewrittenPlan, ChildrenSymmetry) {
 TEST(RewrittenPlan, NoSharingCollapsesToOriginalShape) {
   MinCostWcg wcg = FindMinCostWcg(Tumblings({15, 17, 19}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   EXPECT_EQ(plan.Roots().size(), 3u);
   EXPECT_EQ(plan.NumSharedEdges(), 0);
 }
@@ -120,7 +120,7 @@ TEST(RewrittenPlan, HoppingCoveredByShape) {
   ASSERT_TRUE(set.Add(Window(8, 2)).ok());
   ASSERT_TRUE(set.Add(Window(10, 2)).ok());
   MinCostWcg wcg = FindMinCostWcg(set, CoverageSemantics::kCoveredBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   int i8 = IndexOfLabel(plan, "W(8, 2)");
   int i10 = IndexOfLabel(plan, "W(10, 2)");
   EXPECT_EQ(plan.op(i8).parent, -1);

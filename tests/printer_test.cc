@@ -27,7 +27,7 @@ TEST(TrillPrinter, OriginalPlanFigure1b) {
   // Figure 1(b): Input.Multicast over three independent aggregates joined
   // by Union.
   QueryPlan plan =
-      QueryPlan::Original(Tumblings({20, 30, 40}), AggKind::kMin);
+      QueryPlan::Original(Tumblings({20, 30, 40}), Agg("MIN"));
   std::string expr = ToTrillExpression(plan);
   EXPECT_EQ(expr.rfind("Input.Multicast(s => ", 0), 0u) << expr;
   EXPECT_EQ(CountOccurrences(expr, ".Tumbling(minute, "), 3u);
@@ -41,7 +41,7 @@ TEST(TrillPrinter, RewrittenPlanFigure2b) {
   // the 30-minute window still reads the input.
   MinCostWcg wcg = FindMinCostWcg(Tumblings({20, 30, 40}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string expr = ToTrillExpression(plan);
   // Two roots (T(20) chain and T(30)) -> top-level multicast; the T(20)
   // operator multicasts its aggregate stream to T(40) and the union.
@@ -56,7 +56,7 @@ TEST(TrillPrinter, FactorWindowPlanFigure2c) {
   // result (it is hidden), but its output feeds the query windows.
   MinCostWcg wcg = OptimizeWithFactorWindows(
       Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string expr = ToTrillExpression(plan);
   // Single root: the factor window T(10) reads Input directly (no
   // top-level multicast of the raw stream).
@@ -73,14 +73,14 @@ TEST(TrillPrinter, FactorWindowPlanFigure2c) {
 TEST(TrillPrinter, HoppingWindowsUseHoppingCall) {
   WindowSet set;
   ASSERT_TRUE(set.Add(Window(40, 10)).ok());
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMax);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MAX"));
   std::string expr = ToTrillExpression(plan);
   EXPECT_NE(expr.find(".Hopping(minute, 40, 10)"), std::string::npos);
   EXPECT_NE(expr.find("w.Max(e => e.Value)"), std::string::npos);
 }
 
 TEST(TrillPrinter, SingleWindowNoMulticast) {
-  QueryPlan plan = QueryPlan::Original(Tumblings({20}), AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(Tumblings({20}), Agg("MIN"));
   std::string expr = ToTrillExpression(plan);
   EXPECT_EQ(expr.rfind("Input.Tumbling(minute, 20)", 0), 0u) << expr;
   EXPECT_EQ(CountOccurrences(expr, ".Multicast("), 0u);
@@ -89,7 +89,7 @@ TEST(TrillPrinter, SingleWindowNoMulticast) {
 TEST(FlinkPrinter, OneStatementPerOperatorPlusUnion) {
   MinCostWcg wcg = OptimizeWithFactorWindows(
       Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string expr = ToFlinkExpression(plan);
   EXPECT_EQ(CountOccurrences(expr, "DataStream<Agg> w"), 4u);
   EXPECT_EQ(CountOccurrences(expr, "TumblingEventTimeWindows"), 4u);
@@ -104,7 +104,7 @@ TEST(FlinkPrinter, OneStatementPerOperatorPlusUnion) {
 TEST(FlinkPrinter, SlidingWindows) {
   WindowSet set;
   ASSERT_TRUE(set.Add(Window(40, 10)).ok());
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kAvg);
+  QueryPlan plan = QueryPlan::Original(set, Agg("AVG"));
   std::string expr = ToFlinkExpression(plan);
   EXPECT_NE(expr.find("SlidingEventTimeWindows.of(Time.minutes(40), "
                       "Time.minutes(10))"),
@@ -114,7 +114,7 @@ TEST(FlinkPrinter, SlidingWindows) {
 TEST(DotPrinter, ContainsAllEdges) {
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10, 20, 30, 40}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string dot = ToDot(plan);
   EXPECT_NE(dot.find("digraph plan"), std::string::npos);
   EXPECT_EQ(CountOccurrences(dot, "input -> "), 1u);  // Only T(10).
@@ -125,7 +125,7 @@ TEST(DotPrinter, ContainsAllEdges) {
 TEST(JsonPrinter, EmitsOneObjectPerOperator) {
   MinCostWcg wcg = OptimizeWithFactorWindows(
       Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string json = ToJson(plan);
   EXPECT_NE(json.find("\"aggregate\": \"MIN\""), std::string::npos);
   EXPECT_EQ(CountOccurrences(json, "\"id\": "), 4u);
@@ -140,7 +140,7 @@ TEST(JsonPrinter, EmitsOneObjectPerOperator) {
 TEST(SummaryPrinter, ShowsProvidersAndFlags) {
   MinCostWcg wcg = OptimizeWithFactorWindows(
       Tumblings({20, 30, 40}), CoverageSemantics::kPartitionedBy);
-  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan plan = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::string summary = ToSummary(plan);
   EXPECT_NE(summary.find("T(10) <- <input>"), std::string::npos) << summary;
   EXPECT_NE(summary.find("T(30) <- T(10)"), std::string::npos);

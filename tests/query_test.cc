@@ -16,7 +16,7 @@ TEST(ParseQuery, Figure1aStyle) {
       "WINDOWS(TUMBLINGWINDOW(20), TUMBLINGWINDOW(30), "
       "TUMBLINGWINDOW(40))");
   ASSERT_TRUE(query.ok()) << query.status().ToString();
-  EXPECT_EQ(query->agg, AggKind::kMin);
+  EXPECT_EQ(query->agg, Agg("MIN"));
   EXPECT_EQ(query->value_column, "temperature");
   EXPECT_EQ(query->source, "input");
   EXPECT_TRUE(query->per_key);
@@ -38,7 +38,7 @@ TEST(ParseQuery, HoppingWindows) {
       "SELECT AVG(load) FROM metrics GROUP BY host, "
       "WINDOWS(HOPPINGWINDOW(60, 10), HOPPINGWINDOW(120, 10))");
   ASSERT_TRUE(query.ok());
-  EXPECT_EQ(query->agg, AggKind::kAvg);
+  EXPECT_EQ(query->agg, Agg("AVG"));
   EXPECT_TRUE(query->windows.Contains(Window(60, 10)));
   EXPECT_TRUE(query->windows.Contains(Window(120, 10)));
 }
@@ -47,7 +47,7 @@ TEST(ParseQuery, CaseInsensitiveKeywords) {
   Result<StreamQuery> query = ParseQuery(
       "select sum(x) from s group by k, windows(tumblingwindow(5))");
   ASSERT_TRUE(query.ok());
-  EXPECT_EQ(query->agg, AggKind::kSum);
+  EXPECT_EQ(query->agg, Agg("SUM"));
   EXPECT_EQ(query->key_column, "k");  // Identifier case preserved.
 }
 
@@ -58,7 +58,7 @@ TEST(ParseQuery, AllAggregates) {
                       "(v) FROM s GROUP BY WINDOWS(T(10))";
     Result<StreamQuery> query = ParseQuery(sql);
     ASSERT_TRUE(query.ok()) << sql;
-    EXPECT_STREQ(AggKindToString(query->agg), name);
+    EXPECT_EQ(query->agg->name, name);
   }
 }
 

@@ -106,7 +106,7 @@ TEST(ReorderBuffer, FeedsPlanExecutorEquivalently) {
                  rng.engine());
   }
 
-  QueryPlan plan = QueryPlan::Original(windows, AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(windows, Agg("MIN"));
   CollectingSink sorted_sink;
   ExecutePlan(plan, ordered, 2, &sorted_sink, nullptr, nullptr);
 

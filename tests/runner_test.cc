@@ -17,7 +17,7 @@ WindowSet Tumblings(std::initializer_list<TimeT> ranges) {
 
 TEST(RunPlan, ReportsStats) {
   WindowSet set = Tumblings({10, 20});
-  QueryPlan plan = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(set, Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(10000, 1, 1);
   RunStats stats = RunPlan(plan, events, 1);
   EXPECT_GT(stats.throughput, 0.0);
@@ -29,7 +29,7 @@ TEST(RunPlan, ReportsStats) {
 TEST(RunSlicing, ReportsStats) {
   WindowSet set = Tumblings({10, 20});
   std::vector<Event> events = GenerateSyntheticStream(10000, 1, 1);
-  RunStats stats = RunSlicing(set, AggKind::kMin, events, 1);
+  RunStats stats = RunSlicing(set, Agg("MIN"), events, 1);
   EXPECT_GT(stats.throughput, 0.0);
   EXPECT_GT(stats.ops, 0u);
   EXPECT_EQ(stats.results, 1500u);
@@ -37,18 +37,18 @@ TEST(RunSlicing, ReportsStats) {
 
 TEST(VerifyEquivalence, AcceptsRewrittenPlans) {
   WindowSet set = Tumblings({20, 30, 40});
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(5000, 1, 2);
   EXPECT_TRUE(VerifyEquivalence(original, rewritten, events, 1).ok());
 }
 
 TEST(VerifyEquivalence, DetectsDifferentPlans) {
   // Different window sets produce different result domains.
-  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kMin);
-  QueryPlan b = QueryPlan::Original(Tumblings({20}), AggKind::kMin);
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), Agg("MIN"));
+  QueryPlan b = QueryPlan::Original(Tumblings({20}), Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(100, 1, 3);
   Status status = VerifyEquivalence(a, b, events, 1);
   EXPECT_FALSE(status.ok());
@@ -56,8 +56,8 @@ TEST(VerifyEquivalence, DetectsDifferentPlans) {
 
 TEST(VerifyEquivalence, DetectsValueDifferences) {
   // MIN vs MAX over the same windows: same domain, different values.
-  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kMin);
-  QueryPlan b = QueryPlan::Original(Tumblings({10}), AggKind::kMax);
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), Agg("MIN"));
+  QueryPlan b = QueryPlan::Original(Tumblings({10}), Agg("MAX"));
   std::vector<Event> events = GenerateSyntheticStream(100, 1, 4);
   Status status = VerifyEquivalence(a, b, events, 1);
   EXPECT_FALSE(status.ok());
@@ -65,29 +65,29 @@ TEST(VerifyEquivalence, DetectsValueDifferences) {
 }
 
 TEST(VerifyEquivalence, ToleranceAllowsFloatNoise) {
-  QueryPlan a = QueryPlan::Original(Tumblings({10}), AggKind::kAvg);
+  QueryPlan a = QueryPlan::Original(Tumblings({10}), Agg("AVG"));
   MinCostWcg wcg = FindMinCostWcg(Tumblings({10}),
                                   CoverageSemantics::kPartitionedBy);
-  QueryPlan b = QueryPlan::FromMinCostWcg(wcg, AggKind::kAvg);
+  QueryPlan b = QueryPlan::FromMinCostWcg(wcg, Agg("AVG"));
   std::vector<Event> events = GenerateSyntheticStream(1000, 1, 5);
   EXPECT_TRUE(VerifyEquivalence(a, b, events, 1, 1e-9).ok());
 }
 
 TEST(VerifySlicingEquivalence, MatchesOriginal) {
   WindowSet set = Tumblings({10, 20, 30});
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   std::vector<Event> events = GenerateSyntheticStream(2000, 1, 6);
   EXPECT_TRUE(
-      VerifySlicingEquivalence(set, AggKind::kMin, original, events, 1).ok());
+      VerifySlicingEquivalence(set, Agg("MIN"), original, events, 1).ok());
 }
 
 TEST(RunPlan, SharedPlanDoesFewerOps) {
   WindowSet set = Tumblings({20, 30, 40});
   std::vector<Event> events = GenerateSyntheticStream(24000, 1, 7);
-  QueryPlan original = QueryPlan::Original(set, AggKind::kMin);
+  QueryPlan original = QueryPlan::Original(set, Agg("MIN"));
   MinCostWcg wcg =
       OptimizeWithFactorWindows(set, CoverageSemantics::kPartitionedBy);
-  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, AggKind::kMin);
+  QueryPlan rewritten = QueryPlan::FromMinCostWcg(wcg, Agg("MIN"));
   RunStats naive = RunPlan(original, events, 1);
   RunStats shared = RunPlan(rewritten, events, 1);
   // Model: 360 vs 150 per hyper-period of 120 -> ratio 2.4.

@@ -396,7 +396,7 @@ QueryPlan SharedTestPlan() {
   // sub-aggregate (operator → operator) flow, not just raw readers.
   StreamQuery q1;
   q1.source = "s";
-  q1.agg = AggKind::kMin;
+  q1.agg = Agg("MIN");
   q1.per_key = true;
   q1.key_column = "k";
   EXPECT_TRUE(q1.windows.Add(Window::Tumbling(20)).ok());

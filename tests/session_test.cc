@@ -51,7 +51,7 @@ TEST(StreamSession, SingleQueryMatchesOriginalPlan) {
   ASSERT_TRUE(windows.Add(Window::Tumbling(20)).ok());
   ASSERT_TRUE(windows.Add(Window(60, 20)).ok());
   CollectingSink reference;
-  ExecutePlan(QueryPlan::Original(windows, AggKind::kMin), events, 1,
+  ExecutePlan(QueryPlan::Original(windows, Agg("MIN")), events, 1,
               &reference, nullptr, nullptr);
   EXPECT_EQ(via_session, reference.ToMap());
 }
@@ -112,7 +112,7 @@ TEST(StreamSession, DemuxesDuplicateWindowsAcrossQueries) {
     WindowSet set;
     for (const Window& w : windows) EXPECT_TRUE(set.Add(w).ok());
     CollectingSink sink;
-    ExecutePlan(QueryPlan::Original(set, AggKind::kMin), events, 1, &sink,
+    ExecutePlan(QueryPlan::Original(set, Agg("MIN")), events, 1, &sink,
                 nullptr, nullptr);
     ResultMap map;
     for (const auto& [key, value] : sink.ToMap()) {
@@ -246,7 +246,7 @@ TEST(StreamSession, CombinedChurnAgainstGroundTruth) {
   WindowSet w20;
   ASSERT_TRUE(w20.Add(Window::Tumbling(20)).ok());
   CollectingSink ref20;
-  ExecutePlan(QueryPlan::Original(w20, AggKind::kMin), events, 1, &ref20,
+  ExecutePlan(QueryPlan::Original(w20, Agg("MIN")), events, 1, &ref20,
               nullptr, nullptr);
   ResultMap expected_keeper;
   for (const auto& [key, value] : ref20.ToMap()) expected_keeper[key] = value;
@@ -257,7 +257,7 @@ TEST(StreamSession, CombinedChurnAgainstGroundTruth) {
   ASSERT_TRUE(w4080.Add(Window::Tumbling(40)).ok());
   ASSERT_TRUE(w4080.Add(Window::Tumbling(80)).ok());
   CollectingSink ref4080;
-  ExecutePlan(QueryPlan::Original(w4080, AggKind::kMin), events, 1,
+  ExecutePlan(QueryPlan::Original(w4080, Agg("MIN")), events, 1,
               &ref4080, nullptr, nullptr);
   ResultMap expected_late;
   for (const auto& [key, value] : ref4080.ToMap()) {
@@ -288,7 +288,7 @@ TEST(StreamSession, PerKeyGrouping) {
   WindowSet windows;
   ASSERT_TRUE(windows.Add(Window(40, 10)).ok());
   CollectingSink reference;
-  ExecutePlan(QueryPlan::Original(windows, AggKind::kMax), events, kKeys,
+  ExecutePlan(QueryPlan::Original(windows, Agg("MAX")), events, kKeys,
               &reference, nullptr, nullptr);
   EXPECT_EQ(results, reference.ToMap());
 }

@@ -24,7 +24,7 @@ std::vector<Event> RandomStream(TimeT length, uint32_t num_keys,
 }
 
 std::map<CollectingSink::ResultKey, double> RunNaive(
-    const WindowSet& windows, AggKind agg, const std::vector<Event>& events,
+    const WindowSet& windows, AggFn agg, const std::vector<Event>& events,
     uint32_t num_keys) {
   QueryPlan plan = QueryPlan::Original(windows, agg);
   CollectingSink sink;
@@ -33,7 +33,7 @@ std::map<CollectingSink::ResultKey, double> RunNaive(
 }
 
 std::map<CollectingSink::ResultKey, double> RunSliced(
-    const WindowSet& windows, AggKind agg, const std::vector<Event>& events,
+    const WindowSet& windows, AggFn agg, const std::vector<Event>& events,
     uint32_t num_keys, uint64_t* ops = nullptr,
     SlicingEvaluator::CombineMode mode =
         SlicingEvaluator::CombineMode::kEager) {
@@ -60,30 +60,30 @@ void ExpectMapsNear(const std::map<CollectingSink::ResultKey, double>& a,
 TEST(Slicer, TumblingMinMatchesNaive) {
   WindowSet windows = WindowSet::Parse("{T(10), T(20), T(30)}").value();
   std::vector<Event> events = RandomStream(200, 1, 1);
-  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
-                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+  ExpectMapsNear(RunNaive(windows, Agg("MIN"), events, 1),
+                 RunSliced(windows, Agg("MIN"), events, 1), 0.0);
 }
 
 TEST(Slicer, HoppingSumMatchesNaive) {
   WindowSet windows = WindowSet::Parse("{W(20, 5), W(30, 10)}").value();
   std::vector<Event> events = RandomStream(200, 1, 2);
-  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
-                 RunSliced(windows, AggKind::kSum, events, 1), 1e-9);
+  ExpectMapsNear(RunNaive(windows, Agg("SUM"), events, 1),
+                 RunSliced(windows, Agg("SUM"), events, 1), 1e-9);
 }
 
 TEST(Slicer, MixedWindowsWithKeysAndGaps) {
   WindowSet windows = WindowSet::Parse("{T(12), W(18, 6), W(24, 4)}").value();
   std::vector<Event> events = RandomStream(300, 3, 3, /*gaps=*/true);
-  ExpectMapsNear(RunNaive(windows, AggKind::kMax, events, 3),
-                 RunSliced(windows, AggKind::kMax, events, 3), 0.0);
+  ExpectMapsNear(RunNaive(windows, Agg("MAX"), events, 3),
+                 RunSliced(windows, Agg("MAX"), events, 3), 0.0);
 }
 
 TEST(Slicer, NonIntegralRecurrenceWindows) {
   // r not a multiple of s: slice edges must include window-end grids.
   WindowSet windows = WindowSet::Parse("{W(10, 4), W(7, 3)}").value();
   std::vector<Event> events = RandomStream(150, 1, 4);
-  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
-                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+  ExpectMapsNear(RunNaive(windows, Agg("MIN"), events, 1),
+                 RunSliced(windows, Agg("MIN"), events, 1), 0.0);
 }
 
 TEST(Slicer, LateStartStream) {
@@ -94,15 +94,15 @@ TEST(Slicer, LateStartStream) {
   for (TimeT t = 1000; t < 1200; ++t) {
     events.push_back(Event{t, 0, rng.UniformReal(0, 1)});
   }
-  ExpectMapsNear(RunNaive(windows, AggKind::kMin, events, 1),
-                 RunSliced(windows, AggKind::kMin, events, 1), 0.0);
+  ExpectMapsNear(RunNaive(windows, Agg("MIN"), events, 1),
+                 RunSliced(windows, Agg("MIN"), events, 1), 0.0);
 }
 
 TEST(Slicer, PartialTailWindowsMatchEngineFlush) {
   WindowSet windows = WindowSet::Parse("{T(10), T(25)}").value();
   std::vector<Event> events = RandomStream(37, 1, 6);  // Ends mid-window.
-  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
-                 RunSliced(windows, AggKind::kSum, events, 1), 1e-9);
+  ExpectMapsNear(RunNaive(windows, Agg("SUM"), events, 1),
+                 RunSliced(windows, Agg("SUM"), events, 1), 1e-9);
 }
 
 TEST(Slicer, OpsBeatNaiveOnManyOverlappingWindows) {
@@ -113,27 +113,27 @@ TEST(Slicer, OpsBeatNaiveOnManyOverlappingWindows) {
     ASSERT_TRUE(windows.Add(Window(10 * k, 10)).ok());
   }
   std::vector<Event> events = RandomStream(2000, 1, 7);
-  QueryPlan plan = QueryPlan::Original(windows, AggKind::kMin);
+  QueryPlan plan = QueryPlan::Original(windows, Agg("MIN"));
   CountingSink naive_sink;
   uint64_t naive_ops = 0;
   ExecutePlan(plan, events, 1, &naive_sink, nullptr, &naive_ops);
   uint64_t sliced_ops = 0;
-  RunSliced(windows, AggKind::kMin, events, 1, &sliced_ops);
+  RunSliced(windows, Agg("MIN"), events, 1, &sliced_ops);
   EXPECT_LT(sliced_ops, naive_ops / 2);
 }
 
 TEST(Slicer, SingleWindowStillCorrect) {
   WindowSet windows = WindowSet::Parse("{W(12, 3)}").value();
   std::vector<Event> events = RandomStream(100, 1, 8);
-  ExpectMapsNear(RunNaive(windows, AggKind::kAvg, events, 1),
-                 RunSliced(windows, AggKind::kAvg, events, 1), 1e-9);
+  ExpectMapsNear(RunNaive(windows, Agg("AVG"), events, 1),
+                 RunSliced(windows, Agg("AVG"), events, 1), 1e-9);
 }
 
 TEST(Slicer, ResetAllowsRerun) {
   WindowSet windows = WindowSet::Parse("{T(10)}").value();
   std::vector<Event> events = RandomStream(50, 1, 9);
   CollectingSink sink;
-  SlicingEvaluator evaluator(windows, AggKind::kMin, {.num_keys = 1}, &sink);
+  SlicingEvaluator evaluator(windows, Agg("MIN"), {.num_keys = 1}, &sink);
   evaluator.Run(events);
   size_t first_count = sink.results().size();
   uint64_t first_ops = evaluator.TotalOps();
@@ -147,7 +147,7 @@ TEST(Slicer, ResetAllowsRerun) {
 TEST(Slicer, EmptyStreamProducesNothing) {
   WindowSet windows = WindowSet::Parse("{T(10)}").value();
   CollectingSink sink;
-  SlicingEvaluator evaluator(windows, AggKind::kMin, {.num_keys = 1}, &sink);
+  SlicingEvaluator evaluator(windows, Agg("MIN"), {.num_keys = 1}, &sink);
   evaluator.Finish();
   EXPECT_TRUE(sink.results().empty());
   EXPECT_EQ(evaluator.TotalOps(), 0u);
@@ -157,7 +157,7 @@ TEST(SlicerDeathTest, HolisticRejected) {
   WindowSet windows = WindowSet::Parse("{T(10)}").value();
   CollectingSink sink;
   EXPECT_DEATH(
-      SlicingEvaluator(windows, AggKind::kMedian, {.num_keys = 1}, &sink),
+      SlicingEvaluator(windows, Agg("MEDIAN"), {.num_keys = 1}, &sink),
       "holistic");
 }
 
@@ -167,10 +167,10 @@ TEST(SlicerLazyTree, MatchesNaiveAndEager) {
   WindowSet windows = WindowSet::Parse("{T(10), W(20, 5), W(30, 10)}")
                           .value();
   std::vector<Event> events = RandomStream(400, 2, 31);
-  auto naive = RunNaive(windows, AggKind::kMin, events, 2);
-  auto eager = RunSliced(windows, AggKind::kMin, events, 2);
+  auto naive = RunNaive(windows, Agg("MIN"), events, 2);
+  auto eager = RunSliced(windows, Agg("MIN"), events, 2);
   uint64_t lazy_ops = 0;
-  auto lazy = RunSliced(windows, AggKind::kMin, events, 2, &lazy_ops,
+  auto lazy = RunSliced(windows, Agg("MIN"), events, 2, &lazy_ops,
                         SlicingEvaluator::CombineMode::kLazyTree);
   ExpectMapsNear(naive, eager, 0.0);
   ExpectMapsNear(naive, lazy, 0.0);
@@ -186,8 +186,8 @@ TEST(SlicerLazyTree, HandlesGapsAndLateStart) {
     events.push_back(Event{t, 0, rng.UniformReal(0, 1)});
     t += static_cast<TimeT>(rng.Uniform(0, 4));
   }
-  ExpectMapsNear(RunNaive(windows, AggKind::kSum, events, 1),
-                 RunSliced(windows, AggKind::kSum, events, 1, nullptr,
+  ExpectMapsNear(RunNaive(windows, Agg("SUM"), events, 1),
+                 RunSliced(windows, Agg("SUM"), events, 1, nullptr,
                            SlicingEvaluator::CombineMode::kLazyTree),
                  1e-9);
 }
@@ -197,7 +197,7 @@ TEST(SlicerLazyTree, ResetWorks) {
   std::vector<Event> events = RandomStream(80, 1, 34);
   CollectingSink sink;
   SlicingEvaluator evaluator(
-      windows, AggKind::kMin,
+      windows, Agg("MIN"),
       {.num_keys = 1, .mode = SlicingEvaluator::CombineMode::kLazyTree},
       &sink);
   evaluator.Run(events);
@@ -211,7 +211,7 @@ TEST(SlicerLazyTree, ResetWorks) {
 // shapes, keyed/gapped streams, and both combine modes.
 struct SliceSweepParam {
   const char* spec;
-  AggKind agg;
+  AggFn agg;
   uint32_t keys;
   bool gaps;
 };
@@ -223,7 +223,7 @@ TEST_P(SlicerSweep, MatchesNaive) {
   WindowSet windows = WindowSet::Parse(param.spec).value();
   std::vector<Event> events =
       RandomStream(250, param.keys, 1234, param.gaps);
-  double tolerance = param.agg == AggKind::kMin || param.agg == AggKind::kMax
+  double tolerance = param.agg == Agg("MIN") || param.agg == Agg("MAX")
                          ? 0.0
                          : 1e-9;
   auto naive = RunNaive(windows, param.agg, events, param.keys);
@@ -239,13 +239,13 @@ TEST_P(SlicerSweep, MatchesNaive) {
 INSTANTIATE_TEST_SUITE_P(
     Grids, SlicerSweep,
     ::testing::Values(
-        SliceSweepParam{"{T(10), T(15), T(20)}", AggKind::kMin, 1, false},
-        SliceSweepParam{"{T(10), T(15), T(20)}", AggKind::kSum, 2, true},
-        SliceSweepParam{"{W(20, 10), W(30, 10)}", AggKind::kMax, 1, false},
-        SliceSweepParam{"{W(20, 10), W(30, 15)}", AggKind::kAvg, 2, false},
-        SliceSweepParam{"{W(8, 2), W(12, 4), T(6)}", AggKind::kStdev, 1,
+        SliceSweepParam{"{T(10), T(15), T(20)}", Agg("MIN"), 1, false},
+        SliceSweepParam{"{T(10), T(15), T(20)}", Agg("SUM"), 2, true},
+        SliceSweepParam{"{W(20, 10), W(30, 10)}", Agg("MAX"), 1, false},
+        SliceSweepParam{"{W(20, 10), W(30, 15)}", Agg("AVG"), 2, false},
+        SliceSweepParam{"{W(8, 2), W(12, 4), T(6)}", Agg("STDEV"), 1,
                         true},
-        SliceSweepParam{"{W(14, 7), T(21)}", AggKind::kCount, 3, false}));
+        SliceSweepParam{"{W(14, 7), T(21)}", Agg("COUNT"), 3, false}));
 
 }  // namespace
 }  // namespace fw

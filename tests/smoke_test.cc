@@ -7,7 +7,7 @@
 TEST(Smoke, EndToEnd) {
   fw::WindowSet windows =
       fw::WindowSet::Parse("{T(20), T(30), T(40)}").value();
-  fw::QuerySetup setup{windows, fw::AggKind::kMin,
+  fw::QuerySetup setup{windows, fw::Agg("MIN"),
                        fw::CoverageSemantics::kPartitionedBy};
   std::vector<fw::Event> events =
       fw::GenerateSyntheticStream(20000, 1, fw::kSyntheticSeed);
