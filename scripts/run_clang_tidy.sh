@@ -1,0 +1,41 @@
+#!/usr/bin/env bash
+# Runs the project's clang-tidy gate (config: .clang-tidy) over every
+# library source, using a compile_commands.json exported by CMake.
+# CI's static-analysis job runs this with CLANG_TIDY=clang-tidy-18; any
+# finding is an error (WarningsAsErrors: '*').
+#
+# Usage: scripts/run_clang_tidy.sh [build-dir]
+#   build-dir  a CMake build tree configured with
+#              -DCMAKE_EXPORT_COMPILE_COMMANDS=ON (default: build)
+set -euo pipefail
+
+repo_root="$(cd "$(dirname "${BASH_SOURCE[0]}")/.." && pwd)"
+build_dir="${1:-${repo_root}/build}"
+tidy="${CLANG_TIDY:-clang-tidy}"
+
+if ! command -v "${tidy}" > /dev/null; then
+  echo "run_clang_tidy: '${tidy}' not found; install clang-tidy or set" \
+       "CLANG_TIDY" >&2
+  exit 2
+fi
+if [[ ! -f "${build_dir}/compile_commands.json" ]]; then
+  echo "run_clang_tidy: ${build_dir}/compile_commands.json missing —" \
+       "configure with -DCMAKE_EXPORT_COMPILE_COMMANDS=ON" >&2
+  exit 2
+fi
+
+mapfile -t sources < <(find "${repo_root}/src" -name '*.cc' | sort)
+echo "run_clang_tidy: ${#sources[@]} sources, config $(
+  "${tidy}" --version | head -n 1)"
+
+# run-clang-tidy (parallel driver) when available, plain loop otherwise.
+driver="${RUN_CLANG_TIDY:-run-clang-tidy}"
+if command -v "${driver}" > /dev/null; then
+  "${driver}" -clang-tidy-binary "${tidy}" -p "${build_dir}" -quiet \
+      "${sources[@]}"
+else
+  for src in "${sources[@]}"; do
+    "${tidy}" -p "${build_dir}" --quiet "${src}"
+  done
+fi
+echo "run_clang_tidy: clean"

@@ -213,6 +213,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .description = "smallest value",
         .agg_class = AggClass::kDistributive,
         .overlap_merge_safe = true,
+        .merge_order_sensitive = false,
         .accumulate = MinAccumulate,
         .merge = MinMerge,
         .finalize = ValueFinalize});
@@ -220,36 +221,47 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .description = "largest value",
         .agg_class = AggClass::kDistributive,
         .overlap_merge_safe = true,
+        .merge_order_sensitive = false,
         .accumulate = MaxAccumulate,
         .merge = MaxMerge,
         .finalize = ValueFinalize});
   must({.name = "SUM",
         .description = "sum of values",
         .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .accumulate = SumAccumulate,
         .merge = SumMerge,
         .finalize = ValueFinalize});
   must({.name = "COUNT",
         .description = "number of events",
         .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .accumulate = CountAccumulate,
         .merge = CountMerge,
         .finalize = CountFinalize});
   must({.name = "AVG",
         .description = "arithmetic mean",
         .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .accumulate = SumAccumulate,
         .merge = SumMerge,
         .finalize = AvgFinalize});
   must({.name = "STDEV",
         .description = "population standard deviation",
         .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .accumulate = MomentsAccumulate,
         .merge = MomentsMerge,
         .finalize = StdevFinalize});
   must({.name = "VARIANCE",
         .description = "population variance",
         .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .accumulate = MomentsAccumulate,
         .merge = MomentsMerge,
         .finalize = VarianceFinalize});
@@ -257,18 +269,22 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .description = "max - min",
         .agg_class = AggClass::kAlgebraic,
         .overlap_merge_safe = true,
+        .merge_order_sensitive = false,
         .accumulate = RangeAccumulate,
         .merge = RangeMerge,
         .finalize = RangeFinalize});
   must({.name = "MEDIAN",
         .description = "middle value (holistic; unshared plans only)",
         .agg_class = AggClass::kHolistic,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .holistic_finalize = MedianFinalize});
   // Registry-era extensions: the functions footnote 2 asks for, flowing
   // through the same sharing machinery via their declared properties.
   must({.name = "FIRST",
         .description = "earliest value in the window",
         .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = false,
         .merge_order_sensitive = true,
         .accumulate = FirstAccumulate,
         .merge = FirstMerge,
@@ -276,6 +292,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
   must({.name = "LAST",
         .description = "latest value in the window",
         .agg_class = AggClass::kDistributive,
+        .overlap_merge_safe = false,
         .merge_order_sensitive = true,
         .accumulate = LastAccumulate,
         .merge = LastMerge,
@@ -284,6 +301,8 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .description =
             "99th-percentile estimate (log-bucketed quantile sketch)",
         .agg_class = AggClass::kAlgebraic,
+        .overlap_merge_safe = false,
+        .merge_order_sensitive = false,
         .state_bytes = sizeof(QuantileSketch),
         .accumulate = P99Accumulate,
         .merge = P99Merge,
@@ -292,6 +311,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .description = "distinct-value estimate (HyperLogLog sketch)",
         .agg_class = AggClass::kAlgebraic,
         .overlap_merge_safe = true,
+        .merge_order_sensitive = false,
         .state_bytes = sizeof(HllSketch),
         .accumulate = DistinctAccumulate,
         .merge = DistinctMerge,
@@ -427,7 +447,7 @@ Result<AggFn> AggregateRegistry::Register(AggregateFunction fn) {
     return Status::InvalidArgument(
         fn.name + ": accumulate, merge, and finalize are required");
   }
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   if (FindLocked(fn.name) != nullptr) {
     return Status::AlreadyExists("aggregate '" + fn.name +
                                  "' is already registered");
@@ -445,14 +465,14 @@ AggFn AggregateRegistry::FindLocked(const std::string& canonical) const {
 
 AggFn AggregateRegistry::Find(std::string_view name) const {
   const std::string upper = UpperCased(name);
-  std::lock_guard<std::mutex> lock(mu_);
+  MutexLock lock(&mu_);
   return FindLocked(upper);
 }
 
 std::vector<AggFn> AggregateRegistry::List() const {
   std::vector<AggFn> out;
   {
-    std::lock_guard<std::mutex> lock(mu_);
+    MutexLock lock(&mu_);
     out.reserve(fns_.size());
     for (const auto& fn : fns_) out.push_back(fn.get());
   }

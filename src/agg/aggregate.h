@@ -5,11 +5,11 @@
 #include <cstring>
 #include <iosfwd>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "window/coverage.h"
 
@@ -231,10 +231,13 @@ class AggregateRegistry {
   std::vector<AggFn> List() const;
 
  private:
-  AggFn FindLocked(const std::string& canonical) const;
+  AggFn FindLocked(const std::string& canonical) const FW_REQUIRES(mu_);
 
-  mutable std::mutex mu_;
-  std::vector<std::unique_ptr<AggregateFunction>> fns_;  // Stable addresses.
+  mutable Mutex mu_;
+  /// Stable addresses (unique_ptr per descriptor); mu_ guards the vector,
+  /// never the descriptors — they are immutable once registered, which is
+  /// why handing out bare AggFn pointers is safe.
+  std::vector<std::unique_ptr<AggregateFunction>> fns_ FW_GUARDED_BY(mu_);
 };
 
 /// Case-insensitive lookup in the global registry; null when unknown.

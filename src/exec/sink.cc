@@ -5,6 +5,7 @@
 namespace fw {
 
 std::map<CollectingSink::ResultKey, double> CollectingSink::ToMap() const {
+  delivery_role_.AssertHeld();  // Read from the delivery thread.
   std::map<ResultKey, double> out;
   for (const WindowResult& r : results_) {
     auto [it, inserted] = out.emplace(

@@ -7,6 +7,7 @@
 #include <tuple>
 #include <vector>
 
+#include "common/mutex.h"
 #include "exec/event.h"
 
 namespace fw {
@@ -31,19 +32,32 @@ class ResultSink {
 /// Counts results and checksums values; the default sink for throughput
 /// runs (no per-result allocation, and the checksum keeps the compiler
 /// from discarding the aggregation work).
+///
+/// Single-threaded delivery is part of the annotated contract: all state
+/// is guarded by `delivery_role_`, the thread role of whichever thread
+/// the sink is wired into (the session thread, or one shard's worker for
+/// a per-shard sink). See DESIGN.md §12.
 class CountingSink : public ResultSink {
  public:
   void OnResult(const WindowResult& result) override {
+    delivery_role_.AssertHeld();  // Delivery is single-threaded (above).
     ++count_;
     checksum_ += result.value;
   }
 
-  uint64_t count() const { return count_; }
-  double checksum() const { return checksum_; }
+  uint64_t count() const {
+    delivery_role_.AssertHeld();  // Read from the delivery thread.
+    return count_;
+  }
+  double checksum() const {
+    delivery_role_.AssertHeld();  // Read from the delivery thread.
+    return checksum_;
+  }
 
  private:
-  uint64_t count_ = 0;
-  double checksum_ = 0.0;
+  ThreadRole delivery_role_;
+  uint64_t count_ FW_GUARDED_BY(delivery_role_) = 0;
+  double checksum_ FW_GUARDED_BY(delivery_role_) = 0.0;
 };
 
 /// CountingSink that may be shared by operators running on several
@@ -70,14 +84,19 @@ class ThreadSafeCountingSink : public ResultSink {
 };
 
 /// Collects every result; used by tests, examples, and the verifier.
-/// NOT thread-safe (see the ResultSink note).
+/// NOT thread-safe (see the ResultSink note): `results_` is guarded by
+/// the delivery thread's role, like CountingSink.
 class CollectingSink : public ResultSink {
  public:
   void OnResult(const WindowResult& result) override {
+    delivery_role_.AssertHeld();  // Delivery is single-threaded (above).
     results_.push_back(result);
   }
 
-  const std::vector<WindowResult>& results() const { return results_; }
+  const std::vector<WindowResult>& results() const {
+    delivery_role_.AssertHeld();  // Read from the delivery thread.
+    return results_;
+  }
 
   /// Results keyed by (operator, window start, window end, group key) for
   /// order-insensitive equivalence checks.
@@ -85,7 +104,8 @@ class CollectingSink : public ResultSink {
   std::map<ResultKey, double> ToMap() const;
 
  private:
-  std::vector<WindowResult> results_;
+  ThreadRole delivery_role_;
+  std::vector<WindowResult> results_ FW_GUARDED_BY(delivery_role_);
 };
 
 }  // namespace fw

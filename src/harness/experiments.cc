@@ -151,7 +151,9 @@ void PrintSlicingPanel(const std::string& title,
 }
 
 size_t EventCountFromEnv(const char* var, size_t fallback) {
-  const char* value = std::getenv(var);
+  // Benchmark startup is single-threaded by contract (workers spawn only
+  // inside RunExperiments), so the non-reentrant getenv cannot race.
+  const char* value = std::getenv(var);  // NOLINT(concurrency-mt-unsafe)
   if (value == nullptr || *value == '\0') return fallback;
   char* end = nullptr;
   unsigned long long parsed = std::strtoull(value, &end, 10);

@@ -13,26 +13,50 @@
 
 namespace fw {
 
+/// One worker shard. The members split into three ownership classes,
+/// annotated for the thread-safety analysis (DESIGN.md §12):
+///
+///  * worker-owned (`executor`, `buffer`): guarded by `worker_role` — the
+///    worker folds batches into them; the session thread reclaims them
+///    only across a quiesce (`consumed == enqueued`, whose acquire load
+///    pairs with the worker's release increment) or after joining the
+///    worker, and every such site asserts the role naming that edge;
+///  * session-owned (`pending`, `enqueued`, `worker`): guarded by the
+///    executor's session role (held here by pointer, since a capability
+///    expression must name a member reachable from the shard);
+///  * the synchronization fabric itself (`queue`, `consumed`): the SPSC
+///    ring and the quiesce counter are the primitives that *create* the
+///    handoff edges, so they are intentionally unguarded — their safety
+///    argument is the memory-order analysis in runtime/spsc_queue.h.
 struct ShardedExecutor::Shard {
-  explicit Shard(size_t queue_capacity) : queue(queue_capacity) {}
+  Shard(size_t queue_capacity, const ThreadRole* session)
+      : session_role(session), queue(queue_capacity) {}
 
-  BufferSink buffer;
-  std::unique_ptr<PlanExecutor> executor;
+  /// Capability of this shard's worker thread (see above).
+  ThreadRole worker_role;
+  /// The owning executor's session_role_, the producer-side capability.
+  const ThreadRole* const session_role;
+
+  BufferSink buffer FW_GUARDED_BY(worker_role);
+  std::unique_ptr<PlanExecutor> executor FW_GUARDED_BY(worker_role);
   SpscQueue<std::vector<Event>> queue;
   /// Producer-side partial batch, session thread only.
-  std::vector<Event> pending;
+  std::vector<Event> pending FW_GUARDED_BY(session_role);
   /// Batches handed off so far; session thread only.
-  uint64_t enqueued = 0;
+  uint64_t enqueued FW_GUARDED_BY(session_role) = 0;
   /// Batches fully processed; written by the worker (release) and read by
   /// the session thread (acquire) — equality with `enqueued` is the
   /// quiesce point that publishes the shard's executor/buffer state.
   std::atomic<uint64_t> consumed{0};
-  std::thread worker;
+  std::thread worker FW_GUARDED_BY(session_role);
 };
 
 ShardedExecutor::ShardedExecutor(const QueryPlan& plan,
                                  const Options& options, ResultSink* sink)
     : options_(options), sink_(sink), plan_(&plan) {
+  // The constructing thread is the session thread; nothing else can see
+  // the object yet.
+  session_role_.AssertHeld();
   FW_CHECK(sink != nullptr);
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GT(options.batch_size, 0u);
@@ -58,7 +82,11 @@ void ShardedExecutor::BuildTopology() {
   shards_.reserve(shards);
   for (uint32_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>(
-        std::max<size_t>(options_.queue_capacity, 2));
+        std::max<size_t>(options_.queue_capacity, 2), &session_role_);
+    // No worker exists yet: the building thread owns the whole shard,
+    // worker-side members included.
+    shard->worker_role.AssertHeld();
+    shard->session_role->AssertHeld();
     shard->executor =
         std::make_unique<PlanExecutor>(*plan_, exec_options, &shard->buffer);
     shard->pending.reserve(options_.batch_size);
@@ -66,7 +94,12 @@ void ShardedExecutor::BuildTopology() {
   }
   for (auto& shard : shards_) {
     Shard* s = shard.get();
+    s->session_role->AssertHeld();  // `worker` is session-side state.
     s->worker = std::thread([s] {
+      // This closure is the worker thread: between a batch's dequeue and
+      // the matching `consumed` release-increment it owns the shard's
+      // engine and result buffer.
+      s->worker_role.AssertHeld();
       std::vector<Event> batch;
       while (s->queue.Pop(&batch)) {
         for (const Event& event : batch) s->executor->Push(event);
@@ -76,21 +109,30 @@ void ShardedExecutor::BuildTopology() {
   }
 }
 
-ShardedExecutor::~ShardedExecutor() { StopWorkers(); }
+ShardedExecutor::~ShardedExecutor() {
+  // Destruction happens on the session thread after all other use.
+  session_role_.AssertHeld();
+  StopWorkers();
+}
 
 void ShardedExecutor::StopWorkers() {
   if (inline_executor_ || stopped_) return;
   for (auto& shard : shards_) {
+    shard->session_role->AssertHeld();  // Producer side: session thread.
     FlushPending(shard.get());
     shard->queue.Close();
   }
   for (auto& shard : shards_) {
+    shard->session_role->AssertHeld();
     if (shard->worker.joinable()) shard->worker.join();
   }
   stopped_ = true;
 }
 
 void ShardedExecutor::FlushPending(Shard* shard) {
+  // FW_REQUIRES(session_role_) callers: the shard's producer side is the
+  // same capability, reached through the shard's back-pointer.
+  shard->session_role->AssertHeld();
   if (shard->pending.empty()) return;
   std::vector<Event> batch;
   batch.reserve(options_.batch_size);
@@ -100,6 +142,7 @@ void ShardedExecutor::FlushPending(Shard* shard) {
 }
 
 void ShardedExecutor::Push(const Event& event) {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (options_.max_delay > 0) {
     ReorderPush(event);
     return;
@@ -121,6 +164,7 @@ void ShardedExecutor::DeliverToShard(uint32_t shard_index,
     return;
   }
   Shard* shard = shards_[shard_index].get();
+  shard->session_role->AssertHeld();  // Producer side: session thread.
   shard->pending.push_back(event);
   if (shard->pending.size() >= options_.batch_size) FlushPending(shard);
   if (++events_since_drain_ >= options_.drain_interval) Drain();
@@ -147,22 +191,27 @@ void ShardedExecutor::ReorderPush(const Event& event) {
     // The watermark is unchanged, so no other shard can have turned
     // eligible; only this event may sit exactly on the watermark.
     reorderers_[shard].ReleaseThrough(
-        current_watermark(),
-        [&](const Event& released) { DeliverToShard(shard, released); });
+        current_watermark(), [&](const Event& released) {
+          session_role_.AssertHeld();  // Synchronous callback, same thread.
+          DeliverToShard(shard, released);
+        });
   }
 }
 
 void ShardedExecutor::ReleaseEligible() {
   const TimeT watermark = current_watermark();
   for (uint32_t i = 0; i < reorderers_.size(); ++i) {
-    reorderers_[i].ReleaseThrough(
-        watermark, [&](const Event& event) { DeliverToShard(i, event); });
+    reorderers_[i].ReleaseThrough(watermark, [&](const Event& event) {
+      session_role_.AssertHeld();  // Synchronous callback, same thread.
+      DeliverToShard(i, event);
+    });
   }
 }
 
 void ShardedExecutor::Quiesce() {
   for (auto& shard : shards_) FlushPending(shard.get());
   for (auto& shard : shards_) {
+    shard->session_role->AssertHeld();  // `enqueued` is producer-side.
     SpinBackoff backoff;
     while (shard->consumed.load(std::memory_order_acquire) <
            shard->enqueued) {
@@ -174,6 +223,10 @@ void ShardedExecutor::Quiesce() {
 void ShardedExecutor::DeliverBuffered() {
   std::vector<WindowResult> merged;
   for (auto& shard : shards_) {
+    // Callers quiesced (or joined) this shard's worker first: the
+    // consumed/enqueued acquire-release pair published the buffer and the
+    // worker is parked on an empty ring, so the session thread owns it.
+    shard->worker_role.AssertHeld();
     std::vector<WindowResult>& buffered = shard->buffer.results();
     merged.insert(merged.end(), buffered.begin(), buffered.end());
     buffered.clear();
@@ -187,6 +240,7 @@ void ShardedExecutor::DeliverBuffered() {
 }
 
 void ShardedExecutor::Drain() {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (inline_executor_) return;
   Quiesce();
   DeliverBuffered();
@@ -194,19 +248,26 @@ void ShardedExecutor::Drain() {
 }
 
 void ShardedExecutor::Finish() {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   // End of stream: drain the reorder buffers first, so every buffered
   // event is folded before any window finalizes.
   for (uint32_t i = 0; i < reorderers_.size(); ++i) {
-    reorderers_[i].ReleaseAll(
-        [&](const Event& event) { DeliverToShard(i, event); });
+    reorderers_[i].ReleaseAll([&](const Event& event) {
+      session_role_.AssertHeld();  // Synchronous callback, same thread.
+      DeliverToShard(i, event);
+    });
   }
   if (inline_executor_) {
     inline_executor_->Finish();
     return;
   }
   StopWorkers();
-  // Workers are joined: flushing the shard plans from this thread is safe.
-  for (auto& shard : shards_) shard->executor->Finish();
+  for (auto& shard : shards_) {
+    // Workers are joined: the join published everything they wrote, so
+    // flushing the shard plans from this thread is safe.
+    shard->worker_role.AssertHeld();
+    shard->executor->Finish();
+  }
   DeliverBuffered();
 }
 
@@ -222,6 +283,7 @@ ReorderCheckpoint ShardedExecutor::ReorderMeta() const {
 }
 
 Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   // Canonicalize before snapshotting: close every instance the delivered
   // frontier allows, in every engine. Without this, *when* an instance
   // closes depends on when its operator's next local input arrived —
@@ -247,6 +309,7 @@ Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
     // Workers are quiesced, so the session thread may drive the engines;
     // close results land in the shard buffers and ship with the drain.
     for (auto& shard : shards_) {
+      shard->worker_role.AssertHeld();  // Quiesced (see above).
       shard->executor->CloseThrough(close_frontier);
     }
   }
@@ -255,6 +318,8 @@ Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
   std::vector<ExecutorCheckpoint> parts;
   parts.reserve(shards_.size());
   for (uint32_t i = 0; i < num_shards(); ++i) {
+    shards_[i]->worker_role.AssertHeld();  // Still quiesced: no pushes
+                                           // since the drain above.
     Result<ExecutorCheckpoint> part = shards_[i]->executor->Checkpoint();
     if (!part.ok()) return part.status();
     if (options_.max_delay > 0) {
@@ -283,6 +348,7 @@ bool AnyOperatorProgress(const ExecutorCheckpoint& checkpoint) {
 }  // namespace
 
 Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (options_.max_delay == 0 && !checkpoint.reorder.events.empty()) {
     return Status::InvalidArgument(
         "checkpoint holds " + std::to_string(checkpoint.reorder.events.size()) +
@@ -323,9 +389,11 @@ Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
     ExecutorCheckpoint operators_only;
     operators_only.operators = checkpoint.operators;
     for (uint32_t i = 0; i < num_shards(); ++i) {
-      // The worker only touches its executor while a batch is in flight,
-      // so restoring from the session thread is race-free; the queue's
-      // release/acquire pair on the next batch publishes the new state.
+      // Quiesced above: the worker only touches its executor while a
+      // batch is in flight, so restoring from the session thread is
+      // race-free; the queue's release/acquire pair on the next batch
+      // publishes the new state.
+      shards_[i]->worker_role.AssertHeld();
       FW_RETURN_IF_ERROR(shards_[i]->executor->Restore(
           ExtractShardCheckpoint(operators_only, i, num_shards())));
     }
@@ -359,6 +427,7 @@ Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
 }
 
 Status ShardedExecutor::Resize(uint32_t new_num_shards) {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (new_num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
@@ -396,8 +465,10 @@ Status ShardedExecutor::Resize(uint32_t new_num_shards) {
 }
 
 double ShardedExecutor::RingOccupancy() const {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   double worst = 0.0;
   for (const auto& shard : shards_) {
+    shard->session_role->AssertHeld();  // `enqueued` is producer-side.
     const uint64_t in_flight =
         shard->enqueued - shard->consumed.load(std::memory_order_acquire);
     worst = std::max(worst, static_cast<double>(in_flight) /
@@ -407,6 +478,7 @@ double ShardedExecutor::RingOccupancy() const {
 }
 
 void ShardedExecutor::Reset() {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   for (Reorderer& reorderer : reorderers_) reorderer.Clear();
   reorder_any_seen_ = false;
   reorder_max_seen_ = 0;
@@ -422,6 +494,7 @@ void ShardedExecutor::Reset() {
   }
   Quiesce();
   for (auto& shard : shards_) {
+    shard->worker_role.AssertHeld();  // Quiesced (see above).
     shard->executor->Reset();
     shard->buffer.results().clear();
   }
@@ -429,22 +502,26 @@ void ShardedExecutor::Reset() {
 }
 
 uint64_t ShardedExecutor::TotalAccumulateOps() const {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (inline_executor_) return inline_executor_->TotalAccumulateOps();
   // Logically const: Quiesce only synchronizes with the workers so the
   // counters are exact; no results are delivered and no state changes.
   const_cast<ShardedExecutor*>(this)->Quiesce();
   uint64_t total = 0;
   for (const auto& shard : shards_) {
+    shard->worker_role.AssertHeld();  // Quiesced (see above).
     total += shard->executor->TotalAccumulateOps();
   }
   return total;
 }
 
 std::vector<uint64_t> ShardedExecutor::PerOperatorOps() const {
+  session_role_.AssertHeld();  // Public entry: session thread only.
   if (inline_executor_) return inline_executor_->PerOperatorOps();
   const_cast<ShardedExecutor*>(this)->Quiesce();
   std::vector<uint64_t> total;
   for (const auto& shard : shards_) {
+    shard->worker_role.AssertHeld();  // Quiesced (see above).
     std::vector<uint64_t> ops = shard->executor->PerOperatorOps();
     if (total.empty()) total.resize(ops.size(), 0);
     FW_CHECK_EQ(ops.size(), total.size());

@@ -6,6 +6,7 @@
 #include <memory>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "exec/checkpoint.h"
 #include "exec/engine.h"
@@ -34,7 +35,12 @@ class EventConsumer;  // exec/reorder.h; side output for late events.
 /// ## Threading and delivery contract
 ///
 ///  * All public methods must be called from one thread (the "session
-///    thread"); the executor owns its worker threads internally.
+///    thread"); the executor owns its worker threads internally. This
+///    contract is annotated for Clang Thread Safety Analysis (DESIGN.md
+///    §12): session-thread state is FW_GUARDED_BY(session_role_), worker
+///    -owned state by each Shard's worker role, and the quiesce/join
+///    handoffs between them are asserted where the happens-before edge is
+///    established.
 ///  * The caller's sink is only ever invoked on the session thread, from
 ///    inside Push/Drain/Finish/Checkpoint — never concurrently. Plain
 ///    sinks (CollectingSink, RoutingSink) are safe here; see exec/sink.h
@@ -182,6 +188,7 @@ class ShardedExecutor {
 
   /// Effective shard count (1 in inline mode).
   uint32_t num_shards() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
     return inline_executor_ ? 1u : static_cast<uint32_t>(shards_.size());
   }
 
@@ -190,6 +197,7 @@ class ShardedExecutor {
   /// strict-order mode (which has no watermark — the caller enforces
   /// ordering). Session-thread state; never blocks on the workers.
   TimeT current_watermark() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
     if (options_.max_delay == 0 || !reorder_any_seen_) {
       return std::numeric_limits<TimeT>::min();
     }
@@ -197,24 +205,34 @@ class ShardedExecutor {
   }
 
   /// Events that arrived behind the watermark (dropped or side-output).
-  uint64_t late_events() const { return late_events_; }
+  uint64_t late_events() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
+    return late_events_;
+  }
 
   /// Events currently held in the reorder buffers, and the lifetime peak.
   uint64_t reorder_buffered() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
     uint64_t total = 0;
     for (const Reorderer& reorderer : reorderers_) {
       total += reorderer.buffered();
     }
     return total;
   }
-  uint64_t reorder_buffer_peak() const { return reorder_buffer_peak_; }
+  uint64_t reorder_buffer_peak() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
+    return reorder_buffer_peak_;
+  }
 
   /// Events delivered into each shard's engine since this topology was
   /// built (construction or the last Resize) — the skew signal. Indexed
   /// by shard; under max_delay > 0 an event counts when the watermark
   /// releases it, and late events never count. Session-thread state;
   /// never blocks on the workers.
-  std::vector<uint64_t> EventsPerShard() const { return events_per_shard_; }
+  std::vector<uint64_t> EventsPerShard() const {
+    session_role_.AssertHeld();  // Public entry: session thread only.
+    return events_per_shard_;
+  }
 
   /// Instantaneous hand-off backlog: the worst shard's in-flight batch
   /// count as a fraction of its ring capacity, in [0, 1]. 0 in inline
@@ -226,6 +244,9 @@ class ShardedExecutor {
  private:
   /// Shard-local result buffer; written only by the shard's worker while a
   /// batch is in flight, read by the session thread only after a quiesce.
+  /// The guard lives on the owning member (Shard::buffer is
+  /// FW_GUARDED_BY(worker_role)) rather than in here, because the
+  /// capability is per shard, not per sink.
   class BufferSink : public ResultSink {
    public:
     void OnResult(const WindowResult& result) override {
@@ -243,45 +264,58 @@ class ShardedExecutor {
   /// reorderers, per-shard counters) for the current options_. The
   /// executor must hold no topology when called — the constructor's tail
   /// and Resize's rebuild step.
-  void BuildTopology();
+  void BuildTopology() FW_REQUIRES(session_role_);
 
   /// Feeds one ordered (released or strict-path) event into shard
   /// `shard_index`'s engine: inline push, or pending-batch hand-off with
   /// drain-interval accounting.
-  void DeliverToShard(uint32_t shard_index, const Event& event);
+  void DeliverToShard(uint32_t shard_index, const Event& event)
+      FW_REQUIRES(session_role_);
   /// The bounded-lateness Push path: classify late, buffer, release.
-  void ReorderPush(const Event& event);
+  void ReorderPush(const Event& event) FW_REQUIRES(session_role_);
   /// Releases every buffered event the watermark has passed, all shards.
-  void ReleaseEligible();
+  void ReleaseEligible() FW_REQUIRES(session_role_);
   /// The reorder stage's clock and counters, for checkpointing.
-  ReorderCheckpoint ReorderMeta() const;
+  ReorderCheckpoint ReorderMeta() const FW_REQUIRES(session_role_);
 
   /// Hands the shard's pending partial batch to its queue.
-  void FlushPending(Shard* shard);
+  void FlushPending(Shard* shard) FW_REQUIRES(session_role_);
   /// Flushes all pending batches and waits until every worker has consumed
   /// its queue. Afterwards the session thread may read shard state.
-  void Quiesce();
+  void Quiesce() FW_REQUIRES(session_role_);
   /// Merges and sorts all buffered results into the sink.
-  void DeliverBuffered();
-  void StopWorkers();
+  void DeliverBuffered() FW_REQUIRES(session_role_);
+  void StopWorkers() FW_REQUIRES(session_role_);
 
-  Options options_;
-  ResultSink* sink_;
+  /// Capability of the one thread driving the public API (the class
+  /// comment's "session thread"). Entry points assert it, private helpers
+  /// require it, and every mutable member below is guarded by it —
+  /// everything this class owns directly is session-thread state; the
+  /// workers only ever see their own Shard, whose ownership split the
+  /// Shard definition annotates.
+  ThreadRole session_role_;
+
+  /// num_shards moves under Resize; everything else is set once.
+  Options options_ FW_GUARDED_BY(session_role_);
+  /// Merge-stage delivery target; only ever invoked from the session
+  /// thread (the sink thread-safety contract in exec/sink.h).
+  ResultSink* const sink_;
   /// The plan every topology executes; the caller keeps it alive for the
   /// executor's lifetime (Resize rebuilds engines over it).
-  const QueryPlan* plan_;
+  const QueryPlan* const plan_;
 
   /// Inline mode: the one executor, wired straight to sink_.
-  std::unique_ptr<PlanExecutor> inline_executor_;
+  std::unique_ptr<PlanExecutor> inline_executor_
+      FW_GUARDED_BY(session_role_);
 
   /// Threaded mode.
-  std::vector<std::unique_ptr<Shard>> shards_;
-  uint64_t events_since_drain_ = 0;
-  bool stopped_ = false;
+  std::vector<std::unique_ptr<Shard>> shards_ FW_GUARDED_BY(session_role_);
+  uint64_t events_since_drain_ FW_GUARDED_BY(session_role_) = 0;
+  bool stopped_ FW_GUARDED_BY(session_role_) = false;
 
   /// Per-shard delivered-event counts for the current topology (session
   /// thread only; sized num_shards()).
-  std::vector<uint64_t> events_per_shard_;
+  std::vector<uint64_t> events_per_shard_ FW_GUARDED_BY(session_role_);
 
   /// Largest timestamp delivered into any engine — the close frontier
   /// checkpoints canonicalize to (see Checkpoint). Restarted by Restore
@@ -290,19 +324,19 @@ class ShardedExecutor {
   /// since construction/Restore it still coincides with the stream-wide
   /// maximum whenever anything was delivered, because deliveries never
   /// regress across the whole executor.
-  TimeT delivered_max_ = 0;
-  bool delivered_any_ = false;
+  TimeT delivered_max_ FW_GUARDED_BY(session_role_) = 0;
+  bool delivered_any_ FW_GUARDED_BY(session_role_) = false;
 
   /// Bounded-lateness reorder stage (session thread only; sized
   /// num_shards() when max_delay > 0, empty otherwise). The clock is
   /// global — one max_seen for the whole stream — so lateness never
   /// depends on partitioning.
-  std::vector<Reorderer> reorderers_;
-  TimeT reorder_max_seen_ = 0;
-  bool reorder_any_seen_ = false;
-  uint64_t reorder_next_seq_ = 0;
-  uint64_t late_events_ = 0;
-  uint64_t reorder_buffer_peak_ = 0;
+  std::vector<Reorderer> reorderers_ FW_GUARDED_BY(session_role_);
+  TimeT reorder_max_seen_ FW_GUARDED_BY(session_role_) = 0;
+  bool reorder_any_seen_ FW_GUARDED_BY(session_role_) = false;
+  uint64_t reorder_next_seq_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t late_events_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t reorder_buffer_peak_ FW_GUARDED_BY(session_role_) = 0;
 };
 
 }  // namespace fw

@@ -21,6 +21,7 @@ void StreamSession::CallbackSink::OnResult(const WindowResult& result) {
 StreamSession::StreamSession() : StreamSession(Options{}) {}
 
 StreamSession::StreamSession(const Options& options) : options_(options) {
+  session_role_.AssertHeld();  // Constructing thread is the caller thread.
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GE(options.max_delay, 0);
   if (options_.max_delay > 0 &&
@@ -32,6 +33,7 @@ StreamSession::StreamSession(const Options& options) : options_(options) {
 }
 
 StreamSession::~StreamSession() {
+  session_role_.AssertHeld();  // Destroying thread is the caller thread.
   // The executor references the router, which references the queries'
   // sinks; tear down in dependency order.
   executor_.reset();
@@ -47,6 +49,7 @@ Status StreamSession::CheckMutable() const {
 
 Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
                                         ResultCallback callback) {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
   if (query.windows.empty()) {
     return Status::InvalidArgument("query without windows");
@@ -129,6 +132,7 @@ size_t StreamSession::FindQuery(QueryId id) const {
 }
 
 Status StreamSession::RemoveQuery(QueryId id) {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
   size_t index = FindQuery(id);
   if (index == queries_.size()) {
@@ -242,6 +246,7 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
 }
 
 Status StreamSession::Resize(uint32_t new_num_shards) {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
   if (new_num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
@@ -309,6 +314,7 @@ void StreamSession::AutoResizeCheck() {
 }
 
 Status StreamSession::Push(const Event& event) {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
   if (options_.max_delay == 0 && event.timestamp < watermark_) {
     return Status::InvalidArgument(
@@ -352,6 +358,7 @@ Status StreamSession::PushBatch(const std::vector<Event>& events) {
 }
 
 Status StreamSession::Finish() {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   if (finished_) return Status::OK();
   finished_ = true;
   if (executor_) executor_->Finish();
@@ -359,10 +366,12 @@ Status StreamSession::Finish() {
 }
 
 const QueryPlan* StreamSession::shared_plan() const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   return shared_ ? &shared_->plan : nullptr;
 }
 
 Result<std::string> StreamSession::Explain(QueryId id) const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   size_t index = FindQuery(id);
   if (index == queries_.size()) {
     return Status::NotFound("no query with id " + std::to_string(id));
@@ -386,6 +395,7 @@ Result<std::string> StreamSession::Explain(QueryId id) const {
 }
 
 Result<StreamSession::QueryStats> StreamSession::StatsFor(QueryId id) const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   size_t index = FindQuery(id);
   if (index == queries_.size()) {
     return Status::NotFound("no query with id " + std::to_string(id));
@@ -415,6 +425,7 @@ Result<StreamSession::QueryStats> StreamSession::StatsFor(QueryId id) const {
 }
 
 StreamSession::SessionStats StreamSession::Stats() const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
   SessionStats stats;
   stats.live_queries = queries_.size();
   stats.events_pushed = events_pushed_;

@@ -8,6 +8,7 @@
 #include <string_view>
 #include <vector>
 
+#include "common/mutex.h"
 #include "common/status.h"
 #include "exec/event.h"
 #include "multi/multi_query.h"
@@ -121,7 +122,10 @@ using QueryId = uint64_t;
 ///
 /// Sessions are push-based and driven from one caller thread; with
 /// max_delay = 0 events must arrive in non-decreasing timestamp order
-/// across the whole session lifetime.
+/// across the whole session lifetime. That single-caller-thread contract
+/// is annotated (DESIGN.md §12): all session state is FW_GUARDED_BY the
+/// caller thread's role, so under Clang `-Wthread-safety` any code path
+/// that touches it without being pinned to that thread fails to compile.
 class StreamSession {
  public:
   /// Per-query result delivery. Results carry the window interval, group
@@ -352,8 +356,14 @@ class StreamSession {
   Result<QueryStats> StatsFor(QueryId id) const;
   SessionStats Stats() const;
 
-  size_t num_queries() const { return queries_.size(); }
-  bool finished() const { return finished_; }
+  size_t num_queries() const {
+    session_role_.AssertHeld();  // Public entry: caller thread only.
+    return queries_.size();
+  }
+  bool finished() const {
+    session_role_.AssertHeld();  // Public entry: caller thread only.
+    return finished_;
+  }
 
   /// The current shared plan, or null while no query is live.
   const QueryPlan* shared_plan() const;
@@ -381,57 +391,69 @@ class StreamSession {
 
   /// Re-optimizes over `live`, migrates executor state by lineage, and
   /// commits the new pipeline. On error the session is unchanged.
-  Status Rebuild(const std::vector<LiveQuery*>& live);
+  Status Rebuild(const std::vector<LiveQuery*>& live)
+      FW_REQUIRES(session_role_);
 
   /// One auto-resize policy step (see AutoResizeOptions): sample ring
   /// occupancy, pick a target width, resize if it differs. Called from
   /// Push every check_interval accepted events while a pipeline is live.
-  void AutoResizeCheck();
+  void AutoResizeCheck() FW_REQUIRES(session_role_);
 
   /// Position of `id` in queries_, or queries_.size() when unknown.
-  size_t FindQuery(QueryId id) const;
+  size_t FindQuery(QueryId id) const FW_REQUIRES(session_role_);
 
-  Status CheckMutable() const;
+  Status CheckMutable() const FW_REQUIRES(session_role_);
 
-  Options options_;
-  QueryId next_id_ = 1;
-  std::vector<std::unique_ptr<LiveQuery>> queries_;  // Plan order.
+  /// The caller thread's role: sessions are driven from one thread (see
+  /// the class comment), and every member below is owned by it. Public
+  /// entry points assert the role; private helpers require it.
+  ThreadRole session_role_;
+
+  Options options_ FW_GUARDED_BY(session_role_);
+  QueryId next_id_ FW_GUARDED_BY(session_role_) = 1;
+  /// Plan order.
+  std::vector<std::unique_ptr<LiveQuery>> queries_
+      FW_GUARDED_BY(session_role_);
 
   /// Adapter handing late events to Options::late_callback; wired as the
   /// executor's side-output sink, so it must outlive every executor.
-  std::unique_ptr<EventConsumer> late_sink_;
+  std::unique_ptr<EventConsumer> late_sink_ FW_GUARDED_BY(session_role_);
 
   /// Current pipeline; all null while no query is live. The executor
   /// references the router, the router references the queries' sinks.
-  std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_;
-  std::unique_ptr<RoutingSink> router_;
-  std::unique_ptr<ShardedExecutor> executor_;
-  std::vector<std::string> lineages_;  // Of the current plan's operators.
+  std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_
+      FW_GUARDED_BY(session_role_);
+  std::unique_ptr<RoutingSink> router_ FW_GUARDED_BY(session_role_);
+  std::unique_ptr<ShardedExecutor> executor_ FW_GUARDED_BY(session_role_);
+  /// Of the current plan's operators.
+  std::vector<std::string> lineages_ FW_GUARDED_BY(session_role_);
 
-  bool finished_ = false;
+  bool finished_ FW_GUARDED_BY(session_role_) = false;
   /// Newest timestamp accepted; strict (max_delay = 0) sessions reject
   /// events behind it.
-  TimeT watermark_ = std::numeric_limits<TimeT>::min();
-  uint64_t events_pushed_ = 0;
-  uint64_t events_dropped_ = 0;
+  TimeT watermark_ FW_GUARDED_BY(session_role_) =
+      std::numeric_limits<TimeT>::min();
+  uint64_t events_pushed_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t events_dropped_ FW_GUARDED_BY(session_role_) = 0;
   /// Ops of operators dropped by past replans (their counters left the
   /// executor with them).
-  uint64_t retired_ops_ = 0;
+  uint64_t retired_ops_ FW_GUARDED_BY(session_role_) = 0;
   /// Reorder-stage accounting of pipelines retired by idle periods (live
   /// replans carry theirs through the checkpoint instead).
-  uint64_t retired_late_ = 0;
-  uint64_t retired_reorder_peak_ = 0;
-  TimeT retired_watermark_ = std::numeric_limits<TimeT>::min();
-  int replans_ = 0;
-  int last_migrated_ = 0;
-  int last_cold_ = 0;
-  double last_replan_seconds_ = 0.0;
-  uint64_t resize_count_ = 0;
-  uint64_t last_resize_ns_ = 0;
+  uint64_t retired_late_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t retired_reorder_peak_ FW_GUARDED_BY(session_role_) = 0;
+  TimeT retired_watermark_ FW_GUARDED_BY(session_role_) =
+      std::numeric_limits<TimeT>::min();
+  int replans_ FW_GUARDED_BY(session_role_) = 0;
+  int last_migrated_ FW_GUARDED_BY(session_role_) = 0;
+  int last_cold_ FW_GUARDED_BY(session_role_) = 0;
+  double last_replan_seconds_ FW_GUARDED_BY(session_role_) = 0.0;
+  uint64_t resize_count_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t last_resize_ns_ FW_GUARDED_BY(session_role_) = 0;
   /// Auto-resize monitor state: accepted events since the last occupancy
   /// sample, and consecutive low samples (scale-down hysteresis).
-  uint64_t events_since_resize_check_ = 0;
-  int low_occupancy_checks_ = 0;
+  uint64_t events_since_resize_check_ FW_GUARDED_BY(session_role_) = 0;
+  int low_occupancy_checks_ FW_GUARDED_BY(session_role_) = 0;
 };
 
 }  // namespace fw

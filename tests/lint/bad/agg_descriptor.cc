@@ -1,0 +1,17 @@
+// MUST be flagged: the descriptor omits .overlap_merge_safe and
+// .merge_order_sensitive — Theorem-6 overlap safety and merge order
+// sensitivity must never default silently.
+#include "agg/aggregate.h"
+
+namespace fw {
+
+const AggregateFunction kProduct = {
+    .name = "PRODUCT",
+    .description = "Running product of values",
+    .agg_class = AggClass::kDistributive,
+    .accumulate = [](AggState* s, double v) { s->v1 *= v; ++s->n; },
+    .merge = [](AggState* s, const AggState& o) { s->v1 *= o.v1; s->n += o.n; },
+    .finalize = [](const AggState& s) { return s.v1; },
+};
+
+}  // namespace fw

@@ -1,0 +1,9 @@
+// MUST be flagged: atof honors the global locale, so "3.14" parses as 3
+// under LC_ALL=de_DE and checkpoints stop round-tripping across hosts.
+#include <cstdlib>
+
+namespace fw {
+
+double ParseValue(const char* text) { return atof(text); }
+
+}  // namespace fw

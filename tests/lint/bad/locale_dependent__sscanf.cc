@@ -1,0 +1,10 @@
+// MUST be flagged: sscanf's %f/%lf conversions honor the global locale.
+#include <cstdio>
+
+namespace fw {
+
+bool ParseRecord(const char* text, double* value) {
+  return sscanf(text, "%lf", value) == 1;
+}
+
+}  // namespace fw

@@ -1,0 +1,19 @@
+// MUST be flagged: raw std::mutex is invisible to Clang Thread Safety
+// Analysis; fw::Mutex / fw::MutexLock carry the annotations.
+#include <mutex>
+
+namespace fw {
+
+class Counter {
+ public:
+  void Add(int n) {
+    std::lock_guard<std::mutex> lock(mu_);
+    total_ += n;
+  }
+
+ private:
+  std::mutex mu_;
+  int total_ = 0;
+};
+
+}  // namespace fw

@@ -1,0 +1,9 @@
+// MUST be flagged: rand() bypasses the seeded project RNG, so runs stop
+// replaying bit-for-bit.
+#include <cstdlib>
+
+namespace fw {
+
+int PickShard(int num_shards) { return rand() % num_shards; }
+
+}  // namespace fw

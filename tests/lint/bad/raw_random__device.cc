@@ -1,0 +1,12 @@
+// MUST be flagged: std::random_device is nondeterministic by design —
+// seeds must come from common/rng.h so runs replay.
+#include <random>
+
+namespace fw {
+
+unsigned FreshSeed() {
+  std::random_device device;
+  return device();
+}
+
+}  // namespace fw

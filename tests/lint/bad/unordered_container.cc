@@ -1,0 +1,14 @@
+// fw-lint-fixture-path: exec/sink_helper.cc
+// MUST be flagged: iterating an unordered container in a result-emit
+// path leaks implementation-defined bucket order into observable output.
+#include <unordered_map>
+
+namespace fw {
+
+double EmitAll(const std::unordered_map<int, double>& results) {
+  double total = 0.0;
+  for (const auto& [key, value] : results) total += value;
+  return total;
+}
+
+}  // namespace fw

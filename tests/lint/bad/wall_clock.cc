@@ -1,0 +1,13 @@
+// MUST be flagged: wall time differs per run and host; only
+// steady_clock durations are allowed.
+#include <chrono>
+
+namespace fw {
+
+long long NowMillis() {
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             std::chrono::system_clock::now().time_since_epoch())
+      .count();
+}
+
+}  // namespace fw

@@ -1,0 +1,8 @@
+// MUST be flagged: time(nullptr) is a wall-clock read.
+#include <ctime>
+
+namespace fw {
+
+long StampCheckpoint() { return static_cast<long>(time(nullptr)); }
+
+}  // namespace fw

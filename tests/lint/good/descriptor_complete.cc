@@ -1,0 +1,25 @@
+// MUST pass: the descriptor declares both sharing-correctness fields
+// explicitly, which is what the agg-descriptor rule demands.
+#include "agg/aggregate.h"
+
+namespace fw {
+
+const AggregateFunction kProduct = {
+    .name = "PRODUCT",
+    .description = "Running product of values",
+    .agg_class = AggClass::kDistributive,
+    .overlap_merge_safe = false,
+    .merge_order_sensitive = false,
+    .accumulate = [](AggState* s, double v) { s->v1 *= v; ++s->n; },
+    .merge = [](AggState* s, const AggState& o) { s->v1 *= o.v1; s->n += o.n; },
+    .finalize = [](const AggState& s) { return s.v1; },
+};
+
+// Member assignment and comparison spell ".name =" and ".accumulate =="
+// without being descriptor literals; the rule must not fire on them.
+bool Validate(AggregateFunction fn) {
+  fn.name = "RENAMED";
+  return fn.accumulate == nullptr;
+}
+
+}  // namespace fw

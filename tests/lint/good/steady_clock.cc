@@ -1,0 +1,20 @@
+// MUST pass: steady_clock durations and locale-free base-10 parsing are
+// the sanctioned alternatives the wall-clock and locale-dependent rules
+// point to. Prose mentioning rand() or atof() in comments is fine too —
+// comments are stripped before matching.
+#include <chrono>
+#include <cstdlib>
+
+namespace fw {
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+unsigned long long ParseCounter(const char* text) {
+  return strtoull(text, nullptr, 10);
+}
+
+}  // namespace fw

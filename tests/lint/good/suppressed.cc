@@ -1,0 +1,21 @@
+// MUST pass: every banned construct here carries an explicit
+// `fw-lint: allow(<rule>)` suppression — same-line and preceding-line
+// forms both count.
+#include <chrono>
+#include <cstdlib>
+
+namespace fw {
+
+int SeedFromEnvNoise() {
+  return rand();  // fw-lint: allow(raw-random)
+}
+
+long long BenchmarkEpochMillis() {
+  // fw-lint: allow(wall-clock)
+  auto now = std::chrono::system_clock::now();
+  return std::chrono::duration_cast<std::chrono::milliseconds>(
+             now.time_since_epoch())
+      .count();
+}
+
+}  // namespace fw

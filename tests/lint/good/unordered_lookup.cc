@@ -1,0 +1,21 @@
+// fw-lint-fixture-path: plan/operator_index.cc
+// MUST pass: the unordered-container rule is scoped to order-sensitive
+// paths (result emit, checkpoint, merge/split). A pure point-lookup
+// index elsewhere never leaks bucket order into observable output.
+#include <unordered_map>
+
+namespace fw {
+
+class OperatorIndex {
+ public:
+  void Put(int id, int slot) { slots_[id] = slot; }
+  int Get(int id) const {
+    auto it = slots_.find(id);
+    return it == slots_.end() ? -1 : it->second;
+  }
+
+ private:
+  std::unordered_map<int, int> slots_;
+};
+
+}  // namespace fw

@@ -1,0 +1,19 @@
+// MUST pass: fw::Mutex / fw::MutexLock are the annotated wrappers the
+// raw-mutex rule demands.
+#include "common/mutex.h"
+
+namespace fw {
+
+class Counter {
+ public:
+  void Add(int n) {
+    MutexLock lock(&mu_);
+    total_ += n;
+  }
+
+ private:
+  Mutex mu_;
+  int total_ FW_GUARDED_BY(mu_) = 0;
+};
+
+}  // namespace fw
