@@ -12,13 +12,13 @@
 // --events/--keys or FW_EVENTS_1M.
 
 #include <algorithm>
-#include <chrono>
 #include <cstdio>
 #include <cstring>
 #include <string>
 #include <vector>
 
 #include "bench/bench_util.h"
+#include "common/clock.h"
 #include "session/session.h"
 
 namespace fw {
@@ -68,7 +68,8 @@ int Run(int argc, char** argv) {
 
   auto run_session = [&](bool ramp, RunTotals* totals,
                          std::string* phases_json, std::string* resizes_json,
-                         StreamSession::SessionStats* stats_out) -> int {
+                         StreamSession::SessionStats* stats_out,
+                         telemetry::MetricsSnapshot* metrics_out) -> int {
     StreamSession::Options options;
     options.num_keys = args.keys;
     options.num_shards = args.shards.front();
@@ -96,12 +97,9 @@ int Run(int argc, char** argv) {
     size_t cursor = 0;
     for (size_t phase = 0; phase < num_phases; ++phase) {
       if (ramp && phase > 0) {
-        auto t0 = std::chrono::steady_clock::now();
+        MonotonicTimer resize_timer;
         Status status = session.Resize(args.shards[phase]);
-        const auto ns =
-            std::chrono::duration_cast<std::chrono::nanoseconds>(
-                std::chrono::steady_clock::now() - t0)
-                .count();
+        const uint64_t ns = resize_timer.ElapsedNanos();
         if (!status.ok()) {
           std::fprintf(stderr, "Resize: %s\n",
                        status.ToString().c_str());
@@ -118,7 +116,7 @@ int Run(int argc, char** argv) {
       const size_t start = cursor;
       const size_t end =
           phase + 1 == num_phases ? events.size() : cursor + phase_len;
-      auto t0 = std::chrono::steady_clock::now();
+      MonotonicTimer phase_timer;
       for (; cursor < end; ++cursor) {
         Status status = session.Push(events[cursor]);
         if (!status.ok()) {
@@ -126,9 +124,7 @@ int Run(int argc, char** argv) {
           return 1;
         }
       }
-      const double seconds = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - t0)
-                                 .count();
+      const double seconds = phase_timer.ElapsedSeconds();
       if (phases_json != nullptr) {
         char buf[160];
         std::snprintf(
@@ -147,12 +143,14 @@ int Run(int argc, char** argv) {
       return 1;
     }
     if (stats_out != nullptr) *stats_out = session.Stats();
+    if (metrics_out != nullptr) *metrics_out = session.Metrics().telemetry;
     return 0;
   };
 
   // Fixed-width reference first: the ramp's results must match exactly.
   RunTotals reference;
-  if (int rc = run_session(false, &reference, nullptr, nullptr, nullptr)) {
+  if (int rc =
+          run_session(false, &reference, nullptr, nullptr, nullptr, nullptr)) {
     return rc;
   }
 
@@ -160,8 +158,9 @@ int Run(int argc, char** argv) {
   std::string phases_json;
   std::string resizes_json;
   StreamSession::SessionStats stats;
-  if (int rc =
-          run_session(true, &ramped, &phases_json, &resizes_json, &stats)) {
+  telemetry::MetricsSnapshot metrics;
+  if (int rc = run_session(true, &ramped, &phases_json, &resizes_json, &stats,
+                           &metrics)) {
     return rc;
   }
   if (ramped.results != reference.results ||
@@ -187,6 +186,9 @@ int Run(int argc, char** argv) {
       static_cast<unsigned long long>(stats.last_resize_ns),
       static_cast<unsigned long long>(ramped.results),
       static_cast<unsigned long long>(stats.late_events));
+  // The ramped run's telemetry (resize trace spans included) is the
+  // interesting artifact; the fixed-width reference is only a checksum.
+  bench::WriteMetricsJson(args.metrics_json, metrics);
   return 0;
 }
 

@@ -9,9 +9,10 @@
 // match the baseline exactly, or the run aborts. Buffer peak bounds the
 // memory cost of riding out the disorder.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
+
+#include "common/clock.h"
 
 #include "bench/bench_util.h"
 #include "session/session.h"
@@ -34,6 +35,7 @@ int Run(int argc, char** argv) {
   std::printf("%8s %11s %14s %9s %12s %12s %12s\n", "shards", "max_delay",
               "events/s", "vs base", "late", "buf peak", "results");
 
+  telemetry::MetricsSnapshot last_metrics;
   for (uint32_t shards : args.shards) {
     double base_throughput = 0.0;
     uint64_t base_results = 0;
@@ -67,16 +69,14 @@ int Run(int argc, char** argv) {
       add(QueryBuilder(dash).Tumbling(120));
 
       const std::vector<Event>& events = max_delay == 0 ? sorted : shuffled;
-      auto start = std::chrono::steady_clock::now();
+      MonotonicTimer timer;
       Status status = session.PushBatch(events);
       if (status.ok()) status = session.Finish();
       if (!status.ok()) {
         std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
         return 1;
       }
-      const double seconds = std::chrono::duration<double>(
-                                 std::chrono::steady_clock::now() - start)
-                                 .count();
+      const double seconds = timer.ElapsedSeconds();
       const double throughput =
           seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
       StreamSession::SessionStats stats = session.Stats();
@@ -100,8 +100,14 @@ int Run(int argc, char** argv) {
                   static_cast<unsigned long long>(stats.late_events),
                   static_cast<unsigned long long>(stats.reorder_buffer_peak),
                   static_cast<unsigned long long>(results));
+      if (!args.metrics_json.empty()) {
+        last_metrics = session.Metrics().telemetry;
+      }
     }
   }
+  // The deepest swept (shards, max_delay) run's telemetry — the one
+  // with real reorder-buffer pressure — lands in the artifact.
+  bench::WriteMetricsJson(args.metrics_json, last_metrics);
   return 0;
 }
 

@@ -7,9 +7,10 @@
 // --events/--keys or FW_EVENTS_1M; expect ~linear scaling only when the
 // host has at least as many free cores as shards.
 
-#include <chrono>
 #include <cstdio>
 #include <vector>
+
+#include "common/clock.h"
 
 #include "bench/bench_util.h"
 #include "session/session.h"
@@ -32,6 +33,7 @@ int Run(int argc, char** argv) {
 
   double base_throughput = 0.0;
   uint64_t base_results = 0;
+  telemetry::MetricsSnapshot last_metrics;
   for (uint32_t shards : args.shards) {
     StreamSession::Options options;
     options.num_keys = args.keys;
@@ -55,16 +57,14 @@ int Run(int argc, char** argv) {
     add(QueryBuilder(dash).Tumbling(40));
     add(QueryBuilder(dash).Tumbling(120));
 
-    auto start = std::chrono::steady_clock::now();
+    MonotonicTimer timer;
     Status status = session.PushBatch(events);
     if (status.ok()) status = session.Finish();
     if (!status.ok()) {
       std::fprintf(stderr, "run: %s\n", status.ToString().c_str());
       return 1;
     }
-    const double seconds = std::chrono::duration<double>(
-                               std::chrono::steady_clock::now() - start)
-                               .count();
+    const double seconds = timer.ElapsedSeconds();
     const double throughput =
         seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
     if (base_throughput == 0.0) {
@@ -82,7 +82,11 @@ int Run(int argc, char** argv) {
                 session.Stats().num_shards, throughput,
                 base_throughput > 0.0 ? throughput / base_throughput : 0.0,
                 static_cast<unsigned long long>(results));
+    if (!args.metrics_json.empty()) last_metrics = session.Metrics().telemetry;
   }
+  // The highest swept shard count's telemetry lands in the artifact —
+  // the run whose hand-off latency and ring occupancy CI cares about.
+  bench::WriteMetricsJson(args.metrics_json, last_metrics);
   return 0;
 }
 

@@ -14,6 +14,8 @@
 #include <vector>
 
 #include "harness/experiments.h"
+#include "telemetry/json.h"
+#include "telemetry/metrics.h"
 #include "workload/datagen.h"
 
 namespace fw {
@@ -30,6 +32,9 @@ namespace bench {
 ///                        sorted stream strictly as the baseline
 ///   --agg=NAME           aggregate function (any registered name, e.g.
 ///                        MAX, AVG, P99, DISTINCT_COUNT)
+///   --metrics-json=PATH  after the run, dump the session's telemetry
+///                        snapshot (telemetry/json.h format) to PATH;
+///                        CI's bench smoke uploads these as artifacts
 struct BenchArgs {
   std::vector<uint32_t> shards = {1, 2, 4, 8};
   size_t events = 0;
@@ -37,6 +42,7 @@ struct BenchArgs {
   size_t disorder = 256;
   std::vector<TimeT> max_delays = {0, 64, 256, 1024};
   std::string agg = "MAX";
+  std::string metrics_json;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -46,7 +52,8 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
   auto fail = [&](const std::string& message) {
     std::fprintf(stderr,
                  "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]"
-                 " [--disorder=N] [--max-delays=0,64,256] [--agg=NAME]\n",
+                 " [--disorder=N] [--max-delays=0,64,256] [--agg=NAME]"
+                 " [--metrics-json=PATH]\n",
                  message.c_str(), argv[0]);
     std::exit(2);
   };
@@ -103,6 +110,9 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
       if (FindAggregate(args.agg) == nullptr) {
         fail("unknown aggregate in '" + arg + "'");
       }
+    } else if (arg.rfind("--metrics-json=", 0) == 0) {
+      args.metrics_json = arg.substr(15);
+      if (args.metrics_json.empty()) fail("empty path in '" + arg + "'");
     } else {
       fail("unknown flag '" + arg + "'");
     }
@@ -138,6 +148,28 @@ inline std::vector<ComparisonResult> RunAndPrintPanel(
                            SemanticsName(config.tumbling) + "]",
                        rows);
   return rows;
+}
+
+/// Writes a telemetry snapshot to `path` in the telemetry/json.h
+/// format (one JSON object, trailing newline). No-op when `path` is
+/// empty, so callers can pass BenchArgs::metrics_json unconditionally
+/// after the measured run. Returns false (with a note on stderr) if
+/// the file cannot be written; benches treat that as non-fatal so a
+/// read-only artifact directory never voids the measurement itself.
+inline bool WriteMetricsJson(const std::string& path,
+                             const telemetry::MetricsSnapshot& snapshot) {
+  if (path.empty()) return true;
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    std::fprintf(stderr, "bench: cannot write metrics json to %s\n",
+                 path.c_str());
+    return false;
+  }
+  const std::string json = telemetry::RenderJson(snapshot);
+  std::fwrite(json.data(), 1, json.size(), file);
+  std::fputc('\n', file);
+  std::fclose(file);
+  return true;
 }
 
 inline void PrintBoostHeader() {

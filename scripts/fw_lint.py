@@ -24,8 +24,16 @@ Rules (all in src/ unless noted):
                         the seeded project RNG so runs replay.
   wall-clock            time(), std::chrono::system_clock, gettimeofday,
                         localtime/gmtime. Wall time differs per run and
-                        host; steady_clock (duration-only) is allowed
-                        for latency metrics.
+                        host; monotonic duration measurement goes
+                        through fw::MonotonicNanos (common/clock.h).
+  monotonic-clock       std::chrono::steady_clock (or
+                        high_resolution_clock, or clock_gettime with
+                        CLOCK_MONOTONIC) outside common/clock.h. Even
+                        duration-only clocks must flow through the one
+                        audited shim: a single call site is what keeps
+                        "no timing feeds results" checkable, and the
+                        telemetry layer's compile-out guarantee depends
+                        on every clock read being greppable.
   locale-dependent      setlocale, std::locale, atof/strtod/strtof,
                         sscanf/scanf: numeric parsing that honors the
                         global locale reads "3.14" as 3 under LC_ALL=de.
@@ -120,9 +128,20 @@ RULES = [
             r"\bclock_gettime\s*\(\s*CLOCK_REALTIME)"
         ),
         "wall-clock read: wall time differs per run and host, so nothing "
-        "observable may depend on it; use std::chrono::steady_clock for "
-        "durations",
+        "observable may depend on it; measure durations with "
+        "fw::MonotonicNanos / fw::MonotonicTimer (common/clock.h)",
         lambda path: True,
+    ),
+    (
+        "monotonic-clock",
+        re.compile(
+            r"(?:\bstd::chrono::(?:steady_clock|high_resolution_clock)\b|"
+            r"\bclock_gettime\s*\(\s*CLOCK_MONOTONIC)"
+        ),
+        "direct monotonic-clock read: all duration measurement must flow "
+        "through fw::MonotonicNanos / fw::MonotonicTimer (common/clock.h) — "
+        "one audited call site keeps 'no timing feeds results' checkable",
+        _outside("common/clock.h"),
     ),
     (
         "locale-dependent",

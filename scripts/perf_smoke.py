@@ -1,0 +1,89 @@
+#!/usr/bin/env python3
+"""perf_smoke: enforce the telemetry overhead budget (DESIGN.md §13).
+
+Compares two `bench_engine_micro --benchmark_format=json` result files —
+one from a default (telemetry ON) build, one from -DFW_TELEMETRY=OFF —
+and fails if the ON build's throughput falls more than the budget below
+OFF. Single micro-benchmarks are noisy in shared CI runners, so the gate
+is the *geometric mean* of the per-benchmark items_per_second ratios
+(ON/OFF), not any individual benchmark; individual regressions are still
+printed for triage.
+
+Usage:
+  perf_smoke.py --on on.json --off off.json [--budget 0.03]
+
+Exit status: 0 within budget, 1 over budget, 2 usage/parse error.
+"""
+
+import argparse
+import json
+import math
+import sys
+
+
+def load_items_per_second(path):
+    """Benchmark name -> items_per_second. With repetitions, prefers the
+    *_mean aggregate over raw iterations."""
+    try:
+        with open(path, "r", encoding="utf-8") as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as err:
+        print("perf_smoke: cannot read %s: %s" % (path, err))
+        sys.exit(2)
+    rates = {}
+    aggregates = {}
+    for bench in doc.get("benchmarks", []):
+        name = bench.get("name", "")
+        rate = bench.get("items_per_second")
+        if rate is None:
+            continue
+        if bench.get("run_type") == "aggregate":
+            if bench.get("aggregate_name") == "mean":
+                aggregates[bench.get("run_name", name)] = rate
+        else:
+            rates.setdefault(name, rate)
+    rates.update(aggregates)
+    return rates
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--on", required=True, dest="on_path",
+                        help="benchmark json from the telemetry-ON build")
+    parser.add_argument("--off", required=True, dest="off_path",
+                        help="benchmark json from the -DFW_TELEMETRY=OFF build")
+    parser.add_argument("--budget", type=float, default=0.03,
+                        help="allowed fractional slowdown (default 0.03)")
+    opts = parser.parse_args(argv)
+
+    on = load_items_per_second(opts.on_path)
+    off = load_items_per_second(opts.off_path)
+    shared = sorted(set(on) & set(off))
+    if not shared:
+        print("perf_smoke: no common benchmarks between %s and %s"
+              % (opts.on_path, opts.off_path))
+        return 2
+
+    log_sum = 0.0
+    print("%-44s %14s %14s %8s" % ("benchmark", "off items/s", "on items/s",
+                                   "ratio"))
+    for name in shared:
+        ratio = on[name] / off[name] if off[name] > 0 else 1.0
+        log_sum += math.log(ratio)
+        flag = "  <-- slow" if ratio < 1.0 - opts.budget else ""
+        print("%-44s %14.0f %14.0f %7.3fx%s"
+              % (name, off[name], on[name], ratio, flag))
+    geomean = math.exp(log_sum / len(shared))
+    floor = 1.0 - opts.budget
+    print("geomean ON/OFF ratio over %d benchmarks: %.4fx (budget floor "
+          "%.2fx)" % (len(shared), geomean, floor))
+    if geomean < floor:
+        print("perf_smoke: FAIL — telemetry overhead exceeds the %.0f%% "
+              "budget" % (opts.budget * 100))
+        return 1
+    print("perf_smoke: OK")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

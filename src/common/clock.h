@@ -1,0 +1,50 @@
+#ifndef FW_COMMON_CLOCK_H_
+#define FW_COMMON_CLOCK_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace fw {
+
+/// The single sanctioned monotonic-time shim (DESIGN.md §13). Every time
+/// read in src/ flows through here; fw_lint's wall-clock rule rejects
+/// direct std::chrono::steady_clock (and every wall-clock source) at any
+/// other call site. Two invariants hang off that funnel:
+///
+///  * determinism — time feeds *measurements only* (latencies, trace
+///    timestamps, replan durations), never results, watermarks, or
+///    checkpoints, and one choke point is auditable where thirty
+///    scattered now() calls are not;
+///  * observability overhead — the telemetry layer stamps batches and
+///    trace events through this header, so "how often does the runtime
+///    read the clock" is answerable by grepping one symbol.
+///
+/// steady_clock is monotonic (never jumps backward on NTP adjustments)
+/// but its epoch is arbitrary: values are only meaningful as differences
+/// within one process, and must never be persisted or compared across
+/// runs.
+inline uint64_t MonotonicNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+/// A started stopwatch over MonotonicNanos — the idiom for the "measure
+/// one span" call sites (replans, resizes, bench loops).
+class MonotonicTimer {
+ public:
+  MonotonicTimer() : start_ns_(MonotonicNanos()) {}
+
+  uint64_t ElapsedNanos() const { return MonotonicNanos() - start_ns_; }
+  double ElapsedSeconds() const {
+    return static_cast<double>(ElapsedNanos()) * 1e-9;
+  }
+
+ private:
+  uint64_t start_ns_;
+};
+
+}  // namespace fw
+
+#endif  // FW_COMMON_CLOCK_H_

@@ -1,7 +1,6 @@
 #include "exec/engine.h"
 
-#include <chrono>
-
+#include "common/clock.h"
 #include "common/logging.h"
 
 namespace fw {
@@ -165,16 +164,45 @@ std::vector<uint64_t> PlanExecutor::PerOperatorOps() const {
   return ops;
 }
 
+std::vector<uint64_t> PlanExecutor::PerOperatorCloses() const {
+  std::vector<uint64_t> closes;
+  if (holistic_) {
+    closes.reserve(holistic_operators_.size());
+    for (const auto& op : holistic_operators_) {
+      closes.push_back(op->closed_instances());
+    }
+    return closes;
+  }
+  closes.reserve(operators_.size());
+  for (const auto& op : operators_) closes.push_back(op->closed_instances());
+  return closes;
+}
+
+std::vector<uint64_t> PlanExecutor::PerOperatorFinalizes() const {
+  std::vector<uint64_t> finalizes;
+  if (holistic_) {
+    finalizes.reserve(holistic_operators_.size());
+    for (const auto& op : holistic_operators_) {
+      finalizes.push_back(op->finalized_results());
+    }
+    return finalizes;
+  }
+  finalizes.reserve(operators_.size());
+  for (const auto& op : operators_) {
+    finalizes.push_back(op->finalized_results());
+  }
+  return finalizes;
+}
+
 void ExecutePlan(const QueryPlan& plan, const std::vector<Event>& events,
                  uint32_t num_keys, ResultSink* sink,
                  double* throughput_out, uint64_t* ops_out) {
   PlanExecutor::Options options;
   options.num_keys = num_keys;
   PlanExecutor executor(plan, options, sink);
-  auto start = std::chrono::steady_clock::now();
+  MonotonicTimer timer;
   executor.Run(events);
-  auto end = std::chrono::steady_clock::now();
-  double seconds = std::chrono::duration<double>(end - start).count();
+  double seconds = timer.ElapsedSeconds();
   if (throughput_out != nullptr) {
     *throughput_out =
         seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;

@@ -72,6 +72,15 @@ class PlanExecutor {
   /// harness to attribute cost to individual windows.
   std::vector<uint64_t> PerOperatorOps() const;
 
+  /// Per-operator closed window-instance counts (slice-close rates) and
+  /// finalized result counts (selectivity), indexed like the plan's
+  /// operators — the telemetry layer's per-operator signals for the
+  /// future MultiQueryOptimizer::Reoptimize cost feedback. Unlike
+  /// accumulate ops these are NOT carried through checkpoints; callers
+  /// that survive topology swaps keep retired tallies (DESIGN.md §13).
+  std::vector<uint64_t> PerOperatorCloses() const;
+  std::vector<uint64_t> PerOperatorFinalizes() const;
+
   /// Number of operators reading the raw stream.
   size_t num_roots() const { return raw_readers_.size(); }
 

@@ -71,6 +71,8 @@ void WindowAggregateOperator::Reset() {
   next_open_start_ = 0;
   state_pool_.clear();
   accumulate_ops_ = 0;
+  closed_instances_ = 0;
+  finalized_results_ = 0;
 }
 
 OperatorCheckpoint WindowAggregateOperator::Checkpoint() const {
@@ -175,12 +177,14 @@ void WindowAggregateOperator::OpenThrough(TimeT start_limit,
 }
 
 void WindowAggregateOperator::EmitInstance(Instance* instance) {
+  ++closed_instances_;
   const TimeT start = InstanceStart(instance->m);
   const TimeT end = InstanceEnd(instance->m);
   for (uint32_t key = 0; key < config_.num_keys; ++key) {
     AggState& state = instance->states[key];
     if (state.n == 0) continue;
     if (config_.exposed) {
+      ++finalized_results_;
       sink_->OnResult(WindowResult{config_.operator_id, start, end, key,
                                    finalize_(state)});
     }
@@ -229,6 +233,8 @@ void HolisticWindowOperator::Reset() {
   open_.clear();
   next_m_ = 0;
   accumulate_ops_ = 0;
+  closed_instances_ = 0;
+  finalized_results_ = 0;
 }
 
 void HolisticWindowOperator::CloseBefore(TimeT watermark) {
@@ -239,11 +245,13 @@ void HolisticWindowOperator::CloseBefore(TimeT watermark) {
 }
 
 void HolisticWindowOperator::EmitInstance(Instance* instance) {
+  ++closed_instances_;
   const TimeT start = instance->m * config_.window.slide();
   const TimeT end = InstanceEnd(instance->m);
   for (uint32_t key = 0; key < config_.num_keys; ++key) {
     HolisticState& state = instance->states[key];
     if (state.empty()) continue;
+    ++finalized_results_;
     sink_->OnResult(WindowResult{config_.operator_id, start, end, key,
                                  HolisticFinalize(config_.agg, &state)});
   }

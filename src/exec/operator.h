@@ -90,6 +90,16 @@ class WindowAggregateOperator {
   Status Restore(const OperatorCheckpoint& checkpoint);
 
   uint64_t accumulate_ops() const { return accumulate_ops_; }
+  /// Window instances this operator has closed (emitted + retired) — the
+  /// slice-close rate signal. Unlike accumulate_ops_, these two are pure
+  /// observability counters: they reset with the operator and are NOT
+  /// carried through checkpoints (the executor layer keeps retired
+  /// tallies across topology swaps instead, so the serialized checkpoint
+  /// format stays untouched).
+  uint64_t closed_instances() const { return closed_instances_; }
+  /// Finalized per-key results emitted to the sink (exposed operators
+  /// only; factor windows stay at 0) — the selectivity signal.
+  uint64_t finalized_results() const { return finalized_results_; }
   const Config& config() const { return config_; }
   const std::vector<WindowAggregateOperator*>& children() const {
     return children_;
@@ -136,6 +146,8 @@ class WindowAggregateOperator {
   TimeT next_open_start_ = 0;  // == next_m_ * slide.
   std::vector<std::vector<AggState>> state_pool_;  // Recycled buffers.
   uint64_t accumulate_ops_ = 0;
+  uint64_t closed_instances_ = 0;
+  uint64_t finalized_results_ = 0;
 };
 
 /// Raw-only window aggregation for holistic functions (MEDIAN): the state
@@ -152,6 +164,8 @@ class HolisticWindowOperator {
   void Reset();
 
   uint64_t accumulate_ops() const { return accumulate_ops_; }
+  uint64_t closed_instances() const { return closed_instances_; }
+  uint64_t finalized_results() const { return finalized_results_; }
 
  private:
   struct Instance {
@@ -171,6 +185,8 @@ class HolisticWindowOperator {
   std::deque<Instance> open_;
   int64_t next_m_ = 0;
   uint64_t accumulate_ops_ = 0;
+  uint64_t closed_instances_ = 0;
+  uint64_t finalized_results_ = 0;
 };
 
 }  // namespace fw

@@ -1,9 +1,9 @@
 #include "factor/optimizer.h"
 
-#include <chrono>
 #include <utility>
 #include <vector>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "factor/candidates.h"
 
@@ -124,7 +124,7 @@ Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
   OptimizationOutcome outcome;
   outcome.semantics = *semantics;
 
-  auto start = std::chrono::steady_clock::now();
+  MonotonicTimer timer;
   outcome.without_factors = FindMinCostWcg(windows, *semantics, options.eta);
   if (options.enable_factor_windows) {
     outcome.with_factors =
@@ -132,9 +132,7 @@ Result<OptimizationOutcome> OptimizeQuery(const WindowSet& windows,
   } else {
     outcome.with_factors = outcome.without_factors;
   }
-  auto end = std::chrono::steady_clock::now();
-  outcome.optimize_seconds =
-      std::chrono::duration<double>(end - start).count();
+  outcome.optimize_seconds = timer.ElapsedSeconds();
 
   CostModel model(windows, options.eta);
   outcome.naive_cost = model.NaiveTotalCost(windows);

@@ -1,9 +1,9 @@
 #include "harness/experiments.h"
 
-#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "plan/printer.h"
 
@@ -20,14 +20,12 @@ ComparisonResult CompareSetups(const QuerySetup& setup,
                                const OptimizerOptions& options) {
   ComparisonResult result;
 
-  auto opt_start = std::chrono::steady_clock::now();
+  MonotonicTimer opt_timer;
   MinCostWcg without_fw =
       FindMinCostWcg(setup.windows, setup.semantics, options.eta);
   MinCostWcg with_fw =
       OptimizeWithFactorWindows(setup.windows, setup.semantics, options);
-  auto opt_end = std::chrono::steady_clock::now();
-  result.opt_seconds =
-      std::chrono::duration<double>(opt_end - opt_start).count();
+  result.opt_seconds = opt_timer.ElapsedSeconds();
 
   CostModel model(setup.windows, options.eta);
   result.cost_naive = model.NaiveTotalCost(setup.windows);

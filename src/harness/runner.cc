@@ -1,10 +1,10 @@
 #include "harness/runner.h"
 
 #include <algorithm>
-#include <chrono>
 #include <cmath>
 #include <sstream>
 
+#include "common/clock.h"
 #include "exec/sink.h"
 
 namespace fw {
@@ -90,10 +90,9 @@ RunStats RunSlicing(const WindowSet& windows, AggFn agg,
   }
   CountingSink sink;
   SlicingEvaluator evaluator(windows, agg, options, &sink);
-  auto start = std::chrono::steady_clock::now();
+  MonotonicTimer timer;
   evaluator.Run(events);
-  auto end = std::chrono::steady_clock::now();
-  double seconds = std::chrono::duration<double>(end - start).count();
+  double seconds = timer.ElapsedSeconds();
   RunStats stats;
   stats.throughput =
       seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;

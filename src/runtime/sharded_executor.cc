@@ -13,6 +13,17 @@
 
 namespace fw {
 
+namespace {
+/// The SPSC hand-off unit: a producer-built event batch stamped with its
+/// enqueue time, so the consuming worker can record one
+/// enqueue→folded latency sample per batch — zero per-event clock reads.
+/// The stamp is 0 when telemetry is compiled out.
+struct EventBatch {
+  std::vector<Event> events;
+  uint64_t enqueued_ns = 0;
+};
+}  // namespace
+
 /// One worker shard. The members split into three ownership classes,
 /// annotated for the thread-safety analysis (DESIGN.md §12):
 ///
@@ -29,17 +40,26 @@ namespace fw {
 ///    handoff edges, so they are intentionally unguarded — their safety
 ///    argument is the memory-order analysis in runtime/spsc_queue.h.
 struct ShardedExecutor::Shard {
-  Shard(size_t queue_capacity, const ThreadRole* session)
-      : session_role(session), queue(queue_capacity) {}
+  Shard(size_t queue_capacity, const ThreadRole* session, uint32_t shard_index,
+        telemetry::Histogram* handoff)
+      : session_role(session),
+        index(shard_index),
+        handoff_hist(handoff),
+        queue(queue_capacity) {}
 
   /// Capability of this shard's worker thread (see above).
   ThreadRole worker_role;
   /// The owning executor's session_role_, the producer-side capability.
   const ThreadRole* const session_role;
+  /// Position in the topology — the metric cell this shard writes.
+  const uint32_t index;
+  /// Batch hand-off latency sink (internally thread-safe; see the
+  /// executor's handoff_hist_).
+  telemetry::Histogram* const handoff_hist;
 
   BufferSink buffer FW_GUARDED_BY(worker_role);
   std::unique_ptr<PlanExecutor> executor FW_GUARDED_BY(worker_role);
-  SpscQueue<std::vector<Event>> queue;
+  SpscQueue<EventBatch> queue;
   /// Producer-side partial batch, session thread only.
   std::vector<Event> pending FW_GUARDED_BY(session_role);
   /// Batches handed off so far; session thread only.
@@ -53,7 +73,15 @@ struct ShardedExecutor::Shard {
 
 ShardedExecutor::ShardedExecutor(const QueryPlan& plan,
                                  const Options& options, ResultSink* sink)
-    : options_(options), sink_(sink), plan_(&plan) {
+    : options_(options),
+      sink_(sink),
+      plan_(&plan),
+      metrics_(options.metrics != nullptr ? options.metrics
+                                          : telemetry::ScratchRegistry()),
+      handoff_hist_(metrics_->GetHistogram("executor.batch_handoff_ns")),
+      ring_highwater_(metrics_->GetMaxGauge("executor.ring_highwater_batches")),
+      released_counter_(metrics_->GetCounter("reorder.released_events")),
+      late_counter_(metrics_->GetCounter("reorder.late_events")) {
   // The constructing thread is the session thread; nothing else can see
   // the object yet.
   session_role_.AssertHeld();
@@ -82,7 +110,8 @@ void ShardedExecutor::BuildTopology() {
   shards_.reserve(shards);
   for (uint32_t i = 0; i < shards; ++i) {
     auto shard = std::make_unique<Shard>(
-        std::max<size_t>(options_.queue_capacity, 2), &session_role_);
+        std::max<size_t>(options_.queue_capacity, 2), &session_role_, i,
+        handoff_hist_);
     // No worker exists yet: the building thread owns the whole shard,
     // worker-side members included.
     shard->worker_role.AssertHeld();
@@ -100,9 +129,16 @@ void ShardedExecutor::BuildTopology() {
       // the matching `consumed` release-increment it owns the shard's
       // engine and result buffer.
       s->worker_role.AssertHeld();
-      std::vector<Event> batch;
+      EventBatch batch;
       while (s->queue.Pop(&batch)) {
-        for (const Event& event : batch) s->executor->Push(event);
+        for (const Event& event : batch.events) s->executor->Push(event);
+        if (telemetry::kEnabled) {
+          // One sample per batch: time from producer flush to fully
+          // folded. kEnabled is constexpr, so OFF builds drop the whole
+          // block — no clock read on the worker either.
+          s->handoff_hist->Record(
+              s->index, telemetry::NowNanosIfEnabled() - batch.enqueued_ns);
+        }
         s->consumed.fetch_add(1, std::memory_order_release);
       }
     });
@@ -134,11 +170,17 @@ void ShardedExecutor::FlushPending(Shard* shard) {
   // same capability, reached through the shard's back-pointer.
   shard->session_role->AssertHeld();
   if (shard->pending.empty()) return;
-  std::vector<Event> batch;
-  batch.reserve(options_.batch_size);
-  batch.swap(shard->pending);  // Leaves a fresh reserved buffer behind.
+  EventBatch batch;
+  batch.events.reserve(options_.batch_size);
+  batch.events.swap(shard->pending);  // Leaves a fresh reserved buffer.
+  batch.enqueued_ns = telemetry::NowNanosIfEnabled();
   shard->queue.Push(std::move(batch));
   ++shard->enqueued;
+  // In-flight high-water mark (relaxed read: an undercount by in-flight
+  // consumption only makes the mark conservative, never wrong).
+  ring_highwater_->UpdateMax(
+      shard->index,
+      shard->enqueued - shard->consumed.load(std::memory_order_relaxed));
 }
 
 void ShardedExecutor::Push(const Event& event) {
@@ -174,12 +216,32 @@ void ShardedExecutor::ReorderPush(const Event& event) {
   if (!inline_executor_) FW_CHECK(!stopped_) << "Push after Finish";
   if (reorder_any_seen_ && event.timestamp < current_watermark()) {
     ++late_events_;
+    late_counter_->Increment(0);
+    ++late_run_;
     if (options_.late_sink != nullptr) options_.late_sink->Consume(event);
     return;
   }
+  if (late_run_ >= kLateBurstThreshold) {
+    // A long run of consecutive late events just ended — the shape of an
+    // upstream replay or a clock glitch; worth a trace mark.
+    metrics_->RecordTrace(telemetry::TraceKind::kLateBurst, 0,
+                          static_cast<int64_t>(late_run_));
+  }
+  late_run_ = 0;
   const bool advanced =
       !reorder_any_seen_ || event.timestamp > reorder_max_seen_;
-  if (advanced) reorder_max_seen_ = event.timestamp;
+  if (advanced) {
+    if (events_since_wm_advance_ >= kStallTraceThreshold) {
+      // The watermark finally moved after holding still across many
+      // buffered events — a stalled upstream timestamp source.
+      metrics_->RecordTrace(telemetry::TraceKind::kWatermarkStall, 0,
+                            static_cast<int64_t>(events_since_wm_advance_));
+    }
+    events_since_wm_advance_ = 0;
+    reorder_max_seen_ = event.timestamp;
+  } else {
+    ++events_since_wm_advance_;
+  }
   reorder_any_seen_ = true;
   const uint32_t shard =
       ShardForKey(event.key, static_cast<uint32_t>(reorderers_.size()));
@@ -193,6 +255,7 @@ void ShardedExecutor::ReorderPush(const Event& event) {
     reorderers_[shard].ReleaseThrough(
         current_watermark(), [&](const Event& released) {
           session_role_.AssertHeld();  // Synchronous callback, same thread.
+          released_counter_->Increment(0);
           DeliverToShard(shard, released);
         });
   }
@@ -203,6 +266,7 @@ void ShardedExecutor::ReleaseEligible() {
   for (uint32_t i = 0; i < reorderers_.size(); ++i) {
     reorderers_[i].ReleaseThrough(watermark, [&](const Event& event) {
       session_role_.AssertHeld();  // Synchronous callback, same thread.
+      released_counter_->Increment(0);
       DeliverToShard(i, event);
     });
   }
@@ -254,6 +318,7 @@ void ShardedExecutor::Finish() {
   for (uint32_t i = 0; i < reorderers_.size(); ++i) {
     reorderers_[i].ReleaseAll([&](const Event& event) {
       session_role_.AssertHeld();  // Synchronous callback, same thread.
+      released_counter_->Increment(0);
       DeliverToShard(i, event);
     });
   }
@@ -298,9 +363,14 @@ Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
   if (inline_executor_) {
     if (delivered_any_) inline_executor_->CloseThrough(close_frontier);
     Result<ExecutorCheckpoint> checkpoint = inline_executor_->Checkpoint();
-    if (checkpoint.ok() && options_.max_delay > 0) {
-      checkpoint->reorder = ReorderMeta();
-      checkpoint->reorder.events = reorderers_[0].Snapshot();
+    if (checkpoint.ok()) {
+      if (options_.max_delay > 0) {
+        checkpoint->reorder = ReorderMeta();
+        checkpoint->reorder.events = reorderers_[0].Snapshot();
+      }
+      metrics_->RecordTrace(
+          telemetry::TraceKind::kCheckpoint, 0,
+          static_cast<int64_t>(checkpoint->operators.size()));
     }
     return checkpoint;
   }
@@ -330,7 +400,12 @@ Result<ExecutorCheckpoint> ShardedExecutor::Checkpoint() {
     }
     parts.push_back(std::move(*part));
   }
-  return MergeShardCheckpoints(parts);
+  Result<ExecutorCheckpoint> merged = MergeShardCheckpoints(parts);
+  if (merged.ok()) {
+    metrics_->RecordTrace(telemetry::TraceKind::kCheckpoint, 0,
+                          static_cast<int64_t>(merged->operators.size()));
+  }
+  return merged;
 }
 
 namespace {
@@ -446,6 +521,23 @@ Status ShardedExecutor::Resize(uint32_t new_num_shards) {
   // counters.
   Result<ExecutorCheckpoint> checkpoint = Checkpoint();
   if (!checkpoint.ok()) return checkpoint.status();
+  // Bank the outgoing topology's close/finalize counts: the fresh
+  // engines restart them at zero (they are not checkpoint-carried), and
+  // the getters add these tallies back — which is exactly what makes
+  // PerOperatorCloses/Finalizes cumulative-exact across Resize. Workers
+  // are still quiesced from the Checkpoint above.
+  {
+    const std::vector<uint64_t> closes = LivePerOperatorCloses();
+    const std::vector<uint64_t> finalizes = LivePerOperatorFinalizes();
+    if (retired_closes_.empty()) retired_closes_.assign(closes.size(), 0);
+    if (retired_finalizes_.empty()) {
+      retired_finalizes_.assign(finalizes.size(), 0);
+    }
+    for (size_t i = 0; i < closes.size(); ++i) retired_closes_[i] += closes[i];
+    for (size_t i = 0; i < finalizes.size(); ++i) {
+      retired_finalizes_[i] += finalizes[i];
+    }
+  }
   // Tear down the old topology. Workers are joined before their engines
   // are discarded; their queues are already empty from the drain.
   if (!inline_executor_) {
@@ -485,6 +577,10 @@ void ShardedExecutor::Reset() {
   reorder_next_seq_ = 0;
   late_events_ = 0;
   reorder_buffer_peak_ = 0;
+  retired_closes_.clear();
+  retired_finalizes_.clear();
+  events_since_wm_advance_ = 0;
+  late_run_ = 0;
   events_per_shard_.assign(events_per_shard_.size(), 0);
   delivered_max_ = 0;
   delivered_any_ = false;
@@ -526,6 +622,52 @@ std::vector<uint64_t> ShardedExecutor::PerOperatorOps() const {
     if (total.empty()) total.resize(ops.size(), 0);
     FW_CHECK_EQ(ops.size(), total.size());
     for (size_t i = 0; i < ops.size(); ++i) total[i] += ops[i];
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExecutor::LivePerOperatorCloses() const {
+  if (inline_executor_) return inline_executor_->PerOperatorCloses();
+  std::vector<uint64_t> total;
+  for (const auto& shard : shards_) {
+    shard->worker_role.AssertHeld();  // Callers quiesced (or joined).
+    std::vector<uint64_t> closes = shard->executor->PerOperatorCloses();
+    if (total.empty()) total.resize(closes.size(), 0);
+    FW_CHECK_EQ(closes.size(), total.size());
+    for (size_t i = 0; i < closes.size(); ++i) total[i] += closes[i];
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExecutor::LivePerOperatorFinalizes() const {
+  if (inline_executor_) return inline_executor_->PerOperatorFinalizes();
+  std::vector<uint64_t> total;
+  for (const auto& shard : shards_) {
+    shard->worker_role.AssertHeld();  // Callers quiesced (or joined).
+    std::vector<uint64_t> finalizes = shard->executor->PerOperatorFinalizes();
+    if (total.empty()) total.resize(finalizes.size(), 0);
+    FW_CHECK_EQ(finalizes.size(), total.size());
+    for (size_t i = 0; i < finalizes.size(); ++i) total[i] += finalizes[i];
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExecutor::PerOperatorCloses() const {
+  session_role_.AssertHeld();  // Public entry: session thread only.
+  if (!inline_executor_) const_cast<ShardedExecutor*>(this)->Quiesce();
+  std::vector<uint64_t> total = LivePerOperatorCloses();
+  for (size_t i = 0; i < retired_closes_.size() && i < total.size(); ++i) {
+    total[i] += retired_closes_[i];
+  }
+  return total;
+}
+
+std::vector<uint64_t> ShardedExecutor::PerOperatorFinalizes() const {
+  session_role_.AssertHeld();  // Public entry: session thread only.
+  if (!inline_executor_) const_cast<ShardedExecutor*>(this)->Quiesce();
+  std::vector<uint64_t> total = LivePerOperatorFinalizes();
+  for (size_t i = 0; i < retired_finalizes_.size() && i < total.size(); ++i) {
+    total[i] += retired_finalizes_[i];
   }
   return total;
 }

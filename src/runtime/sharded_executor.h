@@ -14,6 +14,7 @@
 #include "exec/reorderer.h"
 #include "exec/sink.h"
 #include "plan/plan.h"
+#include "telemetry/metrics.h"
 
 namespace fw {
 
@@ -116,6 +117,12 @@ class ShardedExecutor {
     /// order. Null: late events are counted and dropped. Must outlive the
     /// executor.
     EventConsumer* late_sink = nullptr;
+    /// Metric namespace for this executor's instrumentation (DESIGN.md
+    /// §13): batch hand-off latency, ring high-water marks, reorder
+    /// release/late counts, structural trace events. Null (the default)
+    /// falls back to a process-global scratch registry, so instrumented
+    /// code never branches on wiring. Must outlive the executor.
+    telemetry::MetricsRegistry* metrics = nullptr;
   };
 
   /// `sink` must outlive the executor.
@@ -185,6 +192,16 @@ class ShardedExecutor {
   /// Per-operator ops summed element-wise across shards, indexed like the
   /// plan's operators.
   std::vector<uint64_t> PerOperatorOps() const;
+
+  /// Per-operator closed window-instance counts and finalized result
+  /// counts, summed across shards and *cumulative across Resize*: the
+  /// engine counters reset with each topology (they are not carried in
+  /// checkpoints — the serialized format stays untouched), so Resize
+  /// banks the outgoing topology's counts into retired tallies that
+  /// these getters add back. Synchronizes with the workers, like
+  /// PerOperatorOps.
+  std::vector<uint64_t> PerOperatorCloses() const;
+  std::vector<uint64_t> PerOperatorFinalizes() const;
 
   /// Effective shard count (1 in inline mode).
   uint32_t num_shards() const {
@@ -280,6 +297,13 @@ class ShardedExecutor {
 
   /// Hands the shard's pending partial batch to its queue.
   void FlushPending(Shard* shard) FW_REQUIRES(session_role_);
+  /// Live (current-topology) per-operator closed-instance / finalized-
+  /// result sums; callers add the retired tallies. Requires quiesced (or
+  /// inline/joined) workers.
+  std::vector<uint64_t> LivePerOperatorCloses() const
+      FW_REQUIRES(session_role_);
+  std::vector<uint64_t> LivePerOperatorFinalizes() const
+      FW_REQUIRES(session_role_);
   /// Flushes all pending batches and waits until every worker has consumed
   /// its queue. Afterwards the session thread may read shard state.
   void Quiesce() FW_REQUIRES(session_role_);
@@ -337,6 +361,39 @@ class ShardedExecutor {
   uint64_t reorder_next_seq_ FW_GUARDED_BY(session_role_) = 0;
   uint64_t late_events_ FW_GUARDED_BY(session_role_) = 0;
   uint64_t reorder_buffer_peak_ FW_GUARDED_BY(session_role_) = 0;
+
+  /// Telemetry (DESIGN.md §13). The registry outlives the executor (it
+  /// is session-owned, or the process-global scratch); handles are
+  /// resolved once at construction and never per event. The handles
+  /// themselves are immutable pointers; the metric objects they point at
+  /// are internally thread-safe (relaxed sharded cells).
+  telemetry::MetricsRegistry* const metrics_;
+  /// Enqueue→folded latency of each hand-off batch, one sample per
+  /// batch (cell = shard index); recorded by the workers.
+  telemetry::Histogram* const handoff_hist_;
+  /// Per-shard in-flight-batch high-water marks (cell = shard index).
+  telemetry::MaxGauge* const ring_highwater_;
+  /// Watermark-released and late event tallies of the reorder stage.
+  telemetry::Counter* const released_counter_;
+  telemetry::Counter* const late_counter_;
+
+  /// Closed-instance / finalized-result counts of topologies retired by
+  /// Resize (the engine counters reset with the topology; accumulate ops
+  /// instead ride inside checkpoints). Sized to the plan's operator
+  /// count on first Resize; element-wise added by PerOperatorCloses/
+  /// Finalizes.
+  std::vector<uint64_t> retired_closes_ FW_GUARDED_BY(session_role_);
+  std::vector<uint64_t> retired_finalizes_ FW_GUARDED_BY(session_role_);
+
+  /// Trace-event detectors (session thread; plain counters). A watermark
+  /// that holds still for kStallTraceThreshold buffered events, then
+  /// advances, records a kWatermarkStall span; a run of
+  /// kLateBurstThreshold consecutive late events records a kLateBurst
+  /// when it ends.
+  static constexpr uint64_t kStallTraceThreshold = 4096;
+  static constexpr uint64_t kLateBurstThreshold = 64;
+  uint64_t events_since_wm_advance_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t late_run_ FW_GUARDED_BY(session_role_) = 0;
 };
 
 }  // namespace fw

@@ -1,9 +1,9 @@
 #include "session/session.h"
 
 #include <algorithm>
-#include <chrono>
 #include <utility>
 
+#include "common/clock.h"
 #include "common/logging.h"
 #include "exec/migrate.h"
 #include "exec/reorder.h"
@@ -20,7 +20,21 @@ void StreamSession::CallbackSink::OnResult(const WindowResult& result) {
 
 StreamSession::StreamSession() : StreamSession(Options{}) {}
 
-StreamSession::StreamSession(const Options& options) : options_(options) {
+StreamSession::StreamSession(const Options& options)
+    : options_(options),
+      watermark_lag_hist_(metrics_.GetHistogram("session.watermark_lag")),
+      events_pushed_counter_(metrics_.GetCounter("session.events_pushed")),
+      events_dropped_counter_(metrics_.GetCounter("session.events_dropped")),
+      replans_counter_(metrics_.GetCounter("session.replans")),
+      resizes_counter_(metrics_.GetCounter("session.resizes")),
+      ring_occupancy_gauge_(metrics_.GetGauge("session.ring_occupancy")),
+      live_queries_gauge_(metrics_.GetGauge("session.live_queries")),
+      num_shards_gauge_(metrics_.GetGauge("session.num_shards")),
+      reorder_buffered_gauge_(metrics_.GetGauge("session.reorder_buffered")),
+      accumulate_ops_gauge_(metrics_.GetGauge("engine.accumulate_ops_total")),
+      closed_total_gauge_(metrics_.GetGauge("engine.closed_instances_total")),
+      finalized_total_gauge_(
+          metrics_.GetGauge("engine.finalized_results_total")) {
   session_role_.AssertHeld();  // Constructing thread is the caller thread.
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GE(options.max_delay, 0);
@@ -149,7 +163,7 @@ Status StreamSession::RemoveQuery(QueryId id) {
 }
 
 Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
-  auto t0 = std::chrono::steady_clock::now();
+  MonotonicTimer timer;
 
   if (live.empty()) {
     // Session went idle: retire the whole pipeline (in-flight windows are
@@ -168,17 +182,27 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
       retired_reorder_peak_ =
           std::max(retired_reorder_peak_, executor_->reorder_buffer_peak());
       retired_watermark_ = executor_->current_watermark();
+      for (uint64_t c : executor_->PerOperatorCloses()) {
+        retired_closes_total_ += c;
+      }
+      for (uint64_t f : executor_->PerOperatorFinalizes()) {
+        retired_finalizes_total_ += f;
+      }
+      metrics_.RecordTrace(telemetry::TraceKind::kIdleRetire);
     }
     executor_.reset();
     router_.reset();
     shared_.reset();
     lineages_.clear();
+    // A retired pipeline has no hand-off rings: the occupancy gauge must
+    // read 0, not the last live sample (the ring_occupancy staleness
+    // contract, pinned by the stats-lifecycle regression tests).
+    ring_occupancy_gauge_->Set(0.0);
     ++replans_;
+    replans_counter_->Increment(0);
     last_migrated_ = 0;
     last_cold_ = 0;
-    last_replan_seconds_ =
-        std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-            .count();
+    last_replan_seconds_ = timer.ElapsedSeconds();
     return Status::OK();
   }
 
@@ -223,12 +247,22 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   exec_options.num_shards = options_.num_shards;
   exec_options.max_delay = options_.max_delay;
   exec_options.late_sink = late_sink_.get();
+  exec_options.metrics = &metrics_;
   auto executor = std::make_unique<ShardedExecutor>(shared_owned->plan,
                                                     exec_options,
                                                     router.get());
   if (executor_) {
     FW_RETURN_IF_ERROR(executor->Restore(migration.checkpoint));
     retired_ops_ += executor_->TotalAccumulateOps() - migration.carried_ops;
+    // Close/finalize counts never migrate (they are not in the
+    // checkpoint): the whole outgoing pipeline's tallies retire here,
+    // and the new engines restart at zero.
+    for (uint64_t c : executor_->PerOperatorCloses()) {
+      retired_closes_total_ += c;
+    }
+    for (uint64_t f : executor_->PerOperatorFinalizes()) {
+      retired_finalizes_total_ += f;
+    }
   }
 
   // Commit; destroy the old executor before the router it references.
@@ -237,11 +271,12 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   shared_ = std::move(shared_owned);
   lineages_ = std::move(lineages);
   ++replans_;
+  replans_counter_->Increment(0);
   last_migrated_ = migration.migrated;
   last_cold_ = migration.cold;
-  last_replan_seconds_ =
-      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
-          .count();
+  last_replan_seconds_ = timer.ElapsedSeconds();
+  metrics_.RecordTrace(telemetry::TraceKind::kReplan, timer.ElapsedNanos(),
+                       migration.migrated, migration.cold);
   return Status::OK();
 }
 
@@ -251,7 +286,10 @@ Status StreamSession::Resize(uint32_t new_num_shards) {
   if (new_num_shards == 0) {
     return Status::InvalidArgument("num_shards must be >= 1");
   }
-  auto t0 = std::chrono::steady_clock::now();
+  MonotonicTimer timer;
+  const uint32_t width_before =
+      executor_ ? executor_->num_shards()
+                : EffectiveShards(options_.num_shards, options_.num_keys);
   if (executor_) {
     // In-place exact handoff (runtime/ShardedExecutor::Resize): drains,
     // merges shard checkpoints, rebuilds at the new width, re-splits.
@@ -261,10 +299,13 @@ Status StreamSession::Resize(uint32_t new_num_shards) {
   }
   options_.num_shards = new_num_shards;  // Future replans keep the width.
   ++resize_count_;
-  last_resize_ns_ = static_cast<uint64_t>(
-      std::chrono::duration_cast<std::chrono::nanoseconds>(
-          std::chrono::steady_clock::now() - t0)
-          .count());
+  resizes_counter_->Increment(0);
+  last_resize_ns_ = timer.ElapsedNanos();
+  metrics_.RecordTrace(telemetry::TraceKind::kResize, last_resize_ns_,
+                       width_before,
+                       executor_ ? executor_->num_shards()
+                                 : EffectiveShards(options_.num_shards,
+                                                   options_.num_keys));
   low_occupancy_checks_ = 0;
   return Status::OK();
 }
@@ -281,6 +322,7 @@ void StreamSession::AutoResizeCheck() {
     target = ceiling;
   } else {
     const double occupancy = executor_->RingOccupancy();
+    ring_occupancy_gauge_->Set(occupancy);
     if (occupancy >= policy.scale_up_occupancy && current < ceiling) {
       target = std::min(current * 2, ceiling);
       low_occupancy_checks_ = 0;
@@ -328,8 +370,15 @@ Status StreamSession::Push(const Event& event) {
   }
   if (event.timestamp > watermark_) watermark_ = event.timestamp;
   ++events_pushed_;
+  events_pushed_counter_->Increment(0);
+  // Event-time lag behind the newest timestamp seen: 0 when in order,
+  // the disorder distribution otherwise (late events land past
+  // max_delay). Two relaxed adds and a bit_width — no clock read.
+  watermark_lag_hist_->Record(
+      0, static_cast<uint64_t>(watermark_ - event.timestamp));
   if (!executor_) {
     ++events_dropped_;
+    events_dropped_counter_->Increment(0);
     return Status::OK();
   }
   executor_->Push(event);
@@ -362,6 +411,9 @@ Status StreamSession::Finish() {
   if (finished_) return Status::OK();
   finished_ = true;
   if (executor_) executor_->Finish();
+  // A finished executor's rings are drained and its workers joined; the
+  // occupancy gauge reads 0, like the idle-retire path.
+  ring_occupancy_gauge_->Set(0.0);
   return Status::OK();
 }
 
@@ -426,6 +478,10 @@ Result<StreamSession::QueryStats> StreamSession::StatsFor(QueryId id) const {
 
 StreamSession::SessionStats StreamSession::Stats() const {
   session_role_.AssertHeld();  // Public entry: caller thread only.
+  return BuildStats();
+}
+
+StreamSession::SessionStats StreamSession::BuildStats() const {
   SessionStats stats;
   stats.live_queries = queries_.size();
   stats.events_pushed = events_pushed_;
@@ -470,6 +526,53 @@ StreamSession::SessionStats StreamSession::Stats() const {
         shared_->ShardedCost(options_.num_shards, options_.num_keys);
   }
   return stats;
+}
+
+StreamSession::SessionMetrics StreamSession::Metrics() const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
+  SessionMetrics metrics;
+  metrics.stats = BuildStats();
+
+  // Per-operator breakdown of the current topology. The executor getters
+  // quiesce, so the counts are exact at this instant; they are cumulative
+  // across Resize (executor-banked retired tallies) but restart at each
+  // replan (new plan, new operators).
+  uint64_t closes_total = retired_closes_total_;
+  uint64_t finalizes_total = retired_finalizes_total_;
+  if (executor_ && shared_) {
+    const std::vector<uint64_t> ops = executor_->PerOperatorOps();
+    const std::vector<uint64_t> closes = executor_->PerOperatorCloses();
+    const std::vector<uint64_t> finalizes = executor_->PerOperatorFinalizes();
+    metrics.operators.reserve(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      OperatorMetrics op;
+      op.operator_id = static_cast<int>(i);
+      op.label = shared_->plan.op(static_cast<int>(i)).label;
+      op.accumulate_ops = ops[i];
+      op.closed_instances = i < closes.size() ? closes[i] : 0;
+      op.finalized_results = i < finalizes.size() ? finalizes[i] : 0;
+      closes_total += op.closed_instances;
+      finalizes_total += op.finalized_results;
+      metrics.operators.push_back(std::move(op));
+    }
+  }
+  metrics.closed_instances_total = closes_total;
+  metrics.finalized_results_total = finalizes_total;
+
+  // Publish the instantaneous session view into the registry, so the
+  // snapshot below (and any Prometheus/JSON render of it) carries the
+  // session gauges alongside the hot-path counters and histograms.
+  live_queries_gauge_->Set(static_cast<double>(metrics.stats.live_queries));
+  num_shards_gauge_->Set(static_cast<double>(metrics.stats.num_shards));
+  ring_occupancy_gauge_->Set(metrics.stats.ring_occupancy);
+  reorder_buffered_gauge_->Set(
+      static_cast<double>(metrics.stats.reorder_buffered));
+  accumulate_ops_gauge_->Set(static_cast<double>(metrics.stats.lifetime_ops));
+  closed_total_gauge_->Set(static_cast<double>(closes_total));
+  finalized_total_gauge_->Set(static_cast<double>(finalizes_total));
+
+  metrics.telemetry = metrics_.Snapshot();
+  return metrics;
 }
 
 }  // namespace fw

@@ -15,6 +15,7 @@
 #include "query/builder.h"
 #include "query/query.h"
 #include "runtime/sharded_executor.h"
+#include "telemetry/metrics.h"
 
 namespace fw {
 
@@ -301,6 +302,44 @@ class StreamSession {
     TimeT current_watermark = std::numeric_limits<TimeT>::min();
   };
 
+  /// Per-operator observability of the *current* shared plan: identity,
+  /// cost (accumulate/merge ops), slice-close rate (window instances
+  /// closed), and selectivity (finalized per-key results; 0 for
+  /// unexposed factor windows). Ops and close/finalize counts are
+  /// cumulative across Resize (the executor banks retired-topology
+  /// tallies); a churn replan builds a new plan, so the vector describes
+  /// the operators alive since the last replan only — session-lifetime
+  /// totals live in SessionMetrics::closed_instances_total.
+  struct OperatorMetrics {
+    int operator_id = 0;
+    std::string label;
+    uint64_t accumulate_ops = 0;
+    uint64_t closed_instances = 0;
+    uint64_t finalized_results = 0;
+  };
+
+  /// The structured telemetry snapshot (DESIGN.md §13) — a superset of
+  /// Stats(): the same SessionStats view (same lifecycle contracts, same
+  /// values), plus the registry snapshot (sharded counters, latency
+  /// histograms, trace ring) and the per-operator breakdown. Render
+  /// `telemetry` with telemetry/prometheus.h or telemetry/json.h.
+  struct SessionMetrics {
+    /// False when the library was built -DFW_TELEMETRY=OFF: `stats`,
+    /// `operators`, and the *_total counters below stay exact (they come
+    /// from the engine's own counters), while `telemetry` comes back
+    /// empty.
+    bool telemetry_enabled = telemetry::kEnabled;
+    SessionStats stats;
+    telemetry::MetricsSnapshot telemetry;
+    /// Current topology (empty while idle); see OperatorMetrics.
+    std::vector<OperatorMetrics> operators;
+    /// Session-lifetime window instances closed / results finalized,
+    /// including operators retired by replans and idle periods —
+    /// cumulative, like SessionStats::lifetime_ops.
+    uint64_t closed_instances_total = 0;
+    uint64_t finalized_results_total = 0;
+  };
+
   StreamSession();
   explicit StreamSession(const Options& options);
   ~StreamSession();
@@ -354,7 +393,16 @@ class StreamSession {
   Result<std::string> Explain(QueryId id) const;
 
   Result<QueryStats> StatsFor(QueryId id) const;
+  /// The classic pull-only counter view — now a thin view over the same
+  /// state Metrics() reports (both build from one BuildStats helper), so
+  /// the cumulative/instantaneous/topology-scoped contracts above stay
+  /// pinned by the existing elasticity regression tests.
   SessionStats Stats() const;
+  /// The full telemetry snapshot; see SessionMetrics. Publishes the
+  /// instantaneous session gauges (ring occupancy, live queries, engine
+  /// totals) into the registry first, so the returned snapshot — and any
+  /// Prometheus/JSON rendering of it — is self-contained.
+  SessionMetrics Metrics() const;
 
   size_t num_queries() const {
     session_role_.AssertHeld();  // Public entry: caller thread only.
@@ -404,12 +452,44 @@ class StreamSession {
 
   Status CheckMutable() const FW_REQUIRES(session_role_);
 
+  /// The one SessionStats builder both Stats() and Metrics() share.
+  SessionStats BuildStats() const FW_REQUIRES(session_role_);
+
   /// The caller thread's role: sessions are driven from one thread (see
   /// the class comment), and every member below is owned by it. Public
   /// entry points assert the role; private helpers require it.
   ThreadRole session_role_;
 
   Options options_ FW_GUARDED_BY(session_role_);
+
+  /// Session-owned metric namespace (DESIGN.md §13). Declared before the
+  /// executor members below so it outlives them (members destroy in
+  /// reverse order): executors hold handles into it, and their workers
+  /// may record up to the join inside the executor's destructor. The
+  /// registry is internally synchronized, and the handles are resolved
+  /// once here — never per event — so they carry no guard.
+  telemetry::MetricsRegistry metrics_;
+  /// Event-time lag of each accepted event behind the newest timestamp
+  /// seen (in event-time units): 0 for in-order arrivals, the disorder
+  /// distribution otherwise; late events land past max_delay.
+  telemetry::Histogram* const watermark_lag_hist_;
+  telemetry::Counter* const events_pushed_counter_;
+  telemetry::Counter* const events_dropped_counter_;
+  telemetry::Counter* const replans_counter_;
+  telemetry::Counter* const resizes_counter_;
+  /// Instantaneous gauges, published by Metrics()/AutoResizeCheck and
+  /// zeroed on idle-retire and Finish (a retired pipeline has no rings —
+  /// the gauge must not report the last live sample forever).
+  telemetry::Gauge* const ring_occupancy_gauge_;
+  telemetry::Gauge* const live_queries_gauge_;
+  telemetry::Gauge* const num_shards_gauge_;
+  telemetry::Gauge* const reorder_buffered_gauge_;
+  /// Engine totals published at snapshot time (the engine layer keeps
+  /// plain counters; see OperatorMetrics).
+  telemetry::Gauge* const accumulate_ops_gauge_;
+  telemetry::Gauge* const closed_total_gauge_;
+  telemetry::Gauge* const finalized_total_gauge_;
+
   QueryId next_id_ FW_GUARDED_BY(session_role_) = 1;
   /// Plan order.
   std::vector<std::unique_ptr<LiveQuery>> queries_
@@ -442,6 +522,11 @@ class StreamSession {
   /// replans carry theirs through the checkpoint instead).
   uint64_t retired_late_ FW_GUARDED_BY(session_role_) = 0;
   uint64_t retired_reorder_peak_ FW_GUARDED_BY(session_role_) = 0;
+  /// Window-close / finalize tallies of operators retired by replans and
+  /// idle periods (the executor banks its own across Resize); see
+  /// SessionMetrics::closed_instances_total.
+  uint64_t retired_closes_total_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t retired_finalizes_total_ FW_GUARDED_BY(session_role_) = 0;
   TimeT retired_watermark_ FW_GUARDED_BY(session_role_) =
       std::numeric_limits<TimeT>::min();
   int replans_ FW_GUARDED_BY(session_role_) = 0;

@@ -1,0 +1,84 @@
+#include "telemetry/prometheus.h"
+
+#include <cctype>
+#include <cinttypes>
+#include <cstdio>
+
+namespace fw {
+namespace telemetry {
+
+namespace {
+
+void AppendU64(std::string& out, uint64_t v) {
+  char buf[32];
+  std::snprintf(buf, sizeof(buf), "%" PRIu64, v);
+  out += buf;
+}
+
+void AppendDouble(std::string& out, double v) {
+  // %.17g round-trips doubles exactly; trailing noise is fine for an
+  // exposition format that scrapers parse as float64 anyway.
+  char buf[64];
+  std::snprintf(buf, sizeof(buf), "%.17g", v);
+  out += buf;
+}
+
+}  // namespace
+
+std::string PrometheusName(const std::string& name) {
+  std::string out = "fw_";
+  for (char c : name) {
+    out += std::isalnum(static_cast<unsigned char>(c)) || c == '_' ? c : '_';
+  }
+  return out;
+}
+
+std::string RenderPrometheus(const MetricsSnapshot& snapshot) {
+  std::string out;
+  for (const auto& [name, value] : snapshot.counters) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " counter\n";
+    out += prom + " ";
+    AppendU64(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " gauge\n";
+    out += prom + " ";
+    AppendDouble(out, value);
+    out += "\n";
+  }
+  for (const auto& [name, hist] : snapshot.histograms) {
+    std::string prom = PrometheusName(name);
+    out += "# TYPE " + prom + " histogram\n";
+    // Highest populated bucket: everything above renders into +Inf, so
+    // the 65-slot array collapses to the populated prefix.
+    uint32_t top = 0;
+    for (uint32_t b = 0; b < kHistogramBuckets; ++b) {
+      if (hist.buckets[b] != 0) top = b;
+    }
+    uint64_t cumulative = 0;
+    for (uint32_t b = 0; b <= top; ++b) {
+      cumulative += hist.buckets[b];
+      out += prom + "_bucket{le=\"";
+      AppendU64(out, BucketHigh(b));
+      out += "\"} ";
+      AppendU64(out, cumulative);
+      out += "\n";
+    }
+    out += prom + "_bucket{le=\"+Inf\"} ";
+    AppendU64(out, hist.count);
+    out += "\n";
+    out += prom + "_sum ";
+    AppendU64(out, hist.sum);
+    out += "\n";
+    out += prom + "_count ";
+    AppendU64(out, hist.count);
+    out += "\n";
+  }
+  return out;
+}
+
+}  // namespace telemetry
+}  // namespace fw

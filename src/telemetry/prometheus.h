@@ -1,0 +1,35 @@
+#ifndef FW_TELEMETRY_PROMETHEUS_H_
+#define FW_TELEMETRY_PROMETHEUS_H_
+
+/// Prometheus text-exposition renderer (no server — a pure
+/// snapshot→string function the future network front end can serve from
+/// a /metrics handler). Renders the standard families:
+///
+///   * counters   → `# TYPE fw_<name> counter` + one sample
+///   * gauges     → `# TYPE fw_<name> gauge` + one sample
+///   * histograms → cumulative `le`-labelled buckets (log2 upper bounds,
+///                  collapsed to the populated prefix) + `_sum`/`_count`
+///
+/// Dotted registry names map to `fw_`-prefixed metric names with every
+/// non-alphanumeric character folded to `_`
+/// ("executor.batch_handoff_ns" → "fw_executor_batch_handoff_ns").
+/// Output order is the registry's name order — deterministic, so two
+/// snapshots of the same state render byte-identically.
+
+#include <string>
+
+#include "telemetry/metrics.h"
+
+namespace fw {
+namespace telemetry {
+
+/// Renders one snapshot in Prometheus text exposition format v0.0.4.
+std::string RenderPrometheus(const MetricsSnapshot& snapshot);
+
+/// `fw_` + name with non-[a-zA-Z0-9_] folded to '_'. Exposed for tests.
+std::string PrometheusName(const std::string& name);
+
+}  // namespace telemetry
+}  // namespace fw
+
+#endif  // FW_TELEMETRY_PROMETHEUS_H_

@@ -483,6 +483,44 @@ TEST(StatsLifecycle, IdleRetireAndRevivalKeepCumulativeTallies) {
   EXPECT_EQ(session.Stats().lifetime_ops, idle.lifetime_ops);
 }
 
+// Regression: ring occupancy is scoped to the *live* pipeline, so once
+// the session goes idle (last query removed) or finishes, both the
+// SessionStats field and the published telemetry gauge must read 0 —
+// not the last sample taken while the retired executor was loaded.
+TEST(StatsLifecycle, RingOccupancyZeroesOnIdleRetireAndFinish) {
+  constexpr uint32_t kKeys = 16;
+  std::vector<Event> events = GenerateSyntheticStream(4000, kKeys, 71);
+  StreamSession::Options options;
+  options.num_keys = kKeys;
+  options.num_shards = 4;
+  // Force the load monitor to sample occupancy continuously (thresholds
+  // that never trigger a resize), so the gauge has a live value to go
+  // stale from.
+  options.auto_resize.enabled = true;
+  options.auto_resize.min_shards = 4;
+  options.auto_resize.max_shards = 4;
+  options.auto_resize.check_interval = 512;
+  StreamSession session(options);
+  Result<QueryId> only = session.AddQuery(PerDevice(20));
+  ASSERT_TRUE(only.ok());
+  for (const Event& event : events) ASSERT_TRUE(session.Push(event).ok());
+
+  ASSERT_TRUE(session.RemoveQuery(*only).ok());  // Idle-retire swap.
+  StreamSession::SessionMetrics idle = session.Metrics();
+  EXPECT_EQ(idle.stats.ring_occupancy, 0.0);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(idle.telemetry.gauges.at("session.ring_occupancy"), 0.0);
+  }
+
+  ASSERT_TRUE(session.AddQuery(PerDevice(20)).ok());  // Revival.
+  ASSERT_TRUE(session.Finish().ok());
+  StreamSession::SessionMetrics done = session.Metrics();
+  EXPECT_EQ(done.stats.ring_occupancy, 0.0);
+  if (telemetry::kEnabled) {
+    EXPECT_EQ(done.telemetry.gauges.at("session.ring_occupancy"), 0.0);
+  }
+}
+
 // --- Observability: per-shard counters and ring occupancy ------------------
 
 TEST(Observability, EventsPerShardSumToDeliveredEvents) {

@@ -1,0 +1,14 @@
+// MUST be flagged: even duration-only clock reads must flow through
+// fw::MonotonicNanos / fw::MonotonicTimer (common/clock.h) — a single
+// audited call site keeps "no timing feeds results" checkable.
+#include <chrono>
+
+namespace fw {
+
+double ElapsedSeconds(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double>(std::chrono::steady_clock::now() -
+                                       start)
+      .count();
+}
+
+}  // namespace fw

@@ -1,0 +1,13 @@
+// MUST be flagged: clock_gettime(CLOCK_MONOTONIC) is a raw monotonic
+// read bypassing the common/clock.h shim.
+#include <ctime>
+
+namespace fw {
+
+long long RawMonotonicNanos() {
+  timespec ts;
+  clock_gettime(CLOCK_MONOTONIC, &ts);
+  return ts.tv_sec * 1000000000LL + ts.tv_nsec;
+}
+
+}  // namespace fw

@@ -1,0 +1,18 @@
+// fw-lint-fixture-path: common/clock.h
+// MUST pass: the shim itself is the one place allowed to touch
+// std::chrono::steady_clock — the monotonic-clock rule exempts
+// common/clock.h (the fixture-path directive above makes this file
+// lint as that path).
+#include <chrono>
+#include <cstdint>
+
+namespace fw {
+
+inline uint64_t ShimNowNanos() {
+  return static_cast<uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+}
+
+}  // namespace fw

@@ -1,0 +1,21 @@
+// MUST pass: fw::MonotonicTimer (common/clock.h) is the sanctioned
+// duration source the wall-clock and monotonic-clock rules point to,
+// and locale-free base-10 parsing is the sanctioned alternative to
+// atof(). Prose mentioning steady_clock or rand() in comments is fine
+// too — comments are stripped before matching.
+#include <cstdlib>
+
+#include "common/clock.h"
+
+namespace fw {
+
+double TimeSomething() {
+  MonotonicTimer timer;
+  return timer.ElapsedSeconds();
+}
+
+unsigned long long ParseCounter(const char* text) {
+  return strtoull(text, nullptr, 10);
+}
+
+}  // namespace fw
