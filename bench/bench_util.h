@@ -14,6 +14,7 @@
 #include <vector>
 
 #include "harness/experiments.h"
+#include "session/session.h"
 #include "telemetry/json.h"
 #include "telemetry/metrics.h"
 #include "workload/datagen.h"
@@ -35,6 +36,10 @@ namespace bench {
 ///   --metrics-json=PATH  after the run, dump the session's telemetry
 ///                        snapshot (telemetry/json.h format) to PATH;
 ///                        CI's bench smoke uploads these as artifacts
+///   --batch=N            ingest through the columnar path
+///                        (Session::PushColumns) in batches of N events,
+///                        pre-transposed outside the timed region; 0
+///                        (default) ingests per event via Push
 struct BenchArgs {
   std::vector<uint32_t> shards = {1, 2, 4, 8};
   size_t events = 0;
@@ -43,6 +48,7 @@ struct BenchArgs {
   std::vector<TimeT> max_delays = {0, 64, 256, 1024};
   std::string agg = "MAX";
   std::string metrics_json;
+  size_t batch = 0;
 };
 
 inline BenchArgs ParseBenchArgs(int argc, char** argv,
@@ -53,7 +59,7 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
     std::fprintf(stderr,
                  "%s\nusage: %s [--shards=1,2,4] [--events=N] [--keys=K]"
                  " [--disorder=N] [--max-delays=0,64,256] [--agg=NAME]"
-                 " [--metrics-json=PATH]\n",
+                 " [--metrics-json=PATH] [--batch=N]\n",
                  message.c_str(), argv[0]);
     std::exit(2);
   };
@@ -113,11 +119,37 @@ inline BenchArgs ParseBenchArgs(int argc, char** argv,
     } else if (arg.rfind("--metrics-json=", 0) == 0) {
       args.metrics_json = arg.substr(15);
       if (args.metrics_json.empty()) fail("empty path in '" + arg + "'");
+    } else if (arg.rfind("--batch=", 0) == 0) {
+      const long long value = parse_positive(arg.substr(8));
+      if (value < 0) fail("bad value in '" + arg + "'");
+      args.batch = static_cast<size_t>(value);
     } else {
       fail("unknown flag '" + arg + "'");
     }
   }
   return args;
+}
+
+/// The flagged ingestion path of the runtime benches: per-event Push when
+/// `chunks` is empty (--batch=0, the scalar baseline), else PushColumns
+/// over the pre-transposed chunks (build them with SplitIntoColumns
+/// *outside* the timed region — transposition is not ingestion). Stops at
+/// the first rejection, like PushBatch.
+inline Status IngestStream(StreamSession& session,
+                           const std::vector<Event>& events,
+                           const std::vector<EventColumns>& chunks) {
+  if (chunks.empty()) {
+    for (const Event& event : events) {
+      Status status = session.Push(event);
+      if (!status.ok()) return status;
+    }
+    return Status::OK();
+  }
+  for (const EventColumns& chunk : chunks) {
+    Status status = session.PushColumns(chunk);
+    if (!status.ok()) return status;
+  }
+  return Status::OK();
 }
 
 inline std::vector<Event> SyntheticDefault() {

@@ -1,18 +1,25 @@
 #!/usr/bin/env python3
-"""perf_smoke: enforce the telemetry overhead budget (DESIGN.md §13).
+"""perf_smoke: CI performance gates over bench_engine_micro JSON output.
 
-Compares two `bench_engine_micro --benchmark_format=json` result files —
-one from a default (telemetry ON) build, one from -DFW_TELEMETRY=OFF —
-and fails if the ON build's throughput falls more than the budget below
-OFF. Single micro-benchmarks are noisy in shared CI runners, so the gate
-is the *geometric mean* of the per-benchmark items_per_second ratios
-(ON/OFF), not any individual benchmark; individual regressions are still
-printed for triage.
+Two modes, both gating on a *geometric mean* of per-benchmark
+items_per_second ratios (single micro-benchmarks are noisy in shared CI
+runners; individual outliers are still printed for triage):
 
-Usage:
-  perf_smoke.py --on on.json --off off.json [--budget 0.03]
+* Telemetry overhead budget (DESIGN.md §13). Compares two result files —
+  one from a default (telemetry ON) build, one from -DFW_TELEMETRY=OFF —
+  and fails if ON falls more than the budget below OFF:
 
-Exit status: 0 within budget, 1 over budget, 2 usage/parse error.
+      perf_smoke.py --on on.json --off off.json [--budget 0.03]
+
+* Columnar ingestion floor (DESIGN.md §14). Reads ONE result file and
+  pairs every "<name>Columns..." benchmark with its scalar "<name>..."
+  twin (BM_RawPushTumblingColumns vs BM_RawPushTumbling, argument
+  suffixes matched exactly), failing if the columnar/scalar geomean
+  speedup drops below the floor:
+
+      perf_smoke.py --columnar results.json [--min-ratio 1.15]
+
+Exit status: 0 within budget/floor, 1 over it, 2 usage/parse error.
 """
 
 import argparse
@@ -46,16 +53,42 @@ def load_items_per_second(path):
     return rates
 
 
-def main(argv):
-    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
-    parser.add_argument("--on", required=True, dest="on_path",
-                        help="benchmark json from the telemetry-ON build")
-    parser.add_argument("--off", required=True, dest="off_path",
-                        help="benchmark json from the -DFW_TELEMETRY=OFF build")
-    parser.add_argument("--budget", type=float, default=0.03,
-                        help="allowed fractional slowdown (default 0.03)")
-    opts = parser.parse_args(argv)
+def columnar_pairs(rates):
+    """(scalar_name, columnar_name) pairs: "BM_XColumns/arg" <-> "BM_X/arg".
 
+    The base benchmark name is everything before the first '/', so
+    argument suffixes must match exactly — BM_KeyedAggregationColumns/16
+    pairs with BM_KeyedAggregation/16 only.
+    """
+    pairs = []
+    for name in sorted(rates):
+        base, sep, args = name.partition("/")
+        if not base.endswith("Columns"):
+            continue
+        scalar = base[: -len("Columns")] + sep + args
+        if scalar in rates:
+            pairs.append((scalar, name))
+    return pairs
+
+
+def gate(rows, count_label, geomean_floor, fail_message):
+    """Prints a ratio table and applies the geomean floor. `rows` is a
+    list of (label, denominator_rate, numerator_rate)."""
+    log_sum = 0.0
+    for _, denom, num in rows:
+        ratio = num / denom if denom > 0 else 1.0
+        log_sum += math.log(ratio)
+    geomean = math.exp(log_sum / len(rows))
+    print("geomean ratio over %d %s: %.4fx (floor %.2fx)"
+          % (len(rows), count_label, geomean, geomean_floor))
+    if geomean < geomean_floor:
+        print("perf_smoke: FAIL — %s" % fail_message)
+        return 1
+    print("perf_smoke: OK")
+    return 0
+
+
+def run_overhead(opts):
     on = load_items_per_second(opts.on_path)
     off = load_items_per_second(opts.off_path)
     shared = sorted(set(on) & set(off))
@@ -64,25 +97,67 @@ def main(argv):
               % (opts.on_path, opts.off_path))
         return 2
 
-    log_sum = 0.0
     print("%-44s %14s %14s %8s" % ("benchmark", "off items/s", "on items/s",
                                    "ratio"))
+    rows = []
     for name in shared:
         ratio = on[name] / off[name] if off[name] > 0 else 1.0
-        log_sum += math.log(ratio)
         flag = "  <-- slow" if ratio < 1.0 - opts.budget else ""
         print("%-44s %14.0f %14.0f %7.3fx%s"
               % (name, off[name], on[name], ratio, flag))
-    geomean = math.exp(log_sum / len(shared))
-    floor = 1.0 - opts.budget
-    print("geomean ON/OFF ratio over %d benchmarks: %.4fx (budget floor "
-          "%.2fx)" % (len(shared), geomean, floor))
-    if geomean < floor:
-        print("perf_smoke: FAIL — telemetry overhead exceeds the %.0f%% "
-              "budget" % (opts.budget * 100))
-        return 1
-    print("perf_smoke: OK")
-    return 0
+        rows.append((name, off[name], on[name]))
+    return gate(rows, "benchmarks", 1.0 - opts.budget,
+                "telemetry overhead exceeds the %.0f%% budget"
+                % (opts.budget * 100))
+
+
+def run_columnar(opts):
+    rates = load_items_per_second(opts.columnar_path)
+    pairs = columnar_pairs(rates)
+    if not pairs:
+        print("perf_smoke: no scalar/columnar benchmark pairs in %s"
+              % opts.columnar_path)
+        return 2
+
+    print("%-44s %14s %14s %8s" % ("benchmark pair", "scalar items/s",
+                                   "columnar it/s", "ratio"))
+    rows = []
+    for scalar, columnar in pairs:
+        ratio = rates[columnar] / rates[scalar] if rates[scalar] > 0 else 1.0
+        flag = "  <-- slow" if ratio < opts.min_ratio else ""
+        print("%-44s %14.0f %14.0f %7.3fx%s"
+              % (scalar, rates[scalar], rates[columnar], ratio, flag))
+        rows.append((scalar, rates[scalar], rates[columnar]))
+    return gate(rows, "pairs", opts.min_ratio,
+                "columnar ingestion speedup fell below the %.2fx floor"
+                % opts.min_ratio)
+
+
+def main(argv):
+    parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
+    parser.add_argument("--on", dest="on_path",
+                        help="benchmark json from the telemetry-ON build")
+    parser.add_argument("--off", dest="off_path",
+                        help="benchmark json from the -DFW_TELEMETRY=OFF build")
+    parser.add_argument("--budget", type=float, default=0.03,
+                        help="allowed fractional slowdown (default 0.03)")
+    parser.add_argument("--columnar", dest="columnar_path",
+                        help="benchmark json holding scalar and *Columns "
+                             "twins; gates columnar/scalar speedup")
+    parser.add_argument("--min-ratio", type=float, default=1.15,
+                        help="columnar geomean speedup floor (default 1.15)")
+    opts = parser.parse_args(argv)
+
+    if opts.columnar_path:
+        if opts.on_path or opts.off_path:
+            print("perf_smoke: --columnar is exclusive with --on/--off")
+            return 2
+        return run_columnar(opts)
+    if not opts.on_path or not opts.off_path:
+        print("perf_smoke: need either --columnar FILE or both --on and "
+              "--off")
+        return 2
+    return run_overhead(opts)
 
 
 if __name__ == "__main__":

@@ -164,6 +164,101 @@ void LastMerge(AggState* s, const AggState& o) {
   s->n += o.n;
 }
 
+// --- Batch kernels ---------------------------------------------------------
+//
+// Each must be *bitwise* equivalent to calling its scalar accumulate once
+// per value in array order — the engine mixes scalar and batch folds into
+// the same state (accumulate_batch contract, DESIGN.md §14). SUM/AVG and
+// the moments fold sequentially through the same addition chain (FP
+// addition is non-associative, so no reassociation); the extremum kernels
+// keep the scalar comparison direction, so NaN handling matches too: a
+// NaN candidate fails `v < m` / `v > m` and never replaces the extremum,
+// while a NaN that seeded the state sticks — exactly like the scalar path.
+
+void MinAccumulateBatch(AggState* s, const double* v, size_t count) {
+  if (count == 0) return;
+  size_t i = 0;
+  if (s->n == 0) {
+    s->v1 = v[0];
+    i = 1;
+  }
+  double m = s->v1;
+  for (; i < count; ++i) {
+    if (v[i] < m) m = v[i];
+  }
+  s->v1 = m;
+  s->n += count;
+}
+
+void MaxAccumulateBatch(AggState* s, const double* v, size_t count) {
+  if (count == 0) return;
+  size_t i = 0;
+  if (s->n == 0) {
+    s->v1 = v[0];
+    i = 1;
+  }
+  double m = s->v1;
+  for (; i < count; ++i) {
+    if (v[i] > m) m = v[i];
+  }
+  s->v1 = m;
+  s->n += count;
+}
+
+void SumAccumulateBatch(AggState* s, const double* v, size_t count) {
+  double acc = s->v1;
+  for (size_t i = 0; i < count; ++i) acc += v[i];
+  s->v1 = acc;
+  s->n += count;
+}
+
+void CountAccumulateBatch(AggState* s, const double*, size_t count) {
+  s->n += count;
+}
+
+void MomentsAccumulateBatch(AggState* s, const double* v, size_t count) {
+  double sum = s->v1;
+  double squares = s->v2;
+  for (size_t i = 0; i < count; ++i) {
+    sum += v[i];
+    squares += v[i] * v[i];
+  }
+  s->v1 = sum;
+  s->v2 = squares;
+  s->n += count;
+}
+
+void RangeAccumulateBatch(AggState* s, const double* v, size_t count) {
+  if (count == 0) return;
+  size_t i = 0;
+  if (s->n == 0) {
+    s->v1 = v[0];
+    s->v2 = v[0];
+    i = 1;
+  }
+  double lo = s->v1;
+  double hi = s->v2;
+  for (; i < count; ++i) {
+    if (v[i] < lo) lo = v[i];
+    if (v[i] > hi) hi = v[i];
+  }
+  s->v1 = lo;
+  s->v2 = hi;
+  s->n += count;
+}
+
+void FirstAccumulateBatch(AggState* s, const double* v, size_t count) {
+  if (count == 0) return;
+  if (s->n == 0) s->v1 = v[0];
+  s->n += count;
+}
+
+void LastAccumulateBatch(AggState* s, const double* v, size_t count) {
+  if (count == 0) return;
+  s->v1 = v[count - 1];
+  s->n += count;
+}
+
 double MedianFinalize(HolisticState* state) {
   FW_CHECK(!state->empty()) << "finalize of empty holistic state";
   size_t mid = (state->values.size() - 1) / 2;
@@ -215,6 +310,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = true,
         .merge_order_sensitive = false,
         .accumulate = MinAccumulate,
+        .accumulate_batch = MinAccumulateBatch,
         .merge = MinMerge,
         .finalize = ValueFinalize});
   must({.name = "MAX",
@@ -223,6 +319,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = true,
         .merge_order_sensitive = false,
         .accumulate = MaxAccumulate,
+        .accumulate_batch = MaxAccumulateBatch,
         .merge = MaxMerge,
         .finalize = ValueFinalize});
   must({.name = "SUM",
@@ -231,6 +328,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = false,
         .accumulate = SumAccumulate,
+        .accumulate_batch = SumAccumulateBatch,
         .merge = SumMerge,
         .finalize = ValueFinalize});
   must({.name = "COUNT",
@@ -239,6 +337,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = false,
         .accumulate = CountAccumulate,
+        .accumulate_batch = CountAccumulateBatch,
         .merge = CountMerge,
         .finalize = CountFinalize});
   must({.name = "AVG",
@@ -247,6 +346,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = false,
         .accumulate = SumAccumulate,
+        .accumulate_batch = SumAccumulateBatch,
         .merge = SumMerge,
         .finalize = AvgFinalize});
   must({.name = "STDEV",
@@ -255,6 +355,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = false,
         .accumulate = MomentsAccumulate,
+        .accumulate_batch = MomentsAccumulateBatch,
         .merge = MomentsMerge,
         .finalize = StdevFinalize});
   must({.name = "VARIANCE",
@@ -263,6 +364,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = false,
         .accumulate = MomentsAccumulate,
+        .accumulate_batch = MomentsAccumulateBatch,
         .merge = MomentsMerge,
         .finalize = VarianceFinalize});
   must({.name = "RANGE",
@@ -271,6 +373,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = true,
         .merge_order_sensitive = false,
         .accumulate = RangeAccumulate,
+        .accumulate_batch = RangeAccumulateBatch,
         .merge = RangeMerge,
         .finalize = RangeFinalize});
   must({.name = "MEDIAN",
@@ -287,6 +390,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = true,
         .accumulate = FirstAccumulate,
+        .accumulate_batch = FirstAccumulateBatch,
         .merge = FirstMerge,
         .finalize = ValueFinalize});
   must({.name = "LAST",
@@ -295,6 +399,7 @@ void RegisterBuiltins(AggregateRegistry* registry) {
         .overlap_merge_safe = false,
         .merge_order_sensitive = true,
         .accumulate = LastAccumulate,
+        .accumulate_batch = LastAccumulateBatch,
         .merge = LastMerge,
         .finalize = ValueFinalize});
   must({.name = "P99",
@@ -441,6 +546,12 @@ Result<AggFn> AggregateRegistry::Register(AggregateFunction fn) {
       return Status::InvalidArgument(fn.name +
                                      ": holistic functions need "
                                      "holistic_finalize");
+    }
+    if (fn.accumulate_batch != nullptr) {
+      return Status::InvalidArgument(fn.name +
+                                     ": holistic functions take no "
+                                     "accumulate_batch (no slice states "
+                                     "to fold into)");
     }
   } else if (fn.accumulate == nullptr || fn.merge == nullptr ||
              fn.finalize == nullptr) {

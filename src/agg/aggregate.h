@@ -1,6 +1,7 @@
 #ifndef FW_AGG_AGGREGATE_H_
 #define FW_AGG_AGGREGATE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <cstring>
 #include <iosfwd>
@@ -180,6 +181,16 @@ struct AggregateFunction {
   bool merge_order_sensitive = false;
   uint32_t state_bytes = 0;
   void (*accumulate)(AggState* state, double value) = nullptr;
+  /// Optional vectorizable batch fold (the columnar ingestion path,
+  /// DESIGN.md §14): must be exactly equivalent — bitwise, not just
+  /// mathematically — to calling `accumulate` once per value in array
+  /// order, because the engine mixes scalar and batch folds into the same
+  /// state. Null is always valid: the engine derives a scalar-loop
+  /// fallback at plan build, so every registered function works on the
+  /// batch path unchanged. Only meaningful alongside `accumulate`
+  /// (holistic functions may not declare it).
+  void (*accumulate_batch)(AggState* state, const double* values,
+                           size_t count) = nullptr;
   void (*merge)(AggState* state, const AggState& other) = nullptr;
   double (*finalize)(const AggState& state) = nullptr;
   /// Holistic functions only: final scalar from the full value multiset.
@@ -265,6 +276,19 @@ inline void AggAccumulate(AggFn fn, AggState* state, double value) {
 }
 inline void AggMerge(AggFn fn, AggState* state, const AggState& other) {
   fn->merge(state, other);
+}
+/// Batch fold with the derived scalar fallback: uses the function's
+/// `accumulate_batch` kernel when declared, otherwise folds value by
+/// value — identical results either way (the accumulate_batch contract).
+/// Hot paths resolve both pointers once per operator and branch per run
+/// instead (exec/operator.cc).
+inline void AggAccumulateBatch(AggFn fn, AggState* state,
+                               const double* values, size_t count) {
+  if (fn->accumulate_batch != nullptr) {
+    fn->accumulate_batch(state, values, count);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) fn->accumulate(state, values[i]);
 }
 /// Checked finalize: CHECK-fails on an empty state (the finalize contract;
 /// engine hot paths skip empty states and call the raw pointer instead).

@@ -1,0 +1,32 @@
+#include "exec/columns.h"
+
+#include <string>
+
+namespace fw {
+
+Status EventColumns::Validate() const {
+  if (keys.size() != timestamps.size() || values.size() != timestamps.size()) {
+    return Status::InvalidArgument(
+        "column length mismatch: timestamps=" +
+        std::to_string(timestamps.size()) +
+        " keys=" + std::to_string(keys.size()) +
+        " values=" + std::to_string(values.size()));
+  }
+  return Status::OK();
+}
+
+EventColumns EventColumns::FromEvents(const std::vector<Event>& events) {
+  EventColumns columns;
+  columns.Reserve(events.size());
+  for (const Event& event : events) columns.Append(event);
+  return columns;
+}
+
+std::vector<Event> EventColumns::ToEvents() const {
+  std::vector<Event> events;
+  events.reserve(size());
+  for (size_t i = 0; i < size(); ++i) events.push_back((*this)[i]);
+  return events;
+}
+
+}  // namespace fw

@@ -1,0 +1,80 @@
+#ifndef FW_EXEC_COLUMNS_H_
+#define FW_EXEC_COLUMNS_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <type_traits>
+#include <vector>
+
+#include "common/status.h"
+#include "exec/event.h"
+
+namespace fw {
+
+/// Struct-of-arrays event batch — the columnar ingestion unit (DESIGN.md
+/// §14). Columns are parallel: timestamps[i]/keys[i]/values[i] describe
+/// event i, in stream order. The engine's batch accumulate reads the
+/// value column with unit stride, which is what makes the per-run folds
+/// vectorizable; every ingestion entry point calls Validate() up front so
+/// a ragged batch is rejected before any event is applied.
+struct EventColumns {
+  std::vector<TimeT> timestamps;
+  std::vector<uint32_t> keys;
+  std::vector<double> values;
+
+  size_t size() const { return timestamps.size(); }
+  bool empty() const { return timestamps.empty(); }
+
+  /// Clears all columns; capacity is kept (batches are recycled across
+  /// queue hand-offs).
+  void clear() {
+    timestamps.clear();
+    keys.clear();
+    values.clear();
+  }
+
+  void Reserve(size_t n) {
+    timestamps.reserve(n);
+    keys.reserve(n);
+    values.reserve(n);
+  }
+
+  void Append(TimeT timestamp, uint32_t key, double value) {
+    timestamps.push_back(timestamp);
+    keys.push_back(key);
+    values.push_back(value);
+  }
+  void Append(const Event& event) {
+    Append(event.timestamp, event.key, event.value);
+  }
+
+  /// Row view of event `i`. Bounds are the caller's responsibility, like
+  /// vector::operator[].
+  Event operator[](size_t i) const {
+    return Event{timestamps[i], keys[i], values[i]};
+  }
+
+  void Swap(EventColumns* other) {
+    timestamps.swap(other->timestamps);
+    keys.swap(other->keys);
+    values.swap(other->values);
+  }
+
+  /// All columns must be the same length; reports each length on
+  /// mismatch. Every PushColumns entry point runs this before touching
+  /// any event, so a ragged batch is all-or-nothing rejected.
+  Status Validate() const;
+
+  /// Conversion helpers for the deprecated row-wise hand-off.
+  static EventColumns FromEvents(const std::vector<Event>& events);
+  std::vector<Event> ToEvents() const;
+};
+
+// EventColumns rides through SpscQueue hand-offs (runtime/spsc_queue.h),
+// whose protocol requires nothrow moves.
+static_assert(std::is_nothrow_move_constructible_v<EventColumns>);
+static_assert(std::is_nothrow_move_assignable_v<EventColumns>);
+
+}  // namespace fw
+
+#endif  // FW_EXEC_COLUMNS_H_

@@ -1,5 +1,7 @@
 #include "exec/engine.h"
 
+#include <limits>
+
 #include "common/clock.h"
 #include "common/logging.h"
 
@@ -77,6 +79,46 @@ void PlanExecutor::Push(const Event& event) {
   }
   for (WindowAggregateOperator* op : raw_readers_) {
     op->OnEvent(event);
+  }
+}
+
+void PlanExecutor::PushColumns(const EventColumns& columns) {
+  const size_t n = columns.size();
+  if (n == 0) return;
+  if (holistic_) {
+    // Holistic state is the raw value multiset — there is no batch fold
+    // to vectorize, so the columnar path degenerates to per-event.
+    for (size_t i = 0; i < n; ++i) {
+      const Event event = columns[i];
+      for (HolisticWindowOperator* op : holistic_raw_readers_) {
+        op->OnEvent(event);
+      }
+    }
+    return;
+  }
+  if (raw_readers_.size() == 1) {
+    raw_readers_[0]->OnEvents(columns);
+    return;
+  }
+  // Multiple raw readers (an original plan's Multicast): run boundaries
+  // must be global — the minimum over all readers — so that each reader's
+  // close/open emissions interleave with the folds exactly as the
+  // per-event multicast would.
+  const TimeT* ts = columns.timestamps.data();
+  size_t i = 0;
+  while (i < n) {
+    TimeT boundary = std::numeric_limits<TimeT>::max();
+    for (WindowAggregateOperator* op : raw_readers_) {
+      const TimeT b = op->PrepareRun(ts[i]);
+      if (b < boundary) boundary = b;
+    }
+    size_t j = i + 1;
+    while (j < n && ts[j] < boundary) ++j;
+    for (WindowAggregateOperator* op : raw_readers_) {
+      op->AccumulateRun(columns.keys.data() + i, columns.values.data() + i,
+                        j - i);
+    }
+    i = j;
   }
 }
 

@@ -34,6 +34,14 @@ class PlanExecutor {
   /// Pushes one event through the plan. Events must be timestamp-ordered.
   void Push(const Event& event);
 
+  /// Pushes a timestamp-ordered columnar batch through the plan. Exactly
+  /// equivalent to Push on each row in order (bitwise results, same
+  /// emission interleaving), but splits the batch into runs over which no
+  /// raw reader's open-instance set changes and folds each run with the
+  /// operators' batch accumulate (DESIGN.md §14). Holistic plans fall
+  /// back to the per-event path.
+  void PushColumns(const EventColumns& columns);
+
   /// Ends the stream: flushes operators in topological order so tail
   /// sub-aggregates reach downstream operators before those flush.
   void Finish();

@@ -10,6 +10,8 @@ WindowAggregateOperator::WindowAggregateOperator(const Config& config,
     : config_(config),
       sink_(sink),
       accumulate_(config.agg != nullptr ? config.agg->accumulate : nullptr),
+      accumulate_batch_(config.agg != nullptr ? config.agg->accumulate_batch
+                                              : nullptr),
       merge_(config.agg != nullptr ? config.agg->merge : nullptr),
       finalize_(config.agg != nullptr ? config.agg->finalize : nullptr) {
   FW_CHECK(config.agg != nullptr) << "operator needs an aggregate function";
@@ -35,16 +37,110 @@ std::vector<AggState> WindowAggregateOperator::TakeStateBuffer() {
 }
 
 void WindowAggregateOperator::OnEvent(const Event& event) {
-  const TimeT t = event.timestamp;
+  PrepareRun(event.timestamp);
+  FW_CHECK_LT(event.key, config_.num_keys);
+  for (Instance& instance : open_) {
+    accumulate_(&instance.states[event.key], event.value);
+    ++accumulate_ops_;
+  }
+}
+
+TimeT WindowAggregateOperator::PrepareRun(TimeT t) {
   // Instances with end <= t can no longer contain t.
   CloseBefore(t + 1);
   // Open every instance whose span [m*s, m*s + r) contains t: start <= t
   // and end > t, i.e. end_floor = t + 1.
   OpenThrough(/*start_limit=*/t, /*end_floor=*/t + 1);
-  FW_CHECK_LT(event.key, config_.num_keys);
+  // The open set next changes when the oldest instance's end passes (a
+  // close) or when the next unopened instance's span begins (an open).
+  // Both bounds are > t here: OpenThrough just advanced next_open_start_
+  // past start_limit = t, and CloseBefore left only instances ending
+  // after t — so every run is non-empty.
+  TimeT boundary = next_open_start_;
+  if (!open_.empty()) {
+    const TimeT front_end = InstanceEnd(open_.front().m);
+    if (front_end < boundary) boundary = front_end;
+  }
+  return boundary;
+}
+
+void WindowAggregateOperator::AccumulateRun(const uint32_t* keys,
+                                            const double* values,
+                                            size_t count) {
+  if (count == 0) return;
+  if (open_.empty()) {
+    // Nothing to fold into (a data gap no instance spans); the per-event
+    // path would also do zero accumulate ops here, but keys must still
+    // validate.
+    for (size_t i = 0; i < count; ++i) FW_CHECK_LT(keys[i], config_.num_keys);
+    return;
+  }
+  if (count == 1) {
+    FW_CHECK_LT(keys[0], config_.num_keys);
+    for (Instance& instance : open_) {
+      accumulate_(&instance.states[keys[0]], values[0]);
+    }
+    accumulate_ops_ += open_.size();
+    return;
+  }
+  // Stable counting-sort grouping by key: within a key, values keep their
+  // stream order, so folding a group with one batch-kernel call is
+  // bitwise identical to the per-event folds (order-sensitive functions
+  // like FIRST/LAST included).
+  if (group_counts_.size() < config_.num_keys) {
+    group_counts_.assign(config_.num_keys, 0);
+    group_cursors_.assign(config_.num_keys, 0);
+  }
+  run_keys_.clear();
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t key = keys[i];
+    FW_CHECK_LT(key, config_.num_keys);
+    if (group_counts_[key]++ == 0) run_keys_.push_back(key);
+  }
+  const double* grouped = values;
+  if (run_keys_.size() > 1) {
+    // Scatter values into per-key segments, laid out in first-appearance
+    // key order.
+    uint32_t base = 0;
+    for (const uint32_t key : run_keys_) {
+      group_cursors_[key] = base;
+      base += group_counts_[key];
+    }
+    run_values_.resize(count);
+    for (size_t i = 0; i < count; ++i) {
+      run_values_[group_cursors_[keys[i]]++] = values[i];
+    }
+    grouped = run_values_.data();
+  }
+  // Single-key runs (num_keys == 1, or a key-clustered stream) skip the
+  // scatter: the input span is already one group in stream order.
   for (Instance& instance : open_) {
-    accumulate_(&instance.states[event.key], event.value);
-    ++accumulate_ops_;
+    const double* segment = grouped;
+    for (const uint32_t key : run_keys_) {
+      const size_t len = group_counts_[key];
+      AggState* state = &instance.states[key];
+      if (accumulate_batch_ != nullptr) {
+        accumulate_batch_(state, segment, len);
+      } else {
+        for (size_t i = 0; i < len; ++i) accumulate_(state, segment[i]);
+      }
+      segment += len;
+    }
+  }
+  accumulate_ops_ += static_cast<uint64_t>(count) * open_.size();
+  for (const uint32_t key : run_keys_) group_counts_[key] = 0;
+}
+
+void WindowAggregateOperator::OnEvents(const EventColumns& columns) {
+  const size_t n = columns.size();
+  const TimeT* ts = columns.timestamps.data();
+  size_t i = 0;
+  while (i < n) {
+    const TimeT boundary = PrepareRun(ts[i]);
+    size_t j = i + 1;
+    while (j < n && ts[j] < boundary) ++j;
+    AccumulateRun(columns.keys.data() + i, columns.values.data() + i, j - i);
+    i = j;
   }
 }
 

@@ -1,12 +1,14 @@
 #ifndef FW_EXEC_OPERATOR_H_
 #define FW_EXEC_OPERATOR_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <deque>
 #include <vector>
 
 #include "agg/aggregate.h"
 #include "exec/checkpoint.h"
+#include "exec/columns.h"
 #include "exec/event.h"
 #include "exec/sink.h"
 #include "window/window.h"
@@ -58,6 +60,31 @@ class WindowAggregateOperator {
 
   /// Raw-mode input; events must arrive in non-decreasing timestamp order.
   void OnEvent(const Event& event);
+
+  /// Columnar raw-mode input: exactly equivalent to calling OnEvent for
+  /// each row in order — bitwise, including emission order — but folds
+  /// per-run with the aggregate's batch kernel (DESIGN.md §14). The batch
+  /// must be timestamp-ordered, like OnEvent input.
+  void OnEvents(const EventColumns& columns);
+
+  /// Advances the close/open frontier to event-time `t` (the exact
+  /// CloseBefore/OpenThrough prefix OnEvent runs before its fold) and
+  /// returns the *run boundary*: the first timestamp at which the
+  /// open-instance set would change again. Every event with timestamp in
+  /// [t, boundary) folds into the current open set with no close or open
+  /// work, so a caller may fold such a span via AccumulateRun without
+  /// revisiting the frontier. Always returns a value > t.
+  TimeT PrepareRun(TimeT t);
+
+  /// Folds `count` events (parallel key/value columns, all with
+  /// timestamps inside the current run) into every open instance.
+  /// Pre-aggregates per key — a stable counting-sort groups the values so
+  /// each (instance, key) state takes one batch-kernel call (or the
+  /// derived scalar-loop fallback) over its values in stream order, which
+  /// keeps results bitwise identical to per-event folding. Counts one
+  /// accumulate op per (event × instance), exactly like OnEvent.
+  void AccumulateRun(const uint32_t* keys, const double* values,
+                     size_t count);
 
   /// Sub-aggregate input; records must arrive in non-decreasing `end`
   /// order (upstream operators emit in close order, which guarantees it).
@@ -138,6 +165,10 @@ class WindowAggregateOperator {
   /// registered descriptor at construction (plan build) — the hot loops
   /// below never dispatch through the registry or an enum switch.
   void (*accumulate_)(AggState*, double);
+  /// Batch fold; null when the function declares no kernel, in which case
+  /// AccumulateRun falls back to a scalar loop over accumulate_ (the
+  /// derived fallback of the accumulate_batch contract).
+  void (*accumulate_batch_)(AggState*, const double*, size_t);
   void (*merge_)(AggState*, const AggState&);
   double (*finalize_)(const AggState&);
   std::vector<WindowAggregateOperator*> children_;
@@ -145,6 +176,14 @@ class WindowAggregateOperator {
   int64_t next_m_ = 0;         // Next instance number not yet opened.
   TimeT next_open_start_ = 0;  // == next_m_ * slide.
   std::vector<std::vector<AggState>> state_pool_;  // Recycled buffers.
+  /// AccumulateRun scratch (counting-sort grouping). group_counts_ and
+  /// group_cursors_ are key-indexed and kept zeroed between runs via
+  /// run_keys_, the touched-key list, so a run costs O(count + touched)
+  /// regardless of num_keys.
+  std::vector<uint32_t> group_counts_;
+  std::vector<uint32_t> group_cursors_;
+  std::vector<uint32_t> run_keys_;
+  std::vector<double> run_values_;
   uint64_t accumulate_ops_ = 0;
   uint64_t closed_instances_ = 0;
   uint64_t finalized_results_ = 0;

@@ -2,6 +2,7 @@
 #define FW_RUNTIME_PARTITION_H_
 
 #include <algorithm>
+#include <cstddef>
 #include <cstdint>
 
 namespace fw {
@@ -25,6 +26,22 @@ inline uint32_t ShardForKey(uint32_t key, uint32_t num_shards) {
   uint32_t h = key * 2654435761u;
   h ^= h >> 16;
   return h % num_shards;
+}
+
+/// Batch form of ShardForKey: one pass over a whole key column (the
+/// columnar ingestion path), so the hash pipeline runs over a dense array
+/// instead of being re-entered per event. Must agree with ShardForKey
+/// element-for-element — it is the same function, just unrolled over the
+/// column.
+inline void ComputeShardIds(const uint32_t* keys, size_t count,
+                            uint32_t num_shards, uint32_t* out) {
+  if (num_shards <= 1) {
+    std::fill(out, out + count, 0u);
+    return;
+  }
+  for (size_t i = 0; i < count; ++i) {
+    out[i] = ShardForKey(keys[i], num_shards);
+  }
 }
 
 }  // namespace fw

@@ -14,12 +14,15 @@
 namespace fw {
 
 namespace {
-/// The SPSC hand-off unit: a producer-built event batch stamped with its
-/// enqueue time, so the consuming worker can record one
+/// The SPSC hand-off unit: a producer-built columnar event batch stamped
+/// with its enqueue time, so the consuming worker can record one
 /// enqueue→folded latency sample per batch — zero per-event clock reads.
-/// The stamp is 0 when telemetry is compiled out.
+/// The stamp is 0 when telemetry is compiled out. Columnar end to end:
+/// the producer appends routed events straight into the columns and the
+/// worker folds them through PlanExecutor::PushColumns, so per-event and
+/// columnar ingestion share one engine-side hot path.
 struct EventBatch {
-  std::vector<Event> events;
+  EventColumns columns;
   uint64_t enqueued_ns = 0;
 };
 }  // namespace
@@ -60,8 +63,8 @@ struct ShardedExecutor::Shard {
   BufferSink buffer FW_GUARDED_BY(worker_role);
   std::unique_ptr<PlanExecutor> executor FW_GUARDED_BY(worker_role);
   SpscQueue<EventBatch> queue;
-  /// Producer-side partial batch, session thread only.
-  std::vector<Event> pending FW_GUARDED_BY(session_role);
+  /// Producer-side partial batch (columnar), session thread only.
+  EventColumns pending FW_GUARDED_BY(session_role);
   /// Batches handed off so far; session thread only.
   uint64_t enqueued FW_GUARDED_BY(session_role) = 0;
   /// Batches fully processed; written by the worker (release) and read by
@@ -118,7 +121,7 @@ void ShardedExecutor::BuildTopology() {
     shard->session_role->AssertHeld();
     shard->executor =
         std::make_unique<PlanExecutor>(*plan_, exec_options, &shard->buffer);
-    shard->pending.reserve(options_.batch_size);
+    shard->pending.Reserve(options_.batch_size);
     shards_.push_back(std::move(shard));
   }
   for (auto& shard : shards_) {
@@ -131,7 +134,7 @@ void ShardedExecutor::BuildTopology() {
       s->worker_role.AssertHeld();
       EventBatch batch;
       while (s->queue.Pop(&batch)) {
-        for (const Event& event : batch.events) s->executor->Push(event);
+        s->executor->PushColumns(batch.columns);
         if (telemetry::kEnabled) {
           // One sample per batch: time from producer flush to fully
           // folded. kEnabled is constexpr, so OFF builds drop the whole
@@ -171,8 +174,8 @@ void ShardedExecutor::FlushPending(Shard* shard) {
   shard->session_role->AssertHeld();
   if (shard->pending.empty()) return;
   EventBatch batch;
-  batch.events.reserve(options_.batch_size);
-  batch.events.swap(shard->pending);  // Leaves a fresh reserved buffer.
+  batch.columns.Reserve(options_.batch_size);
+  batch.columns.Swap(&shard->pending);  // Leaves a fresh reserved buffer.
   batch.enqueued_ns = telemetry::NowNanosIfEnabled();
   shard->queue.Push(std::move(batch));
   ++shard->enqueued;
@@ -207,9 +210,55 @@ void ShardedExecutor::DeliverToShard(uint32_t shard_index,
   }
   Shard* shard = shards_[shard_index].get();
   shard->session_role->AssertHeld();  // Producer side: session thread.
-  shard->pending.push_back(event);
+  shard->pending.Append(event);
   if (shard->pending.size() >= options_.batch_size) FlushPending(shard);
   if (++events_since_drain_ >= options_.drain_interval) Drain();
+}
+
+void ShardedExecutor::PushColumns(const EventColumns& columns) {
+  session_role_.AssertHeld();  // Public entry: session thread only.
+  const size_t count = columns.size();
+  if (count == 0) return;
+  if (options_.max_delay > 0) {
+    // Lateness classification is inherently per event — each one tests or
+    // moves the watermark — so the batch unrolls into ReorderPush; the
+    // released events still land in the shards' columnar pending batches
+    // and fold through the engines' batch accumulate.
+    for (size_t i = 0; i < count; ++i) ReorderPush(columns[i]);
+    return;
+  }
+  if (!inline_executor_) FW_CHECK(!stopped_) << "Push after Finish";
+  // Strict mode: the batch is timestamp-ordered (same contract as Push),
+  // so its last timestamp is its maximum. Checkpoint/Resize cannot run
+  // mid-call, so advancing the frontier up front is equivalent to the
+  // per-event updates.
+  const TimeT last = columns.timestamps[count - 1];
+  if (!delivered_any_ || last > delivered_max_) {
+    delivered_max_ = last;
+    delivered_any_ = true;
+  }
+  if (inline_executor_) {
+    events_per_shard_[0] += count;
+    inline_executor_->PushColumns(columns);
+    return;
+  }
+  // One pass computes the whole batch's shard permutation — no per-event
+  // hash re-entry — then an arrival-order scatter keeps batch hand-offs
+  // and drain points at the exact event positions per-event Push would
+  // produce, so delivery order stays deterministic and identical.
+  shard_ids_.resize(count);
+  ComputeShardIds(columns.keys.data(), count, num_shards(),
+                  shard_ids_.data());
+  for (size_t i = 0; i < count; ++i) {
+    const uint32_t shard_index = shard_ids_[i];
+    ++events_per_shard_[shard_index];
+    Shard* shard = shards_[shard_index].get();
+    shard->session_role->AssertHeld();  // Producer side: session thread.
+    shard->pending.Append(columns.timestamps[i], columns.keys[i],
+                          columns.values[i]);
+    if (shard->pending.size() >= options_.batch_size) FlushPending(shard);
+    if (++events_since_drain_ >= options_.drain_interval) Drain();
+  }
 }
 
 void ShardedExecutor::ReorderPush(const Event& event) {

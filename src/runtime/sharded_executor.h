@@ -9,6 +9,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "exec/checkpoint.h"
+#include "exec/columns.h"
 #include "exec/engine.h"
 #include "exec/event.h"
 #include "exec/reorderer.h"
@@ -139,6 +140,14 @@ class ShardedExecutor {
   /// older than the watermark — counted late and dropped or side-output.
   /// Invalid after Finish.
   void Push(const Event& event);
+
+  /// Columnar ingestion: exactly equivalent to Push on each row in order
+  /// (same results, same drain points, same lateness decisions — bitwise),
+  /// but the whole batch's shard assignment is computed in one pass over
+  /// the key column and each shard's hand-off batches stay columnar end to
+  /// end, so the workers fold them through the engines' batch accumulate
+  /// (DESIGN.md §14). Same ordering contract as Push per mode.
+  void PushColumns(const EventColumns& columns);
 
   /// Ends the stream: drains the reorder buffers (every buffered event is
   /// released before any window finalizes), hands off everything pending,
@@ -336,6 +345,9 @@ class ShardedExecutor {
   std::vector<std::unique_ptr<Shard>> shards_ FW_GUARDED_BY(session_role_);
   uint64_t events_since_drain_ FW_GUARDED_BY(session_role_) = 0;
   bool stopped_ FW_GUARDED_BY(session_role_) = false;
+  /// PushColumns scratch: the batch's per-event shard assignment, computed
+  /// in one pass over the key column (grown once, reused per batch).
+  std::vector<uint32_t> shard_ids_ FW_GUARDED_BY(session_role_);
 
   /// Per-shard delivered-event counts for the current topology (session
   /// thread only; sized num_shards()).

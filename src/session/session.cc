@@ -13,6 +13,22 @@
 
 namespace fw {
 
+namespace {
+
+/// The one place the unified ingestion error contract is worded
+/// (session.h, Push): every rejection from Push, PushBatch, or
+/// PushColumns names the first rejected event's index within the call
+/// and its timestamp, with the cause appended. Events before the index
+/// were applied.
+Status IngestStopped(size_t index, TimeT timestamp, const Status& cause) {
+  return Status(cause.code(),
+                "ingest stopped at event " + std::to_string(index) +
+                    " (timestamp " + std::to_string(timestamp) +
+                    "): " + cause.message());
+}
+
+}  // namespace
+
 void StreamSession::CallbackSink::OnResult(const WindowResult& result) {
   ++owner_->results_delivered;
   if (owner_->callback) owner_->callback(result);
@@ -23,6 +39,8 @@ StreamSession::StreamSession() : StreamSession(Options{}) {}
 StreamSession::StreamSession(const Options& options)
     : options_(options),
       watermark_lag_hist_(metrics_.GetHistogram("session.watermark_lag")),
+      push_batch_size_hist_(
+          metrics_.GetHistogram("session.push_batch_size")),
       events_pushed_counter_(metrics_.GetCounter("session.events_pushed")),
       events_dropped_counter_(metrics_.GetCounter("session.events_dropped")),
       replans_counter_(metrics_.GetCounter("session.replans")),
@@ -359,14 +377,19 @@ Status StreamSession::Push(const Event& event) {
   session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
   if (options_.max_delay == 0 && event.timestamp < watermark_) {
-    return Status::InvalidArgument(
-        "out-of-order event: timestamp " + std::to_string(event.timestamp) +
-        " behind watermark " + std::to_string(watermark_));
+    return IngestStopped(
+        0, event.timestamp,
+        Status::InvalidArgument("out-of-order event: timestamp " +
+                                std::to_string(event.timestamp) +
+                                " behind watermark " +
+                                std::to_string(watermark_)));
   }
   if (event.key >= options_.num_keys) {
-    return Status::OutOfRange("event key " + std::to_string(event.key) +
-                              " outside key space [0, " +
-                              std::to_string(options_.num_keys) + ")");
+    return IngestStopped(
+        0, event.timestamp,
+        Status::OutOfRange("event key " + std::to_string(event.key) +
+                           " outside key space [0, " +
+                           std::to_string(options_.num_keys) + ")"));
   }
   if (event.timestamp > watermark_) watermark_ = event.timestamp;
   ++events_pushed_;
@@ -391,19 +414,86 @@ Status StreamSession::Push(const Event& event) {
 }
 
 Status StreamSession::PushBatch(const std::vector<Event>& events) {
-  for (size_t i = 0; i < events.size(); ++i) {
-    Status status = Push(events[i]);
-    if (!status.ok()) {
-      // Tell the caller exactly where the batch stopped; events before
-      // index i were applied.
-      return Status(status.code(),
-                    "batch stopped at event " + std::to_string(i) +
-                        " (timestamp " +
-                        std::to_string(events[i].timestamp) +
-                        "): " + status.message());
+  // Rows transpose into columns once, here, so PushColumns is the one
+  // batch hot path (same checks, same error wording, same engine folds).
+  return PushColumns(EventColumns::FromEvents(events));
+}
+
+Status StreamSession::PushColumns(const EventColumns& columns) {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
+  FW_RETURN_IF_ERROR(CheckMutable());
+  FW_RETURN_IF_ERROR(columns.Validate());
+  const size_t count = columns.size();
+  push_batch_size_hist_->Record(0, count);
+  if (count == 0) return Status::OK();
+
+  // Find the acceptable prefix under the ingestion contract — the same
+  // per-event checks Push applies, simulated against a local watermark so
+  // nothing is committed past the first rejection. Per-event telemetry
+  // (the watermark-lag distribution) records exactly as per-event Push
+  // would.
+  size_t accepted = count;
+  Status cause = Status::OK();
+  TimeT advanced = watermark_;
+  for (size_t i = 0; i < count; ++i) {
+    const TimeT timestamp = columns.timestamps[i];
+    if (options_.max_delay == 0 && timestamp < advanced) {
+      cause = Status::InvalidArgument(
+          "out-of-order event: timestamp " + std::to_string(timestamp) +
+          " behind watermark " + std::to_string(advanced));
+      accepted = i;
+      break;
+    }
+    if (columns.keys[i] >= options_.num_keys) {
+      cause = Status::OutOfRange(
+          "event key " + std::to_string(columns.keys[i]) +
+          " outside key space [0, " + std::to_string(options_.num_keys) +
+          ")");
+      accepted = i;
+      break;
+    }
+    if (timestamp > advanced) advanced = timestamp;
+    watermark_lag_hist_->Record(
+        0, static_cast<uint64_t>(advanced - columns.timestamps[i]));
+  }
+
+  // Apply the accepted prefix (possibly the whole batch).
+  watermark_ = advanced;
+  events_pushed_ += accepted;
+  events_pushed_counter_->Add(0, accepted);
+  if (!executor_) {
+    events_dropped_ += accepted;
+    events_dropped_counter_->Add(0, accepted);
+  } else if (accepted == count) {
+    executor_->PushColumns(columns);
+  } else if (accepted > 0) {
+    // Rejection mid-batch is the cold path: copy the accepted prefix so
+    // the executor still sees one columnar hand-off.
+    EventColumns prefix;
+    prefix.Reserve(accepted);
+    prefix.timestamps.assign(columns.timestamps.begin(),
+                             columns.timestamps.begin() +
+                                 static_cast<ptrdiff_t>(accepted));
+    prefix.keys.assign(columns.keys.begin(),
+                       columns.keys.begin() +
+                           static_cast<ptrdiff_t>(accepted));
+    prefix.values.assign(columns.values.begin(),
+                         columns.values.begin() +
+                             static_cast<ptrdiff_t>(accepted));
+    executor_->PushColumns(prefix);
+  }
+  if (executor_ && options_.auto_resize.enabled && accepted > 0) {
+    // One monitor step per batch (vs per event): resizes are exact, so
+    // *when* they trigger never affects results — only the sampling
+    // cadence coarsens to batch granularity.
+    events_since_resize_check_ += accepted;
+    if (events_since_resize_check_ >= options_.auto_resize.check_interval) {
+      events_since_resize_check_ = 0;
+      AutoResizeCheck();
     }
   }
-  return Status::OK();
+  if (accepted == count) return Status::OK();
+  return IngestStopped(accepted, columns.timestamps[accepted], cause);
 }
 
 Status StreamSession::Finish() {

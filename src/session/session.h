@@ -10,6 +10,7 @@
 
 #include "common/mutex.h"
 #include "common/status.h"
+#include "exec/columns.h"
 #include "exec/event.h"
 #include "multi/multi_query.h"
 #include "query/builder.h"
@@ -376,12 +377,32 @@ class StreamSession {
   /// max_delay > 0 disorder within the bound is reordered and deeper
   /// regressions follow the late policy (always OK). Events pushed while
   /// no query is live are counted and discarded.
+  ///
+  /// All three ingestion entry points (Push, PushBatch, PushColumns)
+  /// share one error contract: a rejection reports the first rejected
+  /// event's index within the call and its timestamp, with identical
+  /// wording ("ingest stopped at event I (timestamp T): <cause>"), and
+  /// every event before that index was applied — callers resume from the
+  /// reported index regardless of how they ingest. For Push the index is
+  /// always 0.
   Status Push(const Event& event);
 
-  /// Pushes a batch; stops at the first rejected event. The error Status
-  /// reports that event's batch index and timestamp (events before it
-  /// were applied), so callers can resume from the right spot.
+  /// Pushes a batch of row-form events; a thin wrapper that transposes
+  /// into EventColumns and forwards to PushColumns, so rows and columns
+  /// ride one hot path. Stops at the first rejected event under the
+  /// shared ingestion error contract (see Push).
   Status PushBatch(const std::vector<Event>& events);
+
+  /// Pushes a columnar (SoA) batch through the shared plan — the
+  /// vectorized ingestion path (DESIGN.md §14). Results are bitwise
+  /// identical to pushing the same events one at a time in column order,
+  /// at any shard count, under disorder, and across mid-stream Resize;
+  /// only the work per event shrinks (one shard-partition pass per batch,
+  /// per-run batch folds in the operators). Columns must be equal length
+  /// (columns.Validate(); nothing is applied on mismatch). Stops at the
+  /// first rejected event under the shared ingestion error contract (see
+  /// Push): the accepted prefix is applied, the rest is not.
+  Status PushColumns(const EventColumns& columns);
 
   /// Ends the stream: flushes every open window of every live query. The
   /// session is read-only afterwards (Push/AddQuery/RemoveQuery error);
@@ -473,6 +494,10 @@ class StreamSession {
   /// seen (in event-time units): 0 for in-order arrivals, the disorder
   /// distribution otherwise; late events land past max_delay.
   telemetry::Histogram* const watermark_lag_hist_;
+  /// Accepted events per PushBatch/PushColumns call (the ingestion batch
+  /// size distribution — how much amortization the columnar path gets).
+  /// Per-event Push does not record here.
+  telemetry::Histogram* const push_batch_size_hist_;
   telemetry::Counter* const events_pushed_counter_;
   telemetry::Counter* const events_dropped_counter_;
   telemetry::Counter* const replans_counter_;

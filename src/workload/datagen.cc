@@ -55,6 +55,34 @@ std::vector<Event> GenerateDebsLikeStream(size_t num_events,
   return events;
 }
 
+EventColumns GenerateSyntheticColumns(size_t num_events, uint32_t num_keys,
+                                      uint64_t seed) {
+  return EventColumns::FromEvents(
+      GenerateSyntheticStream(num_events, num_keys, seed));
+}
+
+EventColumns GenerateDebsLikeColumns(size_t num_events, uint32_t num_keys,
+                                     uint64_t seed) {
+  return EventColumns::FromEvents(
+      GenerateDebsLikeStream(num_events, num_keys, seed));
+}
+
+std::vector<EventColumns> SplitIntoColumns(const std::vector<Event>& events,
+                                           size_t batch_size) {
+  std::vector<EventColumns> chunks;
+  if (events.empty()) return chunks;
+  const size_t step = batch_size == 0 ? events.size() : batch_size;
+  chunks.reserve((events.size() + step - 1) / step);
+  for (size_t i = 0; i < events.size(); i += step) {
+    const size_t n = std::min(step, events.size() - i);
+    EventColumns chunk;
+    chunk.Reserve(n);
+    for (size_t j = 0; j < n; ++j) chunk.Append(events[i + j]);
+    chunks.push_back(std::move(chunk));
+  }
+  return chunks;
+}
+
 std::vector<Event> ApplyBoundedDisorder(std::vector<Event> events,
                                         size_t max_displacement,
                                         uint64_t seed) {

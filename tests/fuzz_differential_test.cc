@@ -163,9 +163,14 @@ struct RunOutput {
 
 // Applies the case's stream and churn schedule; Resize ops run only when
 // `apply_resizes` (the oracle ignores them and stays at `shards`). Query
-// callbacks tag results by creation order, which both runs share.
+// callbacks tag results by creation order, which both runs share. With
+// `columnar_seed` != 0 the run ingests through PushColumns in
+// randomly-sized batches (1..64 events, drawn from that seed), flushing
+// the pending batch before any churn/resize op so ops still fire at
+// their exact event indices — the oracle stays per-event, so every
+// differential check below also pins columnar ≡ scalar ingestion.
 void RunCase(const FuzzCase& c, uint32_t shards, bool apply_resizes,
-             RunOutput* out_ptr) {
+             uint64_t columnar_seed, RunOutput* out_ptr) {
   StreamSession::Options options;
   options.num_keys = c.num_keys;
   options.num_shards = shards;
@@ -193,8 +198,21 @@ void RunCase(const FuzzCase& c, uint32_t shards, bool apply_resizes,
   };
   add(c.initial_query);
 
+  Rng batch_rng(columnar_seed);
+  EventColumns pending;
+  size_t batch_target = 0;
+  auto flush = [&] {
+    if (pending.empty()) return;
+    Status status = session.PushColumns(pending);
+    ASSERT_TRUE(status.ok()) << status.ToString();
+    pending.clear();
+  };
+
   size_t next_op = 0;
   for (size_t i = 0; i < c.events.size(); ++i) {
+    if (next_op < c.ops.size() && c.ops[next_op].at_event == i) {
+      ASSERT_NO_FATAL_FAILURE(flush());
+    }
     while (next_op < c.ops.size() && c.ops[next_op].at_event == i) {
       const FuzzOp& op = c.ops[next_op++];
       switch (op.kind) {
@@ -215,9 +233,18 @@ void RunCase(const FuzzCase& c, uint32_t shards, bool apply_resizes,
           break;
       }
     }
-    Status status = session.Push(c.events[i]);
-    ASSERT_TRUE(status.ok()) << status.ToString();
+    if (columnar_seed != 0) {
+      if (pending.empty()) batch_target = batch_rng.Uniform(1, 64);
+      pending.Append(c.events[i]);
+      if (pending.size() >= batch_target) {
+        ASSERT_NO_FATAL_FAILURE(flush());
+      }
+    } else {
+      Status status = session.Push(c.events[i]);
+      ASSERT_TRUE(status.ok()) << status.ToString();
+    }
   }
+  ASSERT_NO_FATAL_FAILURE(flush());
   ASSERT_TRUE(session.Finish().ok());
   out.stats = session.Stats();
 }
@@ -230,12 +257,16 @@ void RunSeed(uint64_t seed) {
   const FuzzCase c = GenerateCase(seed);
 
   RunOutput oracle;
-  ASSERT_NO_FATAL_FAILURE(RunCase(c, 1, /*apply_resizes=*/false, &oracle));
+  ASSERT_NO_FATAL_FAILURE(
+      RunCase(c, 1, /*apply_resizes=*/false, /*columnar_seed=*/0, &oracle));
   ASSERT_FALSE(oracle.results.empty());
 
+  // The subject ingests columnar in randomly-sized batches (vs the
+  // oracle's per-event Push), so shard count, resize schedule, AND
+  // ingestion path all differ from the oracle at once.
   RunOutput subject;
-  ASSERT_NO_FATAL_FAILURE(
-      RunCase(c, c.initial_shards, /*apply_resizes=*/true, &subject));
+  ASSERT_NO_FATAL_FAILURE(RunCase(c, c.initial_shards, /*apply_resizes=*/true,
+                                  /*columnar_seed=*/seed * 2 + 1, &subject));
 
   // Bitwise-identical results (exact double equality through the map),
   // identical late side-output in arrival order, identical cumulative
