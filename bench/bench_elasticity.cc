@@ -13,7 +13,6 @@
 
 #include <algorithm>
 #include <cstdio>
-#include <cstring>
 #include <string>
 #include <vector>
 
@@ -24,34 +23,7 @@
 namespace fw {
 namespace {
 
-// Order-insensitive exact fingerprint of the delivered result multiset:
-// resizes move drain points, so delivery *order* legitimately differs —
-// XOR of per-result hashes compares content without order (and without
-// the rounding sensitivity a floating-point sum would have).
-struct RunTotals {
-  uint64_t results = 0;
-  uint64_t fingerprint = 0;
-
-  void Fold(const WindowResult& r) {
-    ++results;
-    uint64_t h = 0xcbf29ce484222325ull;  // FNV-1a over the result fields.
-    auto mix = [&h](uint64_t v) {
-      for (int i = 0; i < 8; ++i) {
-        h ^= (v >> (i * 8)) & 0xff;
-        h *= 0x100000001b3ull;
-      }
-    };
-    mix(static_cast<uint64_t>(r.operator_id));
-    mix(static_cast<uint64_t>(r.start));
-    mix(static_cast<uint64_t>(r.end));
-    mix(r.key);
-    uint64_t bits;
-    static_assert(sizeof(bits) == sizeof(r.value));
-    std::memcpy(&bits, &r.value, sizeof(bits));
-    mix(bits);
-    fingerprint ^= h;
-  }
-};
+using RunTotals = bench::ResultFingerprint;
 
 int Run(int argc, char** argv) {
   bench::BenchArgs args = bench::ParseBenchArgs(
@@ -163,8 +135,7 @@ int Run(int argc, char** argv) {
                            &metrics)) {
     return rc;
   }
-  if (ramped.results != reference.results ||
-      ramped.fingerprint != reference.fingerprint) {
+  if (!ramped.Matches(reference)) {
     std::fprintf(stderr,
                  "exactness violated: ramp delivered %llu results "
                  "(fingerprint %016llx) vs fixed %llu (%016llx)\n",

@@ -10,6 +10,7 @@
 
 #include <cstdio>
 #include <cstdlib>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -151,6 +152,42 @@ inline Status IngestStream(StreamSession& session,
   }
   return Status::OK();
 }
+
+/// Order-insensitive exact fingerprint of a delivered result multiset:
+/// resizes and replans move drain points, so delivery *order*
+/// legitimately differs between runs — the XOR of per-result FNV-1a
+/// hashes compares content without order (and without the rounding
+/// sensitivity a floating-point sum would have). Used by the elasticity
+/// and adaptive benches to prove a throughput win never comes from
+/// dropped or duplicated work.
+struct ResultFingerprint {
+  uint64_t results = 0;
+  uint64_t fingerprint = 0;
+
+  void Fold(const WindowResult& r) {
+    ++results;
+    uint64_t h = 0xcbf29ce484222325ull;
+    auto mix = [&h](uint64_t v) {
+      for (int i = 0; i < 8; ++i) {
+        h ^= (v >> (i * 8)) & 0xff;
+        h *= 0x100000001b3ull;
+      }
+    };
+    mix(static_cast<uint64_t>(r.operator_id));
+    mix(static_cast<uint64_t>(r.start));
+    mix(static_cast<uint64_t>(r.end));
+    mix(r.key);
+    uint64_t bits;
+    static_assert(sizeof(bits) == sizeof(r.value));
+    std::memcpy(&bits, &r.value, sizeof(bits));
+    mix(bits);
+    fingerprint ^= h;
+  }
+
+  bool Matches(const ResultFingerprint& other) const {
+    return results == other.results && fingerprint == other.fingerprint;
+  }
+};
 
 inline std::vector<Event> SyntheticDefault() {
   return GenerateSyntheticStream(

@@ -19,7 +19,16 @@ runners; individual outliers are still printed for triage):
 
       perf_smoke.py --columnar results.json [--min-ratio 1.15]
 
-Exit status: 0 within budget/floor, 1 over it, 2 usage/parse error.
+* Shape check. Validates that each FILE is a benchmark result with a
+  non-empty "benchmarks" array whose entries carry positive
+  items_per_second values — the gate CI's bench smoke runs over
+  bench_adaptive.json so a silently-empty artifact can never pass:
+
+      perf_smoke.py --check FILE [FILE ...]
+
+Exit status: 0 within budget/floor, 1 over it, 2 usage/parse error —
+including missing, empty, or rate-less "benchmarks" entries, which fail
+with a named file and reason rather than a traceback.
 """
 
 import argparse
@@ -30,19 +39,32 @@ import sys
 
 def load_items_per_second(path):
     """Benchmark name -> items_per_second. With repetitions, prefers the
-    *_mean aggregate over raw iterations."""
+    *_mean aggregate over raw iterations. Exits 2 with a named reason on
+    any malformed input — a truncated or empty result file must fail the
+    gate loudly, not sail through with zero rows."""
     try:
         with open(path, "r", encoding="utf-8") as f:
             doc = json.load(f)
     except (OSError, ValueError) as err:
         print("perf_smoke: cannot read %s: %s" % (path, err))
         sys.exit(2)
+    if not isinstance(doc, dict) or "benchmarks" not in doc:
+        print("perf_smoke: %s has no 'benchmarks' key — not a benchmark "
+              "result file" % path)
+        sys.exit(2)
+    benchmarks = doc["benchmarks"]
+    if not isinstance(benchmarks, list) or not benchmarks:
+        print("perf_smoke: %s has an empty 'benchmarks' array — the "
+              "benchmark produced no results" % path)
+        sys.exit(2)
     rates = {}
     aggregates = {}
-    for bench in doc.get("benchmarks", []):
+    for bench in benchmarks:
+        if not isinstance(bench, dict):
+            continue
         name = bench.get("name", "")
         rate = bench.get("items_per_second")
-        if rate is None:
+        if not isinstance(rate, (int, float)) or rate <= 0:
             continue
         if bench.get("run_type") == "aggregate":
             if bench.get("aggregate_name") == "mean":
@@ -50,6 +72,10 @@ def load_items_per_second(path):
         else:
             rates.setdefault(name, rate)
     rates.update(aggregates)
+    if not rates:
+        print("perf_smoke: no entry in %s carries a positive "
+              "items_per_second — nothing to gate on" % path)
+        sys.exit(2)
     return rates
 
 
@@ -74,6 +100,9 @@ def columnar_pairs(rates):
 def gate(rows, count_label, geomean_floor, fail_message):
     """Prints a ratio table and applies the geomean floor. `rows` is a
     list of (label, denominator_rate, numerator_rate)."""
+    if not rows:
+        print("perf_smoke: no %s to gate on" % count_label)
+        return 2
     log_sum = 0.0
     for _, denom, num in rows:
         ratio = num / denom if denom > 0 else 1.0
@@ -133,6 +162,18 @@ def run_columnar(opts):
                 % opts.min_ratio)
 
 
+def run_check(paths):
+    """Shape gate: every file must load as a benchmark result with at
+    least one positive items_per_second entry (load_items_per_second
+    exits 2 otherwise). Prints the rates it found for the CI log."""
+    for path in paths:
+        rates = load_items_per_second(path)
+        for name in sorted(rates):
+            print("%-44s %14.0f items/s" % (name, rates[name]))
+        print("perf_smoke: %s OK (%d benchmarks)" % (path, len(rates)))
+    return 0
+
+
 def main(argv):
     parser = argparse.ArgumentParser(description=__doc__.splitlines()[0])
     parser.add_argument("--on", dest="on_path",
@@ -146,16 +187,26 @@ def main(argv):
                              "twins; gates columnar/scalar speedup")
     parser.add_argument("--min-ratio", type=float, default=1.15,
                         help="columnar geomean speedup floor (default 1.15)")
+    parser.add_argument("--check", dest="check_paths", nargs="+",
+                        metavar="FILE",
+                        help="validate benchmark result files: each needs "
+                             "a non-empty 'benchmarks' array with positive "
+                             "items_per_second entries")
     opts = parser.parse_args(argv)
 
+    modes = [bool(opts.check_paths), bool(opts.columnar_path),
+             bool(opts.on_path or opts.off_path)]
+    if sum(modes) > 1:
+        print("perf_smoke: --check, --columnar, and --on/--off are "
+              "mutually exclusive")
+        return 2
+    if opts.check_paths:
+        return run_check(opts.check_paths)
     if opts.columnar_path:
-        if opts.on_path or opts.off_path:
-            print("perf_smoke: --columnar is exclusive with --on/--off")
-            return 2
         return run_columnar(opts)
     if not opts.on_path or not opts.off_path:
-        print("perf_smoke: need either --columnar FILE or both --on and "
-              "--off")
+        print("perf_smoke: need --check FILE..., --columnar FILE, or both "
+              "--on and --off")
         return 2
     return run_overhead(opts)
 

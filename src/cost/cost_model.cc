@@ -59,6 +59,10 @@ CostModel::CostModel(const WindowSet& windows, double eta) : eta_(eta) {
   exact_ = hp.exact;
 }
 
+CostModel::CostModel(const WindowSet& windows, const RuntimeProfile& profile,
+                     double assumed_eta)
+    : CostModel(windows, profile.eta_or(assumed_eta)) {}
+
 double CostModel::Multiplicity(const Window& w) const {
   return hyper_period_ / static_cast<double>(w.range());
 }

@@ -5,6 +5,7 @@
 #include <optional>
 #include <vector>
 
+#include "cost/runtime_profile.h"
 #include "window/window.h"
 #include "window/window_set.h"
 
@@ -32,6 +33,17 @@ class CostModel {
   /// that overflows uint64, a real-valued fallback (product-based upper
   /// bound) is used and exact_hyper_period() is nullopt.
   explicit CostModel(const WindowSet& windows, double eta = 1.0);
+
+  /// Builds the model priced from *observed* runtime statistics instead of
+  /// a planning-time assumption: η is the profile's measured event rate,
+  /// falling back to `assumed_eta` while the profile has no rate yet (a
+  /// fresh session hands the optimizer an empty profile). This is the
+  /// feedback edge of the runtime-adaptive loop: StreamSession derives the
+  /// profile from its live metrics, the drift detector re-runs the
+  /// optimizer through this constructor, and sharing decisions made at
+  /// AddQuery time self-correct to the stream actually seen.
+  CostModel(const WindowSet& windows, const RuntimeProfile& profile,
+            double assumed_eta = 1.0);
 
   /// Hyper-period as a real number.
   double hyper_period() const { return hyper_period_; }

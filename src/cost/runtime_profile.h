@@ -1,0 +1,77 @@
+#ifndef FW_COST_RUNTIME_PROFILE_H_
+#define FW_COST_RUNTIME_PROFILE_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace fw {
+
+/// Observed runtime statistics in the cost model's own vocabulary — the
+/// feedback half of the runtime-adaptive loop (DESIGN.md §15). The paper
+/// prices plans from a *static* event rate η (§III-B.1); a RuntimeProfile
+/// carries the measured counterpart, derived from StreamSession::Metrics()
+/// (the telemetry layer's per-operator accumulate/close/finalize counters
+/// and the per-shard skew tallies), so the optimizer can re-cost with
+/// observed-η instead of the assumption it was planned with.
+///
+/// The struct deliberately depends on nothing: cost/ sits at the bottom of
+/// the layer stack, and both CostModel (which consumes observed_eta) and
+/// StreamSession (which produces profiles) can include it without cycles.
+struct RuntimeProfile {
+  /// EWMA of the observed event rate, in events per event-time unit — the
+  /// measured η. 0 until at least one rate observation exists (an
+  /// event-time rate needs two samples with advancing timestamps).
+  double observed_eta = 0.0;
+
+  /// Hottest-shard load over the mean shard load (events delivered per
+  /// shard since the current topology was built): 1.0 is perfect balance,
+  /// k means the hottest shard carries k× its fair share. 1.0 while idle,
+  /// inline, or before any event. The shard-cost divisor in
+  /// SharedPlan::ShardedCost assumes perfect balance; this is the measured
+  /// correction factor.
+  double key_skew = 1.0;
+
+  /// Per-operator engine counters of the current shared plan, indexed like
+  /// the plan's operators (see StreamSession::OperatorMetrics for the
+  /// counter semantics).
+  struct OperatorProfile {
+    int operator_id = 0;
+    uint64_t accumulate_ops = 0;
+    uint64_t closed_instances = 0;
+    uint64_t finalized_results = 0;
+
+    /// Accumulate/merge ops per closed window instance — the measured
+    /// per-instance cost µ the model prices as η·r (raw) or M(W, W')
+    /// (shared). 0 before any instance closed.
+    double ops_per_close() const {
+      return closed_instances == 0
+                 ? 0.0
+                 : static_cast<double>(accumulate_ops) /
+                       static_cast<double>(closed_instances);
+    }
+
+    /// Finalized results per closed instance — the operator's observed
+    /// selectivity (keys active per instance). 0 for unexposed factor
+    /// windows, which never finalize.
+    double finalize_ratio() const {
+      return closed_instances == 0
+                 ? 0.0
+                 : static_cast<double>(finalized_results) /
+                       static_cast<double>(closed_instances);
+    }
+  };
+  std::vector<OperatorProfile> operators;
+
+  /// True once the profile carries a measured rate.
+  bool has_rate() const { return observed_eta > 0.0; }
+
+  /// The measured η, or `fallback` (typically the planning-time
+  /// assumption) while unobserved.
+  double eta_or(double fallback) const {
+    return has_rate() ? observed_eta : fallback;
+  }
+};
+
+}  // namespace fw
+
+#endif  // FW_COST_RUNTIME_PROFILE_H_

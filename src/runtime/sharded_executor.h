@@ -194,6 +194,17 @@ class ShardedExecutor {
   /// Clears all shard state, counters, and buffered results.
   void Reset();
 
+  /// Replaces the late-event side output (see Options::late_sink; null
+  /// means count-and-drop). Takes effect with the next pushed event; the
+  /// sink must outlive the executor. Exists for crossover replans: while
+  /// two pipelines ingest the same stream, the new one's late stream is a
+  /// subset of the old one's, so the session mutes it here to keep the
+  /// side output (and its ordering) identical to a single-pipeline run.
+  void set_late_sink(EventConsumer* late_sink) {
+    session_role_.AssertHeld();  // Public entry: session thread only.
+    options_.late_sink = late_sink;
+  }
+
   /// Total accumulate/merge ops across all shards. Synchronizes with the
   /// workers (waits until pushed events are processed); logically const.
   uint64_t TotalAccumulateOps() const;

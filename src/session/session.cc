@@ -27,12 +27,106 @@ Status IngestStopped(size_t index, TimeT timestamp, const Status& cause) {
                     "): " + cause.message());
 }
 
+/// AutoResizeOptions kept lenient legacy defaults (min_shards or
+/// scale_down_checks of 0 were historically tolerated); ResizePolicy
+/// validates strictly, so sanitize at the boundary instead of aborting
+/// sessions that never enable the monitor.
+ResizePolicy::Options PolicyOptionsFrom(
+    const StreamSession::AutoResizeOptions& options) {
+  ResizePolicy::Options policy;
+  policy.min_shards = std::max(options.min_shards, 1u);
+  policy.max_shards = std::max(options.max_shards, policy.min_shards);
+  policy.scale_up_occupancy = options.scale_up_occupancy;
+  policy.scale_down_occupancy = options.scale_down_occupancy;
+  policy.scale_down_checks =
+      options.scale_down_checks > 0
+          ? static_cast<uint32_t>(options.scale_down_checks)
+          : 1u;
+  policy.target_rate_per_shard = std::max(options.target_rate_per_shard, 0.0);
+  policy.handoff_p99_budget_ns = options.handoff_p99_budget_ns;
+  return policy;
+}
+
+/// RateEstimator validates alpha strictly; a session with adaptive
+/// features disabled must not abort on an ignored knob (the enabled case
+/// is checked loudly in the constructor body).
+double SanitizedRateAlpha(double alpha) {
+  return alpha > 0.0 && alpha <= 1.0 ? alpha : 0.3;
+}
+
+/// Largest window range in the plan: a crossover's old pipeline owns
+/// every instance starting before the cutover C, and the last of those
+/// ends strictly before C + max_range — so it can retire once the
+/// release watermark reaches C - 1 + max_range.
+TimeT MaxRange(const QueryPlan& plan) {
+  TimeT max_range = 0;
+  for (const PlanOperator& op : plan.operators()) {
+    max_range = std::max(max_range, op.window.range());
+  }
+  return max_range;
+}
+
+/// Copies rows [begin, end) of a columnar batch — the cold paths
+/// (mid-batch rejection, monitor-sample segmentation) re-slice so the
+/// executor still sees columnar hand-offs.
+EventColumns SliceColumns(const EventColumns& columns, size_t begin,
+                          size_t end) {
+  EventColumns out;
+  out.Reserve(end - begin);
+  out.timestamps.assign(
+      columns.timestamps.begin() + static_cast<ptrdiff_t>(begin),
+      columns.timestamps.begin() + static_cast<ptrdiff_t>(end));
+  out.keys.assign(columns.keys.begin() + static_cast<ptrdiff_t>(begin),
+                  columns.keys.begin() + static_cast<ptrdiff_t>(end));
+  out.values.assign(columns.values.begin() + static_cast<ptrdiff_t>(begin),
+                    columns.values.begin() + static_cast<ptrdiff_t>(end));
+  return out;
+}
+
 }  // namespace
 
 void StreamSession::CallbackSink::OnResult(const WindowResult& result) {
   ++owner_->results_delivered;
   if (owner_->callback) owner_->callback(result);
 }
+
+/// See the declaration in session.h: the era gate every pipeline routes
+/// through. Results pass iff their window start lies in
+/// [min_start, max_start) — open on both ends until a crossover narrows
+/// the old pipeline to starts < C and the new one to starts >= C.
+class StreamSession::StartGateSink : public ResultSink {
+ public:
+  explicit StartGateSink(ResultSink* next) : next_(next) {}
+
+  void OnResult(const WindowResult& result) override {
+    if (result.start >= min_start_ && result.start < max_start_) {
+      next_->OnResult(result);
+    }
+  }
+
+  void set_min_start(TimeT min_start) { min_start_ = min_start; }
+  void set_max_start(TimeT max_start) { max_start_ = max_start; }
+
+ private:
+  ResultSink* next_;
+  TimeT min_start_ = std::numeric_limits<TimeT>::min();
+  TimeT max_start_ = std::numeric_limits<TimeT>::max();
+};
+
+/// The outgoing pipeline of a structural drift replan (see session.h).
+/// Members declare in dependency order — executor references gate, gate
+/// references router, router references the shared plan's subscription
+/// table — so the implicit reverse-order destruction is safe.
+struct StreamSession::DriftCrossover {
+  std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared;
+  std::unique_ptr<RoutingSink> router;
+  std::unique_ptr<StartGateSink> gate;
+  std::unique_ptr<ShardedExecutor> executor;
+  std::vector<std::string> lineages;
+  /// End of the last window instance owned by the old pipeline (instance
+  /// starts < cutover): retire once the release watermark reaches it.
+  TimeT retire_at = 0;
+};
 
 StreamSession::StreamSession() : StreamSession(Options{}) {}
 
@@ -52,10 +146,23 @@ StreamSession::StreamSession(const Options& options)
       accumulate_ops_gauge_(metrics_.GetGauge("engine.accumulate_ops_total")),
       closed_total_gauge_(metrics_.GetGauge("engine.closed_instances_total")),
       finalized_total_gauge_(
-          metrics_.GetGauge("engine.finalized_results_total")) {
+          metrics_.GetGauge("engine.finalized_results_total")),
+      drift_replans_counter_(metrics_.GetCounter("session.drift_replans")),
+      observed_eta_gauge_(metrics_.GetGauge("session.observed_eta")),
+      throughput_eps_gauge_(metrics_.GetGauge("session.throughput_eps")),
+      handoff_hist_(metrics_.GetHistogram("executor.batch_handoff_ns")),
+      resize_policy_(PolicyOptionsFrom(options.auto_resize)),
+      rate_(SanitizedRateAlpha(options.adaptive.rate_alpha)) {
   session_role_.AssertHeld();  // Constructing thread is the caller thread.
   FW_CHECK_GT(options.num_keys, 0u);
   FW_CHECK_GE(options.max_delay, 0);
+  if (options_.adaptive.enabled) {
+    FW_CHECK_GT(options_.adaptive.rate_alpha, 0.0);
+    FW_CHECK_LE(options_.adaptive.rate_alpha, 1.0);
+    FW_CHECK_GT(options_.adaptive.check_interval, 0u);
+    FW_CHECK_GE(options_.adaptive.reoptimize_ratio, 1.0);
+  }
+  planned_eta_ = options_.optimizer.eta;
   if (options_.max_delay > 0 &&
       options_.late_policy == LatePolicy::kSideOutput &&
       options_.late_callback) {
@@ -66,9 +173,12 @@ StreamSession::StreamSession(const Options& options)
 
 StreamSession::~StreamSession() {
   session_role_.AssertHeld();  // Destroying thread is the caller thread.
-  // The executor references the router, which references the queries'
-  // sinks; tear down in dependency order.
+  // Each pipeline's executor references its gate, the gate its router,
+  // the router the queries' sinks; tear down in dependency order, the
+  // crossover's outgoing pipeline first.
+  cross_.reset();
   executor_.reset();
+  gate_.reset();
   router_.reset();
 }
 
@@ -188,27 +298,59 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
     // dropped — nobody subscribes to them anymore). Results already
     // emitted but still buffered in the shards belong to windows that
     // closed before the removal, so deliver them first, exactly like the
-    // single-threaded path did during Push.
+    // single-threaded path did during Push. During a crossover both
+    // pipelines only *drain* — the idle path never closes windows, so
+    // flush-closing the gated new executor here would emit results a
+    // static-plan session never emits, into callbacks being removed.
     if (executor_) {
+      if (cross_) cross_->executor->Drain();
       executor_->Drain();
-      retired_ops_ += executor_->TotalAccumulateOps();
-      // The reorder stage retires with the pipeline: its buffered events
-      // belonged to windows nobody subscribes to anymore, its counters
-      // move into the session tallies, and the event-time clock restarts
-      // on revival.
-      retired_late_ += executor_->late_events();
-      retired_reorder_peak_ =
-          std::max(retired_reorder_peak_, executor_->reorder_buffer_peak());
-      retired_watermark_ = executor_->current_watermark();
-      for (uint64_t c : executor_->PerOperatorCloses()) {
-        retired_closes_total_ += c;
-      }
-      for (uint64_t f : executor_->PerOperatorFinalizes()) {
-        retired_finalizes_total_ += f;
+      if (cross_) {
+        // The old pipeline is the oracle-visible one: it saw the whole
+        // stream with the session's original clock, so its lates, peak,
+        // and watermark retire as the session's. The new pipeline's
+        // reorder stage is a muted warm-up duplicate — only its real
+        // work (ops) and close tallies bank.
+        retired_ops_ += cross_->executor->TotalAccumulateOps();
+        retired_late_ += cross_->executor->late_events();
+        retired_reorder_peak_ = std::max(
+            retired_reorder_peak_, cross_->executor->reorder_buffer_peak());
+        retired_watermark_ = cross_->executor->current_watermark();
+        for (uint64_t c : cross_->executor->PerOperatorCloses()) {
+          retired_closes_total_ += c;
+        }
+        for (uint64_t f : cross_->executor->PerOperatorFinalizes()) {
+          retired_finalizes_total_ += f;
+        }
+        retired_ops_ += executor_->TotalAccumulateOps();
+        for (uint64_t c : executor_->PerOperatorCloses()) {
+          retired_closes_total_ += c;
+        }
+        for (uint64_t f : executor_->PerOperatorFinalizes()) {
+          retired_finalizes_total_ += f;
+        }
+      } else {
+        retired_ops_ += executor_->TotalAccumulateOps();
+        // The reorder stage retires with the pipeline: its buffered
+        // events belonged to windows nobody subscribes to anymore, its
+        // counters move into the session tallies, and the event-time
+        // clock restarts on revival.
+        retired_late_ += executor_->late_events();
+        retired_reorder_peak_ = std::max(retired_reorder_peak_,
+                                         executor_->reorder_buffer_peak());
+        retired_watermark_ = executor_->current_watermark();
+        for (uint64_t c : executor_->PerOperatorCloses()) {
+          retired_closes_total_ += c;
+        }
+        for (uint64_t f : executor_->PerOperatorFinalizes()) {
+          retired_finalizes_total_ += f;
+        }
       }
       metrics_.RecordTrace(telemetry::TraceKind::kIdleRetire);
     }
+    cross_.reset();
     executor_.reset();
+    gate_.reset();
     router_.reset();
     shared_.reset();
     lineages_.clear();
@@ -238,6 +380,13 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
                                       options_.track_baseline);
   if (!shared.ok()) return shared.status();
 
+  // A churn replan folds an in-flight crossover back into one pipeline
+  // first: the restored (old) pipeline saw the whole stream, so the
+  // checkpoint below migrates exactly a static pipeline's state. Ordered
+  // after the optimizer run — an optimizer error must leave the session
+  // (including the crossover) untouched.
+  if (cross_) FW_RETURN_IF_ERROR(CancelCrossover());
+
   // Materialize the owned plan first: the executor keeps a pointer to it
   // for its whole lifetime (Resize rebuilds engines over it), so it must
   // live at its final address before any executor is constructed.
@@ -260,6 +409,7 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
 
   auto router = std::make_unique<RoutingSink>(*shared_owned, queries,
                                               std::move(sinks));
+  auto gate = std::make_unique<StartGateSink>(router.get());
   ShardedExecutor::Options exec_options;
   exec_options.num_keys = options_.num_keys;
   exec_options.num_shards = options_.num_shards;
@@ -268,7 +418,7 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
   exec_options.metrics = &metrics_;
   auto executor = std::make_unique<ShardedExecutor>(shared_owned->plan,
                                                     exec_options,
-                                                    router.get());
+                                                    gate.get());
   if (executor_) {
     FW_RETURN_IF_ERROR(executor->Restore(migration.checkpoint));
     retired_ops_ += executor_->TotalAccumulateOps() - migration.carried_ops;
@@ -283,8 +433,10 @@ Status StreamSession::Rebuild(const std::vector<LiveQuery*>& live) {
     }
   }
 
-  // Commit; destroy the old executor before the router it references.
+  // Commit; destroy the old executor before the gate and router it
+  // references.
   executor_ = std::move(executor);
+  gate_ = std::move(gate);
   router_ = std::move(router);
   shared_ = std::move(shared_owned);
   lineages_ = std::move(lineages);
@@ -312,7 +464,8 @@ Status StreamSession::Resize(uint32_t new_num_shards) {
     // In-place exact handoff (runtime/ShardedExecutor::Resize): drains,
     // merges shard checkpoints, rebuilds at the new width, re-splits.
     // Cumulative counters ride inside the checkpoint, so nothing is
-    // retired here.
+    // retired here. During a crossover only the live pipeline re-scales;
+    // the outgoing one keeps its width for its bounded remaining life.
     FW_RETURN_IF_ERROR(executor_->Resize(new_num_shards));
   }
   options_.num_shards = new_num_shards;  // Future replans keep the width.
@@ -324,53 +477,269 @@ Status StreamSession::Resize(uint32_t new_num_shards) {
                        executor_ ? executor_->num_shards()
                                  : EffectiveShards(options_.num_shards,
                                                    options_.num_keys));
-  low_occupancy_checks_ = 0;
+  resize_policy_.OnApplied();
   return Status::OK();
 }
 
-void StreamSession::AutoResizeCheck() {
+void StreamSession::AutoResizeCheck(uint64_t events_at_sample,
+                                    TimeT wm_at_sample) {
   const AutoResizeOptions& policy = options_.auto_resize;
-  const uint32_t floor = std::max(policy.min_shards, 1u);
-  const uint32_t ceiling = std::max(policy.max_shards, floor);
-  const uint32_t current = executor_->num_shards();
-  uint32_t target = current;
-  if (current < floor) {
-    target = floor;  // Clamp into range (boots 1-shard sessions up).
-  } else if (current > ceiling) {
-    target = ceiling;
-  } else {
-    const double occupancy = executor_->RingOccupancy();
-    ring_occupancy_gauge_->Set(occupancy);
-    if (occupancy >= policy.scale_up_occupancy && current < ceiling) {
-      target = std::min(current * 2, ceiling);
-      low_occupancy_checks_ = 0;
-    } else if (occupancy <= policy.scale_down_occupancy &&
-               current > std::max(floor, 2u)) {
-      // Never scale *into* inline mode: a 1-shard session has no rings,
-      // so the occupancy signal vanishes and the monitor could never
-      // scale back up. Reaching 1 shard takes an explicit Resize.
-      if (++low_occupancy_checks_ < policy.scale_down_checks) return;
-      target = std::max(current / 2, std::max(floor, 2u));
-    } else {
-      low_occupancy_checks_ = 0;
-      return;
-    }
+  // The throughput signal shares the drift detector's rate estimator;
+  // whichever monitor samples first feeds it the next delta.
+  if (policy.target_rate_per_shard > 0.0) {
+    ObserveRate(events_at_sample, wm_at_sample);
   }
-  // A resize that cannot change the effective width (keyless plan, or
-  // already one shard per key) would churn executors for nothing — the
-  // cost model prices it as gain 1.
-  if (target == current ||
-      EffectiveShards(target, options_.num_keys) == current ||
+  ResizeSignal signal;
+  signal.current_shards = executor_->num_shards();
+  signal.ring_occupancy = executor_->RingOccupancy();
+  ring_occupancy_gauge_->Set(signal.ring_occupancy);
+  if (policy.target_rate_per_shard > 0.0 && rate_.has_observations()) {
+    signal.rate_valid = true;
+    signal.observed_rate = rate_.rate();
+  }
+  if (policy.handoff_p99_budget_ns > 0 && telemetry::kEnabled) {
+    // Per-interval delta, not lifetime percentiles: an old congestion
+    // spike must not block scale-downs forever.
+    telemetry::HistogramSnapshot now = handoff_hist_->Snapshot();
+    signal.handoff_p99_ns = static_cast<uint64_t>(
+        telemetry::Delta(now, last_handoff_snap_).Percentile(0.99));
+    last_handoff_snap_ = now;
+  }
+
+  const uint32_t current = signal.current_shards;
+  const uint32_t target = resize_policy_.Decide(signal);
+  if (target == current) return;
+  // Every proposal — scale-up, scale-down, or out-of-bounds clamp —
+  // passes the same guards: a resize that cannot change the effective
+  // width (keyless plan, or already one shard per key) would churn
+  // executors for nothing, and a scale-up the cost model prices at gain
+  // <= 1 cannot pay for its swap. Vetoes report back to the policy so
+  // the hysteresis streak resets instead of re-firing a hopeless
+  // proposal every sample.
+  if (EffectiveShards(target, options_.num_keys) == current ||
       (target > current && shared_ &&
        shared_->PredictedResizeGain(current, target, options_.num_keys) <=
            1.0)) {
+    resize_policy_.OnVetoed();
     return;
   }
-  // Best-effort: a failed auto-resize (cannot happen for the plans a
-  // session admits — they always checkpoint) leaves the session at its
-  // current width, to retry at the next sample.
+  // Best-effort: a failed resize (cannot happen for the plans a session
+  // admits — they always checkpoint) leaves the current width standing,
+  // to retry after a fresh streak.
   Status status = Resize(target);
-  (void)status;
+  if (!status.ok()) resize_policy_.OnVetoed();
+}
+
+void StreamSession::ObserveRate(uint64_t events_at_sample,
+                                TimeT wm_at_sample) {
+  if (!rate_seeded_) {
+    // First sample pins the origin; the estimator needs a delta.
+    rate_seeded_ = true;
+    rate_last_events_ = events_at_sample;
+    rate_last_wm_ = wm_at_sample;
+    rate_last_ns_ = telemetry::NowNanosIfEnabled();
+    return;
+  }
+  const uint64_t events = events_at_sample - rate_last_events_;
+  const TimeT span = wm_at_sample - rate_last_wm_;
+  if (events == 0 && span <= 0) return;  // Same stream position.
+  rate_.ObserveBatch(events, span);
+  rate_last_events_ = events_at_sample;
+  rate_last_wm_ = wm_at_sample;
+  if (rate_.has_observations()) {
+    observed_eta_gauge_->Set(rate_.rate());
+  }
+  // Wall-clock events/sec is export-only (decisions use the event-time
+  // rate above, which replays deterministically).
+  const uint64_t now_ns = telemetry::NowNanosIfEnabled();
+  if (now_ns > rate_last_ns_ && rate_last_ns_ > 0 && events > 0) {
+    throughput_eps_gauge_->Set(static_cast<double>(events) * 1e9 /
+                               static_cast<double>(now_ns - rate_last_ns_));
+  }
+  rate_last_ns_ = now_ns;
+}
+
+void StreamSession::DriftCheck(uint64_t events_at_sample,
+                               TimeT wm_at_sample) {
+  ObserveRate(events_at_sample, wm_at_sample);
+  if (cross_) return;  // One crossover at a time.
+  if (!rate_.has_observations()) return;
+  const double eta_hat = rate_.rate();
+  if (eta_hat <= 0.0 || planned_eta_ <= 0.0) return;
+  const double ratio = eta_hat > planned_eta_ ? eta_hat / planned_eta_
+                                              : planned_eta_ / eta_hat;
+  if (ratio < options_.adaptive.reoptimize_ratio) return;
+  if (events_at_sample - last_drift_replan_events_ <
+      options_.adaptive.min_events_between_replans) {
+    return;
+  }
+  // The cooldown restarts even when the replan below fails or recosts in
+  // place: either way the detector observed this drift and acted.
+  last_drift_replan_events_ = events_at_sample;
+  StartDriftReplan(eta_hat, wm_at_sample);
+}
+
+void StreamSession::StartDriftReplan(double eta_hat, TimeT wm_at_sample) {
+  MonotonicTimer timer;
+  std::vector<StreamQuery> queries;
+  std::vector<ResultSink*> sinks;
+  queries.reserve(queries_.size());
+  sinks.reserve(queries_.size());
+  for (const auto& q : queries_) {
+    queries.push_back(q->query);
+    sinks.push_back(&q->sink);
+  }
+  OptimizerOptions observed = options_.optimizer;
+  observed.eta = eta_hat;
+  Result<MultiQueryOptimizer::SharedPlan> shared =
+      MultiQueryOptimizer::Reoptimize(queries, observed,
+                                      options_.track_baseline);
+  if (!shared.ok()) return;  // Keep the current plan; retry on later drift.
+
+  // From here on the session is costed at the observed rate: later churn
+  // replans and drift checks both start from η̂.
+  options_.optimizer.eta = eta_hat;
+  planned_eta_ = eta_hat;
+  ++drift_replans_;
+  drift_replans_counter_->Increment(0);
+
+  auto fresh = std::make_unique<MultiQueryOptimizer::SharedPlan>(
+      std::move(*shared));
+  if (PlansStructurallyEqual(shared_->plan, fresh->plan)) {
+    // Same operators, new pricing: adopt the observed-η costing in place.
+    // No executor swap, no state movement — results are trivially
+    // unchanged.
+    shared_->shared_cost = fresh->shared_cost;
+    shared_->independent_cost = fresh->independent_cost;
+    shared_->original_cost = fresh->original_cost;
+    metrics_.RecordTrace(telemetry::TraceKind::kDriftReplan,
+                         timer.ElapsedNanos(), 0, 0);
+    return;
+  }
+
+  // Structural switch (factor windows evicted or reinstated): bounded
+  // dual-pipeline crossover. Cutover C is the first timestamp the
+  // current watermark has not reached; instances starting before C stay
+  // with the old pipeline (which already holds their partials), the new
+  // pipeline owns starts >= C — its slices tile from instance starts, so
+  // gating by start keeps its output exact even though it never saw
+  // pre-cutover events. retire_at computes on the *old* plan: its last
+  // owned instance starts at C - 1 at the latest.
+  const TimeT cutover = wm_at_sample + 1;
+  const TimeT retire_at = cutover - 1 + MaxRange(shared_->plan);
+  auto router = std::make_unique<RoutingSink>(*fresh, queries,
+                                              std::move(sinks));
+  auto gate = std::make_unique<StartGateSink>(router.get());
+  gate->set_min_start(cutover);
+  ShardedExecutor::Options exec_options;
+  exec_options.num_keys = options_.num_keys;
+  exec_options.num_shards = options_.num_shards;
+  exec_options.max_delay = options_.max_delay;
+  // The new pipeline's late set is a subset of the old's (a younger
+  // reorder clock only accepts more): muted so late counts and side
+  // outputs are not duplicated while both run.
+  exec_options.late_sink = nullptr;
+  exec_options.metrics = &metrics_;
+  auto executor = std::make_unique<ShardedExecutor>(fresh->plan,
+                                                    exec_options,
+                                                    gate.get());
+
+  auto cross = std::make_unique<DriftCrossover>();
+  cross->retire_at = retire_at;
+  gate_->set_max_start(cutover);  // Old pipeline: pre-cutover era only.
+  cross->shared = std::move(shared_);
+  cross->router = std::move(router_);
+  cross->gate = std::move(gate_);
+  cross->executor = std::move(executor_);
+  cross->lineages = std::move(lineages_);
+
+  // The new pipeline starts cold by construction — every instance it may
+  // emit opens at or after the cutover, so there is no state worth
+  // migrating (and lineages changed structurally anyway).
+  executor_ = std::move(executor);
+  gate_ = std::move(gate);
+  router_ = std::move(router);
+  shared_ = std::move(fresh);
+  lineages_ = OperatorLineages(shared_->plan);
+  cross_ = std::move(cross);
+  metrics_.RecordTrace(telemetry::TraceKind::kDriftReplan,
+                       timer.ElapsedNanos(), 1, 0);
+}
+
+void StreamSession::MaybeCompleteCrossover(TimeT wm_now) {
+  if (!cross_) return;
+  // Release watermark: the newest timestamp whose windows can still
+  // change is wm_now - max_delay (late arrivals land behind it). Every
+  // old-pipeline instance ends at or before retire_at, so once the
+  // release watermark reaches it they have all closed with final
+  // contents. Completing *later* than this point is always
+  // output-identical — which is why the columnar path may check at
+  // segment granularity instead of per event.
+  const TimeT release =
+      options_.max_delay == 0 ? wm_now : wm_now - options_.max_delay;
+  if (release >= cross_->retire_at) CompleteCrossover();
+}
+
+void StreamSession::CompleteCrossover() {
+  DriftCrossover& cross = *cross_;
+  // Joins workers and delivers anything still buffered. All pre-cutover
+  // instances have closed canonically by now (their ends precede the
+  // release watermark), and post-cutover flushes are suppressed by the
+  // old gate — the new pipeline owns and already emitted that era.
+  cross.executor->Finish();
+  retired_ops_ += cross.executor->TotalAccumulateOps();
+  // The session's late tally must read as one pipeline's: the live
+  // executor's counter includes warm-up lates the old pipeline also
+  // counted, so bank only the old pipeline's surplus over it. (The new
+  // clock starts younger, so its late set — and count — is a subset.)
+  const uint64_t old_late = cross.executor->late_events();
+  const uint64_t new_late = executor_->late_events();
+  retired_late_ += old_late > new_late ? old_late - new_late : 0;
+  retired_reorder_peak_ =
+      std::max(retired_reorder_peak_, cross.executor->reorder_buffer_peak());
+  for (uint64_t c : cross.executor->PerOperatorCloses()) {
+    retired_closes_total_ += c;
+  }
+  for (uint64_t f : cross.executor->PerOperatorFinalizes()) {
+    retired_finalizes_total_ += f;
+  }
+  metrics_.RecordTrace(
+      telemetry::TraceKind::kCrossoverDone, 0,
+      static_cast<int64_t>(cross.executor->TotalAccumulateOps()));
+  cross_.reset();
+  // The surviving pipeline takes over late accounting and side outputs.
+  executor_->set_late_sink(late_sink_.get());
+}
+
+Status StreamSession::CancelCrossover() {
+  // Flush the new (gated) executor's canonical closes: its gate passes
+  // exactly the start >= cutover era it alone owns, and that emission
+  // set provably equals what the old pipeline's gate is suppressing —
+  // so delivering it here, before the old pipeline's own checkpoint,
+  // keeps the merged output a single static pipeline's (DESIGN.md §15).
+  Result<ExecutorCheckpoint> flushed = executor_->Checkpoint();
+  if (!flushed.ok()) return flushed.status();
+  retired_ops_ += executor_->TotalAccumulateOps();
+  for (uint64_t c : executor_->PerOperatorCloses()) {
+    retired_closes_total_ += c;
+  }
+  for (uint64_t f : executor_->PerOperatorFinalizes()) {
+    retired_finalizes_total_ += f;
+  }
+  // Restore the old pipeline into the live slots — it ingested the whole
+  // stream, so its state is exactly a static session's. Assignment order
+  // destroys the new pipeline in dependency order (executor, then gate,
+  // then router). The restored gate keeps max_start = cutover: the
+  // caller (a churn Rebuild) checkpoints immediately, and the start >=
+  // cutover closes that checkpoint flushes were already delivered above.
+  executor_ = std::move(cross_->executor);
+  gate_ = std::move(cross_->gate);
+  router_ = std::move(cross_->router);
+  shared_ = std::move(cross_->shared);
+  lineages_ = std::move(cross_->lineages);
+  cross_.reset();
+  executor_->set_late_sink(late_sink_.get());
+  return Status::OK();
 }
 
 Status StreamSession::Push(const Event& event) {
@@ -404,12 +773,21 @@ Status StreamSession::Push(const Event& event) {
     events_dropped_counter_->Increment(0);
     return Status::OK();
   }
+  // Dual-push during a crossover, outgoing pipeline first (it owns the
+  // earlier result era, and both routers feed the same sinks).
+  if (cross_) cross_->executor->Push(event);
   executor_->Push(event);
   if (options_.auto_resize.enabled &&
       ++events_since_resize_check_ >= options_.auto_resize.check_interval) {
     events_since_resize_check_ = 0;
-    AutoResizeCheck();
+    AutoResizeCheck(events_pushed_, watermark_);
   }
+  if (options_.adaptive.enabled &&
+      ++events_since_drift_check_ >= options_.adaptive.check_interval) {
+    events_since_drift_check_ = 0;
+    DriftCheck(events_pushed_, watermark_);
+  }
+  MaybeCompleteCrossover(watermark_);
   return Status::OK();
 }
 
@@ -426,6 +804,26 @@ Status StreamSession::PushColumns(const EventColumns& columns) {
   const size_t count = columns.size();
   push_batch_size_hist_->Record(0, count);
   if (count == 0) return Status::OK();
+
+  // In-batch positions where a monitor's cadence crosses. Recording the
+  // position *and* the running watermark lets the checks below run with
+  // the exact stream position scalar Push would have seen — and carrying
+  // the counter remainders (instead of the old at-most-once-per-batch
+  // sampling) keeps the cadence identical across batch boundaries, so
+  // scalar and columnar ingestion of one stream make the same decisions
+  // at the same events.
+  struct SamplePoint {
+    size_t index;   // Event index within this batch.
+    TimeT wm;       // Watermark after accepting that event.
+    uint8_t kinds;  // Bit 0: resize check due. Bit 1: drift check due.
+  };
+  std::vector<SamplePoint> samples;
+  const bool monitor_resize =
+      executor_ != nullptr && options_.auto_resize.enabled;
+  const bool monitor_drift =
+      executor_ != nullptr && options_.adaptive.enabled;
+  uint64_t resize_streak = events_since_resize_check_;
+  uint64_t drift_streak = events_since_drift_check_;
 
   // Find the acceptable prefix under the ingestion contract — the same
   // per-event checks Push applies, simulated against a local watermark so
@@ -455,43 +853,66 @@ Status StreamSession::PushColumns(const EventColumns& columns) {
     if (timestamp > advanced) advanced = timestamp;
     watermark_lag_hist_->Record(
         0, static_cast<uint64_t>(advanced - columns.timestamps[i]));
+    uint8_t due = 0;
+    if (monitor_resize &&
+        ++resize_streak >= options_.auto_resize.check_interval) {
+      resize_streak = 0;
+      due |= 1;
+    }
+    if (monitor_drift &&
+        ++drift_streak >= options_.adaptive.check_interval) {
+      drift_streak = 0;
+      due |= 2;
+    }
+    if (due != 0) samples.push_back({i, advanced, due});
   }
 
   // Apply the accepted prefix (possibly the whole batch).
+  const uint64_t events_before = events_pushed_;
   watermark_ = advanced;
   events_pushed_ += accepted;
   events_pushed_counter_->Add(0, accepted);
+  if (monitor_resize) events_since_resize_check_ = resize_streak;
+  if (monitor_drift) events_since_drift_check_ = drift_streak;
   if (!executor_) {
     events_dropped_ += accepted;
     events_dropped_counter_->Add(0, accepted);
-  } else if (accepted == count) {
-    executor_->PushColumns(columns);
+  } else if (samples.empty() && !cross_ && accepted == count) {
+    executor_->PushColumns(columns);  // Hot path: one hand-off, no copy.
   } else if (accepted > 0) {
-    // Rejection mid-batch is the cold path: copy the accepted prefix so
-    // the executor still sees one columnar hand-off.
-    EventColumns prefix;
-    prefix.Reserve(accepted);
-    prefix.timestamps.assign(columns.timestamps.begin(),
-                             columns.timestamps.begin() +
-                                 static_cast<ptrdiff_t>(accepted));
-    prefix.keys.assign(columns.keys.begin(),
-                       columns.keys.begin() +
-                           static_cast<ptrdiff_t>(accepted));
-    prefix.values.assign(columns.values.begin(),
-                         columns.values.begin() +
-                             static_cast<ptrdiff_t>(accepted));
-    executor_->PushColumns(prefix);
-  }
-  if (executor_ && options_.auto_resize.enabled && accepted > 0) {
-    // One monitor step per batch (vs per event): resizes are exact, so
-    // *when* they trigger never affects results — only the sampling
-    // cadence coarsens to batch granularity.
-    events_since_resize_check_ += accepted;
-    if (events_since_resize_check_ >= options_.auto_resize.check_interval) {
-      events_since_resize_check_ = 0;
-      AutoResizeCheck();
+    // Split the accepted prefix at the sample points: each segment hands
+    // off columnar (to both pipelines during a crossover, outgoing
+    // first), then the due checks run at the boundary with that exact
+    // stream position — a mid-batch drift replan or resize applies to
+    // the remaining segments, just as it would between scalar pushes.
+    size_t begin = 0;
+    size_t next_sample = 0;
+    while (begin < accepted) {
+      const SamplePoint* sample =
+          next_sample < samples.size() ? &samples[next_sample] : nullptr;
+      const size_t end = sample ? sample->index + 1 : accepted;
+      if (begin == 0 && end == count) {
+        if (cross_) cross_->executor->PushColumns(columns);
+        executor_->PushColumns(columns);
+      } else {
+        const EventColumns segment = SliceColumns(columns, begin, end);
+        if (cross_) cross_->executor->PushColumns(segment);
+        executor_->PushColumns(segment);
+      }
+      if (sample) {
+        const uint64_t events_at = events_before + sample->index + 1;
+        if (sample->kinds & 1) AutoResizeCheck(events_at, sample->wm);
+        if (sample->kinds & 2) DriftCheck(events_at, sample->wm);
+        // The *running* watermark, not the committed full-batch one:
+        // completing against the latter could retire the old pipeline
+        // while later rows in this batch still belong to its era.
+        MaybeCompleteCrossover(sample->wm);
+        ++next_sample;
+      }
+      begin = end;
     }
   }
+  if (executor_ && accepted > 0) MaybeCompleteCrossover(watermark_);
   if (accepted == count) return Status::OK();
   return IngestStopped(accepted, columns.timestamps[accepted], cause);
 }
@@ -500,6 +921,11 @@ Status StreamSession::Finish() {
   session_role_.AssertHeld();  // Public entry: caller thread only.
   if (finished_) return Status::OK();
   finished_ = true;
+  // Finishing mid-crossover retires the old pipeline first: it flushes
+  // its (pre-cutover) era through its gate, then the survivor flushes
+  // everything from the cutover on — together, one static pipeline's
+  // Finish output.
+  if (cross_) CompleteCrossover();
   if (executor_) executor_->Finish();
   // A finished executor's rings are drained and its workers joined; the
   // occupancy gauge reads 0, like the idle-retire path.
@@ -580,8 +1006,11 @@ StreamSession::SessionStats StreamSession::BuildStats() const {
   stats.operators_migrated = last_migrated_;
   stats.operators_cold = last_cold_;
   stats.last_replan_seconds = last_replan_seconds_;
+  // Crossover double-processing is real work, so it counts: both
+  // pipelines' ops while one is in flight.
   stats.lifetime_ops =
-      retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0);
+      retired_ops_ + (executor_ ? executor_->TotalAccumulateOps() : 0) +
+      (cross_ ? cross_->executor->TotalAccumulateOps() : 0);
   stats.num_shards = executor_
                          ? executor_->num_shards()
                          : EffectiveShards(options_.num_shards,
@@ -592,17 +1021,21 @@ StreamSession::SessionStats StreamSession::BuildStats() const {
     stats.events_per_shard = executor_->EventsPerShard();
     stats.ring_occupancy = executor_->RingOccupancy();
   }
-  stats.late_events =
-      retired_late_ + (executor_ ? executor_->late_events() : 0);
-  stats.reorder_buffered = executor_ ? executor_->reorder_buffered() : 0;
+  // During a crossover the *old* pipeline carries the session's
+  // event-time identity: it runs the original reorder clock, so its
+  // lates, buffer depth, and watermark are what a static session
+  // reports; the new pipeline's reorder stage is a muted warm-up.
+  const ShardedExecutor* clock =
+      cross_ ? cross_->executor.get() : executor_.get();
+  stats.late_events = retired_late_ + (clock ? clock->late_events() : 0);
+  stats.reorder_buffered = clock ? clock->reorder_buffered() : 0;
   stats.reorder_buffer_peak = std::max(
-      retired_reorder_peak_,
-      executor_ ? executor_->reorder_buffer_peak() : 0);
+      retired_reorder_peak_, clock ? clock->reorder_buffer_peak() : 0);
   if (options_.max_delay == 0) {
     stats.current_watermark = watermark_;
   } else {
     stats.current_watermark =
-        executor_ ? executor_->current_watermark() : retired_watermark_;
+        clock ? clock->current_watermark() : retired_watermark_;
   }
   if (shared_) {
     stats.shared_cost = shared_->shared_cost;
@@ -615,6 +1048,9 @@ StreamSession::SessionStats StreamSession::BuildStats() const {
     stats.sharded_cost =
         shared_->ShardedCost(options_.num_shards, options_.num_keys);
   }
+  stats.observed_eta = rate_.has_observations() ? rate_.rate() : 0.0;
+  stats.planned_eta = planned_eta_;
+  stats.drift_replans = drift_replans_;
   return stats;
 }
 
@@ -623,12 +1059,21 @@ StreamSession::SessionMetrics StreamSession::Metrics() const {
   SessionMetrics metrics;
   metrics.stats = BuildStats();
 
-  // Per-operator breakdown of the current topology. The executor getters
-  // quiesce, so the counts are exact at this instant; they are cumulative
-  // across Resize (executor-banked retired tallies) but restart at each
-  // replan (new plan, new operators).
+  // Per-operator breakdown of the current topology — during a crossover,
+  // the live (new-plan) pipeline. The executor getters quiesce, so the
+  // counts are exact at this instant; they are cumulative across Resize
+  // (executor-banked retired tallies) but restart at each replan (new
+  // plan, new operators).
   uint64_t closes_total = retired_closes_total_;
   uint64_t finalizes_total = retired_finalizes_total_;
+  if (cross_) {
+    for (uint64_t c : cross_->executor->PerOperatorCloses()) {
+      closes_total += c;
+    }
+    for (uint64_t f : cross_->executor->PerOperatorFinalizes()) {
+      finalizes_total += f;
+    }
+  }
   if (executor_ && shared_) {
     const std::vector<uint64_t> ops = executor_->PerOperatorOps();
     const std::vector<uint64_t> closes = executor_->PerOperatorCloses();
@@ -660,9 +1105,43 @@ StreamSession::SessionMetrics StreamSession::Metrics() const {
   accumulate_ops_gauge_->Set(static_cast<double>(metrics.stats.lifetime_ops));
   closed_total_gauge_->Set(static_cast<double>(closes_total));
   finalized_total_gauge_->Set(static_cast<double>(finalizes_total));
+  observed_eta_gauge_->Set(metrics.stats.observed_eta);
 
   metrics.telemetry = metrics_.Snapshot();
   return metrics;
+}
+
+RuntimeProfile StreamSession::Profile() const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
+  RuntimeProfile profile;
+  if (rate_.has_observations()) profile.observed_eta = rate_.rate();
+  if (executor_) {
+    const std::vector<uint64_t> per_shard = executor_->EventsPerShard();
+    uint64_t total = 0;
+    uint64_t peak = 0;
+    for (uint64_t events : per_shard) {
+      total += events;
+      peak = std::max(peak, events);
+    }
+    if (total > 0 && !per_shard.empty()) {
+      profile.key_skew =
+          static_cast<double>(peak) /
+          (static_cast<double>(total) / static_cast<double>(per_shard.size()));
+    }
+    const std::vector<uint64_t> ops = executor_->PerOperatorOps();
+    const std::vector<uint64_t> closes = executor_->PerOperatorCloses();
+    const std::vector<uint64_t> finalizes = executor_->PerOperatorFinalizes();
+    profile.operators.reserve(ops.size());
+    for (size_t i = 0; i < ops.size(); ++i) {
+      RuntimeProfile::OperatorProfile op;
+      op.operator_id = static_cast<int>(i);
+      op.accumulate_ops = ops[i];
+      op.closed_instances = i < closes.size() ? closes[i] : 0;
+      op.finalized_results = i < finalizes.size() ? finalizes[i] : 0;
+      profile.operators.push_back(op);
+    }
+  }
+  return profile;
 }
 
 }  // namespace fw

@@ -8,8 +8,11 @@
 #include <string_view>
 #include <vector>
 
+#include "adaptive/adaptive.h"
+#include "adaptive/resize_policy.h"
 #include "common/mutex.h"
 #include "common/status.h"
+#include "cost/runtime_profile.h"
 #include "exec/columns.h"
 #include "exec/event.h"
 #include "multi/multi_query.h"
@@ -150,39 +153,91 @@ class StreamSession {
 
   /// Load-driven shard re-scaling (see the class comment). The monitor
   /// runs on the Push thread: every check_interval accepted events it
-  /// samples the executor's worst-shard SPSC ring occupancy (in-flight
-  /// batches / ring capacity) and
+  /// samples the executor and asks the blended ResizePolicy
+  /// (adaptive/resize_policy.h) for a target width. Three signals blend
+  /// per sample:
   ///
-  ///  * scales *up* (doubling, capped at max_shards) when one sample is
-  ///    at or above scale_up_occupancy — workers are falling behind;
-  ///  * scales *down* (halving, floored at min_shards but never below 2)
-  ///    after scale_down_checks consecutive samples at or below
-  ///    scale_down_occupancy — the rings sit empty, so fewer workers
-  ///    suffice. The monitor never steers a session *into* inline
-  ///    (1-shard) mode: inline has no rings, so the occupancy signal
-  ///    vanishes there and could never scale back up — reaching 1 shard
-  ///    takes an explicit Resize;
-  ///  * first clamps a session whose current width lies outside
-  ///    [min_shards, max_shards] back into range (this is how a session
-  ///    started at 1 shard reaches min_shards > 1).
+  ///  * worst-shard SPSC ring occupancy (in-flight batches / ring
+  ///    capacity) — the legacy signal: scale up at scale_up_occupancy,
+  ///    count toward a scale-down at scale_down_occupancy;
+  ///  * the observed event rate η̂ (events per event-time unit, EWMA —
+  ///    AdaptiveOptions::rate_alpha), enabled by a non-zero
+  ///    target_rate_per_shard: scale up when η̂ exceeds target × current
+  ///    shards, allow a scale-down only when the halved topology would
+  ///    still absorb η̂. Event-time based, so the signal replays
+  ///    deterministically;
+  ///  * batch hand-off p99 over the sampling interval (telemetry
+  ///    histogram "executor.batch_handoff_ns"), enabled by a non-zero
+  ///    handoff_p99_budget_ns: over budget triggers scale-up and blocks
+  ///    scale-downs. Inert when telemetry is compiled out.
   ///
-  /// Scale-ups that the cost model predicts cannot help (the effective
-  /// width would not change, e.g. already one shard per key —
-  /// SharedPlan::PredictedResizeGain) are vetoed. An inline (1-shard)
-  /// session has no rings and samples occupancy 0, so it only ever
-  /// scales up via the min_shards clamp. Every automatic resize counts
-  /// in SessionStats::resize_count, exactly like an explicit Resize.
+  /// Occupancy alone cannot see load from inline (1-shard) mode — there
+  /// are no rings there — so the occupancy-only monitor never scales
+  /// below 2 shards. With a rate target configured, the throughput
+  /// signal stays measurable at 1 shard, and the monitor can scale down
+  /// into inline mode and back out again. Scale-downs need
+  /// scale_down_checks consecutive cold samples (hysteresis: scale up
+  /// fast, down slowly); any vetoed proposal — width no-op (keyless
+  /// plans), predicted-gain rejection (SharedPlan::PredictedResizeGain),
+  /// resize failure — resets the streak so a hopeless resize backs off
+  /// instead of re-firing every sample. A session whose width lies
+  /// outside [min_shards, max_shards] is clamped back into range through
+  /// the same guards. Because resizes are exact, *when* they trigger
+  /// never affects results; every automatic resize counts in
+  /// SessionStats::resize_count, exactly like an explicit Resize.
   struct AutoResizeOptions {
     bool enabled = false;
     uint32_t min_shards = 1;
     uint32_t max_shards = 8;
-    /// Accepted events between occupancy samples.
+    /// Accepted events between monitor samples.
     uint64_t check_interval = 8192;
     double scale_up_occupancy = 0.5;
     double scale_down_occupancy = 0.02;
     /// Consecutive low samples required before scaling down (hysteresis:
     /// scale up fast, down slowly).
     int scale_down_checks = 4;
+    /// Events per event-time unit one shard is expected to absorb; a
+    /// non-zero value turns on the throughput signal (0 keeps the legacy
+    /// occupancy-only monitor, which never scales below 2 shards).
+    double target_rate_per_shard = 0.0;
+    /// Interval hand-off p99 ceiling in nanoseconds; non-zero turns on
+    /// the latency signal. Wall-clock based, so it steers only *when*
+    /// exact resizes happen — never what the session emits.
+    uint64_t handoff_p99_budget_ns = 0;
+  };
+
+  /// Runtime-adaptive re-optimization (DESIGN.md §15): the session
+  /// estimates the observed event rate η̂ (an EWMA over event time, fed
+  /// every check_interval accepted events) and, when it drifts a factor
+  /// of reoptimize_ratio away from the η the current shared plan was
+  /// costed with, re-runs MultiQueryOptimizer::Reoptimize at η̂ — the
+  /// paper's §VI dynamic cost estimates, closed mid-stream. A replan
+  /// that keeps the plan structure adopts the new costing in place; one
+  /// that changes it (lower rates evict factor windows, higher rates
+  /// reinstate them) switches over through a bounded dual-pipeline
+  /// crossover that keeps emitted results bitwise identical to a
+  /// static-plan session: the outgoing pipeline finishes every window
+  /// instance that opened before the cutover while the new pipeline —
+  /// result-gated to instances opening at or after it — warms up on the
+  /// same events, and the old pipeline retires once the watermark passes
+  /// the last straddling instance. Later query churn keeps working (a
+  /// churn replan first folds an in-flight crossover back into one
+  /// pipeline, exactly). Drift replans count in
+  /// SessionStats::drift_replans, never in `replans`.
+  struct AdaptiveOptions {
+    bool enabled = false;
+    /// EWMA weight of the newest rate observation, in (0, 1]. The one
+    /// rate estimator is shared with the auto-resize throughput signal.
+    double rate_alpha = 0.3;
+    /// Accepted events between drift checks.
+    uint64_t check_interval = 8192;
+    /// Re-optimize when η̂ and the planned η differ by at least this
+    /// factor, in either direction.
+    double reoptimize_ratio = 2.0;
+    /// Replan cooldown in accepted events — bounds replan churn (and the
+    /// cost of crossover double-processing) while the estimate settles.
+    /// Also gates the *first* drift replan, giving the EWMA a warm-up.
+    uint64_t min_events_between_replans = 65536;
   };
 
   struct Options {
@@ -205,6 +260,9 @@ class StreamSession {
     /// Load-driven shard re-scaling; off by default (the shard count
     /// only changes via explicit Resize calls).
     AutoResizeOptions auto_resize = {};
+    /// Feedback-driven re-optimization; off by default (the shared plan
+    /// only changes via AddQuery/RemoveQuery).
+    AdaptiveOptions adaptive = {};
     /// Knobs forwarded to the cost-based optimizer on every (re)plan.
     OptimizerOptions optimizer = {};
     /// Also compute the independently-optimized per-query cost baseline on
@@ -282,6 +340,19 @@ class StreamSession {
     /// latency of the most recent one.
     uint64_t resize_count = 0;
     uint64_t last_resize_ns = 0;
+    /// Observed event rate η̂ (events per event-time unit, EWMA); 0
+    /// until the first rate observation — the estimator needs two
+    /// monitor samples with advancing event time. Cumulative across
+    /// executor swaps (the estimator is session-owned).
+    double observed_eta = 0.0;
+    /// The η the current shared plan's costs were computed with: the
+    /// optimizer assumption at first, the drifted estimate after an
+    /// observed-η replan.
+    double planned_eta = 1.0;
+    /// Drift-triggered re-optimizations (Options::adaptive), cumulative.
+    /// Counted separately from `replans`, which stays "every successful
+    /// AddQuery/RemoveQuery".
+    int drift_replans = 0;
     /// Events delivered into each shard's engine since the current
     /// topology was built (skew observability); empty while idle. Late
     /// events never count; reordered events count on release.
@@ -425,6 +496,14 @@ class StreamSession {
   /// Prometheus/JSON rendering of it — is self-contained.
   SessionMetrics Metrics() const;
 
+  /// Observed runtime statistics in the cost model's vocabulary
+  /// (cost/runtime_profile.h): the measured η̂, per-shard load skew, and
+  /// per-operator accumulate/close/finalize counters of the current
+  /// topology — the same feedback the drift detector hands back to the
+  /// optimizer, exposed for callers costing plans themselves
+  /// (CostModel's RuntimeProfile constructor).
+  RuntimeProfile Profile() const;
+
   size_t num_queries() const {
     session_role_.AssertHeld();  // Public entry: caller thread only.
     return queries_.size();
@@ -458,15 +537,71 @@ class StreamSession {
     CallbackSink sink{this};
   };
 
+  /// Result gate between the executor and the router: forwards only
+  /// results whose window *start* falls in [min_start, max_start). Every
+  /// live pipeline is built with one (open by default — a gate cannot be
+  /// inserted after construction, the executor's sink is fixed); drift
+  /// crossovers then narrow the two pipelines to disjoint eras. Defined
+  /// in session.cc.
+  class StartGateSink;
+
+  /// The outgoing pipeline of an in-flight structural drift replan: it
+  /// keeps ingesting every event (dual-push) and owns all window
+  /// instances that opened before the cutover, while the gated new
+  /// pipeline in the live slots owns instances from the cutover on.
+  /// Retired — Finish, bank counters, destroy — once the watermark
+  /// passes retire_at, the end of the last pre-cutover instance.
+  struct DriftCrossover;
+
   /// Re-optimizes over `live`, migrates executor state by lineage, and
-  /// commits the new pipeline. On error the session is unchanged.
+  /// commits the new pipeline. On error the session is unchanged. An
+  /// in-flight crossover is first folded back into one pipeline
+  /// (CancelCrossover), so churn and drift compose.
   Status Rebuild(const std::vector<LiveQuery*>& live)
       FW_REQUIRES(session_role_);
 
-  /// One auto-resize policy step (see AutoResizeOptions): sample ring
-  /// occupancy, pick a target width, resize if it differs. Called from
-  /// Push every check_interval accepted events while a pipeline is live.
-  void AutoResizeCheck() FW_REQUIRES(session_role_);
+  /// One auto-resize policy step (see AutoResizeOptions), sampled at the
+  /// monitor cadence from Push/PushColumns while a pipeline is live.
+  /// `events_at_sample`/`wm_at_sample` pin the sample to a stream
+  /// position: the scalar path passes its running counters, the columnar
+  /// path the mid-batch values where the cadence crossed — so both paths
+  /// feed the rate estimator identical observations.
+  void AutoResizeCheck(uint64_t events_at_sample, TimeT wm_at_sample)
+      FW_REQUIRES(session_role_);
+
+  /// Feeds the shared rate estimator the (events, event-time) delta
+  /// since the previous observation, and publishes the rate gauges.
+  void ObserveRate(uint64_t events_at_sample, TimeT wm_at_sample)
+      FW_REQUIRES(session_role_);
+
+  /// One drift-detector step (see AdaptiveOptions): observe the rate,
+  /// compare η̂ against the planned η, start a drift replan past the
+  /// threshold (and cooldown). Skipped while a crossover is in flight.
+  void DriftCheck(uint64_t events_at_sample, TimeT wm_at_sample)
+      FW_REQUIRES(session_role_);
+
+  /// Re-runs the optimizer at η̂. Structure kept: adopt the new costing
+  /// in place. Structure changed: start a dual-pipeline crossover with
+  /// cutover wm_at_sample + 1 (events through wm_at_sample were already
+  /// pushed to the old pipeline only).
+  void StartDriftReplan(double eta_hat, TimeT wm_at_sample)
+      FW_REQUIRES(session_role_);
+
+  /// Completes the crossover once every pre-cutover instance is beyond
+  /// late arrivals: release watermark (wm_now, or wm_now - max_delay
+  /// under disorder) at or past retire_at. Completing later than the
+  /// threshold is always output-identical — pre-cutover instances have
+  /// all closed or can only be flushed with their final contents — so
+  /// the columnar path may check at segment granularity.
+  void MaybeCompleteCrossover(TimeT wm_now) FW_REQUIRES(session_role_);
+  void CompleteCrossover() FW_REQUIRES(session_role_);
+
+  /// Folds an in-flight crossover back into one pipeline for a churn
+  /// replan: flushes the new executor's canonical closes (its gated era
+  /// was already emitted by it alone), banks its counters, and restores
+  /// the old pipeline — which saw the whole stream, so its state is
+  /// exactly a single static pipeline's — into the live slots.
+  Status CancelCrossover() FW_REQUIRES(session_role_);
 
   /// Position of `id` in queries_, or queries_.size() when unknown.
   size_t FindQuery(QueryId id) const FW_REQUIRES(session_role_);
@@ -514,6 +649,16 @@ class StreamSession {
   telemetry::Gauge* const accumulate_ops_gauge_;
   telemetry::Gauge* const closed_total_gauge_;
   telemetry::Gauge* const finalized_total_gauge_;
+  /// Runtime-adaptive loop: drift replans, the observed η̂ gauge, and the
+  /// wall-clock events/sec gauge (export-only — every decision the loop
+  /// makes reads the deterministic event-time rate instead).
+  telemetry::Counter* const drift_replans_counter_;
+  telemetry::Gauge* const observed_eta_gauge_;
+  telemetry::Gauge* const throughput_eps_gauge_;
+  /// The executors' hand-off latency histogram ("executor.batch_handoff_
+  /// ns" — registry handles are name-stable, so this is the same object
+  /// every executor records into), read by the monitor's latency signal.
+  telemetry::Histogram* const handoff_hist_;
 
   QueryId next_id_ FW_GUARDED_BY(session_role_) = 1;
   /// Plan order.
@@ -525,13 +670,21 @@ class StreamSession {
   std::unique_ptr<EventConsumer> late_sink_ FW_GUARDED_BY(session_role_);
 
   /// Current pipeline; all null while no query is live. The executor
-  /// references the router, the router references the queries' sinks.
+  /// references the gate, the gate the router, the router the queries'
+  /// sinks — members declare in dependency order so destruction (reverse
+  /// order) tears down referencers first.
   std::unique_ptr<MultiQueryOptimizer::SharedPlan> shared_
       FW_GUARDED_BY(session_role_);
   std::unique_ptr<RoutingSink> router_ FW_GUARDED_BY(session_role_);
+  std::unique_ptr<StartGateSink> gate_ FW_GUARDED_BY(session_role_);
   std::unique_ptr<ShardedExecutor> executor_ FW_GUARDED_BY(session_role_);
   /// Of the current plan's operators.
   std::vector<std::string> lineages_ FW_GUARDED_BY(session_role_);
+
+  /// In-flight structural drift replan (see DriftCrossover); null almost
+  /// always. Declared after queries_ and late_sink_ — its router and
+  /// executor reference them.
+  std::unique_ptr<DriftCrossover> cross_ FW_GUARDED_BY(session_role_);
 
   bool finished_ FW_GUARDED_BY(session_role_) = false;
   /// Newest timestamp accepted; strict (max_delay = 0) sessions reject
@@ -560,10 +713,35 @@ class StreamSession {
   double last_replan_seconds_ FW_GUARDED_BY(session_role_) = 0.0;
   uint64_t resize_count_ FW_GUARDED_BY(session_role_) = 0;
   uint64_t last_resize_ns_ FW_GUARDED_BY(session_role_) = 0;
-  /// Auto-resize monitor state: accepted events since the last occupancy
-  /// sample, and consecutive low samples (scale-down hysteresis).
+  /// Auto-resize monitor: accepted events since the last sample, and the
+  /// blended decision policy (which owns the scale-down hysteresis —
+  /// including the reset-on-veto backoff).
   uint64_t events_since_resize_check_ FW_GUARDED_BY(session_role_) = 0;
-  int low_occupancy_checks_ FW_GUARDED_BY(session_role_) = 0;
+  ResizePolicy resize_policy_ FW_GUARDED_BY(session_role_);
+
+  /// Shared observed-rate estimator (η̂): one EWMA feeds both the
+  /// auto-resize throughput signal and the drift detector, observed as
+  /// (events, event-time) deltas at whichever monitor samples next.
+  RateEstimator rate_ FW_GUARDED_BY(session_role_);
+  bool rate_seeded_ FW_GUARDED_BY(session_role_) = false;
+  uint64_t rate_last_events_ FW_GUARDED_BY(session_role_) = 0;
+  TimeT rate_last_wm_ FW_GUARDED_BY(session_role_) = 0;
+  /// Wall-clock timestamp of the previous rate observation, for the
+  /// events/sec gauge (telemetry-only; decisions use event time).
+  uint64_t rate_last_ns_ FW_GUARDED_BY(session_role_) = 0;
+
+  /// Drift detector state: η the current plan is costed at, accepted
+  /// events since the last check, the stream position of the last drift
+  /// replan (cooldown), and the cumulative replan count.
+  double planned_eta_ FW_GUARDED_BY(session_role_) = 1.0;
+  uint64_t events_since_drift_check_ FW_GUARDED_BY(session_role_) = 0;
+  uint64_t last_drift_replan_events_ FW_GUARDED_BY(session_role_) = 0;
+  int drift_replans_ FW_GUARDED_BY(session_role_) = 0;
+
+  /// Previous "executor.batch_handoff_ns" snapshot: the latency signal
+  /// reads the histogram's per-interval delta, not lifetime percentiles.
+  telemetry::HistogramSnapshot last_handoff_snap_
+      FW_GUARDED_BY(session_role_);
 };
 
 }  // namespace fw

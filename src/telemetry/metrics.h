@@ -215,6 +215,16 @@ struct HistogramSnapshot {
   }
 };
 
+/// Per-field difference of two snapshots of the *same* histogram —
+/// `later` taken after `earlier`. Histograms are monotone, so the delta
+/// is the distribution of samples recorded in between; interval readers
+/// (the auto-resize monitor's per-sample hand-off p99) use this instead
+/// of lifetime percentiles, which would flatten any recent shift.
+/// Subtraction saturates at 0 per field, so concurrent relaxed writers
+/// (cells read in different orders) can never produce a wrapped count.
+HistogramSnapshot Delta(const HistogramSnapshot& later,
+                        const HistogramSnapshot& earlier);
+
 /// Fixed-bucket log2 latency histogram, sharded like Counter. Record is
 /// a bit_width plus two relaxed adds (bucket count and value sum).
 class Histogram {
@@ -251,6 +261,8 @@ enum class TraceKind : uint8_t {
   kIdleRetire = 3,     // last query removed; pipeline retired
   kWatermarkStall = 4, // a = events buffered while the watermark held
   kLateBurst = 5,      // a = consecutive late events in the burst
+  kDriftReplan = 6,    // a = structural change (0 recost-only, 1 crossover)
+  kCrossoverDone = 7,  // a = accumulate ops retired with the old pipeline
 };
 
 const char* TraceKindName(TraceKind kind);

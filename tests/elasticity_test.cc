@@ -6,9 +6,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <map>
 #include <tuple>
+#include <utility>
 #include <vector>
 
 #include "exec/engine.h"
@@ -651,6 +653,329 @@ TEST(AutoResize, KeylessSessionNeverChurnsExecutors) {
   ASSERT_TRUE(session.Finish().ok());
   EXPECT_EQ(session.Stats().num_shards, 1u);
   EXPECT_EQ(session.Stats().resize_count, 0u);
+}
+
+// --- Runtime-adaptive optimization (DESIGN.md §15) --------------------------
+
+// Deterministic drifting workload: a dense phase (8 events per time
+// unit), a trough (one event every 4 units), then dense again. The
+// monitors read the *event-time* rate, so the trajectory they steer is
+// a pure function of this stream — reproducible run to run, and
+// identical across ingestion paths and shard counts.
+std::vector<Event> DriftingStream(size_t dense1, size_t trough,
+                                  size_t dense2, uint32_t keys) {
+  std::vector<Event> events;
+  events.reserve(dense1 + trough + dense2);
+  auto push = [&](TimeT ts) {
+    Event e;
+    e.timestamp = ts;
+    e.key = static_cast<uint32_t>(events.size() % keys);
+    e.value = static_cast<double>(events.size() % 997);
+    events.push_back(e);
+  };
+  for (size_t i = 0; i < dense1; ++i) push(static_cast<TimeT>(i / 8));
+  const TimeT base = static_cast<TimeT>(dense1 / 8) + 1;
+  for (size_t i = 0; i < trough; ++i) {
+    push(base + static_cast<TimeT>(i) * 4);
+  }
+  const TimeT base2 = base + static_cast<TimeT>(trough) * 4;
+  for (size_t i = 0; i < dense2; ++i) {
+    push(base2 + static_cast<TimeT>(i / 8));
+  }
+  return events;
+}
+
+int CountFactorOps(const QueryPlan& plan) {
+  int count = 0;
+  for (const PlanOperator& op : plan.operators()) {
+    count += op.is_factor ? 1 : 0;
+  }
+  return count;
+}
+
+// The acceptance scenario for the throughput signal: a trough takes the
+// session all the way into inline (1-shard) mode, and the spike after it
+// scales back out — something the occupancy-only monitor structurally
+// cannot do (there are no rings at 1 shard, so occupancy reads 0
+// forever). Occupancy thresholds are neutralized so every decision is
+// rate-driven, hence deterministic.
+TEST(AutoResize, RateSignalScalesDownToInlineAndBackOut) {
+  constexpr uint32_t kKeys = 16;
+  const std::vector<Event> events = DriftingStream(8000, 3000, 8000, kKeys);
+
+  StreamSession::Options options;
+  options.num_keys = kKeys;
+  options.num_shards = 4;
+  options.auto_resize.enabled = true;
+  options.auto_resize.min_shards = 1;
+  options.auto_resize.max_shards = 4;
+  options.auto_resize.check_interval = 512;
+  options.auto_resize.scale_up_occupancy = 2.0;    // Never up by load.
+  options.auto_resize.scale_down_occupancy = 1.0;  // Always cold-eligible.
+  options.auto_resize.scale_down_checks = 2;
+  options.auto_resize.target_rate_per_shard = 1.0;
+  // A sharp EWMA so the estimate tracks each phase change within a few
+  // monitor samples.
+  options.adaptive.rate_alpha = 0.7;
+  StreamSession session(options);
+  SessionResults results;
+  ASSERT_TRUE(session.AddQuery(PerDevice(20), Tagged(&results, 0)).ok());
+
+  uint32_t min_width = 4;
+  for (size_t i = 0; i < events.size(); ++i) {
+    ASSERT_TRUE(session.Push(events[i]).ok());
+    if (i % 256 == 255) {
+      min_width = std::min(min_width, session.Stats().num_shards);
+    }
+  }
+  ASSERT_TRUE(session.Finish().ok());
+
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_EQ(min_width, 1u);         // Trough: 4 -> 2 -> 1.
+  EXPECT_EQ(stats.num_shards, 4u);  // Spike: 1 -> 2 -> 4.
+  EXPECT_GE(stats.resize_count, 4u);
+  EXPECT_GT(stats.observed_eta, 1.0);  // Back in the dense phase.
+
+  // The elasticity invariant is unconditional: however the monitor
+  // steered, the output is bitwise what fixed-shard sessions emit.
+  auto reference = [&](uint32_t shards) {
+    StreamSession::Options plain;
+    plain.num_keys = kKeys;
+    plain.num_shards = shards;
+    StreamSession ref(plain);
+    SessionResults out;
+    EXPECT_TRUE(ref.AddQuery(PerDevice(20), Tagged(&out, 0)).ok());
+    for (const Event& e : events) EXPECT_TRUE(ref.Push(e).ok());
+    EXPECT_TRUE(ref.Finish().ok());
+    return out;
+  };
+  ExpectSameResults(results, reference(1), "rate-resized vs inline");
+  ExpectSameResults(results, reference(4), "rate-resized vs fixed 4-shard");
+}
+
+TEST(AutoResize, RateSignalScalesOutOfInlineMode) {
+  // From a standing start at 1 shard: occupancy reads 0 (no rings), so
+  // only the throughput signal can justify scaling out of inline mode.
+  constexpr uint32_t kKeys = 16;
+  const std::vector<Event> events = DriftingStream(4000, 0, 0, kKeys);
+
+  StreamSession::Options options;
+  options.num_keys = kKeys;
+  options.num_shards = 1;
+  options.auto_resize.enabled = true;
+  options.auto_resize.min_shards = 1;
+  options.auto_resize.max_shards = 4;
+  options.auto_resize.check_interval = 256;
+  options.auto_resize.scale_up_occupancy = 2.0;     // Occupancy can't help.
+  options.auto_resize.scale_down_occupancy = -1.0;  // Never down.
+  options.auto_resize.target_rate_per_shard = 1.0;
+  StreamSession session(options);
+  SessionResults results;
+  ASSERT_TRUE(session.AddQuery(PerDevice(20), Tagged(&results, 0)).ok());
+  for (const Event& e : events) ASSERT_TRUE(session.Push(e).ok());
+  ASSERT_TRUE(session.Finish().ok());
+
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_EQ(stats.num_shards, 4u);  // η̂ = 8 over target 1: 1 -> 2 -> 4.
+  EXPECT_EQ(stats.resize_count, 2u);
+
+  StreamSession::Options plain;
+  plain.num_keys = kKeys;
+  StreamSession ref(plain);
+  SessionResults expected;
+  ASSERT_TRUE(ref.AddQuery(PerDevice(20), Tagged(&expected, 0)).ok());
+  for (const Event& e : events) ASSERT_TRUE(ref.Push(e).ok());
+  ASSERT_TRUE(ref.Finish().ok());
+  ExpectSameResults(results, expected, "rate scale-out vs inline");
+}
+
+TEST(AutoResize, KeylessClampProposalsAreVetoedNotChurned) {
+  // Regression: a width below min_shards is clamped back into range
+  // *through the same veto guards* as any other proposal. One key means
+  // one effective shard forever, so the clamp to min_shards = 4 can
+  // never change the width — it must be vetoed without burning an
+  // executor swap (the old guard ordering let the clamp bypass the
+  // width no-op check and churn the executor every sample).
+  std::vector<Event> events = GenerateSyntheticStream(3000, 1, 64);
+  StreamSession::Options options;
+  options.num_keys = 1;
+  options.auto_resize.enabled = true;
+  options.auto_resize.min_shards = 4;
+  options.auto_resize.max_shards = 8;
+  options.auto_resize.check_interval = 256;
+  options.auto_resize.scale_up_occupancy = 2.0;
+  options.auto_resize.scale_down_occupancy = -1.0;
+  StreamSession session(options);
+  ASSERT_TRUE(
+      session.AddQuery(Query().Max("v").From("fleet").Tumbling(20)).ok());
+  for (const Event& event : events) ASSERT_TRUE(session.Push(event).ok());
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_EQ(session.Stats().num_shards, 1u);
+  EXPECT_EQ(session.Stats().resize_count, 0u);
+}
+
+// The drift detector closing the paper's §VI loop mid-stream: Example
+// 7's window set {T(20), T(30), T(40)} gains a factor window T(10) at
+// the planning default η = 1, but at η ≈ 0.05 raw reads are so cheap
+// that sharing stops paying (tests/adaptive_test.cc pins the optimizer
+// half). Feeding the session a genuinely sparse stream must trigger an
+// observed-η replan that evicts the factor window — through the
+// dual-pipeline crossover, with output bitwise identical to a
+// static-plan session.
+TEST(AdaptiveSession, SparseStreamEvictsFactorWindowsBitwise) {
+  auto example7 = [] {
+    return Query().Sum("v").From("s").Tumbling(20).Tumbling(30).Tumbling(
+        40);
+  };
+  std::vector<Event> events;
+  events.reserve(4000);
+  for (int i = 0; i < 4000; ++i) {
+    Event e;
+    e.timestamp = static_cast<TimeT>(i) * 20;  // η = 0.05.
+    e.key = 0;
+    e.value = static_cast<double>(i % 313);
+    events.push_back(e);
+  }
+
+  StreamSession::Options options;
+  options.num_keys = 1;
+  options.adaptive.enabled = true;
+  options.adaptive.check_interval = 256;
+  options.adaptive.rate_alpha = 0.5;
+  options.adaptive.reoptimize_ratio = 2.0;
+  options.adaptive.min_events_between_replans = 1024;
+  StreamSession session(options);
+  SessionResults results;
+  ASSERT_TRUE(session.AddQuery(example7(), Tagged(&results, 0)).ok());
+  ASSERT_NE(session.shared_plan(), nullptr);
+  ASSERT_EQ(CountFactorOps(*session.shared_plan()), 1);  // Planned at η=1.
+
+  for (const Event& e : events) ASSERT_TRUE(session.Push(e).ok());
+
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_GE(stats.drift_replans, 1);
+  EXPECT_NEAR(stats.planned_eta, 0.05, 0.01);
+  EXPECT_NEAR(stats.observed_eta, 0.05, 0.01);
+  EXPECT_EQ(stats.replans, 1);  // Drift replans never count as churn.
+  ASSERT_NE(session.shared_plan(), nullptr);
+  EXPECT_EQ(CountFactorOps(*session.shared_plan()), 0);  // Evicted.
+  ASSERT_TRUE(session.Finish().ok());
+
+  if (telemetry::kEnabled) {
+    StreamSession::SessionMetrics metrics = session.Metrics();
+    EXPECT_GE(metrics.telemetry.counters.at("session.drift_replans"), 1u);
+  }
+
+  StreamSession::Options plain;
+  plain.num_keys = 1;
+  StreamSession oracle(plain);
+  SessionResults expected;
+  ASSERT_TRUE(oracle.AddQuery(example7(), Tagged(&expected, 0)).ok());
+  for (const Event& e : events) ASSERT_TRUE(oracle.Push(e).ok());
+  ASSERT_TRUE(oracle.Finish().ok());
+  ExpectSameResults(results, expected, "drift replan vs static plan");
+}
+
+TEST(AdaptiveSession, RecostOnlyDriftAdoptsTheObservedRateInPlace) {
+  // A single-window plan has no sharing decision to flip: drift still
+  // replans (the costs self-correct to the observed η) but the
+  // structure — and therefore the pipeline and the plan object — stays
+  // put. No crossover, no churn, no resize.
+  constexpr uint32_t kKeys = 4;
+  const std::vector<Event> events = DriftingStream(4000, 0, 0, kKeys);
+
+  StreamSession::Options options;
+  options.num_keys = kKeys;
+  options.adaptive.enabled = true;
+  options.adaptive.check_interval = 256;
+  options.adaptive.rate_alpha = 1.0;
+  options.adaptive.reoptimize_ratio = 2.0;
+  options.adaptive.min_events_between_replans = 1024;
+  StreamSession session(options);
+  SessionResults results;
+  ASSERT_TRUE(session.AddQuery(PerDevice(20), Tagged(&results, 0)).ok());
+  const QueryPlan* plan_before = session.shared_plan();
+  ASSERT_NE(plan_before, nullptr);
+  const double cost_before = session.Stats().shared_cost;
+
+  for (const Event& e : events) ASSERT_TRUE(session.Push(e).ok());
+  ASSERT_TRUE(session.Finish().ok());
+
+  StreamSession::SessionStats stats = session.Stats();
+  EXPECT_GE(stats.drift_replans, 1);
+  EXPECT_NEAR(stats.planned_eta, 8.0, 0.2);
+  EXPECT_EQ(session.shared_plan(), plan_before);  // Recost in place.
+  EXPECT_EQ(stats.replans, 1);
+  EXPECT_EQ(stats.resize_count, 0u);
+  // Raw scans cost η·r: re-costing at η̂ = 8 raises the plan cost.
+  EXPECT_GT(stats.shared_cost, cost_before);
+
+  StreamSession::Options plain;
+  plain.num_keys = kKeys;
+  StreamSession oracle(plain);
+  SessionResults expected;
+  ASSERT_TRUE(oracle.AddQuery(PerDevice(20), Tagged(&expected, 0)).ok());
+  for (const Event& e : events) ASSERT_TRUE(oracle.Push(e).ok());
+  ASSERT_TRUE(oracle.Finish().ok());
+  ExpectSameResults(results, expected, "recost-only drift vs static");
+}
+
+TEST(AdaptiveSession, ColumnarIngestionMatchesScalarMonitorCadence) {
+  // Regression: PushColumns used to sample the monitors at most once
+  // per batch, so a columnar run made different (fewer) resize and
+  // drift decisions than the same stream pushed one event at a time.
+  // The monitors now fire mid-batch at exactly the scalar cadence, with
+  // the remainder carried across batches — every decision statistic
+  // must match bit for bit, not just the results.
+  constexpr uint32_t kKeys = 8;
+  const std::vector<Event> events = DriftingStream(4000, 1500, 4000, kKeys);
+
+  auto run = [&](bool columnar) {
+    StreamSession::Options options;
+    options.num_keys = kKeys;
+    options.num_shards = 2;
+    options.auto_resize.enabled = true;
+    options.auto_resize.min_shards = 1;
+    options.auto_resize.max_shards = 4;
+    options.auto_resize.check_interval = 512;
+    options.auto_resize.scale_up_occupancy = 2.0;
+    options.auto_resize.scale_down_occupancy = 1.0;
+    options.auto_resize.scale_down_checks = 2;
+    options.auto_resize.target_rate_per_shard = 1.0;
+    options.adaptive.enabled = true;
+    options.adaptive.rate_alpha = 0.7;
+    options.adaptive.check_interval = 512;
+    options.adaptive.reoptimize_ratio = 3.0;
+    options.adaptive.min_events_between_replans = 2048;
+    StreamSession session(options);
+    SessionResults results;
+    EXPECT_TRUE(session.AddQuery(PerDevice(20), Tagged(&results, 0)).ok());
+    if (columnar) {
+      // 97 never divides the 512-event cadence: without the remainder
+      // carry, every batch boundary would skew the later samples.
+      for (const EventColumns& batch : SplitIntoColumns(events, 97)) {
+        EXPECT_TRUE(session.PushColumns(batch).ok());
+      }
+    } else {
+      for (const Event& e : events) EXPECT_TRUE(session.Push(e).ok());
+    }
+    EXPECT_TRUE(session.Finish().ok());
+    return std::make_pair(results, session.Stats());
+  };
+
+  auto [scalar_results, scalar_stats] = run(false);
+  auto [columnar_results, columnar_stats] = run(true);
+  ExpectSameResults(columnar_results, scalar_results, "columnar vs scalar");
+  EXPECT_EQ(columnar_stats.resize_count, scalar_stats.resize_count);
+  EXPECT_EQ(columnar_stats.drift_replans, scalar_stats.drift_replans);
+  EXPECT_EQ(columnar_stats.num_shards, scalar_stats.num_shards);
+  EXPECT_DOUBLE_EQ(columnar_stats.observed_eta, scalar_stats.observed_eta);
+  EXPECT_DOUBLE_EQ(columnar_stats.planned_eta, scalar_stats.planned_eta);
+  EXPECT_EQ(columnar_stats.events_pushed, scalar_stats.events_pushed);
+  // The workload actually drives both loops — this is not a vacuous
+  // comparison of two idle monitors.
+  EXPECT_GE(scalar_stats.resize_count, 1u);
+  EXPECT_GE(scalar_stats.drift_replans, 1);
 }
 
 // --- Cost model ------------------------------------------------------------

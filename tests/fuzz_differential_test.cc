@@ -20,9 +20,11 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cstdint>
 #include <cstdio>
 #include <cstdlib>
+#include <limits>
 #include <map>
 #include <set>
 #include <string>
@@ -161,6 +163,34 @@ struct RunOutput {
   StreamSession::SessionStats stats;
 };
 
+// EXPECT_EQ on result maps, but on mismatch print only the differing
+// entries — gtest truncates whole-map dumps past a few dozen windows,
+// usually hiding the actual divergence.
+void ExpectSameResults(const SessionResults& got,
+                       const SessionResults& want) {
+  if (got == want) return;
+  ADD_FAILURE() << "result maps differ (got " << got.size()
+                << " entries, want " << want.size() << ")";
+  auto print = [](const char* kind, const SessionResults::value_type& kv) {
+    ADD_FAILURE() << kind << " (tag " << std::get<0>(kv.first) << ", op "
+                  << std::get<1>(kv.first) << ", [" << std::get<2>(kv.first)
+                  << ", " << std::get<3>(kv.first) << "), key "
+                  << std::get<4>(kv.first) << ") = " << kv.second;
+  };
+  for (const auto& kv : want) {
+    auto it = got.find(kv.first);
+    if (it == got.end()) {
+      print("missing", kv);
+    } else if (it->second != kv.second) {
+      print("want", kv);
+      print("got", *it);
+    }
+  }
+  for (const auto& kv : got) {
+    if (want.find(kv.first) == want.end()) print("extra", kv);
+  }
+}
+
 // Applies the case's stream and churn schedule; Resize ops run only when
 // `apply_resizes` (the oracle ignores them and stays at `shards`). Query
 // callbacks tag results by creation order, which both runs share. With
@@ -170,11 +200,30 @@ struct RunOutput {
 // their exact event indices — the oracle stays per-event, so every
 // differential check below also pins columnar ≡ scalar ingestion.
 void RunCase(const FuzzCase& c, uint32_t shards, bool apply_resizes,
-             uint64_t columnar_seed, RunOutput* out_ptr) {
+             uint64_t columnar_seed, bool adaptive, RunOutput* out_ptr) {
   StreamSession::Options options;
   options.num_keys = c.num_keys;
   options.num_shards = shards;
   options.max_delay = c.max_delay;
+  if (adaptive) {
+    // The full feedback loop, tuned twitchy so it actually fires within
+    // a few-thousand-event case: rate-driven auto-resize with the
+    // occupancy terms neutralized (decisions replay deterministically
+    // from event time), plus drift replans at a low threshold.
+    options.auto_resize.enabled = true;
+    options.auto_resize.min_shards = 1;
+    options.auto_resize.max_shards = 4;
+    options.auto_resize.check_interval = 384;
+    options.auto_resize.scale_up_occupancy = 2.0;
+    options.auto_resize.scale_down_occupancy = 1.0;
+    options.auto_resize.scale_down_checks = 2;
+    options.auto_resize.target_rate_per_shard = 0.5;
+    options.adaptive.enabled = true;
+    options.adaptive.check_interval = 384;
+    options.adaptive.rate_alpha = 0.5;
+    options.adaptive.reoptimize_ratio = 1.5;
+    options.adaptive.min_events_between_replans = 1024;
+  }
   RunOutput& out = *out_ptr;
   if (c.max_delay > 0) {
     options.late_policy = StreamSession::LatePolicy::kSideOutput;
@@ -257,8 +306,9 @@ void RunSeed(uint64_t seed) {
   const FuzzCase c = GenerateCase(seed);
 
   RunOutput oracle;
-  ASSERT_NO_FATAL_FAILURE(
-      RunCase(c, 1, /*apply_resizes=*/false, /*columnar_seed=*/0, &oracle));
+  ASSERT_NO_FATAL_FAILURE(RunCase(c, 1, /*apply_resizes=*/false,
+                                  /*columnar_seed=*/0, /*adaptive=*/false,
+                                  &oracle));
   ASSERT_FALSE(oracle.results.empty());
 
   // The subject ingests columnar in randomly-sized batches (vs the
@@ -266,12 +316,13 @@ void RunSeed(uint64_t seed) {
   // ingestion path all differ from the oracle at once.
   RunOutput subject;
   ASSERT_NO_FATAL_FAILURE(RunCase(c, c.initial_shards, /*apply_resizes=*/true,
-                                  /*columnar_seed=*/seed * 2 + 1, &subject));
+                                  /*columnar_seed=*/seed * 2 + 1,
+                                  /*adaptive=*/false, &subject));
 
   // Bitwise-identical results (exact double equality through the map),
   // identical late side-output in arrival order, identical cumulative
   // stats.
-  EXPECT_EQ(subject.results, oracle.results);
+  ExpectSameResults(subject.results, oracle.results);
   ASSERT_EQ(subject.late.size(), oracle.late.size());
   for (size_t i = 0; i < subject.late.size(); ++i) {
     EXPECT_EQ(subject.late[i].timestamp, oracle.late[i].timestamp);
@@ -280,6 +331,97 @@ void RunSeed(uint64_t seed) {
   }
   EXPECT_EQ(subject.stats.late_events, oracle.stats.late_events);
   EXPECT_EQ(subject.stats.lifetime_ops, oracle.stats.lifetime_ops);
+  EXPECT_EQ(subject.stats.events_pushed, oracle.stats.events_pushed);
+  EXPECT_EQ(subject.stats.replans, oracle.stats.replans);
+}
+
+// --- Adaptive-mode differential --------------------------------------------
+
+// Stretches the middle third of the stream's time span by 8x: the
+// observed rate η̂ drops to ~1/8 of the generator's pace there and
+// recovers after, so an adaptive subject crosses the drift threshold
+// (and the rate-driven resize signal swings both ways) mid-case. The
+// map is monotone in the timestamp, so disorder order relations are
+// preserved — time displacements grow in the stretched region, but
+// identically for subject and oracle, and the oracle defines truth.
+void StretchMiddleThird(std::vector<Event>* events) {
+  TimeT lo = std::numeric_limits<TimeT>::max();
+  TimeT hi = std::numeric_limits<TimeT>::min();
+  for (const Event& e : *events) {
+    lo = std::min(lo, e.timestamp);
+    hi = std::max(hi, e.timestamp);
+  }
+  if (hi <= lo) return;
+  const TimeT b1 = lo + (hi - lo) / 3;
+  const TimeT b2 = lo + 2 * (hi - lo) / 3;
+  for (Event& e : *events) {
+    if (e.timestamp <= b1) continue;
+    const TimeT in_mid = std::min(e.timestamp, b2) - b1;
+    const TimeT past = e.timestamp > b2 ? e.timestamp - b2 : 0;
+    e.timestamp = b1 + in_mid * 8 + past;
+  }
+}
+
+// Same oracle discipline as RunSeed, but the subject additionally runs
+// the runtime feedback loop — the throughput resize signal (down to
+// inline mode and back) and drift-triggered replans — over a stream
+// whose rate genuinely drifts. AddQuery/RemoveQuery ops are excluded:
+// once a drift replan adopts the observed η, a later churn replan
+// optimizes at that η and may legitimately pick a different plan
+// structure than the static-η oracle's. The invariant adaptivity owes
+// is identical *output*, which is exactly what stays compared;
+// lifetime_ops is skipped for the same reason (plan structure and
+// crossover double-processing change the work, never the results).
+void RunAdaptiveSeed(uint64_t seed) {
+  SCOPED_TRACE("adaptive fuzz seed " + std::to_string(seed) +
+               " — repro: FW_FUZZ_ADAPTIVE_SEED=" + std::to_string(seed) +
+               " ./fuzz_differential_test"
+               " --gtest_filter=FuzzDifferential.AdaptiveReproSeed");
+  FuzzCase c = GenerateCase(seed);
+  std::vector<FuzzOp> resizes_only;
+  for (const FuzzOp& op : c.ops) {
+    if (op.kind == FuzzOp::kResize) resizes_only.push_back(op);
+  }
+  c.ops = std::move(resizes_only);
+  StretchMiddleThird(&c.events);
+
+  // Structural drift replans regroup the floating-point accumulation
+  // itself — a factor-window plan merges per-slice partials where the
+  // evicted plan folds raw events one at a time — so for
+  // rounding-sensitive aggregates (SUM/AVG/STDEV over arbitrary
+  // doubles, sketch merges) the replanned pipeline is mathematically
+  // but not bitwise equal to the static oracle. That ULP drift is
+  // inherent to changing the plan, not an adaptivity bug; their
+  // state-handoff exactness is pinned by the non-adaptive differential
+  // above. Here the point is the crossover/monitor machinery, so draw
+  // from the regroup-exact aggregates: idempotent extrema, event
+  // selection, and exact set cardinality.
+  static const char* const kExactPalette[] = {"MIN", "MAX", "FIRST", "LAST",
+                                              "DISTINCT_COUNT"};
+  c.initial_query.agg =
+      Agg(kExactPalette[seed % std::size(kExactPalette)]);
+
+  RunOutput oracle;
+  ASSERT_NO_FATAL_FAILURE(RunCase(c, 1, /*apply_resizes=*/false,
+                                  /*columnar_seed=*/0, /*adaptive=*/false,
+                                  &oracle));
+  ASSERT_FALSE(oracle.results.empty());
+
+  // Manual resizes, auto-resizes, drift replans, and columnar batching
+  // all differ from the oracle at once.
+  RunOutput subject;
+  ASSERT_NO_FATAL_FAILURE(RunCase(c, c.initial_shards, /*apply_resizes=*/true,
+                                  /*columnar_seed=*/seed * 2 + 1,
+                                  /*adaptive=*/true, &subject));
+
+  ExpectSameResults(subject.results, oracle.results);
+  ASSERT_EQ(subject.late.size(), oracle.late.size());
+  for (size_t i = 0; i < subject.late.size(); ++i) {
+    EXPECT_EQ(subject.late[i].timestamp, oracle.late[i].timestamp);
+    EXPECT_EQ(subject.late[i].key, oracle.late[i].key);
+    EXPECT_EQ(subject.late[i].value, oracle.late[i].value);
+  }
+  EXPECT_EQ(subject.stats.late_events, oracle.stats.late_events);
   EXPECT_EQ(subject.stats.events_pushed, oracle.stats.events_pushed);
   EXPECT_EQ(subject.stats.replans, oracle.stats.replans);
 }
@@ -303,6 +445,21 @@ TEST(FuzzDifferential, FixedSeedsTier1) {
   }
 }
 
+// The adaptive counterpart of FixedSeedsTier1.
+TEST(FuzzDifferential, AdaptiveFixedSeedsTier1) {
+  for (uint64_t seed : {3u, 11u, 77u, 5150u, 20260808u}) {
+    RunAdaptiveSeed(seed);
+    if (HasFatalFailure() || HasNonfatalFailure()) {
+      std::fprintf(stderr,
+                   "adaptive fuzz failure — reproduce with:\n  "
+                   "FW_FUZZ_ADAPTIVE_SEED=%llu ./fuzz_differential_test "
+                   "--gtest_filter=FuzzDifferential.AdaptiveReproSeed\n",
+                   static_cast<unsigned long long>(seed));
+      return;
+    }
+  }
+}
+
 // One-line reproduction target for any failing seed.
 TEST(FuzzDifferential, ReproSeed) {
   const char* env = std::getenv("FW_FUZZ_SEED");
@@ -310,6 +467,14 @@ TEST(FuzzDifferential, ReproSeed) {
     GTEST_SKIP() << "set FW_FUZZ_SEED=<seed> to replay one case";
   }
   RunSeed(std::strtoull(env, nullptr, 10));
+}
+
+TEST(FuzzDifferential, AdaptiveReproSeed) {
+  const char* env = std::getenv("FW_FUZZ_ADAPTIVE_SEED");
+  if (env == nullptr) {
+    GTEST_SKIP() << "set FW_FUZZ_ADAPTIVE_SEED=<seed> to replay one case";
+  }
+  RunAdaptiveSeed(std::strtoull(env, nullptr, 10));
 }
 
 // Env-scaled search for CI's nightly-style dispatch job (and local
@@ -326,6 +491,9 @@ TEST(FuzzDifferential, LongRandomized) {
       base_env != nullptr ? std::strtoull(base_env, nullptr, 10) : 1000;
   for (uint64_t seed = base; seed < base + count; ++seed) {
     RunSeed(seed);
+    if (!HasFatalFailure() && !HasNonfatalFailure()) {
+      RunAdaptiveSeed(seed);
+    }
     if (HasFatalFailure() || HasNonfatalFailure()) {
       std::fprintf(stderr,
                    "fuzz failure at seed %llu — reproduce with:\n  "
