@@ -1,0 +1,293 @@
+// Durability cost and recovery speed (DESIGN.md §16). Two panels:
+//
+//  * Ingest throughput vs fsync policy — the same single-query stream
+//    runs without durability (baseline), then with the changelog under
+//    each FsyncPolicy. Every durable run must deliver the bitwise-
+//    identical result multiset (ResultFingerprint) — a throughput number
+//    bought by losing results is not a benchmark result.
+//
+//  * Recovery time vs changelog depth — sessions killed mid-stream
+//    (destructor, no Finish) leave changelogs of increasing replay
+//    depth; StreamSession::Recover is timed end to end (snapshot load +
+//    suffix replay + the covering snapshot it publishes). A final row
+//    recovers a periodically-snapshotted session, showing the bounded
+//    replay the snapshot cadence buys.
+//
+// Output is google-benchmark-compatible JSON ({"benchmarks": [...]}
+// with items_per_second), so scripts/perf_smoke.py --check gates its
+// shape in CI. Scale with --events/--keys or FW_EVENTS_1M; --batch=N
+// ingests through PushColumns in N-event batches.
+
+#include <unistd.h>
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench/bench_util.h"
+#include "common/clock.h"
+#include "durability/framed_io.h"
+#include "session/session.h"
+
+namespace fw {
+namespace {
+
+std::string MakeTempDir() {
+  char tmpl[] = "/tmp/fw_bench_durability_XXXXXX";
+  char* dir = ::mkdtemp(tmpl);
+  if (dir == nullptr) {
+    std::fprintf(stderr, "mkdtemp failed\n");
+    std::exit(1);
+  }
+  return dir;
+}
+
+void RemoveTree(const std::string& dir) {
+  Result<std::vector<std::string>> names = durability::ListDir(dir);
+  if (names.ok()) {
+    for (const std::string& name : *names) {
+      (void)durability::RemoveFile(dir + "/" + name);
+    }
+  }
+  ::rmdir(dir.c_str());
+}
+
+const char* PolicyName(FsyncPolicy policy) {
+  switch (policy) {
+    case FsyncPolicy::kNone: return "fsync_none";
+    case FsyncPolicy::kInterval: return "fsync_interval";
+    case FsyncPolicy::kEveryBatch: return "fsync_every_batch";
+  }
+  return "?";
+}
+
+StreamSession::Options BaseOptions(const bench::BenchArgs& args) {
+  StreamSession::Options options;
+  options.num_keys = args.keys;
+  options.num_shards = args.shards.empty() ? 1 : args.shards.front();
+  return options;
+}
+
+Result<QueryId> AddBenchQuery(StreamSession& session, const std::string& agg,
+                              bench::ResultFingerprint* totals) {
+  StreamQuery query;
+  query.source = "bench";
+  query.agg = Agg(agg);
+  query.value_column = "v";
+  query.per_key = true;
+  query.key_column = "k";
+  (void)query.windows.Add(Window(20, 20));
+  (void)query.windows.Add(Window(30, 30));
+  (void)query.windows.Add(Window(40, 40));
+  return session.AddQuery(
+      query, [totals](const WindowResult& r) { totals->Fold(r); });
+}
+
+struct IngestRow {
+  std::string name;
+  double events_per_sec = 0.0;
+  uint64_t wal_records = 0;
+  uint64_t wal_bytes = 0;
+  uint64_t wal_fsyncs = 0;
+  bench::ResultFingerprint totals;
+};
+
+int RunIngest(const bench::BenchArgs& args, const std::vector<Event>& events,
+              const std::vector<EventColumns>& chunks, bool durable,
+              FsyncPolicy policy, IngestRow* out) {
+  std::string dir;
+  StreamSession::Options options = BaseOptions(args);
+  if (durable) {
+    dir = MakeTempDir();
+    options.durability.enabled = true;
+    options.durability.dir = dir;
+    options.durability.fsync_policy = policy;
+    out->name = std::string("BM_DurableIngest/") + PolicyName(policy);
+  } else {
+    out->name = "BM_DurableIngest/baseline";
+  }
+  int rc = 0;
+  {
+    StreamSession session(options);
+    Result<QueryId> id = AddBenchQuery(session, args.agg, &out->totals);
+    if (!id.ok()) {
+      std::fprintf(stderr, "AddQuery: %s\n", id.status().ToString().c_str());
+      rc = 1;
+    }
+    if (rc == 0) {
+      MonotonicTimer timer;
+      Status status = bench::IngestStream(session, events, chunks);
+      if (status.ok()) status = session.Finish();
+      if (!status.ok()) {
+        std::fprintf(stderr, "%s: %s\n", out->name.c_str(),
+                     status.ToString().c_str());
+        rc = 1;
+      } else {
+        const double seconds = timer.ElapsedSeconds();
+        out->events_per_sec =
+            seconds > 0.0 ? static_cast<double>(events.size()) / seconds : 0.0;
+        const StreamSession::SessionStats stats = session.Stats();
+        out->wal_records = stats.wal_records;
+        out->wal_bytes = stats.wal_bytes;
+        out->wal_fsyncs = stats.wal_fsyncs;
+      }
+    }
+  }
+  if (!dir.empty()) RemoveTree(dir);
+  return rc;
+}
+
+struct RecoveryRow {
+  std::string name;
+  double events_per_sec = 0.0;  // Durable events recovered per second.
+  double seconds = 0.0;
+  uint64_t durable_events = 0;
+  uint64_t replayed_records = 0;
+};
+
+/// Fills a changelog by killing a durable session after `depth` events
+/// (no Finish — the destructor is the crash), then times Recover.
+/// `snapshot_interval` 0 leaves the whole stream as replay depth.
+int RunRecovery(const bench::BenchArgs& args, const std::vector<Event>& events,
+                size_t depth, uint64_t snapshot_interval,
+                const std::string& name, RecoveryRow* out) {
+  out->name = name;
+  const std::string dir = MakeTempDir();
+  int rc = 0;
+  {
+    StreamSession::Options options = BaseOptions(args);
+    options.durability.enabled = true;
+    options.durability.dir = dir;
+    options.durability.fsync_policy = FsyncPolicy::kNone;
+    options.durability.snapshot_interval_events = snapshot_interval;
+    StreamSession session(options);
+    bench::ResultFingerprint sink;
+    Result<QueryId> id = AddBenchQuery(session, args.agg, &sink);
+    if (!id.ok()) {
+      std::fprintf(stderr, "AddQuery: %s\n", id.status().ToString().c_str());
+      rc = 1;
+    }
+    for (size_t i = 0; rc == 0 && i < depth && i < events.size(); ++i) {
+      Status status = session.Push(events[i]);
+      if (!status.ok()) {
+        std::fprintf(stderr, "Push: %s\n", status.ToString().c_str());
+        rc = 1;
+      }
+    }
+    // Killed here: destructor without Finish, like a crashed process.
+  }
+  if (rc == 0) {
+    StreamSession::Options options = BaseOptions(args);
+    MonotonicTimer timer;
+    Result<StreamSession::RecoveryInfo> recovered =
+        StreamSession::Recover(dir, options);
+    if (!recovered.ok()) {
+      std::fprintf(stderr, "Recover(%s): %s\n", name.c_str(),
+                   recovered.status().ToString().c_str());
+      rc = 1;
+    } else {
+      out->seconds = timer.ElapsedSeconds();
+      out->durable_events = recovered->durable_events;
+      out->replayed_records = recovered->replayed_records;
+      out->events_per_sec =
+          out->seconds > 0.0
+              ? static_cast<double>(out->durable_events) / out->seconds
+              : 0.0;
+      if (out->durable_events != depth) {
+        std::fprintf(stderr, "%s: recovered %llu events, expected %zu\n",
+                     name.c_str(),
+                     static_cast<unsigned long long>(out->durable_events),
+                     depth);
+        rc = 1;
+      }
+    }
+  }
+  RemoveTree(dir);
+  return rc;
+}
+
+int Run(int argc, char** argv) {
+  bench::BenchArgs args = bench::ParseBenchArgs(
+      argc, argv, EventCountFromEnv("FW_EVENTS_1M", 300'000));
+  const std::vector<Event> events =
+      GenerateSyntheticStream(args.events, args.keys, kSyntheticSeed);
+  std::vector<EventColumns> chunks;
+  if (args.batch > 0) chunks = SplitIntoColumns(events, args.batch);
+
+  // --- Panel 1: ingest throughput vs fsync policy. ---
+  std::vector<IngestRow> ingest(4);
+  if (RunIngest(args, events, chunks, false, FsyncPolicy::kNone, &ingest[0]) ||
+      RunIngest(args, events, chunks, true, FsyncPolicy::kNone, &ingest[1]) ||
+      RunIngest(args, events, chunks, true, FsyncPolicy::kInterval,
+                &ingest[2]) ||
+      RunIngest(args, events, chunks, true, FsyncPolicy::kEveryBatch,
+                &ingest[3])) {
+    return 1;
+  }
+  for (size_t i = 1; i < ingest.size(); ++i) {
+    // Exactness first: durability must be invisible in the output.
+    if (!ingest[i].totals.Matches(ingest[0].totals)) {
+      std::fprintf(stderr,
+                   "exactness violated: %s delivered %llu results "
+                   "(fingerprint %016llx) vs baseline %llu (%016llx)\n",
+                   ingest[i].name.c_str(),
+                   static_cast<unsigned long long>(ingest[i].totals.results),
+                   static_cast<unsigned long long>(
+                       ingest[i].totals.fingerprint),
+                   static_cast<unsigned long long>(ingest[0].totals.results),
+                   static_cast<unsigned long long>(
+                       ingest[0].totals.fingerprint));
+      return 1;
+    }
+  }
+
+  // --- Panel 2: recovery time vs changelog depth. ---
+  std::vector<RecoveryRow> recovery(4);
+  const size_t full = events.size();
+  if (RunRecovery(args, events, full / 4, 0, "BM_Recovery/depth_quarter",
+                  &recovery[0]) ||
+      RunRecovery(args, events, full / 2, 0, "BM_Recovery/depth_half",
+                  &recovery[1]) ||
+      RunRecovery(args, events, full, 0, "BM_Recovery/depth_full",
+                  &recovery[2]) ||
+      RunRecovery(args, events, full, /*snapshot_interval=*/65536,
+                  "BM_Recovery/depth_full_snapshotted", &recovery[3])) {
+    return 1;
+  }
+
+  std::printf(
+      "{\"context\":{\"executable\":\"bench_durability\",\"events\":%zu,"
+      "\"keys\":%u,\"shards\":%u,\"batch\":%zu,\"agg\":\"%s\"},"
+      "\"benchmarks\":[",
+      events.size(), args.keys, BaseOptions(args).num_shards, args.batch,
+      args.agg.c_str());
+  bool first = true;
+  for (const IngestRow& row : ingest) {
+    std::printf(
+        "%s{\"name\":\"%s\",\"run_type\":\"iteration\",\"iterations\":1,"
+        "\"items_per_second\":%.1f,\"wal_records\":%llu,"
+        "\"wal_bytes\":%llu,\"wal_fsyncs\":%llu}",
+        first ? "" : ",", row.name.c_str(), row.events_per_sec,
+        static_cast<unsigned long long>(row.wal_records),
+        static_cast<unsigned long long>(row.wal_bytes),
+        static_cast<unsigned long long>(row.wal_fsyncs));
+    first = false;
+  }
+  for (const RecoveryRow& row : recovery) {
+    std::printf(
+        ",{\"name\":\"%s\",\"run_type\":\"iteration\",\"iterations\":1,"
+        "\"items_per_second\":%.1f,\"real_time\":%.6f,"
+        "\"time_unit\":\"s\",\"durable_events\":%llu,"
+        "\"replayed_records\":%llu}",
+        row.name.c_str(), row.events_per_sec, row.seconds,
+        static_cast<unsigned long long>(row.durable_events),
+        static_cast<unsigned long long>(row.replayed_records));
+  }
+  std::printf("]}\n");
+  return 0;
+}
+
+}  // namespace
+}  // namespace fw
+
+int main(int argc, char** argv) { return fw::Run(argc, argv); }

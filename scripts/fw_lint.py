@@ -44,6 +44,13 @@ Rules (all in src/ unless noted):
                         std::unique_lock outside common/mutex.h. Raw
                         mutexes are invisible to Thread Safety Analysis;
                         fw::Mutex / fw::MutexLock carry the annotations.
+  raw-persistence       fopen/freopen or std::*fstream outside
+                        src/durability/. Durable state has exactly one
+                        home: the CRC32C-framed changelog + snapshot
+                        store (DESIGN.md §16). A stray ofstream writing
+                        engine state bypasses framing, fsync policy, and
+                        torn-tail detection, so recovery can neither
+                        validate nor replay it.
   agg-descriptor        An AggregateFunction descriptor literal that
                         omits `.overlap_merge_safe` or
                         `.merge_order_sensitive`. Both are sharing-
@@ -101,6 +108,10 @@ def _in_order_sensitive(path):
 
 def _outside(allowed):
     return lambda path: path != allowed
+
+
+def _outside_dir(allowed_prefix):
+    return lambda path: not path.startswith(allowed_prefix)
 
 
 RULES = [
@@ -167,6 +178,19 @@ RULES = [
         "use fw::Mutex / fw::MutexLock (common/mutex.h), which carry the "
         "annotations",
         _outside("common/mutex.h"),
+    ),
+    (
+        "raw-persistence",
+        re.compile(
+            r"(?:\bstd::(?:o|i)?fstream\b|\b(?:std::)?f(?:re)?open\s*\(|"
+            r"#\s*include\s*<fstream>)"
+        ),
+        "raw file persistence: durable state has exactly one home — the "
+        "CRC32C-framed changelog + snapshot store (src/durability/, "
+        "DESIGN.md §16); an unframed write bypasses fsync policy and "
+        "torn-tail detection, so recovery can neither validate nor "
+        "replay it",
+        _outside_dir("durability/"),
     ),
 ]
 

@@ -1,0 +1,61 @@
+#include "durability/crc32c.h"
+
+#include <array>
+
+namespace fw {
+namespace durability {
+
+namespace {
+
+/// Slicing-by-4 tables, generated once at first use. Table 0 is the
+/// classic byte-at-a-time table; tables 1..3 fold four input bytes per
+/// step, which keeps WAL framing off the ingest critical path without
+/// any platform-specific code.
+struct Crc32cTables {
+  std::array<std::array<uint32_t, 256>, 4> t;
+
+  Crc32cTables() {
+    constexpr uint32_t kPoly = 0x82F63B78u;  // Reflected Castagnoli.
+    for (uint32_t i = 0; i < 256; ++i) {
+      uint32_t crc = i;
+      for (int bit = 0; bit < 8; ++bit) {
+        crc = (crc >> 1) ^ ((crc & 1u) ? kPoly : 0u);
+      }
+      t[0][i] = crc;
+    }
+    for (uint32_t i = 0; i < 256; ++i) {
+      t[1][i] = (t[0][i] >> 8) ^ t[0][t[0][i] & 0xFFu];
+      t[2][i] = (t[1][i] >> 8) ^ t[0][t[1][i] & 0xFFu];
+      t[3][i] = (t[2][i] >> 8) ^ t[0][t[2][i] & 0xFFu];
+    }
+  }
+};
+
+const Crc32cTables& Tables() {
+  static const Crc32cTables tables;
+  return tables;
+}
+
+}  // namespace
+
+uint32_t Crc32c(uint32_t crc, const void* data, size_t size) {
+  const Crc32cTables& tables = Tables();
+  const auto* p = static_cast<const unsigned char*>(data);
+  crc = ~crc;
+  while (size >= 4) {
+    crc ^= static_cast<uint32_t>(p[0]) | (static_cast<uint32_t>(p[1]) << 8) |
+           (static_cast<uint32_t>(p[2]) << 16) |
+           (static_cast<uint32_t>(p[3]) << 24);
+    crc = tables.t[3][crc & 0xFFu] ^ tables.t[2][(crc >> 8) & 0xFFu] ^
+          tables.t[1][(crc >> 16) & 0xFFu] ^ tables.t[0][crc >> 24];
+    p += 4;
+    size -= 4;
+  }
+  while (size-- > 0) {
+    crc = (crc >> 8) ^ tables.t[0][(crc ^ *p++) & 0xFFu];
+  }
+  return ~crc;
+}
+
+}  // namespace durability
+}  // namespace fw

@@ -1,0 +1,105 @@
+#ifndef FW_DURABILITY_FRAMED_IO_H_
+#define FW_DURABILITY_FRAMED_IO_H_
+
+// The one file-I/O layer of the durability subsystem (DESIGN.md §16).
+// Every byte the library persists rides a CRC32C-checked frame:
+//
+//   [u32 length][u32 crc][u8 type][payload ...]      (little-endian)
+//
+// where length = 1 + payload size (the type byte counts) and crc is
+// CRC-32C over the type byte and payload. A reader can therefore detect
+// a torn or bit-flipped tail record exactly, which is what makes
+// kill-anywhere recovery possible. fw_lint bans raw fopen/ofstream
+// persistence outside src/durability/ so no checkpoint bytes can bypass
+// this framing.
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/status.h"
+
+namespace fw {
+namespace durability {
+
+/// Upper bound on a frame's length field. A corrupt length parses as
+/// torn instead of driving a multi-gigabyte allocation.
+inline constexpr uint32_t kMaxFrameLength = 1u << 30;
+
+/// Appends frames to one file through a POSIX fd (created/truncated by
+/// Open). Writes go to the page cache; Sync() forces them to stable
+/// storage. Single-threaded, like everything the session owns.
+class FramedFileWriter {
+ public:
+  FramedFileWriter() = default;
+  ~FramedFileWriter();
+
+  FramedFileWriter(const FramedFileWriter&) = delete;
+  FramedFileWriter& operator=(const FramedFileWriter&) = delete;
+
+  Status Open(const std::string& path);
+  Status Append(uint8_t type, std::string_view payload);
+  Status Sync();
+  /// Closes the fd without syncing; idempotent.
+  Status Close();
+
+  bool is_open() const { return fd_ >= 0; }
+  uint64_t bytes_written() const { return bytes_; }
+  const std::string& path() const { return path_; }
+
+ private:
+  int fd_ = -1;
+  uint64_t bytes_ = 0;
+  std::string path_;
+};
+
+struct Frame {
+  uint8_t type = 0;
+  std::string payload;
+};
+
+/// Parses frames out of an in-memory file image (durability files are
+/// bounded by the snapshot cadence, so whole-file reads are fine).
+class FramedBuffer {
+ public:
+  enum class Outcome {
+    kFrame,  // *frame holds the next frame.
+    kEnd,    // Clean end: the buffer ended exactly on a frame boundary.
+    kTorn,   // Trailing bytes that are not a whole CRC-valid frame.
+  };
+
+  explicit FramedBuffer(std::string bytes) : bytes_(std::move(bytes)) {}
+
+  Outcome Next(Frame* frame);
+
+  /// Why the tail failed (after kTorn): truncated header, short payload,
+  /// or CRC mismatch.
+  const std::string& torn_detail() const { return torn_detail_; }
+  /// Frames successfully returned so far.
+  uint64_t frames_read() const { return frames_; }
+
+ private:
+  std::string bytes_;
+  size_t pos_ = 0;
+  uint64_t frames_ = 0;
+  std::string torn_detail_;
+};
+
+// Small POSIX helpers shared by the WAL and snapshot stores. All return
+// descriptive Status on failure (with errno text), never abort.
+Status EnsureDir(const std::string& dir);
+Status ReadFileBytes(const std::string& path, std::string* out);
+Status SyncDir(const std::string& dir);
+/// rename(tmp, final) + fsync of the containing directory — the atomic
+/// publish step snapshots use.
+Status AtomicPublish(const std::string& tmp_path,
+                     const std::string& final_path, const std::string& dir);
+Status RemoveFile(const std::string& path);
+/// Regular-file names in `dir` (no ordering guarantee).
+Result<std::vector<std::string>> ListDir(const std::string& dir);
+
+}  // namespace durability
+}  // namespace fw
+
+#endif  // FW_DURABILITY_FRAMED_IO_H_

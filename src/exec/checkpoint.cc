@@ -89,7 +89,9 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
     return Status::InvalidArgument("bad checkpoint header");
   }
   ExecutorCheckpoint checkpoint;
-  checkpoint.operators.reserve(num_operators);
+  // No reserve from unvalidated counts anywhere below: a corrupt header
+  // or record length must fail at the first missing record, not ask the
+  // allocator for the forged size (and throw out of the Result API).
   for (size_t i = 0; i < num_operators; ++i) {
     std::string tag;
     OperatorCheckpoint op;
@@ -100,26 +102,26 @@ Result<ExecutorCheckpoint> ExecutorCheckpoint::Deserialize(
       return Status::InvalidArgument("bad operator record " +
                                      std::to_string(i));
     }
-    op.open_instances.reserve(num_instances);
     for (size_t j = 0; j < num_instances; ++j) {
       InstanceCheckpoint inst;
       size_t num_keys = 0;
       if (!(is >> tag >> inst.m >> num_keys) || tag != "inst") {
         return Status::InvalidArgument("bad instance record");
       }
-      inst.states.resize(num_keys);
-      for (AggState& s : inst.states) {
+      for (size_t k = 0; k < num_keys; ++k) {
+        AggState s;
         if (version == 3) {
           FW_RETURN_IF_ERROR(DeserializeAggState(is, &s));
-          continue;
+        } else {
+          uint64_t v1 = 0;
+          uint64_t v2 = 0;
+          if (!(is >> v1 >> v2 >> s.n)) {
+            return Status::InvalidArgument("bad state record");
+          }
+          s.v1 = BitsDouble(v1);
+          s.v2 = BitsDouble(v2);
         }
-        uint64_t v1 = 0;
-        uint64_t v2 = 0;
-        if (!(is >> v1 >> v2 >> s.n)) {
-          return Status::InvalidArgument("bad state record");
-        }
-        s.v1 = BitsDouble(v1);
-        s.v2 = BitsDouble(v2);
+        inst.states.push_back(std::move(s));
       }
       op.open_instances.push_back(std::move(inst));
     }

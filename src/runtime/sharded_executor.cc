@@ -489,6 +489,17 @@ Status ShardedExecutor::Restore(const ExecutorCheckpoint& checkpoint) {
         "checkpoint was taken mid-stream by a strict-order executor (no "
         "event-time clock); it cannot resume under max_delay > 0");
   }
+  for (const BufferedEvent& buffered : checkpoint.reorder.events) {
+    // A buffered event releases into the engines' per-key state arrays
+    // later, far from any validation — a forged key must be rejected
+    // here, while the restore is still atomic.
+    if (buffered.event.key >= options_.num_keys) {
+      return Status::InvalidArgument(
+          "checkpoint buffers an event with key " +
+          std::to_string(buffered.event.key) + " outside key space [0, " +
+          std::to_string(options_.num_keys) + ")");
+    }
+  }
   if (options_.max_delay > 0 && !checkpoint.reorder.Inactive() &&
       checkpoint.reorder.max_delay != options_.max_delay) {
     // A different bound moves the watermark relative to the snapshotted

@@ -5,6 +5,8 @@
 
 #include "common/clock.h"
 #include "common/logging.h"
+#include "durability/manager.h"
+#include "exec/checkpoint.h"
 #include "exec/migrate.h"
 #include "exec/reorder.h"
 #include "plan/printer.h"
@@ -25,6 +27,18 @@ Status IngestStopped(size_t index, TimeT timestamp, const Status& cause) {
                 "ingest stopped at event " + std::to_string(index) +
                     " (timestamp " + std::to_string(timestamp) +
                     "): " + cause.message());
+}
+
+/// The recovery-side analogue of IngestStopped — the same stop-position
+/// contract, worded in changelog coordinates: the segment (by base
+/// sequence) and record index where replay had to stop, with the cause
+/// appended. Everything before that record was applied.
+Status RecoveryStopped(uint64_t segment_base, uint64_t record_index,
+                       const Status& cause) {
+  return Status(cause.code(),
+                "recovery stopped at segment " +
+                    std::to_string(segment_base) + ", record " +
+                    std::to_string(record_index) + ": " + cause.message());
 }
 
 /// AutoResizeOptions kept lenient legacy defaults (min_shards or
@@ -169,6 +183,19 @@ StreamSession::StreamSession(const Options& options)
     late_sink_ = std::make_unique<ConsumerFn<LateEventCallback>>(
         options_.late_callback);
   }
+  if (options_.durability.enabled) {
+    Result<std::unique_ptr<durability::DurabilityManager>> manager =
+        durability::DurabilityManager::CreateFresh(options_.durability,
+                                                   &metrics_);
+    if (manager.ok()) {
+      durability_ = std::move(*manager);
+    } else {
+      // Constructors cannot return Status; latch the failure and surface
+      // it from the first ingest or churn call (fail-stop, never a
+      // session that silently runs without its log).
+      durability_error_ = manager.status();
+    }
+  }
 }
 
 StreamSession::~StreamSession() {
@@ -193,6 +220,7 @@ Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
                                         ResultCallback callback) {
   session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
+  if (options_.durability.enabled) FW_RETURN_IF_ERROR(CheckDurable());
   if (query.windows.empty()) {
     return Status::InvalidArgument("query without windows");
   }
@@ -249,6 +277,18 @@ Result<QueryId> StreamSession::AddQuery(const StreamQuery& query,
 
   ++next_id_;
   queries_.push_back(std::move(live));
+  if (durability_) {
+    // Logged after the commit: a failed Rebuild must leave the changelog
+    // as untouched as the session. An append failure here latches — the
+    // query is live in memory but not durable, so further ingest (which
+    // would widen the divergence) is refused.
+    Status logged = durability_->AppendAddQuery(queries_.back()->id, query);
+    if (!logged.ok()) {
+      durability_error_ = logged;
+      return logged;
+    }
+    MaybeSnapshot();
+  }
   return queries_.back()->id;
 }
 
@@ -276,6 +316,7 @@ size_t StreamSession::FindQuery(QueryId id) const {
 Status StreamSession::RemoveQuery(QueryId id) {
   session_role_.AssertHeld();  // Public entry: caller thread only.
   FW_RETURN_IF_ERROR(CheckMutable());
+  if (options_.durability.enabled) FW_RETURN_IF_ERROR(CheckDurable());
   size_t index = FindQuery(id);
   if (index == queries_.size()) {
     return Status::NotFound("no query with id " + std::to_string(id));
@@ -287,6 +328,14 @@ Status StreamSession::RemoveQuery(QueryId id) {
   }
   FW_RETURN_IF_ERROR(Rebuild(remaining));
   queries_.erase(queries_.begin() + static_cast<ptrdiff_t>(index));
+  if (durability_) {
+    Status logged = durability_->AppendRemoveQuery(id);
+    if (!logged.ok()) {
+      durability_error_ = logged;
+      return logged;
+    }
+    MaybeSnapshot();
+  }
   return Status::OK();
 }
 
@@ -760,6 +809,13 @@ Status StreamSession::Push(const Event& event) {
                            " outside key space [0, " +
                            std::to_string(options_.num_keys) + ")"));
   }
+  // Write-ahead: the event reaches the changelog before it mutates any
+  // session state, so a crash between the two replays it instead of
+  // losing it.
+  if (options_.durability.enabled) {
+    Status logged = DurableAppend(event);
+    if (!logged.ok()) return IngestStopped(0, event.timestamp, logged);
+  }
   if (event.timestamp > watermark_) watermark_ = event.timestamp;
   ++events_pushed_;
   events_pushed_counter_->Increment(0);
@@ -788,6 +844,7 @@ Status StreamSession::Push(const Event& event) {
     DriftCheck(events_pushed_, watermark_);
   }
   MaybeCompleteCrossover(watermark_);
+  if (durability_) MaybeSnapshot();
   return Status::OK();
 }
 
@@ -867,6 +924,15 @@ Status StreamSession::PushColumns(const EventColumns& columns) {
     if (due != 0) samples.push_back({i, advanced, due});
   }
 
+  // Write-ahead for the whole accepted prefix, as one changelog record,
+  // before any of it mutates session state. An append failure rejects
+  // the entire batch (index 0): nothing was applied, so the caller's
+  // resume position is the batch start — consistent with the contract.
+  if (options_.durability.enabled && accepted > 0) {
+    Status logged = DurableAppendColumns(columns, accepted);
+    if (!logged.ok()) return IngestStopped(0, columns.timestamps[0], logged);
+  }
+
   // Apply the accepted prefix (possibly the whole batch).
   const uint64_t events_before = events_pushed_;
   watermark_ = advanced;
@@ -913,6 +979,7 @@ Status StreamSession::PushColumns(const EventColumns& columns) {
     }
   }
   if (executor_ && accepted > 0) MaybeCompleteCrossover(watermark_);
+  if (durability_) MaybeSnapshot();
   if (accepted == count) return Status::OK();
   return IngestStopped(accepted, columns.timestamps[accepted], cause);
 }
@@ -930,6 +997,16 @@ Status StreamSession::Finish() {
   // A finished executor's rings are drained and its workers joined; the
   // occupancy gauge reads 0, like the idle-retire path.
   ring_occupancy_gauge_->Set(0.0);
+  // One final snapshot (finished flag set, no executor checkpoint — the
+  // windows all flushed above), so recovering a finished session is a
+  // snapshot load with an empty replay.
+  if (durability_ && durability_error_.ok()) {
+    Status snap = WriteDurableSnapshot();
+    if (!snap.ok()) {
+      durability_error_ = snap;
+      return snap;
+    }
+  }
   return Status::OK();
 }
 
@@ -1051,6 +1128,14 @@ StreamSession::SessionStats StreamSession::BuildStats() const {
   stats.observed_eta = rate_.has_observations() ? rate_.rate() : 0.0;
   stats.planned_eta = planned_eta_;
   stats.drift_replans = drift_replans_;
+  if (durability_) {
+    const durability::DurabilityManager::Counters& d =
+        durability_->counters();
+    stats.wal_records = d.wal_records;
+    stats.wal_bytes = d.wal_bytes;
+    stats.wal_fsyncs = d.wal_fsyncs;
+    stats.snapshots_written = d.snapshots_written;
+  }
   return stats;
 }
 
@@ -1109,6 +1194,273 @@ StreamSession::SessionMetrics StreamSession::Metrics() const {
 
   metrics.telemetry = metrics_.Snapshot();
   return metrics;
+}
+
+std::vector<QueryId> StreamSession::QueryIds() const {
+  session_role_.AssertHeld();  // Public entry: caller thread only.
+  std::vector<QueryId> ids;
+  ids.reserve(queries_.size());
+  for (const auto& q : queries_) ids.push_back(q->id);
+  return ids;
+}
+
+Status StreamSession::CheckDurable() {
+  if (!durability_error_.ok()) return durability_error_;
+  FW_CHECK(durability_ != nullptr);
+  return Status::OK();
+}
+
+Status StreamSession::DurableAppend(const Event& event) {
+  FW_RETURN_IF_ERROR(CheckDurable());
+  durable_scratch_.clear();
+  durable_scratch_.Append(event);
+  Status logged = durability_->AppendEvents(durable_scratch_);
+  if (!logged.ok()) durability_error_ = logged;
+  return logged;
+}
+
+Status StreamSession::DurableAppendColumns(const EventColumns& columns,
+                                           size_t accepted) {
+  FW_RETURN_IF_ERROR(CheckDurable());
+  // Only admitted events belong in the changelog: a rejected suffix was
+  // never applied, and replay must not apply it either.
+  Status logged = accepted == columns.size()
+                      ? durability_->AppendEvents(columns)
+                      : durability_->AppendEvents(
+                            SliceColumns(columns, 0, accepted));
+  if (!logged.ok()) durability_error_ = logged;
+  return logged;
+}
+
+void StreamSession::MaybeSnapshot() {
+  // Deferred while a drift crossover is in flight: the dual-pipeline
+  // state is transient and the canonical checkpoint describes one
+  // pipeline — the next quiescent batch boundary snapshots instead.
+  if (!durability_ || cross_ || !durability_error_.ok()) return;
+  if (!durability_->SnapshotDue()) return;
+  Status snap = WriteDurableSnapshot();
+  // A failed snapshot latches (fail-stop on the next ingest) but does
+  // not fail the Push that triggered it: that batch was logged and
+  // applied — it is durable through the changelog.
+  if (!snap.ok()) durability_error_ = snap;
+}
+
+Status StreamSession::WriteDurableSnapshot() {
+  MonotonicTimer timer;
+  durability::SnapshotContents contents;
+  durability::SnapshotMeta& meta = contents.meta;
+  constexpr TimeT kNoWatermark = std::numeric_limits<TimeT>::min();
+  meta.covered_events = events_pushed_;
+  meta.num_keys = options_.num_keys;
+  meta.max_delay = options_.max_delay;
+  meta.late_policy = static_cast<uint8_t>(options_.late_policy);
+  meta.finished = finished_ ? 1 : 0;
+  meta.events_pushed = events_pushed_;
+  meta.events_dropped = events_dropped_;
+  meta.replans = replans_;
+  meta.drift_replans = drift_replans_;
+  meta.resize_count = resize_count_;
+  meta.next_id = next_id_;
+  meta.watermark_valid = watermark_ != kNoWatermark ? 1 : 0;
+  meta.watermark = meta.watermark_valid ? watermark_ : 0;
+  meta.retired_ops = retired_ops_;
+  meta.retired_late = retired_late_;
+  meta.retired_reorder_peak = retired_reorder_peak_;
+  meta.retired_closes_total = retired_closes_total_;
+  meta.retired_finalizes_total = retired_finalizes_total_;
+  meta.retired_watermark_valid = retired_watermark_ != kNoWatermark ? 1 : 0;
+  meta.retired_watermark = meta.retired_watermark_valid ? retired_watermark_ : 0;
+  meta.planned_eta = planned_eta_;
+  contents.queries.reserve(queries_.size());
+  for (const auto& q : queries_) {
+    contents.queries.push_back({q->id, q->query});
+  }
+  if (executor_ && !finished_) {
+    // Canonical merged checkpoint: CloseThrough-canonicalized, shard
+    // counts merged into the global view — a pure function of the
+    // delivered stream, which is what makes recovery bitwise exact.
+    Result<ExecutorCheckpoint> checkpoint = executor_->Checkpoint();
+    if (!checkpoint.ok()) return checkpoint.status();
+    contents.checkpoint = checkpoint->Serialize();
+    contents.has_checkpoint = true;
+    metrics_.RecordTrace(telemetry::TraceKind::kCheckpoint,
+                         timer.ElapsedNanos(),
+                         static_cast<int64_t>(checkpoint->operators.size()));
+  }
+  return durability_->WriteSnapshot(std::move(contents));
+}
+
+Status StreamSession::ReplayRecord(const durability::WalRecord& record,
+                                   const CallbackFactory& callbacks) {
+  switch (record.type) {
+    case durability::kWalEvents: {
+      EventColumns columns;
+      FW_RETURN_IF_ERROR(
+          durability::DecodeEventsPayload(record.payload, &columns));
+      return PushColumns(columns);
+    }
+    case durability::kWalAddQuery: {
+      uint64_t id = 0;
+      StreamQuery query;
+      FW_RETURN_IF_ERROR(
+          durability::DecodeQueryPayload(record.payload, &id, &query));
+      next_id_ = id;  // Replayed queries keep their original ids.
+      Result<QueryId> added =
+          AddQuery(query, callbacks ? callbacks(id, query) : nullptr);
+      if (!added.ok()) return added.status();
+      FW_CHECK_EQ(*added, id);
+      return Status::OK();
+    }
+    case durability::kWalRemoveQuery: {
+      uint64_t id = 0;
+      FW_RETURN_IF_ERROR(
+          durability::DecodeRemoveQueryPayload(record.payload, &id));
+      return RemoveQuery(id);
+    }
+    default:
+      return Status::InvalidArgument("unknown changelog record type " +
+                                     std::to_string(record.type));
+  }
+}
+
+Result<StreamSession::RecoveryInfo> StreamSession::Recover(
+    std::string_view dir, Options options, const CallbackFactory& callbacks) {
+  MonotonicTimer timer;
+  options.durability.dir = std::string(dir);
+
+  Result<durability::LoadedSnapshot> loaded =
+      durability::LoadLatestSnapshot(options.durability.dir);
+  if (!loaded.ok()) return loaded.status();
+  const durability::SnapshotMeta& meta = loaded->contents.meta;
+
+  if (loaded->found) {
+    // The options that shape results must match the crashed session's;
+    // num_shards deliberately may differ (sharding is output-invariant,
+    // and the checkpoint restores at any width).
+    if (meta.num_keys != options.num_keys ||
+        meta.max_delay != options.max_delay ||
+        meta.late_policy != static_cast<uint8_t>(options.late_policy)) {
+      return Status::InvalidArgument(
+          "recovery options disagree with the snapshot: snapshot has "
+          "num_keys " +
+          std::to_string(meta.num_keys) + ", max_delay " +
+          std::to_string(meta.max_delay) + ", late_policy " +
+          std::to_string(meta.late_policy) + "; options request num_keys " +
+          std::to_string(options.num_keys) + ", max_delay " +
+          std::to_string(options.max_delay) + ", late_policy " +
+          std::to_string(static_cast<uint8_t>(options.late_policy)));
+    }
+  }
+
+  const uint64_t start_seq = loaded->found ? meta.covered_seq : 0;
+  std::vector<durability::WalRecord> records;
+  FW_RETURN_IF_ERROR(durability::ReadChangelog(options.durability.dir,
+                                               start_seq, &records));
+  const uint64_t next_seq =
+      records.empty() ? start_seq : records.back().seq + 1;
+
+  // Build with durability off — replay must not re-log the changelog —
+  // and at the snapshot's planned η: the optimizer is deterministic, so
+  // re-optimizing the snapshot's query set at that η reproduces the
+  // checkpointed plan structure, and the executor Restore below lands on
+  // matching operators.
+  Options replay_options = options;
+  replay_options.durability = {};
+  if (loaded->found) replay_options.optimizer.eta = meta.planned_eta;
+  auto session = std::make_unique<StreamSession>(replay_options);
+  session->session_role_.AssertHeld();  // Constructed on this thread.
+
+  RecoveryInfo info;
+  info.snapshots_skipped = loaded->skipped;
+
+  if (loaded->found) {
+    info.snapshot_events = meta.covered_events;
+    for (const durability::SnapshotQuery& snap_query :
+         loaded->contents.queries) {
+      session->next_id_ = snap_query.id;  // Ids survive recovery.
+      Result<QueryId> added = session->AddQuery(
+          snap_query.query,
+          callbacks ? callbacks(snap_query.id, snap_query.query) : nullptr);
+      if (!added.ok()) {
+        return Status(added.status().code(),
+                      "recovery could not re-install query " +
+                          std::to_string(snap_query.id) + ": " +
+                          added.status().message());
+      }
+      FW_CHECK_EQ(*added, snap_query.id);
+    }
+    if (loaded->contents.has_checkpoint) {
+      if (session->executor_ == nullptr) {
+        return Status::InvalidArgument(
+            "snapshot carries an executor checkpoint but no queries");
+      }
+      Result<ExecutorCheckpoint> checkpoint =
+          ExecutorCheckpoint::Deserialize(loaded->contents.checkpoint);
+      if (!checkpoint.ok()) {
+        return Status(checkpoint.status().code(),
+                      "snapshot checkpoint rejected: " +
+                          checkpoint.status().message());
+      }
+      Status restored = session->executor_->Restore(*checkpoint);
+      if (!restored.ok()) {
+        return Status(restored.code(), "snapshot checkpoint rejected: " +
+                                           restored.message());
+      }
+    }
+    // Overwrite the counters the installs above advanced with the
+    // snapshot's values; replay advances them naturally from here.
+    constexpr TimeT kNoWatermark = std::numeric_limits<TimeT>::min();
+    session->next_id_ = meta.next_id;
+    session->watermark_ =
+        meta.watermark_valid ? meta.watermark : kNoWatermark;
+    session->events_pushed_ = meta.events_pushed;
+    session->events_dropped_ = meta.events_dropped;
+    session->replans_ = static_cast<int>(meta.replans);
+    session->drift_replans_ = static_cast<int>(meta.drift_replans);
+    session->resize_count_ = meta.resize_count;
+    session->retired_ops_ = meta.retired_ops;
+    session->retired_late_ = meta.retired_late;
+    session->retired_reorder_peak_ = meta.retired_reorder_peak;
+    session->retired_closes_total_ = meta.retired_closes_total;
+    session->retired_finalizes_total_ = meta.retired_finalizes_total;
+    session->retired_watermark_ =
+        meta.retired_watermark_valid ? meta.retired_watermark : kNoWatermark;
+    session->planned_eta_ = meta.planned_eta;
+    if (meta.finished) session->finished_ = true;
+  }
+
+  // Replay the changelog suffix. Results finalized after the snapshot
+  // re-deliver here (at-least-once), bitwise identical to the original
+  // delivery; a failure names the exact stop position.
+  for (const durability::WalRecord& record : records) {
+    Status applied = session->ReplayRecord(record, callbacks);
+    if (!applied.ok()) {
+      return RecoveryStopped(record.segment_base, record.index_in_segment,
+                             applied);
+    }
+    ++info.replayed_records;
+  }
+
+  // Resume durable logging in a fresh segment, then publish a snapshot
+  // of the recovered state: it covers everything replayed — including
+  // any torn tail — so the old files truncate and the next recovery
+  // starts here.
+  session->options_.durability = options.durability;
+  session->options_.durability.enabled = true;
+  Result<std::unique_ptr<durability::DurabilityManager>> manager =
+      durability::DurabilityManager::Attach(session->options_.durability,
+                                            next_seq, &session->metrics_);
+  if (!manager.ok()) return manager.status();
+  session->durability_ = std::move(*manager);
+  FW_RETURN_IF_ERROR(session->WriteDurableSnapshot());
+
+  session->metrics_.RecordTrace(
+      telemetry::TraceKind::kRecovery, timer.ElapsedNanos(),
+      static_cast<int64_t>(info.replayed_records), info.snapshots_skipped);
+  info.durable_events = session->events_pushed_;
+  info.recovered_queries = session->queries_.size();
+  info.session = std::move(session);
+  return info;
 }
 
 RuntimeProfile StreamSession::Profile() const {

@@ -13,6 +13,7 @@
 #include "common/mutex.h"
 #include "common/status.h"
 #include "cost/runtime_profile.h"
+#include "durability/options.h"
 #include "exec/columns.h"
 #include "exec/event.h"
 #include "multi/multi_query.h"
@@ -22,6 +23,11 @@
 #include "telemetry/metrics.h"
 
 namespace fw {
+
+namespace durability {
+class DurabilityManager;
+struct WalRecord;
+}  // namespace durability
 
 /// Stable handle for one query registered with a StreamSession. Ids are
 /// assigned once and never reused within a session.
@@ -270,6 +276,17 @@ class StreamSession {
     /// Stats().predicted_savings is meaningful. Off by default: replan
     /// latency is on the serving path.
     bool track_baseline = false;
+    /// Crash durability (DESIGN.md §16); off by default. When enabled,
+    /// every admitted event batch and every query add/remove is appended
+    /// (write-ahead) to a CRC-framed changelog in `durability.dir`, group-
+    /// committed under `durability.fsync_policy`, and a full canonical
+    /// snapshot is published every `snapshot_interval_events` admitted
+    /// events — truncating the changelog it covers. After a crash,
+    /// StreamSession::Recover rebuilds the session from the newest valid
+    /// snapshot plus a changelog replay. Durability is fail-stop: the
+    /// first append/snapshot error latches, and every later ingest or
+    /// churn call returns it instead of letting memory and disk diverge.
+    DurabilityOptions durability = {};
   };
 
   /// Per-query measurements.
@@ -372,6 +389,14 @@ class StreamSession {
     /// (with max_delay = 0, simply the newest timestamp pushed).
     /// numeric_limits<TimeT>::min() before the first event.
     TimeT current_watermark = std::numeric_limits<TimeT>::min();
+    /// Durability tallies (all 0 unless Options::durability.enabled):
+    /// changelog records and bytes appended, fsyncs issued, and snapshots
+    /// published — cumulative since the session started (or since
+    /// Recover re-attached the changelog).
+    uint64_t wal_records = 0;
+    uint64_t wal_bytes = 0;
+    uint64_t wal_fsyncs = 0;
+    uint64_t snapshots_written = 0;
   };
 
   /// Per-operator observability of the *current* shared plan: identity,
@@ -477,8 +502,60 @@ class StreamSession {
 
   /// Ends the stream: flushes every open window of every live query. The
   /// session is read-only afterwards (Push/AddQuery/RemoveQuery error);
-  /// Explain and stats remain available. Idempotent.
+  /// Explain and stats remain available. Idempotent. A durable session
+  /// publishes one final snapshot (so recovery of a finished session is a
+  /// snapshot load, no replay).
   Status Finish();
+
+  /// Supplies the result callback for each query Recover re-installs —
+  /// callbacks are code, so they cannot live in the changelog. Called
+  /// once per recovered query with its original id; returning null
+  /// leaves that query's results counted but undelivered.
+  using CallbackFactory =
+      std::function<ResultCallback(QueryId, const StreamQuery&)>;
+
+  /// What Recover hands back: the rebuilt session plus the replay
+  /// positions a caller needs to resume its feed — durable_events is the
+  /// exact number of events the recovered session has absorbed, so the
+  /// producer re-sends from there. Results finalized between the loaded
+  /// snapshot and the crash are re-delivered during replay (at-least-
+  /// once), with values bitwise identical to the original delivery.
+  struct RecoveryInfo {
+    std::unique_ptr<StreamSession> session;
+    /// Stream position (admitted events) captured by the loaded
+    /// snapshot; 0 when recovery started from an empty/absent snapshot.
+    uint64_t snapshot_events = 0;
+    /// Stream position after changelog replay — where to resume pushing.
+    uint64_t durable_events = 0;
+    /// Changelog records replayed on top of the snapshot.
+    uint64_t replayed_records = 0;
+    /// Newer snapshot files that failed validation (torn or corrupt) and
+    /// were skipped back over.
+    int snapshots_skipped = 0;
+    size_t recovered_queries = 0;
+  };
+
+  /// Rebuilds a session from the durability dir a crashed (or cleanly
+  /// stopped) session wrote: loads the newest *valid* snapshot — torn or
+  /// bit-damaged files are detected by CRC and skipped back over — then
+  /// replays the changelog suffix. A torn final changelog record (the
+  /// crash landed mid-write) marks clean end-of-log; damage anywhere
+  /// earlier fails with "recovery stopped at segment S, record R:
+  /// <cause>" — the same stop-position contract as the ingestion error
+  /// wording. Recovery is idempotent (recovering the same dir twice
+  /// yields the same session) and shard-count-portable: `options` may
+  /// request a different num_shards than the crashed session ran
+  /// (results stay bitwise identical — sharding is output-invariant).
+  /// The options fingerprint that *does* shape results (num_keys,
+  /// max_delay, late_policy) must match the snapshot, or Recover refuses.
+  /// On success the session resumes durable logging into `dir` and
+  /// publishes a fresh snapshot (truncating everything it replayed).
+  static Result<RecoveryInfo> Recover(
+      std::string_view dir, Options options,
+      const CallbackFactory& callbacks = nullptr);
+
+  /// Ids of the live queries, in plan (insertion) order.
+  std::vector<QueryId> QueryIds() const;
 
   /// Renders the query, its subscriptions into the shared plan, and the
   /// shared plan itself (plan/printer summary).
@@ -607,6 +684,23 @@ class StreamSession {
   size_t FindQuery(QueryId id) const FW_REQUIRES(session_role_);
 
   Status CheckMutable() const FW_REQUIRES(session_role_);
+
+  /// Durability hooks (inert unless Options::durability.enabled). The
+  /// append helpers run write-ahead — before the events/churn mutate any
+  /// session state — and latch the first failure into durability_error_.
+  Status CheckDurable() FW_REQUIRES(session_role_);
+  Status DurableAppend(const Event& event) FW_REQUIRES(session_role_);
+  Status DurableAppendColumns(const EventColumns& columns, size_t accepted)
+      FW_REQUIRES(session_role_);
+  /// Publishes a snapshot if one is due; called between batches, never
+  /// while a drift crossover is in flight (dual-pipeline state is
+  /// transient — the next quiescent point snapshots instead).
+  void MaybeSnapshot() FW_REQUIRES(session_role_);
+  Status WriteDurableSnapshot() FW_REQUIRES(session_role_);
+  /// Applies one replayed changelog record during Recover.
+  Status ReplayRecord(const durability::WalRecord& record,
+                      const CallbackFactory& callbacks)
+      FW_REQUIRES(session_role_);
 
   /// The one SessionStats builder both Stats() and Metrics() share.
   SessionStats BuildStats() const FW_REQUIRES(session_role_);
@@ -742,6 +836,17 @@ class StreamSession {
   /// reads the histogram's per-interval delta, not lifetime percentiles.
   telemetry::HistogramSnapshot last_handoff_snap_
       FW_GUARDED_BY(session_role_);
+
+  /// Durability manager (null unless Options::durability.enabled) and
+  /// the sticky first durability failure: once an append or snapshot
+  /// errors, the session fail-stops — ingest and churn return this
+  /// status rather than letting memory run ahead of the log.
+  std::unique_ptr<durability::DurabilityManager> durability_
+      FW_GUARDED_BY(session_role_);
+  Status durability_error_ FW_GUARDED_BY(session_role_);
+  /// Reusable single-event columns for the scalar Push append (keeps the
+  /// per-event WAL encode allocation-free once warm).
+  EventColumns durable_scratch_ FW_GUARDED_BY(session_role_);
 };
 
 }  // namespace fw

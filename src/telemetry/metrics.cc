@@ -97,6 +97,8 @@ const char* TraceKindName(TraceKind kind) {
       return "drift_replan";
     case TraceKind::kCrossoverDone:
       return "crossover_done";
+    case TraceKind::kRecovery:
+      return "recovery";
   }
   return "unknown";
 }

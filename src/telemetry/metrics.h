@@ -263,6 +263,7 @@ enum class TraceKind : uint8_t {
   kLateBurst = 5,      // a = consecutive late events in the burst
   kDriftReplan = 6,    // a = structural change (0 recost-only, 1 crossover)
   kCrossoverDone = 7,  // a = accumulate ops retired with the old pipeline
+  kRecovery = 8,       // a/b = changelog records replayed / snapshots skipped
 };
 
 const char* TraceKindName(TraceKind kind);

@@ -1,0 +1,14 @@
+// MUST be flagged: an ofstream writing engine state bypasses the
+// durability layer's CRC32C framing, fsync policy, and torn-tail
+// detection — recovery could neither validate nor replay the bytes.
+#include <fstream>
+#include <string>
+
+namespace fw {
+
+void SaveState(const std::string& path, const std::string& state) {
+  std::ofstream out(path);
+  out << state;
+}
+
+}  // namespace fw

@@ -1,0 +1,17 @@
+// MUST be flagged: fopen outside src/durability/ is an unframed
+// persistence side channel, invisible to snapshot truncation and crash
+// recovery.
+#include <cstdio>
+#include <string>
+
+namespace fw {
+
+void DumpCounters(const std::string& path, long long value) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (f != nullptr) {
+    std::fprintf(f, "%lld\n", value);
+    std::fclose(f);
+  }
+}
+
+}  // namespace fw

@@ -1,0 +1,20 @@
+// fw-lint-fixture-path: durability/framed_io.cc
+// MUST pass: src/durability/ is the one place allowed to touch files —
+// it owns the framing, CRC validation, and fsync discipline the
+// raw-persistence rule protects (the fixture-path directive above makes
+// this file lint as that path).
+#include <cstdio>
+#include <string>
+
+namespace fw {
+namespace durability {
+
+bool AppendBytes(const std::string& path, const std::string& bytes) {
+  std::FILE* f = std::fopen(path.c_str(), "ab");
+  if (f == nullptr) return false;
+  const bool ok = std::fwrite(bytes.data(), 1, bytes.size(), f) == bytes.size();
+  return std::fclose(f) == 0 && ok;
+}
+
+}  // namespace durability
+}  // namespace fw
