@@ -15,6 +15,8 @@ DurabilityManager::DurabilityManager(const DurabilityOptions& options,
       wal_bytes_counter_(metrics->GetCounter("durability.wal_bytes")),
       fsyncs_counter_(metrics->GetCounter("durability.wal_fsyncs")),
       snapshots_counter_(metrics->GetCounter("durability.snapshots")),
+      truncate_failures_counter_(
+          metrics->GetCounter("durability.truncate_failures")),
       fsync_hist_(metrics->GetHistogram("durability.wal_fsync_ns")) {}
 
 Result<std::unique_ptr<DurabilityManager>> DurabilityManager::CreateFresh(
@@ -119,27 +121,41 @@ Status DurabilityManager::WriteSnapshot(SnapshotContents contents) {
   // applied.
   contents.meta.covered_seq = wal_.next_seq();
   FW_RETURN_IF_ERROR(WriteSnapshotFile(options_.dir, contents));
+
+  // The snapshot is durable: roll a fresh segment (base == covered_seq),
+  // then truncate everything it covers. Strictly in that order — the new
+  // segment demotes the old newest one, whose torn tail is only
+  // tolerable once the snapshot covers its whole range.
+  FW_RETURN_IF_ERROR(wal_.Roll());
+  NoteSnapshotPublished(contents.meta.covered_seq);
+  return Status::OK();
+}
+
+void DurabilityManager::NoteSnapshotPublished(uint64_t covered_seq) {
   ++counters_.snapshots_written;
   snapshots_counter_->Increment(0);
   events_since_snapshot_ = 0;
 
-  // Truncate: roll a fresh segment (base == covered_seq), then delete
-  // every older segment and snapshot — all redundant now that the new
-  // snapshot is durable. Best-effort: a leftover file costs disk only;
-  // replay skips covered records by sequence number anyway.
-  FW_RETURN_IF_ERROR(wal_.Roll());
+  // Delete every segment and snapshot the new snapshot makes redundant.
+  // Best-effort, but counted: ReadChangelog skips segments that fall
+  // entirely below the snapshot's coverage (torn or not), so a leftover
+  // costs disk, never recoverability — truncate_failures flags the leak.
   Result<std::vector<std::string>> names = ListDir(options_.dir);
-  if (!names.ok()) return Status::OK();
+  if (!names.ok()) {
+    ++counters_.truncate_failures;
+    truncate_failures_counter_->Increment(0);
+    return;
+  }
   for (const std::string& name : *names) {
     uint64_t seq = 0;
-    if (ParseSegmentFileName(name, &seq) && seq < wal_.segment_base()) {
-      RemoveFile(options_.dir + "/" + name);
-    } else if (ParseSnapshotFileName(name, &seq) &&
-               seq < contents.meta.covered_seq) {
-      RemoveFile(options_.dir + "/" + name);
+    const bool covered =
+        (ParseSegmentFileName(name, &seq) && seq < wal_.segment_base()) ||
+        (ParseSnapshotFileName(name, &seq) && seq < covered_seq);
+    if (covered && !RemoveFile(options_.dir + "/" + name).ok()) {
+      ++counters_.truncate_failures;
+      truncate_failures_counter_->Increment(0);
     }
   }
-  return Status::OK();
 }
 
 }  // namespace durability

@@ -56,15 +56,28 @@ class DurabilityManager {
 
   /// Publishes `contents` (covered_seq is filled in here: everything
   /// appended so far), rolls a fresh segment, then deletes the covered
-  /// segments and any older snapshots. Deletion failures are non-fatal —
-  /// a leftover covered segment only costs disk, never correctness.
+  /// segments and any older snapshots. Deletion failures are non-fatal
+  /// (counted in truncate_failures) — ReadChangelog skips segments a
+  /// snapshot fully covers, so a leftover only costs disk, never
+  /// correctness.
   Status WriteSnapshot(SnapshotContents contents);
+
+  /// Records a snapshot covering `covered_seq` that was published
+  /// *outside* this manager, and truncates the files it covers. Recover
+  /// uses this: the recovery snapshot must hit disk before Attach opens
+  /// a new segment (opening first would demote the crashed run's torn
+  /// newest segment while records past the old snapshot's coverage could
+  /// still be lost in it), so the publish happens pre-attach and the
+  /// bookkeeping lands here. Requires covered_seq == segment_base().
+  void NoteSnapshotPublished(uint64_t covered_seq);
 
   struct Counters {
     uint64_t wal_records = 0;
     uint64_t wal_bytes = 0;
     uint64_t wal_fsyncs = 0;
     uint64_t snapshots_written = 0;
+    /// Covered files truncation could not delete (leaked disk, flagged).
+    uint64_t truncate_failures = 0;
   };
   const Counters& counters() const { return counters_; }
   uint64_t next_seq() const { return wal_.next_seq(); }
@@ -88,6 +101,7 @@ class DurabilityManager {
   telemetry::Counter* const wal_bytes_counter_;
   telemetry::Counter* const fsyncs_counter_;
   telemetry::Counter* const snapshots_counter_;
+  telemetry::Counter* const truncate_failures_counter_;
   /// fsync latency distribution ("durability.wal_fsync_ns").
   telemetry::Histogram* const fsync_hist_;
 };

@@ -175,11 +175,33 @@ Status ReadChangelog(const std::string& dir, uint64_t start_seq,
   std::sort(bases.begin(), bases.end());
 
   out->clear();
+  if (bases.empty()) return Status::OK();
+  // A changelog that begins past start_seq has a leading hole: the
+  // segments holding [start_seq, bases[0]) were truncated by a newer
+  // snapshot that later failed validation, so recovery fell back behind
+  // the truncation point. Replaying over the hole would silently drop
+  // those events — refuse instead.
+  if (bases[0] > start_seq) {
+    return Status::Internal(
+        "recovery stopped at segment " + std::to_string(bases[0]) +
+        ", record 0: changelog begins after the snapshot's coverage "
+        "(replay needs sequence " + std::to_string(start_seq) +
+        "; the segments below were truncated by a snapshot that is no "
+        "longer valid)");
+  }
+  bool read_any = false;
   uint64_t expected_next = start_seq;
   for (size_t s = 0; s < bases.size(); ++s) {
     const uint64_t base = bases[s];
     const bool newest = s + 1 == bases.size();
-    if (s > 0 && base != expected_next) {
+    // A segment whose entire range [base, next base) predates start_seq
+    // contributes nothing to replay: skip it without reading. Such
+    // segments only linger when truncation was interrupted (crash
+    // between the covering snapshot's publish and the unlink, or an
+    // unlink failure), and the leftover may carry the previous crash's
+    // torn tail — fully covered, it must not fail recovery.
+    if (!newest && bases[s + 1] <= start_seq) continue;
+    if (read_any && base != expected_next) {
       return Status::Internal(
           "recovery stopped at segment " + std::to_string(base) +
           ", record 0: segment sequence gap (previous segment ended at " +
@@ -218,6 +240,7 @@ Status ReadChangelog(const std::string& dir, uint64_t start_seq,
       ++index;
     }
     expected_next = base + index;
+    read_any = true;
   }
   return Status::OK();
 }

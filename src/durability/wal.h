@@ -93,9 +93,16 @@ struct WalRecord {
 /// Reads every record with seq >= start_seq, in sequence order, across
 /// all segments in `dir`. Torn-tail rule: an invalid frame in the
 /// *newest* segment ends the log cleanly there (the expected shape of a
-/// crash mid-append); an invalid frame in any older segment — or a gap
-/// between segments — is real corruption and fails with "recovery
-/// stopped at segment S, record R: <cause>".
+/// crash mid-append); an invalid frame in any older segment that could
+/// still hold replayable records — or a gap between such segments — is
+/// real corruption and fails with "recovery stopped at segment S,
+/// record R: <cause>". Two snapshot-coverage rules make interrupted
+/// truncation harmless and snapshot fallback loud: a segment whose
+/// entire range predates start_seq is skipped without reading (a
+/// leftover from an interrupted truncation may carry an old torn tail),
+/// and a changelog whose smallest base is *past* start_seq fails with
+/// the same stop-position wording (its missing head was truncated by a
+/// snapshot that is no longer the one being restored).
 Status ReadChangelog(const std::string& dir, uint64_t start_seq,
                      std::vector<WalRecord>* out);
 

@@ -1135,6 +1135,7 @@ StreamSession::SessionStats StreamSession::BuildStats() const {
     stats.wal_bytes = d.wal_bytes;
     stats.wal_fsyncs = d.wal_fsyncs;
     stats.snapshots_written = d.snapshots_written;
+    stats.truncate_failures = d.truncate_failures;
   }
   return stats;
 }
@@ -1246,8 +1247,15 @@ void StreamSession::MaybeSnapshot() {
 }
 
 Status StreamSession::WriteDurableSnapshot() {
-  MonotonicTimer timer;
   durability::SnapshotContents contents;
+  FW_RETURN_IF_ERROR(BuildDurableSnapshot(&contents));
+  return durability_->WriteSnapshot(std::move(contents));
+}
+
+Status StreamSession::BuildDurableSnapshot(
+    durability::SnapshotContents* out) {
+  MonotonicTimer timer;
+  durability::SnapshotContents& contents = *out;
   durability::SnapshotMeta& meta = contents.meta;
   constexpr TimeT kNoWatermark = std::numeric_limits<TimeT>::min();
   meta.covered_events = events_pushed_;
@@ -1287,7 +1295,7 @@ Status StreamSession::WriteDurableSnapshot() {
                          timer.ElapsedNanos(),
                          static_cast<int64_t>(checkpoint->operators.size()));
   }
-  return durability_->WriteSnapshot(std::move(contents));
+  return Status::OK();
 }
 
 Status StreamSession::ReplayRecord(const durability::WalRecord& record,
@@ -1441,10 +1449,22 @@ Result<StreamSession::RecoveryInfo> StreamSession::Recover(
     ++info.replayed_records;
   }
 
-  // Resume durable logging in a fresh segment, then publish a snapshot
-  // of the recovered state: it covers everything replayed — including
-  // any torn tail — so the old files truncate and the next recovery
-  // starts here.
+  // Publish a snapshot of the recovered state BEFORE resuming durable
+  // logging: it covers everything replayed — including any torn tail in
+  // the old newest segment — and must be durable before Attach opens a
+  // fresh segment. Opening first would demote the torn segment to
+  // non-newest while records past the old snapshot's coverage could
+  // still be lost in it; a crash inside the (checkpoint-sized) snapshot
+  // write would then brick every later recovery. In this order a crash
+  // either leaves the directory unchanged (recovery re-runs) or
+  // snapshot-covered (the torn segment is fully covered, so the reader
+  // skips it).
+  durability::SnapshotContents recovery_snapshot;
+  FW_RETURN_IF_ERROR(session->BuildDurableSnapshot(&recovery_snapshot));
+  recovery_snapshot.meta.covered_seq = next_seq;
+  FW_RETURN_IF_ERROR(durability::WriteSnapshotFile(options.durability.dir,
+                                                   recovery_snapshot));
+
   session->options_.durability = options.durability;
   session->options_.durability.enabled = true;
   Result<std::unique_ptr<durability::DurabilityManager>> manager =
@@ -1452,7 +1472,9 @@ Result<StreamSession::RecoveryInfo> StreamSession::Recover(
                                             next_seq, &session->metrics_);
   if (!manager.ok()) return manager.status();
   session->durability_ = std::move(*manager);
-  FW_RETURN_IF_ERROR(session->WriteDurableSnapshot());
+  // Count the snapshot and truncate the files it covers now that the
+  // fresh segment (base == next_seq) exists.
+  session->durability_->NoteSnapshotPublished(next_seq);
 
   session->metrics_.RecordTrace(
       telemetry::TraceKind::kRecovery, timer.ElapsedNanos(),

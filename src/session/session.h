@@ -26,6 +26,7 @@ namespace fw {
 
 namespace durability {
 class DurabilityManager;
+struct SnapshotContents;
 struct WalRecord;
 }  // namespace durability
 
@@ -397,6 +398,10 @@ class StreamSession {
     uint64_t wal_bytes = 0;
     uint64_t wal_fsyncs = 0;
     uint64_t snapshots_written = 0;
+    /// Covered changelog/snapshot files truncation could not delete —
+    /// harmless for recovery (replay skips fully covered segments) but a
+    /// disk leak worth alerting on.
+    uint64_t truncate_failures = 0;
   };
 
   /// Per-operator observability of the *current* shared plan: identity,
@@ -697,6 +702,14 @@ class StreamSession {
   /// transient — the next quiescent point snapshots instead).
   void MaybeSnapshot() FW_REQUIRES(session_role_);
   Status WriteDurableSnapshot() FW_REQUIRES(session_role_);
+  /// Fills `out` with the canonical session image WriteDurableSnapshot
+  /// publishes (counters, query set, merged executor checkpoint) —
+  /// everything but covered_seq. Split out so Recover can publish its
+  /// snapshot *before* attaching a DurabilityManager: the file must be
+  /// durable before a new changelog segment demotes the crashed run's
+  /// torn newest segment.
+  Status BuildDurableSnapshot(durability::SnapshotContents* out)
+      FW_REQUIRES(session_role_);
   /// Applies one replayed changelog record during Recover.
   Status ReplayRecord(const durability::WalRecord& record,
                       const CallbackFactory& callbacks)

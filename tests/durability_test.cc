@@ -449,6 +449,56 @@ TEST(Changelog, SegmentSequenceGapFailsWithStopPosition) {
   EXPECT_NE(status.message().find("gap"), std::string::npos);
 }
 
+TEST(Changelog, TornSegmentFullyCoveredBySnapshotIsSkipped) {
+  TempDir dir;
+  durability::WalWriter wal;
+  ASSERT_TRUE(wal.Open(dir.path, 0).ok());
+  ASSERT_NO_FATAL_FAILURE(AppendEventRecords(&wal, 3, 100));
+  ASSERT_TRUE(wal.Roll().ok());
+  ASSERT_NO_FATAL_FAILURE(AppendEventRecords(&wal, 2, 200));
+  ASSERT_TRUE(wal.Close().ok());
+  // Tear the older segment's tail (drops its last record).
+  ASSERT_NO_FATAL_FAILURE(
+      TruncateFile(dir.path + "/" + durability::SegmentFileName(0), 3));
+
+  // While the damaged segment could still hold replayable records, the
+  // tear is corruption.
+  std::vector<durability::WalRecord> records;
+  EXPECT_FALSE(durability::ReadChangelog(dir.path, 2, &records).ok());
+
+  // Once a snapshot covers the segment's entire range [0, 3), it is
+  // skipped without reading — the leftover shape of a truncation
+  // interrupted between the snapshot's publish and the unlink.
+  ASSERT_TRUE(durability::ReadChangelog(dir.path, 3, &records).ok());
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].seq, 3u);
+  ASSERT_TRUE(durability::ReadChangelog(dir.path, 4, &records).ok());
+  ASSERT_EQ(records.size(), 1u);
+  EXPECT_EQ(records[0].seq, 4u);
+}
+
+TEST(Changelog, HeadTruncatedBehindStartSeqFailsWithStopPosition) {
+  TempDir dir;
+  durability::WalWriter wal;
+  ASSERT_TRUE(wal.Open(dir.path, 10).ok());
+  ASSERT_NO_FATAL_FAILURE(AppendEventRecords(&wal, 2, 100));
+  ASSERT_TRUE(wal.Close().ok());
+
+  // Replay from seq 4 needs records [4, 10), but the segments holding
+  // them were truncated (by a snapshot that is no longer the one being
+  // restored). Silent replay would drop those events — must refuse.
+  std::vector<durability::WalRecord> records;
+  Status status = durability::ReadChangelog(dir.path, 4, &records);
+  EXPECT_FALSE(status.ok());
+  EXPECT_NE(status.message().find("recovery stopped at segment 10, record 0"),
+            std::string::npos)
+      << status.ToString();
+
+  // At exactly the surviving segment's base there is no hole.
+  ASSERT_TRUE(durability::ReadChangelog(dir.path, 10, &records).ok());
+  EXPECT_EQ(records.size(), 2u);
+}
+
 // --- Snapshot store --------------------------------------------------------
 
 durability::SnapshotContents MakeSnapshot(uint64_t covered_seq) {
@@ -1073,6 +1123,116 @@ TEST(SessionDurability, RecoverSurfacesStopPositionOnMidLogDamage) {
   EXPECT_NE(recovered.status().message().find(
                 "recovery stopped at segment 0, record 50"),
             std::string::npos)
+      << recovered.status().ToString();
+}
+
+TEST(SessionDurability, LeftoverTornSegmentAfterInterruptedTruncationRecovers) {
+  TempDir dir;
+  const std::vector<Event> events = GenerateSyntheticStream(300, 4, 99);
+  const size_t kill_at = 263;
+
+  // Oracle: one uninterrupted 1-shard session over the whole stream.
+  Recorded oracle;
+  {
+    StreamSession session({.num_keys = 4});
+    ASSERT_TRUE(
+        session.AddQuery(MakeQuery("SUM", 20, 10), Tagged(&oracle, 0)).ok());
+    for (const Event& e : events) ASSERT_TRUE(session.Push(e).ok());
+    ASSERT_TRUE(session.Finish().ok());
+  }
+
+  Recorded subject;
+  {
+    StreamSession::Options options;
+    options.num_keys = 4;
+    options.num_shards = 1;
+    options.durability.enabled = true;
+    options.durability.dir = dir.path;
+    options.durability.snapshot_interval_events = 100;
+    StreamSession session(options);
+    ASSERT_TRUE(
+        session.AddQuery(MakeQuery("SUM", 20, 10), Tagged(&subject, 0)).ok());
+    for (size_t i = 0; i < kill_at; ++i) {
+      ASSERT_TRUE(session.Push(events[i]).ok());
+    }
+  }
+  // Crash shape: the (single, live) newest segment ends in a torn record.
+  const std::string torn_name =
+      TheFile(dir.path, durability::ParseSegmentFileName);
+  ASSERT_FALSE(torn_name.empty()) << "expected exactly one live segment";
+  ASSERT_NO_FATAL_FAILURE(TruncateFile(dir.path + "/" + torn_name, 3));
+  const std::string torn_bytes = ReadAll(dir.path + "/" + torn_name);
+
+  // Recover #1 publishes a snapshot covering the whole replay (torn tail
+  // included) and truncates the old files; the recovered session is then
+  // killed again before pushing anything.
+  StreamSession::Options options;
+  options.num_keys = 4;
+  {
+    Result<StreamSession::RecoveryInfo> recovered = StreamSession::Recover(
+        dir.path, options, [&subject](QueryId, const StreamQuery&) {
+          return Tagged(&subject, 0);
+        });
+    ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+    // The torn final record was never durable; its event is re-pushed
+    // below.
+    EXPECT_EQ(recovered->durable_events, kill_at - 1);
+  }
+  // Re-inject the old torn segment: the shape truncation leaves behind
+  // when it is interrupted (or its unlink fails) after the covering
+  // snapshot is durable. No longer the newest segment, but fully
+  // covered — recovery must skip it, not brick on "torn non-newest".
+  WriteAll(dir.path + "/" + torn_name, torn_bytes);
+
+  options.num_shards = 3;
+  Result<StreamSession::RecoveryInfo> recovered = StreamSession::Recover(
+      dir.path, options, [&subject](QueryId, const StreamQuery&) {
+        return Tagged(&subject, 0);
+      });
+  ASSERT_TRUE(recovered.ok()) << recovered.status().ToString();
+
+  StreamSession& session = *recovered->session;
+  for (size_t i = recovered->durable_events; i < events.size(); ++i) {
+    ASSERT_TRUE(session.Push(events[i]).ok());
+  }
+  ASSERT_TRUE(session.Finish().ok());
+  EXPECT_EQ(subject.results, oracle.results);
+}
+
+TEST(SessionDurability, CorruptSnapshotBehindTruncationFailsLoudly) {
+  TempDir dir;
+  {
+    StreamSession::Options options;
+    options.num_keys = 2;
+    options.durability.enabled = true;
+    options.durability.dir = dir.path;
+    options.durability.snapshot_interval_events = 64;
+    StreamSession session(options);
+    ASSERT_TRUE(session.AddQuery(MakeQuery("SUM", 20, 10)).ok());
+    for (const Event& e : GenerateSyntheticStream(200, 2, 21)) {
+      ASSERT_TRUE(session.Push(e).ok());
+    }
+    ASSERT_GE(session.Stats().snapshots_written, 2u);
+  }
+  // Corrupt the surviving snapshot. Recovery falls back behind it (here:
+  // to nothing), but the changelog head it covered is already truncated;
+  // replaying only the surviving segments would silently drop the
+  // truncated events, so Recover must fail with the stop-position
+  // contract instead.
+  const std::string snap_name =
+      TheFile(dir.path, durability::ParseSnapshotFileName);
+  ASSERT_FALSE(snap_name.empty()) << "expected exactly one snapshot file";
+  const std::string snap_path = dir.path + "/" + snap_name;
+  ASSERT_NO_FATAL_FAILURE(FlipByte(snap_path, ReadAll(snap_path).size() / 2));
+
+  StreamSession::Options options;
+  options.num_keys = 2;
+  Result<StreamSession::RecoveryInfo> recovered =
+      StreamSession::Recover(dir.path, options);
+  ASSERT_FALSE(recovered.ok());
+  EXPECT_NE(
+      recovered.status().message().find("recovery stopped at segment"),
+      std::string::npos)
       << recovered.status().ToString();
 }
 
